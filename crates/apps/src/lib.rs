@@ -1,0 +1,32 @@
+//! # snd-apps
+//!
+//! The downstream applications the paper's introduction uses to motivate
+//! secure neighbor discovery, implemented over *believed* neighbor
+//! topologies so the damage done by false neighbor relations is
+//! quantifiable:
+//!
+//! * [`routing`] — GPSR-style greedy geographic routing \[12\]; false
+//!   neighbors become packet black holes;
+//! * [`clustering`] — lowest-ID \[2\] and max–min d-hop \[1\] clustering;
+//!   false neighbors stitch geometrically absurd clusters together;
+//! * [`aggregation`] — neighborhood averaging; false neighbors inject
+//!   far-away readings into local aggregates.
+//!
+//! Each module takes two topologies where relevant: the *believed* one
+//! (what the application acts on) and the *physical* one (what radios can
+//! actually do) — the gap between them is exactly what an attacker
+//! exploits, and what the `snd-core` protocol closes.
+
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod clustering;
+pub mod collection;
+pub mod gpsr;
+pub mod routing;
+
+pub use aggregation::{aggregation_error, neighborhood_average, Readings};
+pub use collection::CollectionTree;
+pub use gpsr::{gabriel_planarize, gpsr_route, GpsrComparison};
+pub use clustering::{lowest_id_clustering, max_min_d_clustering, Clustering};
+pub use routing::{greedy_route, route_many, DeliveryStats, RouteOutcome, RouteTrace};

@@ -1,0 +1,279 @@
+//! Greedy geographic routing (GPSR's greedy mode \[12\]).
+//!
+//! "In routing protocols, sensor nodes need to know their neighbors to make
+//! routing decisions ... a sensor node will fail to route packets if the
+//! next hop on the routing path is not its neighbor." This module makes
+//! that failure measurable: routing runs over a *believed* neighbor
+//! topology, but a forwarding step only succeeds if the chosen next hop is
+//! *physically* reachable. False neighbors injected by an attacker become
+//! black holes.
+
+use std::collections::BTreeSet;
+
+use snd_topology::{Deployment, DiGraph, NodeId};
+
+/// Why a routing attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The packet reached the destination.
+    Delivered,
+    /// Greedy forwarding hit a local minimum (no believed neighbor closer
+    /// to the destination).
+    Stuck,
+    /// The chosen next hop was a false neighbor: physically unreachable, so
+    /// the packet is lost in the void.
+    LostToFalseNeighbor,
+    /// A forwarding loop was detected (visited node twice).
+    Loop,
+    /// Exceeded the hop budget.
+    TtlExceeded,
+}
+
+/// A traced route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTrace {
+    /// Nodes visited, source first.
+    pub path: Vec<NodeId>,
+    /// How the attempt ended.
+    pub outcome: RouteOutcome,
+}
+
+impl RouteTrace {
+    /// Whether the packet arrived.
+    pub fn delivered(&self) -> bool {
+        self.outcome == RouteOutcome::Delivered
+    }
+
+    /// Hops taken (path edges).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Routes a packet from `src` to `dst` by greedy geographic forwarding
+/// over the `believed` neighbor topology.
+///
+/// Each step picks the believed neighbor geographically closest to `dst`
+/// (using original deployment positions, which geographic routing assumes
+/// are known). The step *physically succeeds* only if the edge also exists
+/// in `physical`; otherwise the packet is lost — the attacker's black hole.
+pub fn greedy_route(
+    believed: &DiGraph,
+    physical: &DiGraph,
+    deployment: &Deployment,
+    src: NodeId,
+    dst: NodeId,
+    ttl: usize,
+) -> RouteTrace {
+    let mut path = vec![src];
+    let mut visited: BTreeSet<NodeId> = [src].into_iter().collect();
+    let mut current = src;
+
+    for _ in 0..ttl {
+        if current == dst {
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Delivered,
+            };
+        }
+        let Some(dst_pos) = deployment.position(dst) else {
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Stuck,
+            };
+        };
+        let here = deployment
+            .position(current)
+            .map_or(f64::MAX, |p| p.distance(&dst_pos));
+
+        // Closest believed neighbor, strictly closer than here.
+        let next = believed
+            .out_neighbors(current)
+            .filter_map(|v| deployment.position(v).map(|p| (v, p.distance(&dst_pos))))
+            .filter(|(_, d)| *d < here)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+
+        let Some((next, _)) = next else {
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Stuck,
+            };
+        };
+        if !physical.has_edge(current, next) {
+            // The believed neighbor is not actually reachable.
+            path.push(next);
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::LostToFalseNeighbor,
+            };
+        }
+        if !visited.insert(next) {
+            path.push(next);
+            return RouteTrace {
+                path,
+                outcome: RouteOutcome::Loop,
+            };
+        }
+        path.push(next);
+        current = next;
+    }
+    if current == dst {
+        RouteTrace {
+            path,
+            outcome: RouteOutcome::Delivered,
+        }
+    } else {
+        RouteTrace {
+            path,
+            outcome: RouteOutcome::TtlExceeded,
+        }
+    }
+}
+
+/// Delivery statistics over many routed pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeliveryStats {
+    /// Attempts made.
+    pub attempts: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Packets lost to false neighbors specifically.
+    pub lost_to_false_neighbors: usize,
+    /// Mean hops over delivered packets.
+    pub mean_hops: f64,
+}
+
+impl DeliveryStats {
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Routes every pair in `pairs` and aggregates statistics.
+pub fn route_many(
+    believed: &DiGraph,
+    physical: &DiGraph,
+    deployment: &Deployment,
+    pairs: &[(NodeId, NodeId)],
+    ttl: usize,
+) -> DeliveryStats {
+    let mut stats = DeliveryStats::default();
+    let mut hop_sum = 0usize;
+    for &(s, d) in pairs {
+        stats.attempts += 1;
+        let trace = greedy_route(believed, physical, deployment, s, d, ttl);
+        match trace.outcome {
+            RouteOutcome::Delivered => {
+                stats.delivered += 1;
+                hop_sum += trace.hops();
+            }
+            RouteOutcome::LostToFalseNeighbor => stats.lost_to_false_neighbors += 1,
+            _ => {}
+        }
+    }
+    stats.mean_hops = if stats.delivered > 0 {
+        hop_sum as f64 / stats.delivered as f64
+    } else {
+        0.0
+    };
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Field, Point};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 5-node line, 40 m apart, 50 m radio.
+    fn line() -> (Deployment, DiGraph) {
+        let mut d = Deployment::empty(Field::new(300.0, 50.0));
+        for i in 0..5u64 {
+            d.place(n(i), Point::new(10.0 + i as f64 * 40.0, 25.0));
+        }
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        (d, g)
+    }
+
+    #[test]
+    fn delivers_along_the_line() {
+        let (d, g) = line();
+        let trace = greedy_route(&g, &g, &d, n(0), n(4), 32);
+        assert!(trace.delivered());
+        assert_eq!(trace.path, vec![n(0), n(1), n(2), n(3), n(4)]);
+        assert_eq!(trace.hops(), 4);
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let (d, g) = line();
+        let trace = greedy_route(&g, &g, &d, n(2), n(2), 32);
+        assert!(trace.delivered());
+        assert_eq!(trace.hops(), 0);
+    }
+
+    #[test]
+    fn stuck_at_gap() {
+        // Remove the middle node's edges: greedy has nowhere closer to go.
+        let (d, mut g) = line();
+        g.remove_node(n(2));
+        let mut believed = g.clone();
+        believed.add_node(n(2)); // keep the node known but unreachable
+        let trace = greedy_route(&g, &g, &d, n(0), n(4), 32);
+        assert_eq!(trace.outcome, RouteOutcome::Stuck);
+    }
+
+    #[test]
+    fn false_neighbor_becomes_black_hole() {
+        let (d, physical) = line();
+        // The attacker convinces node 1 that node 4 (far away) is a direct
+        // neighbor: greedy at node 1 picks "4" (closest to destination 4).
+        let mut believed = physical.clone();
+        believed.add_edge(n(1), n(4));
+        let trace = greedy_route(&believed, &physical, &d, n(0), n(4), 32);
+        assert_eq!(trace.outcome, RouteOutcome::LostToFalseNeighbor);
+        assert_eq!(trace.path.last(), Some(&n(4)));
+        assert!(!trace.delivered());
+    }
+
+    #[test]
+    fn ttl_bounds_work() {
+        let (d, g) = line();
+        let trace = greedy_route(&g, &g, &d, n(0), n(4), 2);
+        assert_eq!(trace.outcome, RouteOutcome::TtlExceeded);
+    }
+
+    #[test]
+    fn route_many_aggregates() {
+        let (d, g) = line();
+        let pairs: Vec<(NodeId, NodeId)> =
+            vec![(n(0), n(4)), (n(4), n(0)), (n(1), n(3)), (n(2), n(2))];
+        let stats = route_many(&g, &g, &d, &pairs, 32);
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.delivery_ratio(), 1.0);
+        assert!(stats.mean_hops > 0.0);
+    }
+
+    #[test]
+    fn attack_degrades_delivery_ratio() {
+        let (d, physical) = line();
+        let mut believed = physical.clone();
+        believed.add_edge(n(1), n(4));
+        believed.add_edge(n(0), n(3));
+        let pairs: Vec<(NodeId, NodeId)> = vec![(n(0), n(4)), (n(0), n(3)), (n(1), n(4))];
+        let honest = route_many(&physical, &physical, &d, &pairs, 32);
+        let attacked = route_many(&believed, &physical, &d, &pairs, 32);
+        assert!(attacked.delivery_ratio() < honest.delivery_ratio());
+        assert!(attacked.lost_to_false_neighbors > 0);
+    }
+}

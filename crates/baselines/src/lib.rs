@@ -1,0 +1,29 @@
+//! # snd-baselines
+//!
+//! Baseline and comparator schemes for the secure neighbor-discovery
+//! reproduction (Liu, ICDCS 2009):
+//!
+//! * [`parno`] — Parno, Perrig & Gligor's distributed replica-detection
+//!   schemes (randomized multicast and line-selected multicast), the
+//!   comparison target of Section 4.5.3;
+//! * [`direct`] — direct neighbor-verification mechanisms (RTT bounding,
+//!   geographic leashes) that stop wormholes between benign nodes but are
+//!   bypassed by replicas — the paper's motivating observation;
+//! * [`routing`] — the multi-hop routing substrate the detection schemes'
+//!   cost model runs on.
+//!
+//! The naive accept-everything validation baseline lives in `snd-core` as
+//! [`snd_core::model::AcceptAll`], since it is an instance of the paper's
+//! validation-function model.
+
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod parno;
+pub mod routing;
+
+pub use direct::{CombinedDirect, DirectVerification, GeographicLeash, RttBounding};
+pub use parno::line_selected::LineSelectedMulticast;
+pub use parno::randomized::RandomizedMulticast;
+pub use parno::{DetectionOutcome, LocationClaim};
+pub use routing::HopTable;

@@ -1,0 +1,148 @@
+//! Hop-count routing utilities shared by the baseline schemes.
+//!
+//! Parno et al.'s detection schemes route location claims across the whole
+//! network; their communication cost is dominated by multi-hop forwarding.
+//! [`HopTable`] precomputes BFS hop distances over the mutual (undirected)
+//! view of a topology so baselines can charge realistic per-claim costs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use snd_topology::{DiGraph, NodeId};
+
+/// All-pairs-on-demand BFS hop distances over a topology's mutual edges.
+#[derive(Debug, Clone)]
+pub struct HopTable {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    cache: BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
+}
+
+impl HopTable {
+    /// Builds a hop table for `graph`.
+    pub fn new(graph: &DiGraph) -> Self {
+        HopTable {
+            adj: graph.mutual_adjacency(),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn bfs(&mut self, source: NodeId) -> &BTreeMap<NodeId, u32> {
+        if !self.cache.contains_key(&source) {
+            let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
+            if self.adj.contains_key(&source) {
+                dist.insert(source, 0);
+                let mut queue = VecDeque::from([source]);
+                while let Some(u) = queue.pop_front() {
+                    let du = dist[&u];
+                    if let Some(nbrs) = self.adj.get(&u) {
+                        for &v in nbrs {
+                            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                                e.insert(du + 1);
+                                queue.push_back(v);
+                            }
+                        }
+                    }
+                }
+            }
+            self.cache.insert(source, dist);
+        }
+        &self.cache[&source]
+    }
+
+    /// Hop distance from `a` to `b`, or `None` when disconnected.
+    pub fn hops(&mut self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.bfs(a).get(&b).copied()
+    }
+
+    /// One shortest path from `a` to `b` (inclusive of both endpoints), or
+    /// `None` when disconnected. Used by line-selected multicast, whose
+    /// detection depends on the intermediate nodes.
+    pub fn path(&mut self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        let dist = self.bfs(a).clone();
+        dist.get(&b)?;
+        // Walk backwards from b choosing any neighbor one hop closer.
+        let mut path = vec![b];
+        let mut current = b;
+        while current != a {
+            let d = dist[&current];
+            let prev = self
+                .adj
+                .get(&current)
+                .and_then(|nbrs| {
+                    nbrs.iter()
+                        .find(|v| dist.get(v).is_some_and(|dv| *dv + 1 == d))
+                })
+                .copied()?;
+            path.push(prev);
+            current = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Nodes reachable from `source` (including itself).
+    pub fn reachable_count(&mut self, source: NodeId) -> usize {
+        self.bfs(source).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A path graph 0-1-2-3 plus an isolated node 9.
+    fn path_graph() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(0), n(1));
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(2), n(3));
+        g.add_node(n(9));
+        g
+    }
+
+    #[test]
+    fn hop_distances() {
+        let mut t = HopTable::new(&path_graph());
+        assert_eq!(t.hops(n(0), n(0)), Some(0));
+        assert_eq!(t.hops(n(0), n(1)), Some(1));
+        assert_eq!(t.hops(n(0), n(3)), Some(3));
+        assert_eq!(t.hops(n(3), n(0)), Some(3));
+        assert_eq!(t.hops(n(0), n(9)), None);
+    }
+
+    #[test]
+    fn shortest_path_reconstruction() {
+        let mut t = HopTable::new(&path_graph());
+        assert_eq!(t.path(n(0), n(3)), Some(vec![n(0), n(1), n(2), n(3)]));
+        assert_eq!(t.path(n(2), n(2)), Some(vec![n(2)]));
+        assert_eq!(t.path(n(0), n(9)), None);
+    }
+
+    #[test]
+    fn one_way_edges_do_not_route() {
+        let mut g = path_graph();
+        g.add_edge(n(3), n(9)); // asymmetric
+        let mut t = HopTable::new(&g);
+        assert_eq!(t.hops(n(3), n(9)), None);
+    }
+
+    #[test]
+    fn reachable_count() {
+        let mut t = HopTable::new(&path_graph());
+        assert_eq!(t.reachable_count(n(0)), 4);
+        assert_eq!(t.reachable_count(n(9)), 1);
+    }
+
+    #[test]
+    fn path_length_matches_hops() {
+        let mut t = HopTable::new(&path_graph());
+        for (a, b) in [(n(0), n(2)), (n(1), n(3)), (n(0), n(3))] {
+            let hops = t.hops(a, b).unwrap() as usize;
+            let path = t.path(a, b).unwrap();
+            assert_eq!(path.len(), hops + 1);
+        }
+    }
+}

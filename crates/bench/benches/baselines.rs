@@ -1,0 +1,48 @@
+//! Baseline-scheme benchmarks: one Parno et al. detection round in each
+//! flavor, against the local cost of the paper's protocol (see the
+//! `compare_parno` binary for the full comparison experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use snd_baselines::{LineSelectedMulticast, RandomizedMulticast};
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Deployment, Field, NodeId, Point};
+
+fn network() -> (Deployment, snd_topology::DiGraph) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let d = Deployment::uniform(Field::square(200.0), 150, &mut rng);
+    let g = unit_disk_graph(&d, &RadioSpec::uniform(40.0));
+    (d, g)
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let (d, g) = network();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let scheme = RandomizedMulticast::default();
+    let original = d.position(NodeId(0)).expect("node 0 deployed");
+    let replica = Point::new(190.0, 190.0);
+    let mut group = c.benchmark_group("parno_round");
+    group.sample_size(20);
+    group.bench_function("randomized_multicast", |b| {
+        b.iter(|| scheme.detect(&d, &g, NodeId(0), &[original, replica], &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_line_selected(c: &mut Criterion) {
+    let (d, g) = network();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let scheme = LineSelectedMulticast::default();
+    let original = d.position(NodeId(0)).expect("node 0 deployed");
+    let replica = Point::new(190.0, 190.0);
+    let mut group = c.benchmark_group("parno_round");
+    group.sample_size(20);
+    group.bench_function("line_selected_multicast", |b| {
+        b.iter(|| scheme.detect(&d, &g, NodeId(0), &[original, replica], &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomized, bench_line_selected);
+criterion_main!(benches);

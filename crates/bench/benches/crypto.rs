@@ -1,0 +1,100 @@
+//! Microbenchmarks for the cryptographic substrate: the cost of "a few
+//! efficient one-way hash operations" the paper's overhead argument
+//! (Section 4.3) rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use snd_crypto::channel::SecureChannel;
+use snd_crypto::hash_chain::HashChain;
+use snd_crypto::hmac::HmacSha256;
+use snd_crypto::keys::SymmetricKey;
+use snd_crypto::pairwise::{
+    blom::BlomScheme, eg::EgScheme, polynomial::PolynomialScheme, KeyPredistribution,
+};
+use snd_crypto::sha256::Sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [32usize, 256, 4096] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let msg = vec![0x11u8; 256];
+    c.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| HmacSha256::mac(&key, &msg));
+    });
+}
+
+fn bench_hash_chain(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    c.bench_function("hash_chain_generate_100", |b| {
+        b.iter(|| HashChain::generate(&mut rng, 100));
+    });
+    let chain = HashChain::generate(&mut rng, 100);
+    let v50 = chain.link(50).unwrap();
+    let anchor = chain.anchor();
+    c.bench_function("hash_chain_verify_50", |b| {
+        b.iter(|| HashChain::verify(&anchor, &v50, 50));
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let key = SymmetricKey::random(&mut rng);
+    let mut alice = SecureChannel::new(&key, 1, 2);
+    let mut bob = SecureChannel::new(&key, 2, 1);
+    let payload = vec![0x42u8; 64];
+    c.bench_function("channel_seal_64B", |b| {
+        b.iter(|| alice.seal(&payload));
+    });
+    c.bench_function("channel_seal_open_64B", |b| {
+        b.iter(|| {
+            let env = alice.seal(&payload);
+            bob.open(&env).expect("fresh envelope opens")
+        });
+    });
+}
+
+fn bench_pairwise_schemes(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("pairwise_agree");
+
+    let mut poly = PolynomialScheme::setup(32, &mut rng);
+    let poly_mat = poly.assign(1, &mut rng);
+    group.bench_function("polynomial_lambda32", |b| {
+        b.iter(|| poly.agree(1, &poly_mat, 2));
+    });
+
+    let mut blom = BlomScheme::setup(32, &mut rng);
+    let blom_mat = blom.assign(1, &mut rng);
+    group.bench_function("blom_lambda32", |b| {
+        b.iter(|| blom.agree(1, &blom_mat, 2));
+    });
+
+    let mut eg = EgScheme::setup(1000, 100, 1, &mut rng);
+    let eg_a = eg.assign(1, &mut rng);
+    let _ = eg.assign(2, &mut rng);
+    group.bench_function("eg_pool1000_ring100", |b| {
+        b.iter(|| eg.agree(1, &eg_a, 2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_hash_chain,
+    bench_channel,
+    bench_pairwise_schemes
+);
+criterion_main!(benches);

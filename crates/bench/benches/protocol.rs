@@ -1,0 +1,114 @@
+//! Protocol-operation benchmarks: commitment generation, binding-record
+//! verification, one node's full discovery round, and the ablation between
+//! whole-list commitments (the paper's layout) and per-edge commitments.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use snd_core::protocol::commitments::{relation_commitment, verification_key};
+use snd_core::protocol::records::BindingRecord;
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_crypto::keys::SymmetricKey;
+use snd_sim::metrics::HashCounter;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId};
+
+fn neighbor_set(k: usize) -> BTreeSet<NodeId> {
+    (1..=k as u64).map(NodeId).collect()
+}
+
+fn bench_binding_records(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let master = SymmetricKey::random(&mut rng);
+    let ops = HashCounter::detached();
+    let mut group = c.benchmark_group("binding_record");
+    for degree in [8usize, 32, 128] {
+        let nbrs = neighbor_set(degree);
+        group.bench_with_input(BenchmarkId::new("create", degree), &nbrs, |b, nbrs| {
+            b.iter(|| BindingRecord::create(&master, NodeId(0), 0, nbrs.clone(), &ops));
+        });
+        let record = BindingRecord::create(&master, NodeId(0), 0, nbrs.clone(), &ops);
+        group.bench_with_input(BenchmarkId::new("verify", degree), &record, |b, r| {
+            b.iter(|| r.verify(&master, &ops));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_decode", degree), &record, |b, r| {
+            b.iter(|| {
+                let bytes = r.encode();
+                let (decoded, _) = BindingRecord::decode(&bytes).expect("round trip");
+                decoded
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_commitment_ablation(c: &mut Criterion) {
+    // Ablation (DESIGN.md §5): one whole-list commitment vs per-edge
+    // commitments for a degree-32 neighborhood.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let master = SymmetricKey::random(&mut rng);
+    let ops = HashCounter::detached();
+    let nbrs = neighbor_set(32);
+    let mut group = c.benchmark_group("commitment_layout");
+    group.bench_function("whole_list_32", |b| {
+        b.iter(|| BindingRecord::create(&master, NodeId(0), 0, nbrs.clone(), &ops));
+    });
+    group.bench_function("per_edge_32", |b| {
+        b.iter(|| {
+            let k_self = verification_key(&master, NodeId(0), &ops);
+            nbrs.iter()
+                .map(|v| relation_commitment(&k_self, *v, &ops))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_discovery_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_wave");
+    group.sample_size(10);
+    for nodes in [50usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut engine = DiscoveryEngine::new(
+                    Field::square(100.0),
+                    RadioSpec::uniform(50.0),
+                    ProtocolConfig::with_threshold(10).without_updates(),
+                    99,
+                );
+                let ids = engine.deploy_uniform(nodes);
+                engine.run_wave(&ids)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    // Ablation: secure-erasure pass count (1 / 3 / 7).
+    use snd_crypto::erasure::ErasableKey;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("key_erasure");
+    for passes in [1u32, 3, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, &passes| {
+            b.iter(|| {
+                let mut cell =
+                    ErasableKey::with_passes(SymmetricKey::random(&mut rng), passes);
+                cell.erase(&mut rng);
+                cell
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binding_records,
+    bench_commitment_ablation,
+    bench_discovery_wave,
+    bench_erasure
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Topology-substrate benchmarks: unit-disk graph construction, minimal
+//! enclosing circles (the d-safety checker), and partition analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+
+use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
+use snd_topology::enclosing::min_enclosing_circle;
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Deployment, Field, Point};
+
+fn bench_unit_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_disk_graph");
+    group.sample_size(20);
+    for n in [200usize, 500] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let d = Deployment::uniform(Field::square(300.0), n, &mut rng);
+        let radio = RadioSpec::uniform(50.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| unit_disk_graph(d, &radio));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enclosing_circle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_enclosing_circle");
+    for n in [16usize, 128, 1024] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| min_enclosing_circle(pts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let d = Deployment::uniform(Field::square(300.0), 400, &mut rng);
+    let g = unit_disk_graph(&d, &RadioSpec::uniform(40.0));
+    c.bench_function("partition_analysis_400", |b| {
+        b.iter(|| PartitionAnalysis::compute(&g, UsefulnessRule::LargestOnly));
+    });
+}
+
+criterion_group!(benches, bench_unit_disk, bench_enclosing_circle, bench_partitions);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure 3: fraction of actual neighbors included in the functional
+//! neighbor list of a benign node, vs threshold `t`.
+//!
+//! Reproduces both curves: the closed-form theory (Section 4.5.1) and the
+//! protocol simulation on the paper's scenario (200 nodes, 100 × 100 m,
+//! R = 50 m, measured at the field center).
+//!
+//! Run: `cargo run -p snd-bench --release --bin fig3 [-- --trials N] [--ablation]`
+
+use snd_bench::table::{f3, Table};
+use snd_bench::{paper_scenario, simulate_center_accuracy};
+use snd_core::analysis::validated_fraction_theory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = arg_value(&args, "--trials").unwrap_or(10);
+    let ablation = args.iter().any(|a| a == "--ablation");
+
+    let scenario = paper_scenario();
+    let density = scenario.density();
+
+    println!(
+        "Figure 3 reproduction: {} nodes, {}x{} m, R = {} m, density = {} /m^2, {} trials",
+        scenario.nodes, scenario.side, scenario.side, scenario.range, density, trials
+    );
+
+    let mut table = Table::new(
+        "Fraction of validated neighbors vs threshold t (paper Fig. 3)",
+        &["t", "theory", "simulation"],
+    );
+    for t in [0usize, 10, 20, 30, 45, 60, 80, 100, 120, 150, 180] {
+        let theory = validated_fraction_theory(t, density, scenario.range);
+        let sim = simulate_center_accuracy(scenario, t, trials, 2009 + t as u64)
+            .unwrap_or(0.0);
+        table.row(&[t.to_string(), f3(theory), f3(sim)]);
+    }
+    table.print();
+
+    if ablation {
+        run_fractional_ablation(trials);
+    }
+
+    println!(
+        "\nPaper shape check: accuracy ~1.0 for small t, graceful decline, \
+         near zero by t ~ 150 ('it is really uncommon to find such a large \
+         number of common neighbors')."
+    );
+}
+
+/// Ablation (DESIGN.md §5): absolute threshold `|overlap| >= t+1` (paper)
+/// vs fractional rule `|overlap| >= f * min(deg)`; the fractional rule's
+/// accuracy is density-independent but forfeits Theorem 3's counting bound.
+fn run_fractional_ablation(trials: usize) {
+    use snd_core::model::functional::functional_topology;
+    use snd_core::model::validation::{CommonNeighborRule, NeighborValidationFunction};
+    use snd_topology::metrics::mean_accuracy;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Deployment, DiGraph, Field, NodeId};
+
+    /// Fractional-overlap validation: topology-only stand-in used to study
+    /// accuracy (security is out of scope for the ablation).
+    #[derive(Debug)]
+    struct FractionalRule {
+        fraction: f64,
+    }
+    impl NeighborValidationFunction for FractionalRule {
+        fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
+            if !knowledge.has_edge(u, v) {
+                return false;
+            }
+            let du = knowledge.out_degree(u);
+            let dv = knowledge.out_degree(v);
+            let need = (self.fraction * du.min(dv) as f64).ceil() as usize;
+            knowledge.common_out_neighbors(u, v).len() >= need.max(1)
+        }
+        fn name(&self) -> &'static str {
+            "fractional-overlap"
+        }
+    }
+
+    let mut table = Table::new(
+        "Ablation: absolute threshold vs fractional overlap across densities",
+        &["density(/1000m^2)", "abs t=30", "frac f=0.25"],
+    );
+    use rand::SeedableRng;
+    for nodes in [100usize, 200, 400] {
+        let mut abs_sum = 0.0;
+        let mut frac_sum = 0.0;
+        for trial in 0..trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77 + trial as u64);
+            let d = Deployment::uniform(Field::square(100.0), nodes, &mut rng);
+            let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+            let abs = functional_topology(&CommonNeighborRule::new(30), &g);
+            let frac = functional_topology(&FractionalRule { fraction: 0.25 }, &g);
+            let ids: Vec<NodeId> = d.ids().collect();
+            abs_sum += mean_accuracy(&d, &abs, ids.iter().copied(), 50.0).unwrap_or(0.0);
+            frac_sum += mean_accuracy(&d, &frac, ids, 50.0).unwrap_or(0.0);
+        }
+        table.row(&[
+            format!("{}", nodes as f64 / 10.0),
+            f3(abs_sum / trials as f64),
+            f3(frac_sum / trials as f64),
+        ]);
+    }
+    table.print();
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

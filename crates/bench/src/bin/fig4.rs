@@ -1,0 +1,68 @@
+//! Figure 4: fraction of actual neighbors included in the functional
+//! neighbor list of a benign node, vs deployment density, for
+//! t ∈ {10, 30, 60}.
+//!
+//! Run: `cargo run -p snd-bench --release --bin fig4 [-- --trials N]`
+
+use snd_bench::table::{f1, f3, Table};
+use snd_bench::{simulate_center_accuracy, PaperScenario};
+use snd_core::analysis::validated_fraction_theory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    const RANGE: f64 = 50.0;
+    const SIDE: f64 = 100.0;
+    let thresholds = [10usize, 30, 60];
+
+    println!(
+        "Figure 4 reproduction: {SIDE}x{SIDE} m field, R = {RANGE} m, \
+         t in {{10, 30, 60}}, {trials} trials per point"
+    );
+
+    let mut table = Table::new(
+        "Fraction of validated neighbors vs deployment density (paper Fig. 4)",
+        &[
+            "density(/1000m^2)",
+            "sim t=10",
+            "sim t=30",
+            "sim t=60",
+            "thy t=10",
+            "thy t=30",
+            "thy t=60",
+        ],
+    );
+
+    // Densities from 4 to 40 nodes per 1000 m^2 (the paper's x-axis).
+    for per_1000 in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40] {
+        let density = per_1000 as f64 / 1000.0;
+        let nodes = (density * SIDE * SIDE).round() as usize;
+        let scenario = PaperScenario {
+            side: SIDE,
+            nodes,
+            range: RANGE,
+        };
+        let mut cells = vec![f1(per_1000 as f64)];
+        for &t in &thresholds {
+            let sim = simulate_center_accuracy(scenario, t, trials, 4_000 + t as u64)
+                .unwrap_or(0.0);
+            cells.push(f3(sim));
+        }
+        for &t in &thresholds {
+            cells.push(f3(validated_fraction_theory(t, density, RANGE)));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!(
+        "\nPaper shape check: at fixed t, accuracy rises with density; \
+         larger t needs higher density to reach the same accuracy."
+    );
+}

@@ -1,0 +1,245 @@
+//! Safety experiments (E5, E6, E11 in DESIGN.md):
+//!
+//! * default — empirical **2R-safety** (Theorem 3): one-to-`t` compromised
+//!   nodes replicated across the field; the worst containment radius of any
+//!   compromised node's benign victims stays ≤ 2R.
+//! * `--threshold-sweep` — tightness (E11): colluding clusters of growing
+//!   size; the guarantee must fail exactly once the cluster exceeds `t+1`
+//!   co-located colluders.
+//! * `--updates` — the **(m+1)R** bound (Theorem 4, E6): a compromised node
+//!   creeping outward through malicious binding-record updates; its impact
+//!   radius grows with the update cap `m` and stays under `(m+1)R`.
+//!
+//! Run: `cargo run -p snd-bench --release --bin safety [-- --threshold-sweep | --updates]`
+
+use snd_bench::table::{f1, Table};
+use snd_core::adversary::AdversaryBehavior;
+use snd_core::model::safety::check_d_safety;
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+const SIDE: f64 = 400.0;
+const BASE_NODES: usize = 900;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--threshold-sweep") {
+        threshold_sweep();
+    } else if args.iter().any(|a| a == "--updates") {
+        update_creep();
+    } else {
+        two_r_safety();
+    }
+}
+
+/// Builds a field, runs wave 1, and returns the engine plus the IDs of a
+/// mutually-tentative cluster of `c` nodes near (60, 60).
+fn base_engine(t: usize, max_updates: u32, seed: u64, c: usize) -> (DiscoveryEngine, Vec<NodeId>) {
+    let mut config = ProtocolConfig::with_threshold(t);
+    config.max_updates = max_updates;
+    config.issue_evidence = max_updates > 0;
+    let mut engine = DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, seed);
+    let ids = engine.deploy_uniform(BASE_NODES);
+    engine.run_wave(&ids);
+
+    // Cluster: the node nearest (60, 60) plus its c-1 nearest neighbors.
+    let anchor = engine
+        .deployment()
+        .nearest(Point::new(60.0, 60.0))
+        .expect("field populated")
+        .0;
+    let anchor_pos = engine.deployment().position(anchor).expect("anchor placed");
+    let mut by_distance: Vec<(f64, NodeId)> = engine
+        .deployment()
+        .iter()
+        .filter(|(id, _)| *id != anchor)
+        .map(|(id, p)| (p.distance(&anchor_pos), id))
+        .collect();
+    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut cluster = vec![anchor];
+    cluster.extend(by_distance.iter().take(c.saturating_sub(1)).map(|(_, id)| *id));
+    (engine, cluster)
+}
+
+/// Replicates every cluster member at several sites and deploys victim
+/// waves next to each site. Returns the worst containment radius over the
+/// cluster.
+fn attack_and_measure(engine: &mut DiscoveryEngine, cluster: &[NodeId]) -> (f64, usize) {
+    let sites = [
+        Point::new(SIDE - 30.0, SIDE - 30.0),
+        Point::new(SIDE - 30.0, 30.0),
+        Point::new(30.0, SIDE - 30.0),
+        Point::new(SIDE / 2.0, SIDE - 30.0),
+    ];
+    for &id in cluster {
+        engine.compromise(id).expect("operational node");
+        for &s in &sites {
+            engine.place_replica(id, s).expect("compromised");
+        }
+    }
+    // Victim waves: 4 fresh nodes beside each replica site.
+    let mut next = engine.deployment().next_id().raw();
+    for &s in &sites {
+        let mut wave = Vec::new();
+        for k in 0..4u64 {
+            let id = NodeId(next);
+            next += 1;
+            engine.deploy_at(
+                id,
+                Point::new(s.x - 6.0 + 4.0 * (k as f64), s.y + 5.0),
+            );
+            wave.push(id);
+        }
+        engine.run_wave(&wave);
+    }
+
+    let functional = engine.functional_topology();
+    let compromised = engine.adversary().compromised_set();
+    let report = check_d_safety(&functional, engine.deployment(), &compromised, 2.0 * RANGE);
+    let false_accepts: usize = report
+        .impacts
+        .iter()
+        .map(|i| i.victims.len())
+        .sum();
+    (report.worst_radius(), false_accepts)
+}
+
+fn two_r_safety() {
+    let t = 5usize;
+    println!(
+        "E5 — empirical 2R-safety (Theorem 3): {BASE_NODES} nodes, {SIDE}x{SIDE} m, \
+         R = {RANGE} m, t = {t}; compromised cluster replicated at 4 remote sites."
+    );
+    let mut table = Table::new(
+        "Worst victim containment radius vs #compromised (bound: 2R = 100 m)",
+        &["compromised", "worst radius (m)", "victims", "2R-safe"],
+    );
+    for c in [1usize, 2, 3, 5] {
+        // c <= t: the guarantee must hold.
+        let (mut engine, cluster) = base_engine(t, 0, 11 + c as u64, c);
+        let (radius, victims) = attack_and_measure(&mut engine, &cluster);
+        table.row(&[
+            c.to_string(),
+            f1(radius),
+            victims.to_string(),
+            (radius <= 2.0 * RANGE).to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nPaper claim: with <= t compromised nodes every radius stays <= 2R.");
+}
+
+fn threshold_sweep() {
+    let t = 5usize;
+    println!(
+        "E11 — threshold tightness: colluding co-located cluster of size c, \
+         replicated to a far site. Theorem 3 protects while c <= t = {t}; the \
+         remote victims' overlap is c-1, so the attack lands at c = t+2."
+    );
+    let mut table = Table::new(
+        "Attack success vs colluding cluster size (t = 5)",
+        &["cluster size c", "worst radius (m)", "remote accept", "2R-safe"],
+    );
+    for c in [2usize, 4, 5, 6, 7, 8] {
+        let (mut engine, cluster) = base_engine(t, 0, 23 + c as u64, c);
+        let (radius, _) = attack_and_measure(&mut engine, &cluster);
+        let remote = radius > 2.0 * RANGE;
+        table.row(&[
+            c.to_string(),
+            f1(radius),
+            remote.to_string(),
+            (!remote).to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected crossover: c <= t+1 contained near 2R; c >= t+2 blows past it \
+         (remote victims accepted)."
+    );
+}
+
+fn update_creep() {
+    let t = 3usize;
+    println!(
+        "E6 — (m+1)R-safety under binding-record updates (Theorem 4): a \
+         compromised node creeps outward by maliciously refreshing its record \
+         through newly deployed nodes. t = {t}, R = {RANGE} m."
+    );
+    let mut table = Table::new(
+        "Impact radius vs update cap m (bound: (m+1)R)",
+        &["m", "impact radius (m)", "bound (m)", "within bound"],
+    );
+    for m in [0u32, 1, 2, 4, 6] {
+        let radius = creep_radius(t, m);
+        let bound = (m as f64 + 1.0) * RANGE;
+        table.row(&[
+            m.to_string(),
+            f1(radius),
+            f1(bound),
+            (radius <= bound + 1e-6).to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nPaper claim: the impact radius grows with m but never exceeds (m+1)R.");
+}
+
+/// Runs the creep attack with update cap `m` and returns the farthest
+/// benign victim distance from the compromised node's original deployment.
+fn creep_radius(t: usize, m: u32) -> f64 {
+    let mut config = ProtocolConfig::with_threshold(t);
+    config.max_updates = m;
+    config.issue_evidence = true;
+    let mut engine =
+        DiscoveryEngine::new(Field::new(1400.0, 200.0), RadioSpec::uniform(RANGE), config, 7 + m as u64);
+    // Benign seed cluster around the to-be-compromised node w at (60, 100).
+    let w = NodeId(0);
+    engine.deploy_at(w, Point::new(60.0, 100.0));
+    let mut wave = vec![w];
+    for k in 1..=8u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(40.0 + 6.0 * (k as f64), 90.0 + 3.0 * ((k % 4) as f64)),
+        );
+        wave.push(id);
+    }
+    engine.run_wave(&wave);
+
+    engine.compromise(w).expect("operational");
+    engine.adversary_mut().set_behavior(AdversaryBehavior {
+        answer_hellos: true,
+        replay_records: true,
+        request_updates: true,
+        forge_records_with_master: false,
+    });
+
+    // Batches of t+2 nodes marching +x in 0.4R steps; a replica of w rides
+    // along so every batch considers w tentative.
+    let step = 0.4 * RANGE;
+    let batch_size = t + 2;
+    let mut next_id = 100u64;
+    for batch in 1..=24u64 {
+        let x = 60.0 + step * batch as f64;
+        engine.place_replica(w, Point::new(x, 100.0)).expect("compromised");
+        let mut wave = Vec::new();
+        for k in 0..batch_size as u64 {
+            let id = NodeId(next_id);
+            next_id += 1;
+            engine.deploy_at(id, Point::new(x, 85.0 + 6.0 * k as f64));
+            wave.push(id);
+        }
+        engine.run_wave(&wave);
+    }
+
+    // Farthest benign victim from w's original deployment point.
+    let functional = engine.functional_topology();
+    let origin = engine.deployment().position(w).expect("w placed");
+    functional
+        .in_neighbors(w)
+        .filter(|v| !engine.adversary().controls(*v))
+        .filter_map(|v| engine.deployment().position(v))
+        .map(|p| p.distance(&origin))
+        .fold(0.0, f64::max)
+}

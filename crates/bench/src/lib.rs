@@ -1,0 +1,25 @@
+//! # snd-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate the
+//! paper's evaluation (see `DESIGN.md`'s experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3` | Figure 3 — accuracy vs threshold `t` (theory + simulation) |
+//! | `fig4` | Figure 4 — accuracy vs deployment density |
+//! | `safety` | Theorems 3 & 4 — empirical 2R / (m+1)R safety (E5, E6, E11) |
+//! | `generic_attack` | Theorems 1 & 2 — the generic attack (E7) |
+//! | `compare_parno` | Section 4.5.3 — comparison with Parno et al. (E8) |
+//! | `overhead` | Section 4.3 — storage/message/hash-op accounting (E9) |
+//! | `app_impact` | Section 1 — routing/clustering/aggregation impact (E10) |
+//!
+//! This library provides the text-table rendering and simulation helpers
+//! those binaries share.
+
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod table;
+
+pub use scenario::{paper_scenario, simulate_center_accuracy, PaperScenario};
+pub use table::Table;

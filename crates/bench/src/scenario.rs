@@ -1,0 +1,118 @@
+//! The paper's simulation scenario (Section 4.5.1), reusable across
+//! figures.
+//!
+//! "We randomly deploy 200 sensor nodes in a [100 × 100] square meters
+//! field ... a network with the density of one sensor node per 50 square
+//! meters. We also set the maximum radio range R to 50 meters. We focus on
+//! the sensor node located at the center of this field and obtain the
+//! simulation data from this node."
+
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_topology::metrics::neighbor_accuracy;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId};
+
+/// The paper's fixed evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperScenario {
+    /// Field side length in meters.
+    pub side: f64,
+    /// Number of deployed nodes.
+    pub nodes: usize,
+    /// Radio range `R` in meters.
+    pub range: f64,
+}
+
+impl PaperScenario {
+    /// Deployment density in nodes per square meter.
+    pub fn density(&self) -> f64 {
+        self.nodes as f64 / (self.side * self.side)
+    }
+}
+
+/// Section 4.5.1's exact setup: 200 nodes, 100 × 100 m, R = 50 m.
+pub fn paper_scenario() -> PaperScenario {
+    PaperScenario {
+        side: 100.0,
+        nodes: 200,
+        range: 50.0,
+    }
+}
+
+/// Runs the full protocol on a random deployment and measures the paper's
+/// accuracy metric at the center node: the fraction of its actual
+/// neighbors that made it into its functional neighbor list.
+///
+/// Averages over `trials` independent deployments. Returns `None` only in
+/// the degenerate case where every trial left the center node without
+/// actual neighbors.
+pub fn simulate_center_accuracy(
+    scenario: PaperScenario,
+    threshold: usize,
+    trials: usize,
+    seed: u64,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for trial in 0..trials {
+        let mut engine = DiscoveryEngine::new(
+            Field::square(scenario.side),
+            RadioSpec::uniform(scenario.range),
+            ProtocolConfig::with_threshold(threshold).without_updates(),
+            seed.wrapping_add(trial as u64),
+        );
+        let mut ids = engine.deploy_uniform(scenario.nodes.saturating_sub(1));
+        // The measured node sits exactly at the field center.
+        let center = NodeId(scenario.nodes as u64);
+        engine.deploy_at(center, Field::square(scenario.side).center());
+        ids.push(center);
+        engine.run_wave(&ids);
+
+        let functional = engine.functional_topology();
+        if let Some(a) =
+            neighbor_accuracy(engine.deployment(), &functional, center, scenario.range)
+        {
+            sum += a;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_density_is_one_per_fifty() {
+        let s = paper_scenario();
+        assert!((s.density() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_accuracy_is_high() {
+        // t=0 only requires one shared neighbor; in a dense field nearly
+        // every actual neighbor validates.
+        let mut s = paper_scenario();
+        s.nodes = 120; // keep the test quick
+        let a = simulate_center_accuracy(s, 0, 1, 7).unwrap();
+        assert!(a > 0.9, "accuracy {a}");
+    }
+
+    #[test]
+    fn absurd_threshold_accuracy_is_zero() {
+        let mut s = paper_scenario();
+        s.nodes = 80;
+        let a = simulate_center_accuracy(s, 500, 1, 7).unwrap();
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn accuracy_decreases_with_threshold() {
+        let mut s = paper_scenario();
+        s.nodes = 120;
+        let lo = simulate_center_accuracy(s, 5, 1, 11).unwrap();
+        let hi = simulate_center_accuracy(s, 60, 1, 11).unwrap();
+        assert!(lo >= hi, "t=5 gave {lo}, t=60 gave {hi}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Adversary machinery (Section 2's threat model).
+//!
+//! The attacker can "eavesdrop, modify, forge, replay, and interrupt any
+//! network traffic", "compromise and fully control a few sensor nodes", and
+//! create replicas \[14\]. [`Adversary`] holds the attacker's global state —
+//! captured node secrets, replica placements, and the master key if a trust
+//! window was violated — and [`AdversaryBehavior`] configures how
+//! compromised nodes act during later discovery waves.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use snd_crypto::keys::SymmetricKey;
+use snd_topology::{NodeId, Point};
+
+use crate::protocol::node::CapturedState;
+
+/// How compromised nodes behave when new nodes run discovery nearby.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryBehavior {
+    /// Answer Hello broadcasts (lure victims into tentative relations).
+    pub answer_hellos: bool,
+    /// Replay the captured binding record on record requests.
+    pub replay_records: bool,
+    /// Exploit the Section 4.4 extension: keep requesting record updates
+    /// from new nodes to creep the impact radius outward (the attack
+    /// bounded by Theorem 4).
+    pub request_updates: bool,
+    /// If the master key was captured (trust-window violation), mint fresh
+    /// binding records claiming arbitrary neighborhoods.
+    pub forge_records_with_master: bool,
+}
+
+impl Default for AdversaryBehavior {
+    fn default() -> Self {
+        AdversaryBehavior {
+            answer_hellos: true,
+            replay_records: true,
+            request_updates: false,
+            forge_records_with_master: false,
+        }
+    }
+}
+
+impl AdversaryBehavior {
+    /// The full-strength attacker: every capability enabled.
+    pub fn aggressive() -> Self {
+        AdversaryBehavior {
+            answer_hellos: true,
+            replay_records: true,
+            request_updates: true,
+            forge_records_with_master: true,
+        }
+    }
+
+    /// A passive attacker that compromises nodes but stays silent.
+    pub fn passive() -> Self {
+        AdversaryBehavior {
+            answer_hellos: false,
+            replay_records: false,
+            request_updates: false,
+            forge_records_with_master: false,
+        }
+    }
+}
+
+/// The attacker's accumulated state.
+#[derive(Debug, Default)]
+pub struct Adversary {
+    captured: BTreeMap<NodeId, CapturedState>,
+    replicas: BTreeMap<NodeId, Vec<Point>>,
+    master_key: Option<SymmetricKey>,
+    behavior: AdversaryBehavior,
+}
+
+impl Adversary {
+    /// A fresh adversary with [`AdversaryBehavior::default`].
+    pub fn new() -> Self {
+        Adversary::default()
+    }
+
+    /// Sets the behavior profile.
+    pub fn set_behavior(&mut self, behavior: AdversaryBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// The current behavior profile.
+    pub fn behavior(&self) -> AdversaryBehavior {
+        self.behavior
+    }
+
+    /// Records a successful node compromise. If the captured state carries
+    /// the master key (trust-window violation), the attacker keeps it.
+    pub fn absorb(&mut self, state: CapturedState) {
+        if let Some(k) = &state.master_key {
+            self.master_key = Some(k.clone());
+        }
+        self.captured.insert(state.id, state);
+    }
+
+    /// Whether `id` is compromised.
+    pub fn controls(&self, id: NodeId) -> bool {
+        self.captured.contains_key(&id)
+    }
+
+    /// The set of compromised node IDs.
+    pub fn compromised_set(&self) -> BTreeSet<NodeId> {
+        self.captured.keys().copied().collect()
+    }
+
+    /// Number of compromised nodes.
+    pub fn compromised_count(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// Captured state of `id`, if compromised.
+    pub fn captured(&self, id: NodeId) -> Option<&CapturedState> {
+        self.captured.get(&id)
+    }
+
+    /// Mutable captured state (the attacker updating its own notes, e.g.
+    /// after a successful malicious record update).
+    pub fn captured_mut(&mut self, id: NodeId) -> Option<&mut CapturedState> {
+        self.captured.get_mut(&id)
+    }
+
+    /// Registers a replica placement for bookkeeping (the simulator holds
+    /// the actual transceiver).
+    pub fn note_replica(&mut self, id: NodeId, at: Point) {
+        self.replicas.entry(id).or_default().push(at);
+    }
+
+    /// Replica positions of `id`.
+    pub fn replicas_of(&self, id: NodeId) -> &[Point] {
+        self.replicas.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// The stolen master key, if any trust window was violated.
+    pub fn master_key(&self) -> Option<&SymmetricKey> {
+        self.master_key.as_ref()
+    }
+
+    /// Whether the deployment security assumption has been broken.
+    pub fn has_total_break(&self) -> bool {
+        self.master_key.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::records::BindingRecord;
+    use snd_sim::metrics::HashCounter;
+    use rand::SeedableRng;
+
+    fn captured(id: u64, with_master: bool) -> CapturedState {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(id);
+        let k = SymmetricKey::random(&mut rng);
+        CapturedState {
+            id: NodeId(id),
+            record: BindingRecord::create(
+                &k,
+                NodeId(id),
+                0,
+                Default::default(),
+                &HashCounter::detached(),
+            ),
+            verification_key: k.clone(),
+            functional: Default::default(),
+            master_key: with_master.then(|| k.clone()),
+            neighbor_record_keys: Default::default(),
+            evidence: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn absorb_tracks_compromises() {
+        let mut a = Adversary::new();
+        assert!(!a.controls(NodeId(1)));
+        a.absorb(captured(1, false));
+        assert!(a.controls(NodeId(1)));
+        assert_eq!(a.compromised_count(), 1);
+        assert!(!a.has_total_break());
+    }
+
+    #[test]
+    fn window_violation_leaks_master() {
+        let mut a = Adversary::new();
+        a.absorb(captured(2, true));
+        assert!(a.has_total_break());
+        assert!(a.master_key().is_some());
+    }
+
+    #[test]
+    fn replica_bookkeeping() {
+        let mut a = Adversary::new();
+        a.note_replica(NodeId(1), Point::new(1.0, 2.0));
+        a.note_replica(NodeId(1), Point::new(3.0, 4.0));
+        assert_eq!(a.replicas_of(NodeId(1)).len(), 2);
+        assert!(a.replicas_of(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn behavior_profiles() {
+        assert!(AdversaryBehavior::default().answer_hellos);
+        assert!(!AdversaryBehavior::default().request_updates);
+        assert!(AdversaryBehavior::aggressive().request_updates);
+        assert!(!AdversaryBehavior::passive().answer_hellos);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's closed forms for accuracy in benign fields (Section 4.5.1).
+//!
+//! Two tentative neighbors at distance `x = c·R` (`c ≤ 1`) see, in
+//! expectation, the nodes inside the lens where their radio disks overlap:
+//!
+//! ```text
+//! N(c) = D · R² · (2·arccos(c/2) − c·√(1 − (c/2)²)) − 2
+//! ```
+//!
+//! (`D` is deployment density; the `−2` excludes the pair itself.) With
+//! threshold `t`, let `τ` satisfy `N(τ) = t + 1`; pairs closer than `τ·R`
+//! have enough shared neighbors to validate, so the fraction of actual
+//! neighbors kept is
+//!
+//! ```text
+//! f_b = (D·π·τ²·R² − 1) / (D·π·R² − 1) ≈ τ²
+//! ```
+//!
+//! These functions generate the "Theoretical" curve of Figure 3.
+
+/// Expected number of common neighbors of two nodes at normalized distance
+/// `c` (`x = c·R`), in a field of density `density` (nodes/m²) with radio
+/// range `range` (m).
+///
+/// Valid for `0 ≤ c ≤ 2`; beyond 2 the disks are disjoint and the lens area
+/// is zero (result is the bare `−2` correction clamped at 0... the raw
+/// formula is returned un-clamped so callers can invert it; clamp with
+/// `.max(0.0)` when using it as a count).
+///
+/// # Panics
+///
+/// Panics if `c` is negative or exceeds 2.
+pub fn expected_common_neighbors(c: f64, density: f64, range: f64) -> f64 {
+    assert!((0.0..=2.0).contains(&c), "normalized distance {c} outside [0, 2]");
+    let half = c / 2.0;
+    let lens = 2.0 * half.acos() - c * (1.0 - half * half).sqrt();
+    density * range * range * lens - 2.0
+}
+
+/// The largest normalized distance `τ` at which a pair still expects at
+/// least `t + 1` common neighbors: the solution of `N(τ) = t + 1`, clamped
+/// to `[0, 1]` (beyond `R` the pair are not actual neighbors anyway).
+///
+/// Returns 0 when even coincident nodes lack `t + 1` expected common
+/// neighbors (the threshold is unattainable at this density).
+pub fn tau_for_threshold(t: usize, density: f64, range: f64) -> f64 {
+    let needed = (t + 1) as f64;
+    if expected_common_neighbors(0.0, density, range) < needed {
+        return 0.0;
+    }
+    if expected_common_neighbors(1.0, density, range) >= needed {
+        return 1.0;
+    }
+    // N is continuous and strictly decreasing in c: bisect.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if expected_common_neighbors(mid, density, range) >= needed {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// The theoretical fraction of actual neighbors that the protocol validates
+/// in a benign field: the paper's `f_b = (D·π·τ²·R² − 1)/(D·π·R² − 1)`.
+///
+/// Clamped to `[0, 1]`.
+pub fn validated_fraction_theory(t: usize, density: f64, range: f64) -> f64 {
+    let tau = tau_for_threshold(t, density, range);
+    let all = density * core::f64::consts::PI * range * range - 1.0;
+    if all <= 0.0 {
+        return 0.0;
+    }
+    let kept = density * core::f64::consts::PI * tau * tau * range * range - 1.0;
+    (kept / all).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's evaluation parameters: D = 1/50 m⁻², R = 50 m.
+    const D: f64 = 0.02;
+    const R: f64 = 50.0;
+
+    #[test]
+    fn coincident_pair_sees_full_disk() {
+        // c = 0: lens is the whole disk, N(0) = D·π·R² − 2 = 50π − 2 ≈ 155.
+        let n0 = expected_common_neighbors(0.0, D, R);
+        assert!((n0 - (D * core::f64::consts::PI * R * R - 2.0)).abs() < 1e-9);
+        assert!((n0 - 155.08).abs() < 0.1, "N(0) = {n0}");
+    }
+
+    #[test]
+    fn touching_disks_share_nothing() {
+        // c = 2: lens area zero, only the −2 correction remains.
+        assert!((expected_common_neighbors(2.0, D, R) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_distance() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let c = i as f64 / 10.0;
+            let n = expected_common_neighbors(c, D, R);
+            assert!(n < prev, "N not decreasing at c={c}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn at_range_boundary_lens_is_39_percent() {
+        // Classic geometry: two unit disks at distance R overlap in
+        // (2π/3 − √3/2)·R² ≈ 0.3910·π R² of area... as a count:
+        let n1 = expected_common_neighbors(1.0, D, R);
+        let lens_area = (2.0 * core::f64::consts::PI / 3.0 - 3.0f64.sqrt() / 2.0) * R * R;
+        assert!((n1 - (D * lens_area - 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_inverts_n() {
+        for t in [10usize, 30, 60, 100] {
+            let tau = tau_for_threshold(t, D, R);
+            assert!((0.0..=1.0).contains(&tau));
+            if tau > 0.0 && tau < 1.0 {
+                let n = expected_common_neighbors(tau, D, R);
+                assert!((n - (t + 1) as f64).abs() < 1e-6, "t={t}: N(τ)={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tau_extremes() {
+        // Unattainable threshold.
+        assert_eq!(tau_for_threshold(1000, D, R), 0.0);
+        // Trivial threshold: even nodes at distance R share enough.
+        assert_eq!(tau_for_threshold(0, D, R), 1.0);
+    }
+
+    #[test]
+    fn fraction_monotone_in_threshold() {
+        let mut prev = 1.1f64;
+        for t in [0usize, 10, 30, 60, 100, 150] {
+            let f = validated_fraction_theory(t, D, R);
+            assert!((0.0..=1.0).contains(&f), "t={t}: f={f}");
+            assert!(f <= prev + 1e-12, "fraction must not increase with t");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn paper_scale_check() {
+        // Figure 3's shape: near-1.0 accuracy for small t, significant loss
+        // only beyond t ≈ 60 at the paper's density.
+        assert!(validated_fraction_theory(10, D, R) > 0.85);
+        assert!(validated_fraction_theory(30, D, R) > 0.6);
+        let f150 = validated_fraction_theory(150, D, R);
+        assert!(f150 < 0.1, "t=150 should almost zero accuracy, got {f150}");
+    }
+
+    #[test]
+    fn fraction_grows_with_density() {
+        // Figure 4's shape: at fixed t, denser fields validate more.
+        let f_sparse = validated_fraction_theory(30, 0.008, R);
+        let f_dense = validated_fraction_theory(30, 0.04, R);
+        assert!(f_dense > f_sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_distance_panics() {
+        expected_common_neighbors(2.5, D, R);
+    }
+
+    #[test]
+    fn closed_form_matches_empirical_overlap() {
+        // Cross-validate N(c) against measured common-neighbor counts on
+        // real unit-disk graphs, bucketed by pair distance.
+        use rand::SeedableRng;
+        use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+        use snd_topology::{Deployment, Field};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        // Large field to avoid edge effects; interior nodes only.
+        let side = 400.0;
+        let nodes = (D * side * side) as usize;
+        let d = Deployment::uniform(Field::square(side), nodes, &mut rng);
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(R));
+
+        let interior = |p: &snd_topology::Point| {
+            p.x > R && p.x < side - R && p.y > R && p.y < side - R
+        };
+        // Buckets of c in [0.2, 0.4), [0.4, 0.6), ... [0.8, 1.0).
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        let all: Vec<_> = d.iter().collect();
+        for (i, (u, pu)) in all.iter().enumerate() {
+            if !interior(pu) {
+                continue;
+            }
+            for (v, pv) in all.iter().skip(i + 1) {
+                if !interior(pv) {
+                    continue;
+                }
+                let c = pu.distance(pv) / R;
+                if !(0.2..1.0).contains(&c) {
+                    continue;
+                }
+                let bucket = ((c - 0.2) / 0.2) as usize;
+                sums[bucket] += g.common_out_neighbors(*u, *v).len() as f64;
+                counts[bucket] += 1;
+            }
+        }
+        for (b, (sum, count)) in sums.iter().zip(&counts).enumerate() {
+            assert!(*count > 30, "bucket {b} undersampled");
+            let measured = sum / *count as f64;
+            let c_mid = 0.3 + 0.2 * b as f64;
+            let predicted = expected_common_neighbors(c_mid, D, R).max(0.0);
+            let rel = (measured - predicted).abs() / predicted.max(1.0);
+            assert!(
+                rel < 0.12,
+                "bucket {b} (c≈{c_mid}): measured {measured:.1} vs predicted {predicted:.1}"
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Closed-form performance analysis (Section 4.5.1).
+
+pub mod closed_form;
+
+pub use closed_form::{expected_common_neighbors, tau_for_threshold, validated_fraction_theory};

@@ -1,0 +1,137 @@
+//! Protocol error types.
+
+use core::fmt;
+use std::error::Error;
+
+use snd_topology::NodeId;
+
+/// Errors raised by the neighbor-discovery protocol and its extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A binding record failed authentication against the master key.
+    RecordAuthFailed {
+        /// The record's claimed owner.
+        claimed: NodeId,
+    },
+    /// A relation commitment failed verification against the local
+    /// verification key.
+    CommitmentAuthFailed {
+        /// The claimed issuer of the commitment.
+        from: NodeId,
+    },
+    /// A tentative-relation evidence token failed authentication.
+    EvidenceAuthFailed {
+        /// Issuer of the bad evidence.
+        from: NodeId,
+    },
+    /// The master key was already erased when an operation needed it.
+    MasterKeyErased,
+    /// The node is not in the protocol state required for the operation.
+    WrongState {
+        /// What the caller attempted.
+        operation: &'static str,
+    },
+    /// A binding record hit the network-wide update limit `m`.
+    UpdateLimitReached {
+        /// The node whose record is frozen.
+        node: NodeId,
+        /// The configured maximum number of updates.
+        max_updates: u32,
+    },
+    /// Evidence carried a version inconsistent with the binding record.
+    VersionMismatch {
+        /// Version in the binding record.
+        record: u32,
+        /// Version claimed by the evidence.
+        evidence: u32,
+    },
+    /// The peer is not a tentative neighbor, so the operation is meaningless.
+    NotTentativeNeighbor {
+        /// The unexpected peer.
+        peer: NodeId,
+    },
+    /// A wire message could not be decoded.
+    MalformedMessage {
+        /// Human-readable description of the defect.
+        detail: &'static str,
+    },
+    /// The node is unknown to the engine.
+    UnknownNode {
+        /// The missing node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::RecordAuthFailed { claimed } => {
+                write!(f, "binding record claiming to be from {claimed} failed authentication")
+            }
+            ProtocolError::CommitmentAuthFailed { from } => {
+                write!(f, "relation commitment claiming issuer {from} failed verification")
+            }
+            ProtocolError::EvidenceAuthFailed { from } => {
+                write!(f, "tentative-relation evidence from {from} failed authentication")
+            }
+            ProtocolError::MasterKeyErased => {
+                f.write_str("operation requires the master key, which has been erased")
+            }
+            ProtocolError::WrongState { operation } => {
+                write!(f, "node is in the wrong protocol state for {operation}")
+            }
+            ProtocolError::UpdateLimitReached { node, max_updates } => {
+                write!(f, "binding record of {node} already updated {max_updates} times")
+            }
+            ProtocolError::VersionMismatch { record, evidence } => {
+                write!(f, "evidence version {evidence} inconsistent with record version {record}")
+            }
+            ProtocolError::NotTentativeNeighbor { peer } => {
+                write!(f, "{peer} is not a tentative neighbor")
+            }
+            ProtocolError::MalformedMessage { detail } => {
+                write!(f, "malformed message: {detail}")
+            }
+            ProtocolError::UnknownNode { node } => write!(f, "unknown node {node}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ProtocolError, &str)> = vec![
+            (
+                ProtocolError::RecordAuthFailed { claimed: NodeId(3) },
+                "binding record",
+            ),
+            (
+                ProtocolError::CommitmentAuthFailed { from: NodeId(1) },
+                "relation commitment",
+            ),
+            (ProtocolError::MasterKeyErased, "master key"),
+            (
+                ProtocolError::UpdateLimitReached {
+                    node: NodeId(2),
+                    max_updates: 3,
+                },
+                "3 times",
+            ),
+            (
+                ProtocolError::VersionMismatch { record: 1, evidence: 2 },
+                "version 2",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # snd-core
+//!
+//! Secure, localized neighbor discovery resilient to node compromises — a
+//! full reproduction of *"Protecting Neighbor Discovery Against Node
+//! Compromises in Sensor Networks"* (Donggang Liu, ICDCS 2009).
+//!
+//! ## What's here
+//!
+//! * [`model`] — the formal model: neighbor validation functions
+//!   (Definition 3), functional topologies (Definitions 4–5), the d-safety
+//!   property (Definition 6) as an exact geometric check, and minimum
+//!   deployments (Definition 7).
+//! * [`theory`] — Theorems 1 and 2 as *executable attacks* against any
+//!   topology-only validation function.
+//! * [`protocol`] — the paper's contribution: the localized
+//!   neighbor-validation protocol with master-key commitments, threshold
+//!   validation, relation commitments, secure key erasure, and the
+//!   binding-record update extension (Section 4.4), all running over the
+//!   `snd-sim` simulator.
+//! * [`adversary`] — node compromise, replica placement, record replay and
+//!   malicious update strategies.
+//! * [`analysis`] — the closed forms behind Figures 3 and 4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snd_core::prelude::*;
+//! use snd_topology::unit_disk::RadioSpec;
+//! use snd_topology::{Field, NodeId, Point};
+//!
+//! // A tiny field with threshold t = 0 (one shared neighbor suffices).
+//! let mut engine = DiscoveryEngine::new(
+//!     Field::square(100.0),
+//!     RadioSpec::uniform(50.0),
+//!     ProtocolConfig::with_threshold(0),
+//!     7,
+//! );
+//! engine.deploy_at(NodeId(0), Point::new(40.0, 50.0));
+//! engine.deploy_at(NodeId(1), Point::new(60.0, 50.0));
+//! engine.deploy_at(NodeId(2), Point::new(50.0, 60.0));
+//! engine.run_wave(&[NodeId(0), NodeId(1), NodeId(2)]);
+//!
+//! // All three validated each other: the functional topology is a triangle.
+//! let functional = engine.functional_topology();
+//! assert_eq!(functional.edge_count(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod analysis;
+pub mod errors;
+pub mod model;
+pub mod protocol;
+pub mod theory;
+
+/// Re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::adversary::{Adversary, AdversaryBehavior};
+    pub use crate::analysis::{
+        expected_common_neighbors, tau_for_threshold, validated_fraction_theory,
+    };
+    pub use crate::errors::ProtocolError;
+    pub use crate::model::{
+        functional_topology, knowledge_of, safety_radius, AcceptAll, CommonNeighborRule,
+        NeighborValidationFunction, SafetyReport,
+    };
+    pub use crate::protocol::{
+        BindingRecord, DiscoveryEngine, NodeState, ProtocolConfig, ProtocolNode,
+        RelationEvidence, WaveReport,
+    };
+    pub use crate::theory::{execute_theorem1, execute_theorem2};
+}

@@ -1,0 +1,244 @@
+//! Centralized neighbor validation (the road not taken).
+//!
+//! Section 4 opens with the natural alternative: "have a trusted base
+//! station discover the tentative network topology G and make a centralized
+//! decision for every node ... the potential of generating the best
+//! solution since we will have a complete view of the network topology.
+//! However, due to the unreliable wireless link and resource constraints on
+//! sensor nodes, it is often undesirable."
+//!
+//! This module implements that strawman so the trade-off is measurable:
+//!
+//! * every node reports its tentative neighbor list to the base station
+//!   over multi-hop routes (the dominant cost);
+//! * the base station, holding the **whole** topology, flags replicated
+//!   identities structurally: a benign node's neighbors are all physically
+//!   within `2R` of each other, so in the topology (with the suspect
+//!   removed) they must be within a few hops of each other. Claimed
+//!   neighbors that end up many hops apart — or in disconnected components
+//!   — betray a replica.
+//!
+//! Note how this sidesteps Theorems 1–2: those bound *localized* functions;
+//! a base station holding all of `G` is exactly the non-local knowledge the
+//! proofs exclude. The price is the reporting traffic and a single point of
+//! trust, which is the paper's argument for the localized protocol.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use snd_topology::{DiGraph, NodeId};
+
+/// Result of a centralized validation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentralizedOutcome {
+    /// Identities flagged as replicated (their relations are quarantined).
+    pub flagged: BTreeSet<NodeId>,
+    /// Total frames spent reporting topology to the base station.
+    pub report_messages: u64,
+    /// The functional topology after removing flagged identities' edges.
+    pub functional: DiGraph,
+    /// Nodes that could not report (disconnected from the base station);
+    /// their relations are unvalidated and excluded.
+    pub unreported: BTreeSet<NodeId>,
+}
+
+/// Runs centralized validation.
+///
+/// * `tentative` — the full tentative topology (the *claims* under
+///   scrutiny);
+/// * `routing` — the topology reports are routed over (typically the
+///   physical connectivity graph; claims and routing differ exactly when
+///   an attacker forges claims);
+/// * `base` — the node acting as (or adjacent to) the base station;
+/// * `hop_threshold` — how many hops apart two claimed neighbors of the
+///   same identity may be before the identity is flagged. Geometry says
+///   genuine neighbors are within `2R`, i.e. ≤ 2 hops through a common
+///   neighbor in a connected field; 3 leaves slack for routing detours.
+pub fn centralized_validation(
+    tentative: &DiGraph,
+    routing: &DiGraph,
+    base: NodeId,
+    hop_threshold: u32,
+) -> CentralizedOutcome {
+    let adj = routing.mutual_adjacency();
+
+    // Reporting cost: every node ships its list hops(node, base) hops.
+    let dist_to_base = bfs(&adj, base, None);
+    let mut report_messages = 0u64;
+    let mut unreported = BTreeSet::new();
+    for node in tentative.nodes() {
+        match dist_to_base.get(&node) {
+            Some(h) => report_messages += u64::from(*h),
+            None => {
+                unreported.insert(node);
+            }
+        }
+    }
+
+    // Structural replica detection on the reported topology.
+    let reported: BTreeSet<NodeId> = tentative
+        .nodes()
+        .filter(|n| !unreported.contains(n))
+        .collect();
+    let mut flagged = BTreeSet::new();
+    for suspect in &reported {
+        let claimants: Vec<NodeId> = tentative
+            .in_neighbors(*suspect)
+            .filter(|c| reported.contains(c))
+            .collect();
+        if claimants.len() < 2 {
+            continue;
+        }
+        // Hop distances in the topology with the suspect removed: genuine
+        // neighborhoods stay tight, replica sites fall apart.
+        let from_first = bfs(&adj, claimants[0], Some(*suspect));
+        let scattered = claimants[1..].iter().any(|c| {
+            from_first.get(c).is_none_or(|h| *h > hop_threshold)
+        });
+        if scattered {
+            flagged.insert(*suspect);
+        }
+    }
+
+    // Functional topology: everything reported, minus flagged identities.
+    let mut functional = DiGraph::new();
+    for node in &reported {
+        functional.add_node(*node);
+    }
+    for (u, v) in tentative.edges() {
+        if reported.contains(&u)
+            && reported.contains(&v)
+            && !flagged.contains(&u)
+            && !flagged.contains(&v)
+        {
+            functional.add_edge(u, v);
+        }
+    }
+
+    CentralizedOutcome {
+        flagged,
+        report_messages,
+        functional,
+        unreported,
+    }
+}
+
+/// BFS over a mutual adjacency, optionally excluding one node.
+fn bfs(
+    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+    source: NodeId,
+    exclude: Option<NodeId>,
+) -> BTreeMap<NodeId, u32> {
+    let mut dist = BTreeMap::new();
+    if !adj.contains_key(&source) || exclude == Some(source) {
+        return dist;
+    }
+    dist.insert(source, 0u32);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if let Some(nbrs) = adj.get(&u) {
+            for &v in nbrs {
+                if Some(v) == exclude || dist.contains_key(&v) {
+                    continue;
+                }
+                dist.insert(v, du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Deployment, Field, Point};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A connected 5x5 grid, 30 m spacing, 50 m radio.
+    fn grid() -> (Deployment, DiGraph) {
+        let mut d = Deployment::empty(Field::square(200.0));
+        for r in 0..5u64 {
+            for c in 0..5u64 {
+                d.place(n(r * 5 + c), Point::new(20.0 + 30.0 * c as f64, 20.0 + 30.0 * r as f64));
+            }
+        }
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        (d, g)
+    }
+
+    #[test]
+    fn benign_field_nothing_flagged() {
+        let (_, g) = grid();
+        let out = centralized_validation(&g, &g, n(12), 3);
+        assert!(out.flagged.is_empty());
+        assert!(out.unreported.is_empty());
+        assert_eq!(out.functional.edge_count(), g.edge_count());
+        assert!(out.report_messages > 0);
+    }
+
+    #[test]
+    fn replica_identity_is_flagged() {
+        let (_, mut g) = grid();
+        // Node 0 (corner) gets phantom mutual relations with the far corner
+        // cluster {24, 23, 19} — a replica announcing there.
+        for far in [23u64, 24, 19] {
+            g.add_edge_sym(n(0), n(far));
+        }
+        let out = centralized_validation(&g, &g, n(12), 3);
+        assert!(out.flagged.contains(&n(0)), "flagged: {:?}", out.flagged);
+        // The flagged identity's edges are quarantined.
+        assert!(!out.functional.has_edge(n(23), n(0)));
+        assert!(!out.functional.has_edge(n(1), n(0)), "even home edges quarantined");
+        // Benign identities survive.
+        assert!(out.functional.has_edge(n(23), n(24)));
+    }
+
+    #[test]
+    fn disconnected_nodes_cannot_report() {
+        let (_, mut g) = grid();
+        g.add_node(n(99)); // marooned node
+        let out = centralized_validation(&g, &g, n(12), 3);
+        assert!(out.unreported.contains(&n(99)));
+        assert!(!out.functional.has_node(n(99)));
+    }
+
+    #[test]
+    fn report_cost_scales_with_distance() {
+        let (_, g) = grid();
+        let center = centralized_validation(&g, &g, n(12), 3);
+        let corner = centralized_validation(&g, &g, n(0), 3);
+        assert!(
+            corner.report_messages > center.report_messages,
+            "corner base station must cost more: {} !> {}",
+            corner.report_messages,
+            center.report_messages
+        );
+    }
+
+    #[test]
+    fn tight_threshold_false_positives() {
+        // The knob matters: with hop_threshold 1, honest nodes whose
+        // neighbors are 2 hops apart get flagged — the centralized
+        // approach's accuracy/paranoia trade-off.
+        let (_, g) = grid();
+        let out = centralized_validation(&g, &g, n(12), 1);
+        assert!(
+            !out.flagged.is_empty(),
+            "an over-tight threshold should flag honest nodes"
+        );
+    }
+
+    #[test]
+    fn base_station_outside_topology() {
+        let (_, g) = grid();
+        let out = centralized_validation(&g, &g, n(777), 3);
+        // Nobody can report.
+        assert_eq!(out.unreported.len(), g.node_count());
+        assert_eq!(out.functional.node_count(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Functional topologies (Definitions 4–5).
+//!
+//! Applying a neighbor validation function to every tentative relation
+//! yields the *functional network topology* Ḡ — "the actual topology used by
+//! the application".
+
+use snd_topology::{DiGraph, NodeId};
+
+use super::knowledge::knowledge_of;
+use super::validation::NeighborValidationFunction;
+
+/// Computes the functional topology: each tentative edge `(u, v)` survives
+/// iff `F(u, v, B(u)) = 1`, with `B(u)` the localized knowledge of `u`.
+///
+/// All nodes are preserved (possibly isolated), matching Definition 5 where
+/// `V` is unchanged.
+pub fn functional_topology<F: NeighborValidationFunction>(f: &F, tentative: &DiGraph) -> DiGraph {
+    let mut functional = DiGraph::new();
+    for node in tentative.nodes() {
+        functional.add_node(node);
+    }
+    for u in tentative.nodes() {
+        let b = knowledge_of(tentative, u);
+        for v in tentative.out_neighbors(u) {
+            if f.validate(u, v, &b) {
+                functional.add_edge(u, v);
+            }
+        }
+    }
+    functional
+}
+
+/// Convenience: the functional out-neighbors of a single node without
+/// materializing the whole functional topology.
+pub fn functional_neighbors<F: NeighborValidationFunction>(
+    f: &F,
+    tentative: &DiGraph,
+    u: NodeId,
+) -> Vec<NodeId> {
+    let b = knowledge_of(tentative, u);
+    tentative
+        .out_neighbors(u)
+        .filter(|&v| f.validate(u, v, &b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validation::{AcceptAll, CommonNeighborRule};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 5-clique plus a pendant edge to node 6.
+    fn clique_plus_pendant() -> DiGraph {
+        let mut g = DiGraph::new();
+        for i in 1..=5u64 {
+            for j in (i + 1)..=5 {
+                g.add_edge_sym(n(i), n(j));
+            }
+        }
+        g.add_edge_sym(n(1), n(6));
+        g
+    }
+
+    #[test]
+    fn accept_all_preserves_everything() {
+        let g = clique_plus_pendant();
+        let f = functional_topology(&AcceptAll, &g);
+        assert_eq!(f.edge_count(), g.edge_count());
+        assert_eq!(f.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn threshold_prunes_weak_edges() {
+        let g = clique_plus_pendant();
+        // t=1: need 2 common neighbors. Within the clique every pair has 3;
+        // the pendant edge (1,6) has none.
+        let f = functional_topology(&CommonNeighborRule::new(1), &g);
+        assert!(f.has_mutual_edge(n(2), n(3)));
+        assert!(!f.has_edge(n(1), n(6)));
+        assert!(!f.has_edge(n(6), n(1)));
+        assert!(f.has_node(n(6)), "nodes survive even when isolated");
+    }
+
+    #[test]
+    fn high_threshold_empties_topology() {
+        let g = clique_plus_pendant();
+        let f = functional_topology(&CommonNeighborRule::new(10), &g);
+        assert_eq!(f.edge_count(), 0);
+        assert_eq!(f.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn functional_neighbors_matches_full_computation() {
+        let g = clique_plus_pendant();
+        let rule = CommonNeighborRule::new(1);
+        let full = functional_topology(&rule, &g);
+        for u in g.nodes() {
+            let quick = functional_neighbors(&rule, &g, u);
+            let from_full: Vec<NodeId> = full.out_neighbors(u).collect();
+            assert_eq!(quick, from_full, "node {u}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_validation_possible() {
+        // u may accept v while v rejects u when their knowledge differs.
+        let mut g = DiGraph::new();
+        // v=2's list is {1}; u=1's list is {2,3}; 3's list is {1,2}.
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(2), n(1));
+        g.add_edge(n(3), n(1));
+        g.add_edge(n(3), n(2));
+        // t=0: (3,2) needs 1 common out-neighbor of 3 and 2: N(3)={1,2}, N(2)={1} -> common {1}: accept.
+        // (2,3) edge doesn't exist, so nothing to validate there.
+        let f = functional_topology(&CommonNeighborRule::new(0), &g);
+        assert!(f.has_edge(n(3), n(2)));
+        assert!(!f.has_edge(n(2), n(3)));
+    }
+}

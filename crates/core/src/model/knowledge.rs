@@ -1,0 +1,85 @@
+//! Local knowledge `B(u)` (Section 3.1).
+//!
+//! "Let B(u) denote the tentative neighbor relations known by u." In a
+//! localized protocol a node learns its own tentative list plus the
+//! tentative lists its neighbors hand it — i.e. the out-edges of `u` and of
+//! every `v ∈ N(u)`. [`knowledge_of`] extracts exactly that subgraph.
+
+use snd_topology::{DiGraph, NodeId};
+
+/// The subgraph of `tentative` a node `u` knows in a localized protocol:
+/// `u`'s own out-edges plus the out-edges of each of its tentative
+/// neighbors.
+pub fn knowledge_of(tentative: &DiGraph, u: NodeId) -> DiGraph {
+    let mut b = DiGraph::new();
+    if tentative.has_node(u) {
+        b.add_node(u);
+    }
+    for v in tentative.out_neighbors(u) {
+        b.add_edge(u, v);
+        for w in tentative.out_neighbors(v) {
+            b.add_edge(v, w);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn includes_own_and_neighbor_edges() {
+        let g: DiGraph = [
+            (n(1), n(2)),
+            (n(2), n(3)),
+            (n(3), n(4)), // two hops out: not known to 1
+            (n(2), n(1)),
+        ]
+        .into_iter()
+        .collect();
+        let b = knowledge_of(&g, n(1));
+        assert!(b.has_edge(n(1), n(2)));
+        assert!(b.has_edge(n(2), n(3)));
+        assert!(b.has_edge(n(2), n(1)));
+        assert!(!b.has_edge(n(3), n(4)), "two-hop edges are invisible");
+    }
+
+    #[test]
+    fn isolated_node_knows_itself_only() {
+        let mut g = DiGraph::new();
+        g.add_node(n(7));
+        g.add_edge(n(1), n(2));
+        let b = knowledge_of(&g, n(7));
+        assert_eq!(b.node_count(), 1);
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn unknown_node_yields_empty() {
+        let g: DiGraph = [(n(1), n(2))].into_iter().collect();
+        let b = knowledge_of(&g, n(99));
+        assert_eq!(b.node_count(), 0);
+    }
+
+    #[test]
+    fn knowledge_is_sufficient_for_threshold_rule() {
+        // The threshold rule only needs N(u) and N(v), both inside B(u).
+        use crate::model::validation::{CommonNeighborRule, NeighborValidationFunction};
+        let rule = CommonNeighborRule::new(0);
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(1), n(3));
+        g.add_edge_sym(n(2), n(3));
+        let b = knowledge_of(&g, n(1));
+        assert_eq!(
+            rule.validate(n(1), n(2), &b),
+            rule.validate(n(1), n(2), &g),
+            "local knowledge must suffice"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimum deployments (Definition 7).
+//!
+//! "The minimum deployment `G_min(F)` is the smallest graph where there
+//! exists at least one pair of nodes u and v such that
+//! `F(u, v, G_min(F)) = 1`." Its size `m` drives Theorem 1's bound
+//! (`n >= 2m - 1`) and is the paper's cost-of-validation metric: "the larger
+//! the size of the minimum deployment, the more expensive the validation
+//! function is."
+//!
+//! For the built-in threshold rule the size is known analytically (`t + 3`);
+//! for arbitrary functions [`search_minimum_deployment`] estimates it by
+//! randomized search, returning an upper bound witness.
+
+use rand::Rng;
+use snd_topology::{DiGraph, NodeId};
+
+use super::validation::NeighborValidationFunction;
+
+/// A witness for a minimum-deployment upper bound: a graph and a validated
+/// pair inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentWitness {
+    /// The witness graph.
+    pub graph: DiGraph,
+    /// The validating pair `(u, v)` with `F(u, v, graph) = 1`.
+    pub pair: (NodeId, NodeId),
+}
+
+impl DeploymentWitness {
+    /// Number of nodes in the witness — an upper bound on `|G_min(F)|`.
+    pub fn size(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+/// Searches for the smallest graph (by node count) on which `f` validates
+/// some pair, using exhaustive-ish randomized search per size up to
+/// `max_nodes`.
+///
+/// Returns the first witness found at the smallest size, or `None` if no
+/// graph of at most `max_nodes` nodes validates anything. The result is an
+/// *upper bound*: randomized search can miss exotic minimum deployments,
+/// but for monotone functions (more edges never hurt) the dense phase below
+/// is exact.
+pub fn search_minimum_deployment<F, R>(
+    f: &F,
+    max_nodes: usize,
+    samples_per_size: usize,
+    rng: &mut R,
+) -> Option<DeploymentWitness>
+where
+    F: NeighborValidationFunction,
+    R: Rng + ?Sized,
+{
+    for size in 2..=max_nodes {
+        // Phase 1: the complete symmetric graph. For monotone validation
+        // functions, if any graph of this size validates, the clique does.
+        let clique = complete_graph(size);
+        if let Some(pair) = find_validated_pair(f, &clique) {
+            // Phase 2: greedily strip edges to shrink the witness while the
+            // pair still validates (smaller certificate, same node count).
+            let pruned = prune_edges(f, clique, pair);
+            return Some(DeploymentWitness { graph: pruned, pair });
+        }
+        // Phase 3: random graphs, in case the function is non-monotone
+        // (e.g. rejects over-dense neighborhoods).
+        for _ in 0..samples_per_size {
+            let g = random_graph(size, 0.5, rng);
+            if let Some(pair) = find_validated_pair(f, &g) {
+                return Some(DeploymentWitness { graph: g, pair });
+            }
+        }
+    }
+    None
+}
+
+fn complete_graph(size: usize) -> DiGraph {
+    let mut g = DiGraph::new();
+    for i in 0..size as u64 {
+        for j in (i + 1)..size as u64 {
+            g.add_edge_sym(NodeId(i), NodeId(j));
+        }
+    }
+    g
+}
+
+fn random_graph<R: Rng + ?Sized>(size: usize, p: f64, rng: &mut R) -> DiGraph {
+    let mut g = DiGraph::new();
+    for i in 0..size as u64 {
+        g.add_node(NodeId(i));
+        for j in (i + 1)..size as u64 {
+            if rng.gen::<f64>() < p {
+                g.add_edge_sym(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+fn find_validated_pair<F: NeighborValidationFunction>(
+    f: &F,
+    g: &DiGraph,
+) -> Option<(NodeId, NodeId)> {
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u != v && f.validate(u, v, g) {
+                return Some((u, v));
+            }
+        }
+    }
+    None
+}
+
+fn prune_edges<F: NeighborValidationFunction>(
+    f: &F,
+    mut g: DiGraph,
+    pair: (NodeId, NodeId),
+) -> DiGraph {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    for (a, b) in edges {
+        if !g.has_edge(a, b) {
+            continue;
+        }
+        g.remove_edge(a, b);
+        if !f.validate(pair.0, pair.1, &g) {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validation::{AcceptAll, CommonNeighborRule};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn accept_all_minimum_is_two() {
+        let w = search_minimum_deployment(&AcceptAll, 5, 10, &mut rng()).unwrap();
+        assert_eq!(w.size(), 2);
+    }
+
+    #[test]
+    fn threshold_rule_matches_analytic_size() {
+        for t in [0usize, 1, 3] {
+            let rule = CommonNeighborRule::new(t);
+            let w = search_minimum_deployment(&rule, t + 5, 5, &mut rng())
+                .unwrap_or_else(|| panic!("no witness for t={t}"));
+            assert_eq!(
+                w.size(),
+                rule.minimum_deployment_size(),
+                "search disagrees with t+3 for t={t}"
+            );
+            assert!(rule.validate(w.pair.0, w.pair.1, &w.graph));
+        }
+    }
+
+    #[test]
+    fn search_respects_max_nodes() {
+        let rule = CommonNeighborRule::new(10); // needs 13 nodes
+        assert!(search_minimum_deployment(&rule, 5, 5, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn pruned_witness_still_validates_and_is_lean() {
+        let rule = CommonNeighborRule::new(2);
+        let w = search_minimum_deployment(&rule, 10, 5, &mut rng()).unwrap();
+        assert!(rule.validate(w.pair.0, w.pair.1, &w.graph));
+        // The pruned witness for t=2 needs the pair edge (2 directed) plus
+        // t+1=3 common neighbors reachable from both (6 directed edges
+        // minimum, since only out-edges of u and v matter).
+        assert!(
+            w.graph.edge_count() <= 2 * (2 + 2 + 2 + 1),
+            "pruning left {} edges",
+            w.graph.edge_count()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's formal model of secure neighbor discovery (Section 3).
+//!
+//! * [`validation`] — Definition 3's neighbor validation function, with the
+//!   topology-only instances the impossibility results target;
+//! * [`knowledge`] — what subgraph `B(u)` a node actually knows;
+//! * [`functional`] — Definitions 4–5: applying a validation function to a
+//!   tentative topology yields the functional topology;
+//! * [`safety`] — Definition 6's d-safety property, made checkable;
+//! * [`min_deploy`] — Definition 7's minimum deployment, searched
+//!   empirically and known analytically for the built-in rules.
+
+pub mod centralized;
+pub mod functional;
+pub mod knowledge;
+pub mod min_deploy;
+pub mod safety;
+pub mod validation;
+
+pub use centralized::{centralized_validation, CentralizedOutcome};
+pub use functional::functional_topology;
+pub use knowledge::knowledge_of;
+pub use safety::{safety_radius, SafetyReport};
+pub use validation::{AcceptAll, CommonNeighborRule, NeighborValidationFunction};

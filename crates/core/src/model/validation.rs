@@ -1,0 +1,217 @@
+//! Neighbor validation functions (Definition 3).
+//!
+//! A neighbor validation function `F : I × I × G → {0,1}` decides, from a
+//! subgraph `B` of the tentative topology, whether node `u` should trust the
+//! tentative relation `(u, v)`. Definition 3 requires *isomorphism
+//! invariance*: `F(u, v, B) = F(f(u), f(v), B_f)` for any ID bijection `f` —
+//! the function may use only the *shape* of the knowledge, never the
+//! identity of the labels. That invariance is precisely what Theorems 1–2
+//! exploit, and [`NeighborValidationFunction`] implementations in this
+//! module are the attack targets for the theory experiments.
+
+use std::collections::BTreeMap;
+
+use snd_topology::{DiGraph, NodeId};
+
+/// A neighbor validation function in the sense of Definition 3.
+///
+/// Implementations must be isomorphism-invariant; the property-based test
+/// helper [`is_isomorphism_invariant`] checks this on sampled graphs and is
+/// exercised by this crate's proptest suite.
+pub trait NeighborValidationFunction {
+    /// Decides whether `u` should accept the tentative relation `(u, v)`,
+    /// given the tentative relations `knowledge` known to `u`.
+    fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool;
+
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The degenerate function that trusts every tentative relation.
+///
+/// Maximum accuracy, zero security — the baseline the paper's intro assumes
+/// unprotected networks use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcceptAll;
+
+impl NeighborValidationFunction for AcceptAll {
+    fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
+        knowledge.has_edge(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        "accept-all"
+    }
+}
+
+/// The *topology-only* common-neighbor threshold rule: accept `(u, v)` iff
+/// the knowledge contains the edge and `|N(u) ∩ N(v)| >= t + 1`.
+///
+/// This is the structural core of the paper's protocol **without** the
+/// deployment-time authentication — and therefore, by Theorems 1–2, it is
+/// breakable: an attacker who can forge tentative relations defeats it. The
+/// theory experiments demonstrate exactly that, motivating the
+/// authenticated protocol in [`crate::protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonNeighborRule {
+    /// The threshold `t`: validation needs at least `t + 1` shared
+    /// neighbors.
+    pub t: usize,
+}
+
+impl CommonNeighborRule {
+    /// Creates the rule with threshold `t`.
+    pub fn new(t: usize) -> Self {
+        CommonNeighborRule { t }
+    }
+
+    /// Size of this rule's minimum deployment: `t + 3` (the validated pair
+    /// plus `t + 1` shared neighbors), as stated in Section 4.5.
+    pub fn minimum_deployment_size(&self) -> usize {
+        self.t + 3
+    }
+
+    /// Constructs the minimum deployment witness: a graph on `t + 3` nodes
+    /// in which `(u, w)` validates. Returns `(graph, u, w)`.
+    pub fn minimum_deployment_witness(&self) -> (DiGraph, NodeId, NodeId) {
+        let u = NodeId(0);
+        let w = NodeId(1);
+        let mut g = DiGraph::new();
+        g.add_edge_sym(u, w);
+        for i in 0..=self.t {
+            let c = NodeId(2 + i as u64);
+            g.add_edge_sym(u, c);
+            g.add_edge_sym(w, c);
+        }
+        (g, u, w)
+    }
+}
+
+impl NeighborValidationFunction for CommonNeighborRule {
+    fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
+        knowledge.has_edge(u, v) && knowledge.common_out_neighbors(u, v).len() >= self.t + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "common-neighbor-threshold"
+    }
+}
+
+/// Checks Definition 3's isomorphism invariance of `f` on one instance:
+/// remaps `knowledge` through the bijection `map` and compares decisions.
+///
+/// Returns `true` when the function made the same decision before and after
+/// remapping (i.e. the instance exhibits invariance).
+pub fn is_isomorphism_invariant<F: NeighborValidationFunction>(
+    f: &F,
+    u: NodeId,
+    v: NodeId,
+    knowledge: &DiGraph,
+    map: &BTreeMap<NodeId, NodeId>,
+) -> bool {
+    let before = f.validate(u, v, knowledge);
+    let remapped = knowledge.remap(map);
+    let mu = map.get(&u).copied().unwrap_or(u);
+    let mv = map.get(&v).copied().unwrap_or(v);
+    let after = f.validate(mu, mv, &remapped);
+    before == after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn accept_all_requires_edge() {
+        let g: DiGraph = [(n(1), n(2))].into_iter().collect();
+        assert!(AcceptAll.validate(n(1), n(2), &g));
+        assert!(!AcceptAll.validate(n(2), n(1), &g));
+        assert!(!AcceptAll.validate(n(1), n(3), &g));
+    }
+
+    #[test]
+    fn threshold_rule_counts_common_neighbors() {
+        let rule = CommonNeighborRule::new(1); // needs 2 common
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(1), n(3));
+        g.add_edge_sym(n(2), n(3));
+        // Only one common neighbor (3): reject.
+        assert!(!rule.validate(n(1), n(2), &g));
+        g.add_edge_sym(n(1), n(4));
+        g.add_edge_sym(n(2), n(4));
+        // Two common neighbors (3, 4): accept.
+        assert!(rule.validate(n(1), n(2), &g));
+    }
+
+    #[test]
+    fn threshold_rule_requires_edge_itself() {
+        let rule = CommonNeighborRule::new(0);
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(3));
+        g.add_edge_sym(n(2), n(3));
+        // Common neighbor exists but no (1,2) edge.
+        assert!(!rule.validate(n(1), n(2), &g));
+    }
+
+    #[test]
+    fn minimum_deployment_witness_validates() {
+        for t in [0usize, 1, 5, 30] {
+            let rule = CommonNeighborRule::new(t);
+            let (g, u, w) = rule.minimum_deployment_witness();
+            assert_eq!(g.node_count(), rule.minimum_deployment_size());
+            assert!(rule.validate(u, w, &g), "t={t}");
+        }
+    }
+
+    #[test]
+    fn witness_is_minimal_for_small_t() {
+        // Removing any node from the witness must break validation.
+        let rule = CommonNeighborRule::new(2);
+        let (g, u, w) = rule.minimum_deployment_witness();
+        for victim in g.nodes().collect::<Vec<_>>() {
+            if victim == u || victim == w {
+                continue;
+            }
+            let mut smaller = g.clone();
+            smaller.remove_node(victim);
+            assert!(!rule.validate(u, w, &smaller), "dropping {victim} should break it");
+        }
+    }
+
+    #[test]
+    fn isomorphism_invariance_of_builtin_rules() {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(1), n(3));
+        g.add_edge_sym(n(2), n(3));
+        g.add_edge_sym(n(1), n(4));
+        g.add_edge_sym(n(2), n(4));
+        let map: BTreeMap<NodeId, NodeId> = [
+            (n(1), n(100)),
+            (n(2), n(200)),
+            (n(3), n(300)),
+            (n(4), n(400)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(is_isomorphism_invariant(&AcceptAll, n(1), n(2), &g, &map));
+        assert!(is_isomorphism_invariant(
+            &CommonNeighborRule::new(1),
+            n(1),
+            n(2),
+            &g,
+            &map
+        ));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AcceptAll.name(), "accept-all");
+        assert_eq!(CommonNeighborRule::new(3).name(), "common-neighbor-threshold");
+    }
+}

@@ -1,0 +1,243 @@
+//! The protocol's hash constructions (Section 4.1).
+//!
+//! Everything the protocol authenticates is a domain-separated SHA-256 hash
+//! involving the pre-distributed master key `K`:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `K_u = H(K ‖ u)` | [`verification_key`] |
+//! | `C(u) = H(K ‖ N(u) ‖ u)` (with version `i` from Section 4.4) | [`binding_commitment`] |
+//! | `C(u, v) = H(K_v ‖ u)` | [`relation_commitment`] |
+//! | `E(u, v) = H(K ‖ u ‖ v ‖ i)` | [`evidence_digest`] |
+//!
+//! Every function takes a [`HashCounter`] so experiments can report the
+//! paper's "only a few efficient one-way hash operations" claim as a
+//! measured number.
+
+use std::collections::BTreeSet;
+
+use snd_crypto::keys::SymmetricKey;
+use snd_crypto::sha256::{Digest, Sha256};
+use snd_sim::metrics::HashCounter;
+use snd_topology::NodeId;
+
+/// Domain-separation labels; distinct prefixes keep the four constructions
+/// from ever colliding even on adversarial inputs.
+mod label {
+    pub const VERIFICATION_KEY: &[u8] = b"snd/vk/";
+    pub const RECORD_KEY: &[u8] = b"snd/rk/";
+    pub const BINDING: &[u8] = b"snd/bind/";
+    pub const RELATION: &[u8] = b"snd/rel/";
+    pub const EVIDENCE: &[u8] = b"snd/ev/";
+}
+
+/// Derives node `v`'s *record key* `RK_v = H(K ‖ "rk" ‖ v)`, used by the
+/// fast-erasure protocol variant (the paper's closing future-work item).
+///
+/// In that variant binding records are committed under `RK_v` instead of
+/// `K` directly. A newly deployed node derives the record keys of its
+/// tentative neighbors and then erases `K` *immediately* — before any
+/// record is even collected — shrinking the master key's lifetime from the
+/// whole discovery to one hello round. `RK_v` itself is never retained by
+/// `v` (it erases it along with `K`), so a compromised node still cannot
+/// re-commit its own record; a node captured mid-discovery leaks only its
+/// neighbors' record keys (a local break) instead of `K` (a global one).
+pub fn record_key(master: &SymmetricKey, v: NodeId, ops: &HashCounter) -> SymmetricKey {
+    ops.add(1);
+    SymmetricKey::from(Sha256::digest_parts(&[
+        label::RECORD_KEY,
+        master.as_bytes(),
+        &v.to_be_bytes(),
+    ]))
+}
+
+/// Derives node `u`'s verification key `K_u = H(K ‖ u)`.
+///
+/// `K_u` is kept by `u` forever and "can only be computed by the newly
+/// deployed sensor nodes" (who still hold `K`); it verifies the relation
+/// commitments addressed to `u`.
+pub fn verification_key(master: &SymmetricKey, u: NodeId, ops: &HashCounter) -> SymmetricKey {
+    ops.add(1);
+    SymmetricKey::from(Sha256::digest_parts(&[
+        label::VERIFICATION_KEY,
+        master.as_bytes(),
+        &u.to_be_bytes(),
+    ]))
+}
+
+/// Computes the binding-record commitment
+/// `C(u) = H(K ‖ i ‖ N(u) ‖ u)` over the sorted tentative neighbor list.
+///
+/// The version `i` is 0 for the initial record and increments with each
+/// Section 4.4 update.
+pub fn binding_commitment(
+    master: &SymmetricKey,
+    u: NodeId,
+    version: u32,
+    neighbors: &BTreeSet<NodeId>,
+    ops: &HashCounter,
+) -> Digest {
+    ops.add(1);
+    let mut h = Sha256::new();
+    h.update(label::BINDING);
+    h.update(master.as_bytes());
+    h.update(version.to_be_bytes());
+    h.update((neighbors.len() as u32).to_be_bytes());
+    for n in neighbors {
+        h.update(n.to_be_bytes());
+    }
+    h.update(u.to_be_bytes());
+    h.finalize()
+}
+
+/// Computes the relation commitment `C(u, v) = H(K_v ‖ u)`: `u`'s proof to
+/// `v` that `u` is newly deployed (it could compute `K_v`) and considers `v`
+/// a functional neighbor.
+pub fn relation_commitment(k_v: &SymmetricKey, u: NodeId, ops: &HashCounter) -> Digest {
+    ops.add(1);
+    Sha256::digest_parts(&[label::RELATION, k_v.as_bytes(), &u.to_be_bytes()])
+}
+
+/// Computes the tentative-relation evidence `E(u, v) = H(K ‖ u ‖ v ‖ i)`:
+/// `u`'s transferable proof that it considers `v` a tentative neighbor,
+/// bound to `v`'s record version `i` at issuance.
+pub fn evidence_digest(
+    master: &SymmetricKey,
+    u: NodeId,
+    v: NodeId,
+    version: u32,
+    ops: &HashCounter,
+) -> Digest {
+    ops.add(1);
+    Sha256::digest_parts(&[
+        label::EVIDENCE,
+        master.as_bytes(),
+        &u.to_be_bytes(),
+        &v.to_be_bytes(),
+        &version.to_be_bytes(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn master() -> SymmetricKey {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2009);
+        SymmetricKey::random(&mut rng)
+    }
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn verification_keys_differ_per_node() {
+        let k = master();
+        let ops = HashCounter::detached();
+        assert_ne!(
+            verification_key(&k, n(1), &ops),
+            verification_key(&k, n(2), &ops)
+        );
+        assert_eq!(ops.get(), 2);
+    }
+
+    #[test]
+    fn binding_commitment_binds_everything() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let nbrs: BTreeSet<NodeId> = [n(2), n(3)].into_iter().collect();
+        let base = binding_commitment(&k, n(1), 0, &nbrs, &ops);
+
+        // Different owner.
+        assert_ne!(base, binding_commitment(&k, n(9), 0, &nbrs, &ops));
+        // Different version.
+        assert_ne!(base, binding_commitment(&k, n(1), 1, &nbrs, &ops));
+        // Different neighbor set.
+        let other: BTreeSet<NodeId> = [n(2)].into_iter().collect();
+        assert_ne!(base, binding_commitment(&k, n(1), 0, &other, &ops));
+        // Different key.
+        let k2 = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            SymmetricKey::random(&mut rng)
+        };
+        assert_ne!(base, binding_commitment(&k2, n(1), 0, &nbrs, &ops));
+        // Deterministic.
+        assert_eq!(base, binding_commitment(&k, n(1), 0, &nbrs, &ops));
+    }
+
+    #[test]
+    fn neighbor_list_is_order_canonical() {
+        // BTreeSet canonicalizes order: the same set always commits equal.
+        let k = master();
+        let ops = HashCounter::detached();
+        let a: BTreeSet<NodeId> = [n(3), n(1), n(2)].into_iter().collect();
+        let b: BTreeSet<NodeId> = [n(1), n(2), n(3)].into_iter().collect();
+        assert_eq!(
+            binding_commitment(&k, n(7), 0, &a, &ops),
+            binding_commitment(&k, n(7), 0, &b, &ops)
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_list_ambiguity() {
+        // {12} vs {1, 2}-style splices cannot collide thanks to fixed-width
+        // IDs and the length prefix; spot-check adjacent shapes.
+        let k = master();
+        let ops = HashCounter::detached();
+        let one: BTreeSet<NodeId> = [n(0x0000_0001_0000_0002)].into_iter().collect();
+        let two: BTreeSet<NodeId> = [n(1), n(2)].into_iter().collect();
+        assert_ne!(
+            binding_commitment(&k, n(7), 0, &one, &ops),
+            binding_commitment(&k, n(7), 0, &two, &ops)
+        );
+    }
+
+    #[test]
+    fn relation_commitment_requires_kv() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let k_v = verification_key(&k, n(5), &ops);
+        let c = relation_commitment(&k_v, n(1), &ops);
+        // v recomputes and matches.
+        assert_eq!(c, relation_commitment(&k_v, n(1), &ops));
+        // Different issuer or different key fails.
+        assert_ne!(c, relation_commitment(&k_v, n(2), &ops));
+        let k_w = verification_key(&k, n(6), &ops);
+        assert_ne!(c, relation_commitment(&k_w, n(1), &ops));
+    }
+
+    #[test]
+    fn evidence_is_directional_and_versioned() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let e = evidence_digest(&k, n(1), n(2), 0, &ops);
+        assert_ne!(e, evidence_digest(&k, n(2), n(1), 0, &ops), "direction matters");
+        assert_ne!(e, evidence_digest(&k, n(1), n(2), 1, &ops), "version matters");
+        assert_eq!(e, evidence_digest(&k, n(1), n(2), 0, &ops));
+    }
+
+    #[test]
+    fn domains_are_separated() {
+        // The same (key, id) inputs must never collide across constructions.
+        let k = master();
+        let ops = HashCounter::detached();
+        let vk = verification_key(&k, n(1), &ops);
+        let bind = binding_commitment(&k, n(1), 0, &BTreeSet::new(), &ops);
+        let ev = evidence_digest(&k, n(1), n(1), 0, &ops);
+        assert_ne!(vk.as_bytes(), bind.as_bytes());
+        assert_ne!(bind, ev);
+    }
+
+    #[test]
+    fn hash_ops_are_counted() {
+        let k = master();
+        let ops = HashCounter::detached();
+        verification_key(&k, n(1), &ops);
+        binding_commitment(&k, n(1), 0, &BTreeSet::new(), &ops);
+        relation_commitment(&k, n(2), &ops);
+        evidence_digest(&k, n(1), n(2), 0, &ops);
+        assert_eq!(ops.get(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the localized neighbor-validation protocol.
+///
+/// The security-critical knob is the threshold `t`: the protocol tolerates
+/// up to `t` compromised nodes (Theorem 3) at the cost of rejecting genuine
+/// neighbor pairs that share fewer than `t + 1` tentative neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The threshold `t`: a functional relation requires at least `t + 1`
+    /// shared tentative neighbors.
+    pub threshold: usize,
+    /// Maximum number of binding-record updates per node (`m` in
+    /// Theorem 4); 0 disables the extension.
+    pub max_updates: u32,
+    /// Whether newly deployed nodes automatically issue tentative-relation
+    /// evidence to old neighbors whose records predate them (enables the
+    /// Section 4.4 extension).
+    pub issue_evidence: bool,
+    /// Randomized overwrite passes used when erasing the master key.
+    pub erase_passes: u32,
+    /// Enables the fast-erasure variant (the paper's closing future-work
+    /// item): binding records are committed under per-node record keys
+    /// `RK_v = H(K ‖ v)` derived at commit time, and the master key is
+    /// erased **before** record collection — shrinking its exposure from
+    /// the whole discovery to a single hello round. A node captured
+    /// mid-discovery then leaks only its neighbors' record keys (local
+    /// break) instead of `K` (global break).
+    pub fast_erase: bool,
+}
+
+impl ProtocolConfig {
+    /// A configuration with the given threshold and the paper's defaults
+    /// elsewhere (updates enabled with `m = 3`).
+    pub fn with_threshold(t: usize) -> Self {
+        ProtocolConfig {
+            threshold: t,
+            ..Self::default()
+        }
+    }
+
+    /// Disables the binding-record update extension.
+    pub fn without_updates(mut self) -> Self {
+        self.max_updates = 0;
+        self.issue_evidence = false;
+        self
+    }
+
+    /// Enables the fast-erasure variant.
+    pub fn with_fast_erase(mut self) -> Self {
+        self.fast_erase = true;
+        self
+    }
+
+    /// Minimum shared-neighbor count required for a functional relation.
+    pub fn required_overlap(&self) -> usize {
+        self.threshold + 1
+    }
+
+    /// The d-safety radius guaranteed by Theorem 3 / Theorem 4 for radio
+    /// range `r`: `2R` without updates, `(m + 1)·R` with up to `m` updates.
+    pub fn guaranteed_safety_radius(&self, r: f64) -> f64 {
+        if self.max_updates == 0 {
+            2.0 * r
+        } else {
+            (self.max_updates as f64 + 1.0) * r
+        }
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            threshold: 10,
+            max_updates: 3,
+            issue_evidence: true,
+            erase_passes: 3,
+            fast_erase: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.required_overlap(), c.threshold + 1);
+        assert!(c.issue_evidence);
+        assert!(c.erase_passes >= 1);
+    }
+
+    #[test]
+    fn with_threshold_overrides_t_only() {
+        let c = ProtocolConfig::with_threshold(30);
+        assert_eq!(c.threshold, 30);
+        assert_eq!(c.max_updates, ProtocolConfig::default().max_updates);
+    }
+
+    #[test]
+    fn without_updates_clears_both_knobs() {
+        let c = ProtocolConfig::default().without_updates();
+        assert_eq!(c.max_updates, 0);
+        assert!(!c.issue_evidence);
+    }
+
+    #[test]
+    fn safety_radius_matches_theorems() {
+        let base = ProtocolConfig::with_threshold(5).without_updates();
+        assert_eq!(base.guaranteed_safety_radius(50.0), 100.0, "Theorem 3: 2R");
+        let mut upd = ProtocolConfig::with_threshold(5);
+        upd.max_updates = 3;
+        assert_eq!(upd.guaranteed_safety_radius(50.0), 200.0, "Theorem 4: (m+1)R");
+    }
+}

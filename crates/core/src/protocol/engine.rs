@@ -1,0 +1,823 @@
+//! The discovery engine: runs the protocol over the network simulator.
+//!
+//! [`DiscoveryEngine`] owns the deployment, the simulator, every node's
+//! [`ProtocolNode`] state machine and the [`Adversary`]. Nodes are deployed
+//! in *waves*; [`DiscoveryEngine::run_wave`] drives one wave through the
+//! protocol's phases, with every byte crossing the simulated radio:
+//!
+//! 1. new nodes broadcast `Hello`; everyone in range (including compromised
+//!    replicas) acks — the direct-verification layer asserts tentative
+//!    relations;
+//! 2. new nodes commit their binding records, then collect and authenticate
+//!    the records of all tentative neighbors;
+//! 3. old nodes (and, if the attacker enables it, compromised nodes) run
+//!    the Section 4.4 update flow against the still-trusted new nodes;
+//! 4. new nodes finalize: threshold validation, relation commitments,
+//!    evidence issuance, **master-key erasure**;
+//! 5. commitments and evidence are delivered and verified.
+//!
+//! The engine is the single integration point for attack experiments:
+//! compromise nodes, place replicas, rerun waves, and measure the
+//! functional topology that results.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snd_crypto::keys::SymmetricKey;
+use snd_sim::metrics::HashCounter;
+use snd_sim::network::{Delivered, Simulator};
+use snd_sim::time::SimDuration;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
+
+use super::config::ProtocolConfig;
+use super::node::{NodeState, ProtocolNode};
+use super::records::BindingRecord;
+use super::wire::Message;
+use crate::adversary::Adversary;
+use crate::errors::ProtocolError;
+
+/// Statistics from one discovery wave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaveReport {
+    /// Nodes deployed in this wave.
+    pub wave_nodes: Vec<NodeId>,
+    /// Binding records that failed authentication.
+    pub rejected_records: u64,
+    /// Relation commitments that failed verification.
+    pub rejected_commitments: u64,
+    /// Binding-record updates applied.
+    pub updates_applied: u64,
+    /// Update requests refused (cap, forgery, version).
+    pub updates_rejected: u64,
+    /// Undecodable frames dropped.
+    pub malformed_frames: u64,
+}
+
+/// The protocol engine. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct DiscoveryEngine {
+    config: ProtocolConfig,
+    master: SymmetricKey,
+    sim: Simulator,
+    deployment: Deployment,
+    radio: RadioSpec,
+    nodes: BTreeMap<NodeId, ProtocolNode>,
+    adversary: Adversary,
+    rng: StdRng,
+    ops: HashCounter,
+    /// Old node → a new node it heard in the current wave (update target).
+    wave_contacts: BTreeMap<NodeId, NodeId>,
+    report: WaveReport,
+    /// Whether benign old nodes automatically request record updates.
+    pub auto_update_benign: bool,
+    /// Whether the direct-verification layer (RTT bounding / packet
+    /// leashes \[8\]–\[10\]) is active. When on (the default, matching the
+    /// paper's assumption that "the direct neighbor verification mechanism
+    /// can always correctly verify the neighbor relation between two benign
+    /// nodes"), tentative relations are only asserted for frames whose
+    /// physical path length fits in the radio range — which kills wormhole
+    /// relays but, crucially, NOT replicas. Turn off to study an
+    /// unprotected network.
+    pub direct_verification: bool,
+}
+
+impl DiscoveryEngine {
+    /// Creates an engine over an empty field.
+    pub fn new(field: Field, radio: RadioSpec, config: ProtocolConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let master = SymmetricKey::random_insecure(&mut rng);
+        let deployment = Deployment::empty(field);
+        let sim = Simulator::new(deployment.clone(), radio.clone(), seed.wrapping_add(1));
+        let ops = sim.metrics().hash_counter();
+        DiscoveryEngine {
+            config,
+            master,
+            sim,
+            deployment,
+            radio,
+            nodes: BTreeMap::new(),
+            adversary: Adversary::new(),
+            rng,
+            ops,
+            wave_contacts: BTreeMap::new(),
+            report: WaveReport::default(),
+            auto_update_benign: true,
+            direct_verification: true,
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// The radio specification (the paper's `R` is `radio().max_range()`).
+    pub fn radio(&self) -> &RadioSpec {
+        &self.radio
+    }
+
+    /// Original deployment points.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The underlying simulator (metrics, jamming, link model).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access (install jammers, change link models).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The adversary's state.
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
+    }
+
+    /// Mutable adversary access (set behavior profiles).
+    pub fn adversary_mut(&mut self) -> &mut Adversary {
+        &mut self.adversary
+    }
+
+    /// The hash-operation counter shared with the simulator metrics.
+    pub fn hash_ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// A node's protocol state, if deployed.
+    pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
+        self.nodes.get(&id)
+    }
+
+    /// All deployed node IDs.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// IDs of benign (non-compromised) nodes.
+    pub fn benign_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .keys()
+            .copied()
+            .filter(|id| !self.adversary.controls(*id))
+            .collect()
+    }
+
+    /// Provisions and places a node; it joins the protocol on the next
+    /// [`DiscoveryEngine::run_wave`] that includes it.
+    pub fn deploy_at(&mut self, id: NodeId, at: Point) {
+        let node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
+        self.nodes.insert(id, node);
+        self.deployment.place(id, at);
+        self.sim.add_node(id, at);
+    }
+
+    /// Deploys `n` nodes uniformly at random, returning their IDs.
+    pub fn deploy_uniform(&mut self, n: usize) -> Vec<NodeId> {
+        let field = self.deployment.field();
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.deployment.next_id();
+            let p = field.sample(&mut self.rng);
+            self.deploy_at(id, p);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Runs the full discovery protocol for the given newly deployed nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `new_ids` entry was never deployed.
+    pub fn run_wave(&mut self, new_ids: &[NodeId]) -> WaveReport {
+        self.report = WaveReport {
+            wave_nodes: new_ids.to_vec(),
+            ..WaveReport::default()
+        };
+        self.wave_contacts.clear();
+
+        // Phase 1: Hello broadcasts.
+        for &id in new_ids {
+            let node = self.nodes.get_mut(&id).expect("node deployed");
+            node.begin_discovery().expect("fresh node enters discovery");
+            self.sim.broadcast(id, Message::Hello { from: id }.encode());
+        }
+        self.pump(); // deliver Hellos; acks queued
+        self.pump(); // deliver acks; tentative lists complete
+
+        // Phase 2a: commit binding records (and, in the fast-erasure
+        // variant, erase the master key right here).
+        for &id in new_ids {
+            let node = self.nodes.get_mut(&id).expect("node deployed");
+            node.commit_record(&mut self.rng, &self.ops)
+                .expect("commit after discovery");
+        }
+
+        // Phase 2b: record collection.
+        for &id in new_ids {
+            let targets: Vec<NodeId> = self.nodes[&id].tentative_neighbors().iter().copied().collect();
+            for v in targets {
+                self.sim
+                    .unicast(id, v, Message::RecordRequest { from: id }.encode());
+            }
+        }
+        self.pump(); // deliver requests; replies queued
+        self.pump(); // deliver replies; records collected
+
+        // Phase 3: binding-record updates against the still-trusted wave.
+        if self.config.max_updates > 0 {
+            let contacts: Vec<(NodeId, NodeId)> = self
+                .wave_contacts
+                .iter()
+                .map(|(old, new)| (*old, *new))
+                .collect();
+            for (old, new) in contacts {
+                let is_compromised = self.adversary.controls(old);
+                let wants = if is_compromised {
+                    self.adversary.behavior().request_updates
+                } else {
+                    self.auto_update_benign
+                };
+                let Some(node) = self.nodes.get(&old) else { continue };
+                if !wants
+                    || node.state() != NodeState::Operational
+                    || node.usable_evidence().is_empty()
+                {
+                    continue;
+                }
+                if let Ok((record, evidences)) = node.build_update_request() {
+                    self.sim.unicast(
+                        old,
+                        new,
+                        Message::UpdateRequest { record, evidences }.encode(),
+                    );
+                }
+            }
+            self.pump(); // new nodes process updates; replies queued
+            self.pump(); // requesters install refreshed records
+        }
+
+        // Phase 4: finalize — validation, commitments, evidence, K erasure.
+        for &id in new_ids {
+            let node = self.nodes.get_mut(&id).expect("node deployed");
+            let out = node
+                .finalize_discovery(&mut self.rng, &self.ops)
+                .expect("committed node finalizes");
+            for (v, digest) in out.commitments {
+                self.sim.unicast(
+                    id,
+                    v,
+                    Message::RelationCommit {
+                        from: id,
+                        to: v,
+                        digest,
+                    }
+                    .encode(),
+                );
+            }
+            for ev in out.evidence {
+                let to = ev.to;
+                self.sim.unicast(id, to, Message::Evidence { evidence: ev }.encode());
+            }
+        }
+        self.pump(); // deliver commitments & evidence
+
+        self.report.clone()
+    }
+
+    /// Advances the clock one delivery step and dispatches every delivered
+    /// frame to its receiver's protocol logic.
+    fn pump(&mut self) {
+        self.sim.advance(SimDuration::from_millis(2));
+        let ids: Vec<NodeId> = self.sim.node_ids().collect();
+        for id in ids {
+            let inbox = self.sim.drain_inbox(id);
+            for frame in inbox {
+                self.dispatch(id, frame);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, receiver: NodeId, frame: Delivered) {
+        let Ok(msg) = Message::decode(&frame.payload) else {
+            self.report.malformed_frames += 1;
+            return;
+        };
+        // Direct verification: a tentative relation may only be asserted
+        // over a frame whose measured path length fits in the radio range.
+        // Wormhole-relayed Hellos/acks fail this check; replica frames pass
+        // it (the replica radio genuinely is nearby).
+        let direct_ok =
+            !self.direct_verification || frame.distance <= self.radio.max_range() * (1.0 + 1e-9);
+        if self.adversary.controls(receiver) {
+            self.dispatch_compromised(receiver, msg);
+        } else {
+            self.dispatch_benign(receiver, msg, direct_ok);
+        }
+    }
+
+    /// Honest protocol handling.
+    fn dispatch_benign(&mut self, receiver: NodeId, msg: Message, direct_ok: bool) {
+        match msg {
+            Message::Hello { from } => {
+                if !direct_ok {
+                    return; // direct verification rejects the relation
+                }
+                let Some(node) = self.nodes.get_mut(&receiver) else { return };
+                match node.state() {
+                    NodeState::Discovering => {
+                        // Another wave member: record it and ack.
+                        let _ = node.add_tentative(from);
+                    }
+                    NodeState::Operational => {
+                        // An old node notes a reachable new node as its
+                        // potential record updater.
+                        self.wave_contacts.entry(receiver).or_insert(from);
+                    }
+                    _ => {}
+                }
+                self.sim
+                    .unicast(receiver, from, Message::HelloAck { from: receiver }.encode());
+            }
+            Message::HelloAck { from } => {
+                if !direct_ok {
+                    return; // direct verification rejects the relation
+                }
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    let _ = node.add_tentative(from);
+                }
+            }
+            Message::RecordRequest { from } => {
+                if let Some(node) = self.nodes.get(&receiver) {
+                    let record = node.record().clone();
+                    self.sim
+                        .unicast(receiver, from, Message::RecordReply { record }.encode());
+                }
+            }
+            Message::RecordReply { record } => {
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    if node.accept_record(record, &self.ops).is_err() {
+                        self.report.rejected_records += 1;
+                    }
+                }
+            }
+            Message::RelationCommit { from, to, digest } => {
+                if to != receiver {
+                    self.report.malformed_frames += 1;
+                    return;
+                }
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    if node
+                        .accept_relation_commitment(from, &digest, &self.ops)
+                        .is_err()
+                    {
+                        self.report.rejected_commitments += 1;
+                    }
+                }
+            }
+            Message::Evidence { evidence } => {
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    let _ = node.buffer_evidence(evidence);
+                }
+            }
+            Message::UpdateRequest { record, evidences } => {
+                // Only a node still holding K can serve updates.
+                let requester = record.node;
+                let Some(node) = self.nodes.get(&receiver) else { return };
+                match node.process_update_request(&record, &evidences, &self.ops) {
+                    Ok(refreshed) => {
+                        self.report.updates_applied += 1;
+                        self.sim.unicast(
+                            receiver,
+                            requester,
+                            Message::UpdateReply { record: refreshed }.encode(),
+                        );
+                    }
+                    Err(_) => self.report.updates_rejected += 1,
+                }
+            }
+            Message::UpdateReply { record } => {
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    let _ = node.install_updated_record(record);
+                }
+            }
+        }
+    }
+
+    /// Attacker-controlled handling for compromised nodes.
+    fn dispatch_compromised(&mut self, receiver: NodeId, msg: Message) {
+        let behavior = self.adversary.behavior();
+        match msg {
+            Message::Hello { from } => {
+                if behavior.answer_hellos {
+                    self.sim
+                        .unicast(receiver, from, Message::HelloAck { from: receiver }.encode());
+                }
+                // The attacker tracks new arrivals for malicious updates.
+                self.wave_contacts.entry(receiver).or_insert(from);
+            }
+            Message::RecordRequest { from } => {
+                let forged = behavior
+                    .forge_records_with_master
+                    .then(|| self.adversary.master_key().cloned())
+                    .flatten()
+                    .map(|stolen| {
+                        // Total break: mint a record claiming every node in
+                        // the network as a neighbor — guaranteed overlap.
+                        let everyone = self.nodes.keys().copied().filter(|&x| x != receiver);
+                        BindingRecord::create(
+                            &stolen,
+                            receiver,
+                            0,
+                            everyone.collect(),
+                            &self.ops,
+                        )
+                    });
+                let record = match forged {
+                    Some(r) => Some(r),
+                    None if behavior.replay_records => self
+                        .adversary
+                        .captured(receiver)
+                        .map(|c| c.record.clone())
+                        .or_else(|| self.nodes.get(&receiver).map(|n| n.record().clone())),
+                    None => None,
+                };
+                if let Some(record) = record {
+                    self.sim
+                        .unicast(receiver, from, Message::RecordReply { record }.encode());
+                }
+            }
+            Message::RelationCommit { from, to, digest } => {
+                // The attacker knows K_receiver and happily verifies —
+                // functional edges into the compromised node are its yield.
+                if to == receiver {
+                    if let Some(node) = self.nodes.get_mut(&receiver) {
+                        let _ = node.accept_relation_commitment(from, &digest, &self.ops);
+                    }
+                }
+            }
+            Message::Evidence { evidence } => {
+                // Buffered: ammunition for malicious update requests.
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    let _ = node.buffer_evidence(evidence.clone());
+                }
+                if let Some(c) = self.adversary.captured_mut(receiver) {
+                    c.evidence.push(evidence);
+                }
+            }
+            Message::UpdateReply { record } => {
+                if let Some(node) = self.nodes.get_mut(&receiver) {
+                    if node.install_updated_record(record.clone()).is_ok() {
+                        if let Some(c) = self.adversary.captured_mut(receiver) {
+                            c.record = record;
+                            c.evidence.clear();
+                        }
+                    }
+                }
+            }
+            // Compromised nodes never serve honest updates or care about
+            // acks/record replies (they do not run discovery again).
+            Message::HelloAck { .. } | Message::RecordReply { .. } | Message::UpdateRequest { .. } => {}
+        }
+    }
+
+    /// Compromises an operational node, transferring its secrets to the
+    /// adversary.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::UnknownNode`] if never deployed.
+    /// * [`ProtocolError::WrongState`] if the node is still inside its
+    ///   deployment trust window — the paper's deployment assumption says
+    ///   this cannot happen; use
+    ///   [`DiscoveryEngine::compromise_violating_window`] to model the
+    ///   assumption failing.
+    pub fn compromise(&mut self, id: NodeId) -> Result<(), ProtocolError> {
+        let node = self.nodes.get(&id).ok_or(ProtocolError::UnknownNode { node: id })?;
+        if node.state() != NodeState::Operational {
+            return Err(ProtocolError::WrongState {
+                operation: "compromise inside trust window",
+            });
+        }
+        self.adversary.absorb(node.compromise());
+        Ok(())
+    }
+
+    /// Compromises a node *inside* its trust window, leaking the master key
+    /// — the catastrophic deployment-security failure of Section 4.5.3's
+    /// closing caveat.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownNode`] if never deployed.
+    pub fn compromise_violating_window(&mut self, id: NodeId) -> Result<(), ProtocolError> {
+        let node = self.nodes.get(&id).ok_or(ProtocolError::UnknownNode { node: id })?;
+        self.adversary.absorb(node.compromise());
+        Ok(())
+    }
+
+    /// Places a replica transceiver of a compromised node.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownNode`] when `id` is not compromised (the
+    /// attacker can only clone nodes whose secrets it holds).
+    pub fn place_replica(&mut self, id: NodeId, at: Point) -> Result<(), ProtocolError> {
+        if !self.adversary.controls(id) {
+            return Err(ProtocolError::UnknownNode { node: id });
+        }
+        self.sim.add_replica(id, at);
+        self.adversary.note_replica(id, at);
+        Ok(())
+    }
+
+    /// The functional topology: edge `(u, v)` iff `v` is in `u`'s
+    /// functional neighbor list.
+    pub fn functional_topology(&self) -> DiGraph {
+        let mut g = DiGraph::new();
+        for (&id, node) in &self.nodes {
+            g.add_node(id);
+            for &v in node.functional_neighbors() {
+                g.add_edge(id, v);
+            }
+        }
+        g
+    }
+
+    /// The tentative topology as asserted by the direct-verification layer
+    /// during discovery.
+    pub fn tentative_topology(&self) -> DiGraph {
+        let mut g = DiGraph::new();
+        for (&id, node) in &self.nodes {
+            g.add_node(id);
+            for &v in node.tentative_neighbors() {
+                g.add_edge(id, v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 3x3 grid with 30 m spacing and 50 m radio: everyone has 2-5
+    /// geometric neighbors (orthogonal + diagonal at ~42.4 m).
+    fn grid_engine(t: usize) -> DiscoveryEngine {
+        grid_engine_in(t, 100.0)
+    }
+
+    /// Same grid in a larger field, leaving room for victims beyond the
+    /// 2R safety radius of every grid node.
+    fn grid_engine_in(t: usize, side: f64) -> DiscoveryEngine {
+        let mut eng = DiscoveryEngine::new(
+            Field::square(side),
+            RadioSpec::uniform(50.0),
+            ProtocolConfig::with_threshold(t),
+            42,
+        );
+        for row in 0..3u64 {
+            for col in 0..3u64 {
+                eng.deploy_at(
+                    n(row * 3 + col),
+                    Point::new(20.0 + col as f64 * 30.0, 20.0 + row as f64 * 30.0),
+                );
+            }
+        }
+        eng
+    }
+
+    #[test]
+    fn single_wave_benign_discovery() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        let report = eng.run_wave(&ids);
+        assert_eq!(report.rejected_records, 0);
+        assert_eq!(report.rejected_commitments, 0);
+        assert_eq!(report.malformed_frames, 0);
+
+        // Every node ends operational with K erased.
+        for id in &ids {
+            let node = eng.node(*id).unwrap();
+            assert_eq!(node.state(), NodeState::Operational);
+            assert!(!node.holds_master_key());
+        }
+
+        // The center node (id 4) hears all 8 others (max distance ~42.4m).
+        let center = eng.node(n(4)).unwrap();
+        assert_eq!(center.tentative_neighbors().len(), 8);
+        // t=0 needs 1 shared neighbor: with a 3x3 grid every pair shares
+        // several, so all 8 validate.
+        assert_eq!(center.functional_neighbors().len(), 8);
+    }
+
+    #[test]
+    fn functional_topology_is_symmetric_in_benign_field() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        let f = eng.functional_topology();
+        for (u, v) in f.edges() {
+            assert!(f.has_edge(v, u), "functional edge ({u},{v}) not mutual");
+        }
+    }
+
+    #[test]
+    fn threshold_too_high_rejects_everyone() {
+        let mut eng = grid_engine(20);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        let f = eng.functional_topology();
+        assert_eq!(f.edge_count(), 0);
+        // Tentative edges still exist.
+        assert!(eng.tentative_topology().edge_count() > 0);
+    }
+
+    #[test]
+    fn two_wave_deployment_joins_via_commitments() {
+        let mut eng = grid_engine(0);
+        let first: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&first);
+
+        // Deploy a tenth node near the center.
+        eng.deploy_at(n(9), Point::new(52.0, 52.0));
+        eng.run_wave(&[n(9)]);
+
+        let newbie = eng.node(n(9)).unwrap();
+        assert_eq!(newbie.state(), NodeState::Operational);
+        assert!(
+            !newbie.functional_neighbors().is_empty(),
+            "new node must validate old neighbors"
+        );
+        // Old nodes accepted the newcomer through its relation commitment.
+        let f = eng.functional_topology();
+        for &v in newbie.functional_neighbors() {
+            assert!(f.has_edge(v, n(9)), "{v} should have accepted n9");
+        }
+    }
+
+    #[test]
+    fn compromise_requires_operational_state() {
+        let mut eng = grid_engine(0);
+        eng.deploy_at(n(50), Point::new(10.0, 10.0));
+        // Not yet discovered: trust window conceptually open.
+        assert!(matches!(
+            eng.compromise(n(50)),
+            Err(ProtocolError::WrongState { .. })
+        ));
+        assert!(matches!(
+            eng.compromise(n(99)),
+            Err(ProtocolError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn window_violation_leaks_master_key() {
+        let mut eng = grid_engine(0);
+        eng.deploy_at(n(50), Point::new(10.0, 10.0));
+        eng.compromise_violating_window(n(50)).unwrap();
+        assert!(eng.adversary().has_total_break());
+    }
+
+    #[test]
+    fn replica_requires_compromise_first() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        assert!(eng.place_replica(n(0), Point::new(90.0, 90.0)).is_err());
+        eng.compromise(n(0)).unwrap();
+        eng.place_replica(n(0), Point::new(90.0, 90.0)).unwrap();
+        assert_eq!(eng.adversary().replicas_of(n(0)).len(), 1);
+    }
+
+    #[test]
+    fn replica_attack_is_blocked_by_threshold() {
+        // One compromised node replicated across the field cannot fool a
+        // new node far from its original neighborhood: the binding record
+        // is unforgeable and shares no neighbors with the victim.
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        eng.compromise(n(0)).unwrap(); // corner node at (20, 20)
+        eng.place_replica(n(0), Point::new(95.0, 95.0)).unwrap();
+
+        // Victim deployed far from n0's original spot but near the replica.
+        eng.deploy_at(n(9), Point::new(97.0, 97.0));
+        let report = eng.run_wave(&[n(9)]);
+
+        let victim = eng.node(n(9)).unwrap();
+        assert!(
+            victim.tentative_neighbors().contains(&n(0)),
+            "direct verification is fooled by the replica"
+        );
+        assert!(
+            !victim.functional_neighbors().contains(&n(0)),
+            "threshold validation must reject the replica"
+        );
+        assert_eq!(report.rejected_records, 0, "record replays authenticate fine");
+    }
+
+    #[test]
+    fn total_break_defeats_validation() {
+        // If the attacker captures K (deployment assumption violated), the
+        // forged records share every neighbor and the replica is accepted.
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        eng.compromise_violating_window(n(0)).unwrap();
+        // n0 finished discovery before being compromised here, so the
+        // master key was NOT captured; force the violation by compromising
+        // a provisioned-but-undiscovered node instead.
+        eng.deploy_at(n(70), Point::new(5.0, 5.0));
+        eng.compromise_violating_window(n(70)).unwrap();
+        assert!(eng.adversary().has_total_break());
+        let mut behavior = crate::adversary::AdversaryBehavior::aggressive();
+        behavior.request_updates = false;
+        eng.adversary_mut().set_behavior(behavior);
+
+        eng.place_replica(n(70), Point::new(95.0, 95.0)).unwrap();
+        eng.deploy_at(n(9), Point::new(97.0, 97.0));
+        eng.run_wave(&[n(9)]);
+
+        let victim = eng.node(n(9)).unwrap();
+        assert!(
+            victim.functional_neighbors().contains(&n(70)),
+            "with the stolen master key the forged record must pass"
+        );
+    }
+
+    #[test]
+    fn collusion_beyond_threshold_succeeds() {
+        // c compromised mutual neighbors replicated together defeat
+        // threshold t when c - 1 >= t + 1 (Theorem 3's boundary).
+        let t = 1usize;
+        let c = t + 2; // 3 compromised: overlap c-1 = 2 = t+1 → accepted
+        // Victim placed far beyond 2R of every colluder's neighborhood, so
+        // only the collusion itself can produce overlap.
+        let mut eng = grid_engine_in(t, 300.0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        // Compromise nodes 0, 1, 3 (corner cluster: mutually tentative).
+        for &id in &[n(0), n(1), n(3)][..c] {
+            eng.compromise(id).unwrap();
+            eng.place_replica(id, Point::new(278.0, 278.0)).unwrap();
+        }
+        eng.deploy_at(n(9), Point::new(280.0, 280.0));
+        eng.run_wave(&[n(9)]);
+
+        let victim = eng.node(n(9)).unwrap();
+        assert!(
+            victim.functional_neighbors().contains(&n(0)),
+            "collusion past the threshold must defeat validation"
+        );
+    }
+
+    #[test]
+    fn collusion_within_threshold_fails() {
+        // With t = 2, three colluders give overlap 2 < t + 1 = 3: rejected.
+        let t = 2usize;
+        let mut eng = grid_engine_in(t, 300.0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        for &id in &[n(0), n(1), n(3)] {
+            eng.compromise(id).unwrap();
+            eng.place_replica(id, Point::new(278.0, 278.0)).unwrap();
+        }
+        eng.deploy_at(n(9), Point::new(280.0, 280.0));
+        eng.run_wave(&[n(9)]);
+
+        let victim = eng.node(n(9)).unwrap();
+        for &id in &[n(0), n(1), n(3)] {
+            assert!(
+                !victim.functional_neighbors().contains(&id),
+                "{id} must be rejected when colluders <= t"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_are_counted() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        let totals = eng.sim().metrics().totals();
+        assert_eq!(totals.broadcasts_sent, 9, "one Hello per node");
+        assert!(totals.unicasts_sent > 0);
+        assert!(eng.hash_ops() > 0);
+    }
+}

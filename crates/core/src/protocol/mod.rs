@@ -1,0 +1,34 @@
+//! The localized neighbor-validation protocol (Section 4).
+//!
+//! The protocol rests on two ideas:
+//!
+//! 1. **A deployment-time security window**: every node can be trusted for
+//!    a short period right after deployment, long enough to finish
+//!    discovery and erase the pre-distributed master key `K`. Afterwards, a
+//!    compromised node can *replay* its authenticated binding record but
+//!    can never *forge* a new one.
+//! 2. **Neighborhood overlap**: genuine neighbors share many common
+//!    neighbors. Two nodes establish a functional relation only when their
+//!    committed tentative lists share at least `t + 1` entries.
+//!
+//! Together these give the threshold guarantee of Theorem 3: with at most
+//! `t` compromised nodes, every compromised node's benign victims fit in a
+//! circle of radius `2R`.
+//!
+//! Module map: [`config`] (parameters) → [`commitments`] (hash
+//! constructions) → [`records`] (binding records & evidence) → [`wire`]
+//! (message encoding) → [`node`] (per-node state machine) → [`engine`]
+//! (wave orchestration over the simulator).
+
+pub mod commitments;
+pub mod config;
+pub mod engine;
+pub mod node;
+pub mod records;
+pub mod wire;
+
+pub use config::ProtocolConfig;
+pub use engine::{DiscoveryEngine, WaveReport};
+pub use node::{CapturedState, DiscoveryOutput, NodeState, ProtocolNode};
+pub use records::{BindingRecord, RelationEvidence};
+pub use wire::Message;

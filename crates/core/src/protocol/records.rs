@@ -1,0 +1,348 @@
+//! Binding records and tentative-relation evidence.
+//!
+//! The *binding record* `R(u) = {i, N(u), C(u)}` "binds node u to the place
+//! defined by the set of nodes in N(u)" — it is the protocol's portable,
+//! master-key-authenticated statement of where a node was when it was
+//! deployed. An attacker who compromises `u` later can replay `R(u)` but can
+//! never mint a record with a different neighbor list, because `C(u)`
+//! requires `K`.
+
+use std::collections::BTreeSet;
+
+use snd_crypto::keys::SymmetricKey;
+use snd_crypto::sha256::{Digest, DIGEST_LEN};
+use snd_sim::metrics::HashCounter;
+use snd_topology::NodeId;
+
+use super::commitments::{binding_commitment, evidence_digest};
+use crate::errors::ProtocolError;
+
+/// A node's authenticated binding record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingRecord {
+    /// The record's owner.
+    pub node: NodeId,
+    /// Update version `i`: 0 at initial discovery.
+    pub version: u32,
+    /// The committed tentative neighbor list `N(u)`.
+    pub neighbors: BTreeSet<NodeId>,
+    /// The commitment `C(u) = H(K ‖ i ‖ N(u) ‖ u)`.
+    pub commitment: Digest,
+}
+
+impl BindingRecord {
+    /// Creates and commits a record; requires the master key, so only a
+    /// node inside its deployment trust window (or the setup server) can
+    /// call this.
+    pub fn create(
+        master: &SymmetricKey,
+        node: NodeId,
+        version: u32,
+        neighbors: BTreeSet<NodeId>,
+        ops: &HashCounter,
+    ) -> Self {
+        let commitment = binding_commitment(master, node, version, &neighbors, ops);
+        BindingRecord {
+            node,
+            version,
+            neighbors,
+            commitment,
+        }
+    }
+
+    /// Verifies the commitment against the master key.
+    pub fn verify(&self, master: &SymmetricKey, ops: &HashCounter) -> bool {
+        binding_commitment(master, self.node, self.version, &self.neighbors, ops)
+            .ct_eq(&self.commitment)
+    }
+
+    /// Serializes to bytes: `node(8) ‖ version(4) ‖ count(4) ‖ ids(8·k) ‖
+    /// commitment(32)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.neighbors.len() + DIGEST_LEN);
+        out.extend_from_slice(&self.node.to_be_bytes());
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&(self.neighbors.len() as u32).to_be_bytes());
+        for n in &self.neighbors {
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        out.extend_from_slice(self.commitment.as_bytes());
+        out
+    }
+
+    /// Deserializes a record, consuming the front of `buf` and returning
+    /// the remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MalformedMessage`] on truncated or inconsistent
+    /// input.
+    pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), ProtocolError> {
+        let malformed = |detail| ProtocolError::MalformedMessage { detail };
+        if buf.len() < 16 {
+            return Err(malformed("record header truncated"));
+        }
+        let node = NodeId(u64::from_be_bytes(buf[0..8].try_into().expect("len checked")));
+        let version = u32::from_be_bytes(buf[8..12].try_into().expect("len checked"));
+        let count = u32::from_be_bytes(buf[12..16].try_into().expect("len checked")) as usize;
+        let need = 16 + 8 * count + DIGEST_LEN;
+        if buf.len() < need {
+            return Err(malformed("record body truncated"));
+        }
+        let mut neighbors = BTreeSet::new();
+        for i in 0..count {
+            let start = 16 + 8 * i;
+            let id = NodeId(u64::from_be_bytes(
+                buf[start..start + 8].try_into().expect("len checked"),
+            ));
+            if !neighbors.insert(id) {
+                return Err(malformed("duplicate neighbor in record"));
+            }
+        }
+        let mut digest = [0u8; DIGEST_LEN];
+        digest.copy_from_slice(&buf[16 + 8 * count..need]);
+        Ok((
+            BindingRecord {
+                node,
+                version,
+                neighbors,
+                commitment: Digest(digest),
+            },
+            &buf[need..],
+        ))
+    }
+
+    /// On-air size in bytes.
+    pub fn wire_len(&self) -> usize {
+        16 + 8 * self.neighbors.len() + DIGEST_LEN
+    }
+}
+
+/// Transferable proof that `from` considers `to` a tentative neighbor
+/// (Section 4.4), bound to `to`'s record version at issuance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationEvidence {
+    /// Issuer (a then-newly-deployed node holding `K`).
+    pub from: NodeId,
+    /// Beneficiary (the old node whose record will be updated).
+    pub to: NodeId,
+    /// The beneficiary's record version when the evidence was issued.
+    pub version: u32,
+    /// `E(from, to) = H(K ‖ from ‖ to ‖ version)`.
+    pub digest: Digest,
+}
+
+impl RelationEvidence {
+    /// Issues evidence; requires the master key.
+    pub fn issue(
+        master: &SymmetricKey,
+        from: NodeId,
+        to: NodeId,
+        version: u32,
+        ops: &HashCounter,
+    ) -> Self {
+        RelationEvidence {
+            from,
+            to,
+            version,
+            digest: evidence_digest(master, from, to, version, ops),
+        }
+    }
+
+    /// Verifies against the master key.
+    pub fn verify(&self, master: &SymmetricKey, ops: &HashCounter) -> bool {
+        evidence_digest(master, self.from, self.to, self.version, ops).ct_eq(&self.digest)
+    }
+
+    /// Serializes to bytes: `from(8) ‖ to(8) ‖ version(4) ‖ digest(32)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + DIGEST_LEN);
+        out.extend_from_slice(&self.from.to_be_bytes());
+        out.extend_from_slice(&self.to.to_be_bytes());
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(self.digest.as_bytes());
+        out
+    }
+
+    /// Deserializes, returning the remainder of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MalformedMessage`] on truncation.
+    pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), ProtocolError> {
+        const LEN: usize = 20 + DIGEST_LEN;
+        if buf.len() < LEN {
+            return Err(ProtocolError::MalformedMessage {
+                detail: "evidence truncated",
+            });
+        }
+        let from = NodeId(u64::from_be_bytes(buf[0..8].try_into().expect("len checked")));
+        let to = NodeId(u64::from_be_bytes(buf[8..16].try_into().expect("len checked")));
+        let version = u32::from_be_bytes(buf[16..20].try_into().expect("len checked"));
+        let mut digest = [0u8; DIGEST_LEN];
+        digest.copy_from_slice(&buf[20..LEN]);
+        Ok((
+            RelationEvidence {
+                from,
+                to,
+                version,
+                digest: Digest(digest),
+            },
+            &buf[LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn master() -> SymmetricKey {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        SymmetricKey::random(&mut rng)
+    }
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample_record(k: &SymmetricKey) -> BindingRecord {
+        let ops = HashCounter::detached();
+        BindingRecord::create(k, n(7), 2, [n(1), n(2), n(3)].into_iter().collect(), &ops)
+    }
+
+    #[test]
+    fn create_verify_round_trip() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let r = sample_record(&k);
+        assert!(r.verify(&k, &ops));
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let r = sample_record(&k);
+
+        let mut wrong_owner = r.clone();
+        wrong_owner.node = n(8);
+        assert!(!wrong_owner.verify(&k, &ops));
+
+        let mut wrong_version = r.clone();
+        wrong_version.version = 3;
+        assert!(!wrong_version.verify(&k, &ops));
+
+        let mut extra_neighbor = r.clone();
+        extra_neighbor.neighbors.insert(n(99));
+        assert!(!extra_neighbor.verify(&k, &ops), "cannot splice in a neighbor");
+
+        let mut dropped_neighbor = r.clone();
+        dropped_neighbor.neighbors.remove(&n(1));
+        assert!(!dropped_neighbor.verify(&k, &ops));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let r = sample_record(&k);
+        let other = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+            SymmetricKey::random(&mut rng)
+        };
+        assert!(!r.verify(&other, &ops));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let k = master();
+        let r = sample_record(&k);
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), r.wire_len());
+        let (decoded, rest) = BindingRecord::decode(&bytes).unwrap();
+        assert_eq!(decoded, r);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let k = master();
+        let r = sample_record(&k);
+        let mut bytes = r.encode();
+        bytes.extend_from_slice(b"tail");
+        let (_, rest) = BindingRecord::decode(&bytes).unwrap();
+        assert_eq!(rest, b"tail");
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let k = master();
+        let bytes = sample_record(&k).encode();
+        for cut in [0usize, 5, 15, 20, bytes.len() - 1] {
+            assert!(
+                BindingRecord::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_neighbors() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let r = BindingRecord::create(&k, n(1), 0, [n(2), n(3)].into_iter().collect(), &ops);
+        let mut bytes = r.encode();
+        // Overwrite second neighbor with a copy of the first.
+        bytes[24..32].copy_from_slice(&n(2).to_be_bytes());
+        assert!(matches!(
+            BindingRecord::decode(&bytes),
+            Err(ProtocolError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let r = BindingRecord::create(&k, n(5), 0, BTreeSet::new(), &ops);
+        let (decoded, _) = BindingRecord::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert!(decoded.verify(&k, &ops));
+    }
+
+    #[test]
+    fn evidence_round_trip_and_verify() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let e = RelationEvidence::issue(&k, n(1), n(2), 4, &ops);
+        assert!(e.verify(&k, &ops));
+        let bytes = e.encode();
+        let (decoded, rest) = RelationEvidence::decode(&bytes).unwrap();
+        assert_eq!(decoded, e);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn evidence_tamper_rejected() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let e = RelationEvidence::issue(&k, n(1), n(2), 4, &ops);
+        let mut bad = e.clone();
+        bad.version = 5;
+        assert!(!bad.verify(&k, &ops));
+        let mut bad = e.clone();
+        bad.from = n(9);
+        assert!(!bad.verify(&k, &ops));
+    }
+
+    #[test]
+    fn evidence_decode_rejects_truncation() {
+        let k = master();
+        let ops = HashCounter::detached();
+        let e = RelationEvidence::issue(&k, n(1), n(2), 0, &ops);
+        let bytes = e.encode();
+        assert!(RelationEvidence::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Wire format for protocol messages.
+//!
+//! Simple tag-prefixed binary encoding, sized realistically so the
+//! simulator's byte counters reflect genuine on-air cost.
+
+use snd_crypto::sha256::{Digest, DIGEST_LEN};
+use snd_topology::NodeId;
+
+use super::records::{BindingRecord, RelationEvidence};
+use crate::errors::ProtocolError;
+
+/// A neighbor-discovery protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A newly deployed node announcing itself (broadcast).
+    Hello {
+        /// The announcing node.
+        from: NodeId,
+    },
+    /// Acknowledgement of a Hello: "I hear you" (establishes the tentative
+    /// relation via the direct-verification layer).
+    HelloAck {
+        /// The acknowledging node.
+        from: NodeId,
+    },
+    /// Request for the peer's binding record.
+    RecordRequest {
+        /// The requesting node.
+        from: NodeId,
+    },
+    /// A binding record, in reply to [`Message::RecordRequest`].
+    RecordReply {
+        /// The record (carries its own owner field).
+        record: BindingRecord,
+    },
+    /// Relation commitment `C(u, v)` from `from` to `to`.
+    RelationCommit {
+        /// The issuer `u`.
+        from: NodeId,
+        /// The beneficiary `v`.
+        to: NodeId,
+        /// `H(K_v ‖ u)`.
+        digest: Digest,
+    },
+    /// Tentative-relation evidence from a new node to an old neighbor.
+    Evidence {
+        /// The evidence token.
+        evidence: RelationEvidence,
+    },
+    /// An old node asking a newly deployed node to refresh its binding
+    /// record (Section 4.4).
+    UpdateRequest {
+        /// The requester's current record.
+        record: BindingRecord,
+        /// Evidence for relations discovered since the record was minted.
+        evidences: Vec<RelationEvidence>,
+    },
+    /// The refreshed binding record.
+    UpdateReply {
+        /// The new record (version incremented).
+        record: BindingRecord,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_RECORD_REQUEST: u8 = 3;
+const TAG_RECORD_REPLY: u8 = 4;
+const TAG_RELATION_COMMIT: u8 = 5;
+const TAG_EVIDENCE: u8 = 6;
+const TAG_UPDATE_REQUEST: u8 = 7;
+const TAG_UPDATE_REPLY: u8 = 8;
+
+impl Message {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { from } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&from.to_be_bytes());
+            }
+            Message::HelloAck { from } => {
+                out.push(TAG_HELLO_ACK);
+                out.extend_from_slice(&from.to_be_bytes());
+            }
+            Message::RecordRequest { from } => {
+                out.push(TAG_RECORD_REQUEST);
+                out.extend_from_slice(&from.to_be_bytes());
+            }
+            Message::RecordReply { record } => {
+                out.push(TAG_RECORD_REPLY);
+                out.extend_from_slice(&record.encode());
+            }
+            Message::RelationCommit { from, to, digest } => {
+                out.push(TAG_RELATION_COMMIT);
+                out.extend_from_slice(&from.to_be_bytes());
+                out.extend_from_slice(&to.to_be_bytes());
+                out.extend_from_slice(digest.as_bytes());
+            }
+            Message::Evidence { evidence } => {
+                out.push(TAG_EVIDENCE);
+                out.extend_from_slice(&evidence.encode());
+            }
+            Message::UpdateRequest { record, evidences } => {
+                out.push(TAG_UPDATE_REQUEST);
+                out.extend_from_slice(&record.encode());
+                out.extend_from_slice(&(evidences.len() as u32).to_be_bytes());
+                for e in evidences {
+                    out.extend_from_slice(&e.encode());
+                }
+            }
+            Message::UpdateReply { record } => {
+                out.push(TAG_UPDATE_REPLY);
+                out.extend_from_slice(&record.encode());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MalformedMessage`] on unknown tags, truncation, or
+    /// trailing garbage.
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtocolError> {
+        let malformed = |detail| ProtocolError::MalformedMessage { detail };
+        let (&tag, rest) = buf.split_first().ok_or(malformed("empty message"))?;
+        let read_id = |b: &[u8]| -> Result<NodeId, ProtocolError> {
+            if b.len() < 8 {
+                return Err(malformed("node id truncated"));
+            }
+            Ok(NodeId(u64::from_be_bytes(b[..8].try_into().expect("len checked"))))
+        };
+        let done = |rest: &[u8], msg: Message| {
+            if rest.is_empty() {
+                Ok(msg)
+            } else {
+                Err(malformed("trailing bytes"))
+            }
+        };
+        match tag {
+            TAG_HELLO => done(&rest[8.min(rest.len())..], Message::Hello { from: read_id(rest)? }),
+            TAG_HELLO_ACK => done(
+                &rest[8.min(rest.len())..],
+                Message::HelloAck { from: read_id(rest)? },
+            ),
+            TAG_RECORD_REQUEST => done(
+                &rest[8.min(rest.len())..],
+                Message::RecordRequest { from: read_id(rest)? },
+            ),
+            TAG_RECORD_REPLY => {
+                let (record, rest) = BindingRecord::decode(rest)?;
+                done(rest, Message::RecordReply { record })
+            }
+            TAG_RELATION_COMMIT => {
+                if rest.len() < 16 + DIGEST_LEN {
+                    return Err(malformed("relation commit truncated"));
+                }
+                let from = read_id(&rest[0..8])?;
+                let to = read_id(&rest[8..16])?;
+                let mut digest = [0u8; DIGEST_LEN];
+                digest.copy_from_slice(&rest[16..16 + DIGEST_LEN]);
+                done(
+                    &rest[16 + DIGEST_LEN..],
+                    Message::RelationCommit {
+                        from,
+                        to,
+                        digest: Digest(digest),
+                    },
+                )
+            }
+            TAG_EVIDENCE => {
+                let (evidence, rest) = RelationEvidence::decode(rest)?;
+                done(rest, Message::Evidence { evidence })
+            }
+            TAG_UPDATE_REQUEST => {
+                let (record, rest) = BindingRecord::decode(rest)?;
+                if rest.len() < 4 {
+                    return Err(malformed("evidence count truncated"));
+                }
+                let count =
+                    u32::from_be_bytes(rest[..4].try_into().expect("len checked")) as usize;
+                let mut rest = &rest[4..];
+                let mut evidences = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let (e, r) = RelationEvidence::decode(rest)?;
+                    evidences.push(e);
+                    rest = r;
+                }
+                done(rest, Message::UpdateRequest { record, evidences })
+            }
+            TAG_UPDATE_REPLY => {
+                let (record, rest) = BindingRecord::decode(rest)?;
+                done(rest, Message::UpdateReply { record })
+            }
+            _ => Err(malformed("unknown message tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_crypto::keys::SymmetricKey;
+    use snd_sim::metrics::HashCounter;
+    use rand::SeedableRng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample_record() -> BindingRecord {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let k = SymmetricKey::random(&mut rng);
+        BindingRecord::create(
+            &k,
+            n(3),
+            1,
+            [n(1), n(2)].into_iter().collect(),
+            &HashCounter::detached(),
+        )
+    }
+
+    fn sample_evidence(i: u64) -> RelationEvidence {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let k = SymmetricKey::random(&mut rng);
+        RelationEvidence::issue(&k, n(i), n(3), 1, &HashCounter::detached())
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { from: n(1) },
+            Message::HelloAck { from: n(2) },
+            Message::RecordRequest { from: n(3) },
+            Message::RecordReply { record: sample_record() },
+            Message::RelationCommit {
+                from: n(1),
+                to: n(2),
+                digest: snd_crypto::sha256::Sha256::digest(b"c"),
+            },
+            Message::Evidence { evidence: sample_evidence(10) },
+            Message::UpdateRequest {
+                record: sample_record(),
+                evidences: vec![sample_evidence(10), sample_evidence(11)],
+            },
+            Message::UpdateRequest {
+                record: sample_record(),
+                evidences: vec![],
+            },
+            Message::UpdateReply { record: sample_record() },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            let decoded = Message::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        for msg in all_messages() {
+            let mut bytes = msg.encode();
+            bytes.push(0xFF);
+            assert!(Message::decode(&bytes).is_err(), "{msg:?} with trailing byte");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(Message::decode(&[0x7F, 0, 0]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+}

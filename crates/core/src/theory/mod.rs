@@ -1,0 +1,14 @@
+//! Constructive versions of the paper's impossibility results (Section 3.3).
+//!
+//! Theorems 1 and 2 are proved by *constructions*: explicit tentative
+//! topologies and forged relation sets under which any topology-only
+//! neighbor validation function accepts a compromised node at two far-apart
+//! benign victims. This module turns those proofs into executable attacks,
+//! used both as regression tests for the model and as the `generic_attack`
+//! experiment (E7 in DESIGN.md).
+
+pub mod theorem1;
+pub mod theorem2;
+
+pub use theorem1::{execute_theorem1, Theorem1Outcome};
+pub use theorem2::{execute_theorem2, plan_extension, Theorem2Outcome};

@@ -1,0 +1,188 @@
+//! Theorem 1: the existence attack.
+//!
+//! *"A neighbor validation function F cannot guarantee the d-safety property
+//! for any d ≥ R if n ≥ 2m − 1, where n is the network size and m is the
+//! size of G_min(F)."*
+//!
+//! The proof constructs a tentative topology `G = G_A ∪ G_B ∪ G_C` from the
+//! minimum deployment: `G_A` is an isomorphic copy of `G_min` containing a
+//! validated pair `(u, w)`; `G_B` is a copy of `G_A` minus `w` under a fresh
+//! ID mapping `f`, placed at least `d` away; the attacker compromises `w`
+//! and forges the tentative relations connecting `w` into `G_B` exactly as
+//! it was connected into `G_A`. Isomorphism invariance (Definition 3) then
+//! forces `f(u)` to accept `w` — so `w` has benign functional neighbors `u`
+//! and `f(u)` at distance ≥ `d`.
+//!
+//! [`execute_theorem1`] performs this construction against any
+//! [`NeighborValidationFunction`] with a known minimum-deployment witness
+//! and reports whether the attack succeeded.
+
+use std::collections::BTreeMap;
+
+use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
+
+use crate::model::min_deploy::DeploymentWitness;
+use crate::model::validation::NeighborValidationFunction;
+
+/// Result of running the Theorem 1 construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem1Outcome {
+    /// Whether the original victim `u` validated `w` (sanity: must be true
+    /// by choice of witness).
+    pub near_victim_accepts: bool,
+    /// Whether the far victim `f(u)` validated `w` after the forgery — the
+    /// attack's success bit.
+    pub far_victim_accepts: bool,
+    /// Distance between the two benign victims' deployment points.
+    pub victim_separation: f64,
+    /// The compromised node.
+    pub compromised: NodeId,
+    /// The near victim.
+    pub near_victim: NodeId,
+    /// The far victim.
+    pub far_victim: NodeId,
+    /// Total nodes used (must satisfy n ≥ 2m − 1).
+    pub network_size: usize,
+}
+
+impl Theorem1Outcome {
+    /// Whether the construction violated d-safety for the given `d`: both
+    /// victims accepted and they are more than `d` apart.
+    pub fn violates_d_safety(&self, d: f64) -> bool {
+        self.near_victim_accepts && self.far_victim_accepts && self.victim_separation > d
+    }
+}
+
+/// Executes the Theorem 1 construction against `f`.
+///
+/// `witness` must be a minimum-deployment witness for `f` (see
+/// [`crate::model::min_deploy`]); `separation` is how far apart the two
+/// clusters are placed (the theorem's `d`).
+///
+/// The construction uses `2m − 1` nodes: `m` in `G_A` and `m − 1` in `G_B`
+/// (`G_C` adds nothing to the attack and is omitted; the theorem only needs
+/// `n ≥ 2m − 1`).
+pub fn execute_theorem1<F: NeighborValidationFunction>(
+    f: &F,
+    witness: &DeploymentWitness,
+    separation: f64,
+) -> Theorem1Outcome {
+    let g_a = &witness.graph;
+    let (u, w) = witness.pair;
+    let m = g_a.node_count();
+
+    // Fresh IDs for B = f(A \ {w}).
+    let max_id = g_a.nodes().map(NodeId::raw).max().unwrap_or(0);
+    let mut mapping: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut next = max_id + 1;
+    for node in g_a.nodes() {
+        if node != w {
+            mapping.insert(node, NodeId(next));
+            next += 1;
+        }
+    }
+
+    // G_B: copy of G_A with w removed, remapped into B.
+    let mut g_a_without_w = g_a.clone();
+    g_a_without_w.remove_node(w);
+    let g_b = g_a_without_w.remap(&mapping);
+
+    // Forged relations G(w): w wired into G_B exactly as it was wired into
+    // G_A. (Definition 3 is quantified over the knowledge graph handed to
+    // the validator, so the forgery is pure data.)
+    let mut forged = DiGraph::new();
+    for x in g_a.out_neighbors(w) {
+        forged.add_edge(w, mapping[&x]);
+    }
+    for x in g_a.in_neighbors(w) {
+        forged.add_edge(mapping[&x], w);
+    }
+
+    // Physical placement: cluster A near the origin, cluster B `separation`
+    // away. Deployment points never move — w's replica radio near B is an
+    // attacker device, not a redeployment.
+    let field = Field::new(separation + 200.0, 200.0);
+    let mut deployment = Deployment::empty(field);
+    for (i, node) in g_a.nodes().enumerate() {
+        deployment.place(node, Point::new(10.0 + (i as f64) * 1.0, 100.0));
+    }
+    for (i, node) in g_b.nodes().enumerate() {
+        deployment.place(node, Point::new(separation + 10.0 + (i as f64) * 1.0, 100.0));
+    }
+
+    // The near victim validates from its genuine knowledge G_A.
+    let near_victim_accepts = f.validate(u, w, g_a);
+
+    // The far victim's knowledge is G_B plus the forged relations.
+    let far_knowledge = g_b.union(&forged);
+    let f_u = mapping[&u];
+    let far_victim_accepts = f.validate(f_u, w, &far_knowledge);
+
+    let victim_separation = deployment
+        .position(u)
+        .zip(deployment.position(f_u))
+        .map_or(0.0, |(a, b)| a.distance(&b));
+
+    Theorem1Outcome {
+        near_victim_accepts,
+        far_victim_accepts,
+        victim_separation,
+        compromised: w,
+        near_victim: u,
+        far_victim: f_u,
+        network_size: 2 * m - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::min_deploy::search_minimum_deployment;
+    use crate::model::validation::{AcceptAll, CommonNeighborRule};
+    use rand::SeedableRng;
+
+    fn witness_for<F: NeighborValidationFunction>(f: &F, max: usize) -> DeploymentWitness {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        search_minimum_deployment(f, max, 10, &mut rng).expect("witness")
+    }
+
+    #[test]
+    fn attack_defeats_threshold_rule() {
+        for t in [0usize, 2, 5] {
+            let rule = CommonNeighborRule::new(t);
+            let w = witness_for(&rule, t + 5);
+            let out = execute_theorem1(&rule, &w, 500.0);
+            assert!(out.near_victim_accepts, "t={t}: witness must validate");
+            assert!(out.far_victim_accepts, "t={t}: forgery must fool far victim");
+            assert!(out.victim_separation >= 500.0, "t={t}");
+            assert!(out.violates_d_safety(400.0), "t={t}");
+            assert_eq!(out.network_size, 2 * w.size() - 1);
+        }
+    }
+
+    #[test]
+    fn attack_defeats_accept_all() {
+        let w = witness_for(&AcceptAll, 4);
+        let out = execute_theorem1(&AcceptAll, &w, 300.0);
+        assert!(out.violates_d_safety(250.0));
+    }
+
+    #[test]
+    fn separation_is_respected() {
+        let rule = CommonNeighborRule::new(1);
+        let w = witness_for(&rule, 6);
+        let near = execute_theorem1(&rule, &w, 100.0);
+        let far = execute_theorem1(&rule, &w, 1000.0);
+        assert!(far.victim_separation > near.victim_separation);
+    }
+
+    #[test]
+    fn victims_are_distinct_benign_nodes() {
+        let rule = CommonNeighborRule::new(1);
+        let w = witness_for(&rule, 6);
+        let out = execute_theorem1(&rule, &w, 200.0);
+        assert_ne!(out.near_victim, out.far_victim);
+        assert_ne!(out.near_victim, out.compromised);
+        assert_ne!(out.far_victim, out.compromised);
+    }
+}

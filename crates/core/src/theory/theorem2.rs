@@ -1,0 +1,209 @@
+//! Theorem 2: the generic attack against live networks.
+//!
+//! *"If a neighbor validation function guarantees the d-safety property and
+//! the network G is extendable at a benign node u, R(u, x, G) includes all
+//! non-isolated benign nodes that are more than d + R away from u."*
+//!
+//! Contrapositive, as an attack recipe: take a fielded network that is
+//! *extendable* at `u` (a new benign node `x` could join and be validated),
+//! find a benign victim `v` far from `u` that the validation relation set
+//! `R(u, x, G)` does not cover, compromise `v`, and replay the would-be
+//! relations of `x` with `v` substituted. Isomorphism invariance forces `u`
+//! to accept `v` — while `v` keeps its genuine neighbors at home, so its
+//! victims span more than `d`.
+
+use std::collections::BTreeMap;
+
+use snd_topology::{Deployment, DiGraph, NodeId};
+
+use crate::model::knowledge::knowledge_of;
+use crate::model::validation::{CommonNeighborRule, NeighborValidationFunction};
+
+/// Result of the Theorem 2 (extendability) attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem2Outcome {
+    /// Whether the network was extendable at the target node.
+    pub extendable: bool,
+    /// Whether the far victim `u` accepted the compromised `v`.
+    pub target_accepts: bool,
+    /// Distance between `u` and the compromised node's original deployment.
+    pub attack_distance: f64,
+    /// The targeted benign node.
+    pub target: NodeId,
+    /// The compromised node substituted for the phantom `x`.
+    pub compromised: NodeId,
+    /// Victim spread: max distance between `u` and any genuine functional
+    /// neighbor of the compromised node (how far the impact stretches).
+    pub victim_spread: f64,
+}
+
+impl Theorem2Outcome {
+    /// Whether the attack violated d-safety for the given `d`.
+    pub fn violates_d_safety(&self, d: f64) -> bool {
+        self.target_accepts && self.victim_spread > d
+    }
+}
+
+/// Plans an extension of the network at `u`: the set of tentative relations
+/// a *new benign node* `x` would establish so that `rule` validates
+/// `(u, x)`. Returns `None` when `u` lacks enough neighbors to ever admit a
+/// new node (the network is not extendable at `u`).
+///
+/// For the common-neighbor rule the plan is: `x` pairs symmetrically with
+/// `u` and with `t + 1` of `u`'s existing tentative neighbors.
+pub fn plan_extension(
+    rule: &CommonNeighborRule,
+    tentative: &DiGraph,
+    u: NodeId,
+    x: NodeId,
+) -> Option<DiGraph> {
+    let neighbors: Vec<NodeId> = tentative.out_neighbors(u).collect();
+    if neighbors.len() < rule.t + 1 {
+        return None;
+    }
+    let mut plan = DiGraph::new();
+    plan.add_edge_sym(u, x);
+    for &nb in neighbors.iter().take(rule.t + 1) {
+        plan.add_edge_sym(x, nb);
+    }
+    Some(plan)
+}
+
+/// Executes the Theorem 2 attack: compromises `victim` and forges the
+/// planned extension relations at `target`, substituting `victim` for the
+/// phantom node.
+///
+/// `tentative` is the fielded tentative topology; `deployment` provides
+/// original deployment points for distance measurements.
+pub fn execute_theorem2(
+    rule: &CommonNeighborRule,
+    tentative: &DiGraph,
+    deployment: &Deployment,
+    target: NodeId,
+    victim: NodeId,
+) -> Theorem2Outcome {
+    // A phantom ID guaranteed fresh.
+    let x = NodeId(tentative.nodes().map(NodeId::raw).max().unwrap_or(0) + 1);
+
+    let attack_distance = deployment
+        .position(target)
+        .zip(deployment.position(victim))
+        .map_or(0.0, |(a, b)| a.distance(&b));
+
+    let Some(plan) = plan_extension(rule, tentative, target, x) else {
+        return Theorem2Outcome {
+            extendable: false,
+            target_accepts: false,
+            attack_distance,
+            target,
+            compromised: victim,
+            victim_spread: 0.0,
+        };
+    };
+
+    // Sanity: the plan really would admit a benign x.
+    let knowledge_with_x = knowledge_of(tentative, target).union(&plan);
+    let extendable = rule.validate(target, x, &knowledge_with_x);
+
+    // Forgery: X_{x -> v}. The compromised victim replays the plan with its
+    // own ID substituted for x.
+    let substitution: BTreeMap<NodeId, NodeId> = [(x, victim)].into_iter().collect();
+    let forged = plan.remap(&substitution);
+    let attack_knowledge = knowledge_of(tentative, target).union(&forged);
+    let target_accepts = rule.validate(target, victim, &attack_knowledge);
+
+    // The compromised node keeps its genuine neighbors near home; the
+    // impact now spans from them to the far-away target.
+    let mut victim_points: Vec<snd_topology::Point> = tentative
+        .out_neighbors(victim)
+        .filter_map(|nb| deployment.position(nb))
+        .collect();
+    if let Some(p) = deployment.position(target) {
+        victim_points.push(p);
+    }
+    let victim_spread = snd_topology::enclosing::point_set_diameter(&victim_points);
+
+    Theorem2Outcome {
+        extendable,
+        target_accepts,
+        attack_distance,
+        target,
+        compromised: victim,
+        victim_spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Field, Point};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two dense clusters 800 m apart, 10 nodes each.
+    fn two_cluster_network() -> (DiGraph, Deployment) {
+        let mut d = Deployment::empty(Field::new(1000.0, 100.0));
+        for i in 0..10u64 {
+            d.place(n(i), Point::new(10.0 + (i as f64) * 4.0, 50.0));
+        }
+        for i in 10..20u64 {
+            d.place(n(i), Point::new(850.0 + ((i - 10) as f64) * 4.0, 50.0));
+        }
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        (g, d)
+    }
+
+    #[test]
+    fn attack_succeeds_on_extendable_network() {
+        let (g, d) = two_cluster_network();
+        let rule = CommonNeighborRule::new(3);
+        // Target in cluster 1, victim in cluster 2.
+        let out = execute_theorem2(&rule, &g, &d, n(0), n(15));
+        assert!(out.extendable);
+        assert!(out.target_accepts, "forged extension must be accepted");
+        assert!(out.attack_distance > 700.0);
+        assert!(out.violates_d_safety(100.0));
+    }
+
+    #[test]
+    fn sparse_target_is_not_extendable() {
+        let mut d = Deployment::empty(Field::new(1000.0, 100.0));
+        d.place(n(0), Point::new(10.0, 50.0));
+        d.place(n(1), Point::new(20.0, 50.0)); // single neighbor
+        d.place(n(2), Point::new(900.0, 50.0));
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        let rule = CommonNeighborRule::new(3);
+        let out = execute_theorem2(&rule, &g, &d, n(0), n(2));
+        assert!(!out.extendable);
+        assert!(!out.target_accepts);
+    }
+
+    #[test]
+    fn plan_extension_structure() {
+        let (g, _) = two_cluster_network();
+        let rule = CommonNeighborRule::new(2);
+        let plan = plan_extension(&rule, &g, n(5), n(999)).unwrap();
+        assert!(plan.has_mutual_edge(n(5), n(999)));
+        // x connects to exactly t+1 of u's neighbors plus u.
+        assert_eq!(plan.out_degree(n(999)), rule.t + 2);
+    }
+
+    #[test]
+    fn plan_requires_enough_neighbors() {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(0), n(1));
+        assert!(plan_extension(&CommonNeighborRule::new(5), &g, n(0), n(9)).is_none());
+    }
+
+    #[test]
+    fn victim_spread_includes_home_neighbors() {
+        let (g, d) = two_cluster_network();
+        let rule = CommonNeighborRule::new(3);
+        let out = execute_theorem2(&rule, &g, &d, n(0), n(15));
+        // Spread covers the gap between clusters.
+        assert!(out.victim_spread >= out.attack_distance * 0.9);
+    }
+}

@@ -1,0 +1,298 @@
+//! µTESLA-style broadcast authentication.
+//!
+//! The system model has "a few powerful base stations" that
+//! "collect/process monitoring results or act as gateways". Base-station
+//! broadcasts (re-tasking, queries, alarm floods) need authentication that
+//! thousands of receivers can check without per-receiver keys; the standard
+//! sensor-network answer is µTESLA (Perrig et al., also at the heart of
+//! LEAP \[19\]): MAC each interval's messages under a key from a one-way
+//! [`HashChain`], and *disclose the key after a delay*. Receivers buffer,
+//! then verify both the disclosed key (against the chain anchor) and the
+//! buffered MACs.
+//!
+//! Security rests on loose time synchronization: a message is only safe if
+//! it provably arrived **before** its interval's key was disclosed. The
+//! receiver enforces that with the security-condition check in
+//! [`TeslaReceiver::buffer`].
+
+use rand::RngCore;
+
+use crate::hash_chain::HashChain;
+use crate::hmac::HmacSha256;
+use crate::sha256::Digest;
+
+/// Disclosure lag in intervals: the key for interval `i` is published in
+/// interval `i + DISCLOSURE_LAG`.
+pub const DISCLOSURE_LAG: u64 = 1;
+
+/// The broadcasting side (base station).
+#[derive(Debug, Clone)]
+pub struct TeslaSender {
+    chain: HashChain,
+    intervals: u64,
+}
+
+impl TeslaSender {
+    /// Creates a sender with key material for `intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is zero.
+    pub fn new<R: RngCore + ?Sized>(rng: &mut R, intervals: u64) -> Self {
+        assert!(intervals > 0, "need at least one interval");
+        TeslaSender {
+            chain: HashChain::generate(rng, intervals as usize),
+            intervals,
+        }
+    }
+
+    /// The public commitment receivers are bootstrapped with.
+    pub fn commitment(&self) -> Digest {
+        self.chain.anchor()
+    }
+
+    /// Number of usable intervals.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// The (secret, pre-disclosure) key of `interval` (1-based).
+    fn key(&self, interval: u64) -> Option<Digest> {
+        if interval == 0 || interval > self.intervals {
+            return None;
+        }
+        self.chain.link(interval as usize)
+    }
+
+    /// MACs `message` under interval `interval`'s key.
+    ///
+    /// Returns `None` for out-of-range intervals.
+    pub fn authenticate(&self, interval: u64, message: &[u8]) -> Option<Digest> {
+        let key = self.key(interval)?;
+        Some(HmacSha256::mac(key.as_bytes(), message))
+    }
+
+    /// Discloses interval `interval`'s key — to be broadcast during
+    /// interval `interval + DISCLOSURE_LAG`.
+    pub fn disclose(&self, interval: u64) -> Option<Digest> {
+        self.key(interval)
+    }
+}
+
+/// A buffered, not-yet-verifiable broadcast message.
+#[derive(Debug, Clone, PartialEq)]
+struct Pending {
+    interval: u64,
+    message: Vec<u8>,
+    mac: Digest,
+}
+
+/// Why a receiver rejected a message or key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeslaError {
+    /// The message arrived at/after its key's disclosure time: an attacker
+    /// could already know the key, so authenticity is void.
+    SecurityConditionViolated,
+    /// The disclosed key does not hash back to the chain commitment.
+    BadKey,
+    /// Interval ordering violated or out of range.
+    BadInterval,
+}
+
+/// The receiving side.
+#[derive(Debug, Clone)]
+pub struct TeslaReceiver {
+    commitment: Digest,
+    /// Most recently authenticated key and its interval (moves the trust
+    /// anchor forward so verification cost stays O(gap), not O(i)).
+    last_key: Option<(u64, Digest)>,
+    pending: Vec<Pending>,
+}
+
+impl TeslaReceiver {
+    /// Bootstraps a receiver from the sender's public commitment.
+    pub fn new(commitment: Digest) -> Self {
+        TeslaReceiver {
+            commitment,
+            last_key: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Buffers a broadcast received during `now` (the receiver's current
+    /// interval), claimed for `interval`.
+    ///
+    /// # Errors
+    ///
+    /// [`TeslaError::SecurityConditionViolated`] when `now` is at or past
+    /// the disclosure time of `interval` — the defining µTESLA check.
+    pub fn buffer(
+        &mut self,
+        now: u64,
+        interval: u64,
+        message: Vec<u8>,
+        mac: Digest,
+    ) -> Result<(), TeslaError> {
+        if now >= interval + DISCLOSURE_LAG {
+            return Err(TeslaError::SecurityConditionViolated);
+        }
+        self.pending.push(Pending {
+            interval,
+            message,
+            mac,
+        });
+        Ok(())
+    }
+
+    /// Number of messages awaiting key disclosure.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Processes a disclosed key for `interval`, returning every buffered
+    /// message of that interval whose MAC verifies.
+    ///
+    /// # Errors
+    ///
+    /// * [`TeslaError::BadInterval`] — interval 0 or not newer than the
+    ///   last verified key.
+    /// * [`TeslaError::BadKey`] — the key does not hash to the trust
+    ///   anchor; all buffered messages are retained for a correct key.
+    pub fn on_disclose(&mut self, interval: u64, key: Digest) -> Result<Vec<Vec<u8>>, TeslaError> {
+        if interval == 0 {
+            return Err(TeslaError::BadInterval);
+        }
+        let (anchor_interval, anchor) = match &self.last_key {
+            Some((i, k)) => {
+                if interval <= *i {
+                    return Err(TeslaError::BadInterval);
+                }
+                (*i, *k)
+            }
+            None => (0, self.commitment),
+        };
+        let steps = (interval - anchor_interval) as usize;
+        if !HashChain::verify(&anchor, &key, steps) {
+            return Err(TeslaError::BadKey);
+        }
+        self.last_key = Some((interval, key));
+
+        let mut authenticated = Vec::new();
+        self.pending.retain(|p| {
+            if p.interval != interval {
+                return true;
+            }
+            if HmacSha256::verify(key.as_bytes(), &p.message, &p.mac) {
+                authenticated.push(p.message.clone());
+            }
+            false // verified or forged: either way, done with it
+        });
+        Ok(authenticated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pair() -> (TeslaSender, TeslaReceiver) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2001);
+        let sender = TeslaSender::new(&mut rng, 16);
+        let receiver = TeslaReceiver::new(sender.commitment());
+        (sender, receiver)
+    }
+
+    #[test]
+    fn authenticated_broadcast_round_trip() {
+        let (sender, mut receiver) = pair();
+        let mac = sender.authenticate(1, b"retask: report fire").unwrap();
+        receiver.buffer(1, 1, b"retask: report fire".to_vec(), mac).unwrap();
+        assert_eq!(receiver.pending_len(), 1);
+
+        let key = sender.disclose(1).unwrap();
+        let out = receiver.on_disclose(1, key).unwrap();
+        assert_eq!(out, vec![b"retask: report fire".to_vec()]);
+        assert_eq!(receiver.pending_len(), 0);
+    }
+
+    #[test]
+    fn forged_mac_is_dropped_silently() {
+        let (sender, mut receiver) = pair();
+        let bogus = crate::sha256::Sha256::digest(b"guess");
+        receiver.buffer(1, 1, b"evil command".to_vec(), bogus).unwrap();
+        let key = sender.disclose(1).unwrap();
+        let out = receiver.on_disclose(1, key).unwrap();
+        assert!(out.is_empty(), "forged message must not authenticate");
+        assert_eq!(receiver.pending_len(), 0);
+    }
+
+    #[test]
+    fn security_condition_rejects_late_messages() {
+        let (sender, mut receiver) = pair();
+        let mac = sender.authenticate(1, b"late").unwrap();
+        // Arrives during interval 2 = 1 + DISCLOSURE_LAG: the key may
+        // already be public, so the receiver must refuse.
+        assert_eq!(
+            receiver.buffer(2, 1, b"late".to_vec(), mac),
+            Err(TeslaError::SecurityConditionViolated)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected_and_buffer_preserved() {
+        let (sender, mut receiver) = pair();
+        let mac = sender.authenticate(2, b"msg").unwrap();
+        receiver.buffer(2, 2, b"msg".to_vec(), mac).unwrap();
+        // Key for the wrong interval fails the chain check at these steps.
+        let wrong = sender.disclose(3).unwrap();
+        assert_eq!(receiver.on_disclose(2, wrong), Err(TeslaError::BadKey));
+        assert_eq!(receiver.pending_len(), 1, "messages wait for a good key");
+        // The right key still works afterwards.
+        let right = sender.disclose(2).unwrap();
+        assert_eq!(receiver.on_disclose(2, right).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn skipped_intervals_still_verify() {
+        // Keys 1..4 never disclosed; key 5 must verify straight against
+        // the anchor (5 hash steps), and the trust anchor advances.
+        let (sender, mut receiver) = pair();
+        let mac = sender.authenticate(5, b"burst").unwrap();
+        receiver.buffer(5, 5, b"burst".to_vec(), mac).unwrap();
+        let key5 = sender.disclose(5).unwrap();
+        assert_eq!(receiver.on_disclose(5, key5).unwrap().len(), 1);
+        // Older keys are now refused (monotonicity).
+        let key3 = sender.disclose(3).unwrap();
+        assert_eq!(receiver.on_disclose(3, key3), Err(TeslaError::BadInterval));
+    }
+
+    #[test]
+    fn multiple_messages_per_interval() {
+        let (sender, mut receiver) = pair();
+        for k in 0..5u8 {
+            let msg = vec![k; 4];
+            let mac = sender.authenticate(4, &msg).unwrap();
+            receiver.buffer(4, 4, msg, mac).unwrap();
+        }
+        let key = sender.disclose(4).unwrap();
+        assert_eq!(receiver.on_disclose(4, key).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn interval_bounds() {
+        let (sender, _) = pair();
+        assert!(sender.authenticate(0, b"x").is_none());
+        assert!(sender.authenticate(17, b"x").is_none());
+        assert!(sender.disclose(16).is_some());
+        assert_eq!(sender.intervals(), 16);
+    }
+
+    #[test]
+    fn replayed_disclosure_is_rejected() {
+        let (sender, mut receiver) = pair();
+        let key = sender.disclose(1).unwrap();
+        receiver.on_disclose(1, key).unwrap();
+        assert_eq!(receiver.on_disclose(1, key), Err(TeslaError::BadInterval));
+    }
+}

@@ -1,0 +1,196 @@
+//! Securely erasable key cells.
+//!
+//! The protocol's central trick is *temporal*: every node holds the
+//! network-wide master key `K` only during its deployment trust window and
+//! must delete it "immediately after the neighbor discovery". The paper
+//! further assumes that "once a secret is deleted from the memory of a sensor
+//! node, it is not possible for an attacker to recover such secret", and
+//! suggests erase-and-rewrite-with-random-values as a hardening measure.
+//!
+//! [`ErasableKey`] models exactly that: a key cell that transitions
+//! irreversibly from `Live` to `Erased`, overwriting the material with
+//! multiple randomized passes. After erasure every read fails with
+//! [`KeyErased`] — which is what an attacker compromising the node *after*
+//! the trust window observes.
+
+use core::fmt;
+use std::error::Error;
+
+use rand::RngCore;
+
+use crate::keys::{SymmetricKey, KEY_LEN};
+
+/// Error returned when reading a key cell whose secret has been erased.
+///
+/// In attack simulations this error is the signal that a node compromise
+/// happened too late to capture the master key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyErased;
+
+impl fmt::Display for KeyErased {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("key material has been securely erased")
+    }
+}
+
+impl Error for KeyErased {}
+
+/// Number of randomized overwrite passes used by default.
+pub const DEFAULT_ERASE_PASSES: u32 = 3;
+
+/// A key cell supporting verified, irreversible erasure.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::{erasure::ErasableKey, keys::SymmetricKey};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut cell = ErasableKey::new(SymmetricKey::random(&mut rng));
+/// assert!(cell.get().is_ok());
+/// cell.erase(&mut rng);
+/// assert!(cell.get().is_err());
+/// ```
+#[derive(Clone)]
+pub struct ErasableKey {
+    state: State,
+    passes: u32,
+}
+
+#[derive(Clone)]
+enum State {
+    Live(SymmetricKey),
+    Erased,
+}
+
+impl ErasableKey {
+    /// Wraps `key` in a live cell using [`DEFAULT_ERASE_PASSES`].
+    pub fn new(key: SymmetricKey) -> Self {
+        Self::with_passes(key, DEFAULT_ERASE_PASSES)
+    }
+
+    /// Wraps `key`, configuring the number of overwrite passes used on
+    /// erasure. At least one pass is always performed.
+    pub fn with_passes(key: SymmetricKey, passes: u32) -> Self {
+        ErasableKey {
+            state: State::Live(key),
+            passes: passes.max(1),
+        }
+    }
+
+    /// Reads the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyErased`] if [`ErasableKey::erase`] has been called.
+    pub fn get(&self) -> Result<&SymmetricKey, KeyErased> {
+        match &self.state {
+            State::Live(k) => Ok(k),
+            State::Erased => Err(KeyErased),
+        }
+    }
+
+    /// Whether the secret is still present.
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, State::Live(_))
+    }
+
+    /// Irreversibly destroys the key material.
+    ///
+    /// The buffer is overwritten `passes` times with RNG output and once with
+    /// zeros before the state flips to `Erased`. Erasing twice is a no-op.
+    pub fn erase<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        if let State::Live(key) = &mut self.state {
+            let mut scratch = [0u8; KEY_LEN];
+            for _ in 0..self.passes {
+                rng.fill_bytes(&mut scratch);
+                // Copy the random pass over the key bytes via the volatile
+                // overwrite primitive, one byte value at a time.
+                for (i, b) in scratch.iter().enumerate() {
+                    let ptr = key.as_bytes().as_ptr() as *mut u8;
+                    unsafe { core::ptr::write_volatile(ptr.add(i), *b) };
+                }
+            }
+            key.overwrite(0);
+        }
+        self.state = State::Erased;
+    }
+
+    /// Number of randomized overwrite passes configured.
+    pub fn passes(&self) -> u32 {
+        self.passes
+    }
+}
+
+impl fmt::Debug for ErasableKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.state {
+            State::Live(k) => write!(f, "ErasableKey(live, fp={})", k.fingerprint()),
+            State::Erased => f.write_str("ErasableKey(erased)"),
+        }
+    }
+}
+
+impl From<SymmetricKey> for ErasableKey {
+    fn from(key: SymmetricKey) -> Self {
+        ErasableKey::new(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn live_then_erased() {
+        let mut r = rng();
+        let key = SymmetricKey::random(&mut r);
+        let expected = key.clone();
+        let mut cell = ErasableKey::new(key);
+        assert!(cell.is_live());
+        assert_eq!(cell.get().unwrap(), &expected);
+
+        cell.erase(&mut r);
+        assert!(!cell.is_live());
+        assert_eq!(cell.get(), Err(KeyErased));
+    }
+
+    #[test]
+    fn double_erase_is_idempotent() {
+        let mut r = rng();
+        let mut cell = ErasableKey::new(SymmetricKey::random(&mut r));
+        cell.erase(&mut r);
+        cell.erase(&mut r);
+        assert_eq!(cell.get(), Err(KeyErased));
+    }
+
+    #[test]
+    fn passes_clamped_to_one() {
+        let mut r = rng();
+        let cell = ErasableKey::with_passes(SymmetricKey::random(&mut r), 0);
+        assert_eq!(cell.passes(), 1);
+    }
+
+    #[test]
+    fn clone_before_erase_is_independent() {
+        // A pre-erasure clone models an attacker who compromised the node
+        // *inside* the trust window: the secret escapes.
+        let mut r = rng();
+        let mut cell = ErasableKey::new(SymmetricKey::random(&mut r));
+        let stolen = cell.clone();
+        cell.erase(&mut r);
+        assert!(cell.get().is_err());
+        assert!(stolen.get().is_ok());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert_eq!(KeyErased.to_string(), "key material has been securely erased");
+    }
+}

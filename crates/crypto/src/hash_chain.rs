@@ -1,0 +1,153 @@
+//! One-way hash chains.
+//!
+//! Hash chains are the classic lightweight-authentication primitive in
+//! sensor networks (µTESLA, LEAP \[19\], and many key-update designs). The
+//! binding-record *version numbers* in the paper's extension (Section 4.4)
+//! can be anchored in a hash chain so an old node can prove that a claimed
+//! version is at most `m` steps past its commitment; we use this module both
+//! for that and as a general substrate.
+//!
+//! A chain is generated backwards from a random seed: `v_n = seed`,
+//! `v_{i-1} = H(v_i)`, and the *anchor* `v_0` is published. Revealing `v_i`
+//! proves knowledge of a preimage chain of length `i` ending at the anchor.
+
+use rand::RngCore;
+
+use crate::sha256::{Digest, Sha256};
+
+/// A one-way hash chain with all links materialized.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::hash_chain::HashChain;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let chain = HashChain::generate(&mut rng, 16);
+/// let anchor = chain.anchor();
+/// let v5 = chain.link(5).unwrap();
+/// assert!(HashChain::verify(&anchor, &v5, 5));
+/// assert!(!HashChain::verify(&anchor, &v5, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashChain {
+    /// links[i] is `v_i`; links\[0\] is the anchor.
+    links: Vec<Digest>,
+}
+
+impl HashChain {
+    /// Generates a chain with `len` links past the anchor (so `len + 1`
+    /// digests total) from a random seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`; a zero-length chain has no useful links.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, len: usize) -> Self {
+        assert!(len > 0, "hash chain must have at least one link");
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(Digest(seed), len)
+    }
+
+    /// Builds the chain deterministically from `seed` (which becomes `v_len`).
+    pub fn from_seed(seed: Digest, len: usize) -> Self {
+        assert!(len > 0, "hash chain must have at least one link");
+        let mut links = vec![Digest([0u8; 32]); len + 1];
+        links[len] = seed;
+        for i in (0..len).rev() {
+            links[i] = Sha256::digest(links[i + 1].as_bytes());
+        }
+        HashChain { links }
+    }
+
+    /// The public anchor `v_0`.
+    pub fn anchor(&self) -> Digest {
+        self.links[0]
+    }
+
+    /// Number of links past the anchor.
+    pub fn len(&self) -> usize {
+        self.links.len() - 1
+    }
+
+    /// Whether the chain has zero usable links (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th link `v_i` (with `v_0` the anchor), or `None` if out of range.
+    pub fn link(&self, i: usize) -> Option<Digest> {
+        self.links.get(i).copied()
+    }
+
+    /// Verifies that `value` is the `steps`-th link of the chain anchored at
+    /// `anchor`, i.e. that hashing `value` `steps` times yields `anchor`.
+    pub fn verify(anchor: &Digest, value: &Digest, steps: usize) -> bool {
+        let mut current = *value;
+        for _ in 0..steps {
+            current = Sha256::digest(current.as_bytes());
+        }
+        current.ct_eq(anchor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain(len: usize) -> HashChain {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        HashChain::generate(&mut rng, len)
+    }
+
+    #[test]
+    fn every_link_verifies_at_its_index() {
+        let c = chain(32);
+        for i in 0..=c.len() {
+            let v = c.link(i).unwrap();
+            assert!(HashChain::verify(&c.anchor(), &v, i), "link {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_index_fails() {
+        let c = chain(8);
+        let v3 = c.link(3).unwrap();
+        for wrong in [0usize, 1, 2, 4, 5, 8] {
+            assert!(!HashChain::verify(&c.anchor(), &v3, wrong));
+        }
+    }
+
+    #[test]
+    fn link_out_of_range_is_none() {
+        let c = chain(4);
+        assert!(c.link(5).is_none());
+        assert!(c.link(4).is_some());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let seed = Sha256::digest(b"seed");
+        let a = HashChain::from_seed(seed, 10);
+        let b = HashChain::from_seed(seed, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anchor_is_iterated_hash_of_seed() {
+        let seed = Sha256::digest(b"s");
+        let c = HashChain::from_seed(seed, 3);
+        let expected = Sha256::digest(
+            Sha256::digest(Sha256::digest(seed.as_bytes()).as_bytes()).as_bytes(),
+        );
+        assert_eq!(c.anchor(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_length_panics() {
+        let _ = HashChain::from_seed(Sha256::digest(b"x"), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The sealed pairwise channels in [`crate::channel`] authenticate every
+//! message with an HMAC tag, and the key-predistribution schemes in
+//! [`crate::pairwise`] derive session keys with HMAC used as a PRF.
+//!
+//! # Examples
+//!
+//! ```
+//! use snd_crypto::hmac::HmacSha256;
+//!
+//! let tag = HmacSha256::mac(b"key", b"message");
+//! assert!(HmacSha256::verify(b"key", b"message", &tag));
+//! assert!(!HmacSha256::verify(b"key", b"tampered", &tag));
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// Construct with [`HmacSha256::new`], absorb data with
+/// [`HmacSha256::update`], and produce the tag with
+/// [`HmacSha256::finalize`]. One-shot helpers [`HmacSha256::mac`] and
+/// [`HmacSha256::verify`] cover the common cases.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte block are pre-hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..digest.as_bytes().len()].copy_from_slice(digest.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key = [0u8; BLOCK_LEN];
+        let mut outer_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key[i] = key_block[i] ^ IPAD;
+            outer_key[i] = key_block[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(inner_key);
+        HmacSha256 { inner, outer_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: impl AsRef<[u8]>) {
+        self.inner.update(data);
+    }
+
+    /// Completes the computation, returning the 32-byte tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(self.outer_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// One-shot MAC over the concatenation of `parts`.
+    pub fn mac_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+
+    /// Verifies `tag` over `message` in constant time.
+    pub fn verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+        Self::mac(key, message).ct_eq(tag)
+    }
+}
+
+/// Derives a fresh key from `key` bound to a `label` and `context`.
+///
+/// A single-block HKDF-like expand step: `HMAC(key, label || 0x00 ||
+/// context)`. Used by the channel layer to separate encryption and MAC keys
+/// derived from one pairwise key.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::hmac::derive_key;
+///
+/// let enc = derive_key(b"pairwise", b"encrypt", b"u->v");
+/// let mac = derive_key(b"pairwise", b"mac", b"u->v");
+/// assert_ne!(enc, mac);
+/// ```
+pub fn derive_key(key: &[u8], label: &[u8], context: &[u8]) -> Digest {
+    HmacSha256::mac_parts(key, &[label, &[0u8], context])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::Digest;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m2", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m", &Digest([0u8; 32])));
+    }
+
+    #[test]
+    fn mac_parts_equals_concatenation() {
+        let whole = HmacSha256::mac(b"k", b"abcdef");
+        let parts = HmacSha256::mac_parts(b"k", &[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"key");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn derive_key_separates_labels_and_contexts() {
+        let a = derive_key(b"k", b"enc", b"ctx");
+        let b = derive_key(b"k", b"mac", b"ctx");
+        let c = derive_key(b"k", b"enc", b"ctx2");
+        let d = derive_key(b"k2", b"enc", b"ctx");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn block_boundary_keys() {
+        // Keys of exactly 64 bytes must not be pre-hashed; 65 bytes must be.
+        let k64 = [7u8; 64];
+        let k65 = [7u8; 65];
+        assert_ne!(HmacSha256::mac(&k64, b"m"), HmacSha256::mac(&k65, b"m"));
+    }
+}

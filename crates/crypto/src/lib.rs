@@ -1,0 +1,64 @@
+//! # snd-crypto
+//!
+//! Cryptographic substrate for the secure neighbor-discovery system
+//! reproducing *"Protecting Neighbor Discovery Against Node Compromises in
+//! Sensor Networks"* (Donggang Liu, ICDCS 2009).
+//!
+//! The paper's protocol needs exactly four cryptographic capabilities, all
+//! provided here with no external crypto dependencies:
+//!
+//! 1. **A one-way hash** for verification keys, binding-record commitments,
+//!    relation commitments and update evidence — [`sha256`] (plus [`hmac`]
+//!    and [`hash_chain`] built on it).
+//! 2. **Secure deletion** of the master key `K` after the deployment trust
+//!    window — [`erasure`].
+//! 3. **Pairwise keys between any two nodes**, which the paper delegates to
+//!    key-predistribution schemes — [`pairwise`] implements
+//!    Eschenauer–Gligor, q-composite, Blom, and bivariate-polynomial schemes.
+//! 4. **Encrypted, authenticated, replay-protected links** — [`channel`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use snd_crypto::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! // Derive K_u = H(K || u) like the protocol's initialization step.
+//! let master = SymmetricKey::random(&mut rng);
+//! let node_id: u64 = 17;
+//! let k_u = Sha256::digest_parts(&[master.as_bytes(), &node_id.to_be_bytes()]);
+//!
+//! // And erase the master key when the trust window closes.
+//! let mut cell = ErasableKey::new(master);
+//! cell.erase(&mut rng);
+//! assert!(cell.get().is_err());
+//! # let _ = k_u;
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod broadcast_auth;
+pub mod channel;
+pub mod erasure;
+pub mod hash_chain;
+pub mod hmac;
+pub mod keys;
+pub mod merkle;
+pub mod pairwise;
+pub mod sha256;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::broadcast_auth::{TeslaError, TeslaReceiver, TeslaSender};
+    pub use crate::channel::{ChannelError, Envelope, SecureChannel};
+    pub use crate::erasure::{ErasableKey, KeyErased};
+    pub use crate::hash_chain::HashChain;
+    pub use crate::hmac::{derive_key, HmacSha256};
+    pub use crate::keys::SymmetricKey;
+    pub use crate::merkle::{MerkleProof, MerkleTree};
+    pub use crate::pairwise::{KeyPredistribution, RawNodeId};
+    pub use crate::sha256::{Digest, Sha256};
+}

@@ -1,0 +1,192 @@
+//! Blom's λ-secure key-predistribution scheme (the single-space core of
+//! Du et al. \[6\]).
+//!
+//! Setup samples a random symmetric `(λ+1)×(λ+1)` matrix `D` over
+//! GF(2^61-1). The public matrix `G` is Vandermonde: column `u` is
+//! `(1, s_u, s_u^2, …, s_u^λ)` with a public, per-node seed `s_u` derived
+//! from the node ID. Node `u` receives row `u` of `A = D·G` (λ+1 field
+//! elements). The pairwise key is `K_uv = A_u · G_v = A_v · G_u`, guaranteed
+//! symmetric because `D` is. Any coalition of at most λ compromised nodes
+//! learns nothing about other pairs' keys.
+
+use rand::Rng;
+
+use crate::keys::SymmetricKey;
+use crate::sha256::Sha256;
+
+use super::field::{poly_eval, random_fe, Fe};
+use super::{KeyPredistribution, RawNodeId};
+
+/// Per-node secret: the node's row of `D·G`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlomShare {
+    row: Vec<Fe>,
+}
+
+impl BlomShare {
+    /// Number of field elements stored (λ + 1).
+    pub fn len(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Whether the share is empty (never true for a valid share).
+    pub fn is_empty(&self) -> bool {
+        self.row.is_empty()
+    }
+}
+
+/// Blom's scheme with collusion threshold λ.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::pairwise::{KeyPredistribution, blom::BlomScheme};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut scheme = BlomScheme::setup(10, &mut rng);
+/// let a = scheme.assign(100, &mut rng);
+/// let b = scheme.assign(200, &mut rng);
+/// assert_eq!(scheme.agree(100, &a, 200), scheme.agree(200, &b, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlomScheme {
+    /// Symmetric secret matrix, (λ+1)×(λ+1), row-major.
+    d: Vec<Vec<Fe>>,
+    lambda: usize,
+}
+
+impl BlomScheme {
+    /// Creates a scheme tolerating coalitions of up to `lambda` nodes.
+    pub fn setup<R: Rng + ?Sized>(lambda: usize, rng: &mut R) -> Self {
+        let n = lambda + 1;
+        let mut d = vec![vec![Fe::ZERO; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = random_fe(rng);
+                d[i][j] = v;
+                d[j][i] = v;
+            }
+        }
+        BlomScheme { d, lambda }
+    }
+
+    /// The collusion threshold λ.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// The public Vandermonde seed for `node`: a field element derived by
+    /// hashing the ID, so distinct IDs get distinct seeds with overwhelming
+    /// probability.
+    pub fn public_seed(node: RawNodeId) -> Fe {
+        let d = Sha256::digest_parts(&[b"blom-seed", &node.to_be_bytes()]);
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&d.as_bytes()[..8]);
+        Fe::new(u64::from_be_bytes(eight))
+    }
+
+    /// Column `u` of the public matrix `G`: powers of the node's seed.
+    fn g_column(&self, node: RawNodeId) -> Vec<Fe> {
+        let s = Self::public_seed(node);
+        let mut col = Vec::with_capacity(self.lambda + 1);
+        let mut acc = Fe::ONE;
+        for _ in 0..=self.lambda {
+            col.push(acc);
+            acc = acc.mul(s);
+        }
+        col
+    }
+}
+
+impl KeyPredistribution for BlomScheme {
+    type Material = BlomShare;
+
+    fn assign<R: Rng + ?Sized>(&mut self, node: RawNodeId, _rng: &mut R) -> BlomShare {
+        let g = self.g_column(node);
+        let n = self.lambda + 1;
+        let mut row = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut acc = Fe::ZERO;
+            for (j, gj) in g.iter().enumerate() {
+                acc = acc.add(self.d[i][j].mul(*gj));
+            }
+            row.push(acc);
+        }
+        BlomShare { row }
+    }
+
+    fn agree(&self, own: RawNodeId, material: &BlomShare, peer: RawNodeId) -> Option<SymmetricKey> {
+        // K = share(own) · G(peer), evaluated as a polynomial in the peer's
+        // seed since G columns are Vandermonde.
+        let s_peer = Self::public_seed(peer);
+        let k = poly_eval(&material.row, s_peer);
+        let (lo, hi) = if own < peer { (own, peer) } else { (peer, own) };
+        let digest = Sha256::digest_parts(&[
+            b"blom-pairwise",
+            &lo.to_be_bytes(),
+            &hi.to_be_bytes(),
+            &k.to_le_bytes(),
+        ]);
+        Some(SymmetricKey::from(digest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let mut r = rng();
+        let mut s = BlomScheme::setup(5, &mut r);
+        for (a, b) in [(1u64, 2u64), (7, 1000), (12345, 9)] {
+            let ma = s.assign(a, &mut r);
+            let mb = s.assign(b, &mut r);
+            assert_eq!(s.agree(a, &ma, b), s.agree(b, &mb, a), "pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn different_pairs_different_keys() {
+        let mut r = rng();
+        let mut s = BlomScheme::setup(5, &mut r);
+        let m1 = s.assign(1, &mut r);
+        assert_ne!(s.agree(1, &m1, 2), s.agree(1, &m1, 3));
+    }
+
+    #[test]
+    fn share_length_is_lambda_plus_one() {
+        let mut r = rng();
+        let mut s = BlomScheme::setup(7, &mut r);
+        let m = s.assign(4, &mut r);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn seeds_differ_across_ids() {
+        assert_ne!(BlomScheme::public_seed(1), BlomScheme::public_seed(2));
+    }
+
+    #[test]
+    fn lambda_plus_one_colluders_reconstruct_but_lambda_do_not_trivially() {
+        // Sanity check on the security intuition: a single share evaluated at
+        // another node's seed is NOT the other pair's key unless it is the
+        // designated share. (Full information-theoretic proof is out of
+        // scope; this guards against implementation shortcuts that would
+        // leak, e.g. ignoring the share entirely.)
+        let mut r = rng();
+        let mut s = BlomScheme::setup(3, &mut r);
+        let m1 = s.assign(1, &mut r);
+        let m2 = s.assign(2, &mut r);
+        let k_12 = s.agree(1, &m1, 2).unwrap();
+        let k_32_via_wrong_share = s.agree(3, &m2, 2).unwrap();
+        assert_ne!(k_12, k_32_via_wrong_share);
+    }
+}

@@ -1,0 +1,247 @@
+//! Eschenauer–Gligor random key pools and the Chan–Perrig–Song q-composite
+//! generalization.
+//!
+//! Setup generates a pool of `pool_size` random keys. Each node receives a
+//! ring of `ring_size` distinct keys drawn uniformly from the pool. Two
+//! nodes can establish a pairwise key iff their rings share at least `q`
+//! keys (`q = 1` recovers the original EG scheme); the pairwise key is a hash
+//! over *all* shared pool keys, so an eavesdropper must know every shared key
+//! to reconstruct it.
+
+use std::collections::BTreeMap;
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+use crate::keys::SymmetricKey;
+use crate::sha256::Sha256;
+
+use super::{KeyPredistribution, RawNodeId};
+
+/// A node's key ring: pool indices mapped to the pool keys themselves.
+///
+/// Stored as a `BTreeMap` so shared-key discovery and hashing are
+/// order-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRing {
+    keys: BTreeMap<u32, [u8; 32]>,
+}
+
+impl KeyRing {
+    /// Pool indices present in the ring, ascending.
+    pub fn indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.keys.keys().copied()
+    }
+
+    /// Number of keys carried.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// The Eschenauer–Gligor / q-composite random key-pool scheme.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::pairwise::{KeyPredistribution, eg::EgScheme};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Small pool with large rings: overlap is certain.
+/// let mut scheme = EgScheme::setup(20, 15, 1, &mut rng);
+/// let a = scheme.assign(1, &mut rng);
+/// let b = scheme.assign(2, &mut rng);
+/// assert_eq!(scheme.agree(1, &a, 2), scheme.agree(2, &b, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EgScheme {
+    pool: Vec<[u8; 32]>,
+    ring_size: usize,
+    q: usize,
+    /// Rings issued so far; `agree` consults the peer's ring indices the way
+    /// fielded nodes learn them from the peer's broadcast of its index list.
+    issued: BTreeMap<RawNodeId, KeyRing>,
+}
+
+impl EgScheme {
+    /// Generates a pool of `pool_size` keys; each node will receive
+    /// `ring_size` of them, and pairs need `q` shared keys to connect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero or exceeds `pool_size`, or if `q` is zero.
+    pub fn setup<R: Rng + ?Sized>(pool_size: usize, ring_size: usize, q: usize, rng: &mut R) -> Self {
+        assert!(pool_size > 0, "pool must be non-empty");
+        assert!(
+            (1..=pool_size).contains(&ring_size),
+            "ring size {ring_size} must be in 1..={pool_size}"
+        );
+        assert!(q > 0, "q-composite threshold must be at least 1");
+        let mut pool = Vec::with_capacity(pool_size);
+        for _ in 0..pool_size {
+            let mut k = [0u8; 32];
+            rng.fill_bytes(&mut k);
+            pool.push(k);
+        }
+        EgScheme {
+            pool,
+            ring_size,
+            q,
+            issued: BTreeMap::new(),
+        }
+    }
+
+    /// The analytic probability that two rings share at least one key
+    /// (the classic EG connectivity formula), computed in log-space.
+    pub fn analytic_connectivity(&self) -> f64 {
+        let p = self.pool.len() as f64;
+        let k = self.ring_size as f64;
+        if 2.0 * k > p {
+            return 1.0;
+        }
+        // Pr[no overlap] = C(p-k, k) / C(p, k) = prod_{i=0..k-1} (p-k-i)/(p-i)
+        let mut log_miss = 0.0f64;
+        for i in 0..self.ring_size {
+            log_miss += ((p - k - i as f64) / (p - i as f64)).ln();
+        }
+        1.0 - log_miss.exp()
+    }
+}
+
+impl KeyPredistribution for EgScheme {
+    type Material = KeyRing;
+
+    fn assign<R: Rng + ?Sized>(&mut self, node: RawNodeId, rng: &mut R) -> KeyRing {
+        let picks = sample(rng, self.pool.len(), self.ring_size);
+        let mut keys = BTreeMap::new();
+        for idx in picks.iter() {
+            keys.insert(idx as u32, self.pool[idx]);
+        }
+        let ring = KeyRing { keys };
+        self.issued.insert(node, ring.clone());
+        ring
+    }
+
+    fn agree(&self, own: RawNodeId, material: &KeyRing, peer: RawNodeId) -> Option<SymmetricKey> {
+        let peer_ring = self.issued.get(&peer)?;
+        let shared: Vec<u32> = material
+            .keys
+            .keys()
+            .filter(|i| peer_ring.keys.contains_key(*i))
+            .copied()
+            .collect();
+        if shared.len() < self.q {
+            return None;
+        }
+        // Hash every shared pool key, in index order, plus the unordered pair
+        // of IDs so directionality does not matter.
+        let (lo, hi) = if own < peer { (own, peer) } else { (peer, own) };
+        let mut h = Sha256::new();
+        h.update(b"eg-pairwise");
+        h.update(lo.to_be_bytes());
+        h.update(hi.to_be_bytes());
+        for idx in shared {
+            h.update(idx.to_be_bytes());
+            h.update(material.keys[&idx]);
+        }
+        Some(SymmetricKey::from(h.finalize()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn symmetric_agreement() {
+        let mut r = rng();
+        let mut s = EgScheme::setup(50, 30, 1, &mut r);
+        let a = s.assign(10, &mut r);
+        let b = s.assign(20, &mut r);
+        let kab = s.agree(10, &a, 20);
+        let kba = s.agree(20, &b, 10);
+        assert!(kab.is_some(), "rings of 30/50 keys must overlap");
+        assert_eq!(kab, kba);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_keys() {
+        let mut r = rng();
+        let mut s = EgScheme::setup(10, 10, 1, &mut r); // full pool: always connected
+        let a = s.assign(1, &mut r);
+        let _b = s.assign(2, &mut r);
+        let _c = s.assign(3, &mut r);
+        assert_ne!(s.agree(1, &a, 2), s.agree(1, &a, 3));
+    }
+
+    #[test]
+    fn q_composite_requires_q_shared() {
+        let mut r = rng();
+        // With ring = pool every pair shares all 10 keys, so q=10 passes and
+        // q would fail only if fewer were shared.
+        let mut s = EgScheme::setup(10, 10, 10, &mut r);
+        let a = s.assign(1, &mut r);
+        let _ = s.assign(2, &mut r);
+        assert!(s.agree(1, &a, 2).is_some());
+
+        let mut sparse = EgScheme::setup(1000, 2, 2, &mut r);
+        let a = sparse.assign(1, &mut r);
+        let _ = sparse.assign(2, &mut r);
+        // Sharing 2 of 2 draws from a 1000-key pool is overwhelmingly unlikely.
+        assert!(sparse.agree(1, &a, 2).is_none());
+    }
+
+    #[test]
+    fn unknown_peer_yields_none() {
+        let mut r = rng();
+        let mut s = EgScheme::setup(10, 5, 1, &mut r);
+        let a = s.assign(1, &mut r);
+        assert_eq!(s.agree(1, &a, 999), None);
+    }
+
+    #[test]
+    fn analytic_connectivity_matches_simulation() {
+        let mut r = rng();
+        let mut s = EgScheme::setup(100, 20, 1, &mut r);
+        let analytic = s.analytic_connectivity();
+        let mut hits = 0;
+        let trials = 400;
+        for i in 0..trials {
+            let a = s.assign(10_000 + 2 * i, &mut r);
+            let _ = s.assign(10_001 + 2 * i, &mut r);
+            if s.agree(10_000 + 2 * i, &a, 10_001 + 2 * i).is_some() {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / trials as f64;
+        assert!(
+            (analytic - empirical).abs() < 0.1,
+            "analytic {analytic} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn full_overlap_connectivity_is_one() {
+        let mut r = rng();
+        let s = EgScheme::setup(10, 10, 1, &mut r);
+        assert_eq!(s.analytic_connectivity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size")]
+    fn oversized_ring_panics() {
+        let mut r = rng();
+        EgScheme::setup(5, 6, 1, &mut r);
+    }
+}

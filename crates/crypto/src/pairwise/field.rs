@@ -1,0 +1,187 @@
+//! Arithmetic in the prime field GF(2^61 - 1).
+//!
+//! The Blom and Blundo-polynomial schemes need exact arithmetic over a field
+//! large enough that node identifiers never collide modulo `p`. The Mersenne
+//! prime `p = 2^61 - 1` keeps reductions cheap (shift-and-add) while all
+//! intermediate products fit in `u128`.
+
+/// The field modulus: the Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// An element of GF(2^61 - 1), always kept in canonical reduced form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fe(u64);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe(0);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe(1);
+
+    /// Reduces an arbitrary `u64` into the field.
+    pub fn new(v: u64) -> Self {
+        Fe(v % P)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: Fe) -> Fe {
+        Fe(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        })
+    }
+
+    /// Field multiplication via `u128` widening and Mersenne reduction.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let prod = (self.0 as u128) * (rhs.0 as u128);
+        // Split into low 61 bits and the rest; for Mersenne p, 2^61 ≡ 1.
+        let lo = (prod & (P as u128)) as u64;
+        let hi = (prod >> 61) as u64;
+        let s = lo + hi; // hi < 2^67/2^61 = 2^66... actually prod < 2^122, hi < 2^61, so s < 2^62
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut exp: u64) -> Fe {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, which has no inverse.
+    pub fn inv(self) -> Fe {
+        assert!(self.0 != 0, "zero has no multiplicative inverse");
+        self.pow(P - 2)
+    }
+
+    /// Little-endian byte encoding of the canonical representative.
+    pub fn to_le_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+}
+
+impl From<u64> for Fe {
+    fn from(v: u64) -> Self {
+        Fe::new(v)
+    }
+}
+
+/// Evaluates a polynomial with coefficients `coeffs` (lowest degree first)
+/// at `x`, via Horner's rule.
+pub fn poly_eval(coeffs: &[Fe], x: Fe) -> Fe {
+    let mut acc = Fe::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+/// Samples a uniformly random field element.
+pub fn random_fe<R: rand::Rng + ?Sized>(rng: &mut R) -> Fe {
+    // Rejection sampling over 61-bit candidates keeps the draw uniform.
+    loop {
+        let v = rng.gen::<u64>() & ((1 << 61) - 1);
+        if v < P {
+            return Fe(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Fe::new(123_456_789);
+        let b = Fe::new(P - 5);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(a), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let a = Fe::new(0x1234_5678_9abc_def0);
+        let b = Fe::new(0x0fed_cba9_8765_4321);
+        let c = Fe::new(42);
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn mul_reduction_near_modulus() {
+        let a = Fe::new(P - 1);
+        // (p-1)^2 = p^2 - 2p + 1 ≡ 1 (mod p)
+        assert_eq!(a.mul(a), Fe::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fe::new(7);
+        let mut acc = Fe::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc, "exponent {e}");
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let a = random_fe(&mut rng);
+            if a == Fe::ZERO {
+                continue;
+            }
+            assert_eq!(a.mul(a.inv()), Fe::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        Fe::ZERO.inv();
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let coeffs = [Fe::new(3), Fe::new(0), Fe::new(5), Fe::new(1)]; // 3 + 5x^2 + x^3
+        let x = Fe::new(10);
+        let naive = Fe::new(3)
+            .add(Fe::new(5).mul(x.pow(2)))
+            .add(x.pow(3));
+        assert_eq!(poly_eval(&coeffs, x), naive);
+    }
+
+    #[test]
+    fn random_fe_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            assert!(random_fe(&mut rng).value() < P);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Blundo-style bivariate-polynomial key predistribution (the building block
+//! of Liu–Ning \[13\]).
+//!
+//! Setup samples a symmetric bivariate polynomial
+//! `f(x, y) = Σ_{i,j} c_{ij} x^i y^j` with `c_{ij} = c_{ji}` over
+//! GF(2^61-1), of degree λ in each variable. Node `u` receives the
+//! univariate *share* `f(s_u, y)` (λ+1 coefficients, with `s_u` a public
+//! per-ID seed). The pairwise key between `u` and `v` is `f(s_u, s_v) =
+//! f(s_v, s_u)`. Coalitions of at most λ nodes learn nothing about other
+//! pairs' keys.
+
+use rand::Rng;
+
+use crate::keys::SymmetricKey;
+use crate::sha256::Sha256;
+
+use super::field::{poly_eval, random_fe, Fe};
+use super::{KeyPredistribution, RawNodeId};
+
+/// A node's univariate polynomial share `f(s_u, y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyShare {
+    /// Coefficients of `y^0 .. y^λ`.
+    coeffs: Vec<Fe>,
+}
+
+impl PolyShare {
+    /// Degree bound λ of the share.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+/// The symmetric bivariate-polynomial scheme with threshold λ.
+///
+/// # Examples
+///
+/// ```
+/// use snd_crypto::pairwise::{KeyPredistribution, polynomial::PolynomialScheme};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut scheme = PolynomialScheme::setup(16, &mut rng);
+/// let a = scheme.assign(7, &mut rng);
+/// let b = scheme.assign(8, &mut rng);
+/// assert_eq!(scheme.agree(7, &a, 8), scheme.agree(8, &b, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolynomialScheme {
+    /// Symmetric coefficient matrix c[i][j], (λ+1)².
+    coeffs: Vec<Vec<Fe>>,
+    lambda: usize,
+}
+
+impl PolynomialScheme {
+    /// Creates a scheme with collusion threshold `lambda`.
+    pub fn setup<R: Rng + ?Sized>(lambda: usize, rng: &mut R) -> Self {
+        let n = lambda + 1;
+        let mut coeffs = vec![vec![Fe::ZERO; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = random_fe(rng);
+                coeffs[i][j] = v;
+                coeffs[j][i] = v;
+            }
+        }
+        PolynomialScheme { coeffs, lambda }
+    }
+
+    /// The collusion threshold λ.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Public field seed for a node ID.
+    pub fn public_seed(node: RawNodeId) -> Fe {
+        let d = Sha256::digest_parts(&[b"poly-seed", &node.to_be_bytes()]);
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&d.as_bytes()[..8]);
+        Fe::new(u64::from_be_bytes(eight))
+    }
+
+    /// Evaluates the full bivariate polynomial — setup-server-only oracle
+    /// used by tests to cross-check shares.
+    pub fn eval(&self, x: Fe, y: Fe) -> Fe {
+        // Σ_i x^i · (Σ_j c_ij y^j)
+        let mut outer = Vec::with_capacity(self.coeffs.len());
+        for row in &self.coeffs {
+            outer.push(poly_eval(row, y));
+        }
+        poly_eval(&outer, x)
+    }
+}
+
+impl KeyPredistribution for PolynomialScheme {
+    type Material = PolyShare;
+
+    fn assign<R: Rng + ?Sized>(&mut self, node: RawNodeId, _rng: &mut R) -> PolyShare {
+        let s = Self::public_seed(node);
+        let n = self.lambda + 1;
+        // Coefficient of y^j in f(s, y) is Σ_i c_ij s^i.
+        let mut share = Vec::with_capacity(n);
+        for j in 0..n {
+            let column: Vec<Fe> = (0..n).map(|i| self.coeffs[i][j]).collect();
+            share.push(poly_eval(&column, s));
+        }
+        PolyShare { coeffs: share }
+    }
+
+    fn agree(&self, own: RawNodeId, material: &PolyShare, peer: RawNodeId) -> Option<SymmetricKey> {
+        let s_peer = Self::public_seed(peer);
+        let k = poly_eval(&material.coeffs, s_peer);
+        let (lo, hi) = if own < peer { (own, peer) } else { (peer, own) };
+        let digest = Sha256::digest_parts(&[
+            b"poly-pairwise",
+            &lo.to_be_bytes(),
+            &hi.to_be_bytes(),
+            &k.to_le_bytes(),
+        ]);
+        Some(SymmetricKey::from(digest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(41)
+    }
+
+    #[test]
+    fn shares_match_bivariate_evaluation() {
+        let mut r = rng();
+        let mut s = PolynomialScheme::setup(4, &mut r);
+        let share = s.assign(9, &mut r);
+        let su = PolynomialScheme::public_seed(9);
+        let sv = PolynomialScheme::public_seed(13);
+        assert_eq!(poly_eval(&share.coeffs, sv), s.eval(su, sv));
+    }
+
+    #[test]
+    fn agreement_symmetric_over_many_pairs() {
+        let mut r = rng();
+        let mut s = PolynomialScheme::setup(8, &mut r);
+        for pair in [(1u64, 2u64), (3, 500), (42, 43), (u64::MAX, 0)] {
+            let ma = s.assign(pair.0, &mut r);
+            let mb = s.assign(pair.1, &mut r);
+            assert_eq!(
+                s.agree(pair.0, &ma, pair.1),
+                s.agree(pair.1, &mb, pair.0),
+                "pair {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_differ_across_peers() {
+        let mut r = rng();
+        let mut s = PolynomialScheme::setup(4, &mut r);
+        let m = s.assign(1, &mut r);
+        assert_ne!(s.agree(1, &m, 2), s.agree(1, &m, 3));
+    }
+
+    #[test]
+    fn share_degree_is_lambda() {
+        let mut r = rng();
+        let mut s = PolynomialScheme::setup(6, &mut r);
+        assert_eq!(s.assign(5, &mut r).degree(), 6);
+    }
+
+    #[test]
+    fn deterministic_agreement_always_succeeds() {
+        let mut r = rng();
+        let mut s = PolynomialScheme::setup(2, &mut r);
+        let m = s.assign(77, &mut r);
+        // Peer never assigned: agree still works (shares are self-contained).
+        assert!(s.agree(77, &m, 12_345).is_some());
+    }
+}

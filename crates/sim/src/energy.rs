@@ -1,0 +1,132 @@
+//! Radio energy accounting.
+//!
+//! The Section 4.4 extension exists because "some sensor nodes run out of
+//! battery after the network is on operation for a long period of time".
+//! This module gives the simulator a first-order energy model (the classic
+//! linear `base + per-byte` radio cost) and per-node batteries, so battery
+//! death emerges from traffic instead of being scripted.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear radio energy model, in microjoules.
+///
+/// Defaults approximate a CC2420-class 802.15.4 radio at 250 kbps
+/// (~0.6 µJ/byte transmit, ~0.67 µJ/byte receive, plus startup overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Fixed cost to power up the transmitter for one frame (µJ).
+    pub tx_base: f64,
+    /// Marginal transmit cost per payload byte (µJ).
+    pub tx_per_byte: f64,
+    /// Fixed cost to receive one frame (µJ).
+    pub rx_base: f64,
+    /// Marginal receive cost per payload byte (µJ).
+    pub rx_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            tx_base: 10.0,
+            tx_per_byte: 0.6,
+            rx_base: 10.0,
+            rx_per_byte: 0.67,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy to transmit a frame of `bytes` payload bytes.
+    pub fn tx_cost(&self, bytes: usize) -> f64 {
+        self.tx_base + self.tx_per_byte * bytes as f64
+    }
+
+    /// Energy to receive a frame of `bytes` payload bytes.
+    pub fn rx_cost(&self, bytes: usize) -> f64 {
+        self.rx_base + self.rx_per_byte * bytes as f64
+    }
+}
+
+/// A node's battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: f64,
+    remaining: f64,
+}
+
+impl Battery {
+    /// A full battery with the given capacity in microjoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive capacity.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "battery capacity must be positive");
+        Battery {
+            capacity,
+            remaining: capacity,
+        }
+    }
+
+    /// Remaining energy in microjoules.
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        (self.remaining / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// Whether the battery is exhausted.
+    pub fn is_dead(&self) -> bool {
+        self.remaining <= 0.0
+    }
+
+    /// Draws `amount` µJ; returns `true` if the battery just died.
+    pub fn draw(&mut self, amount: f64) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        self.remaining -= amount.max(0.0);
+        self.remaining <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_costs_are_linear() {
+        let m = EnergyModel::default();
+        assert_eq!(m.tx_cost(0), m.tx_base);
+        assert!(m.tx_cost(100) > m.tx_cost(10));
+        assert!((m.rx_cost(50) - (m.rx_base + 50.0 * m.rx_per_byte)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_depletes_and_dies_once() {
+        let mut b = Battery::new(100.0);
+        assert_eq!(b.level(), 1.0);
+        assert!(!b.draw(60.0));
+        assert!((b.remaining() - 40.0).abs() < 1e-12);
+        assert!(b.draw(50.0), "crossing zero reports death");
+        assert!(b.is_dead());
+        assert!(!b.draw(10.0), "already dead: no second death event");
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn negative_draw_is_ignored() {
+        let mut b = Battery::new(10.0);
+        b.draw(-5.0);
+        assert_eq!(b.remaining(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        Battery::new(0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Radio jamming zones.
+//!
+//! The paper's adversary "can certainly jam the channel so that nobody can
+//! find any tentative neighbor node"; jamming also appears in the proof of
+//! Theorem 1, where the attacker partitions the network by "jamming the
+//! channel between some sensor nodes". [`JamZone`] models a circular jammer
+//! active over a time window.
+
+use serde::{Deserialize, Serialize};
+use snd_topology::{Circle, Point};
+
+use crate::time::SimTime;
+
+/// A circular jamming region active during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JamZone {
+    /// The jammed disk.
+    pub area: Circle,
+    /// Activation time (inclusive).
+    pub from: SimTime,
+    /// Deactivation time (exclusive); `None` means forever.
+    pub until: Option<SimTime>,
+}
+
+impl JamZone {
+    /// A zone jamming `area` forever, starting immediately.
+    pub fn permanent(area: Circle) -> Self {
+        JamZone {
+            area,
+            from: SimTime::ZERO,
+            until: None,
+        }
+    }
+
+    /// A zone active during `[from, until)`.
+    pub fn timed(area: Circle, from: SimTime, until: SimTime) -> Self {
+        assert!(from <= until, "jam window must be ordered");
+        JamZone {
+            area,
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// Whether the zone is active at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+
+    /// Whether a radio at `p` is jammed at `t`.
+    pub fn jams(&self, p: &Point, t: SimTime) -> bool {
+        self.active_at(t) && self.area.contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> JamZone {
+        JamZone::timed(
+            Circle::new(Point::new(50.0, 50.0), 10.0),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        )
+    }
+
+    #[test]
+    fn active_window_is_half_open() {
+        let z = zone();
+        assert!(!z.active_at(SimTime::from_millis(999)));
+        assert!(z.active_at(SimTime::from_secs(1)));
+        assert!(z.active_at(SimTime::from_millis(1999)));
+        assert!(!z.active_at(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn jams_inside_only() {
+        let z = zone();
+        let t = SimTime::from_millis(1500);
+        assert!(z.jams(&Point::new(55.0, 50.0), t));
+        assert!(!z.jams(&Point::new(70.0, 50.0), t));
+        assert!(!z.jams(&Point::new(55.0, 50.0), SimTime::ZERO));
+    }
+
+    #[test]
+    fn permanent_never_expires() {
+        let z = JamZone::permanent(Circle::new(Point::new(0.0, 0.0), 5.0));
+        assert!(z.jams(&Point::new(1.0, 1.0), SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_window_panics() {
+        JamZone::timed(
+            Circle::new(Point::new(0.0, 0.0), 1.0),
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # snd-sim
+//!
+//! A deterministic discrete-event simulator for wireless sensor networks,
+//! built as the evaluation substrate for the secure neighbor-discovery
+//! system (reproduction of Liu, ICDCS 2009).
+//!
+//! The paper's experiments are geometric simulations over static fields;
+//! this crate supplies the pieces those experiments need and nothing more:
+//!
+//! * a virtual clock and event queue ([`time`], [`network`]),
+//! * unit-disk and lossy radio models ([`radio`]),
+//! * jamming zones, since the paper's adversary can jam ([`jamming`]),
+//! * replica transceivers: attacker radios that reuse a compromised node's
+//!   identity at arbitrary positions ([`network::Simulator::add_replica`]),
+//! * cost metrics matching the paper's overhead discussion ([`metrics`]).
+//!
+//! Everything is reproducible from a single seed.
+//!
+//! ```
+//! use snd_sim::prelude::*;
+//! use snd_topology::unit_disk::RadioSpec;
+//! use snd_topology::{Deployment, Field};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let deployment = Deployment::uniform(Field::square(100.0), 50, &mut rng);
+//! let sim = Simulator::new(deployment, RadioSpec::uniform(50.0), 1);
+//! assert_eq!(sim.node_ids().count(), 50);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod jamming;
+pub mod metrics;
+pub mod network;
+pub mod radio;
+pub mod time;
+
+/// Re-exports of the items most experiments need.
+pub mod prelude {
+    pub use crate::energy::{Battery, EnergyModel};
+    pub use crate::jamming::JamZone;
+    pub use crate::metrics::{DropReason, HashCounter, Metrics, NodeCounters};
+    pub use crate::network::{Delivered, SendOutcome, Simulator, Wormhole};
+    pub use crate::radio::{AnyLinkModel, LinkModel, LogDistance, LossyDisk, UnitDisk};
+    pub use crate::time::{SimDuration, SimTime};
+}

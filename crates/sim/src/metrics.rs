@@ -1,0 +1,196 @@
+//! Cost accounting.
+//!
+//! Section 4.3 of the paper argues the protocol is cheap by counting three
+//! things: storage items, messages "transmitted between neighboring sensor
+//! nodes", and "a few efficient one-way hash operations". [`Metrics`]
+//! counts all three (bytes too) per node and in aggregate, so the overhead
+//! experiment (E9 in DESIGN.md) is a straight read-out.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use snd_topology::NodeId;
+
+/// Why a transmission failed to reach a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropReason {
+    /// Receiver outside the sender's radio range.
+    OutOfRange,
+    /// Stochastic link loss.
+    LinkLoss,
+    /// Receiver inside an active jamming zone.
+    Jammed,
+    /// Destination does not exist (or died).
+    NoSuchNode,
+}
+
+/// Per-node transmission/reception counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Unicast frames sent.
+    pub unicasts_sent: u64,
+    /// Broadcast frames sent (counted once per broadcast).
+    pub broadcasts_sent: u64,
+    /// Frames received.
+    pub received: u64,
+    /// Payload bytes sent (unicast counts once; broadcast counts once).
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+/// Aggregate simulation metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    per_node: BTreeMap<NodeId, NodeCounters>,
+    drops: BTreeMap<DropReason, u64>,
+    hash_ops: Arc<AtomicU64>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Mutable counters for `id`, created on first touch.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeCounters {
+        self.per_node.entry(id).or_default()
+    }
+
+    /// Counters for `id`, zeroed if never touched.
+    pub fn node(&self, id: NodeId) -> NodeCounters {
+        self.per_node.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Records a dropped delivery.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Number of drops for `reason`.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Total drops across all reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// A shareable counter for hash operations; protocol code clones the
+    /// handle and bumps it on every hash invocation.
+    pub fn hash_counter(&self) -> HashCounter {
+        HashCounter(Arc::clone(&self.hash_ops))
+    }
+
+    /// Total hash operations recorded so far.
+    pub fn hash_ops(&self) -> u64 {
+        self.hash_ops.load(Ordering::Relaxed)
+    }
+
+    /// Sums counters over all nodes.
+    pub fn totals(&self) -> NodeCounters {
+        let mut total = NodeCounters::default();
+        for c in self.per_node.values() {
+            total.unicasts_sent += c.unicasts_sent;
+            total.broadcasts_sent += c.broadcasts_sent;
+            total.received += c.received;
+            total.bytes_sent += c.bytes_sent;
+            total.bytes_received += c.bytes_received;
+        }
+        total
+    }
+
+    /// Mean frames sent (unicast + broadcast) per touched node.
+    pub fn mean_sent_per_node(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let t = self.totals();
+        (t.unicasts_sent + t.broadcasts_sent) as f64 / self.per_node.len() as f64
+    }
+}
+
+/// A cloneable handle onto the global hash-operation counter.
+#[derive(Debug, Clone)]
+pub struct HashCounter(Arc<AtomicU64>);
+
+impl HashCounter {
+    /// A detached counter not connected to any [`Metrics`]; useful in tests.
+    pub fn detached() -> Self {
+        HashCounter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Records `n` hash invocations.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.node_mut(n(1)).unicasts_sent += 2;
+        m.node_mut(n(1)).bytes_sent += 100;
+        m.node_mut(n(2)).broadcasts_sent += 1;
+        let t = m.totals();
+        assert_eq!(t.unicasts_sent, 2);
+        assert_eq!(t.broadcasts_sent, 1);
+        assert_eq!(t.bytes_sent, 100);
+        assert_eq!(m.mean_sent_per_node(), 1.5);
+    }
+
+    #[test]
+    fn untouched_node_is_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.node(n(9)), NodeCounters::default());
+        assert_eq!(m.mean_sent_per_node(), 0.0);
+    }
+
+    #[test]
+    fn drop_reasons_tracked_separately() {
+        let mut m = Metrics::new();
+        m.record_drop(DropReason::OutOfRange);
+        m.record_drop(DropReason::OutOfRange);
+        m.record_drop(DropReason::Jammed);
+        assert_eq!(m.drops(DropReason::OutOfRange), 2);
+        assert_eq!(m.drops(DropReason::Jammed), 1);
+        assert_eq!(m.drops(DropReason::LinkLoss), 0);
+        assert_eq!(m.total_drops(), 3);
+    }
+
+    #[test]
+    fn hash_counter_shared() {
+        let m = Metrics::new();
+        let h1 = m.hash_counter();
+        let h2 = m.hash_counter();
+        h1.add(3);
+        h2.add(4);
+        assert_eq!(m.hash_ops(), 7);
+        assert_eq!(h1.get(), 7);
+    }
+
+    #[test]
+    fn detached_counter_is_isolated() {
+        let m = Metrics::new();
+        let d = HashCounter::detached();
+        d.add(5);
+        assert_eq!(m.hash_ops(), 0);
+        assert_eq!(d.get(), 5);
+    }
+}

@@ -1,0 +1,785 @@
+//! The network simulator: message fabric, clock, and delivery semantics.
+//!
+//! [`Simulator`] owns node positions (including attacker-placed *replica*
+//! transceivers sharing a compromised node's identity), a radio/link model,
+//! jamming zones, an event queue of in-flight frames, per-node inboxes, and
+//! cost [`Metrics`]. Protocol layers drive it in rounds: send frames, advance
+//! the clock, drain inboxes.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Deployment, NodeId, Point};
+
+use crate::energy::{Battery, EnergyModel};
+use crate::jamming::JamZone;
+use crate::metrics::{DropReason, Metrics};
+use crate::radio::{AnyLinkModel, LinkModel};
+use crate::time::{SimDuration, SimTime};
+
+/// A frame delivered into a node's inbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivered {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Claimed sender identity (the radio's ID; replicas share the
+    /// compromised node's ID).
+    pub from: NodeId,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Whether the frame was part of a broadcast.
+    pub broadcast: bool,
+    /// Physical path length the frame actually traveled, in meters. Over a
+    /// wormhole this includes the tunnel, which is exactly what RTT-based
+    /// direct verification measures (packet leashes \[9\]\[10\]).
+    pub distance: f64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: SimTime,
+    seq: u64,
+    to: NodeId,
+    frame: Delivered,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+
+impl Eq for InFlight {}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of a unicast attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The frame was scheduled for delivery.
+    Scheduled,
+    /// The frame was dropped.
+    Dropped(DropReason),
+}
+
+impl SendOutcome {
+    /// Whether the frame will arrive.
+    pub fn is_scheduled(&self) -> bool {
+        matches!(self, SendOutcome::Scheduled)
+    }
+}
+
+/// A deterministic discrete-event sensor-network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use snd_sim::network::Simulator;
+/// use snd_sim::time::SimDuration;
+/// use snd_topology::unit_disk::RadioSpec;
+/// use snd_topology::{Deployment, Field, NodeId, Point};
+///
+/// let mut d = Deployment::empty(Field::square(100.0));
+/// d.place(NodeId(1), Point::new(10.0, 10.0));
+/// d.place(NodeId(2), Point::new(20.0, 10.0));
+/// let mut sim = Simulator::new(d, RadioSpec::uniform(50.0), 42);
+///
+/// sim.unicast(NodeId(1), NodeId(2), b"hello".to_vec());
+/// sim.advance(SimDuration::from_millis(10));
+/// let inbox = sim.drain_inbox(NodeId(2));
+/// assert_eq!(inbox[0].payload, b"hello");
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    time: SimTime,
+    positions: BTreeMap<NodeId, Vec<Point>>,
+    radio: RadioSpec,
+    link: AnyLinkModel,
+    jammers: Vec<JamZone>,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    seq: u64,
+    inboxes: BTreeMap<NodeId, VecDeque<Delivered>>,
+    metrics: Metrics,
+    rng: StdRng,
+    latency: SimDuration,
+    energy: Option<EnergyModel>,
+    batteries: BTreeMap<NodeId, Battery>,
+    deaths: Vec<NodeId>,
+    wormholes: Vec<Wormhole>,
+}
+
+/// An out-of-band tunnel between two field positions \[8\]–\[10\]: frames
+/// heard within `radius` of one end are re-emitted at the other. The
+/// classic wormhole attack needs **no compromised nodes** — it simply
+/// relays traffic — but it stretches the physical path length, which is
+/// what RTT-based direct verification detects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wormhole {
+    /// One tunnel mouth.
+    pub a: Point,
+    /// The other tunnel mouth.
+    pub b: Point,
+    /// Pickup/re-emission radius at each mouth.
+    pub radius: f64,
+}
+
+impl Simulator {
+    /// Builds a simulator over `deployment` with an ideal unit-disk link
+    /// model and 1 ms frame latency.
+    pub fn new(deployment: Deployment, radio: RadioSpec, seed: u64) -> Self {
+        let positions = deployment
+            .iter()
+            .map(|(id, p)| (id, vec![p]))
+            .collect();
+        Simulator {
+            time: SimTime::ZERO,
+            positions,
+            radio,
+            link: AnyLinkModel::default(),
+            jammers: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            inboxes: BTreeMap::new(),
+            metrics: Metrics::new(),
+            rng: StdRng::seed_from_u64(seed),
+            latency: SimDuration::from_millis(1),
+            energy: None,
+            batteries: BTreeMap::new(),
+            deaths: Vec::new(),
+            wormholes: Vec::new(),
+        }
+    }
+
+    /// Installs a wormhole tunnel.
+    pub fn add_wormhole(&mut self, wormhole: Wormhole) {
+        assert!(wormhole.radius > 0.0, "wormhole radius must be positive");
+        self.wormholes.push(wormhole);
+    }
+
+    /// Enables radio energy accounting. Nodes without an explicit battery
+    /// (see [`Simulator::set_battery`]) are treated as mains-powered.
+    pub fn enable_energy(&mut self, model: EnergyModel) {
+        self.energy = Some(model);
+    }
+
+    /// Installs (or replaces) a battery with `capacity` µJ for `id`. When
+    /// energy accounting is enabled, the node dies once it is exhausted.
+    pub fn set_battery(&mut self, id: NodeId, capacity: f64) {
+        self.batteries.insert(id, Battery::new(capacity));
+    }
+
+    /// The battery state of `id`, if it has one.
+    pub fn battery(&self, id: NodeId) -> Option<&Battery> {
+        self.batteries.get(&id)
+    }
+
+    /// Nodes that died of battery exhaustion, in order of death.
+    pub fn battery_deaths(&self) -> &[NodeId] {
+        &self.deaths
+    }
+
+    /// Draws transmit/receive energy; kills the node on exhaustion.
+    fn charge(&mut self, id: NodeId, bytes: usize, receiving: bool) {
+        let Some(model) = self.energy else { return };
+        let Some(battery) = self.batteries.get_mut(&id) else { return };
+        let cost = if receiving {
+            model.rx_cost(bytes)
+        } else {
+            model.tx_cost(bytes)
+        };
+        if battery.draw(cost) {
+            self.deaths.push(id);
+            self.positions.remove(&id);
+        }
+    }
+
+    /// Replaces the link model.
+    pub fn set_link_model(&mut self, link: AnyLinkModel) {
+        self.link = link;
+    }
+
+    /// Sets the per-frame latency.
+    pub fn set_latency(&mut self, latency: SimDuration) {
+        self.latency = latency;
+    }
+
+    /// Adds a jamming zone.
+    pub fn add_jammer(&mut self, zone: JamZone) {
+        self.jammers.push(zone);
+    }
+
+    /// Adds a node at `p` (e.g. a newly deployed sensor).
+    pub fn add_node(&mut self, id: NodeId, p: Point) {
+        self.positions.entry(id).or_default().push(p);
+    }
+
+    /// Installs an attacker-controlled replica transceiver that shares
+    /// `id`'s identity at position `p`.
+    pub fn add_replica(&mut self, id: NodeId, p: Point) {
+        self.add_node(id, p);
+    }
+
+    /// Removes a node (battery death / physical destruction) and its
+    /// replicas; pending frames to it are silently dropped on delivery.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        self.positions.remove(&id).is_some()
+    }
+
+    /// Whether `id` currently exists.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.positions.contains_key(&id)
+    }
+
+    /// All transceiver positions for `id` (original first).
+    pub fn positions_of(&self, id: NodeId) -> &[Point] {
+        self.positions.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// IDs of all live nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.positions.keys().copied()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Read access to metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to metrics (for protocol layers recording hash ops).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Finds the best (closest) transceiver pair between two nodes, if both
+    /// exist.
+    fn best_link(&self, from: NodeId, to: NodeId) -> Option<(Point, Point, f64)> {
+        let fps = self.positions.get(&from)?;
+        let tps = self.positions.get(&to)?;
+        let mut best: Option<(Point, Point, f64)> = None;
+        for fp in fps {
+            for tp in tps {
+                let d = fp.distance(tp);
+                if best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
+                    best = Some((*fp, *tp, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Decides whether a frame gets through, returning the physical path
+    /// length it traveled (direct, or via a wormhole tunnel).
+    fn check_delivery(&mut self, from: NodeId, to: NodeId) -> Result<f64, DropReason> {
+        let Some((fp, tp, dist)) = self.best_link(from, to) else {
+            return Err(DropReason::NoSuchNode);
+        };
+        let jam_hit = self
+            .jammers
+            .iter()
+            .any(|z| z.jams(&fp, self.time) || z.jams(&tp, self.time));
+        if jam_hit {
+            return Err(DropReason::Jammed);
+        }
+        let range = self.radio.range(from);
+        if dist <= range {
+            if self.link.delivers(dist, range, &mut self.rng) {
+                return Ok(dist);
+            }
+            return Err(DropReason::LinkLoss);
+        }
+        // Direct reach failed: try wormhole tunnels. The sender must be
+        // within its range of one mouth AND within the mouth's pickup
+        // radius; the far mouth must reach the receiver.
+        if let Some(path) = self.wormhole_path(from, to) {
+            return Ok(path);
+        }
+        Err(DropReason::OutOfRange)
+    }
+
+    /// Shortest wormhole-assisted path length from `from` to `to`, if any
+    /// tunnel carries the frame (link loss applies to both radio hops).
+    fn wormhole_path(&mut self, from: NodeId, to: NodeId) -> Option<f64> {
+        let wormholes = self.wormholes.clone();
+        if wormholes.is_empty() {
+            return None;
+        }
+        let fps = self.positions.get(&from)?.clone();
+        let tps = self.positions.get(&to)?.clone();
+        let range = self.radio.range(from);
+        let mut best: Option<f64> = None;
+        for w in &wormholes {
+            for (near, far) in [(w.a, w.b), (w.b, w.a)] {
+                let d_in = fps
+                    .iter()
+                    .map(|p| p.distance(&near))
+                    .fold(f64::INFINITY, f64::min);
+                let d_out = tps
+                    .iter()
+                    .map(|p| p.distance(&far))
+                    .fold(f64::INFINITY, f64::min);
+                if d_in <= range.min(w.radius) && d_out <= w.radius {
+                    let total = d_in + near.distance(&far) + d_out;
+                    if best.is_none_or(|b| total < b) {
+                        // Both radio hops must survive the link model.
+                        if self.link.delivers(d_in, range, &mut self.rng)
+                            && self.link.delivers(d_out, w.radius, &mut self.rng)
+                        {
+                            best = Some(total);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn enqueue(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>, broadcast: bool, distance: f64) {
+        let frame = Delivered {
+            at: self.time + self.latency,
+            from,
+            payload,
+            broadcast,
+            distance,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            deliver_at: frame.at,
+            seq: self.seq,
+            to,
+            frame,
+        }));
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// Accounting: the attempt is always charged to the sender; drops are
+    /// recorded with their reason.
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> SendOutcome {
+        let bytes = payload.len() as u64;
+        {
+            let c = self.metrics.node_mut(from);
+            c.unicasts_sent += 1;
+            c.bytes_sent += bytes;
+        }
+        self.charge(from, payload.len(), false);
+        match self.check_delivery(from, to) {
+            Ok(distance) => {
+                self.enqueue(from, to, payload, false, distance);
+                SendOutcome::Scheduled
+            }
+            Err(reason) => {
+                self.metrics.record_drop(reason);
+                SendOutcome::Dropped(reason)
+            }
+        }
+    }
+
+    /// Broadcasts `payload` from `from` to every node in range of any of its
+    /// transceivers. Returns the number of receivers scheduled.
+    pub fn broadcast(&mut self, from: NodeId, payload: Vec<u8>) -> usize {
+        let bytes = payload.len() as u64;
+        {
+            let c = self.metrics.node_mut(from);
+            c.broadcasts_sent += 1;
+            c.bytes_sent += bytes;
+        }
+        self.charge(from, payload.len(), false);
+        let targets: Vec<NodeId> = self
+            .positions
+            .keys()
+            .copied()
+            .filter(|&id| id != from)
+            .collect();
+        let mut delivered = 0usize;
+        for to in targets {
+            match self.check_delivery(from, to) {
+                Ok(distance) => {
+                    self.enqueue(from, to, payload.clone(), true, distance);
+                    delivered += 1;
+                }
+                Err(DropReason::OutOfRange) => {
+                    // Out-of-range nodes are not an error for broadcast;
+                    // don't pollute drop stats.
+                }
+                Err(reason) => self.metrics.record_drop(reason),
+            }
+        }
+        delivered
+    }
+
+    /// Advances the clock by `dt`, delivering every frame that comes due.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.time += dt;
+        self.deliver_due();
+    }
+
+    fn deliver_due(&mut self) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.deliver_at > self.time {
+                break;
+            }
+            let Reverse(inflight) = self.queue.pop().expect("peeked");
+            // Dead receivers silently lose frames.
+            if !self.positions.contains_key(&inflight.to) {
+                continue;
+            }
+            {
+                let c = self.metrics.node_mut(inflight.to);
+                c.received += 1;
+                c.bytes_received += inflight.frame.payload.len() as u64;
+            }
+            self.charge(inflight.to, inflight.frame.payload.len(), true);
+            // The receive itself may have exhausted the battery.
+            if !self.positions.contains_key(&inflight.to) {
+                continue;
+            }
+            self.inboxes
+                .entry(inflight.to)
+                .or_default()
+                .push_back(inflight.frame);
+        }
+    }
+
+    /// Removes and returns everything in `id`'s inbox, oldest first.
+    pub fn drain_inbox(&mut self, id: NodeId) -> Vec<Delivered> {
+        self.inboxes
+            .get_mut(&id)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of frames waiting in `id`'s inbox.
+    pub fn inbox_len(&self, id: NodeId) -> usize {
+        self.inboxes.get(&id).map_or(0, VecDeque::len)
+    }
+
+    /// Number of frames still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::{Circle, Field};
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn three_node_sim() -> Simulator {
+        let mut d = Deployment::empty(Field::square(200.0));
+        d.place(n(1), Point::new(10.0, 10.0));
+        d.place(n(2), Point::new(40.0, 10.0));
+        d.place(n(3), Point::new(150.0, 10.0));
+        Simulator::new(d, RadioSpec::uniform(50.0), 7)
+    }
+
+    #[test]
+    fn unicast_in_range_delivers() {
+        let mut sim = three_node_sim();
+        assert!(sim.unicast(n(1), n(2), b"ping".to_vec()).is_scheduled());
+        assert_eq!(sim.inbox_len(n(2)), 0, "latency defers delivery");
+        sim.advance(SimDuration::from_millis(2));
+        let inbox = sim.drain_inbox(n(2));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].from, n(1));
+        assert_eq!(inbox[0].payload, b"ping");
+        assert!(!inbox[0].broadcast);
+    }
+
+    #[test]
+    fn unicast_out_of_range_drops() {
+        let mut sim = three_node_sim();
+        assert_eq!(
+            sim.unicast(n(1), n(3), b"far".to_vec()),
+            SendOutcome::Dropped(DropReason::OutOfRange)
+        );
+        sim.advance(SimDuration::from_secs(1));
+        assert!(sim.drain_inbox(n(3)).is_empty());
+        assert_eq!(sim.metrics().drops(DropReason::OutOfRange), 1);
+    }
+
+    #[test]
+    fn unicast_to_missing_node() {
+        let mut sim = three_node_sim();
+        assert_eq!(
+            sim.unicast(n(1), n(99), vec![]),
+            SendOutcome::Dropped(DropReason::NoSuchNode)
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_only_in_range() {
+        let mut sim = three_node_sim();
+        let delivered = sim.broadcast(n(1), b"hello".to_vec());
+        assert_eq!(delivered, 1, "only node 2 is in range");
+        sim.advance(SimDuration::from_millis(2));
+        assert_eq!(sim.drain_inbox(n(2)).len(), 1);
+        assert!(sim.drain_inbox(n(3)).is_empty());
+        // Out-of-range broadcast receivers are not counted as drops.
+        assert_eq!(sim.metrics().total_drops(), 0);
+    }
+
+    #[test]
+    fn metrics_charge_sender() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0u8; 10]);
+        sim.broadcast(n(1), vec![0u8; 4]);
+        let c = sim.metrics().node(n(1));
+        assert_eq!(c.unicasts_sent, 1);
+        assert_eq!(c.broadcasts_sent, 1);
+        assert_eq!(c.bytes_sent, 14);
+    }
+
+    #[test]
+    fn replica_extends_reach() {
+        let mut sim = three_node_sim();
+        // Node 1 cannot reach node 3...
+        assert!(!sim.unicast(n(1), n(3), vec![1]).is_scheduled());
+        // ...until the attacker places a replica of node 1 next to node 3.
+        sim.add_replica(n(1), Point::new(140.0, 10.0));
+        assert!(sim.unicast(n(1), n(3), vec![2]).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        let inbox = sim.drain_inbox(n(3));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].from, n(1), "replica speaks with the stolen identity");
+    }
+
+    #[test]
+    fn killed_node_loses_pending_frames() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), b"doomed".to_vec());
+        assert!(sim.kill(n(2)));
+        sim.advance(SimDuration::from_secs(1));
+        assert_eq!(sim.inbox_len(n(2)), 0);
+        assert!(!sim.is_alive(n(2)));
+        assert!(!sim.kill(n(2)), "double kill reports false");
+        // Sending to the dead node now fails.
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![]),
+            SendOutcome::Dropped(DropReason::NoSuchNode)
+        );
+    }
+
+    #[test]
+    fn jamming_blocks_both_endpoints() {
+        let mut sim = three_node_sim();
+        sim.add_jammer(JamZone::permanent(Circle::new(Point::new(40.0, 10.0), 5.0)));
+        // Receiver inside the zone.
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![1]),
+            SendOutcome::Dropped(DropReason::Jammed)
+        );
+        // Sender inside the zone.
+        assert_eq!(
+            sim.unicast(n(2), n(1), vec![2]),
+            SendOutcome::Dropped(DropReason::Jammed)
+        );
+    }
+
+    #[test]
+    fn timed_jammer_expires() {
+        let mut sim = three_node_sim();
+        sim.add_jammer(JamZone::timed(
+            Circle::new(Point::new(40.0, 10.0), 5.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        assert!(!sim.unicast(n(1), n(2), vec![1]).is_scheduled());
+        sim.advance(SimDuration::from_secs(2));
+        assert!(sim.unicast(n(1), n(2), vec![2]).is_scheduled());
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let mut sim = three_node_sim();
+        sim.set_link_model(AnyLinkModel::LossyDisk(crate::radio::LossyDisk::new(0.5)));
+        let mut scheduled = 0;
+        for _ in 0..200 {
+            if sim.unicast(n(1), n(2), vec![0]).is_scheduled() {
+                scheduled += 1;
+            }
+        }
+        assert!(scheduled > 50 && scheduled < 150, "scheduled {scheduled}");
+        assert_eq!(
+            sim.metrics().drops(DropReason::LinkLoss) + scheduled,
+            200
+        );
+    }
+
+    #[test]
+    fn delivery_order_is_fifo_per_time() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![1]);
+        sim.unicast(n(1), n(2), vec![2]);
+        sim.unicast(n(1), n(2), vec![3]);
+        sim.advance(SimDuration::from_millis(5));
+        let inbox = sim.drain_inbox(n(2));
+        let payloads: Vec<u8> = inbox.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(payloads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut d = Deployment::empty(Field::square(100.0));
+            for i in 0..20 {
+                d.place(n(i), Point::new(i as f64 * 4.0, 50.0));
+            }
+            let mut sim = Simulator::new(d, RadioSpec::uniform(30.0), seed);
+            sim.set_link_model(AnyLinkModel::LossyDisk(crate::radio::LossyDisk::new(0.3)));
+            let mut outcomes = Vec::new();
+            for i in 0..19 {
+                outcomes.push(sim.unicast(n(i), n(i + 1), vec![i as u8]).is_scheduled());
+            }
+            outcomes
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn wormhole_carries_frames_across_the_field() {
+        let mut sim = three_node_sim(); // node 1 at (10,10), node 3 at (150,10)
+        assert!(!sim.unicast(n(1), n(3), vec![1]).is_scheduled());
+        sim.add_wormhole(Wormhole {
+            a: Point::new(12.0, 10.0),
+            b: Point::new(148.0, 10.0),
+            radius: 20.0,
+        });
+        assert!(sim.unicast(n(1), n(3), vec![2]).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        let inbox = sim.drain_inbox(n(3));
+        assert_eq!(inbox.len(), 1);
+        // The physical path length betrays the tunnel.
+        assert!(
+            inbox[0].distance > 130.0,
+            "tunnel distance {} must reflect the true path",
+            inbox[0].distance
+        );
+    }
+
+    #[test]
+    fn direct_frames_report_direct_distance() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0]);
+        sim.advance(SimDuration::from_millis(2));
+        let inbox = sim.drain_inbox(n(2));
+        assert!((inbox[0].distance - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wormhole_respects_mouth_radius() {
+        let mut sim = three_node_sim();
+        // Mouth too far from the sender: no pickup.
+        sim.add_wormhole(Wormhole {
+            a: Point::new(80.0, 10.0),
+            b: Point::new(148.0, 10.0),
+            radius: 20.0,
+        });
+        assert!(!sim.unicast(n(1), n(3), vec![1]).is_scheduled());
+    }
+
+    #[test]
+    fn wormhole_extends_broadcasts_too() {
+        let mut sim = three_node_sim();
+        sim.add_wormhole(Wormhole {
+            a: Point::new(12.0, 10.0),
+            b: Point::new(148.0, 10.0),
+            radius: 20.0,
+        });
+        let delivered = sim.broadcast(n(1), b"hi".to_vec());
+        assert_eq!(delivered, 2, "node 2 direct + node 3 through the tunnel");
+    }
+
+    #[test]
+    fn energy_disabled_means_immortal() {
+        let mut sim = three_node_sim();
+        sim.set_battery(n(1), 1.0); // tiny battery, but accounting is off
+        for _ in 0..100 {
+            sim.unicast(n(1), n(2), vec![0u8; 100]);
+        }
+        assert!(sim.is_alive(n(1)));
+        assert!(sim.battery_deaths().is_empty());
+    }
+
+    #[test]
+    fn transmit_energy_depletes_battery() {
+        let mut sim = three_node_sim();
+        sim.enable_energy(crate::energy::EnergyModel::default());
+        // Default model: tx of 100 bytes costs 10 + 60 = 70 µJ.
+        sim.set_battery(n(1), 100.0);
+        sim.unicast(n(1), n(2), vec![0u8; 100]);
+        let b = sim.battery(n(1)).expect("battery installed");
+        assert!((b.remaining() - 30.0).abs() < 1e-9, "remaining {}", b.remaining());
+        assert!(sim.is_alive(n(1)));
+
+        sim.unicast(n(1), n(2), vec![0u8; 100]);
+        assert!(!sim.is_alive(n(1)), "second frame exhausts the battery");
+        assert_eq!(sim.battery_deaths(), &[n(1)]);
+    }
+
+    #[test]
+    fn receive_energy_charges_receiver() {
+        let mut sim = three_node_sim();
+        sim.enable_energy(crate::energy::EnergyModel::default());
+        sim.set_battery(n(2), 1_000.0);
+        sim.unicast(n(1), n(2), vec![0u8; 100]);
+        sim.advance(SimDuration::from_millis(2));
+        let b = sim.battery(n(2)).expect("battery installed");
+        // rx cost = 10 + 0.67*100 = 77 µJ.
+        assert!((b.remaining() - 923.0).abs() < 1e-9, "remaining {}", b.remaining());
+    }
+
+    #[test]
+    fn death_by_reception_drops_the_frame() {
+        let mut sim = three_node_sim();
+        sim.enable_energy(crate::energy::EnergyModel::default());
+        sim.set_battery(n(2), 5.0); // cannot even afford one rx
+        sim.unicast(n(1), n(2), vec![0u8; 10]);
+        sim.advance(SimDuration::from_millis(2));
+        assert!(!sim.is_alive(n(2)));
+        assert_eq!(sim.inbox_len(n(2)), 0, "the killing frame is never readable");
+    }
+
+    #[test]
+    fn mains_powered_nodes_never_die() {
+        let mut sim = three_node_sim();
+        sim.enable_energy(crate::energy::EnergyModel::default());
+        // No battery installed for node 1: mains powered.
+        for _ in 0..1000 {
+            sim.unicast(n(1), n(2), vec![0u8; 100]);
+        }
+        assert!(sim.is_alive(n(1)));
+    }
+
+    #[test]
+    fn in_flight_and_advance() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0]);
+        assert_eq!(sim.in_flight(), 1);
+        sim.advance(SimDuration::from_millis(2));
+        assert_eq!(sim.in_flight(), 0);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+}

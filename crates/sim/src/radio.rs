@@ -1,0 +1,210 @@
+//! Radio link models.
+//!
+//! The paper's model is the pure unit disk ("two nodes can directly talk to
+//! each other if they are within each other's radio range"); [`UnitDisk`]
+//! implements it. [`LossyDisk`] and [`LogDistance`] add stochastic loss so
+//! robustness experiments can inject link failures without changing protocol
+//! code.
+
+use rand::Rng;
+
+/// Decides whether a transmission over a given distance is received.
+///
+/// Implementations must be pure given the RNG stream, so simulations stay
+/// reproducible.
+pub trait LinkModel: Send + Sync {
+    /// Whether a frame sent over `distance` meters by a radio with
+    /// transmission `range` meters is received.
+    fn delivers<R: Rng + ?Sized>(&self, distance: f64, range: f64, rng: &mut R) -> bool;
+
+    /// A short human-readable name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Ideal unit-disk propagation: delivery iff `distance <= range`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitDisk;
+
+impl LinkModel for UnitDisk {
+    fn delivers<R: Rng + ?Sized>(&self, distance: f64, range: f64, _rng: &mut R) -> bool {
+        distance <= range
+    }
+
+    fn name(&self) -> &'static str {
+        "unit-disk"
+    }
+}
+
+/// Unit disk with i.i.d. frame loss inside the disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossyDisk {
+    /// Probability that an in-range frame is lost.
+    pub loss: f64,
+}
+
+impl LossyDisk {
+    /// Creates a lossy disk model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss <= 1.0`.
+    pub fn new(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss probability {loss} out of range");
+        LossyDisk { loss }
+    }
+}
+
+impl LinkModel for LossyDisk {
+    fn delivers<R: Rng + ?Sized>(&self, distance: f64, range: f64, rng: &mut R) -> bool {
+        distance <= range && rng.gen::<f64>() >= self.loss
+    }
+
+    fn name(&self) -> &'static str {
+        "lossy-disk"
+    }
+}
+
+/// Log-distance reception: delivery probability decays smoothly from 1 at
+/// `alpha * range` to 0 at `range`, the standard "transitional region"
+/// abstraction for real radios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// Fraction of the range that is perfectly reliable (0..1).
+    pub alpha: f64,
+}
+
+impl LogDistance {
+    /// Creates a log-distance model with the reliable fraction `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= alpha < 1.0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha {alpha} out of range");
+        LogDistance { alpha }
+    }
+}
+
+impl LinkModel for LogDistance {
+    fn delivers<R: Rng + ?Sized>(&self, distance: f64, range: f64, rng: &mut R) -> bool {
+        if distance <= self.alpha * range {
+            return true;
+        }
+        if distance > range {
+            return false;
+        }
+        let span = range * (1.0 - self.alpha);
+        let p = 1.0 - (distance - self.alpha * range) / span;
+        rng.gen::<f64>() < p
+    }
+
+    fn name(&self) -> &'static str {
+        "log-distance"
+    }
+}
+
+/// A boxed-model wrapper so the simulator can hold any link model without
+/// generics bleeding into every signature.
+#[derive(Debug, Clone)]
+pub enum AnyLinkModel {
+    /// Ideal unit disk.
+    UnitDisk(UnitDisk),
+    /// Disk with uniform loss.
+    LossyDisk(LossyDisk),
+    /// Transitional-region model.
+    LogDistance(LogDistance),
+}
+
+impl Default for AnyLinkModel {
+    fn default() -> Self {
+        AnyLinkModel::UnitDisk(UnitDisk)
+    }
+}
+
+impl LinkModel for AnyLinkModel {
+    fn delivers<R: Rng + ?Sized>(&self, distance: f64, range: f64, rng: &mut R) -> bool {
+        match self {
+            AnyLinkModel::UnitDisk(m) => m.delivers(distance, range, rng),
+            AnyLinkModel::LossyDisk(m) => m.delivers(distance, range, rng),
+            AnyLinkModel::LogDistance(m) => m.delivers(distance, range, rng),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyLinkModel::UnitDisk(m) => m.name(),
+            AnyLinkModel::LossyDisk(m) => m.name(),
+            AnyLinkModel::LogDistance(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn unit_disk_is_sharp() {
+        let m = UnitDisk;
+        let mut r = rng();
+        assert!(m.delivers(49.9, 50.0, &mut r));
+        assert!(m.delivers(50.0, 50.0, &mut r));
+        assert!(!m.delivers(50.1, 50.0, &mut r));
+    }
+
+    #[test]
+    fn lossy_disk_loses_expected_fraction() {
+        let m = LossyDisk::new(0.3);
+        let mut r = rng();
+        let delivered = (0..10_000)
+            .filter(|_| m.delivers(10.0, 50.0, &mut r))
+            .count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate {rate}");
+        assert!(!m.delivers(51.0, 50.0, &mut r), "out of range always lost");
+    }
+
+    #[test]
+    fn lossy_extremes() {
+        let mut r = rng();
+        assert!(LossyDisk::new(0.0).delivers(1.0, 50.0, &mut r));
+        assert!(!LossyDisk::new(1.0).delivers(1.0, 50.0, &mut r));
+    }
+
+    #[test]
+    fn log_distance_regions() {
+        let m = LogDistance::new(0.8);
+        let mut r = rng();
+        // Reliable region.
+        assert!((0..100).all(|_| m.delivers(39.0, 50.0, &mut r)));
+        // Beyond range.
+        assert!((0..100).all(|_| !m.delivers(50.5, 50.0, &mut r)));
+        // Transitional region: some but not all delivered.
+        let hits = (0..1000).filter(|_| m.delivers(45.0, 50.0, &mut r)).count();
+        assert!(hits > 200 && hits < 800, "transitional hits {hits}");
+    }
+
+    #[test]
+    fn any_model_dispatches() {
+        let mut r = rng();
+        let m = AnyLinkModel::default();
+        assert_eq!(m.name(), "unit-disk");
+        assert!(m.delivers(10.0, 50.0, &mut r));
+        let m = AnyLinkModel::LossyDisk(LossyDisk::new(1.0));
+        assert!(!m.delivers(10.0, 50.0, &mut r));
+        assert_eq!(m.name(), "lossy-disk");
+        let m = AnyLinkModel::LogDistance(LogDistance::new(0.5));
+        assert_eq!(m.name(), "log-distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_loss_panics() {
+        LossyDisk::new(1.5);
+    }
+}

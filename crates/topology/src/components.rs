@@ -1,0 +1,212 @@
+//! Partition analysis of functional topologies.
+//!
+//! Section 3.1 of the paper: "The functional topology Ḡ may include
+//! multiple, separated partitions. ... A partition is said to be *useful* if
+//! it can be used by the application for certain tasks. ... A sensor node is
+//! said to be *non-isolated* if it belongs to a useful partition; otherwise,
+//! it is isolated." Usefulness is application-defined; the paper's Figure 1
+//! example uses "the largest partition". [`UsefulnessRule`] captures the
+//! choices, and [`PartitionAnalysis`] computes the partition structure over
+//! the mutual (bidirectionally accepted) edges of a [`DiGraph`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::graph::DiGraph;
+use crate::ids::NodeId;
+
+/// How the application decides which partitions are useful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsefulnessRule {
+    /// Only the single largest partition is useful (ties broken toward the
+    /// partition containing the smallest node ID).
+    LargestOnly,
+    /// Every partition with at least this many nodes is useful.
+    MinSize(usize),
+}
+
+/// The partition structure of a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionAnalysis {
+    partitions: Vec<BTreeSet<NodeId>>,
+    useful: Vec<bool>,
+    membership: BTreeMap<NodeId, usize>,
+}
+
+impl PartitionAnalysis {
+    /// Computes connected components of `graph`'s mutual view and classifies
+    /// them with `rule`.
+    pub fn compute(graph: &DiGraph, rule: UsefulnessRule) -> Self {
+        let adj = graph.mutual_adjacency();
+        let mut membership: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut partitions: Vec<BTreeSet<NodeId>> = Vec::new();
+
+        for start in adj.keys().copied() {
+            if membership.contains_key(&start) {
+                continue;
+            }
+            let idx = partitions.len();
+            let mut comp = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            membership.insert(start, idx);
+            comp.insert(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[&u] {
+                    if !membership.contains_key(&v) {
+                        membership.insert(v, idx);
+                        comp.insert(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            partitions.push(comp);
+        }
+
+        let useful = match rule {
+            UsefulnessRule::LargestOnly => {
+                let best = partitions
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, p)| (p.len(), usize::MAX - i))
+                    .map(|(i, _)| i);
+                (0..partitions.len()).map(|i| Some(i) == best).collect()
+            }
+            UsefulnessRule::MinSize(min) => {
+                partitions.iter().map(|p| p.len() >= min).collect()
+            }
+        };
+
+        PartitionAnalysis {
+            partitions,
+            useful,
+            membership,
+        }
+    }
+
+    /// All partitions, in discovery order.
+    pub fn partitions(&self) -> &[BTreeSet<NodeId>] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition index of `id`, if the node exists in the graph.
+    pub fn partition_of(&self, id: NodeId) -> Option<usize> {
+        self.membership.get(&id).copied()
+    }
+
+    /// Whether `id` belongs to a useful partition.
+    pub fn is_non_isolated(&self, id: NodeId) -> bool {
+        self.partition_of(id).is_some_and(|i| self.useful[i])
+    }
+
+    /// Nodes not in any useful partition — the paper's *isolated* nodes.
+    pub fn isolated_nodes(&self) -> BTreeSet<NodeId> {
+        self.membership
+            .iter()
+            .filter(|(_, &i)| !self.useful[i])
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All nodes in useful partitions.
+    pub fn non_isolated_nodes(&self) -> BTreeSet<NodeId> {
+        self.membership
+            .iter()
+            .filter(|(_, &i)| self.useful[i])
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The largest partition, if any.
+    pub fn largest(&self) -> Option<&BTreeSet<NodeId>> {
+        self.partitions.iter().max_by_key(|p| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Two mutual triangles {1,2,3} and {4,5}, plus isolated 6, plus a
+    /// one-way edge 6->1 that must NOT join 6 to the triangle.
+    fn sample_graph() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge_sym(n(2), n(3));
+        g.add_edge_sym(n(1), n(3));
+        g.add_edge_sym(n(4), n(5));
+        g.add_node(n(6));
+        g.add_edge(n(6), n(1));
+        g
+    }
+
+    #[test]
+    fn components_found() {
+        let a = PartitionAnalysis::compute(&sample_graph(), UsefulnessRule::LargestOnly);
+        assert_eq!(a.partition_count(), 3);
+        assert_eq!(a.largest().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn largest_only_isolates_rest() {
+        let a = PartitionAnalysis::compute(&sample_graph(), UsefulnessRule::LargestOnly);
+        assert!(a.is_non_isolated(n(1)));
+        assert!(a.is_non_isolated(n(3)));
+        assert!(!a.is_non_isolated(n(4)));
+        assert!(!a.is_non_isolated(n(6)));
+        assert_eq!(a.isolated_nodes(), [n(4), n(5), n(6)].into_iter().collect());
+    }
+
+    #[test]
+    fn min_size_rule() {
+        let a = PartitionAnalysis::compute(&sample_graph(), UsefulnessRule::MinSize(2));
+        assert!(a.is_non_isolated(n(4)));
+        assert!(!a.is_non_isolated(n(6)));
+        assert_eq!(a.isolated_nodes(), [n(6)].into_iter().collect());
+    }
+
+    #[test]
+    fn one_way_edges_do_not_connect() {
+        let a = PartitionAnalysis::compute(&sample_graph(), UsefulnessRule::MinSize(1));
+        assert_ne!(a.partition_of(n(6)), a.partition_of(n(1)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = PartitionAnalysis::compute(&DiGraph::new(), UsefulnessRule::LargestOnly);
+        assert_eq!(a.partition_count(), 0);
+        assert!(a.isolated_nodes().is_empty());
+        assert!(a.largest().is_none());
+    }
+
+    #[test]
+    fn unknown_node_not_non_isolated() {
+        let a = PartitionAnalysis::compute(&sample_graph(), UsefulnessRule::LargestOnly);
+        assert!(!a.is_non_isolated(n(99)));
+        assert_eq!(a.partition_of(n(99)), None);
+    }
+
+    #[test]
+    fn figure_one_scenario() {
+        // Paper, Figure 1: "if we only consider the largest partition as
+        // useful, there are three isolated nodes (including the two
+        // compromised nodes)".
+        let mut g = DiGraph::new();
+        // Large benign partition.
+        for (u, v) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)] {
+            g.add_edge_sym(n(u), n(v));
+        }
+        // Two compromised nodes mutually linked with one stray benign node.
+        g.add_edge_sym(n(10), n(11));
+        g.add_edge_sym(n(11), n(12));
+        let a = PartitionAnalysis::compute(&g, UsefulnessRule::LargestOnly);
+        assert_eq!(a.isolated_nodes().len(), 3);
+    }
+}

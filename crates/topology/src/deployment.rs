@@ -1,0 +1,369 @@
+//! Sensor deployment generation.
+//!
+//! The paper's evaluation "randomly deploy\[s\] 200 sensor nodes in a
+//! [100 x 100] square meters field" with a uniform density; this module
+//! provides that generator plus grid, Poisson and clustered layouts for
+//! robustness experiments.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use rand_distr_poisson::sample_poisson;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::point::Point;
+
+/// A rectangular deployment field, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Width (x extent).
+    pub width: f64,
+    /// Height (y extent).
+    pub height: f64,
+}
+
+impl Field {
+    /// Constructs a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        Field { width, height }
+    }
+
+    /// A square field with the given side length.
+    pub fn square(side: f64) -> Self {
+        Field::new(side, side)
+    }
+
+    /// Field area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The field's center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Whether `p` lies inside the field (inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Samples a uniform point inside the field.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(rng.gen_range(0.0..self.width), rng.gen_range(0.0..self.height))
+    }
+}
+
+impl Default for Field {
+    fn default() -> Self {
+        // The paper's evaluation field.
+        Field::square(100.0)
+    }
+}
+
+/// A concrete placement of nodes in a field.
+///
+/// Node IDs are dense from `first_id` upward; positions are the *original
+/// deployment points* in the paper's terminology (replicas placed later by
+/// an adversary do not change them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    field: Field,
+    positions: BTreeMap<NodeId, Point>,
+}
+
+impl Deployment {
+    /// An empty deployment over `field`.
+    pub fn empty(field: Field) -> Self {
+        Deployment {
+            field,
+            positions: BTreeMap::new(),
+        }
+    }
+
+    /// Uniform random deployment of `n` nodes with IDs `0..n`.
+    pub fn uniform<R: Rng + ?Sized>(field: Field, n: usize, rng: &mut R) -> Self {
+        let mut d = Deployment::empty(field);
+        for i in 0..n {
+            d.place(NodeId(i as u64), field.sample(rng));
+        }
+        d
+    }
+
+    /// Spatial Poisson process with the given intensity (nodes per square
+    /// meter): the node count itself is Poisson-distributed.
+    pub fn poisson<R: Rng + ?Sized>(field: Field, density: f64, rng: &mut R) -> Self {
+        assert!(density >= 0.0, "density must be non-negative");
+        let n = sample_poisson(density * field.area(), rng);
+        Self::uniform(field, n, rng)
+    }
+
+    /// Perturbed grid: nodes on a near-square grid, each jittered by up to
+    /// `jitter` meters in both axes.
+    pub fn grid<R: Rng + ?Sized>(field: Field, n: usize, jitter: f64, rng: &mut R) -> Self {
+        let mut d = Deployment::empty(field);
+        if n == 0 {
+            return d;
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let dx = field.width / cols as f64;
+        let dy = field.height / rows as f64;
+        let mut id = 0u64;
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if id as usize >= n {
+                    break 'outer;
+                }
+                let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let p = Point::new(
+                    ((c as f64 + 0.5) * dx + jx).clamp(0.0, field.width),
+                    ((r as f64 + 0.5) * dy + jy).clamp(0.0, field.height),
+                );
+                d.place(NodeId(id), p);
+                id += 1;
+            }
+        }
+        d
+    }
+
+    /// Clustered deployment: `clusters` Gaussian blobs with standard
+    /// deviation `spread`, `n` nodes total (points are clamped to the field).
+    pub fn clustered<R: Rng + ?Sized>(
+        field: Field,
+        n: usize,
+        clusters: usize,
+        spread: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        let centers: Vec<Point> = (0..clusters).map(|_| field.sample(rng)).collect();
+        let mut d = Deployment::empty(field);
+        for i in 0..n {
+            let c = centers[rng.gen_range(0..clusters)];
+            // Box–Muller for a Gaussian offset.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+            let r = spread * (-2.0 * u1.ln()).sqrt();
+            let p = Point::new(
+                (c.x + r * u2.cos()).clamp(0.0, field.width),
+                (c.y + r * u2.sin()).clamp(0.0, field.height),
+            );
+            d.place(NodeId(i as u64), p);
+        }
+        d
+    }
+
+    /// Places (or moves) a node.
+    pub fn place(&mut self, id: NodeId, at: Point) {
+        self.positions.insert(id, at);
+    }
+
+    /// Removes a node (e.g. battery death), returning its position.
+    pub fn remove(&mut self, id: NodeId) -> Option<Point> {
+        self.positions.remove(&id)
+    }
+
+    /// Position of `id`, if deployed.
+    pub fn position(&self, id: NodeId) -> Option<Point> {
+        self.positions.get(&id).copied()
+    }
+
+    /// The field the deployment lives in.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
+    /// Number of deployed nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the deployment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Nodes and positions in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
+        self.positions.iter().map(|(id, p)| (*id, *p))
+    }
+
+    /// All node IDs in order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.positions.keys().copied()
+    }
+
+    /// Empirical density in nodes per square meter.
+    pub fn density(&self) -> f64 {
+        self.len() as f64 / self.field.area()
+    }
+
+    /// The deployed node closest to `p`, if any.
+    pub fn nearest(&self, p: Point) -> Option<(NodeId, Point)> {
+        self.iter()
+            .min_by(|a, b| {
+                a.1.distance_sq(&p)
+                    .partial_cmp(&b.1.distance_sq(&p))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// The smallest unused ID, for adding new nodes post-deployment.
+    pub fn next_id(&self) -> NodeId {
+        NodeId(self.positions.keys().last().map_or(0, |id| id.0 + 1))
+    }
+}
+
+/// Internal Poisson sampling via inversion (small means) or normal
+/// approximation; kept in a private module to avoid an extra dependency.
+mod rand_distr_poisson {
+    use rand::Rng;
+
+    /// Samples a Poisson random variate with the given mean.
+    pub fn sample_poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean < 30.0 {
+            // Knuth inversion.
+            let l = (-mean).exp();
+            let mut k = 0usize;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+            let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+            (mean + z * mean.sqrt() + 0.5).max(0.0) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_places_all_inside() {
+        let mut r = rng();
+        let field = Field::square(100.0);
+        let d = Deployment::uniform(field, 200, &mut r);
+        assert_eq!(d.len(), 200);
+        for (_, p) in d.iter() {
+            assert!(field.contains(&p));
+        }
+    }
+
+    #[test]
+    fn paper_scenario_density() {
+        // 200 nodes in 100x100 => 1 node per 50 m^2.
+        let mut r = rng();
+        let d = Deployment::uniform(Field::square(100.0), 200, &mut r);
+        assert!((d.density() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_covers_field() {
+        let mut r = rng();
+        let field = Field::square(100.0);
+        let d = Deployment::grid(field, 100, 0.0, &mut r);
+        assert_eq!(d.len(), 100);
+        // Perfect 10x10 grid: first node at (5,5).
+        assert_eq!(d.position(NodeId(0)), Some(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn grid_with_jitter_stays_inside() {
+        let mut r = rng();
+        let field = Field::square(50.0);
+        let d = Deployment::grid(field, 37, 5.0, &mut r);
+        assert_eq!(d.len(), 37);
+        for (_, p) in d.iter() {
+            assert!(field.contains(&p));
+        }
+    }
+
+    #[test]
+    fn poisson_count_near_mean() {
+        let mut r = rng();
+        let field = Field::square(100.0);
+        let d = Deployment::poisson(field, 0.02, &mut r); // mean 200
+        assert!(
+            (100..=300).contains(&d.len()),
+            "poisson count {} wildly off mean 200",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn clustered_stays_inside() {
+        let mut r = rng();
+        let field = Field::square(100.0);
+        let d = Deployment::clustered(field, 150, 4, 8.0, &mut r);
+        assert_eq!(d.len(), 150);
+        for (_, p) in d.iter() {
+            assert!(field.contains(&p));
+        }
+    }
+
+    #[test]
+    fn nearest_finds_center_node() {
+        let mut d = Deployment::empty(Field::square(10.0));
+        d.place(NodeId(1), Point::new(1.0, 1.0));
+        d.place(NodeId(2), Point::new(5.0, 5.0));
+        d.place(NodeId(3), Point::new(9.0, 9.0));
+        let (id, _) = d.nearest(Point::new(5.2, 4.8)).unwrap();
+        assert_eq!(id, NodeId(2));
+        assert!(Deployment::empty(Field::square(1.0)).nearest(Point::default()).is_none());
+    }
+
+    #[test]
+    fn place_remove_round_trip() {
+        let mut d = Deployment::empty(Field::square(10.0));
+        d.place(NodeId(5), Point::new(2.0, 2.0));
+        assert_eq!(d.remove(NodeId(5)), Some(Point::new(2.0, 2.0)));
+        assert_eq!(d.remove(NodeId(5)), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn next_id_is_dense() {
+        let mut d = Deployment::empty(Field::square(10.0));
+        assert_eq!(d.next_id(), NodeId(0));
+        d.place(NodeId(7), Point::default());
+        assert_eq!(d.next_id(), NodeId(8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d1 = Deployment::uniform(Field::square(100.0), 50, &mut rng());
+        let d2 = Deployment::uniform(Field::square(100.0), 50, &mut rng());
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn zero_field_panics() {
+        Field::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Directed topology graphs.
+//!
+//! The paper models the tentative network topology as "a directed graph
+//! G = (V, E), where V includes all sensor nodes and E includes all
+//! tentative neighbor relations" (Definition 2). An edge `(u, v)` means *u
+//! considers v its tentative neighbor*. [`DiGraph`] is that structure, with
+//! the operations the formal model needs: induced subgraphs, unions,
+//! ID remapping (for Definition 3's isomorphism invariance), and an
+//! undirected *mutual* view for partition analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+
+/// A directed graph over [`NodeId`]s with set-based adjacency.
+///
+/// Deterministically ordered (`BTree*`) so simulations and hashes are
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use snd_topology::{DiGraph, NodeId};
+///
+/// let mut g = DiGraph::new();
+/// g.add_edge(NodeId(1), NodeId(2));
+/// assert!(g.has_edge(NodeId(1), NodeId(2)));
+/// assert!(!g.has_edge(NodeId(2), NodeId(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    out: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    into: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an isolated node (no-op if present).
+    pub fn add_node(&mut self, id: NodeId) {
+        self.out.entry(id).or_default();
+        self.into.entry(id).or_default();
+    }
+
+    /// Adds the directed edge `(u, v)`; inserts missing endpoints.
+    ///
+    /// Self-loops are ignored: a node is never its own neighbor.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        self.add_node(u);
+        self.add_node(v);
+        self.out.get_mut(&u).expect("just inserted").insert(v);
+        self.into.get_mut(&v).expect("just inserted").insert(u);
+    }
+
+    /// Adds both `(u, v)` and `(v, u)`.
+    pub fn add_edge_sym(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Removes the edge `(u, v)` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let existed = self
+            .out
+            .get_mut(&u)
+            .map(|s| s.remove(&v))
+            .unwrap_or(false);
+        if existed {
+            self.into.get_mut(&v).expect("edge invariant").remove(&u);
+        }
+        existed
+    }
+
+    /// Removes a node and all incident edges; returns whether it existed.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let Some(outs) = self.out.remove(&id) else {
+            return false;
+        };
+        for v in outs {
+            self.into.get_mut(&v).expect("edge invariant").remove(&id);
+        }
+        let ins = self.into.remove(&id).expect("node invariant");
+        for u in ins {
+            self.out.get_mut(&u).expect("edge invariant").remove(&id);
+        }
+        true
+    }
+
+    /// Whether the node is present.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.out.contains_key(&id)
+    }
+
+    /// Whether the directed edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Whether both `(u, v)` and `(v, u)` are present.
+    pub fn has_mutual_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.has_edge(u, v) && self.has_edge(v, u)
+    }
+
+    /// Out-neighbors of `u` — the paper's tentative neighbor list `N(u)`.
+    pub fn out_neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out.get(&u).into_iter().flatten().copied()
+    }
+
+    /// In-neighbors of `v`: nodes claiming `v` as neighbor.
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.into.get(&v).into_iter().flatten().copied()
+    }
+
+    /// Out-neighborhood as an owned set.
+    pub fn neighbor_set(&self, u: NodeId) -> BTreeSet<NodeId> {
+        self.out.get(&u).cloned().unwrap_or_default()
+    }
+
+    /// Out-degree of `u` (0 for unknown nodes).
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.get(&u).map_or(0, |s| s.len())
+    }
+
+    /// All nodes in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.out.keys().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// All directed edges in `(source, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(u, vs)| vs.iter().map(move |v| (*u, *v)))
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.values().map(|s| s.len()).sum()
+    }
+
+    /// The subgraph induced by `keep`: nodes in `keep` plus edges whose
+    /// endpoints both survive.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<NodeId>) -> DiGraph {
+        let mut g = DiGraph::new();
+        for &n in keep {
+            if self.has_node(n) {
+                g.add_node(n);
+            }
+        }
+        for (u, v) in self.edges() {
+            if keep.contains(&u) && keep.contains(&v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The union of two graphs (nodes and edges).
+    pub fn union(&self, other: &DiGraph) -> DiGraph {
+        let mut g = self.clone();
+        for n in other.nodes() {
+            g.add_node(n);
+        }
+        for (u, v) in other.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Applies an ID remapping `f` to every node and edge; IDs not in the
+    /// map are kept. This implements the `B_f` operation in Definition 3.
+    pub fn remap(&self, f: &BTreeMap<NodeId, NodeId>) -> DiGraph {
+        let m = |id: NodeId| f.get(&id).copied().unwrap_or(id);
+        let mut g = DiGraph::new();
+        for n in self.nodes() {
+            g.add_node(m(n));
+        }
+        for (u, v) in self.edges() {
+            g.add_edge(m(u), m(v));
+        }
+        g
+    }
+
+    /// Edges incident to `id` (either direction), as `(source, target)`.
+    pub fn incident_edges(&self, id: NodeId) -> Vec<(NodeId, NodeId)> {
+        let mut edges: Vec<(NodeId, NodeId)> =
+            self.out_neighbors(id).map(|v| (id, v)).collect();
+        edges.extend(self.in_neighbors(id).map(|u| (u, id)));
+        edges
+    }
+
+    /// The *mutual* (undirected) view: adjacency containing `v` for `u` only
+    /// when both directed edges exist. Partition analysis in the paper works
+    /// on this view, since communication requires both sides to accept.
+    pub fn mutual_adjacency(&self) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for n in self.nodes() {
+            adj.entry(n).or_default();
+        }
+        for (u, v) in self.edges() {
+            if self.has_edge(v, u) {
+                adj.entry(u).or_default().insert(v);
+                adj.entry(v).or_default().insert(u);
+            }
+        }
+        adj
+    }
+
+    /// Common out-neighbors of `u` and `v`: the overlap `N(u) ∩ N(v)` that
+    /// drives the paper's threshold rule.
+    pub fn common_out_neighbors(&self, u: NodeId, v: NodeId) -> BTreeSet<NodeId> {
+        match (self.out.get(&u), self.out.get(&v)) {
+            (Some(a), Some(b)) => a.intersection(b).copied().collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for DiGraph {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        let mut g = DiGraph::new();
+        for (u, v) in iter {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for DiGraph {
+    fn extend<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DiGraph::new();
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(1), n(3));
+        assert_eq!(g.out_degree(n(1)), 2);
+        assert_eq!(g.out_degree(n(2)), 0);
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(!g.has_edge(n(2), n(1)));
+        assert_eq!(g.in_neighbors(n(2)).collect::<Vec<_>>(), vec![n(1)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = DiGraph::new();
+        g.add_edge(n(1), n(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_node(n(1)));
+    }
+
+    #[test]
+    fn remove_edge_and_node() {
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        g.add_edge(n(3), n(1));
+        assert!(g.remove_edge(n(1), n(2)));
+        assert!(!g.remove_edge(n(1), n(2)));
+        assert!(g.has_edge(n(2), n(1)));
+
+        assert!(g.remove_node(n(1)));
+        assert!(!g.has_node(n(1)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.has_node(n(3)), "other endpoints survive");
+        assert!(!g.remove_node(n(1)));
+    }
+
+    #[test]
+    fn mutual_edges() {
+        let mut g = DiGraph::new();
+        g.add_edge(n(1), n(2));
+        assert!(!g.has_mutual_edge(n(1), n(2)));
+        g.add_edge(n(2), n(1));
+        assert!(g.has_mutual_edge(n(1), n(2)));
+        let adj = g.mutual_adjacency();
+        assert!(adj[&n(1)].contains(&n(2)));
+    }
+
+    #[test]
+    fn mutual_adjacency_skips_one_way() {
+        let mut g = DiGraph::new();
+        g.add_edge(n(1), n(2));
+        g.add_edge_sym(n(2), n(3));
+        let adj = g.mutual_adjacency();
+        assert!(adj[&n(1)].is_empty());
+        assert!(adj[&n(2)].contains(&n(3)));
+    }
+
+    #[test]
+    fn induced_subgraph_filters() {
+        let g: DiGraph = [(n(1), n(2)), (n(2), n(3)), (n(3), n(1))].into_iter().collect();
+        let keep: BTreeSet<NodeId> = [n(1), n(2)].into_iter().collect();
+        let sub = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 2);
+        assert!(sub.has_edge(n(1), n(2)));
+        assert!(!sub.has_edge(n(2), n(3)));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a: DiGraph = [(n(1), n(2))].into_iter().collect();
+        let b: DiGraph = [(n(2), n(3))].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(n(1), n(2)) && u.has_edge(n(2), n(3)));
+    }
+
+    #[test]
+    fn remap_is_isomorphic() {
+        let g: DiGraph = [(n(1), n(2)), (n(2), n(3))].into_iter().collect();
+        let f: BTreeMap<NodeId, NodeId> =
+            [(n(1), n(10)), (n(2), n(20)), (n(3), n(30))].into_iter().collect();
+        let h = g.remap(&f);
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert!(h.has_edge(n(10), n(20)));
+        assert!(h.has_edge(n(20), n(30)));
+        assert!(!h.has_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn remap_partial_keeps_unmapped() {
+        let g: DiGraph = [(n(1), n(2))].into_iter().collect();
+        let f: BTreeMap<NodeId, NodeId> = [(n(1), n(9))].into_iter().collect();
+        let h = g.remap(&f);
+        assert!(h.has_edge(n(9), n(2)));
+    }
+
+    #[test]
+    fn common_out_neighbors() {
+        let g: DiGraph = [
+            (n(1), n(3)),
+            (n(1), n(4)),
+            (n(1), n(5)),
+            (n(2), n(4)),
+            (n(2), n(5)),
+            (n(2), n(6)),
+        ]
+        .into_iter()
+        .collect();
+        let common = g.common_out_neighbors(n(1), n(2));
+        assert_eq!(common, [n(4), n(5)].into_iter().collect());
+        assert!(g.common_out_neighbors(n(1), n(99)).is_empty());
+    }
+
+    #[test]
+    fn incident_edges_both_directions() {
+        let g: DiGraph = [(n(1), n(2)), (n(3), n(1))].into_iter().collect();
+        let inc = g.incident_edges(n(1));
+        assert!(inc.contains(&(n(1), n(2))));
+        assert!(inc.contains(&(n(3), n(1))));
+        assert_eq!(inc.len(), 2);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut g: DiGraph = [(n(1), n(2))].into_iter().collect();
+        g.extend([(n(2), n(3))]);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Node identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A sensor-node identifier.
+///
+/// IDs are opaque labels: the paper's Definition 3 requires the neighbor
+/// validation function to be invariant under any isomorphic remapping of
+/// IDs, so nothing in the system may attach meaning to their numeric value.
+///
+/// # Examples
+///
+/// ```
+/// use snd_topology::NodeId;
+///
+/// let u = NodeId(7);
+/// assert_eq!(u.raw(), 7);
+/// assert_eq!(format!("{u}"), "n7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The underlying integer.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Big-endian byte encoding, used wherever an ID enters a hash.
+    pub fn to_be_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = NodeId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn byte_encoding_is_big_endian() {
+        assert_eq!(NodeId(1).to_be_bytes(), [0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(NodeId(123).to_string(), "n123");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

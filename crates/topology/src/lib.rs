@@ -1,0 +1,43 @@
+//! # snd-topology
+//!
+//! Geometry, deployments and topology graphs for the secure
+//! neighbor-discovery system (reproduction of Liu, ICDCS 2009).
+//!
+//! The paper's formal model is graph-theoretic: sensor nodes are scattered
+//! in a plane ([`Deployment`]), the physical communication structure is a
+//! unit-disk graph ([`unit_disk`]), the *tentative network topology* is a
+//! directed graph ([`DiGraph`]), its *functional* refinement partitions into
+//! components ([`components`]), and the central security property —
+//! d-safety — is a statement about minimal enclosing circles
+//! ([`enclosing`]).
+//!
+//! # Example: the paper's evaluation field
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use snd_topology::{Deployment, Field};
+//! use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+//!
+//! // 200 nodes in a 100x100 m field, radio range 50 m (Section 4.5.1).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2009);
+//! let deployment = Deployment::uniform(Field::square(100.0), 200, &mut rng);
+//! let topology = unit_disk_graph(&deployment, &RadioSpec::uniform(50.0));
+//! assert_eq!(topology.node_count(), 200);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod deployment;
+pub mod enclosing;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod point;
+pub mod spatial;
+pub mod unit_disk;
+
+pub use deployment::{Deployment, Field};
+pub use graph::DiGraph;
+pub use ids::NodeId;
+pub use point::{Circle, Point};

@@ -1,0 +1,174 @@
+//! Topology metrics: degree statistics and accuracy measures.
+
+use std::collections::BTreeSet;
+
+use crate::deployment::Deployment;
+use crate::graph::DiGraph;
+use crate::ids::NodeId;
+use crate::unit_disk::actual_neighbors;
+
+/// Summary statistics over node out-degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Smallest out-degree.
+    pub min: usize,
+    /// Largest out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Number of nodes measured.
+    pub nodes: usize,
+}
+
+/// Computes out-degree statistics of `graph`.
+pub fn degree_stats(graph: &DiGraph) -> DegreeStats {
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut nodes = 0usize;
+    for u in graph.nodes() {
+        let d = graph.out_degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        nodes += 1;
+    }
+    if nodes == 0 {
+        return DegreeStats::default();
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / nodes as f64,
+        nodes,
+    }
+}
+
+/// The paper's accuracy metric for one node: "the fraction of actual
+/// neighbors that are included in the functional neighbor list".
+///
+/// Returns `None` when `u` has no actual neighbors (metric undefined).
+pub fn neighbor_accuracy(
+    deployment: &Deployment,
+    functional: &DiGraph,
+    u: NodeId,
+    range: f64,
+) -> Option<f64> {
+    let actual: BTreeSet<NodeId> = actual_neighbors(deployment, u, range).into_iter().collect();
+    if actual.is_empty() {
+        return None;
+    }
+    let validated = functional
+        .out_neighbors(u)
+        .filter(|v| actual.contains(v))
+        .count();
+    Some(validated as f64 / actual.len() as f64)
+}
+
+/// Mean accuracy over a set of nodes, skipping nodes with no actual
+/// neighbors. Returns `None` if every node was skipped.
+pub fn mean_accuracy<I>(
+    deployment: &Deployment,
+    functional: &DiGraph,
+    nodes: I,
+    range: f64,
+) -> Option<f64>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for u in nodes {
+        if let Some(a) = neighbor_accuracy(deployment, functional, u, range) {
+            sum += a;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Count of *false* functional relations from benign nodes to `target`:
+/// edges `(v, target)` where `v` is outside `target`'s radio range. This is
+/// the attacker's yield in a replication attack.
+pub fn false_relation_count(
+    deployment: &Deployment,
+    functional: &DiGraph,
+    target: NodeId,
+    range: f64,
+) -> usize {
+    let actual: BTreeSet<NodeId> = actual_neighbors(deployment, target, range)
+        .into_iter()
+        .collect();
+    functional
+        .in_neighbors(target)
+        .filter(|v| !actual.contains(v))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Field;
+    use crate::point::Point;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn setup() -> (Deployment, DiGraph) {
+        let mut d = Deployment::empty(Field::square(100.0));
+        d.place(n(1), Point::new(50.0, 50.0));
+        d.place(n(2), Point::new(60.0, 50.0)); // in range of 1
+        d.place(n(3), Point::new(55.0, 55.0)); // in range of 1
+        d.place(n(4), Point::new(95.0, 95.0)); // far from 1
+        let mut g = DiGraph::new();
+        g.add_edge_sym(n(1), n(2));
+        (d, g)
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let (_, g) = setup();
+        let s = degree_stats(&g);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        assert_eq!(degree_stats(&DiGraph::new()), DegreeStats::default());
+    }
+
+    #[test]
+    fn accuracy_counts_validated_fraction() {
+        let (d, g) = setup();
+        // Node 1 has actual neighbors {2, 3}; functional has only 2.
+        assert_eq!(neighbor_accuracy(&d, &g, n(1), 20.0), Some(0.5));
+    }
+
+    #[test]
+    fn accuracy_none_without_actual_neighbors() {
+        let (d, g) = setup();
+        assert_eq!(neighbor_accuracy(&d, &g, n(4), 5.0), None);
+    }
+
+    #[test]
+    fn mean_accuracy_skips_undefined() {
+        let (d, g) = setup();
+        let m = mean_accuracy(&d, &g, [n(1), n(4)], 20.0);
+        assert_eq!(m, Some(0.5));
+        assert_eq!(mean_accuracy(&d, &g, [n(4)], 5.0), None);
+    }
+
+    #[test]
+    fn false_relations_detected() {
+        let (d, mut g) = setup();
+        // Node 4 (90m away) falsely accepts node 1 as neighbor: edge (4, 1).
+        g.add_edge(n(4), n(1));
+        assert_eq!(false_relation_count(&d, &g, n(1), 20.0), 1);
+        // Edge (2,1) is genuine: not counted.
+        assert_eq!(false_relation_count(&d, &g, n(2), 20.0), 0);
+    }
+}

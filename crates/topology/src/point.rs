@@ -1,0 +1,172 @@
+//! Planar geometry: points and circles.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — cheaper when only comparing.
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A circle in the plane: the shape of the paper's d-safety containment
+/// regions and of radio coverage disks.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center point.
+    pub center: Point,
+    /// Radius in meters (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Constructs a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "invalid radius {radius}");
+        Circle { center, radius }
+    }
+
+    /// Whether `p` lies inside or on the circle, with a small tolerance to
+    /// absorb floating-point error.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance(p) <= self.radius * (1.0 + 1e-9) + 1e-9
+    }
+
+    /// The circle through two points with the segment as diameter.
+    pub fn from_diameter(a: Point, b: Point) -> Circle {
+        let center = a.midpoint(&b);
+        Circle::new(center, center.distance(&a))
+    }
+
+    /// The circumcircle of three points, or `None` if they are (nearly)
+    /// collinear.
+    pub fn circumscribe(a: Point, b: Point, c: Point) -> Option<Circle> {
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let a2 = a.x * a.x + a.y * a.y;
+        let b2 = b.x * b.x + b.y * b.y;
+        let c2 = c.x * c.x + c.y * c.y;
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Some(Circle::new(center, center.distance(&a)))
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle[{} r={:.2}]", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let o = Point::new(0.0, 0.0);
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(o.distance(&p), 5.0);
+        assert_eq!(o.distance_sq(&p), 25.0);
+        assert_eq!(o.distance(&o), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn circle_contains_with_tolerance() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(c.contains(&Point::new(1.0, 0.0)));
+        assert!(c.contains(&Point::new(0.5, 0.5)));
+        assert!(!c.contains(&Point::new(1.01, 0.0)));
+    }
+
+    #[test]
+    fn diameter_circle() {
+        let c = Circle::from_diameter(Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        assert_eq!(c.center, Point::new(0.0, 0.0));
+        assert!((c.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcircle_of_right_triangle() {
+        // Right triangle: circumcenter at hypotenuse midpoint.
+        let c = Circle::circumscribe(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        )
+        .unwrap();
+        assert!((c.center.x - 2.0).abs() < 1e-9);
+        assert!((c.center.y - 1.5).abs() < 1e-9);
+        assert!((c.radius - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points_have_no_circumcircle() {
+        assert!(Circle::circumscribe(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid radius")]
+    fn negative_radius_panics() {
+        Circle::new(Point::default(), -1.0);
+    }
+}

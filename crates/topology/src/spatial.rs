@@ -1,0 +1,186 @@
+//! Spatial grid index for neighbor queries.
+//!
+//! The naive unit-disk construction compares all `n²/2` pairs; fine at the
+//! paper's 200 nodes, painful at the multi-thousand-node fields the safety
+//! experiments use. [`SpatialGrid`] buckets points into cells of the query
+//! radius, making range queries `O(points in 9 cells)` and whole-graph
+//! construction `O(n · degree)`.
+
+use std::collections::BTreeMap;
+
+use crate::deployment::Deployment;
+use crate::graph::DiGraph;
+use crate::ids::NodeId;
+use crate::point::Point;
+use crate::unit_disk::RadioSpec;
+
+/// A uniform grid over deployed points, with cell size equal to the query
+/// radius so any disk query touches at most 9 cells.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    buckets: BTreeMap<(i64, i64), Vec<(NodeId, Point)>>,
+}
+
+impl SpatialGrid {
+    /// Indexes `deployment` for queries of radius up to `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive radius.
+    pub fn build(deployment: &Deployment, radius: f64) -> Self {
+        assert!(radius > 0.0, "query radius must be positive");
+        let mut buckets: BTreeMap<(i64, i64), Vec<(NodeId, Point)>> = BTreeMap::new();
+        for (id, p) in deployment.iter() {
+            buckets
+                .entry(Self::key(p, radius))
+                .or_default()
+                .push((id, p));
+        }
+        SpatialGrid { cell: radius, buckets }
+    }
+
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// All nodes within `radius` of `center` (inclusive), excluding
+    /// `exclude` if given. `radius` must be at most the build radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the radius the index was built for.
+    pub fn within(
+        &self,
+        center: Point,
+        radius: f64,
+        exclude: Option<NodeId>,
+    ) -> Vec<(NodeId, Point)> {
+        assert!(
+            radius <= self.cell * (1.0 + 1e-9),
+            "query radius {radius} exceeds index cell {}",
+            self.cell
+        );
+        let (cx, cy) = Self::key(center, self.cell);
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &(id, p) in bucket {
+                        if Some(id) != exclude && p.distance(&center) <= radius {
+                            out.push((id, p));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// Unit-disk construction through the spatial index: identical output to
+/// [`crate::unit_disk::unit_disk_graph`], asymptotically faster on large
+/// fields.
+pub fn unit_disk_graph_indexed(deployment: &Deployment, radio: &RadioSpec) -> DiGraph {
+    let grid = SpatialGrid::build(deployment, radio.max_range());
+    let mut g = DiGraph::new();
+    for (id, _) in deployment.iter() {
+        g.add_node(id);
+    }
+    for (u, pu) in deployment.iter() {
+        let ru = radio.range(u);
+        for (v, _) in grid.within(pu, ru, Some(u)) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Field;
+    use crate::unit_disk::unit_disk_graph;
+    use rand::SeedableRng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = Deployment::uniform(Field::square(500.0), 400, &mut rng);
+        let grid = SpatialGrid::build(&d, 60.0);
+        assert_eq!(grid.len(), 400);
+        for (u, pu) in d.iter().take(40) {
+            let mut from_grid: Vec<NodeId> =
+                grid.within(pu, 60.0, Some(u)).into_iter().map(|(id, _)| id).collect();
+            from_grid.sort();
+            let mut brute: Vec<NodeId> = d
+                .iter()
+                .filter(|(v, pv)| *v != u && pv.distance(&pu) <= 60.0)
+                .map(|(v, _)| v)
+                .collect();
+            brute.sort();
+            assert_eq!(from_grid, brute, "node {u}");
+        }
+    }
+
+    #[test]
+    fn indexed_graph_equals_naive_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let d = Deployment::uniform(Field::square(300.0), 300, &mut rng);
+        let radio = RadioSpec::uniform(50.0);
+        assert_eq!(unit_disk_graph_indexed(&d, &radio), unit_disk_graph(&d, &radio));
+    }
+
+    #[test]
+    fn indexed_graph_with_heterogeneous_ranges() {
+        let mut d = Deployment::empty(Field::square(300.0));
+        d.place(n(1), Point::new(10.0, 10.0));
+        d.place(n(2), Point::new(90.0, 10.0));
+        // Long-range node reaches 2, not vice versa.
+        let radio = RadioSpec::uniform(50.0).with_override(n(1), 100.0);
+        let g = unit_disk_graph_indexed(&d, &radio);
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(!g.has_edge(n(2), n(1)));
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let mut d = Deployment::empty(Field::square(200.0));
+        d.place(n(1), Point::new(50.0, 50.0));
+        d.place(n(2), Point::new(100.0, 50.0));
+        let grid = SpatialGrid::build(&d, 50.0);
+        let hits = grid.within(Point::new(50.0, 50.0), 50.0, Some(n(1)));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_deployment() {
+        let d = Deployment::empty(Field::square(10.0));
+        let grid = SpatialGrid::build(&d, 5.0);
+        assert!(grid.is_empty());
+        assert!(grid.within(Point::new(1.0, 1.0), 5.0, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds index cell")]
+    fn oversized_query_panics() {
+        let mut d = Deployment::empty(Field::square(10.0));
+        d.place(n(1), Point::new(1.0, 1.0));
+        let grid = SpatialGrid::build(&d, 5.0);
+        grid.within(Point::new(1.0, 1.0), 6.0, None);
+    }
+}

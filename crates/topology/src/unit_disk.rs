@@ -1,0 +1,213 @@
+//! Unit-disk topology construction.
+//!
+//! The paper assumes "two nodes can directly talk to each other if they are
+//! within each other's radio range", i.e. the physical topology is a
+//! unit-disk graph. [`unit_disk_graph`] builds the symmetric tentative
+//! topology a *correct* direct-verification mechanism would produce for
+//! benign nodes; [`RadioSpec`] supports heterogeneous ranges, in which case
+//! edges become directed (u hears v only if they are within `min(range_u,
+//! range_v)` for mutual links — we model reception by the *receiver's*
+//! listening reach being irrelevant: u can talk to v iff `dist <= range_u`).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::Deployment;
+use crate::graph::DiGraph;
+use crate::ids::NodeId;
+
+/// Per-node radio ranges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioSpec {
+    default_range: f64,
+    overrides: BTreeMap<NodeId, f64>,
+}
+
+impl RadioSpec {
+    /// All nodes share one radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive range.
+    pub fn uniform(range: f64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        RadioSpec {
+            default_range: range,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides one node's range (e.g. a high-power attacker device).
+    pub fn with_override(mut self, id: NodeId, range: f64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        self.overrides.insert(id, range);
+        self
+    }
+
+    /// The transmission range of `id`.
+    pub fn range(&self, id: NodeId) -> f64 {
+        self.overrides.get(&id).copied().unwrap_or(self.default_range)
+    }
+
+    /// The maximum range any benign node uses — the paper's `R`.
+    pub fn max_range(&self) -> f64 {
+        self.overrides
+            .values()
+            .copied()
+            .fold(self.default_range, f64::max)
+    }
+}
+
+/// Builds the directed unit-disk topology of `deployment` under `radio`:
+/// edge `(u, v)` iff `dist(u, v) <= range(u)`.
+///
+/// With a uniform radio spec the result is symmetric, matching the paper's
+/// model where neighbor relations among benign nodes are mutual.
+///
+/// # Examples
+///
+/// ```
+/// use snd_topology::{Deployment, Field, NodeId, Point};
+/// use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+///
+/// let mut d = Deployment::empty(Field::square(100.0));
+/// d.place(NodeId(1), Point::new(0.0, 0.0));
+/// d.place(NodeId(2), Point::new(30.0, 0.0));
+/// d.place(NodeId(3), Point::new(90.0, 0.0));
+/// let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+/// assert!(g.has_mutual_edge(NodeId(1), NodeId(2)));
+/// assert!(!g.has_edge(NodeId(1), NodeId(3)));
+/// ```
+pub fn unit_disk_graph(deployment: &Deployment, radio: &RadioSpec) -> DiGraph {
+    let nodes: Vec<(NodeId, crate::point::Point)> = deployment.iter().collect();
+    let mut g = DiGraph::new();
+    for (id, _) in &nodes {
+        g.add_node(*id);
+    }
+    for (i, (u, pu)) in nodes.iter().enumerate() {
+        let ru = radio.range(*u);
+        for (v, pv) in nodes.iter().skip(i + 1) {
+            let d = pu.distance(pv);
+            if d <= ru {
+                g.add_edge(*u, *v);
+            }
+            if d <= radio.range(*v) {
+                g.add_edge(*v, *u);
+            }
+        }
+    }
+    g
+}
+
+/// The *ground-truth* neighbor set of `u`: nodes within `range` of `u`'s
+/// deployment point. Accuracy metrics compare functional neighbor lists
+/// against this.
+pub fn actual_neighbors(deployment: &Deployment, u: NodeId, range: f64) -> Vec<NodeId> {
+    let Some(pu) = deployment.position(u) else {
+        return Vec::new();
+    };
+    deployment
+        .iter()
+        .filter(|(v, pv)| *v != u && pu.distance(pv) <= range)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Field;
+    use crate::point::Point;
+    use rand::SeedableRng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn line_deployment() -> Deployment {
+        let mut d = Deployment::empty(Field::square(200.0));
+        for i in 0..5 {
+            d.place(n(i), Point::new(i as f64 * 40.0, 0.0));
+        }
+        d
+    }
+
+    #[test]
+    fn uniform_range_gives_symmetric_graph() {
+        let d = line_deployment();
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "asymmetric edge ({u},{v})");
+        }
+        // 40m spacing, 50m range: only adjacent nodes connect.
+        assert!(g.has_mutual_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(0), n(2)));
+    }
+
+    #[test]
+    fn boundary_distance_is_connected() {
+        let mut d = Deployment::empty(Field::square(100.0));
+        d.place(n(1), Point::new(0.0, 0.0));
+        d.place(n(2), Point::new(50.0, 0.0));
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+        assert!(g.has_mutual_edge(n(1), n(2)), "range is inclusive");
+    }
+
+    #[test]
+    fn heterogeneous_ranges_give_directed_edges() {
+        let mut d = Deployment::empty(Field::square(200.0));
+        d.place(n(1), Point::new(0.0, 0.0));
+        d.place(n(2), Point::new(80.0, 0.0));
+        let radio = RadioSpec::uniform(50.0).with_override(n(1), 100.0);
+        let g = unit_disk_graph(&d, &radio);
+        assert!(g.has_edge(n(1), n(2)), "long-range node reaches out");
+        assert!(!g.has_edge(n(2), n(1)), "short-range node cannot reach back");
+    }
+
+    #[test]
+    fn max_range_reports_paper_r() {
+        let radio = RadioSpec::uniform(50.0).with_override(n(9), 120.0);
+        assert_eq!(radio.max_range(), 120.0);
+        assert_eq!(RadioSpec::uniform(50.0).max_range(), 50.0);
+    }
+
+    #[test]
+    fn actual_neighbors_excludes_self_and_far() {
+        let d = line_deployment();
+        let nb = actual_neighbors(&d, n(2), 50.0);
+        assert_eq!(nb, vec![n(1), n(3)]);
+        assert!(actual_neighbors(&d, n(99), 50.0).is_empty());
+    }
+
+    #[test]
+    fn expected_degree_matches_density() {
+        // Expected neighbors of a central node ≈ D * π R² - 1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let field = Field::square(300.0);
+        let nodes = 1800; // D = 0.02
+        let d = Deployment::uniform(field, nodes, &mut rng);
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(30.0));
+        // Average over nodes well inside the field to avoid edge effects.
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for (id, p) in d.iter() {
+            if p.x > 50.0 && p.x < 250.0 && p.y > 50.0 && p.y < 250.0 {
+                total += g.out_degree(id);
+                count += 1;
+            }
+        }
+        let avg = total as f64 / count as f64;
+        let expected = 0.02 * core::f64::consts::PI * 30.0 * 30.0;
+        assert!(
+            (avg - expected).abs() < expected * 0.15,
+            "avg degree {avg} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_panics() {
+        RadioSpec::uniform(0.0);
+    }
+}

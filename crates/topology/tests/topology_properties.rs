@@ -1,0 +1,126 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+
+use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
+use snd_topology::deployment::{Deployment, Field};
+use snd_topology::enclosing::min_enclosing_circle;
+use snd_topology::graph::DiGraph;
+use snd_topology::ids::NodeId;
+use snd_topology::point::Point;
+use snd_topology::spatial::{unit_disk_graph_indexed, SpatialGrid};
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+
+fn arb_deployment() -> impl Strategy<Value = Deployment> {
+    (2usize..120, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Deployment::uniform(Field::square(300.0), n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indexed_and_naive_unit_disk_agree(d in arb_deployment(), range in 10.0f64..80.0) {
+        let radio = RadioSpec::uniform(range);
+        prop_assert_eq!(unit_disk_graph_indexed(&d, &radio), unit_disk_graph(&d, &radio));
+    }
+
+    #[test]
+    fn spatial_grid_queries_match_brute_force(
+        d in arb_deployment(),
+        range in 10.0f64..80.0,
+        qx in 0.0f64..300.0,
+        qy in 0.0f64..300.0,
+    ) {
+        let grid = SpatialGrid::build(&d, range);
+        let center = Point::new(qx, qy);
+        let mut fast: Vec<NodeId> = grid
+            .within(center, range, None)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        fast.sort();
+        let mut brute: Vec<NodeId> = d
+            .iter()
+            .filter(|(_, p)| p.distance(&center) <= range)
+            .map(|(id, _)| id)
+            .collect();
+        brute.sort();
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn unit_disk_graphs_are_symmetric_under_uniform_radio(
+        d in arb_deployment(),
+        range in 10.0f64..80.0,
+    ) {
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(range));
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(v, u), "asymmetric edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn partition_nodes_are_a_partition(d in arb_deployment(), range in 10.0f64..80.0) {
+        // Every node in exactly one component; components are disjoint and
+        // cover the node set.
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(range));
+        let analysis = PartitionAnalysis::compute(&g, UsefulnessRule::MinSize(1));
+        let mut seen = std::collections::BTreeSet::new();
+        for part in analysis.partitions() {
+            for id in part {
+                prop_assert!(seen.insert(*id), "{id} appears in two partitions");
+            }
+        }
+        prop_assert_eq!(seen.len(), g.node_count());
+        // MinSize(1) marks everything useful: no isolated nodes.
+        prop_assert!(analysis.isolated_nodes().is_empty());
+    }
+
+    #[test]
+    fn mec_radius_bounded_by_component_geometry(d in arb_deployment()) {
+        // For any subset of deployed points, the minimal enclosing circle
+        // never exceeds half the diameter times sqrt(3)/... use the loose
+        // universal bound r <= diameter / sqrt(3).
+        let points: Vec<Point> = d.iter().map(|(_, p)| p).collect();
+        let c = min_enclosing_circle(&points).expect("nonempty");
+        let diameter = snd_topology::enclosing::point_set_diameter(&points);
+        prop_assert!(c.radius <= diameter / 3.0f64.sqrt() + 1e-6,
+            "r {} vs diameter {}", c.radius, diameter);
+    }
+
+    #[test]
+    fn remap_preserves_graph_shape(
+        edges in prop::collection::vec((0u64..30, 0u64..30), 0..80),
+        offset in 1_000u64..100_000,
+    ) {
+        let g: DiGraph = edges.into_iter().map(|(a, b)| (NodeId(a), NodeId(b))).collect();
+        let map: std::collections::BTreeMap<NodeId, NodeId> =
+            g.nodes().map(|n| (n, NodeId(n.raw() + offset))).collect();
+        let h = g.remap(&map);
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(h.has_edge(NodeId(u.raw() + offset), NodeId(v.raw() + offset)));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_never_grows(
+        edges in prop::collection::vec((0u64..20, 0u64..20), 0..60),
+        keep in prop::collection::btree_set(0u64..20, 0..20),
+    ) {
+        let g: DiGraph = edges.into_iter().map(|(a, b)| (NodeId(a), NodeId(b))).collect();
+        let keep: std::collections::BTreeSet<NodeId> = keep.into_iter().map(NodeId).collect();
+        let sub = g.induced_subgraph(&keep);
+        prop_assert!(sub.node_count() <= keep.len());
+        prop_assert!(sub.edge_count() <= g.edge_count());
+        for (u, v) in sub.edges() {
+            prop_assert!(keep.contains(&u) && keep.contains(&v));
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+}

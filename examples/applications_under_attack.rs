@@ -1,0 +1,114 @@
+//! Applications under attack: routing, clustering and aggregation.
+//!
+//! A compact version of experiment E10: one compromised identity replicated
+//! across the field, and the three motivating applications run over (a) the
+//! raw tentative topology an unprotected network would use and (b) the
+//! functional topology the protocol produces.
+//!
+//! Run: `cargo run --release --example applications_under_attack`
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use secure_neighbor_discovery::apps::aggregation::{neighborhood_average, Readings};
+use secure_neighbor_discovery::apps::clustering::lowest_id_clustering;
+use secure_neighbor_discovery::apps::routing::{route_many, RouteOutcome};
+use secure_neighbor_discovery::apps::gpsr::compare_with_greedy;
+use secure_neighbor_discovery::apps::greedy_route;
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::unit_disk::{unit_disk_graph, RadioSpec};
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+fn main() {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(300.0),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(5).without_updates(),
+        11,
+    );
+    let ids = engine.deploy_uniform(320);
+    engine.run_wave(&ids);
+
+    // Compromise the smallest ID (maximum clustering damage) and replicate
+    // it at 8 sites, each luring a fresh victim.
+    let target = ids[0];
+    engine.compromise(target).expect("operational");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut victims = Vec::new();
+    let mut next = engine.deployment().next_id().raw();
+    for _ in 0..8 {
+        let site = Point::new(rng.gen_range(0.0..300.0), rng.gen_range(0.0..300.0));
+        engine.place_replica(target, site).expect("compromised");
+        let victim = NodeId(next);
+        next += 1;
+        engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(300.0)));
+        engine.run_wave(&[victim]);
+        victims.push(victim);
+    }
+
+    let unprotected = engine.tentative_topology();
+    let protected = engine.functional_topology();
+    let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(50.0));
+    let deployment = engine.deployment().clone();
+
+    // Routing from the victims.
+    let all: Vec<NodeId> = deployment.ids().collect();
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for &v in &victims {
+        for _ in 0..8usize {
+            pairs.push((v, all[rng.gen_range(0..all.len())]));
+        }
+    }
+    println!("— Greedy routing from the 8 attacked nodes ({} packets) —", pairs.len());
+    for (label, believed) in [("unprotected", &unprotected), ("protected", &protected)] {
+        let stats = route_many(believed, &physical, &deployment, &pairs, 128);
+        println!(
+            "  {label:12}: delivery {:.0}%, black-hole losses {}",
+            100.0 * stats.delivery_ratio(),
+            stats.lost_to_false_neighbors
+        );
+    }
+    // Show one concrete black hole.
+    if let Some(&(s, d)) = pairs.iter().find(|(s, d)| {
+        greedy_route(&unprotected, &physical, &deployment, *s, *d, 128).outcome
+            == RouteOutcome::LostToFalseNeighbor
+    }) {
+        let trace = greedy_route(&unprotected, &physical, &deployment, s, d, 128);
+        println!(
+            "  example black hole: {s} -> {d} died at {} (a replica of {target})",
+            trace.path.last().expect("non-empty path")
+        );
+    }
+
+    // GPSR's perimeter mode recovers greedy's void losses (but not the
+    // attacker's black holes — only the protocol fixes those).
+    let cmp = compare_with_greedy(&protected, &physical, &deployment, &pairs, 256);
+    println!(
+        "\n— GPSR vs plain greedy on the protected topology —\n  greedy {}/{} delivered, GPSR {}/{} (perimeter mode recovers voids)",
+        cmp.greedy_delivered, cmp.attempts, cmp.gpsr_delivered, cmp.attempts
+    );
+
+    // Clustering.
+    println!("\n— Lowest-ID clustering —");
+    for (label, believed) in [("unprotected", &unprotected), ("protected", &protected)] {
+        let c = lowest_id_clustering(believed);
+        println!(
+            "  {label:12}: {} clusters, worst member-to-head distance {:.0} m",
+            c.cluster_count(),
+            c.max_member_distance(&deployment)
+        );
+    }
+
+    // Aggregation at the most-affected victim.
+    println!("\n— Neighborhood averaging at one attacked node —");
+    let readings = Readings::gradient(&deployment, 1.0);
+    let v = victims[0];
+    for (label, believed) in [("unprotected", &unprotected), ("protected", &protected)] {
+        let avg = neighborhood_average(believed, &readings, v).expect("victim deployed");
+        println!("  {label:12}: believed local average at {v} = {avg:.1}");
+    }
+    println!(
+        "  own reading at {v} = {:.1} (a local average should be near this)",
+        readings.get(v).expect("victim has a reading")
+    );
+}

@@ -1,0 +1,121 @@
+//! The node-replication attack, end to end.
+//!
+//! Walks the full narrative of the paper: direct verification is fooled by
+//! a replica; the protocol's threshold validation stops it; a coalition of
+//! more than `t` co-located compromised nodes finally defeats it — and a
+//! deployment-security violation (master key captured in the trust window)
+//! breaks everything.
+//!
+//! Run: `cargo run --release --example replica_attack`
+
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+fn main() {
+    let t = 2usize;
+    println!("Threshold t = {t}: tolerating up to {t} compromised nodes.\n");
+
+    stage_1_single_replica(t);
+    stage_2_collusion(t);
+    stage_3_window_violation(t);
+}
+
+/// Builds a fresh field with a dense home cluster and returns the engine.
+fn field(t: usize, seed: u64) -> (DiscoveryEngine, Vec<NodeId>) {
+    let mut engine = DiscoveryEngine::new(
+        Field::new(600.0, 120.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(t).without_updates(),
+        seed,
+    );
+    // Home cluster: a 10-node blob on the left.
+    let mut ids = Vec::new();
+    for k in 0..10u64 {
+        let id = NodeId(k);
+        engine.deploy_at(id, Point::new(30.0 + 10.0 * (k % 5) as f64, 40.0 + 15.0 * (k / 5) as f64));
+        ids.push(id);
+    }
+    // A handful of benign nodes near the future attack site on the right.
+    for k in 10..16u64 {
+        let id = NodeId(k);
+        engine.deploy_at(id, Point::new(520.0 + 10.0 * (k % 3) as f64, 40.0 + 15.0 * ((k / 3) % 2) as f64));
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    (engine, ids)
+}
+
+fn stage_1_single_replica(t: usize) {
+    println!("— Stage 1: one compromised node, replicated 500 m away —");
+    let (mut engine, _) = field(t, 1);
+    engine.compromise(NodeId(0)).expect("operational");
+    engine.place_replica(NodeId(0), Point::new(530.0, 60.0)).expect("compromised");
+
+    engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
+    engine.run_wave(&[NodeId(99)]);
+
+    let victim = engine.node(NodeId(99)).expect("deployed");
+    println!(
+        "  victim tentative list contains the replica : {}",
+        victim.tentative_neighbors().contains(&NodeId(0))
+    );
+    println!(
+        "  victim functional list contains the replica: {}",
+        victim.functional_neighbors().contains(&NodeId(0))
+    );
+    println!("  -> direct verification fooled, threshold validation not.\n");
+}
+
+fn stage_2_collusion(t: usize) {
+    println!("— Stage 2: colluding coalitions around the threshold —");
+    for colluders in [t + 1, t + 2] {
+        let (mut engine, _) = field(t, 2 + colluders as u64);
+        for k in 0..colluders as u64 {
+            engine.compromise(NodeId(k)).expect("operational");
+            engine.place_replica(NodeId(k), Point::new(530.0, 60.0)).expect("compromised");
+        }
+        engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
+        engine.run_wave(&[NodeId(99)]);
+        let victim = engine.node(NodeId(99)).expect("deployed");
+        let accepted = victim.functional_neighbors().contains(&NodeId(0));
+        println!(
+            "  {colluders} colluders (overlap {} vs required {}): replica accepted = {accepted}",
+            colluders - 1,
+            t + 1,
+        );
+    }
+    println!("  -> the guarantee is tight: t+2 co-located compromises break it, as Theorem 3 predicts.\n");
+}
+
+fn stage_3_window_violation(t: usize) {
+    println!("— Stage 3: deployment-security violation —");
+    let (mut engine, _) = field(t, 9);
+    // A fresh node is provisioned but captured before finishing discovery:
+    // the attacker gets the master key K.
+    engine.deploy_at(NodeId(50), Point::new(100.0, 60.0));
+    engine.compromise_violating_window(NodeId(50)).expect("deployed");
+    println!(
+        "  master key captured: {}",
+        engine.adversary().has_total_break()
+    );
+    engine.adversary_mut().set_behavior(AdversaryBehavior {
+        forge_records_with_master: true,
+        ..AdversaryBehavior::default()
+    });
+    engine.place_replica(NodeId(50), Point::new(530.0, 60.0)).expect("compromised");
+    engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
+    engine.run_wave(&[NodeId(99)]);
+    let victim = engine.node(NodeId(99)).expect("deployed");
+    println!(
+        "  forged binding record accepted by remote victim: {}",
+        victim.functional_neighbors().contains(&NodeId(50))
+    );
+    println!(
+        "  -> as the paper warns, 'if the sensor deployment security is not \
+         guaranteed ... the attacker can defeat our scheme by using this \
+         master key'."
+    );
+}

@@ -1,0 +1,221 @@
+//! Attack-scenario integration tests: the paper's security claims exercised
+//! end to end through the engine.
+
+use std::collections::BTreeSet;
+
+use secure_neighbor_discovery::core::model::safety::check_d_safety;
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+/// A 20-node home cluster on the left of a long corridor plus 8 benign
+/// nodes at the far right, all discovered in one wave.
+fn corridor(t: usize, seed: u64) -> DiscoveryEngine {
+    let mut engine = DiscoveryEngine::new(
+        Field::new(800.0, 120.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(t).without_updates(),
+        seed,
+    );
+    let mut ids = Vec::new();
+    for k in 0..20u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(20.0 + 12.0 * (k % 5) as f64, 30.0 + 18.0 * (k / 5) as f64),
+        );
+        ids.push(id);
+    }
+    for k in 20..28u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(720.0 + 12.0 * (k % 4) as f64, 40.0 + 18.0 * ((k / 4) % 2) as f64),
+        );
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    engine
+}
+
+/// Places replicas of every compromised node at the far-right site and
+/// deploys one victim beside them.
+fn replicate_and_lure(engine: &mut DiscoveryEngine, compromised: &[NodeId]) -> NodeId {
+    for &id in compromised {
+        engine.place_replica(id, Point::new(735.0, 60.0)).expect("compromised");
+    }
+    let victim = NodeId(999);
+    engine.deploy_at(victim, Point::new(738.0, 63.0));
+    engine.run_wave(&[victim]);
+    victim
+}
+
+#[test]
+fn theorem3_two_r_safety_holds_under_replication() {
+    for t in [2usize, 4] {
+        let mut engine = corridor(t, 10 + t as u64);
+        // Compromise exactly t nodes (the theorem's limit).
+        let compromised: Vec<NodeId> = (0..t as u64).map(NodeId).collect();
+        for &id in &compromised {
+            engine.compromise(id).expect("operational");
+        }
+        let victim = replicate_and_lure(&mut engine, &compromised);
+
+        let functional = engine.functional_topology();
+        let report = check_d_safety(
+            &functional,
+            engine.deployment(),
+            &engine.adversary().compromised_set(),
+            2.0 * RANGE,
+        );
+        assert!(
+            report.holds(),
+            "t={t}: 2R-safety violated, worst radius {:.1}",
+            report.worst_radius()
+        );
+        // And the far victim rejected everyone compromised.
+        let v = engine.node(victim).expect("deployed");
+        for &id in &compromised {
+            assert!(!v.functional_neighbors().contains(&id), "t={t}: {id} accepted");
+        }
+    }
+}
+
+#[test]
+fn collusion_breaks_exactly_past_threshold() {
+    let t = 3usize;
+    // c colluders give the remote victim overlap c-1.
+    for (c, expect_accept) in [(t + 1, false), (t + 2, true)] {
+        let mut engine = corridor(t, 30 + c as u64);
+        let compromised: Vec<NodeId> = (0..c as u64).map(NodeId).collect();
+        for &id in &compromised {
+            engine.compromise(id).expect("operational");
+        }
+        let victim = replicate_and_lure(&mut engine, &compromised);
+        let v = engine.node(victim).expect("deployed");
+        let accepted = compromised
+            .iter()
+            .any(|id| v.functional_neighbors().contains(id));
+        assert_eq!(
+            accepted, expect_accept,
+            "c={c}: expected accept={expect_accept}"
+        );
+    }
+}
+
+#[test]
+fn replica_cannot_reenter_discovery_as_new_node() {
+    // A compromised node's replica replays its record to a victim, but it
+    // cannot mint a record binding itself to the victim's neighborhood.
+    let mut engine = corridor(3, 50);
+    engine.compromise(NodeId(0)).expect("operational");
+    let victim = replicate_and_lure(&mut engine, &[NodeId(0)]);
+
+    let v = engine.node(victim).expect("deployed");
+    assert!(v.tentative_neighbors().contains(&NodeId(0)));
+    assert!(!v.functional_neighbors().contains(&NodeId(0)));
+    // The replayed record authenticated fine — that is the point: replay
+    // is possible, forgery is not.
+    let w = engine.node(NodeId(0)).expect("still tracked");
+    assert_eq!(w.record().version, 0);
+}
+
+#[test]
+fn passive_adversary_changes_nothing() {
+    let mut honest = corridor(3, 60);
+    let h_functional = honest.functional_topology();
+    let _ = &mut honest;
+
+    let mut attacked = corridor(3, 60);
+    attacked.compromise(NodeId(0)).expect("operational");
+    attacked.adversary_mut().set_behavior(AdversaryBehavior::passive());
+    attacked.place_replica(NodeId(0), Point::new(735.0, 60.0)).expect("compromised");
+    attacked.deploy_at(NodeId(999), Point::new(738.0, 63.0));
+    attacked.run_wave(&[NodeId(999)]);
+
+    // Passive replicas answer nothing: the victim never even lists the
+    // compromised node tentatively.
+    let v = attacked.node(NodeId(999)).expect("deployed");
+    assert!(!v.tentative_neighbors().contains(&NodeId(0)));
+    // The pre-attack part of the topology is untouched.
+    let a_functional = attacked.functional_topology();
+    for (u, w) in h_functional.edges() {
+        assert!(a_functional.has_edge(u, w));
+    }
+}
+
+#[test]
+fn trust_window_violation_gives_total_break() {
+    let mut engine = corridor(3, 70);
+    // A node deployed but never discovered: still inside its window.
+    engine.deploy_at(NodeId(500), Point::new(100.0, 60.0));
+    engine.compromise_violating_window(NodeId(500)).expect("deployed");
+    assert!(engine.adversary().has_total_break());
+
+    engine.adversary_mut().set_behavior(AdversaryBehavior {
+        forge_records_with_master: true,
+        ..AdversaryBehavior::default()
+    });
+    let victim = replicate_and_lure(&mut engine, &[NodeId(500)]);
+    let v = engine.node(victim).expect("deployed");
+    assert!(
+        v.functional_neighbors().contains(&NodeId(500)),
+        "with the master key the attacker forges records that always validate"
+    );
+}
+
+#[test]
+fn normal_compromise_does_not_leak_master_key() {
+    let mut engine = corridor(3, 80);
+    engine.compromise(NodeId(0)).expect("operational");
+    assert!(!engine.adversary().has_total_break());
+    assert!(engine.adversary().captured(NodeId(0)).expect("captured").master_key.is_none());
+}
+
+#[test]
+fn forged_commitments_are_rejected_and_counted() {
+    // An attacker guessing relation commitments without K_v gets counted
+    // as rejected, and no functional edge appears.
+    use secure_neighbor_discovery::core::protocol::Message;
+    use secure_neighbor_discovery::crypto::sha256::Sha256;
+
+    let mut engine = corridor(3, 90);
+    engine.compromise(NodeId(0)).expect("operational");
+
+    // Craft the forgery by hand through the simulator.
+    let digest = Sha256::digest(b"not the real commitment");
+    let msg = Message::RelationCommit {
+        from: NodeId(0),
+        to: NodeId(21),
+        digest,
+    };
+    engine.sim_mut().unicast(NodeId(0), NodeId(21), msg.encode());
+    // Pump by running an empty wave over a throwaway node far away.
+    engine.deploy_at(NodeId(998), Point::new(400.0, 60.0));
+    engine.run_wave(&[NodeId(998)]);
+
+    let functional = engine.functional_topology();
+    assert!(!functional.has_edge(NodeId(21), NodeId(0)));
+}
+
+#[test]
+fn safety_report_identifies_the_guilty_node() {
+    let mut engine = corridor(1, 100);
+    // Break the guarantee on purpose with a big coalition.
+    let compromised: Vec<NodeId> = (0..4u64).map(NodeId).collect();
+    for &id in &compromised {
+        engine.compromise(id).expect("operational");
+    }
+    let _ = replicate_and_lure(&mut engine, &compromised);
+
+    let functional = engine.functional_topology();
+    let set: BTreeSet<NodeId> = compromised.iter().copied().collect();
+    let report = check_d_safety(&functional, engine.deployment(), &set, 2.0 * RANGE);
+    assert!(!report.holds(), "coalition of 4 past t=1 must violate");
+    for impact in report.violations() {
+        assert!(set.contains(&impact.node));
+        assert!(impact.victim_spread > 2.0 * RANGE);
+    }
+}

@@ -1,0 +1,136 @@
+//! Baseline-scheme integration: Parno et al. detection and the
+//! direct-verification premise, exercised against engine-produced
+//! deployments (not synthetic graphs).
+
+use rand::SeedableRng;
+
+use secure_neighbor_discovery::baselines::{
+    CombinedDirect, DirectVerification, GeographicLeash, LineSelectedMulticast,
+    RandomizedMulticast, RttBounding,
+};
+use secure_neighbor_discovery::baselines::direct::VerificationContext;
+use secure_neighbor_discovery::baselines::routing::HopTable;
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::unit_disk::{unit_disk_graph, RadioSpec};
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+fn field_from_engine(seed: u64) -> (secure_neighbor_discovery::topology::Deployment, secure_neighbor_discovery::topology::DiGraph) {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(300.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(3).without_updates(),
+        seed,
+    );
+    let ids = engine.deploy_uniform(250);
+    engine.run_wave(&ids);
+    // Use the *functional* topology for routing — the realistic substrate
+    // the detection schemes would run over.
+    (engine.deployment().clone(), engine.functional_topology())
+}
+
+#[test]
+fn parno_runs_over_protocol_topology() {
+    let (d, g) = field_from_engine(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let target = NodeId(0);
+    let original = d.position(target).expect("deployed");
+    let replica = Point::new(290.0 - original.x.min(280.0), 290.0);
+
+    let randomized = RandomizedMulticast {
+        witnesses_per_neighbor: 5,
+        forward_probability: 1.0,
+        tolerance: 1.0,
+    }
+    .detect(&d, &g, target, &[original, replica], &mut rng);
+    assert!(randomized.detected, "dense witness sets must collide");
+    assert!(randomized.messages > 100, "network-wide cost expected");
+
+    let line = LineSelectedMulticast::default().detect(&d, &g, target, &[original, replica], &mut rng);
+    assert!(line.messages < randomized.messages);
+}
+
+#[test]
+fn parno_never_flags_honest_nodes() {
+    let (d, g) = field_from_engine(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for k in [0u64, 5, 10] {
+        let target = NodeId(k);
+        let site = d.position(target).expect("deployed");
+        let out = RandomizedMulticast {
+            witnesses_per_neighbor: 5,
+            forward_probability: 1.0,
+            tolerance: 1.0,
+        }
+        .detect(&d, &g, target, &[site], &mut rng);
+        assert!(!out.detected, "node {target} falsely flagged");
+        let out = LineSelectedMulticast::default().detect(&d, &g, target, &[site], &mut rng);
+        assert!(!out.detected, "node {target} falsely flagged by line-selected");
+    }
+}
+
+#[test]
+fn hop_table_consistent_with_unit_disk_geometry() {
+    let (d, _) = field_from_engine(5);
+    let g = unit_disk_graph(&d, &RadioSpec::uniform(RANGE));
+    let mut hops = HopTable::new(&g);
+    // Hop distance is at least the euclidean distance divided by range.
+    let ids: Vec<NodeId> = d.ids().take(12).collect();
+    for &a in &ids {
+        for &b in &ids {
+            if let Some(h) = hops.hops(a, b) {
+                let pa = d.position(a).expect("deployed");
+                let pb = d.position(b).expect("deployed");
+                let min_hops = (pa.distance(&pb) / RANGE).ceil() as u32;
+                assert!(
+                    h >= min_hops,
+                    "{a}->{b}: {h} hops but geometry demands >= {min_hops}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_verification_premise_holds_in_the_field() {
+    // For every engine-produced *tentative* relation between benign nodes,
+    // the physical direct checks pass; and for a replica they also pass —
+    // the paper's reason to build the protocol at all.
+    let mut engine = DiscoveryEngine::new(
+        Field::square(200.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2).without_updates(),
+        7,
+    );
+    let ids = engine.deploy_uniform(100);
+    engine.run_wave(&ids);
+
+    let tentative = engine.tentative_topology();
+    for (u, v) in tentative.edges().take(200) {
+        let pu = engine.deployment().position(u).expect("deployed");
+        let pv = engine.deployment().position(v).expect("deployed");
+        let ctx = VerificationContext {
+            radio_distance: pu.distance(&pv),
+            claimed_position: pv,
+            verifier_position: pu,
+            range: RANGE,
+        };
+        assert!(RttBounding.verify(&ctx), "benign relation ({u},{v}) failed RTT");
+        assert!(GeographicLeash.verify(&ctx), "benign relation ({u},{v}) failed leash");
+    }
+
+    // The replica's view from a victim next to it.
+    engine.compromise(ids[0]).expect("operational");
+    engine.place_replica(ids[0], Point::new(190.0, 190.0)).expect("compromised");
+    let ctx = VerificationContext {
+        radio_distance: 5.0,                          // the replica radio is right there
+        claimed_position: Point::new(191.0, 191.0),   // and it lies about its position
+        verifier_position: Point::new(188.0, 188.0),
+        range: RANGE,
+    };
+    assert!(
+        CombinedDirect.verify(&ctx),
+        "every direct check passes for a replica — only the protocol catches it"
+    );
+}

@@ -1,0 +1,213 @@
+//! End-to-end integration: full deployments through the real engine,
+//! cross-checked against the paper's closed-form analysis.
+
+use rand::SeedableRng;
+
+use secure_neighbor_discovery::core::analysis::validated_fraction_theory;
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::components::{PartitionAnalysis, UsefulnessRule};
+use secure_neighbor_discovery::topology::metrics::{mean_accuracy, neighbor_accuracy};
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId};
+
+const RANGE: f64 = 50.0;
+
+fn paper_engine(t: usize, nodes: usize, seed: u64) -> DiscoveryEngine {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(t).without_updates(),
+        seed,
+    );
+    let ids = engine.deploy_uniform(nodes);
+    engine.run_wave(&ids);
+    engine
+}
+
+#[test]
+fn benign_discovery_is_clean() {
+    let engine = paper_engine(10, 200, 1);
+    for id in engine.node_ids().collect::<Vec<_>>() {
+        let node = engine.node(id).expect("deployed");
+        assert_eq!(node.state(), NodeState::Operational);
+        assert!(!node.holds_master_key());
+    }
+    // No drops, no rejections in a benign full-density field.
+    assert_eq!(engine.sim().metrics().total_drops(), 0);
+}
+
+#[test]
+fn functional_edges_are_subset_of_tentative() {
+    let engine = paper_engine(20, 150, 2);
+    let tentative = engine.tentative_topology();
+    let functional = engine.functional_topology();
+    for (u, v) in functional.edges() {
+        assert!(tentative.has_edge(u, v), "functional edge ({u},{v}) not tentative");
+    }
+    assert!(functional.edge_count() <= tentative.edge_count());
+}
+
+#[test]
+fn simulation_accuracy_tracks_theory() {
+    // The heart of Figure 3: simulated accuracy within a few points of the
+    // closed form, at three thresholds spanning the curve.
+    let density = 200.0 / (100.0 * 100.0);
+    for (t, tolerance) in [(10usize, 0.1), (80, 0.15), (150, 0.1)] {
+        let mut sum = 0.0;
+        let mut count = 0;
+        for seed in 0..3u64 {
+            let engine = paper_engine(t, 200, 40 + seed);
+            let functional = engine.functional_topology();
+            let center = engine
+                .deployment()
+                .nearest(Field::square(100.0).center())
+                .expect("populated")
+                .0;
+            if let Some(a) =
+                neighbor_accuracy(engine.deployment(), &functional, center, RANGE)
+            {
+                sum += a;
+                count += 1;
+            }
+        }
+        let sim = sum / count as f64;
+        let theory = validated_fraction_theory(t, density, RANGE);
+        assert!(
+            (sim - theory).abs() <= tolerance,
+            "t={t}: sim {sim:.3} vs theory {theory:.3}"
+        );
+    }
+}
+
+#[test]
+fn multi_wave_deployment_converges() {
+    // Three waves joining incrementally; later nodes still validate.
+    let mut engine = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(5).without_updates(),
+        3,
+    );
+    let w1 = engine.deploy_uniform(120);
+    engine.run_wave(&w1);
+    let w2 = engine.deploy_uniform(40);
+    engine.run_wave(&w2);
+    let w3 = engine.deploy_uniform(40);
+    engine.run_wave(&w3);
+
+    let functional = engine.functional_topology();
+    let accuracy = mean_accuracy(
+        engine.deployment(),
+        &functional,
+        w3.iter().copied(),
+        RANGE,
+    )
+    .expect("third wave has neighbors");
+    assert!(
+        accuracy > 0.8,
+        "late-wave nodes must still validate most neighbors, got {accuracy:.3}"
+    );
+
+    // And they were accepted back by the old nodes.
+    for &id in &w3 {
+        let own = engine.node(id).expect("deployed").functional_neighbors().clone();
+        for v in own {
+            assert!(
+                functional.has_edge(v, id),
+                "old node {v} should have accepted newcomer {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_benign_field_forms_single_useful_partition() {
+    let engine = paper_engine(5, 200, 4);
+    let functional = engine.functional_topology();
+    let analysis = PartitionAnalysis::compute(&functional, UsefulnessRule::LargestOnly);
+    let largest = analysis.largest().expect("nonempty").len();
+    assert!(
+        largest >= 190,
+        "at paper density the field should be essentially one partition, largest = {largest}"
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let a = paper_engine(10, 100, 77);
+    let b = paper_engine(10, 100, 77);
+    assert_eq!(a.functional_topology(), b.functional_topology());
+    assert_eq!(a.hash_ops(), b.hash_ops());
+}
+
+#[test]
+fn hash_op_count_scales_with_degree_not_network() {
+    // Section 4.3's argument, checked: per-node hash work tracks local
+    // degree. Two fields with the same density but different sizes must
+    // have similar per-node hash counts.
+    let small = paper_engine(10, 100, 5); // 100 nodes / 100x100
+    let mut big = DiscoveryEngine::new(
+        Field::square(200.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(10).without_updates(),
+        6,
+    );
+    let ids = big.deploy_uniform(400); // same density, 4x nodes
+    big.run_wave(&ids);
+
+    let per_node_small = small.hash_ops() as f64 / 100.0;
+    let per_node_big = big.hash_ops() as f64 / 400.0;
+    let ratio = per_node_big / per_node_small;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "per-node hash work should be density-bound: small {per_node_small:.1}, big {per_node_big:.1}"
+    );
+}
+
+#[test]
+fn isolated_node_survives_discovery() {
+    // A node with no neighbors finishes discovery with empty lists and no
+    // panic.
+    let mut engine = DiscoveryEngine::new(
+        Field::square(500.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(1).without_updates(),
+        8,
+    );
+    engine.deploy_at(NodeId(0), secure_neighbor_discovery::topology::Point::new(10.0, 10.0));
+    engine.deploy_at(NodeId(1), secure_neighbor_discovery::topology::Point::new(490.0, 490.0));
+    engine.run_wave(&[NodeId(0), NodeId(1)]);
+    let n0 = engine.node(NodeId(0)).expect("deployed");
+    assert_eq!(n0.state(), NodeState::Operational);
+    assert!(n0.tentative_neighbors().is_empty());
+    assert!(n0.functional_neighbors().is_empty());
+}
+
+#[test]
+fn rng_streams_are_independent_of_measurement() {
+    // Reading metrics or topologies must not perturb behavior.
+    let mut a = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(3).without_updates(),
+        12,
+    );
+    let ids = a.deploy_uniform(80);
+    let _ = a.functional_topology();
+    let _ = a.sim().metrics().totals();
+    a.run_wave(&ids);
+
+    let mut b = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(3).without_updates(),
+        12,
+    );
+    let ids_b = b.deploy_uniform(80);
+    b.run_wave(&ids_b);
+
+    let mut rng_check = rand::rngs::StdRng::seed_from_u64(0);
+    use rand::Rng;
+    let _: u64 = rng_check.gen();
+    assert_eq!(a.functional_topology(), b.functional_topology());
+}

@@ -1,0 +1,263 @@
+//! Integration tests for the Section 4.4 extension: binding-record updates
+//! across deployment waves, battery death, and the malicious-update creep
+//! bounded by Theorem 4.
+
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+fn engine_with_updates(t: usize, m: u32, seed: u64) -> DiscoveryEngine {
+    let mut config = ProtocolConfig::with_threshold(t);
+    config.max_updates = m;
+    config.issue_evidence = true;
+    DiscoveryEngine::new(Field::new(600.0, 150.0), RadioSpec::uniform(RANGE), config, seed)
+}
+
+/// A tight 8-node cluster around (60, 75).
+fn seed_cluster(engine: &mut DiscoveryEngine) -> Vec<NodeId> {
+    let mut ids = Vec::new();
+    for k in 0..8u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(45.0 + 10.0 * (k % 4) as f64, 65.0 + 10.0 * (k / 4) as f64),
+        );
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    ids
+}
+
+#[test]
+fn evidence_flows_to_old_nodes() {
+    let mut engine = engine_with_updates(2, 3, 1);
+    seed_cluster(&mut engine);
+    // A newcomer joins next to the cluster; its finalize issues evidence to
+    // every old neighbor whose record predates it.
+    engine.deploy_at(NodeId(100), Point::new(60.0, 72.0));
+    engine.run_wave(&[NodeId(100)]);
+
+    let mut evidenced = 0;
+    for k in 0..8u64 {
+        let node = engine.node(NodeId(k)).expect("deployed");
+        if node.buffered_evidence().iter().any(|e| e.from == NodeId(100)) {
+            evidenced += 1;
+        }
+    }
+    assert!(evidenced >= 6, "most cluster members should hold evidence, got {evidenced}");
+}
+
+#[test]
+fn second_newcomer_triggers_updates() {
+    let mut engine = engine_with_updates(2, 3, 2);
+    seed_cluster(&mut engine);
+    engine.deploy_at(NodeId(100), Point::new(60.0, 72.0));
+    engine.run_wave(&[NodeId(100)]);
+
+    // The next newcomer processes the buffered evidence.
+    engine.deploy_at(NodeId(101), Point::new(62.0, 78.0));
+    let report = engine.run_wave(&[NodeId(101)]);
+    assert!(report.updates_applied > 0, "old nodes should refresh records: {report:?}");
+
+    // Updated records carry version 1 and include the first newcomer.
+    let updated = (0..8u64)
+        .filter(|k| {
+            let r = engine.node(NodeId(*k)).expect("deployed").record();
+            r.version == 1 && r.neighbors.contains(&NodeId(100))
+        })
+        .count();
+    assert!(updated > 0, "some records must now list n100");
+}
+
+#[test]
+fn update_cap_zero_disables_everything() {
+    let mut engine = engine_with_updates(2, 0, 3);
+    seed_cluster(&mut engine);
+    engine.deploy_at(NodeId(100), Point::new(60.0, 72.0));
+    engine.run_wave(&[NodeId(100)]);
+    engine.deploy_at(NodeId(101), Point::new(62.0, 78.0));
+    let report = engine.run_wave(&[NodeId(101)]);
+    assert_eq!(report.updates_applied, 0);
+    for k in 0..8u64 {
+        assert_eq!(engine.node(NodeId(k)).expect("deployed").record().version, 0);
+    }
+}
+
+#[test]
+fn updates_rescue_nodes_after_battery_deaths() {
+    // The extension's motivating scenario: old nodes lose neighbors to
+    // battery death; without updates they cannot befriend newcomers.
+    let t = 2usize;
+    let run = |updates: bool, seed: u64| -> bool {
+        let mut engine = engine_with_updates(t, if updates { 4 } else { 0 }, seed);
+        let cluster = seed_cluster(&mut engine);
+        // Two mid-life newcomers arrive while the cluster is healthy; they
+        // are recorded as evidence (and, with updates on, folded into the
+        // old records via the next wave).
+        engine.deploy_at(NodeId(100), Point::new(58.0, 73.0));
+        engine.run_wave(&[NodeId(100)]);
+        engine.deploy_at(NodeId(101), Point::new(63.0, 70.0));
+        engine.run_wave(&[NodeId(101)]);
+        engine.deploy_at(NodeId(102), Point::new(60.0, 79.0));
+        engine.run_wave(&[NodeId(102)]);
+        engine.deploy_at(NodeId(103), Point::new(66.0, 72.0));
+        engine.run_wave(&[NodeId(103)]);
+
+        // Catastrophe: most of the original cluster dies.
+        for &id in &cluster[..6] {
+            engine.sim_mut().kill(id);
+        }
+
+        // A late newcomer: its tentative list holds the survivors and the
+        // mid-life nodes. The survivor n6's *original* record only lists
+        // dead nodes — unless updates folded the mid-life nodes in.
+        engine.deploy_at(NodeId(200), Point::new(61.0, 74.0));
+        engine.run_wave(&[NodeId(200)]);
+        let late = engine.node(NodeId(200)).expect("deployed");
+        late.functional_neighbors().contains(&cluster[6])
+            || late.functional_neighbors().contains(&cluster[7])
+    };
+
+    assert!(
+        run(true, 42),
+        "with updates the survivor's refreshed record must connect the newcomer"
+    );
+    assert!(
+        !run(false, 42),
+        "without updates the survivor's stale record cannot reach the overlap threshold"
+    );
+}
+
+#[test]
+fn malicious_creep_is_bounded_by_theorem4() {
+    // Condensed version of the E6 experiment: the compromised node's creep
+    // radius grows with m but stays under (m+1)R.
+    let t = 2usize;
+    let mut radii = Vec::new();
+    for m in [1u32, 3] {
+        let mut engine = engine_with_updates(t, m, 5);
+        let cluster = seed_cluster(&mut engine);
+        let w = cluster[0];
+        engine.compromise(w).expect("operational");
+        engine.adversary_mut().set_behavior(AdversaryBehavior {
+            request_updates: true,
+            ..AdversaryBehavior::default()
+        });
+
+        let origin = engine.deployment().position(w).expect("placed");
+        let step = 0.4 * RANGE;
+        let mut next = 300u64;
+        for batch in 1..=12u64 {
+            let x = origin.x + step * batch as f64;
+            engine.place_replica(w, Point::new(x, 75.0)).expect("compromised");
+            let mut wave = Vec::new();
+            for k in 0..(t + 2) as u64 {
+                let id = NodeId(next);
+                next += 1;
+                engine.deploy_at(id, Point::new(x, 60.0 + 8.0 * k as f64));
+                wave.push(id);
+            }
+            engine.run_wave(&wave);
+        }
+
+        let functional = engine.functional_topology();
+        let radius = functional
+            .in_neighbors(w)
+            .filter(|v| !engine.adversary().controls(*v))
+            .filter_map(|v| engine.deployment().position(v))
+            .map(|p| p.distance(&origin))
+            .fold(0.0f64, f64::max);
+        assert!(
+            radius <= (m as f64 + 1.0) * RANGE,
+            "m={m}: creep radius {radius:.1} exceeds Theorem 4 bound"
+        );
+        radii.push(radius);
+    }
+    assert!(
+        radii[1] > radii[0],
+        "more update budget must buy the attacker more reach: {radii:?}"
+    );
+}
+
+#[test]
+fn battery_driven_deaths_trigger_the_same_rescue() {
+    // Like `updates_rescue_nodes_after_battery_deaths`, but the deaths come
+    // from the energy model instead of a scripted kill: the original
+    // cluster runs on small batteries and literally talks itself to death.
+    use secure_neighbor_discovery::sim::prelude::EnergyModel;
+
+    let mut engine = engine_with_updates(2, 4, 77);
+    let cluster = seed_cluster(&mut engine);
+    engine.sim_mut().enable_energy(EnergyModel::default());
+    // Budget: enough for discovery and some chatter, then death. Two
+    // survivors get comfortable batteries.
+    for &id in &cluster[..6] {
+        engine.sim_mut().set_battery(id, 60_000.0);
+    }
+
+    // Mid-life newcomers (evidence + updates flow as usual).
+    for (i, pos) in [
+        (100u64, (58.0, 73.0)),
+        (101, (63.0, 70.0)),
+        (102, (60.0, 79.0)),
+        (103, (66.0, 72.0)),
+    ] {
+        engine.deploy_at(NodeId(i), Point::new(pos.0, pos.1));
+        engine.run_wave(&[NodeId(i)]);
+    }
+
+    // Keep-alive chatter drains the budgeted nodes until they die.
+    let mut guard = 0;
+    while engine.sim().battery_deaths().len() < 6 && guard < 2_000 {
+        for &id in &cluster[..6] {
+            if engine.sim().is_alive(id) {
+                engine.sim_mut().broadcast(id, vec![0u8; 64]);
+            }
+        }
+        guard += 1;
+    }
+    assert_eq!(
+        engine.sim().battery_deaths().len(),
+        6,
+        "budgeted nodes must die of exhaustion"
+    );
+
+    // A late newcomer still joins through the survivors' refreshed records.
+    engine.deploy_at(NodeId(200), Point::new(61.0, 74.0));
+    engine.run_wave(&[NodeId(200)]);
+    let late = engine.node(NodeId(200)).expect("deployed");
+    assert!(
+        late.functional_neighbors().contains(&cluster[6])
+            || late.functional_neighbors().contains(&cluster[7]),
+        "update extension must keep the aged network joinable; functional = {:?}",
+        late.functional_neighbors()
+    );
+}
+
+#[test]
+fn stale_evidence_is_filtered_not_fatal() {
+    let mut engine = engine_with_updates(2, 4, 6);
+    seed_cluster(&mut engine);
+    // Wave A evidences the cluster; wave B triggers update 1 AND buffers
+    // stale-bound evidence; wave C evidences against version 1; wave D must
+    // still be able to apply update 2 using only the fresh tokens (a stale
+    // token poisoning the request would freeze every record at version 1).
+    for (i, pos) in [
+        (100u64, (58.0, 73.0)),
+        (101, (63.0, 70.0)),
+        (102, (60.0, 79.0)),
+        (103, (66.0, 72.0)),
+    ] {
+        engine.deploy_at(NodeId(i), Point::new(pos.0, pos.1));
+        engine.run_wave(&[NodeId(i)]);
+    }
+    let versions: Vec<u32> = (0..8u64)
+        .map(|k| engine.node(NodeId(k)).expect("deployed").record().version)
+        .collect();
+    assert!(
+        versions.iter().any(|&v| v >= 2),
+        "updates must keep flowing past the first: versions {versions:?}"
+    );
+}

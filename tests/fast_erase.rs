@@ -1,0 +1,207 @@
+//! Integration tests for the fast-erasure variant — the paper's closing
+//! future-work item: "allow us to delete the master key K quickly without
+//! waiting for the completion of neighbor discovery".
+//!
+//! In this variant, binding records are committed under per-node record
+//! keys `RK_v = H(K ‖ v)`; a new node derives its tentative neighbors' keys
+//! at commit time and erases `K` **before** collecting a single record.
+//! The master key's exposure shrinks from the whole discovery to one hello
+//! round, and a mid-discovery capture yields only a *local* break.
+
+use secure_neighbor_discovery::core::model::safety::check_d_safety;
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::core::protocol::commitments::record_key;
+use secure_neighbor_discovery::core::protocol::BindingRecord;
+use secure_neighbor_discovery::sim::prelude::HashCounter;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+fn engine(fast: bool, t: usize, seed: u64) -> DiscoveryEngine {
+    let mut config = ProtocolConfig::with_threshold(t);
+    if fast {
+        config = config.with_fast_erase();
+    }
+    DiscoveryEngine::new(Field::square(200.0), RadioSpec::uniform(RANGE), config, seed)
+}
+
+#[test]
+fn fast_variant_produces_the_same_functional_topology() {
+    let mut base = engine(false, 5, 42);
+    let ids = base.deploy_uniform(150);
+    base.run_wave(&ids);
+
+    let mut fast = engine(true, 5, 42);
+    let ids = fast.deploy_uniform(150);
+    fast.run_wave(&ids);
+
+    assert_eq!(
+        base.functional_topology(),
+        fast.functional_topology(),
+        "the variant changes key management, not validation semantics"
+    );
+}
+
+#[test]
+fn master_key_dies_at_commit_not_finalize() {
+    // Drive one node manually through the lifecycle to observe the window.
+    use secure_neighbor_discovery::core::protocol::ProtocolNode;
+    use secure_neighbor_discovery::crypto::keys::SymmetricKey;
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let master = SymmetricKey::random(&mut rng);
+    let ops = HashCounter::detached();
+    let config = ProtocolConfig::with_threshold(0).with_fast_erase();
+
+    let mut node = ProtocolNode::provision(NodeId(0), &master, config, &ops);
+    node.begin_discovery().unwrap();
+    node.add_tentative(NodeId(1)).unwrap();
+    node.add_tentative(NodeId(2)).unwrap();
+    assert!(node.holds_master_key(), "window open while discovering");
+
+    node.commit_record(&mut rng, &ops).unwrap();
+    assert!(
+        !node.holds_master_key(),
+        "fast variant must erase K at commit time"
+    );
+
+    // Record collection and finalize still work off the cached keys.
+    // Peer 1's list {0, 2} shares node 2 with N(0) = {1, 2}: validates at t=0.
+    let rk1 = record_key(&master, NodeId(1), &ops);
+    let peer_record = BindingRecord::create(
+        &rk1,
+        NodeId(1),
+        0,
+        [NodeId(0), NodeId(2)].into_iter().collect(),
+        &ops,
+    );
+    node.accept_record(peer_record, &ops).unwrap();
+    let out = node.finalize_discovery(&mut rng, &ops).unwrap();
+    assert_eq!(out.commitments.len(), 1, "t=0 with 1 shared neighbor validates");
+}
+
+#[test]
+fn compromised_node_cannot_forge_its_own_record() {
+    // After discovery the node retains neither K nor RK_self: replay only.
+    let mut eng = engine(true, 2, 7);
+    let ids = eng.deploy_uniform(100);
+    eng.run_wave(&ids);
+    eng.compromise(ids[0]).expect("operational");
+    let captured = eng.adversary().captured(ids[0]).expect("captured");
+    assert!(captured.master_key.is_none());
+    assert!(
+        captured.neighbor_record_keys.is_empty(),
+        "caches were destroyed at finalize"
+    );
+}
+
+#[test]
+fn mid_discovery_capture_is_a_local_break_only() {
+    use secure_neighbor_discovery::core::protocol::ProtocolNode;
+    use secure_neighbor_discovery::crypto::keys::SymmetricKey;
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let master = SymmetricKey::random(&mut rng);
+    let ops = HashCounter::detached();
+    let config = ProtocolConfig::with_threshold(0).with_fast_erase();
+
+    // The victim commits (erasing K) with neighbors {1, 2} — and is then
+    // captured mid-discovery.
+    let mut node = ProtocolNode::provision(NodeId(0), &master, config, &ops);
+    node.begin_discovery().unwrap();
+    node.add_tentative(NodeId(1)).unwrap();
+    node.add_tentative(NodeId(2)).unwrap();
+    node.commit_record(&mut rng, &ops).unwrap();
+    let captured = node.compromise();
+
+    // No master key: the global break is gone.
+    assert!(captured.master_key.is_none());
+    // But the neighborhood's record keys leaked: the attacker can forge a
+    // record for neighbor 1...
+    let leaked_rk1 = captured.neighbor_record_keys.get(&NodeId(1)).expect("leaked");
+    let forged = BindingRecord::create(
+        leaked_rk1,
+        NodeId(1),
+        0,
+        [NodeId(0), NodeId(99)].into_iter().collect(),
+        &ops,
+    );
+    assert!(forged.verify(&record_key(&master, NodeId(1), &ops), &ops));
+    // ...but NOT for any node outside the captured neighborhood.
+    assert!(!captured.neighbor_record_keys.contains_key(&NodeId(50)));
+}
+
+#[test]
+fn replica_attack_still_bounded_in_fast_mode() {
+    let mut eng = engine(true, 3, 9);
+    let ids = eng.deploy_uniform(200);
+    eng.run_wave(&ids);
+    for &id in ids.iter().take(3) {
+        eng.compromise(id).expect("operational");
+        eng.place_replica(id, Point::new(190.0, 190.0)).expect("compromised");
+    }
+    eng.deploy_at(NodeId(8_000), Point::new(192.0, 192.0));
+    eng.run_wave(&[NodeId(8_000)]);
+
+    let report = check_d_safety(
+        &eng.functional_topology(),
+        eng.deployment(),
+        &eng.adversary().compromised_set(),
+        2.0 * RANGE,
+    );
+    assert!(report.holds(), "worst radius {:.1}", report.worst_radius());
+}
+
+#[test]
+fn updates_work_in_fast_mode() {
+    let mut config = ProtocolConfig::with_threshold(1).with_fast_erase();
+    config.max_updates = 3;
+    config.issue_evidence = true;
+    let mut eng = DiscoveryEngine::new(
+        Field::square(200.0),
+        RadioSpec::uniform(RANGE),
+        config,
+        11,
+    );
+    // A tight cluster, then two newcomers to evidence + refresh.
+    let mut ids = Vec::new();
+    for k in 0..6u64 {
+        let id = NodeId(k);
+        eng.deploy_at(id, Point::new(50.0 + 8.0 * (k % 3) as f64, 50.0 + 8.0 * (k / 3) as f64));
+        ids.push(id);
+    }
+    eng.run_wave(&ids);
+    eng.deploy_at(NodeId(100), Point::new(55.0, 54.0));
+    eng.run_wave(&[NodeId(100)]);
+    eng.deploy_at(NodeId(101), Point::new(52.0, 57.0));
+    let report = eng.run_wave(&[NodeId(101)]);
+    assert!(
+        report.updates_applied > 0,
+        "fast-erase updaters must serve updates from cached record keys: {report:?}"
+    );
+    let refreshed = (0..6u64)
+        .filter(|k| eng.node(NodeId(*k)).expect("deployed").record().version > 0)
+        .count();
+    assert!(refreshed > 0);
+}
+
+#[test]
+fn mixed_mode_networks_are_incompatible_by_design() {
+    // A record committed under K does not verify under RK_v and vice
+    // versa: the variant is a network-wide choice, not per-node.
+    use rand::SeedableRng;
+    use secure_neighbor_discovery::crypto::keys::SymmetricKey;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let master = SymmetricKey::random(&mut rng);
+    let ops = HashCounter::detached();
+    let base_record =
+        BindingRecord::create(&master, NodeId(1), 0, Default::default(), &ops);
+    let rk = record_key(&master, NodeId(1), &ops);
+    assert!(!base_record.verify(&rk, &ops));
+    let fast_record = BindingRecord::create(&rk, NodeId(1), 0, Default::default(), &ops);
+    assert!(!fast_record.verify(&master, &ops));
+}

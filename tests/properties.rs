@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the system's core invariants:
+//! Definition 3's isomorphism invariance, the geometry of d-safety
+//! checking, wire-format robustness, protocol commitments, and Theorem 3's
+//! bound on randomized attack configurations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use secure_neighbor_discovery::core::model::functional::functional_topology;
+use secure_neighbor_discovery::core::model::safety::check_d_safety;
+use secure_neighbor_discovery::core::model::validation::{
+    is_isomorphism_invariant, AcceptAll, CommonNeighborRule,
+};
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::core::protocol::Message;
+use secure_neighbor_discovery::crypto::hash_chain::HashChain;
+use secure_neighbor_discovery::crypto::keys::SymmetricKey;
+use secure_neighbor_discovery::crypto::sha256::{Digest, Sha256};
+use secure_neighbor_discovery::sim::prelude::HashCounter;
+use secure_neighbor_discovery::topology::enclosing::min_enclosing_circle;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{DiGraph, Field, NodeId, Point};
+
+/// Strategy: a random directed graph on up to `n` nodes.
+fn graph_strategy(n: u64) -> impl Strategy<Value = DiGraph> {
+    prop::collection::vec((0..n, 0..n), 0..60).prop_map(|edges| {
+        edges
+            .into_iter()
+            .map(|(a, b)| (NodeId(a), NodeId(b)))
+            .collect()
+    })
+}
+
+/// Strategy: a set of points in a 1000x1000 field.
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..max)
+        .prop_map(|ps| ps.into_iter().map(Point::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn validation_functions_are_isomorphism_invariant(
+        g in graph_strategy(12),
+        t in 0usize..4,
+        u in 0u64..12,
+        v in 0u64..12,
+        offset in 100u64..10_000,
+    ) {
+        // A clean relabeling: x -> x + offset.
+        let map: BTreeMap<NodeId, NodeId> = (0..12u64)
+            .map(|x| (NodeId(x), NodeId(x + offset)))
+            .collect();
+        prop_assert!(is_isomorphism_invariant(&AcceptAll, NodeId(u), NodeId(v), &g, &map));
+        prop_assert!(is_isomorphism_invariant(
+            &CommonNeighborRule::new(t), NodeId(u), NodeId(v), &g, &map
+        ));
+    }
+
+    #[test]
+    fn functional_topology_is_monotone_in_threshold(g in graph_strategy(14), t in 0usize..5) {
+        // Raising the threshold can only remove functional relations.
+        let lower = functional_topology(&CommonNeighborRule::new(t), &g);
+        let higher = functional_topology(&CommonNeighborRule::new(t + 1), &g);
+        for (u, v) in higher.edges() {
+            prop_assert!(lower.has_edge(u, v), "edge ({u},{v}) appeared when t grew");
+        }
+    }
+
+    #[test]
+    fn functional_is_subgraph_of_tentative(g in graph_strategy(14), t in 0usize..5) {
+        let f = functional_topology(&CommonNeighborRule::new(t), &g);
+        for (u, v) in f.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+        prop_assert_eq!(f.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn enclosing_circle_contains_all_points(points in points_strategy(40)) {
+        let c = min_enclosing_circle(&points).expect("nonempty");
+        for p in &points {
+            prop_assert!(c.contains(p), "{p} escaped {c}");
+        }
+        // Radius at most half the bounding-box diagonal.
+        let diag = 1000.0 * std::f64::consts::SQRT_2;
+        prop_assert!(c.radius <= diag / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn enclosing_circle_is_minimal_vs_diameter(points in points_strategy(25)) {
+        // The MEC radius is at least half the point-set diameter.
+        let c = min_enclosing_circle(&points).expect("nonempty");
+        let diameter = secure_neighbor_discovery::topology::enclosing::point_set_diameter(&points);
+        prop_assert!(c.radius >= diameter / 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Arbitrary bytes either decode to a message or error out cleanly.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn wire_round_trip_hello_family(a in any::<u64>(), b in any::<u64>()) {
+        for msg in [
+            Message::Hello { from: NodeId(a) },
+            Message::HelloAck { from: NodeId(b) },
+            Message::RecordRequest { from: NodeId(a) },
+            Message::RelationCommit {
+                from: NodeId(a),
+                to: NodeId(b),
+                digest: Sha256::digest(a.to_be_bytes()),
+            },
+        ] {
+            prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn binding_records_bind(
+        owner in any::<u64>(),
+        version in any::<u32>(),
+        neighbors in prop::collection::btree_set(any::<u64>(), 0..20),
+        flip_byte in 0usize..32,
+    ) {
+        let master = SymmetricKey::from_bytes([7u8; 32]);
+        let ops = HashCounter::detached();
+        let nbrs: BTreeSet<NodeId> = neighbors.into_iter().map(NodeId).collect();
+        let record = BindingRecord::create(&master, NodeId(owner), version, nbrs, &ops);
+        prop_assert!(record.verify(&master, &ops));
+
+        // Any commitment bit-flip breaks verification.
+        let mut tampered = record.clone();
+        let mut bytes = tampered.commitment.into_bytes();
+        bytes[flip_byte] ^= 0x01;
+        tampered.commitment = Digest(bytes);
+        prop_assert!(!tampered.verify(&master, &ops));
+
+        // Wire round trip preserves everything.
+        let bytes = record.encode();
+        let (decoded, rest) = BindingRecord::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, record);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn hash_chain_links_verify_only_at_their_index(
+        seed in any::<[u8; 32]>(),
+        len in 1usize..20,
+        i in 0usize..20,
+        j in 0usize..20,
+    ) {
+        prop_assume!(i <= len && j <= len);
+        let chain = HashChain::from_seed(Digest(seed), len);
+        let vi = chain.link(i).expect("in range");
+        prop_assert_eq!(HashChain::verify(&chain.anchor(), &vi, i), true);
+        if i != j {
+            prop_assert!(!HashChain::verify(&chain.anchor(), &vi, j));
+        }
+    }
+
+    #[test]
+    fn sha256_distinct_inputs_distinct_outputs(
+        a in prop::collection::vec(any::<u8>(), 0..100),
+        b in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gpsr_terminates_and_dominates_greedy(
+        seed in any::<u64>(),
+        nodes in 20usize..80,
+        range in 30.0f64..60.0,
+        s in any::<usize>(),
+        t in any::<usize>(),
+    ) {
+        use secure_neighbor_discovery::apps::gpsr::gpsr_route;
+        use secure_neighbor_discovery::apps::routing::greedy_route;
+        use secure_neighbor_discovery::topology::unit_disk::unit_disk_graph;
+        use rand::SeedableRng as _;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = secure_neighbor_discovery::topology::Deployment::uniform(
+            Field::square(250.0), nodes, &mut rng,
+        );
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(range));
+        let ids: Vec<NodeId> = d.ids().collect();
+        let src = ids[s % ids.len()];
+        let dst = ids[t % ids.len()];
+        // Must terminate without panicking on arbitrary geometry...
+        let gpsr = gpsr_route(&g, &g, &d, src, dst, 512);
+        let greedy = greedy_route(&g, &g, &d, src, dst, 512);
+        // ...and never lose a pair greedy can deliver.
+        if greedy.delivered() {
+            prop_assert!(gpsr.delivered(), "greedy delivered {src}->{dst} but GPSR lost it");
+        }
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn theorem3_bound_on_random_attack_configurations(
+        seed in 0u64..5_000,
+        t in 1usize..4,
+        site_x in 250.0f64..390.0,
+        site_y in 10.0f64..390.0,
+    ) {
+        // Random field, random replica site, exactly t compromised nodes:
+        // the 2R bound must hold every time.
+        let mut engine = DiscoveryEngine::new(
+            Field::square(400.0),
+            RadioSpec::uniform(50.0),
+            ProtocolConfig::with_threshold(t).without_updates(),
+            seed,
+        );
+        let ids = engine.deploy_uniform(250);
+        engine.run_wave(&ids);
+
+        for &id in ids.iter().take(t) {
+            engine.compromise(id).expect("operational");
+            engine.place_replica(id, Point::new(site_x, site_y)).expect("compromised");
+        }
+        engine.deploy_at(NodeId(9_000), Point::new(site_x + 3.0, site_y + 3.0));
+        engine.run_wave(&[NodeId(9_000)]);
+
+        let report = check_d_safety(
+            &engine.functional_topology(),
+            engine.deployment(),
+            &engine.adversary().compromised_set(),
+            100.0,
+        );
+        prop_assert!(
+            report.holds(),
+            "seed {} t {} site ({:.0},{:.0}): radius {:.1}",
+            seed, t, site_x, site_y, report.worst_radius()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Wormhole attacks end to end: the division of labor between direct
+//! verification (which stops wormholes) and the paper's protocol (which
+//! stops what direct verification cannot — replicas).
+
+use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::sim::prelude::Wormhole;
+use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
+use secure_neighbor_discovery::topology::{Field, NodeId, Point};
+
+const RANGE: f64 = 50.0;
+
+/// Two ten-node clusters 700 m apart with a wormhole tunnel between them.
+fn wormholed_engine(direct_verification: bool, seed: u64) -> (DiscoveryEngine, Vec<NodeId>) {
+    let mut engine = DiscoveryEngine::new(
+        Field::new(800.0, 120.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2).without_updates(),
+        seed,
+    );
+    engine.direct_verification = direct_verification;
+    engine.sim_mut().add_wormhole(Wormhole {
+        a: Point::new(40.0, 60.0),
+        b: Point::new(740.0, 60.0),
+        radius: 60.0,
+    });
+    let mut ids = Vec::new();
+    for k in 0..10u64 {
+        let id = NodeId(k);
+        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        ids.push(id);
+    }
+    for k in 10..20u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(720.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * ((k - 10) / 5) as f64),
+        );
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    (engine, ids)
+}
+
+#[test]
+fn direct_verification_stops_the_wormhole() {
+    let (engine, _) = wormholed_engine(true, 1);
+    let tentative = engine.tentative_topology();
+    // No tentative relation crosses the gap.
+    for (u, v) in tentative.edges() {
+        let pu = engine.deployment().position(u).expect("deployed");
+        let pv = engine.deployment().position(v).expect("deployed");
+        assert!(
+            pu.distance(&pv) <= RANGE,
+            "wormhole smuggled tentative relation ({u},{v}) across {:.0} m",
+            pu.distance(&pv)
+        );
+    }
+}
+
+#[test]
+fn without_direct_verification_the_wormhole_wins_tentatively() {
+    // The motivating gap: with no RTT/leash layer, the wormhole stitches
+    // the clusters together at the tentative level...
+    let (engine, _) = wormholed_engine(false, 2);
+    let tentative = engine.tentative_topology();
+    let long_links = tentative
+        .edges()
+        .filter(|(u, v)| {
+            let pu = engine.deployment().position(*u).expect("deployed");
+            let pv = engine.deployment().position(*v).expect("deployed");
+            pu.distance(&pv) > 600.0
+        })
+        .count();
+    assert!(long_links > 0, "the tunnel should have created long tentative links");
+
+    // ...and because a wormhole relays honest traffic symmetrically, the
+    // binding records of both sides commit each other: the threshold rule
+    // alone cannot tell a transparent tunnel from genuine adjacency. This
+    // is exactly why the paper *assumes* a direct-verification layer and
+    // scopes its own protocol to the replica problem.
+    let functional = engine.functional_topology();
+    let functional_long = functional
+        .edges()
+        .filter(|(u, v)| {
+            let pu = engine.deployment().position(*u).expect("deployed");
+            let pv = engine.deployment().position(*v).expect("deployed");
+            pu.distance(&pv) > 600.0
+        })
+        .count();
+    assert!(
+        functional_long > 0,
+        "a transparent wormhole during initial discovery defeats topology-only validation"
+    );
+}
+
+#[test]
+fn replica_passes_direct_verification_but_not_validation() {
+    // The complementary failure mode, in the same scenario: direct
+    // verification is on, a replica shows up instead of a wormhole.
+    let mut engine = DiscoveryEngine::new(
+        Field::new(800.0, 120.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2).without_updates(),
+        3,
+    );
+    let mut ids = Vec::new();
+    for k in 0..10u64 {
+        let id = NodeId(k);
+        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    engine.compromise(NodeId(0)).expect("operational");
+    engine.place_replica(NodeId(0), Point::new(740.0, 60.0)).expect("compromised");
+    engine.deploy_at(NodeId(99), Point::new(742.0, 62.0));
+    engine.run_wave(&[NodeId(99)]);
+
+    let victim = engine.node(NodeId(99)).expect("deployed");
+    assert!(
+        victim.tentative_neighbors().contains(&NodeId(0)),
+        "the replica radio is physically near: direct verification passes"
+    );
+    assert!(
+        !victim.functional_neighbors().contains(&NodeId(0)),
+        "threshold validation rejects what RTT cannot"
+    );
+}
+
+/// Builds a settled cluster, installs a tunnel, then deploys one far-away
+/// newcomer whose only contact with the cluster is the tunnel.
+fn late_wormhole_scenario(direct_verification: bool, seed: u64) -> DiscoveryEngine {
+    let mut engine = DiscoveryEngine::new(
+        Field::new(800.0, 120.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2).without_updates(),
+        seed,
+    );
+    engine.direct_verification = direct_verification;
+    let mut ids = Vec::new();
+    for k in 0..10u64 {
+        let id = NodeId(k);
+        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    engine.sim_mut().add_wormhole(Wormhole {
+        a: Point::new(40.0, 60.0),
+        b: Point::new(740.0, 60.0),
+        radius: 60.0,
+    });
+    engine.deploy_at(NodeId(99), Point::new(742.0, 62.0));
+    engine.run_wave(&[NodeId(99)]);
+    engine
+}
+
+#[test]
+fn late_wormhole_is_stopped_by_direct_verification() {
+    let engine = late_wormhole_scenario(true, 4);
+    let victim = engine.node(NodeId(99)).expect("deployed");
+    assert!(
+        victim.tentative_neighbors().is_empty(),
+        "RTT bounding must reject every tunneled hello"
+    );
+    assert!(victim.functional_neighbors().is_empty());
+}
+
+#[test]
+fn late_wormhole_defeats_the_protocol_without_direct_verification() {
+    // The instructive negative result: a *transparent* tunnel relays the
+    // honest cluster's genuine records, and the newcomer's tentative list
+    // is exactly that cluster — overlap is perfect, so the threshold rule
+    // validates the long links. The paper's protocol is explicitly scoped
+    // on top of a direct-verification layer ("we assume that the direct
+    // neighbor verification mechanism can always correctly verify the
+    // neighbor relation between two benign nodes"); this test documents
+    // why that assumption is load-bearing.
+    let engine = late_wormhole_scenario(false, 5);
+    let victim = engine.node(NodeId(99)).expect("deployed");
+    assert!(!victim.tentative_neighbors().is_empty());
+    assert!(
+        !victim.functional_neighbors().is_empty(),
+        "without direct verification the tunnel's links validate"
+    );
+    let origin = engine.deployment().position(NodeId(99)).expect("placed");
+    let longest = victim
+        .functional_neighbors()
+        .iter()
+        .filter_map(|v| engine.deployment().position(*v))
+        .map(|p| p.distance(&origin))
+        .fold(0.0f64, f64::max);
+    assert!(longest > 600.0, "the false links span the field: {longest:.0} m");
+}
