@@ -46,11 +46,7 @@ fn gradient_at(p: Point, scale: f64) -> f64 {
 
 /// The neighborhood average computed by `node` over its believed
 /// neighbors (plus itself). Returns `None` for unknown nodes.
-pub fn neighborhood_average(
-    believed: &DiGraph,
-    readings: &Readings,
-    node: NodeId,
-) -> Option<f64> {
+pub fn neighborhood_average(believed: &DiGraph, readings: &Readings, node: NodeId) -> Option<f64> {
     let own = readings.get(node)?;
     let mut sum = own;
     let mut count = 1usize;

@@ -12,7 +12,6 @@
 //!    against the physical topology exactly like
 //!    [`crate::routing::greedy_route`].
 
-
 use snd_topology::{Deployment, DiGraph, NodeId, Point};
 
 use crate::routing::{RouteOutcome, RouteTrace};
@@ -165,11 +164,8 @@ pub fn gpsr_route(
             }
             let pc = deployment.position(current).expect("current placed");
             let back = prev.expect("perimeter has a previous node");
-            let ref_angle = deployment
-                .position(back)
-                .map_or(0.0, |pb| angle(pc, pb));
-            let hop = next_ccw(&planar, deployment, current, ref_angle, None)
-                .or(Some(back)); // dead end: bounce back
+            let ref_angle = deployment.position(back).map_or(0.0, |pb| angle(pc, pb));
+            let hop = next_ccw(&planar, deployment, current, ref_angle, None).or(Some(back)); // dead end: bounce back
             prev = Some(current);
             hop
         };
@@ -274,8 +270,8 @@ mod tests {
 
     #[test]
     fn gabriel_preserves_connectivity_on_random_fields() {
-        use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
         use rand::SeedableRng;
+        use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let d = Deployment::uniform(Field::square(200.0), 150, &mut rng);
         let g = unit_disk_graph(&d, &RadioSpec::uniform(40.0));
@@ -298,9 +294,15 @@ mod tests {
         d.place(n(1), Point::new(75.0, 52.0)); // middle witness
         d.place(n(2), Point::new(98.0, 50.0));
         let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
-        assert!(g.has_mutual_edge(n(0), n(2)), "precondition: long edge exists");
+        assert!(
+            g.has_mutual_edge(n(0), n(2)),
+            "precondition: long edge exists"
+        );
         let planar = gabriel_planarize(&g, &d);
-        assert!(!planar.has_edge(n(0), n(2)), "witness node must kill the edge");
+        assert!(
+            !planar.has_edge(n(0), n(2)),
+            "witness node must kill the edge"
+        );
         assert!(planar.has_mutual_edge(n(0), n(1)));
         assert!(planar.has_mutual_edge(n(1), n(2)));
     }
@@ -359,8 +361,8 @@ mod tests {
 
     #[test]
     fn comparison_counts_recoveries() {
-        use rand::SeedableRng;
         use rand::Rng;
+        use rand::SeedableRng;
         // Sparse random field: greedy loses some pairs to voids; GPSR must
         // do at least as well on every seed.
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);

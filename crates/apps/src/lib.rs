@@ -26,7 +26,7 @@ pub mod gpsr;
 pub mod routing;
 
 pub use aggregation::{aggregation_error, neighborhood_average, Readings};
+pub use clustering::{lowest_id_clustering, max_min_d_clustering, Clustering};
 pub use collection::CollectionTree;
 pub use gpsr::{gabriel_planarize, gpsr_route, GpsrComparison};
-pub use clustering::{lowest_id_clustering, max_min_d_clustering, Clustering};
 pub use routing::{greedy_route, route_many, DeliveryStats, RouteOutcome, RouteTrace};

@@ -60,15 +60,15 @@ impl LineSelectedMulticast {
                 location: site,
             };
             // Entry point: the benign node nearest the announcement site.
-            let Some(entry) = all_ids
-                .iter()
-                .copied()
-                .min_by(|a, b| {
-                    let da = deployment.position(*a).map_or(f64::MAX, |p| p.distance(&site));
-                    let db = deployment.position(*b).map_or(f64::MAX, |p| p.distance(&site));
-                    da.partial_cmp(&db).expect("finite distances")
-                })
-            else {
+            let Some(entry) = all_ids.iter().copied().min_by(|a, b| {
+                let da = deployment
+                    .position(*a)
+                    .map_or(f64::MAX, |p| p.distance(&site));
+                let db = deployment
+                    .position(*b)
+                    .map_or(f64::MAX, |p| p.distance(&site));
+                da.partial_cmp(&db).expect("finite distances")
+            }) else {
                 continue;
             };
             outcome.messages += 1; // the announcement
@@ -78,7 +78,9 @@ impl LineSelectedMulticast {
                 .copied()
                 .collect();
             for dest in destinations {
-                let Some(path) = hops.path(entry, dest) else { continue };
+                let Some(path) = hops.path(entry, dest) else {
+                    continue;
+                };
                 outcome.messages += path.len().saturating_sub(1) as u64;
                 for node in path {
                     let entry = stored.entry(node).or_default();
@@ -133,11 +135,17 @@ mod tests {
         let trials = 20;
         let mut detections = 0;
         for _ in 0..trials {
-            if scheme.detect(&d, &g, n(0), &[original, replica], &mut rng).detected {
+            if scheme
+                .detect(&d, &g, n(0), &[original, replica], &mut rng)
+                .detected
+            {
                 detections += 1;
             }
         }
-        assert!(detections >= trials * 6 / 10, "detected {detections}/{trials}");
+        assert!(
+            detections >= trials * 6 / 10,
+            "detected {detections}/{trials}"
+        );
     }
 
     #[test]
@@ -151,8 +159,8 @@ mod tests {
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(16);
         let original = d.position(n(0)).unwrap();
         let replica = Point::new(10.0, 190.0);
-        let line = LineSelectedMulticast::default()
-            .detect(&d, &g, n(0), &[original, replica], &mut rng1);
+        let line =
+            LineSelectedMulticast::default().detect(&d, &g, n(0), &[original, replica], &mut rng1);
         let randomized = RandomizedMulticast {
             witnesses_per_neighbor: 10,
             forward_probability: 1.0,

@@ -51,18 +51,36 @@ mod tests {
     fn conflict_requires_same_id_distinct_place() {
         let here = Point::new(0.0, 0.0);
         let there = Point::new(100.0, 0.0);
-        let a = LocationClaim { id: NodeId(1), location: here };
-        let b = LocationClaim { id: NodeId(1), location: there };
-        let c = LocationClaim { id: NodeId(2), location: there };
+        let a = LocationClaim {
+            id: NodeId(1),
+            location: here,
+        };
+        let b = LocationClaim {
+            id: NodeId(1),
+            location: there,
+        };
+        let c = LocationClaim {
+            id: NodeId(2),
+            location: there,
+        };
         assert!(conflicting(&a, &b, 1.0));
-        assert!(!conflicting(&a, &c, 1.0), "different identities never conflict");
+        assert!(
+            !conflicting(&a, &c, 1.0),
+            "different identities never conflict"
+        );
         assert!(!conflicting(&a, &a, 1.0), "same place is consistent");
     }
 
     #[test]
     fn tolerance_absorbs_jitter() {
-        let a = LocationClaim { id: NodeId(1), location: Point::new(0.0, 0.0) };
-        let b = LocationClaim { id: NodeId(1), location: Point::new(0.5, 0.0) };
+        let a = LocationClaim {
+            id: NodeId(1),
+            location: Point::new(0.0, 0.0),
+        };
+        let b = LocationClaim {
+            id: NodeId(1),
+            location: Point::new(0.5, 0.0),
+        };
         assert!(!conflicting(&a, &b, 1.0));
         assert!(conflicting(&a, &b, 0.1));
     }

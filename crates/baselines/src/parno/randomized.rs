@@ -68,7 +68,9 @@ impl RandomizedMulticast {
             // Hearing neighbors: benign nodes within range of the site.
             let hearers: Vec<NodeId> = deployment
                 .iter()
-                .filter(|(id, p)| *id != target && p.distance(&site) <= radio_range(deployment, topology, *id))
+                .filter(|(id, p)| {
+                    *id != target && p.distance(&site) <= radio_range(deployment, topology, *id)
+                })
                 .map(|(id, _)| id)
                 .collect();
             // The announcement itself: one broadcast.
@@ -85,10 +87,7 @@ impl RandomizedMulticast {
                     if let Some(h) = hops.hops(hearer, w) {
                         outcome.messages += u64::from(h);
                         let entry = stored.entry(w).or_default();
-                        if entry
-                            .iter()
-                            .any(|c| conflicting(c, &claim, self.tolerance))
-                        {
+                        if entry.iter().any(|c| conflicting(c, &claim, self.tolerance)) {
                             outcome.detected = true;
                         }
                         entry.push(claim);
@@ -174,7 +173,10 @@ mod tests {
         );
         let mut detections = 0;
         for _ in 0..10 {
-            if scheme.detect(&d, &g, n(0), &[original, replica], &mut rng).detected {
+            if scheme
+                .detect(&d, &g, n(0), &[original, replica], &mut rng)
+                .detected
+            {
                 detections += 1;
             }
         }
@@ -195,7 +197,10 @@ mod tests {
         let mut detections = 0;
         let trials = 30;
         for _ in 0..trials {
-            if scheme.detect(&d, &g, n(0), &[original, replica], &mut rng).detected {
+            if scheme
+                .detect(&d, &g, n(0), &[original, replica], &mut rng)
+                .detected
+            {
                 detections += 1;
             }
         }
@@ -224,7 +229,12 @@ mod tests {
         let site = d.position(n(3)).unwrap();
         let a = cheap.detect(&d, &g, n(3), &[site], &mut rng1);
         let b = pricey.detect(&d, &g, n(3), &[site], &mut rng2);
-        assert!(b.messages > 4 * a.messages, "{} !> 4x{}", b.messages, a.messages);
+        assert!(
+            b.messages > 4 * a.messages,
+            "{} !> 4x{}",
+            b.messages,
+            a.messages
+        );
     }
 
     #[test]

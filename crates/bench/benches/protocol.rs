@@ -33,13 +33,17 @@ fn bench_binding_records(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("verify", degree), &record, |b, r| {
             b.iter(|| r.verify(&master, &ops));
         });
-        group.bench_with_input(BenchmarkId::new("encode_decode", degree), &record, |b, r| {
-            b.iter(|| {
-                let bytes = r.encode();
-                let (decoded, _) = BindingRecord::decode(&bytes).expect("round trip");
-                decoded
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_decode", degree),
+            &record,
+            |b, r| {
+                b.iter(|| {
+                    let bytes = r.encode();
+                    let (decoded, _) = BindingRecord::decode(&bytes).expect("round trip");
+                    decoded
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -86,20 +90,52 @@ fn bench_discovery_wave(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_observability_overhead(c: &mut Criterion) {
+    // The tracing acceptance bar: a full wave with the default
+    // `NullRecorder` must not regress vs the pre-observability engine, and
+    // the `MemoryRecorder` column shows what recording actually costs.
+    use std::sync::Arc;
+
+    use snd_observe::recorder::{MemoryRecorder, Recorder};
+
+    fn wave(nodes: usize, recorded: bool) {
+        let mut engine = DiscoveryEngine::new(
+            Field::square(100.0),
+            RadioSpec::uniform(50.0),
+            ProtocolConfig::with_threshold(10).without_updates(),
+            99,
+        );
+        if recorded {
+            engine.set_recorder(MemoryRecorder::shared() as Arc<dyn Recorder>);
+        }
+        let ids = engine.deploy_uniform(nodes);
+        engine.run_wave(&ids);
+    }
+
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(10);
+    group.bench_function("null_recorder_100", |b| b.iter(|| wave(100, false)));
+    group.bench_function("memory_recorder_100", |b| b.iter(|| wave(100, true)));
+    group.finish();
+}
+
 fn bench_erasure(c: &mut Criterion) {
     // Ablation: secure-erasure pass count (1 / 3 / 7).
     use snd_crypto::erasure::ErasableKey;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("key_erasure");
     for passes in [1u32, 3, 7] {
-        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, &passes| {
-            b.iter(|| {
-                let mut cell =
-                    ErasableKey::with_passes(SymmetricKey::random(&mut rng), passes);
-                cell.erase(&mut rng);
-                cell
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(passes),
+            &passes,
+            |b, &passes| {
+                b.iter(|| {
+                    let mut cell = ErasableKey::with_passes(SymmetricKey::random(&mut rng), passes);
+                    cell.erase(&mut rng);
+                    cell
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -109,6 +145,7 @@ criterion_group!(
     bench_binding_records,
     bench_commitment_ablation,
     bench_discovery_wave,
+    bench_observability_overhead,
     bench_erasure
 );
 criterion_main!(benches);

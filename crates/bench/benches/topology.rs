@@ -47,5 +47,10 @@ fn bench_partitions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_unit_disk, bench_enclosing_circle, bench_partitions);
+criterion_group!(
+    benches,
+    bench_unit_disk,
+    bench_enclosing_circle,
+    bench_partitions
+);
 criterion_main!(benches);

@@ -20,8 +20,13 @@ use rand::SeedableRng;
 use snd_apps::aggregation::{neighborhood_average, Readings};
 use snd_apps::clustering::lowest_id_clustering;
 use snd_apps::routing::route_many;
+use snd_bench::report::{attach_recorder, ExperimentLog};
 use snd_bench::table::{f1, f3, Table};
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::event::EventRecord;
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
+use snd_sim::metrics::NodeCounters;
 use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
 use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
 
@@ -59,6 +64,7 @@ fn main() {
         &["config", "max injected error", "mean injected error"],
     );
 
+    let mut log = ExperimentLog::create("app_impact");
     for config in ["honest", "unprotected", "protected"] {
         let mut delivery = 0.0;
         let mut losses = 0usize;
@@ -66,8 +72,20 @@ fn main() {
         let mut max_err: f64 = 0.0;
         let mut err_sum = 0.0;
         let mut err_count = 0usize;
+        let mut report = RunReport::new("app_impact", config, 50);
+        report.set_param("nodes", &(NODES as u64));
+        report.set_param("replica_sites", &(REPLICA_SITES as u64));
+        report.set_param("trials", &(trials as u64));
+        let mut registry = MetricsRegistry::new();
         for trial in 0..trials {
             let world = build_world(config, 50 + trial as u64);
+            report.totals.unicasts_sent += world.totals.unicasts_sent;
+            report.totals.broadcasts_sent += world.totals.broadcasts_sent;
+            report.totals.received += world.totals.received;
+            report.totals.bytes_sent += world.totals.bytes_sent;
+            report.totals.bytes_received += world.totals.bytes_received;
+            report.hash_ops += world.hash_ops;
+            registry.ingest_events(&world.events);
             // Routing: every victim sends to 10 random destinations.
             let mut rng = rand::rngs::StdRng::seed_from_u64(90 + trial as u64);
             let ids: Vec<NodeId> = world.deployment.ids().collect();
@@ -105,22 +123,24 @@ fn main() {
                 }
             }
         }
-        routing.row(&[
-            config.into(),
-            f3(delivery / trials as f64),
-            losses.to_string(),
-        ]);
+        let mean_delivery = delivery / trials as f64;
+        let mean_err = err_sum / err_count.max(1) as f64;
+        routing.row(&[config.into(), f3(mean_delivery), losses.to_string()]);
         clustering.row(&[config.into(), f1(cluster_dist)]);
-        aggregation.row(&[
-            config.into(),
-            f1(max_err),
-            f1(err_sum / err_count.max(1) as f64),
-        ]);
+        aggregation.row(&[config.into(), f1(max_err), f1(mean_err)]);
+        report.set_outcome("delivery_ratio", &mean_delivery);
+        report.set_outcome("lost_to_false_neighbors", &(losses as u64));
+        report.set_outcome("max_member_distance_m", &cluster_dist);
+        report.set_outcome("max_injected_error", &max_err);
+        report.set_outcome("mean_injected_error", &mean_err);
+        report.capture_registry(&mut registry);
+        log.append(&report);
     }
 
     routing.print();
     clustering.print();
     aggregation.print();
+    log.finish();
 
     println!(
         "\nExpected: 'unprotected' loses victim-sourced packets to black \
@@ -150,6 +170,12 @@ struct World {
     physical: DiGraph,
     /// The late-wave nodes deployed next to the replica sites.
     victims: Vec<NodeId>,
+    /// Transport counters of this trial's discovery.
+    totals: NodeCounters,
+    /// Hash operations of this trial's discovery.
+    hash_ops: u64,
+    /// The trial's recorded event stream.
+    events: Vec<EventRecord>,
 }
 
 fn build_world(config: &str, seed: u64) -> World {
@@ -162,6 +188,7 @@ fn build_world(config: &str, seed: u64) -> World {
         ProtocolConfig::with_threshold(5).without_updates(),
         seed,
     );
+    let recorder = attach_recorder(&mut engine);
     let ids = engine.deploy_uniform(NODES);
     engine.run_wave(&ids);
 
@@ -175,15 +202,14 @@ fn build_world(config: &str, seed: u64) -> World {
     // Same late-wave deployments in every configuration; replicas only in
     // the attacked ones.
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
-    let mut next = engine.deployment().next_id().raw();
+    let first = engine.deployment().next_id().raw();
     let mut victims = Vec::new();
-    for _ in 0..REPLICA_SITES {
+    for next in first..first + REPLICA_SITES as u64 {
         let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
         if attack {
             engine.place_replica(target, site).expect("compromised");
         }
         let victim = NodeId(next);
-        next += 1;
         engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(SIDE)));
         engine.run_wave(&[victim]);
         victims.push(victim);
@@ -207,5 +233,8 @@ fn build_world(config: &str, seed: u64) -> World {
         believed,
         physical,
         victims,
+        totals: engine.sim().metrics().totals(),
+        hash_ops: engine.hash_ops(),
+        events: recorder.take(),
     }
 }

@@ -13,9 +13,12 @@
 use rand::Rng;
 use rand::SeedableRng;
 
+use snd_bench::report::{attach_recorder, ExperimentLog};
 use snd_bench::table::{f1, f3, Table};
 use snd_core::model::centralized::centralized_validation;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
 use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
 use snd_topology::{Field, NodeId, Point};
 
@@ -46,6 +49,11 @@ fn main() {
     let mut home_relations_kept_central = 0usize;
     let mut home_relations_total = 0usize;
 
+    let mut report = RunReport::new("centralized", "localized_vs_central", 9_000);
+    report.set_param("nodes", &(NODES as u64));
+    report.set_param("trials", &(trials as u64));
+    report.set_param("replica_sites", &5u64);
+    let mut registry = MetricsRegistry::new();
     for trial in 0..trials {
         let mut engine = DiscoveryEngine::new(
             Field::square(SIDE),
@@ -53,6 +61,8 @@ fn main() {
             ProtocolConfig::with_threshold(5).without_updates(),
             9_000 + trial as u64,
         );
+        report.set_config(&engine.config());
+        let recorder = attach_recorder(&mut engine);
         let ids = engine.deploy_uniform(NODES);
         engine.run_wave(&ids);
         let target = ids[0];
@@ -60,12 +70,11 @@ fn main() {
         engine.compromise(target).expect("operational");
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(12_000 + trial as u64);
-        let mut next = engine.deployment().next_id().raw();
-        for _ in 0..5 {
+        let first = engine.deployment().next_id().raw();
+        for next in first..first + 5 {
             let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
             engine.place_replica(target, site).expect("compromised");
             let victim = NodeId(next);
-            next += 1;
             engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(SIDE)));
             engine.run_wave(&[victim]);
         }
@@ -122,6 +131,15 @@ fn main() {
                 }
             }
         }
+
+        let totals = engine.sim().metrics().totals();
+        report.totals.unicasts_sent += totals.unicasts_sent;
+        report.totals.broadcasts_sent += totals.broadcasts_sent;
+        report.totals.received += totals.received;
+        report.totals.bytes_sent += totals.bytes_sent;
+        report.totals.bytes_received += totals.bytes_received;
+        report.hash_ops += engine.hash_ops();
+        registry.ingest_events(&recorder.take());
     }
 
     let mut table = Table::new(
@@ -159,6 +177,33 @@ fn main() {
         "no".into(),
     ]);
     table.print();
+
+    let mut log = ExperimentLog::create("centralized");
+    report.set_outcome(
+        "contained_p_localized",
+        &(contained_local as f64 / trials as f64),
+    );
+    report.set_outcome(
+        "contained_p_centralized",
+        &(contained_central as f64 / trials as f64),
+    );
+    report.set_outcome("msgs_per_node_localized", &(msgs_local / trials as f64));
+    report.set_outcome(
+        "report_hops_per_node_centralized",
+        &(msgs_central / trials as f64),
+    );
+    report.set_outcome(
+        "home_relations_kept_localized",
+        &(home_relations_kept_local as u64),
+    );
+    report.set_outcome(
+        "home_relations_kept_centralized",
+        &(home_relations_kept_central as u64),
+    );
+    report.set_outcome("home_relations_total", &(home_relations_total as u64));
+    report.capture_registry(&mut registry);
+    log.append(&report);
+    log.finish();
 
     println!(
         "\nReading: both contain the attack; the centralized strawman trades \

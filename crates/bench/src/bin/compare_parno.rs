@@ -13,9 +13,12 @@
 
 use rand::SeedableRng;
 
-use snd_bench::table::{f1, f3, Table};
 use snd_baselines::{LineSelectedMulticast, RandomizedMulticast};
+use snd_bench::report::{attach_recorder, ExperimentLog};
+use snd_bench::table::{f1, f3, Table};
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
 use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
 use snd_topology::{Deployment, Field, NodeId, Point};
 
@@ -50,10 +53,11 @@ fn main() {
         ],
     );
 
+    let mut log = ExperimentLog::create("compare_parno");
     for sites in [1usize, 2, 4, 6, 10] {
         let (rand_p, rand_msgs) = parno_trial(sites, trials, true);
         let (line_p, line_msgs) = parno_trial(sites, trials, false);
-        let (prevent_p, local_msgs) = protocol_trial(sites, trials);
+        let (prevent_p, local_msgs, mut report) = protocol_trial(sites, trials);
         table.row(&[
             sites.to_string(),
             f3(rand_p),
@@ -63,8 +67,17 @@ fn main() {
             f3(prevent_p),
             f1(local_msgs),
         ]);
+        report.set_param("trials", &(trials as u64));
+        report.set_outcome("randomized_detect_p", &rand_p);
+        report.set_outcome("randomized_msgs", &rand_msgs);
+        report.set_outcome("line_selected_detect_p", &line_p);
+        report.set_outcome("line_selected_msgs", &line_msgs);
+        report.set_outcome("protocol_prevent_p", &prevent_p);
+        report.set_outcome("protocol_msgs_per_node", &local_msgs);
+        log.append(&report);
     }
     table.print();
+    log.finish();
 
     println!(
         "\nPaper claims checked: (1) Parno detection is probabilistic; the \
@@ -119,11 +132,17 @@ fn parno_trial(sites: usize, trials: usize, randomized: bool) -> (f64, f64) {
 }
 
 /// Runs the protocol under the same replica attack; returns
-/// (prevention probability, mean per-node messages of the whole discovery).
-fn protocol_trial(sites: usize, trials: usize) -> (f64, f64) {
+/// (prevention probability, mean per-node messages of the whole discovery)
+/// plus a report whose counters sum over every trial engine.
+fn protocol_trial(sites: usize, trials: usize) -> (f64, f64, RunReport) {
     let t = 5usize;
     let mut prevented = 0usize;
     let mut msgs_per_node = 0.0;
+    let mut report = RunReport::new("compare_parno", format!("sites={sites}"), 1_700);
+    report.set_param("nodes", &(NODES as u64));
+    report.set_param("threshold", &(t as u64));
+    report.set_param("replica_sites", &(sites as u64));
+    let mut registry = MetricsRegistry::new();
     for trial in 0..trials {
         let mut engine = DiscoveryEngine::new(
             Field::square(SIDE),
@@ -131,6 +150,8 @@ fn protocol_trial(sites: usize, trials: usize) -> (f64, f64) {
             ProtocolConfig::with_threshold(t).without_updates(),
             1_700 + trial as u64,
         );
+        report.set_config(&engine.config());
+        let recorder = attach_recorder(&mut engine);
         let ids = engine.deploy_uniform(NODES);
         engine.run_wave(&ids);
         let target = ids[0];
@@ -140,19 +161,17 @@ fn protocol_trial(sites: usize, trials: usize) -> (f64, f64) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3_400 + trial as u64);
         let origin = engine.deployment().position(target).expect("placed");
         let mut remote_accept = false;
-        let mut next = engine.deployment().next_id().raw();
-        for _ in 0..sites {
+        let first = engine.deployment().next_id().raw();
+        for next in first..first + sites as u64 {
             use rand::Rng;
             let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
             engine.place_replica(target, site).expect("compromised");
             let victim = NodeId(next);
-            next += 1;
             engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(SIDE)));
             engine.run_wave(&[victim]);
             let v = engine.node(victim).expect("deployed");
             let vpos = engine.deployment().position(victim).expect("placed");
-            if v.functional_neighbors().contains(&target) && vpos.distance(&origin) > 2.0 * RANGE
-            {
+            if v.functional_neighbors().contains(&target) && vpos.distance(&origin) > 2.0 * RANGE {
                 remote_accept = true;
             }
         }
@@ -160,9 +179,24 @@ fn protocol_trial(sites: usize, trials: usize) -> (f64, f64) {
             prevented += 1;
         }
         msgs_per_node += engine.sim().metrics().mean_sent_per_node();
+
+        let totals = engine.sim().metrics().totals();
+        report.totals.unicasts_sent += totals.unicasts_sent;
+        report.totals.broadcasts_sent += totals.broadcasts_sent;
+        report.totals.received += totals.received;
+        report.totals.bytes_sent += totals.bytes_sent;
+        report.totals.bytes_received += totals.bytes_received;
+        report.hash_ops += engine.hash_ops();
+        registry.ingest_events(&recorder.take());
     }
+    registry.set("sim.unicasts_sent", report.totals.unicasts_sent);
+    registry.set("sim.broadcasts_sent", report.totals.broadcasts_sent);
+    registry.set("sim.bytes_sent", report.totals.bytes_sent);
+    registry.set("sim.hash_ops", report.hash_ops);
+    report.capture_registry(&mut registry);
     (
         prevented as f64 / trials as f64,
         msgs_per_node / trials as f64,
+        report,
     )
 }

@@ -7,8 +7,9 @@
 //!
 //! Run: `cargo run -p snd-bench --release --bin fig3 [-- --trials N] [--ablation]`
 
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f3, Table};
-use snd_bench::{paper_scenario, simulate_center_accuracy};
+use snd_bench::{figure_report, paper_scenario, simulate_center_accuracy_observed};
 use snd_core::analysis::validated_fraction_theory;
 
 fn main() {
@@ -28,13 +29,19 @@ fn main() {
         "Fraction of validated neighbors vs threshold t (paper Fig. 3)",
         &["t", "theory", "simulation"],
     );
+    let mut log = ExperimentLog::create("fig3");
     for t in [0usize, 10, 20, 30, 45, 60, 80, 100, 120, 150, 180] {
+        let seed = 2009 + t as u64;
         let theory = validated_fraction_theory(t, density, scenario.range);
-        let sim = simulate_center_accuracy(scenario, t, trials, 2009 + t as u64)
-            .unwrap_or(0.0);
+        let stats = simulate_center_accuracy_observed(scenario, t, trials, seed);
+        let sim = stats.mean.unwrap_or(0.0);
         table.row(&[t.to_string(), f3(theory), f3(sim)]);
+        let mut report = figure_report("fig3", scenario, t, trials, seed, &stats);
+        report.set_outcome("theory_accuracy", &theory);
+        log.append(&report);
     }
     table.print();
+    log.finish();
 
     if ablation {
         run_fractional_ablation(trials);

@@ -4,8 +4,9 @@
 //!
 //! Run: `cargo run -p snd-bench --release --bin fig4 [-- --trials N]`
 
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
-use snd_bench::{simulate_center_accuracy, PaperScenario};
+use snd_bench::{figure_report, simulate_center_accuracy_observed, PaperScenario};
 use snd_core::analysis::validated_fraction_theory;
 
 fn main() {
@@ -40,6 +41,7 @@ fn main() {
     );
 
     // Densities from 4 to 40 nodes per 1000 m^2 (the paper's x-axis).
+    let mut log = ExperimentLog::create("fig4");
     for per_1000 in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40] {
         let density = per_1000 as f64 / 1000.0;
         let nodes = (density * SIDE * SIDE).round() as usize;
@@ -50,9 +52,17 @@ fn main() {
         };
         let mut cells = vec![f1(per_1000 as f64)];
         for &t in &thresholds {
-            let sim = simulate_center_accuracy(scenario, t, trials, 4_000 + t as u64)
-                .unwrap_or(0.0);
-            cells.push(f3(sim));
+            let seed = 4_000 + t as u64;
+            let stats = simulate_center_accuracy_observed(scenario, t, trials, seed);
+            cells.push(f3(stats.mean.unwrap_or(0.0)));
+            let mut report = figure_report("fig4", scenario, t, trials, seed, &stats);
+            report.scenario = format!("d={per_1000},t={t}");
+            report.set_param("density_per_1000m2", &(per_1000 as u64));
+            report.set_outcome(
+                "theory_accuracy",
+                &validated_fraction_theory(t, density, RANGE),
+            );
+            log.append(&report);
         }
         for &t in &thresholds {
             cells.push(f3(validated_fraction_theory(t, density, RANGE)));
@@ -60,6 +70,7 @@ fn main() {
         table.row(&cells);
     }
     table.print();
+    log.finish();
 
     println!(
         "\nPaper shape check: at fixed t, accuracy rises with density; \

@@ -9,6 +9,7 @@
 
 use rand::SeedableRng;
 
+use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
 use snd_bench::table::{f1, Table};
 use snd_core::model::min_deploy::search_minimum_deployment;
 use snd_core::model::validation::{AcceptAll, CommonNeighborRule, NeighborValidationFunction};
@@ -32,7 +33,13 @@ fn theorem1_table() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut table = Table::new(
         "Theorem 1 construction vs topology-only rules (separation 500 m)",
-        &["rule", "m", "n=2m-1", "both victims accept", "victim separation (m)"],
+        &[
+            "rule",
+            "m",
+            "n=2m-1",
+            "both victims accept",
+            "victim separation (m)",
+        ],
     );
 
     let accept_all = search_minimum_deployment(&AcceptAll, 4, 10, &mut rng).expect("witness");
@@ -87,7 +94,13 @@ fn theorem2_table() {
 
     let mut table = Table::new(
         "Theorem 2 extendability attack (target cluster A, victim cluster B)",
-        &["t", "extendable", "target accepts", "attack distance (m)", "victim spread (m)"],
+        &[
+            "t",
+            "extendable",
+            "target accepts",
+            "attack distance (m)",
+            "victim spread (m)",
+        ],
     );
     for t in [1usize, 3, 6, 10] {
         let rule = CommonNeighborRule::new(t);
@@ -119,19 +132,26 @@ fn protocol_contrast() {
         ProtocolConfig::with_threshold(t).without_updates(),
         3,
     );
+    let recorder = attach_recorder(&mut engine);
     // Cluster A (victims of the would-be extension) and cluster B (home of
     // the compromised node).
     let mut wave = Vec::new();
     for k in 0..25u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(50.0 + 18.0 * (k % 5) as f64, 60.0 + 18.0 * (k / 5) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(50.0 + 18.0 * (k % 5) as f64, 60.0 + 18.0 * (k / 5) as f64),
+        );
         wave.push(id);
     }
     for k in 25..50u64 {
         let id = NodeId(k);
         engine.deploy_at(
             id,
-            Point::new(800.0 + 18.0 * (k % 5) as f64, 60.0 + 18.0 * ((k - 25) / 5) as f64),
+            Point::new(
+                800.0 + 18.0 * (k % 5) as f64,
+                60.0 + 18.0 * ((k - 25) / 5) as f64,
+            ),
         );
         wave.push(id);
     }
@@ -140,7 +160,9 @@ fn protocol_contrast() {
     // Compromise one node from cluster B, replicate it inside cluster A,
     // then deploy a fresh victim in cluster A.
     engine.compromise(NodeId(30)).expect("operational");
-    engine.place_replica(NodeId(30), Point::new(80.0, 90.0)).expect("compromised");
+    engine
+        .place_replica(NodeId(30), Point::new(80.0, 90.0))
+        .expect("compromised");
     engine.deploy_at(NodeId(99), Point::new(85.0, 95.0));
     engine.run_wave(&[NodeId(99)]);
 
@@ -151,9 +173,30 @@ fn protocol_contrast() {
         "Same replica against the deployed protocol (t = 3)",
         &["stage", "replica accepted"],
     );
-    table.row(&["direct verification (tentative)".into(), tentative.to_string()]);
-    table.row(&["threshold validation (functional)".into(), functional.to_string()]);
+    table.row(&[
+        "direct verification (tentative)".into(),
+        tentative.to_string(),
+    ]);
+    table.row(&[
+        "threshold validation (functional)".into(),
+        functional.to_string(),
+    ]);
     table.print();
+
+    let mut log = ExperimentLog::create("generic_attack");
+    let mut report = engine_report(
+        "generic_attack",
+        "protocol_contrast",
+        3,
+        &engine,
+        recorder.take(),
+    );
+    report.set_param("threshold", &(t as u64));
+    report.set_outcome("replica_tentative", &tentative);
+    report.set_outcome("replica_functional", &functional);
+    log.append(&report);
+    log.finish();
+
     println!(
         "\nExpected: tentative = true (replicas fool direct verification), \
          functional = false (the protocol stops them)."

@@ -8,8 +8,10 @@
 //!
 //! Run: `cargo run -p snd-bench --release --bin overhead`
 
+use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
 use snd_bench::table::{f1, Table};
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::report::RunReport;
 use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Field, NodeId};
 
@@ -34,10 +36,11 @@ fn main() {
         ],
     );
 
+    let mut log = ExperimentLog::create("overhead");
     for per_1000 in [10usize, 20, 40] {
         let nodes = (per_1000 as f64 / 1000.0 * SIDE * SIDE).round() as usize;
         for t in [5usize, 15, 30] {
-            let m = measure(nodes, t, false);
+            let (m, mut report) = measure(nodes, t, false);
             table.row(&[
                 per_1000.to_string(),
                 t.to_string(),
@@ -46,6 +49,11 @@ fn main() {
                 f1(m.bytes),
                 f1(m.hashes),
             ]);
+            report.set_param("density_per_1000m2", &(per_1000 as u64));
+            report.set_param("nodes", &(nodes as u64));
+            report.set_param("threshold", &(t as u64));
+            fill_outcomes(&mut report, &m);
+            log.append(&report);
         }
     }
     table.print();
@@ -53,10 +61,16 @@ fn main() {
     // The update extension's extra cost (Section 4.4 closing paragraph).
     let mut table = Table::new(
         "Extension cost: second wave joining an existing field (density 20/1000 m^2, t=15)",
-        &["updates enabled", "msgs/node", "bytes/node", "hash ops/node", "updates applied"],
+        &[
+            "updates enabled",
+            "msgs/node",
+            "bytes/node",
+            "hash ops/node",
+            "updates applied",
+        ],
     );
     for enabled in [false, true] {
-        let m = measure_two_wave(800, 15, enabled);
+        let (m, mut report) = measure_two_wave(800, 15, enabled);
         table.row(&[
             enabled.to_string(),
             f1(m.msgs),
@@ -64,8 +78,15 @@ fn main() {
             f1(m.hashes),
             m.updates.to_string(),
         ]);
+        report.set_param("nodes", &800u64);
+        report.set_param("threshold", &15u64);
+        report.set_param("updates_enabled", &enabled);
+        fill_outcomes(&mut report, &m);
+        report.set_outcome("updates_applied", &m.updates);
+        log.append(&report);
     }
     table.print();
+    log.finish();
 
     println!(
         "\nPaper claims checked: communication is 'a number of messages \
@@ -83,25 +104,43 @@ struct Measured {
     updates: u64,
 }
 
-fn measure(nodes: usize, t: usize, updates: bool) -> Measured {
+/// Copies the per-node cost figures — exactly the table's cells — into the
+/// report's outcomes.
+fn fill_outcomes(report: &mut RunReport, m: &Measured) {
+    report.set_outcome("storage_per_node", &m.storage);
+    report.set_outcome("msgs_per_node", &m.msgs);
+    report.set_outcome("bytes_per_node", &m.bytes);
+    report.set_outcome("hashes_per_node", &m.hashes);
+}
+
+fn measure(nodes: usize, t: usize, updates: bool) -> (Measured, RunReport) {
     let mut config = ProtocolConfig::with_threshold(t);
     if !updates {
         config = config.without_updates();
     }
     let mut engine =
         DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, 5);
+    let recorder = attach_recorder(&mut engine);
     let ids = engine.deploy_uniform(nodes);
     engine.run_wave(&ids);
-    collect(&engine, nodes as f64, 0)
+    let report = engine_report(
+        "overhead",
+        &format!("density,nodes={nodes},t={t}"),
+        5,
+        &engine,
+        recorder.take(),
+    );
+    (collect(&engine, nodes as f64, 0), report)
 }
 
-fn measure_two_wave(nodes: usize, t: usize, updates: bool) -> Measured {
+fn measure_two_wave(nodes: usize, t: usize, updates: bool) -> (Measured, RunReport) {
     let mut config = ProtocolConfig::with_threshold(t);
     if !updates {
         config = config.without_updates();
     }
     let mut engine =
         DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, 6);
+    let recorder = attach_recorder(&mut engine);
     let first = engine.deploy_uniform(nodes);
     engine.run_wave(&first);
     // Second wave: 10% fresh nodes join and issue evidence to old
@@ -111,10 +150,20 @@ fn measure_two_wave(nodes: usize, t: usize, updates: bool) -> Measured {
     let report2 = engine.run_wave(&second);
     let third = engine.deploy_uniform(nodes / 10);
     let report3 = engine.run_wave(&third);
-    collect(
+    let report = engine_report(
+        "overhead",
+        &format!("two_wave,updates={updates}"),
+        6,
         &engine,
-        (nodes + 2 * (nodes / 10)) as f64,
-        report2.updates_applied + report3.updates_applied,
+        recorder.take(),
+    );
+    (
+        collect(
+            &engine,
+            (nodes + 2 * (nodes / 10)) as f64,
+            report2.updates_applied + report3.updates_applied,
+        ),
+        report,
     )
 }
 

@@ -12,10 +12,15 @@
 //!
 //! Run: `cargo run -p snd-bench --release --bin safety [-- --threshold-sweep | --updates]`
 
+use std::sync::Arc;
+
+use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
 use snd_bench::table::{f1, Table};
 use snd_core::adversary::AdversaryBehavior;
 use snd_core::model::safety::check_d_safety;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::recorder::MemoryRecorder;
+use snd_observe::report::RunReport;
 use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Field, NodeId, Point};
 
@@ -36,11 +41,18 @@ fn main() {
 
 /// Builds a field, runs wave 1, and returns the engine plus the IDs of a
 /// mutually-tentative cluster of `c` nodes near (60, 60).
-fn base_engine(t: usize, max_updates: u32, seed: u64, c: usize) -> (DiscoveryEngine, Vec<NodeId>) {
+fn base_engine(
+    t: usize,
+    max_updates: u32,
+    seed: u64,
+    c: usize,
+) -> (DiscoveryEngine, Vec<NodeId>, Arc<MemoryRecorder>) {
     let mut config = ProtocolConfig::with_threshold(t);
     config.max_updates = max_updates;
     config.issue_evidence = max_updates > 0;
-    let mut engine = DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, seed);
+    let mut engine =
+        DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, seed);
+    let recorder = attach_recorder(&mut engine);
     let ids = engine.deploy_uniform(BASE_NODES);
     engine.run_wave(&ids);
 
@@ -59,8 +71,13 @@ fn base_engine(t: usize, max_updates: u32, seed: u64, c: usize) -> (DiscoveryEng
         .collect();
     by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     let mut cluster = vec![anchor];
-    cluster.extend(by_distance.iter().take(c.saturating_sub(1)).map(|(_, id)| *id));
-    (engine, cluster)
+    cluster.extend(
+        by_distance
+            .iter()
+            .take(c.saturating_sub(1))
+            .map(|(_, id)| *id),
+    );
+    (engine, cluster, recorder)
 }
 
 /// Replicates every cluster member at several sites and deploys victim
@@ -86,10 +103,7 @@ fn attack_and_measure(engine: &mut DiscoveryEngine, cluster: &[NodeId]) -> (f64,
         for k in 0..4u64 {
             let id = NodeId(next);
             next += 1;
-            engine.deploy_at(
-                id,
-                Point::new(s.x - 6.0 + 4.0 * (k as f64), s.y + 5.0),
-            );
+            engine.deploy_at(id, Point::new(s.x - 6.0 + 4.0 * (k as f64), s.y + 5.0));
             wave.push(id);
         }
         engine.run_wave(&wave);
@@ -98,11 +112,7 @@ fn attack_and_measure(engine: &mut DiscoveryEngine, cluster: &[NodeId]) -> (f64,
     let functional = engine.functional_topology();
     let compromised = engine.adversary().compromised_set();
     let report = check_d_safety(&functional, engine.deployment(), &compromised, 2.0 * RANGE);
-    let false_accepts: usize = report
-        .impacts
-        .iter()
-        .map(|i| i.victims.len())
-        .sum();
+    let false_accepts: usize = report.impacts.iter().map(|i| i.victims.len()).sum();
     (report.worst_radius(), false_accepts)
 }
 
@@ -116,18 +126,28 @@ fn two_r_safety() {
         "Worst victim containment radius vs #compromised (bound: 2R = 100 m)",
         &["compromised", "worst radius (m)", "victims", "2R-safe"],
     );
+    let mut log = ExperimentLog::create("safety");
     for c in [1usize, 2, 3, 5] {
         // c <= t: the guarantee must hold.
-        let (mut engine, cluster) = base_engine(t, 0, 11 + c as u64, c);
+        let seed = 11 + c as u64;
+        let (mut engine, cluster, recorder) = base_engine(t, 0, seed, c);
         let (radius, victims) = attack_and_measure(&mut engine, &cluster);
+        let safe = radius <= 2.0 * RANGE;
         table.row(&[
             c.to_string(),
             f1(radius),
             victims.to_string(),
-            (radius <= 2.0 * RANGE).to_string(),
+            safe.to_string(),
         ]);
+        let mut report = engine_report("safety", &format!("c={c}"), seed, &engine, recorder.take());
+        fill_safety_params(&mut report, t, c);
+        report.set_outcome("worst_radius_m", &radius);
+        report.set_outcome("victims", &(victims as u64));
+        report.set_outcome("two_r_safe", &safe);
+        log.append(&report);
     }
     table.print();
+    log.finish();
     println!("\nPaper claim: with <= t compromised nodes every radius stays <= 2R.");
 }
 
@@ -140,10 +160,17 @@ fn threshold_sweep() {
     );
     let mut table = Table::new(
         "Attack success vs colluding cluster size (t = 5)",
-        &["cluster size c", "worst radius (m)", "remote accept", "2R-safe"],
+        &[
+            "cluster size c",
+            "worst radius (m)",
+            "remote accept",
+            "2R-safe",
+        ],
     );
+    let mut log = ExperimentLog::create("safety_threshold");
     for c in [2usize, 4, 5, 6, 7, 8] {
-        let (mut engine, cluster) = base_engine(t, 0, 23 + c as u64, c);
+        let seed = 23 + c as u64;
+        let (mut engine, cluster, recorder) = base_engine(t, 0, seed, c);
         let (radius, _) = attack_and_measure(&mut engine, &cluster);
         let remote = radius > 2.0 * RANGE;
         table.row(&[
@@ -152,8 +179,21 @@ fn threshold_sweep() {
             remote.to_string(),
             (!remote).to_string(),
         ]);
+        let mut report = engine_report(
+            "safety_threshold",
+            &format!("c={c}"),
+            seed,
+            &engine,
+            recorder.take(),
+        );
+        fill_safety_params(&mut report, t, c);
+        report.set_outcome("worst_radius_m", &radius);
+        report.set_outcome("remote_accept", &remote);
+        report.set_outcome("two_r_safe", &!remote);
+        log.append(&report);
     }
     table.print();
+    log.finish();
     println!(
         "\nExpected crossover: c <= t+1 contained near 2R; c >= t+2 blows past it \
          (remote victims accepted)."
@@ -171,28 +211,48 @@ fn update_creep() {
         "Impact radius vs update cap m (bound: (m+1)R)",
         &["m", "impact radius (m)", "bound (m)", "within bound"],
     );
+    let mut log = ExperimentLog::create("safety_updates");
     for m in [0u32, 1, 2, 4, 6] {
-        let radius = creep_radius(t, m);
+        let (radius, mut report) = creep_radius(t, m);
         let bound = (m as f64 + 1.0) * RANGE;
-        table.row(&[
-            m.to_string(),
-            f1(radius),
-            f1(bound),
-            (radius <= bound + 1e-6).to_string(),
-        ]);
+        let within = radius <= bound + 1e-6;
+        table.row(&[m.to_string(), f1(radius), f1(bound), within.to_string()]);
+        report.set_param("threshold", &(t as u64));
+        report.set_param("max_updates", &u64::from(m));
+        report.set_outcome("impact_radius_m", &radius);
+        report.set_outcome("bound_m", &bound);
+        report.set_outcome("within_bound", &within);
+        log.append(&report);
     }
     table.print();
+    log.finish();
     println!("\nPaper claim: the impact radius grows with m but never exceeds (m+1)R.");
 }
 
+/// Shared scenario parameters for the safety runs.
+fn fill_safety_params(report: &mut RunReport, t: usize, c: usize) {
+    report.set_param("nodes", &(BASE_NODES as u64));
+    report.set_param("side_m", &SIDE);
+    report.set_param("range_m", &RANGE);
+    report.set_param("threshold", &(t as u64));
+    report.set_param("cluster_size", &(c as u64));
+}
+
 /// Runs the creep attack with update cap `m` and returns the farthest
-/// benign victim distance from the compromised node's original deployment.
-fn creep_radius(t: usize, m: u32) -> f64 {
+/// benign victim distance from the compromised node's original deployment,
+/// plus the run's report.
+fn creep_radius(t: usize, m: u32) -> (f64, RunReport) {
+    let seed = 7 + m as u64;
     let mut config = ProtocolConfig::with_threshold(t);
     config.max_updates = m;
     config.issue_evidence = true;
-    let mut engine =
-        DiscoveryEngine::new(Field::new(1400.0, 200.0), RadioSpec::uniform(RANGE), config, 7 + m as u64);
+    let mut engine = DiscoveryEngine::new(
+        Field::new(1400.0, 200.0),
+        RadioSpec::uniform(RANGE),
+        config,
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
     // Benign seed cluster around the to-be-compromised node w at (60, 100).
     let w = NodeId(0);
     engine.deploy_at(w, Point::new(60.0, 100.0));
@@ -222,7 +282,9 @@ fn creep_radius(t: usize, m: u32) -> f64 {
     let mut next_id = 100u64;
     for batch in 1..=24u64 {
         let x = 60.0 + step * batch as f64;
-        engine.place_replica(w, Point::new(x, 100.0)).expect("compromised");
+        engine
+            .place_replica(w, Point::new(x, 100.0))
+            .expect("compromised");
         let mut wave = Vec::new();
         for k in 0..batch_size as u64 {
             let id = NodeId(next_id);
@@ -236,10 +298,18 @@ fn creep_radius(t: usize, m: u32) -> f64 {
     // Farthest benign victim from w's original deployment point.
     let functional = engine.functional_topology();
     let origin = engine.deployment().position(w).expect("w placed");
-    functional
+    let radius = functional
         .in_neighbors(w)
         .filter(|v| !engine.adversary().controls(*v))
         .filter_map(|v| engine.deployment().position(v))
         .map(|p| p.distance(&origin))
-        .fold(0.0, f64::max)
+        .fold(0.0, f64::max);
+    let report = engine_report(
+        "safety_updates",
+        &format!("m={m}"),
+        seed,
+        &engine,
+        recorder.take(),
+    );
+    (radius, report)
 }

@@ -14,12 +14,19 @@
 //! | `app_impact` | Section 1 — routing/clustering/aggregation impact (E10) |
 //!
 //! This library provides the text-table rendering and simulation helpers
-//! those binaries share.
+//! those binaries share. Each binary also appends one machine-readable
+//! [`report::RunReport`] per table row to `results/<name>.jsonl` (see
+//! [`report`]).
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod scenario;
 pub mod table;
 
-pub use scenario::{paper_scenario, simulate_center_accuracy, PaperScenario};
+pub use report::{attach_recorder, engine_report, ExperimentLog};
+pub use scenario::{
+    figure_report, paper_scenario, simulate_center_accuracy, simulate_center_accuracy_observed,
+    CenterAccuracyStats, PaperScenario,
+};
 pub use table::Table;

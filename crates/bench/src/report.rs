@@ -1,0 +1,141 @@
+//! JSONL export shared by the bench binaries.
+//!
+//! Every binary keeps printing its human-readable table; this module adds a
+//! machine-readable sibling under `results/<experiment>.jsonl`, one
+//! [`RunReport`] per table row. Both views are fed from the *same* simulator
+//! counters, so the JSONL aggregates match the text output by construction.
+
+use std::sync::Arc;
+
+use snd_core::protocol::DiscoveryEngine;
+use snd_observe::event::EventRecord;
+use snd_observe::recorder::{MemoryRecorder, Recorder};
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::{JsonlWriter, RunReport};
+
+/// A tolerant wrapper around [`JsonlWriter`].
+///
+/// Bench binaries are table printers first; a read-only filesystem must not
+/// kill them. Creation or append failures degrade to a one-line warning on
+/// stderr and the log goes quiet.
+#[derive(Debug)]
+pub struct ExperimentLog {
+    writer: Option<JsonlWriter>,
+}
+
+impl ExperimentLog {
+    /// Opens `results/<experiment>.jsonl` under the current directory,
+    /// truncating any previous run.
+    pub fn create(experiment: &str) -> Self {
+        match JsonlWriter::for_experiment(".", experiment) {
+            Ok(writer) => ExperimentLog {
+                writer: Some(writer),
+            },
+            Err(err) => {
+                eprintln!("warning: cannot open results/{experiment}.jsonl: {err}");
+                ExperimentLog { writer: None }
+            }
+        }
+    }
+
+    /// Appends one report; on I/O failure warns once and stops writing.
+    pub fn append(&mut self, report: &RunReport) {
+        if let Some(writer) = &mut self.writer {
+            if let Err(err) = writer.append(report) {
+                eprintln!("warning: abandoning {}: {err}", writer.path().display());
+                self.writer = None;
+            }
+        }
+    }
+
+    /// Prints where the rows went. Call after the tables.
+    pub fn finish(self) {
+        if let Some(writer) = &self.writer {
+            println!(
+                "wrote {} ({} rows)",
+                writer.path().display(),
+                writer.written()
+            );
+        }
+    }
+}
+
+/// Attaches a fresh [`MemoryRecorder`] to `engine` and returns it.
+///
+/// Call before the engine's first wave; drain with
+/// [`MemoryRecorder::take`] when building the row's report.
+pub fn attach_recorder(engine: &mut DiscoveryEngine) -> Arc<MemoryRecorder> {
+    let recorder = MemoryRecorder::shared();
+    engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    recorder
+}
+
+/// Cap on the event stream stored *verbatim* in one report. Dense fields
+/// emit one `ValidationDecision` per tentative edge, which runs to hundreds
+/// of thousands of events; the registry keeps the aggregate picture, so
+/// beyond the cap the raw tail is cut rather than ballooning the JSONL
+/// file. `trace.events_recorded` always holds the true count.
+pub const EVENT_CAP: usize = 10_000;
+
+/// Builds a [`RunReport`] from an engine's final state plus the events
+/// recorded while it ran.
+///
+/// Captures the protocol config, the simulator's transport counters (the
+/// same `Metrics` the text tables read), hash ops, and a registry distilled
+/// from both the counters and the event stream. Streams longer than
+/// [`EVENT_CAP`] are truncated after ingestion.
+pub fn engine_report(
+    experiment: &str,
+    scenario: &str,
+    seed: u64,
+    engine: &DiscoveryEngine,
+    mut events: Vec<EventRecord>,
+) -> RunReport {
+    let mut report = RunReport::new(experiment, scenario, seed);
+    report.set_config(&engine.config());
+    report.capture_sim(engine.sim().metrics());
+    report.hash_ops = engine.hash_ops();
+    let mut registry = MetricsRegistry::new();
+    registry.ingest_sim(engine.sim().metrics());
+    registry.set("core.hash_ops", engine.hash_ops());
+    registry.ingest_events(&events);
+    registry.set("trace.events_recorded", events.len() as u64);
+    events.truncate(EVENT_CAP);
+    registry.set("trace.events_stored", events.len() as u64);
+    report.capture_registry(&mut registry);
+    report.set_events(events);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_core::protocol::ProtocolConfig;
+    use snd_topology::unit_disk::RadioSpec;
+    use snd_topology::Field;
+
+    #[test]
+    fn engine_report_mirrors_engine_counters() {
+        let mut engine = DiscoveryEngine::new(
+            Field::square(100.0),
+            RadioSpec::uniform(50.0),
+            ProtocolConfig::with_threshold(1),
+            9,
+        );
+        let recorder = attach_recorder(&mut engine);
+        let ids = engine.deploy_uniform(12);
+        engine.run_wave(&ids);
+
+        let report = engine_report("demo", "row", 9, &engine, recorder.take());
+        let totals = engine.sim().metrics().totals();
+        assert_eq!(report.totals, totals);
+        assert_eq!(report.hash_ops, engine.hash_ops());
+        assert_eq!(report.registry.counters["core.hash_ops"], engine.hash_ops());
+        assert_eq!(
+            report.registry.counters["sim.unicasts_sent"],
+            totals.unicasts_sent
+        );
+        assert!(!report.events.is_empty());
+        assert!(report.to_json().contains(r#""experiment":"demo""#));
+    }
+}

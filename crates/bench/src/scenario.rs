@@ -7,7 +7,13 @@
 //! the sensor node located at the center of this field and obtain the
 //! simulation data from this node."
 
+use std::sync::Arc;
+
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_observe::event::Event;
+use snd_observe::recorder::{MemoryRecorder, Recorder};
+use snd_observe::report::{RawJson, RunReport};
+use snd_sim::metrics::NodeCounters;
 use snd_topology::metrics::neighbor_accuracy;
 use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Field, NodeId};
@@ -52,8 +58,75 @@ pub fn simulate_center_accuracy(
     trials: usize,
     seed: u64,
 ) -> Option<f64> {
-    let mut sum = 0.0;
-    let mut count = 0usize;
+    simulate_center_accuracy_observed(scenario, threshold, trials, seed).mean
+}
+
+/// What a batch of center-accuracy trials measured, beyond the mean.
+///
+/// The trials run many short-lived engines, so the transport and decision
+/// counters here are *sums over all trials* — the cost of producing one
+/// figure data point, ready for a [`RunReport`].
+#[derive(Debug, Clone, Default)]
+pub struct CenterAccuracyStats {
+    /// Mean accuracy over the trials where the metric was defined, or
+    /// `None` if the center node never had an actual neighbor.
+    pub mean: Option<f64>,
+    /// Per-trial accuracies (defined trials only), in trial order.
+    pub per_trial: Vec<f64>,
+    /// Transport counters summed across every trial engine.
+    pub totals: NodeCounters,
+    /// One-way hash operations summed across every trial engine.
+    pub hash_ops: u64,
+    /// Validation decisions that accepted a neighbor, all trials.
+    pub accepted: u64,
+    /// Validation decisions that rejected a neighbor, all trials.
+    pub rejected: u64,
+}
+
+impl CenterAccuracyStats {
+    /// Seeds a [`RunReport`] with this batch's counters and outcomes.
+    pub fn fill_report(&self, report: &mut RunReport) {
+        report.totals = self.totals;
+        report.hash_ops = self.hash_ops;
+        report.set_outcome("accuracy", &self.mean.unwrap_or(0.0));
+        report.set_outcome("per_trial", &self.per_trial);
+        report
+            .registry
+            .counters
+            .insert("sim.unicasts_sent".into(), self.totals.unicasts_sent);
+        report
+            .registry
+            .counters
+            .insert("sim.broadcasts_sent".into(), self.totals.broadcasts_sent);
+        report
+            .registry
+            .counters
+            .insert("sim.bytes_sent".into(), self.totals.bytes_sent);
+        report
+            .registry
+            .counters
+            .insert("sim.hash_ops".into(), self.hash_ops);
+        report
+            .registry
+            .counters
+            .insert("validation.accepted".into(), self.accepted);
+        report
+            .registry
+            .counters
+            .insert("validation.rejected".into(), self.rejected);
+    }
+}
+
+/// [`simulate_center_accuracy`] with the full per-batch accounting: each
+/// trial engine carries a recorder, and the validation decisions plus the
+/// simulator's cost counters are folded into the returned stats.
+pub fn simulate_center_accuracy_observed(
+    scenario: PaperScenario,
+    threshold: usize,
+    trials: usize,
+    seed: u64,
+) -> CenterAccuracyStats {
+    let mut stats = CenterAccuracyStats::default();
     for trial in 0..trials {
         let mut engine = DiscoveryEngine::new(
             Field::square(scenario.side),
@@ -61,6 +134,8 @@ pub fn simulate_center_accuracy(
             ProtocolConfig::with_threshold(threshold).without_updates(),
             seed.wrapping_add(trial as u64),
         );
+        let recorder = MemoryRecorder::shared();
+        engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
         let mut ids = engine.deploy_uniform(scenario.nodes.saturating_sub(1));
         // The measured node sits exactly at the field center.
         let center = NodeId(scenario.nodes as u64);
@@ -69,14 +144,55 @@ pub fn simulate_center_accuracy(
         engine.run_wave(&ids);
 
         let functional = engine.functional_topology();
-        if let Some(a) =
-            neighbor_accuracy(engine.deployment(), &functional, center, scenario.range)
+        if let Some(a) = neighbor_accuracy(engine.deployment(), &functional, center, scenario.range)
         {
-            sum += a;
-            count += 1;
+            stats.per_trial.push(a);
+        }
+
+        let totals = engine.sim().metrics().totals();
+        stats.totals.unicasts_sent += totals.unicasts_sent;
+        stats.totals.broadcasts_sent += totals.broadcasts_sent;
+        stats.totals.received += totals.received;
+        stats.totals.bytes_sent += totals.bytes_sent;
+        stats.totals.bytes_received += totals.bytes_received;
+        stats.hash_ops += engine.hash_ops();
+        for rec in recorder.take() {
+            if let Event::ValidationDecision { accepted, .. } = rec.event {
+                if accepted {
+                    stats.accepted += 1;
+                } else {
+                    stats.rejected += 1;
+                }
+            }
         }
     }
-    (count > 0).then(|| sum / count as f64)
+    if !stats.per_trial.is_empty() {
+        stats.mean = Some(stats.per_trial.iter().sum::<f64>() / stats.per_trial.len() as f64);
+    }
+    stats
+}
+
+/// A report skeleton for one figure data point produced by
+/// [`simulate_center_accuracy_observed`]: scenario parameters, the batch's
+/// protocol config, and the aggregated counters are already filled in.
+pub fn figure_report(
+    experiment: &str,
+    scenario: PaperScenario,
+    threshold: usize,
+    trials: usize,
+    seed: u64,
+    stats: &CenterAccuracyStats,
+) -> RunReport {
+    let mut report = RunReport::new(experiment, format!("t={threshold}"), seed);
+    report.config = RawJson::of(&ProtocolConfig::with_threshold(threshold).without_updates());
+    report.set_param("nodes", &(scenario.nodes as u64));
+    report.set_param("side_m", &scenario.side);
+    report.set_param("range_m", &scenario.range);
+    report.set_param("density_per_m2", &scenario.density());
+    report.set_param("threshold", &(threshold as u64));
+    report.set_param("trials", &(trials as u64));
+    stats.fill_report(&mut report);
+    report
 }
 
 #[cfg(test)]

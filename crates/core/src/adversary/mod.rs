@@ -149,8 +149,8 @@ impl Adversary {
 mod tests {
     use super::*;
     use crate::protocol::records::BindingRecord;
-    use snd_sim::metrics::HashCounter;
     use rand::SeedableRng;
+    use snd_sim::metrics::HashCounter;
 
     fn captured(id: u64, with_master: bool) -> CapturedState {
         let mut rng = rand::rngs::StdRng::seed_from_u64(id);

@@ -31,7 +31,10 @@
 ///
 /// Panics if `c` is negative or exceeds 2.
 pub fn expected_common_neighbors(c: f64, density: f64, range: f64) -> f64 {
-    assert!((0.0..=2.0).contains(&c), "normalized distance {c} outside [0, 2]");
+    assert!(
+        (0.0..=2.0).contains(&c),
+        "normalized distance {c} outside [0, 2]"
+    );
     let half = c / 2.0;
     let lens = 2.0 * half.acos() - c * (1.0 - half * half).sqrt();
     density * range * range * lens - 2.0
@@ -190,9 +193,8 @@ mod tests {
         let d = Deployment::uniform(Field::square(side), nodes, &mut rng);
         let g = unit_disk_graph(&d, &RadioSpec::uniform(R));
 
-        let interior = |p: &snd_topology::Point| {
-            p.x > R && p.x < side - R && p.y > R && p.y < side - R
-        };
+        let interior =
+            |p: &snd_topology::Point| p.x > R && p.x < side - R && p.y > R && p.y < side - R;
         // Buckets of c in [0.2, 0.4), [0.4, 0.6), ... [0.8, 1.0).
         let mut sums = [0.0f64; 4];
         let mut counts = [0usize; 4];

@@ -66,13 +66,22 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::RecordAuthFailed { claimed } => {
-                write!(f, "binding record claiming to be from {claimed} failed authentication")
+                write!(
+                    f,
+                    "binding record claiming to be from {claimed} failed authentication"
+                )
             }
             ProtocolError::CommitmentAuthFailed { from } => {
-                write!(f, "relation commitment claiming issuer {from} failed verification")
+                write!(
+                    f,
+                    "relation commitment claiming issuer {from} failed verification"
+                )
             }
             ProtocolError::EvidenceAuthFailed { from } => {
-                write!(f, "tentative-relation evidence from {from} failed authentication")
+                write!(
+                    f,
+                    "tentative-relation evidence from {from} failed authentication"
+                )
             }
             ProtocolError::MasterKeyErased => {
                 f.write_str("operation requires the master key, which has been erased")
@@ -81,10 +90,16 @@ impl fmt::Display for ProtocolError {
                 write!(f, "node is in the wrong protocol state for {operation}")
             }
             ProtocolError::UpdateLimitReached { node, max_updates } => {
-                write!(f, "binding record of {node} already updated {max_updates} times")
+                write!(
+                    f,
+                    "binding record of {node} already updated {max_updates} times"
+                )
             }
             ProtocolError::VersionMismatch { record, evidence } => {
-                write!(f, "evidence version {evidence} inconsistent with record version {record}")
+                write!(
+                    f,
+                    "evidence version {evidence} inconsistent with record version {record}"
+                )
             }
             ProtocolError::NotTentativeNeighbor { peer } => {
                 write!(f, "{peer} is not a tentative neighbor")
@@ -123,7 +138,10 @@ mod tests {
                 "3 times",
             ),
             (
-                ProtocolError::VersionMismatch { record: 1, evidence: 2 },
+                ProtocolError::VersionMismatch {
+                    record: 1,
+                    evidence: 2,
+                },
                 "version 2",
             ),
         ];

@@ -66,8 +66,8 @@ pub mod prelude {
         NeighborValidationFunction, SafetyReport,
     };
     pub use crate::protocol::{
-        BindingRecord, DiscoveryEngine, NodeState, ProtocolConfig, ProtocolNode,
-        RelationEvidence, WaveReport,
+        BindingRecord, DiscoveryEngine, NodeState, ProtocolConfig, ProtocolNode, RelationEvidence,
+        WaveReport,
     };
     pub use crate::theory::{execute_theorem1, execute_theorem2};
 }

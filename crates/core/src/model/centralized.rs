@@ -91,9 +91,9 @@ pub fn centralized_validation(
         // Hop distances in the topology with the suspect removed: genuine
         // neighborhoods stay tight, replica sites fall apart.
         let from_first = bfs(&adj, claimants[0], Some(*suspect));
-        let scattered = claimants[1..].iter().any(|c| {
-            from_first.get(c).is_none_or(|h| *h > hop_threshold)
-        });
+        let scattered = claimants[1..]
+            .iter()
+            .any(|c| from_first.get(c).is_none_or(|h| *h > hop_threshold));
         if scattered {
             flagged.insert(*suspect);
         }
@@ -164,7 +164,10 @@ mod tests {
         let mut d = Deployment::empty(Field::square(200.0));
         for r in 0..5u64 {
             for c in 0..5u64 {
-                d.place(n(r * 5 + c), Point::new(20.0 + 30.0 * c as f64, 20.0 + 30.0 * r as f64));
+                d.place(
+                    n(r * 5 + c),
+                    Point::new(20.0 + 30.0 * c as f64, 20.0 + 30.0 * r as f64),
+                );
             }
         }
         let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
@@ -193,7 +196,10 @@ mod tests {
         assert!(out.flagged.contains(&n(0)), "flagged: {:?}", out.flagged);
         // The flagged identity's edges are quarantined.
         assert!(!out.functional.has_edge(n(23), n(0)));
-        assert!(!out.functional.has_edge(n(1), n(0)), "even home edges quarantined");
+        assert!(
+            !out.functional.has_edge(n(1), n(0)),
+            "even home edges quarantined"
+        );
         // Benign identities survive.
         assert!(out.functional.has_edge(n(23), n(24)));
     }

@@ -60,7 +60,10 @@ where
             // Phase 2: greedily strip edges to shrink the witness while the
             // pair still validates (smaller certificate, same node count).
             let pruned = prune_edges(f, clique, pair);
-            return Some(DeploymentWitness { graph: pruned, pair });
+            return Some(DeploymentWitness {
+                graph: pruned,
+                pair,
+            });
         }
         // Phase 3: random graphs, in case the function is non-monotone
         // (e.g. rejects over-dense neighborhoods).

@@ -44,7 +44,9 @@ impl SafetyReport {
     /// Whether every compromised node's victims fit in a circle of radius
     /// `d`.
     pub fn holds(&self) -> bool {
-        self.impacts.iter().all(|i| i.containment_radius <= self.d * (1.0 + 1e-9))
+        self.impacts
+            .iter()
+            .all(|i| i.containment_radius <= self.d * (1.0 + 1e-9))
     }
 
     /// The worst (largest) containment radius observed, 0 if no impacts.

@@ -88,6 +88,8 @@ impl CommonNeighborRule {
 }
 
 impl NeighborValidationFunction for CommonNeighborRule {
+    // `>= t + 1` spells out the paper's "at least t+1 common neighbors".
+    #[allow(clippy::int_plus_one)]
     fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
         knowledge.has_edge(u, v) && knowledge.common_out_neighbors(u, v).len() >= self.t + 1
     }
@@ -179,7 +181,10 @@ mod tests {
             }
             let mut smaller = g.clone();
             smaller.remove_node(victim);
-            assert!(!rule.validate(u, w, &smaller), "dropping {victim} should break it");
+            assert!(
+                !rule.validate(u, w, &smaller),
+                "dropping {victim} should break it"
+            );
         }
     }
 
@@ -212,6 +217,9 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(AcceptAll.name(), "accept-all");
-        assert_eq!(CommonNeighborRule::new(3).name(), "common-neighbor-threshold");
+        assert_eq!(
+            CommonNeighborRule::new(3).name(),
+            "common-neighbor-threshold"
+        );
     }
 }

@@ -213,8 +213,16 @@ mod tests {
         let k = master();
         let ops = HashCounter::detached();
         let e = evidence_digest(&k, n(1), n(2), 0, &ops);
-        assert_ne!(e, evidence_digest(&k, n(2), n(1), 0, &ops), "direction matters");
-        assert_ne!(e, evidence_digest(&k, n(1), n(2), 1, &ops), "version matters");
+        assert_ne!(
+            e,
+            evidence_digest(&k, n(2), n(1), 0, &ops),
+            "direction matters"
+        );
+        assert_ne!(
+            e,
+            evidence_digest(&k, n(1), n(2), 1, &ops),
+            "version matters"
+        );
         assert_eq!(e, evidence_digest(&k, n(1), n(2), 0, &ops));
     }
 

@@ -114,6 +114,10 @@ mod tests {
         assert_eq!(base.guaranteed_safety_radius(50.0), 100.0, "Theorem 3: 2R");
         let mut upd = ProtocolConfig::with_threshold(5);
         upd.max_updates = 3;
-        assert_eq!(upd.guaranteed_safety_radius(50.0), 200.0, "Theorem 4: (m+1)R");
+        assert_eq!(
+            upd.guaranteed_safety_radius(50.0),
+            200.0,
+            "Theorem 4: (m+1)R"
+        );
     }
 }

@@ -21,11 +21,14 @@
 //! functional topology that results.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use snd_crypto::keys::SymmetricKey;
+use snd_observe::event::{Event, Phase};
+use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
 use snd_sim::metrics::HashCounter;
 use snd_sim::network::{Delivered, Simulator};
 use snd_sim::time::SimDuration;
@@ -71,6 +74,10 @@ pub struct DiscoveryEngine {
     /// Old node → a new node it heard in the current wave (update target).
     wave_contacts: BTreeMap<NodeId, NodeId>,
     report: WaveReport,
+    /// Structured-event sink; [`NullRecorder`] (free) unless installed.
+    recorder: Arc<dyn Recorder>,
+    /// Waves completed, for event numbering (first wave is 1).
+    waves_run: u64,
     /// Whether benign old nodes automatically request record updates.
     pub auto_update_benign: bool,
     /// Whether the direct-verification layer (RTT bounding / packet
@@ -104,9 +111,37 @@ impl DiscoveryEngine {
             ops,
             wave_contacts: BTreeMap::new(),
             report: WaveReport::default(),
+            recorder: Arc::new(NullRecorder),
+            waves_run: 0,
             auto_update_benign: true,
             direct_verification: true,
         }
+    }
+
+    /// Installs a structured-event recorder and bridges the simulator's
+    /// transport drops into it. Protocol, adversary and transport events
+    /// flow into `recorder` from here on.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.sim
+            .set_trace_hook(Arc::new(SimTraceBridge(Arc::clone(&recorder))));
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder (a [`NullRecorder`] by default).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Emits an event without constructing it when tracing is off.
+    fn emit(&self, build: impl FnOnce() -> Event) {
+        if self.recorder.enabled() {
+            self.recorder.record(build());
+        }
+    }
+
+    /// Opens a phase span at the current simulator clock.
+    fn phase_span(&self, wave: u64, phase: Phase) -> Span {
+        Span::open(Arc::clone(&self.recorder), wave, phase, self.sim.now())
     }
 
     /// The protocol configuration.
@@ -201,8 +236,16 @@ impl DiscoveryEngine {
             ..WaveReport::default()
         };
         self.wave_contacts.clear();
+        self.waves_run += 1;
+        let wave = self.waves_run;
+        self.emit(|| Event::WaveStart {
+            wave,
+            new_nodes: new_ids.to_vec(),
+            sim_time: self.sim.now(),
+        });
 
         // Phase 1: Hello broadcasts.
+        let span = self.phase_span(wave, Phase::Hello);
         for &id in new_ids {
             let node = self.nodes.get_mut(&id).expect("node deployed");
             node.begin_discovery().expect("fresh node enters discovery");
@@ -210,18 +253,29 @@ impl DiscoveryEngine {
         }
         self.pump(); // deliver Hellos; acks queued
         self.pump(); // deliver acks; tentative lists complete
+        span.close(self.sim.now());
 
         // Phase 2a: commit binding records (and, in the fast-erasure
         // variant, erase the master key right here).
+        let span = self.phase_span(wave, Phase::Commit);
         for &id in new_ids {
             let node = self.nodes.get_mut(&id).expect("node deployed");
             node.commit_record(&mut self.rng, &self.ops)
                 .expect("commit after discovery");
+            if self.config.fast_erase {
+                self.emit(|| Event::MasterKeyErased { node: id });
+            }
         }
+        span.close(self.sim.now());
 
         // Phase 2b: record collection.
+        let span = self.phase_span(wave, Phase::Collect);
         for &id in new_ids {
-            let targets: Vec<NodeId> = self.nodes[&id].tentative_neighbors().iter().copied().collect();
+            let targets: Vec<NodeId> = self.nodes[&id]
+                .tentative_neighbors()
+                .iter()
+                .copied()
+                .collect();
             for v in targets {
                 self.sim
                     .unicast(id, v, Message::RecordRequest { from: id }.encode());
@@ -229,9 +283,11 @@ impl DiscoveryEngine {
         }
         self.pump(); // deliver requests; replies queued
         self.pump(); // deliver replies; records collected
+        span.close(self.sim.now());
 
         // Phase 3: binding-record updates against the still-trusted wave.
         if self.config.max_updates > 0 {
+            let span = self.phase_span(wave, Phase::Update);
             let contacts: Vec<(NodeId, NodeId)> = self
                 .wave_contacts
                 .iter()
@@ -244,7 +300,9 @@ impl DiscoveryEngine {
                 } else {
                     self.auto_update_benign
                 };
-                let Some(node) = self.nodes.get(&old) else { continue };
+                let Some(node) = self.nodes.get(&old) else {
+                    continue;
+                };
                 if !wants
                     || node.state() != NodeState::Operational
                     || node.usable_evidence().is_empty()
@@ -261,14 +319,30 @@ impl DiscoveryEngine {
             }
             self.pump(); // new nodes process updates; replies queued
             self.pump(); // requesters install refreshed records
+            span.close(self.sim.now());
         }
 
         // Phase 4: finalize — validation, commitments, evidence, K erasure.
+        let span = self.phase_span(wave, Phase::Finalize);
         for &id in new_ids {
             let node = self.nodes.get_mut(&id).expect("node deployed");
             let out = node
                 .finalize_discovery(&mut self.rng, &self.ops)
                 .expect("committed node finalizes");
+            if self.recorder.enabled() {
+                for d in &out.decisions {
+                    self.recorder.record(Event::ValidationDecision {
+                        node: id,
+                        peer: d.peer,
+                        shared: d.shared as u64,
+                        required: d.required as u64,
+                        accepted: d.accepted,
+                    });
+                }
+                if !self.config.fast_erase {
+                    self.recorder.record(Event::MasterKeyErased { node: id });
+                }
+            }
             for (v, digest) in out.commitments {
                 self.sim.unicast(
                     id,
@@ -283,11 +357,17 @@ impl DiscoveryEngine {
             }
             for ev in out.evidence {
                 let to = ev.to;
-                self.sim.unicast(id, to, Message::Evidence { evidence: ev }.encode());
+                self.sim
+                    .unicast(id, to, Message::Evidence { evidence: ev }.encode());
             }
         }
         self.pump(); // deliver commitments & evidence
+        span.close(self.sim.now());
 
+        self.emit(|| Event::WaveEnd {
+            wave,
+            sim_time: self.sim.now(),
+        });
         self.report.clone()
     }
 
@@ -329,7 +409,9 @@ impl DiscoveryEngine {
                 if !direct_ok {
                     return; // direct verification rejects the relation
                 }
-                let Some(node) = self.nodes.get_mut(&receiver) else { return };
+                let Some(node) = self.nodes.get_mut(&receiver) else {
+                    return;
+                };
                 match node.state() {
                     NodeState::Discovering => {
                         // Another wave member: record it and ack.
@@ -342,8 +424,11 @@ impl DiscoveryEngine {
                     }
                     _ => {}
                 }
-                self.sim
-                    .unicast(receiver, from, Message::HelloAck { from: receiver }.encode());
+                self.sim.unicast(
+                    receiver,
+                    from,
+                    Message::HelloAck { from: receiver }.encode(),
+                );
             }
             Message::HelloAck { from } => {
                 if !direct_ok {
@@ -389,7 +474,9 @@ impl DiscoveryEngine {
             Message::UpdateRequest { record, evidences } => {
                 // Only a node still holding K can serve updates.
                 let requester = record.node;
-                let Some(node) = self.nodes.get(&receiver) else { return };
+                let Some(node) = self.nodes.get(&receiver) else {
+                    return;
+                };
                 match node.process_update_request(&record, &evidences, &self.ops) {
                     Ok(refreshed) => {
                         self.report.updates_applied += 1;
@@ -416,8 +503,11 @@ impl DiscoveryEngine {
         match msg {
             Message::Hello { from } => {
                 if behavior.answer_hellos {
-                    self.sim
-                        .unicast(receiver, from, Message::HelloAck { from: receiver }.encode());
+                    self.sim.unicast(
+                        receiver,
+                        from,
+                        Message::HelloAck { from: receiver }.encode(),
+                    );
                 }
                 // The attacker tracks new arrivals for malicious updates.
                 self.wave_contacts.entry(receiver).or_insert(from);
@@ -431,13 +521,7 @@ impl DiscoveryEngine {
                         // Total break: mint a record claiming every node in
                         // the network as a neighbor — guaranteed overlap.
                         let everyone = self.nodes.keys().copied().filter(|&x| x != receiver);
-                        BindingRecord::create(
-                            &stolen,
-                            receiver,
-                            0,
-                            everyone.collect(),
-                            &self.ops,
-                        )
+                        BindingRecord::create(&stolen, receiver, 0, everyone.collect(), &self.ops)
                     });
                 let record = match forged {
                     Some(r) => Some(r),
@@ -483,7 +567,9 @@ impl DiscoveryEngine {
             }
             // Compromised nodes never serve honest updates or care about
             // acks/record replies (they do not run discovery again).
-            Message::HelloAck { .. } | Message::RecordReply { .. } | Message::UpdateRequest { .. } => {}
+            Message::HelloAck { .. }
+            | Message::RecordReply { .. }
+            | Message::UpdateRequest { .. } => {}
         }
     }
 
@@ -499,13 +585,21 @@ impl DiscoveryEngine {
     ///   [`DiscoveryEngine::compromise_violating_window`] to model the
     ///   assumption failing.
     pub fn compromise(&mut self, id: NodeId) -> Result<(), ProtocolError> {
-        let node = self.nodes.get(&id).ok_or(ProtocolError::UnknownNode { node: id })?;
+        let node = self
+            .nodes
+            .get(&id)
+            .ok_or(ProtocolError::UnknownNode { node: id })?;
         if node.state() != NodeState::Operational {
             return Err(ProtocolError::WrongState {
                 operation: "compromise inside trust window",
             });
         }
+        let leaked = node.holds_master_key();
         self.adversary.absorb(node.compromise());
+        self.emit(|| Event::NodeCompromised {
+            node: id,
+            master_key_leaked: leaked,
+        });
         Ok(())
     }
 
@@ -517,8 +611,16 @@ impl DiscoveryEngine {
     ///
     /// [`ProtocolError::UnknownNode`] if never deployed.
     pub fn compromise_violating_window(&mut self, id: NodeId) -> Result<(), ProtocolError> {
-        let node = self.nodes.get(&id).ok_or(ProtocolError::UnknownNode { node: id })?;
+        let node = self
+            .nodes
+            .get(&id)
+            .ok_or(ProtocolError::UnknownNode { node: id })?;
+        let leaked = node.holds_master_key();
         self.adversary.absorb(node.compromise());
+        self.emit(|| Event::NodeCompromised {
+            node: id,
+            master_key_leaked: leaked,
+        });
         Ok(())
     }
 
@@ -534,6 +636,7 @@ impl DiscoveryEngine {
         }
         self.sim.add_replica(id, at);
         self.adversary.note_replica(id, at);
+        self.emit(|| Event::ReplicaPlaced { node: id, at });
         Ok(())
     }
 
@@ -726,7 +829,10 @@ mod tests {
             !victim.functional_neighbors().contains(&n(0)),
             "threshold validation must reject the replica"
         );
-        assert_eq!(report.rejected_records, 0, "record replays authenticate fine");
+        assert_eq!(
+            report.rejected_records, 0,
+            "record replays authenticate fine"
+        );
     }
 
     #[test]
@@ -765,8 +871,8 @@ mod tests {
         // threshold t when c - 1 >= t + 1 (Theorem 3's boundary).
         let t = 1usize;
         let c = t + 2; // 3 compromised: overlap c-1 = 2 = t+1 → accepted
-        // Victim placed far beyond 2R of every colluder's neighborhood, so
-        // only the collusion itself can produce overlap.
+                       // Victim placed far beyond 2R of every colluder's neighborhood, so
+                       // only the collusion itself can produce overlap.
         let mut eng = grid_engine_in(t, 300.0);
         let ids: Vec<NodeId> = (0..9).map(n).collect();
         eng.run_wave(&ids);

@@ -89,6 +89,20 @@ pub struct ProtocolNode {
     neighbor_verification_keys: BTreeMap<NodeId, SymmetricKey>,
 }
 
+/// One threshold-validation judgement made while finalizing discovery:
+/// how a collected binding record fared against the `t + 1` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOutcome {
+    /// The tentative neighbor whose record was judged.
+    pub peer: NodeId,
+    /// Shared tentative neighbors found (`|N(u) ∩ N(v)|`).
+    pub shared: usize,
+    /// Overlap needed to accept (`t + 1`).
+    pub required: usize,
+    /// Whether the peer became a functional neighbor.
+    pub accepted: bool,
+}
+
 /// The outbound messages a node produces when it finalizes discovery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveryOutput {
@@ -96,6 +110,8 @@ pub struct DiscoveryOutput {
     pub commitments: Vec<(NodeId, Digest)>,
     /// Evidence for old tentative neighbors whose records predate this node.
     pub evidence: Vec<RelationEvidence>,
+    /// The validation judgement for every collected record, in id order.
+    pub decisions: Vec<ValidationOutcome>,
 }
 
 impl ProtocolNode {
@@ -237,18 +253,17 @@ impl ProtocolNode {
             .clone();
         if self.config.fast_erase {
             let rk_self = record_key(&master, self.id, ops);
-            self.record =
-                BindingRecord::create(&rk_self, self.id, 0, self.tentative.clone(), ops);
+            self.record = BindingRecord::create(&rk_self, self.id, 0, self.tentative.clone(), ops);
             for &v in &self.tentative {
-                self.neighbor_record_keys.insert(v, record_key(&master, v, ops));
+                self.neighbor_record_keys
+                    .insert(v, record_key(&master, v, ops));
                 self.neighbor_verification_keys
                     .insert(v, verification_key(&master, v, ops));
             }
             // The whole point: K dies here, before any record arrives.
             self.master.erase(rng);
         } else {
-            self.record =
-                BindingRecord::create(&master, self.id, 0, self.tentative.clone(), ops);
+            self.record = BindingRecord::create(&master, self.id, 0, self.tentative.clone(), ops);
         }
         self.state = NodeState::Committed;
         Ok(())
@@ -284,11 +299,16 @@ impl ProtocolNode {
                 .ok_or(ProtocolError::NotTentativeNeighbor { peer: record.node })?;
             record.verify(rk, ops)
         } else {
-            let master = self.master.get().map_err(|_| ProtocolError::MasterKeyErased)?;
+            let master = self
+                .master
+                .get()
+                .map_err(|_| ProtocolError::MasterKeyErased)?;
             record.verify(master, ops)
         };
         if !authentic {
-            return Err(ProtocolError::RecordAuthFailed { claimed: record.node });
+            return Err(ProtocolError::RecordAuthFailed {
+                claimed: record.node,
+            });
         }
         self.collected.insert(record.node, record);
         Ok(())
@@ -325,9 +345,17 @@ impl ProtocolNode {
         let n_u = &self.record.neighbors;
         let mut commitments = Vec::new();
         let mut evidence_out = Vec::new();
+        let mut decisions = Vec::new();
         for (&v, r_v) in &self.collected {
             let overlap = n_u.intersection(&r_v.neighbors).count();
-            if overlap >= self.config.required_overlap() {
+            let accepted = overlap >= self.config.required_overlap();
+            decisions.push(ValidationOutcome {
+                peer: v,
+                shared: overlap,
+                required: self.config.required_overlap(),
+                accepted,
+            });
+            if accepted {
                 self.functional.insert(v);
                 let k_v = match &master {
                     Some(k) => verification_key(k, v, ops),
@@ -375,6 +403,7 @@ impl ProtocolNode {
         Ok(DiscoveryOutput {
             commitments,
             evidence: evidence_out,
+            decisions,
         })
     }
 
@@ -473,7 +502,9 @@ impl ProtocolNode {
         };
         let master = &key;
         if !record.verify(master, ops) {
-            return Err(ProtocolError::RecordAuthFailed { claimed: record.node });
+            return Err(ProtocolError::RecordAuthFailed {
+                claimed: record.node,
+            });
         }
         if record.version >= self.config.max_updates {
             return Err(ProtocolError::UpdateLimitReached {
@@ -822,7 +853,10 @@ mod tests {
 
         old.install_updated_record(refreshed).unwrap();
         assert_eq!(old.record().version, 1);
-        assert!(old.buffered_evidence().is_empty(), "consumed evidence dropped");
+        assert!(
+            old.buffered_evidence().is_empty(),
+            "consumed evidence dropped"
+        );
     }
 
     #[test]
@@ -861,7 +895,10 @@ mod tests {
         let stale = RelationEvidence::issue(&master, n(50), n(0), 7, &ops);
         assert!(matches!(
             updater.process_update_request(&record, &[stale], &ops),
-            Err(ProtocolError::VersionMismatch { record: 0, evidence: 7 })
+            Err(ProtocolError::VersionMismatch {
+                record: 0,
+                evidence: 7
+            })
         ));
     }
 
@@ -902,8 +939,7 @@ mod tests {
         assert!(old.install_updated_record(other).is_err());
 
         // Version jump.
-        let jump =
-            BindingRecord::create(&master, n(0), 5, old.record().neighbors.clone(), &ops);
+        let jump = BindingRecord::create(&master, n(0), 5, old.record().neighbors.clone(), &ops);
         assert!(old.install_updated_record(jump).is_err());
 
         // Dropped neighbors.

@@ -82,7 +82,9 @@ impl BindingRecord {
         if buf.len() < 16 {
             return Err(malformed("record header truncated"));
         }
-        let node = NodeId(u64::from_be_bytes(buf[0..8].try_into().expect("len checked")));
+        let node = NodeId(u64::from_be_bytes(
+            buf[0..8].try_into().expect("len checked"),
+        ));
         let version = u32::from_be_bytes(buf[8..12].try_into().expect("len checked"));
         let count = u32::from_be_bytes(buf[12..16].try_into().expect("len checked")) as usize;
         let need = 16 + 8 * count + DIGEST_LEN;
@@ -176,8 +178,12 @@ impl RelationEvidence {
                 detail: "evidence truncated",
             });
         }
-        let from = NodeId(u64::from_be_bytes(buf[0..8].try_into().expect("len checked")));
-        let to = NodeId(u64::from_be_bytes(buf[8..16].try_into().expect("len checked")));
+        let from = NodeId(u64::from_be_bytes(
+            buf[0..8].try_into().expect("len checked"),
+        ));
+        let to = NodeId(u64::from_be_bytes(
+            buf[8..16].try_into().expect("len checked"),
+        ));
         let version = u32::from_be_bytes(buf[16..20].try_into().expect("len checked"));
         let mut digest = [0u8; DIGEST_LEN];
         digest.copy_from_slice(&buf[20..LEN]);
@@ -236,7 +242,10 @@ mod tests {
 
         let mut extra_neighbor = r.clone();
         extra_neighbor.neighbors.insert(n(99));
-        assert!(!extra_neighbor.verify(&k, &ops), "cannot splice in a neighbor");
+        assert!(
+            !extra_neighbor.verify(&k, &ops),
+            "cannot splice in a neighbor"
+        );
 
         let mut dropped_neighbor = r.clone();
         dropped_neighbor.neighbors.remove(&n(1));

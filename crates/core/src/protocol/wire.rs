@@ -131,7 +131,9 @@ impl Message {
             if b.len() < 8 {
                 return Err(malformed("node id truncated"));
             }
-            Ok(NodeId(u64::from_be_bytes(b[..8].try_into().expect("len checked"))))
+            Ok(NodeId(u64::from_be_bytes(
+                b[..8].try_into().expect("len checked"),
+            )))
         };
         let done = |rest: &[u8], msg: Message| {
             if rest.is_empty() {
@@ -141,14 +143,23 @@ impl Message {
             }
         };
         match tag {
-            TAG_HELLO => done(&rest[8.min(rest.len())..], Message::Hello { from: read_id(rest)? }),
+            TAG_HELLO => done(
+                &rest[8.min(rest.len())..],
+                Message::Hello {
+                    from: read_id(rest)?,
+                },
+            ),
             TAG_HELLO_ACK => done(
                 &rest[8.min(rest.len())..],
-                Message::HelloAck { from: read_id(rest)? },
+                Message::HelloAck {
+                    from: read_id(rest)?,
+                },
             ),
             TAG_RECORD_REQUEST => done(
                 &rest[8.min(rest.len())..],
-                Message::RecordRequest { from: read_id(rest)? },
+                Message::RecordRequest {
+                    from: read_id(rest)?,
+                },
             ),
             TAG_RECORD_REPLY => {
                 let (record, rest) = BindingRecord::decode(rest)?;
@@ -180,8 +191,7 @@ impl Message {
                 if rest.len() < 4 {
                     return Err(malformed("evidence count truncated"));
                 }
-                let count =
-                    u32::from_be_bytes(rest[..4].try_into().expect("len checked")) as usize;
+                let count = u32::from_be_bytes(rest[..4].try_into().expect("len checked")) as usize;
                 let mut rest = &rest[4..];
                 let mut evidences = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
@@ -203,9 +213,9 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use snd_crypto::keys::SymmetricKey;
     use snd_sim::metrics::HashCounter;
-    use rand::SeedableRng;
 
     fn n(i: u64) -> NodeId {
         NodeId(i)
@@ -234,13 +244,17 @@ mod tests {
             Message::Hello { from: n(1) },
             Message::HelloAck { from: n(2) },
             Message::RecordRequest { from: n(3) },
-            Message::RecordReply { record: sample_record() },
+            Message::RecordReply {
+                record: sample_record(),
+            },
             Message::RelationCommit {
                 from: n(1),
                 to: n(2),
                 digest: snd_crypto::sha256::Sha256::digest(b"c"),
             },
-            Message::Evidence { evidence: sample_evidence(10) },
+            Message::Evidence {
+                evidence: sample_evidence(10),
+            },
             Message::UpdateRequest {
                 record: sample_record(),
                 evidences: vec![sample_evidence(10), sample_evidence(11)],
@@ -249,7 +263,9 @@ mod tests {
                 record: sample_record(),
                 evidences: vec![],
             },
-            Message::UpdateReply { record: sample_record() },
+            Message::UpdateReply {
+                record: sample_record(),
+            },
         ]
     }
 
@@ -280,7 +296,10 @@ mod tests {
         for msg in all_messages() {
             let mut bytes = msg.encode();
             bytes.push(0xFF);
-            assert!(Message::decode(&bytes).is_err(), "{msg:?} with trailing byte");
+            assert!(
+                Message::decode(&bytes).is_err(),
+                "{msg:?} with trailing byte"
+            );
         }
     }
 

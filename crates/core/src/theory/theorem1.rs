@@ -107,7 +107,10 @@ pub fn execute_theorem1<F: NeighborValidationFunction>(
         deployment.place(node, Point::new(10.0 + (i as f64) * 1.0, 100.0));
     }
     for (i, node) in g_b.nodes().enumerate() {
-        deployment.place(node, Point::new(separation + 10.0 + (i as f64) * 1.0, 100.0));
+        deployment.place(
+            node,
+            Point::new(separation + 10.0 + (i as f64) * 1.0, 100.0),
+        );
     }
 
     // The near victim validates from its genuine knowledge G_A.
@@ -153,7 +156,10 @@ mod tests {
             let w = witness_for(&rule, t + 5);
             let out = execute_theorem1(&rule, &w, 500.0);
             assert!(out.near_victim_accepts, "t={t}: witness must validate");
-            assert!(out.far_victim_accepts, "t={t}: forgery must fool far victim");
+            assert!(
+                out.far_victim_accepts,
+                "t={t}: forgery must fool far victim"
+            );
             assert!(out.victim_separation >= 500.0, "t={t}");
             assert!(out.violates_d_safety(400.0), "t={t}");
             assert_eq!(out.network_size, 2 * w.size() - 1);

@@ -1,0 +1,252 @@
+//! End-to-end observability: a small engine run must emit a coherent,
+//! correctly ordered event stream that agrees with the protocol outcome.
+
+use std::sync::Arc;
+
+use snd_core::adversary::AdversaryBehavior;
+use snd_core::protocol::config::ProtocolConfig;
+use snd_core::protocol::engine::DiscoveryEngine;
+use snd_observe::prelude::*;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId, Point};
+
+fn n(i: u64) -> NodeId {
+    NodeId(i)
+}
+
+/// A 3x3 grid engine (30 m spacing, 50 m radio) with a recorder attached.
+fn recorded_grid(t: usize, side: f64) -> (DiscoveryEngine, Arc<MemoryRecorder>) {
+    let mut eng = DiscoveryEngine::new(
+        Field::square(side),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(t),
+        42,
+    );
+    for row in 0..3u64 {
+        for col in 0..3u64 {
+            eng.deploy_at(
+                n(row * 3 + col),
+                Point::new(20.0 + col as f64 * 30.0, 20.0 + row as f64 * 30.0),
+            );
+        }
+    }
+    let recorder = MemoryRecorder::shared();
+    eng.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    (eng, recorder)
+}
+
+/// Extracts the phase names of `PhaseStart` events, in order.
+fn started_phases(events: &[EventRecord]) -> Vec<Phase> {
+    events
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::PhaseStart { phase, .. } => Some(phase),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn wave_emits_expected_phase_span_sequence() {
+    let (mut eng, recorder) = recorded_grid(0, 100.0);
+    let ids: Vec<NodeId> = (0..9).map(n).collect();
+    eng.run_wave(&ids);
+    let events = recorder.take();
+
+    // Sequence numbers are dense and ordered.
+    for (i, rec) in events.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64);
+    }
+
+    // First/last events frame the wave.
+    assert!(matches!(
+        events.first().unwrap().event,
+        Event::WaveStart { wave: 1, .. }
+    ));
+    assert!(matches!(
+        events.last().unwrap().event,
+        Event::WaveEnd { wave: 1, .. }
+    ));
+
+    // All five phases run, in protocol order (the default config allows
+    // updates, so the Update phase is present).
+    assert_eq!(started_phases(&events), Phase::ALL.to_vec());
+
+    // Every span closes, and closes after it opened.
+    let mut open: Vec<(Phase, u64)> = Vec::new();
+    for rec in &events {
+        match rec.event {
+            Event::PhaseStart {
+                phase, sim_time, ..
+            } => {
+                open.push((phase, sim_time.as_micros()));
+            }
+            Event::PhaseEnd {
+                phase, sim_time, ..
+            } => {
+                let (started, at) = open.pop().expect("end matches an open span");
+                assert_eq!(started, phase, "spans close LIFO");
+                assert!(sim_time.as_micros() >= at, "{phase} span ends before start");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+
+    // One key erasure per wave node.
+    let erasures = events
+        .iter()
+        .filter(|r| matches!(r.event, Event::MasterKeyErased { .. }))
+        .count();
+    assert_eq!(erasures, 9);
+}
+
+#[test]
+fn update_phase_absent_when_updates_disabled() {
+    let mut eng = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(0).without_updates(),
+        7,
+    );
+    eng.deploy_at(n(0), Point::new(40.0, 40.0));
+    eng.deploy_at(n(1), Point::new(60.0, 60.0));
+    let recorder = MemoryRecorder::shared();
+    eng.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    eng.run_wave(&[n(0), n(1)]);
+    let phases = started_phases(&recorder.take());
+    assert_eq!(
+        phases,
+        vec![Phase::Hello, Phase::Commit, Phase::Collect, Phase::Finalize]
+    );
+}
+
+#[test]
+fn validation_decisions_agree_with_functional_topology() {
+    let (mut eng, recorder) = recorded_grid(1, 100.0);
+    let ids: Vec<NodeId> = (0..9).map(n).collect();
+    eng.run_wave(&ids);
+    let events = recorder.take();
+
+    let mut decisions = 0;
+    for rec in &events {
+        if let Event::ValidationDecision {
+            node,
+            peer,
+            shared,
+            required,
+            accepted,
+        } = rec.event
+        {
+            decisions += 1;
+            assert_eq!(required, 2, "t=1 requires overlap 2");
+            assert_eq!(
+                accepted,
+                shared >= required,
+                "decision must apply the threshold rule"
+            );
+            let validator = eng.node(node).unwrap();
+            assert_eq!(
+                accepted,
+                validator.functional_neighbors().contains(&peer),
+                "{node}->{peer}: event disagrees with functional list"
+            );
+            assert!(
+                validator.tentative_neighbors().contains(&peer),
+                "only collected (tentative) records are judged"
+            );
+        }
+    }
+    // Every collected record was judged: in this dense benign grid every
+    // tentative relation produced a record, so decisions = tentative edges.
+    let tentative_edges: usize = ids
+        .iter()
+        .map(|&id| eng.node(id).unwrap().tentative_neighbors().len())
+        .sum();
+    assert_eq!(decisions, tentative_edges);
+}
+
+#[test]
+fn adversary_actions_and_drops_are_recorded() {
+    let (mut eng, recorder) = recorded_grid(0, 100.0);
+    let ids: Vec<NodeId> = (0..9).map(n).collect();
+    eng.run_wave(&ids);
+    recorder.take();
+
+    eng.compromise(n(0)).unwrap();
+    eng.place_replica(n(0), Point::new(95.0, 95.0)).unwrap();
+    eng.adversary_mut()
+        .set_behavior(AdversaryBehavior::aggressive());
+    eng.deploy_at(n(9), Point::new(97.0, 97.0));
+    eng.run_wave(&[n(9)]);
+
+    let events = recorder.take();
+    assert!(events.iter().any(|r| matches!(
+        r.event,
+        Event::NodeCompromised {
+            node: NodeId(0),
+            master_key_leaked: false
+        }
+    )));
+    assert!(events.iter().any(|r| matches!(
+        r.event,
+        Event::ReplicaPlaced {
+            node: NodeId(0),
+            ..
+        }
+    )));
+    // The second wave is numbered 2.
+    assert!(events
+        .iter()
+        .any(|r| matches!(r.event, Event::WaveStart { wave: 2, .. })));
+
+    // The registry distills the stream without losing the decision split.
+    let mut registry = MetricsRegistry::new();
+    registry.ingest_events(&events);
+    assert_eq!(registry.counter("adversary.compromises"), 1);
+    assert_eq!(registry.counter("adversary.replicas"), 1);
+    let accepted = registry.counter("validation.accepted");
+    let rejected = registry.counter("validation.rejected");
+    let victim = eng.node(n(9)).unwrap();
+    assert_eq!(accepted as usize, victim.functional_neighbors().len());
+    assert_eq!(
+        (accepted + rejected) as usize,
+        victim.tentative_neighbors().len()
+    );
+    assert!(
+        !victim.functional_neighbors().contains(&n(0)),
+        "replica must be rejected at t=0 far from its home"
+    );
+}
+
+#[test]
+fn null_recorder_keeps_engine_silent_and_correct() {
+    // Two identical engines, one recorded and one not: the protocol
+    // outcome must be identical (observability is passive).
+    let (mut recorded, _rec) = recorded_grid(1, 100.0);
+    let mut silent = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(1),
+        42,
+    );
+    for row in 0..3u64 {
+        for col in 0..3u64 {
+            silent.deploy_at(
+                n(row * 3 + col),
+                Point::new(20.0 + col as f64 * 30.0, 20.0 + row as f64 * 30.0),
+            );
+        }
+    }
+    let ids: Vec<NodeId> = (0..9).map(n).collect();
+    let a = recorded.run_wave(&ids);
+    let b = silent.run_wave(&ids);
+    assert_eq!(a, b);
+    assert_eq!(
+        recorded.functional_topology().edge_count(),
+        silent.functional_topology().edge_count()
+    );
+    let ta = recorded.sim().metrics().totals();
+    let tb = silent.sim().metrics().totals();
+    assert_eq!(ta, tb, "recording must not change transport behavior");
+}

@@ -207,7 +207,9 @@ mod tests {
     fn authenticated_broadcast_round_trip() {
         let (sender, mut receiver) = pair();
         let mac = sender.authenticate(1, b"retask: report fire").unwrap();
-        receiver.buffer(1, 1, b"retask: report fire".to_vec(), mac).unwrap();
+        receiver
+            .buffer(1, 1, b"retask: report fire".to_vec(), mac)
+            .unwrap();
         assert_eq!(receiver.pending_len(), 1);
 
         let key = sender.disclose(1).unwrap();
@@ -220,7 +222,9 @@ mod tests {
     fn forged_mac_is_dropped_silently() {
         let (sender, mut receiver) = pair();
         let bogus = crate::sha256::Sha256::digest(b"guess");
-        receiver.buffer(1, 1, b"evil command".to_vec(), bogus).unwrap();
+        receiver
+            .buffer(1, 1, b"evil command".to_vec(), bogus)
+            .unwrap();
         let key = sender.disclose(1).unwrap();
         let out = receiver.on_disclose(1, key).unwrap();
         assert!(out.is_empty(), "forged message must not authenticate");

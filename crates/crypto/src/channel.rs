@@ -42,7 +42,10 @@ impl fmt::Display for ChannelError {
             ChannelError::BadTag => f.write_str("authentication tag mismatch"),
             ChannelError::Replay { seq } => write!(f, "replayed sequence number {seq}"),
             ChannelError::Stale { seq, window_start } => {
-                write!(f, "sequence number {seq} is older than window start {window_start}")
+                write!(
+                    f,
+                    "sequence number {seq} is older than window start {window_start}"
+                )
             }
         }
     }
@@ -141,11 +144,13 @@ impl SecureChannel {
         self.next_seq += 1;
         let mut ciphertext = plaintext.to_vec();
         xor_keystream(&self.send_enc, seq, &mut ciphertext);
-        let tag = HmacSha256::mac_parts(
-            self.send_mac.as_bytes(),
-            &[&seq.to_be_bytes(), &ciphertext],
-        );
-        Envelope { seq, ciphertext, tag }
+        let tag =
+            HmacSha256::mac_parts(self.send_mac.as_bytes(), &[&seq.to_be_bytes(), &ciphertext]);
+        Envelope {
+            seq,
+            ciphertext,
+            tag,
+        }
     }
 
     /// Verifies and decrypts an envelope from the peer.
@@ -183,7 +188,11 @@ impl SecureChannel {
             }
             Some(high) if seq > high => {
                 let shift = seq - high;
-                self.recv_mask = if shift >= 64 { 0 } else { self.recv_mask << shift };
+                self.recv_mask = if shift >= 64 {
+                    0
+                } else {
+                    self.recv_mask << shift
+                };
                 self.recv_mask |= 1;
                 self.recv_high = Some(seq);
                 Ok(())

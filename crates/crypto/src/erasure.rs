@@ -191,6 +191,9 @@ mod tests {
 
     #[test]
     fn error_displays() {
-        assert_eq!(KeyErased.to_string(), "key material has been securely erased");
+        assert_eq!(
+            KeyErased.to_string(),
+            "key material has been securely erased"
+        );
     }
 }

@@ -139,9 +139,8 @@ mod tests {
     fn anchor_is_iterated_hash_of_seed() {
         let seed = Sha256::digest(b"s");
         let c = HashChain::from_seed(seed, 3);
-        let expected = Sha256::digest(
-            Sha256::digest(Sha256::digest(seed.as_bytes()).as_bytes()).as_bytes(),
-        );
+        let expected =
+            Sha256::digest(Sha256::digest(Sha256::digest(seed.as_bytes()).as_bytes()).as_bytes());
         assert_eq!(c.anchor(), expected);
     }
 

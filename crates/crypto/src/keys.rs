@@ -144,7 +144,10 @@ mod tests {
     fn debug_does_not_leak_bytes() {
         let k = SymmetricKey::from_bytes([0xab; KEY_LEN]);
         let rendered = format!("{k:?}{k}");
-        assert!(!rendered.contains("abab"), "debug output leaked key bytes: {rendered}");
+        assert!(
+            !rendered.contains("abab"),
+            "debug output leaked key bytes: {rendered}"
+        );
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
+            let sibling = if i.is_multiple_of(2) {
                 *level.get(i + 1).unwrap_or(&level[i])
             } else {
                 level[i - 1]
@@ -115,7 +115,7 @@ impl MerkleProof {
         let mut acc = leaf_hash(item);
         let mut i = self.index;
         for sibling in &self.siblings {
-            acc = if i % 2 == 0 {
+            acc = if i.is_multiple_of(2) {
                 node_hash(&acc, sibling)
             } else {
                 node_hash(sibling, &acc)

@@ -58,6 +58,8 @@ pub struct BlomScheme {
 
 impl BlomScheme {
     /// Creates a scheme tolerating coalitions of up to `lambda` nodes.
+    // Index loops mirror the symmetric-matrix math (d[i][j] = d[j][i]).
+    #[allow(clippy::needless_range_loop)]
     pub fn setup<R: Rng + ?Sized>(lambda: usize, rng: &mut R) -> Self {
         let n = lambda + 1;
         let mut d = vec![vec![Fe::ZERO; n]; n];

@@ -76,7 +76,12 @@ impl EgScheme {
     /// # Panics
     ///
     /// Panics if `ring_size` is zero or exceeds `pool_size`, or if `q` is zero.
-    pub fn setup<R: Rng + ?Sized>(pool_size: usize, ring_size: usize, q: usize, rng: &mut R) -> Self {
+    pub fn setup<R: Rng + ?Sized>(
+        pool_size: usize,
+        ring_size: usize,
+        q: usize,
+        rng: &mut R,
+    ) -> Self {
         assert!(pool_size > 0, "pool must be non-empty");
         assert!(
             (1..=pool_size).contains(&ring_size),

@@ -12,6 +12,10 @@ pub const P: u64 = (1 << 61) - 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Fe(u64);
 
+// Inherent add/sub/mul keep call sites free of `use std::ops::*` and make
+// the Copy-by-value field API explicit; the names shadow the ops traits on
+// purpose.
+#[allow(clippy::should_implement_trait)]
 impl Fe {
     /// The additive identity.
     pub const ZERO: Fe = Fe(0);
@@ -171,9 +175,7 @@ mod tests {
     fn horner_matches_naive() {
         let coeffs = [Fe::new(3), Fe::new(0), Fe::new(5), Fe::new(1)]; // 3 + 5x^2 + x^3
         let x = Fe::new(10);
-        let naive = Fe::new(3)
-            .add(Fe::new(5).mul(x.pow(2)))
-            .add(x.pow(3));
+        let naive = Fe::new(3).add(Fe::new(5).mul(x.pow(2))).add(x.pow(3));
         assert_eq!(poly_eval(&coeffs, x), naive);
     }
 

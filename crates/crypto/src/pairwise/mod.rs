@@ -60,7 +60,12 @@ pub trait KeyPredistribution {
     /// Returns `None` when the scheme cannot produce a direct key for this
     /// pair (possible in probabilistic pool schemes; deterministic schemes
     /// always succeed).
-    fn agree(&self, own: RawNodeId, material: &Self::Material, peer: RawNodeId) -> Option<SymmetricKey>;
+    fn agree(
+        &self,
+        own: RawNodeId,
+        material: &Self::Material,
+        peer: RawNodeId,
+    ) -> Option<SymmetricKey>;
 }
 
 /// Measures the *local connectivity* of a scheme: the fraction of sampled

@@ -54,6 +54,8 @@ pub struct PolynomialScheme {
 
 impl PolynomialScheme {
     /// Creates a scheme with collusion threshold `lambda`.
+    // Index loops mirror the symmetric-matrix math (c[i][j] = c[j][i]).
+    #[allow(clippy::needless_range_loop)]
     pub fn setup<R: Rng + ?Sized>(lambda: usize, rng: &mut R) -> Self {
         let n = lambda + 1;
         let mut coeffs = vec![vec![Fe::ZERO; n]; n];

@@ -115,7 +115,10 @@ impl Digest {
     ///
     /// Panics if `n > 32`.
     pub fn truncated(&self, n: usize) -> Vec<u8> {
-        assert!(n <= DIGEST_LEN, "cannot truncate a 32-byte digest to {n} bytes");
+        assert!(
+            n <= DIGEST_LEN,
+            "cannot truncate a 32-byte digest to {n} bytes"
+        );
         self.0[..n].to_vec()
     }
 }
@@ -365,7 +368,11 @@ mod tests {
     #[test]
     fn known_answer_vectors() {
         for (input, expected) in VECTORS {
-            assert_eq!(Sha256::digest(input.as_bytes()).to_hex(), *expected, "input {input:?}");
+            assert_eq!(
+                Sha256::digest(input.as_bytes()).to_hex(),
+                *expected,
+                "input {input:?}"
+            );
         }
     }
 
@@ -442,7 +449,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for len in 0..=130usize {
             let data = vec![0x5au8; len];
-            assert!(seen.insert(Sha256::digest(&data)), "collision at length {len}");
+            assert!(
+                seen.insert(Sha256::digest(&data)),
+                "collision at length {len}"
+            );
         }
     }
 }

@@ -7,9 +7,7 @@ use snd_crypto::hmac::HmacSha256;
 use snd_crypto::keys::SymmetricKey;
 use snd_crypto::merkle::MerkleTree;
 use snd_crypto::pairwise::field::{poly_eval, Fe, P};
-use snd_crypto::pairwise::{
-    blom::BlomScheme, polynomial::PolynomialScheme, KeyPredistribution,
-};
+use snd_crypto::pairwise::{blom::BlomScheme, polynomial::PolynomialScheme, KeyPredistribution};
 use snd_crypto::sha256::Sha256;
 
 proptest! {

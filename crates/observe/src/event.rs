@@ -1,0 +1,196 @@
+//! The structured event taxonomy.
+//!
+//! Every observable action in the discovery stack maps to one [`Event`]
+//! variant. Events are plain data — no formatting, no I/O — so the same
+//! stream can drive a human-readable timeline, a JSONL export, or an
+//! assertion in a test. Variants serialize externally tagged:
+//! `{"PhaseStart": {"wave": 1, "phase": "Hello", "sim_time": 4000}}`.
+
+use serde::Serialize;
+use snd_sim::metrics::DropReason;
+use snd_sim::time::SimTime;
+use snd_topology::{NodeId, Point};
+
+/// The five engine phases of one discovery wave, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Phase {
+    /// Phase 1: Hello broadcasts and acks build tentative lists.
+    Hello,
+    /// Phase 2a: tentative lists frozen into binding records.
+    Commit,
+    /// Phase 2b: binding records collected and authenticated.
+    Collect,
+    /// Phase 3: binding-record updates against the still-trusted wave.
+    Update,
+    /// Phase 4: threshold validation, commitments, evidence, K erasure.
+    Finalize,
+}
+
+impl Phase {
+    /// All phases in protocol order (the `Update` phase only runs when the
+    /// configuration allows record updates).
+    pub const ALL: [Phase; 5] = [
+        Phase::Hello,
+        Phase::Commit,
+        Phase::Collect,
+        Phase::Update,
+        Phase::Finalize,
+    ];
+
+    /// Stable lowercase name, usable as a metrics-registry key segment.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Hello => "hello",
+            Phase::Commit => "commit",
+            Phase::Collect => "collect",
+            Phase::Update => "update",
+            Phase::Finalize => "finalize",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured event from the discovery stack.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Event {
+    /// A discovery wave began for the listed newly deployed nodes.
+    WaveStart {
+        /// 1-based wave index within the engine's lifetime.
+        wave: u64,
+        /// The nodes starting discovery in this wave.
+        new_nodes: Vec<NodeId>,
+        /// Simulator clock at wave start.
+        sim_time: SimTime,
+    },
+    /// The wave finished; all its nodes finalized.
+    WaveEnd {
+        /// 1-based wave index.
+        wave: u64,
+        /// Simulator clock at wave end.
+        sim_time: SimTime,
+    },
+    /// A protocol phase began.
+    PhaseStart {
+        /// Enclosing wave.
+        wave: u64,
+        /// Which phase.
+        phase: Phase,
+        /// Simulator clock at phase start.
+        sim_time: SimTime,
+    },
+    /// A protocol phase completed.
+    PhaseEnd {
+        /// Enclosing wave.
+        wave: u64,
+        /// Which phase.
+        phase: Phase,
+        /// Simulator clock at phase end.
+        sim_time: SimTime,
+    },
+    /// A finalizing node judged one collected binding record against the
+    /// `t + 1` shared-neighbor rule.
+    ValidationDecision {
+        /// The validating (newly deployed) node.
+        node: NodeId,
+        /// The tentative neighbor being judged.
+        peer: NodeId,
+        /// Shared tentative neighbors found (`|N(u) ∩ N(v)|`).
+        shared: u64,
+        /// Overlap needed to accept (`t + 1`).
+        required: u64,
+        /// Whether `peer` entered the functional neighbor list.
+        accepted: bool,
+    },
+    /// A node destroyed its copy of the master key.
+    MasterKeyErased {
+        /// The erasing node.
+        node: NodeId,
+    },
+    /// The adversary physically captured a node.
+    NodeCompromised {
+        /// The captured node.
+        node: NodeId,
+        /// Whether the capture leaked the master key (trust-window
+        /// violation — the catastrophic case).
+        master_key_leaked: bool,
+    },
+    /// The adversary placed a replica transceiver of a compromised node.
+    ReplicaPlaced {
+        /// The cloned identity.
+        node: NodeId,
+        /// Where the replica radio sits.
+        at: Point,
+    },
+    /// The transport dropped a frame (mirrors the simulator's drop
+    /// counters: best-effort broadcast fade-outs are not drops).
+    RadioDrop {
+        /// Sending identity.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Why the frame died.
+        reason: DropReason,
+    },
+}
+
+/// An [`Event`] stamped with its position in the recorded stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EventRecord {
+    /// 0-based sequence number within the recorder's stream.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_ordered_and_named() {
+        assert!(Phase::Hello < Phase::Finalize);
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["hello", "commit", "collect", "update", "finalize"]);
+    }
+
+    #[test]
+    fn events_serialize_externally_tagged() {
+        let ev = Event::PhaseStart {
+            wave: 1,
+            phase: Phase::Hello,
+            sim_time: SimTime::from_millis(4),
+        };
+        assert_eq!(
+            serde::json::to_string(&ev),
+            r#"{"PhaseStart":{"wave":1,"phase":"Hello","sim_time":4000}}"#
+        );
+        let ev = Event::ValidationDecision {
+            node: NodeId(9),
+            peer: NodeId(0),
+            shared: 1,
+            required: 2,
+            accepted: false,
+        };
+        assert_eq!(
+            serde::json::to_string(&ev),
+            r#"{"ValidationDecision":{"node":9,"peer":0,"shared":1,"required":2,"accepted":false}}"#
+        );
+    }
+
+    #[test]
+    fn event_records_carry_sequence() {
+        let rec = EventRecord {
+            seq: 3,
+            event: Event::MasterKeyErased { node: NodeId(5) },
+        };
+        assert_eq!(
+            serde::json::to_string(&rec),
+            r#"{"seq":3,"event":{"MasterKeyErased":{"node":5}}}"#
+        );
+    }
+}

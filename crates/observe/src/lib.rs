@@ -1,0 +1,54 @@
+//! # snd-observe
+//!
+//! Observability for the secure neighbor-discovery stack:
+//!
+//! * **structured tracing** — a tiny [`Recorder`](recorder::Recorder)
+//!   trait plus an [`Event`](event::Event) taxonomy covering wave and
+//!   phase boundaries, every threshold-validation decision, master-key
+//!   erasures, adversary actions and transport drops. The default
+//!   [`NullRecorder`](recorder::NullRecorder) reports itself disabled, so
+//!   instrumented hot paths cost one virtual call when tracing is off;
+//! * **a metrics registry** — named counters and percentile histograms
+//!   ([`registry::MetricsRegistry`]) layered over the simulator's cost
+//!   metrics;
+//! * **run reports** — [`report::RunReport`] bundles scenario config,
+//!   seed, counters and the event stream into one JSON object;
+//!   [`report::JsonlWriter`] appends them to `results/*.jsonl` so every
+//!   bench binary produces machine-readable output next to its text
+//!   tables.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use snd_observe::prelude::*;
+//! use snd_sim::time::SimTime;
+//! use snd_topology::NodeId;
+//!
+//! let recorder = MemoryRecorder::shared();
+//! {
+//!     let span = Span::open(
+//!         Arc::clone(&recorder) as Arc<dyn Recorder>,
+//!         1,
+//!         Phase::Hello,
+//!         SimTime::ZERO,
+//!     );
+//!     recorder.record(Event::MasterKeyErased { node: NodeId(7) });
+//!     span.close(SimTime::from_millis(4));
+//! }
+//! let events = recorder.take();
+//! assert_eq!(events.len(), 3); // PhaseStart, MasterKeyErased, PhaseEnd
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+
+/// Re-exports of the items instrumented code and experiments need.
+pub mod prelude {
+    pub use crate::event::{Event, EventRecord, Phase};
+    pub use crate::recorder::{MemoryRecorder, NullRecorder, Recorder, SimTraceBridge, Span};
+    pub use crate::registry::{Histogram, HistogramSummary, MetricsRegistry, RegistrySnapshot};
+    pub use crate::report::{JsonlWriter, RawJson, RunReport};
+}

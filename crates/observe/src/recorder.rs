@@ -1,0 +1,271 @@
+//! Recorders and phase spans.
+//!
+//! A [`Recorder`] is the sink the discovery stack emits [`Event`]s into.
+//! Instrumented code holds an `Arc<dyn Recorder>` and guards every emission
+//! behind [`Recorder::enabled`]; with the default [`NullRecorder`] the guard
+//! is a single inlined `false`, so un-instrumented runs pay nothing — no
+//! event construction, no allocation.
+//!
+//! [`MemoryRecorder`] buffers the stream in memory (thread-safe via a
+//! `parking_lot` mutex) for tests, timelines and run reports.
+//! [`SimTraceBridge`] adapts a recorder into the simulator's
+//! [`TraceHook`], forwarding transport drops as [`Event::RadioDrop`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use snd_sim::metrics::DropReason;
+use snd_sim::time::SimTime;
+use snd_sim::trace::TraceHook;
+use snd_topology::NodeId;
+
+use crate::event::{Event, EventRecord, Phase};
+
+/// A sink for structured [`Event`]s.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Consumes one event.
+    fn record(&self, event: Event);
+
+    /// Whether events are wanted at all. Hot paths check this before
+    /// building an event, so a disabled recorder costs one virtual call.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Records nothing, reports itself disabled. The default recorder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Buffers the event stream in memory, stamping each event with a
+/// monotonically increasing sequence number.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<EventRecord>>,
+    seq: AtomicU64,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// An empty recorder behind an `Arc`, ready to hand to an engine.
+    pub fn shared() -> Arc<MemoryRecorder> {
+        Arc::new(MemoryRecorder::new())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clones the recorded stream.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.events.lock().clone()
+    }
+
+    /// Drains the recorded stream, leaving the recorder empty (sequence
+    /// numbers keep counting up).
+    pub fn take(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().push(EventRecord { seq, event });
+    }
+}
+
+/// RAII guard for one protocol phase: emits [`Event::PhaseStart`] when
+/// opened and [`Event::PhaseEnd`] when closed (or dropped).
+///
+/// The simulator clock only the instrumented code can read, so the guard
+/// carries the latest time it was told: call [`Span::close`] with the end
+/// time, or [`Span::note_time`] as the clock advances and let the guard
+/// drop.
+#[derive(Debug)]
+pub struct Span {
+    recorder: Arc<dyn Recorder>,
+    wave: u64,
+    phase: Phase,
+    end_time: SimTime,
+    live: bool,
+}
+
+impl Span {
+    /// Opens a span, emitting [`Event::PhaseStart`] (unless the recorder
+    /// is disabled, in which case the whole guard is inert).
+    pub fn open(recorder: Arc<dyn Recorder>, wave: u64, phase: Phase, now: SimTime) -> Span {
+        let live = recorder.enabled();
+        if live {
+            recorder.record(Event::PhaseStart {
+                wave,
+                phase,
+                sim_time: now,
+            });
+        }
+        Span {
+            recorder,
+            wave,
+            phase,
+            end_time: now,
+            live,
+        }
+    }
+
+    /// Updates the time the eventual [`Event::PhaseEnd`] will carry.
+    pub fn note_time(&mut self, now: SimTime) {
+        self.end_time = now;
+    }
+
+    /// Ends the span at `now`.
+    pub fn close(mut self, now: SimTime) {
+        self.end_time = now;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            self.recorder.record(Event::PhaseEnd {
+                wave: self.wave,
+                phase: self.phase,
+                sim_time: self.end_time,
+            });
+        }
+    }
+}
+
+/// Adapts a [`Recorder`] into the simulator's [`TraceHook`], turning
+/// transport drops into [`Event::RadioDrop`].
+#[derive(Debug)]
+pub struct SimTraceBridge(pub Arc<dyn Recorder>);
+
+impl TraceHook for SimTraceBridge {
+    fn radio_drop(&self, from: NodeId, to: NodeId, reason: DropReason) {
+        if self.0.enabled() {
+            self.0.record(Event::RadioDrop { from, to, reason });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(Event::WaveEnd {
+            wave: 1,
+            sim_time: SimTime::ZERO,
+        });
+    }
+
+    #[test]
+    fn memory_recorder_sequences_events() {
+        let r = MemoryRecorder::new();
+        r.record(Event::MasterKeyErased { node: NodeId(1) });
+        r.record(Event::MasterKeyErased { node: NodeId(2) });
+        let events = r.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        // take() drains but keeps counting.
+        assert_eq!(r.take().len(), 2);
+        assert!(r.is_empty());
+        r.record(Event::MasterKeyErased { node: NodeId(3) });
+        assert_eq!(r.snapshot()[0].seq, 2);
+    }
+
+    #[test]
+    fn span_emits_start_and_end() {
+        let rec = MemoryRecorder::shared();
+        {
+            let mut span = Span::open(
+                Arc::clone(&rec) as Arc<dyn Recorder>,
+                1,
+                Phase::Hello,
+                SimTime::from_millis(1),
+            );
+            span.note_time(SimTime::from_millis(3));
+        }
+        let events = rec.snapshot();
+        assert_eq!(
+            events[0].event,
+            Event::PhaseStart {
+                wave: 1,
+                phase: Phase::Hello,
+                sim_time: SimTime::from_millis(1)
+            }
+        );
+        assert_eq!(
+            events[1].event,
+            Event::PhaseEnd {
+                wave: 1,
+                phase: Phase::Hello,
+                sim_time: SimTime::from_millis(3)
+            }
+        );
+    }
+
+    #[test]
+    fn span_close_sets_end_time() {
+        let rec = MemoryRecorder::shared();
+        let span = Span::open(
+            Arc::clone(&rec) as Arc<dyn Recorder>,
+            2,
+            Phase::Finalize,
+            SimTime::ZERO,
+        );
+        span.close(SimTime::from_millis(9));
+        assert_eq!(
+            rec.snapshot()[1].event,
+            Event::PhaseEnd {
+                wave: 2,
+                phase: Phase::Finalize,
+                sim_time: SimTime::from_millis(9)
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_makes_span_inert() {
+        let span = Span::open(Arc::new(NullRecorder), 1, Phase::Commit, SimTime::ZERO);
+        drop(span); // must not panic, records nothing anywhere
+    }
+
+    #[test]
+    fn bridge_forwards_drops() {
+        let rec = MemoryRecorder::shared();
+        let bridge = SimTraceBridge(Arc::clone(&rec) as Arc<dyn Recorder>);
+        bridge.radio_drop(NodeId(1), NodeId(2), DropReason::Jammed);
+        assert_eq!(
+            rec.snapshot()[0].event,
+            Event::RadioDrop {
+                from: NodeId(1),
+                to: NodeId(2),
+                reason: DropReason::Jammed
+            }
+        );
+    }
+}

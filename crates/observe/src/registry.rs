@@ -1,0 +1,419 @@
+//! Named counters and percentile histograms.
+//!
+//! The simulator already counts messages, bytes and hash operations
+//! ([`snd_sim::metrics::Metrics`]); the [`MetricsRegistry`] layers a
+//! string-keyed registry on top so experiments can mix those transport
+//! counters with their own domain metrics (per-phase sim-time, validation
+//! accept/reject tallies, …) and export everything uniformly in a run
+//! report. Dotted key paths (`sim.unicasts_sent`, `phase.hello.us`) keep
+//! the namespace self-describing.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use snd_sim::metrics::Metrics;
+use snd_sim::time::SimTime;
+
+use crate::event::{Event, EventRecord, Phase};
+
+/// A distribution of `u64` samples with nearest-rank percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile: the smallest sample such that at least
+    /// `p` percent of samples are ≤ it. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 100.0`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        // Nearest-rank: rank = ceil(p/100 · n), clamped to [1, n].
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The exportable five-number-ish summary.
+    pub fn summary(&mut self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count() as u64,
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.percentile(50.0).unwrap_or(0),
+            p90: self.percentile(90.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+        }
+    }
+}
+
+/// Percentile summary of one [`Histogram`], as exported in run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+/// String-keyed counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Reads a counter, 0 if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds one sample to the named histogram, creating it empty first.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The named histogram, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Absorbs a simulator's cost metrics under the `sim.` prefix:
+    /// aggregate counters (`sim.unicasts_sent`, `sim.bytes_sent`,
+    /// `sim.hash_ops`, `sim.drops.<Reason>`, …) and per-node distributions
+    /// (`sim.node.unicasts_sent` holds one sample per touched node).
+    pub fn ingest_sim(&mut self, metrics: &Metrics) {
+        let totals = metrics.totals();
+        self.set("sim.unicasts_sent", totals.unicasts_sent);
+        self.set("sim.broadcasts_sent", totals.broadcasts_sent);
+        self.set("sim.received", totals.received);
+        self.set("sim.bytes_sent", totals.bytes_sent);
+        self.set("sim.bytes_received", totals.bytes_received);
+        self.set("sim.hash_ops", metrics.hash_ops());
+        self.set("sim.drops", metrics.total_drops());
+        for (&reason, &count) in metrics.drop_counts() {
+            self.set(&format!("sim.drops.{reason:?}"), count);
+        }
+        for (_, c) in metrics.per_node() {
+            self.observe("sim.node.unicasts_sent", c.unicasts_sent);
+            self.observe("sim.node.broadcasts_sent", c.broadcasts_sent);
+            self.observe("sim.node.received", c.received);
+            self.observe("sim.node.bytes_sent", c.bytes_sent);
+            self.observe("sim.node.bytes_received", c.bytes_received);
+        }
+    }
+
+    /// Distills a recorded event stream into registry metrics: per-phase
+    /// sim-time histograms (`phase.<name>.us`, one sample per completed
+    /// span), validation accept/reject counters, and tallies of erasures,
+    /// adversary actions and traced drops.
+    pub fn ingest_events(&mut self, events: &[EventRecord]) {
+        let mut open: BTreeMap<(u64, Phase), SimTime> = BTreeMap::new();
+        for rec in events {
+            match &rec.event {
+                Event::PhaseStart {
+                    wave,
+                    phase,
+                    sim_time,
+                } => {
+                    open.insert((*wave, *phase), *sim_time);
+                }
+                Event::PhaseEnd {
+                    wave,
+                    phase,
+                    sim_time,
+                } => {
+                    if let Some(start) = open.remove(&(*wave, *phase)) {
+                        let us = (*sim_time - start).as_micros();
+                        self.observe(&format!("phase.{}.us", phase.name()), us);
+                    }
+                }
+                Event::ValidationDecision { accepted, .. } => {
+                    let key = if *accepted {
+                        "validation.accepted"
+                    } else {
+                        "validation.rejected"
+                    };
+                    self.inc(key, 1);
+                }
+                Event::MasterKeyErased { .. } => self.inc("protocol.key_erasures", 1),
+                Event::NodeCompromised { .. } => self.inc("adversary.compromises", 1),
+                Event::ReplicaPlaced { .. } => self.inc("adversary.replicas", 1),
+                Event::RadioDrop { .. } => self.inc("trace.radio_drops", 1),
+                Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
+            }
+        }
+    }
+
+    /// Freezes the registry into its exportable form.
+    pub fn snapshot(&mut self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter_mut()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_topology::NodeId;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in [15, 20, 35, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(15));
+        assert_eq!(h.percentile(30.0), Some(20));
+        assert_eq!(h.percentile(40.0), Some(20));
+        assert_eq!(h.percentile(50.0), Some(35));
+        assert_eq!(h.percentile(100.0), Some(50));
+        assert_eq!(h.min(), Some(15));
+        assert_eq!(h.max(), Some(50));
+        assert_eq!(h.mean(), 32.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut h = Histogram::new();
+        h.record(7);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.percentile(101.0);
+    }
+
+    #[test]
+    fn recording_after_percentile_resorts() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.percentile(50.0), Some(10));
+        h.record(1);
+        assert_eq!(h.percentile(50.0), Some(1));
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a", 2);
+        r.inc("a", 3);
+        r.inc("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+        r.set("a", 9);
+        assert_eq!(r.counter("a"), 9);
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn ingest_sim_mirrors_totals() {
+        let mut m = Metrics::new();
+        m.node_mut(NodeId(1)).unicasts_sent = 4;
+        m.node_mut(NodeId(1)).bytes_sent = 100;
+        m.node_mut(NodeId(2)).unicasts_sent = 2;
+        m.hash_counter().add(11);
+        m.record_drop(snd_sim::metrics::DropReason::LinkLoss);
+
+        let mut r = MetricsRegistry::new();
+        r.ingest_sim(&m);
+        assert_eq!(r.counter("sim.unicasts_sent"), 6);
+        assert_eq!(r.counter("sim.bytes_sent"), 100);
+        assert_eq!(r.counter("sim.hash_ops"), 11);
+        assert_eq!(r.counter("sim.drops"), 1);
+        assert_eq!(r.counter("sim.drops.LinkLoss"), 1);
+        let h = r.histograms.get_mut("sim.node.unicasts_sent").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn ingest_events_builds_phase_histograms() {
+        let events = vec![
+            EventRecord {
+                seq: 0,
+                event: Event::PhaseStart {
+                    wave: 1,
+                    phase: Phase::Hello,
+                    sim_time: SimTime::from_millis(2),
+                },
+            },
+            EventRecord {
+                seq: 1,
+                event: Event::PhaseEnd {
+                    wave: 1,
+                    phase: Phase::Hello,
+                    sim_time: SimTime::from_millis(6),
+                },
+            },
+            EventRecord {
+                seq: 2,
+                event: Event::ValidationDecision {
+                    node: NodeId(9),
+                    peer: NodeId(1),
+                    shared: 3,
+                    required: 2,
+                    accepted: true,
+                },
+            },
+            EventRecord {
+                seq: 3,
+                event: Event::ValidationDecision {
+                    node: NodeId(9),
+                    peer: NodeId(2),
+                    shared: 1,
+                    required: 2,
+                    accepted: false,
+                },
+            },
+            EventRecord {
+                seq: 4,
+                event: Event::MasterKeyErased { node: NodeId(9) },
+            },
+        ];
+        let mut r = MetricsRegistry::new();
+        r.ingest_events(&events);
+        let h = r.histograms.get_mut("phase.hello.us").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(50.0), Some(4_000));
+        assert_eq!(r.counter("validation.accepted"), 1);
+        assert_eq!(r.counter("validation.rejected"), 1);
+        assert_eq!(r.counter("protocol.key_erasures"), 1);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut r = MetricsRegistry::new();
+        r.inc("x", 1);
+        r.observe("h", 5);
+        let json = serde::json::to_string(&r.snapshot());
+        assert!(json.contains(r#""counters":{"x":1}"#), "{json}");
+        assert!(json.contains(r#""p50":5"#), "{json}");
+    }
+}

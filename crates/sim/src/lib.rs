@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod network;
 pub mod radio;
 pub mod time;
+pub mod trace;
 
 /// Re-exports of the items most experiments need.
 pub mod prelude {
@@ -45,4 +46,5 @@ pub mod prelude {
     pub use crate::network::{Delivered, SendOutcome, Simulator, Wormhole};
     pub use crate::radio::{AnyLinkModel, LinkModel, LogDistance, LossyDisk, UnitDisk};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::TraceHook;
 }

@@ -10,10 +10,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use serde::Serialize;
 use snd_topology::NodeId;
 
 /// Why a transmission failed to reach a receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
 pub enum DropReason {
     /// Receiver outside the sender's radio range.
     OutOfRange,
@@ -26,7 +27,7 @@ pub enum DropReason {
 }
 
 /// Per-node transmission/reception counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct NodeCounters {
     /// Unicast frames sent.
     pub unicasts_sent: u64,
@@ -77,6 +78,21 @@ impl Metrics {
     /// Total drops across all reasons.
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// Iterates every touched node's counters, in id order.
+    pub fn per_node(&self) -> impl Iterator<Item = (NodeId, NodeCounters)> + '_ {
+        self.per_node.iter().map(|(&id, &c)| (id, c))
+    }
+
+    /// Number of nodes with at least one recorded counter.
+    pub fn touched_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Every drop reason observed, with its count.
+    pub fn drop_counts(&self) -> &BTreeMap<DropReason, u64> {
+        &self.drops
     }
 
     /// A shareable counter for hash operations; protocol code clones the

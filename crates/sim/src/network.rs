@@ -8,6 +8,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,6 +21,7 @@ use crate::jamming::JamZone;
 use crate::metrics::{DropReason, Metrics};
 use crate::radio::{AnyLinkModel, LinkModel};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceHook;
 
 /// A frame delivered into a node's inbox.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +122,7 @@ pub struct Simulator {
     batteries: BTreeMap<NodeId, Battery>,
     deaths: Vec<NodeId>,
     wormholes: Vec<Wormhole>,
+    trace: Option<Arc<dyn TraceHook>>,
 }
 
 /// An out-of-band tunnel between two field positions \[8\]–\[10\]: frames
@@ -141,10 +144,7 @@ impl Simulator {
     /// Builds a simulator over `deployment` with an ideal unit-disk link
     /// model and 1 ms frame latency.
     pub fn new(deployment: Deployment, radio: RadioSpec, seed: u64) -> Self {
-        let positions = deployment
-            .iter()
-            .map(|(id, p)| (id, vec![p]))
-            .collect();
+        let positions = deployment.iter().map(|(id, p)| (id, vec![p])).collect();
         Simulator {
             time: SimTime::ZERO,
             positions,
@@ -161,6 +161,20 @@ impl Simulator {
             batteries: BTreeMap::new(),
             deaths: Vec::new(),
             wormholes: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Installs a transport trace hook, fired at every recorded drop.
+    pub fn set_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        self.trace = Some(hook);
+    }
+
+    /// Notes a drop in both the metrics and the trace hook (if any).
+    fn drop_frame(&mut self, from: NodeId, to: NodeId, reason: DropReason) {
+        self.metrics.record_drop(reason);
+        if let Some(hook) = &self.trace {
+            hook.radio_drop(from, to, reason);
         }
     }
 
@@ -195,7 +209,9 @@ impl Simulator {
     /// Draws transmit/receive energy; kills the node on exhaustion.
     fn charge(&mut self, id: NodeId, bytes: usize, receiving: bool) {
         let Some(model) = self.energy else { return };
-        let Some(battery) = self.batteries.get_mut(&id) else { return };
+        let Some(battery) = self.batteries.get_mut(&id) else {
+            return;
+        };
         let cost = if receiving {
             model.rx_cost(bytes)
         } else {
@@ -352,7 +368,14 @@ impl Simulator {
         best
     }
 
-    fn enqueue(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>, broadcast: bool, distance: f64) {
+    fn enqueue(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        broadcast: bool,
+        distance: f64,
+    ) {
         let frame = Delivered {
             at: self.time + self.latency,
             from,
@@ -387,7 +410,7 @@ impl Simulator {
                 SendOutcome::Scheduled
             }
             Err(reason) => {
-                self.metrics.record_drop(reason);
+                self.drop_frame(from, to, reason);
                 SendOutcome::Dropped(reason)
             }
         }
@@ -420,7 +443,7 @@ impl Simulator {
                     // Out-of-range nodes are not an error for broadcast;
                     // don't pollute drop stats.
                 }
-                Err(reason) => self.metrics.record_drop(reason),
+                Err(reason) => self.drop_frame(from, to, reason),
             }
         }
         delivered
@@ -563,7 +586,11 @@ mod tests {
         sim.advance(SimDuration::from_millis(2));
         let inbox = sim.drain_inbox(n(3));
         assert_eq!(inbox.len(), 1);
-        assert_eq!(inbox[0].from, n(1), "replica speaks with the stolen identity");
+        assert_eq!(
+            inbox[0].from,
+            n(1),
+            "replica speaks with the stolen identity"
+        );
     }
 
     #[test]
@@ -622,10 +649,7 @@ mod tests {
             }
         }
         assert!(scheduled > 50 && scheduled < 150, "scheduled {scheduled}");
-        assert_eq!(
-            sim.metrics().drops(DropReason::LinkLoss) + scheduled,
-            200
-        );
+        assert_eq!(sim.metrics().drops(DropReason::LinkLoss) + scheduled, 200);
     }
 
     #[test]
@@ -731,7 +755,11 @@ mod tests {
         sim.set_battery(n(1), 100.0);
         sim.unicast(n(1), n(2), vec![0u8; 100]);
         let b = sim.battery(n(1)).expect("battery installed");
-        assert!((b.remaining() - 30.0).abs() < 1e-9, "remaining {}", b.remaining());
+        assert!(
+            (b.remaining() - 30.0).abs() < 1e-9,
+            "remaining {}",
+            b.remaining()
+        );
         assert!(sim.is_alive(n(1)));
 
         sim.unicast(n(1), n(2), vec![0u8; 100]);
@@ -748,7 +776,11 @@ mod tests {
         sim.advance(SimDuration::from_millis(2));
         let b = sim.battery(n(2)).expect("battery installed");
         // rx cost = 10 + 0.67*100 = 77 µJ.
-        assert!((b.remaining() - 923.0).abs() < 1e-9, "remaining {}", b.remaining());
+        assert!(
+            (b.remaining() - 923.0).abs() < 1e-9,
+            "remaining {}",
+            b.remaining()
+        );
     }
 
     #[test]
@@ -759,7 +791,11 @@ mod tests {
         sim.unicast(n(1), n(2), vec![0u8; 10]);
         sim.advance(SimDuration::from_millis(2));
         assert!(!sim.is_alive(n(2)));
-        assert_eq!(sim.inbox_len(n(2)), 0, "the killing frame is never readable");
+        assert_eq!(
+            sim.inbox_len(n(2)),
+            0,
+            "the killing frame is never readable"
+        );
     }
 
     #[test]

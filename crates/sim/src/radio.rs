@@ -49,7 +49,10 @@ impl LossyDisk {
     ///
     /// Panics unless `0.0 <= loss <= 1.0`.
     pub fn new(loss: f64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss probability {loss} out of range");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss probability {loss} out of range"
+        );
         LossyDisk { loss }
     }
 }

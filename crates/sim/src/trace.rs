@@ -1,0 +1,53 @@
+//! Transport-level trace hook.
+//!
+//! The simulator sits at the bottom of the crate stack, so it cannot
+//! depend on the observability layer (`snd-observe` depends on this
+//! crate). Instead it exposes a minimal [`TraceHook`] trait; higher
+//! layers install an adapter that forwards transport events into their
+//! recorder of choice.
+//!
+//! The hook fires only for *recorded* drops — the same sites that bump
+//! [`crate::metrics::Metrics::record_drop`] — so a hook sees exactly
+//! what the drop counters count. In particular, out-of-range receivers
+//! during a broadcast are not drops (broadcast is best-effort by
+//! definition) and do not fire the hook.
+
+use snd_topology::NodeId;
+
+use crate::metrics::DropReason;
+
+/// Observer for transport events the simulator would otherwise only
+/// aggregate into counters.
+///
+/// Implementations must be cheap: the hook is called on the send path.
+pub trait TraceHook: Send + Sync + std::fmt::Debug {
+    /// A frame from `from` addressed to `to` was dropped for `reason`.
+    fn radio_drop(&self, from: NodeId, to: NodeId, reason: DropReason);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[derive(Debug, Default)]
+    struct CountingHook(Mutex<Vec<(NodeId, NodeId, DropReason)>>);
+
+    impl TraceHook for CountingHook {
+        fn radio_drop(&self, from: NodeId, to: NodeId, reason: DropReason) {
+            self.0.lock().push((from, to, reason));
+        }
+    }
+
+    #[test]
+    fn hook_object_is_usable_through_dyn() {
+        let hook = Arc::new(CountingHook::default());
+        let dynamic: Arc<dyn TraceHook> = Arc::clone(&hook) as Arc<dyn TraceHook>;
+        dynamic.radio_drop(NodeId(1), NodeId(2), DropReason::LinkLoss);
+        assert_eq!(
+            hook.0.lock().as_slice(),
+            &[(NodeId(1), NodeId(2), DropReason::LinkLoss)]
+        );
+    }
+}

@@ -51,8 +51,8 @@ impl PartitionAnalysis {
             comp.insert(start);
             while let Some(u) = queue.pop_front() {
                 for &v in &adj[&u] {
-                    if !membership.contains_key(&v) {
-                        membership.insert(v, idx);
+                    if let std::collections::btree_map::Entry::Vacant(e) = membership.entry(v) {
+                        e.insert(idx);
                         comp.insert(v);
                         queue.push_back(v);
                     }
@@ -70,9 +70,7 @@ impl PartitionAnalysis {
                     .map(|(i, _)| i);
                 (0..partitions.len()).map(|i| Some(i) == best).collect()
             }
-            UsefulnessRule::MinSize(min) => {
-                partitions.iter().map(|p| p.len() >= min).collect()
-            }
+            UsefulnessRule::MinSize(min) => partitions.iter().map(|p| p.len() >= min).collect(),
         };
 
         PartitionAnalysis {

@@ -56,7 +56,10 @@ impl Field {
 
     /// Samples a uniform point inside the field.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
-        Point::new(rng.gen_range(0.0..self.width), rng.gen_range(0.0..self.height))
+        Point::new(
+            rng.gen_range(0.0..self.width),
+            rng.gen_range(0.0..self.height),
+        )
     }
 }
 
@@ -121,8 +124,16 @@ impl Deployment {
                 if id as usize >= n {
                     break 'outer;
                 }
-                let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
-                let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let jx = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
+                let jy = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
                 let p = Point::new(
                     ((c as f64 + 0.5) * dx + jx).clamp(0.0, field.width),
                     ((r as f64 + 0.5) * dy + jy).clamp(0.0, field.height),
@@ -208,12 +219,11 @@ impl Deployment {
 
     /// The deployed node closest to `p`, if any.
     pub fn nearest(&self, p: Point) -> Option<(NodeId, Point)> {
-        self.iter()
-            .min_by(|a, b| {
-                a.1.distance_sq(&p)
-                    .partial_cmp(&b.1.distance_sq(&p))
-                    .expect("distances are finite")
-            })
+        self.iter().min_by(|a, b| {
+            a.1.distance_sq(&p)
+                .partial_cmp(&b.1.distance_sq(&p))
+                .expect("distances are finite")
+        })
     }
 
     /// The smallest unused ID, for adding new nodes post-deployment.
@@ -334,7 +344,9 @@ mod tests {
         d.place(NodeId(3), Point::new(9.0, 9.0));
         let (id, _) = d.nearest(Point::new(5.2, 4.8)).unwrap();
         assert_eq!(id, NodeId(2));
-        assert!(Deployment::empty(Field::square(1.0)).nearest(Point::default()).is_none());
+        assert!(Deployment::empty(Field::square(1.0))
+            .nearest(Point::default())
+            .is_none());
     }
 
     #[test]

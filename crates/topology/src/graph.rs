@@ -68,11 +68,7 @@ impl DiGraph {
 
     /// Removes the edge `(u, v)` if present; returns whether it existed.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let existed = self
-            .out
-            .get_mut(&u)
-            .map(|s| s.remove(&v))
-            .unwrap_or(false);
+        let existed = self.out.get_mut(&u).map(|s| s.remove(&v)).unwrap_or(false);
         if existed {
             self.into.get_mut(&v).expect("edge invariant").remove(&u);
         }
@@ -196,8 +192,7 @@ impl DiGraph {
 
     /// Edges incident to `id` (either direction), as `(source, target)`.
     pub fn incident_edges(&self, id: NodeId) -> Vec<(NodeId, NodeId)> {
-        let mut edges: Vec<(NodeId, NodeId)> =
-            self.out_neighbors(id).map(|v| (id, v)).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = self.out_neighbors(id).map(|v| (id, v)).collect();
         edges.extend(self.in_neighbors(id).map(|u| (u, id)));
         edges
     }
@@ -316,7 +311,9 @@ mod tests {
 
     #[test]
     fn induced_subgraph_filters() {
-        let g: DiGraph = [(n(1), n(2)), (n(2), n(3)), (n(3), n(1))].into_iter().collect();
+        let g: DiGraph = [(n(1), n(2)), (n(2), n(3)), (n(3), n(1))]
+            .into_iter()
+            .collect();
         let keep: BTreeSet<NodeId> = [n(1), n(2)].into_iter().collect();
         let sub = g.induced_subgraph(&keep);
         assert_eq!(sub.node_count(), 2);
@@ -336,8 +333,9 @@ mod tests {
     #[test]
     fn remap_is_isomorphic() {
         let g: DiGraph = [(n(1), n(2)), (n(2), n(3))].into_iter().collect();
-        let f: BTreeMap<NodeId, NodeId> =
-            [(n(1), n(10)), (n(2), n(20)), (n(3), n(30))].into_iter().collect();
+        let f: BTreeMap<NodeId, NodeId> = [(n(1), n(10)), (n(2), n(20)), (n(3), n(30))]
+            .into_iter()
+            .collect();
         let h = g.remap(&f);
         assert_eq!(h.node_count(), g.node_count());
         assert_eq!(h.edge_count(), g.edge_count());

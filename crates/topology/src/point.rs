@@ -66,7 +66,10 @@ impl Circle {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn new(center: Point, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "invalid radius {radius}");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "invalid radius {radius}"
+        );
         Circle { center, radius }
     }
 

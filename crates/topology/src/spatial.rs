@@ -37,7 +37,10 @@ impl SpatialGrid {
                 .or_default()
                 .push((id, p));
         }
-        SpatialGrid { cell: radius, buckets }
+        SpatialGrid {
+            cell: radius,
+            buckets,
+        }
     }
 
     fn key(p: Point, cell: f64) -> (i64, i64) {
@@ -124,8 +127,11 @@ mod tests {
         let grid = SpatialGrid::build(&d, 60.0);
         assert_eq!(grid.len(), 400);
         for (u, pu) in d.iter().take(40) {
-            let mut from_grid: Vec<NodeId> =
-                grid.within(pu, 60.0, Some(u)).into_iter().map(|(id, _)| id).collect();
+            let mut from_grid: Vec<NodeId> = grid
+                .within(pu, 60.0, Some(u))
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
             from_grid.sort();
             let mut brute: Vec<NodeId> = d
                 .iter()
@@ -142,7 +148,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let d = Deployment::uniform(Field::square(300.0), 300, &mut rng);
         let radio = RadioSpec::uniform(50.0);
-        assert_eq!(unit_disk_graph_indexed(&d, &radio), unit_disk_graph(&d, &radio));
+        assert_eq!(
+            unit_disk_graph_indexed(&d, &radio),
+            unit_disk_graph(&d, &radio)
+        );
     }
 
     #[test]

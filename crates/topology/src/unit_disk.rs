@@ -47,7 +47,10 @@ impl RadioSpec {
 
     /// The transmission range of `id`.
     pub fn range(&self, id: NodeId) -> f64 {
-        self.overrides.get(&id).copied().unwrap_or(self.default_range)
+        self.overrides
+            .get(&id)
+            .copied()
+            .unwrap_or(self.default_range)
     }
 
     /// The maximum range any benign node uses — the paper's `R`.
@@ -162,7 +165,10 @@ mod tests {
         let radio = RadioSpec::uniform(50.0).with_override(n(1), 100.0);
         let g = unit_disk_graph(&d, &radio);
         assert!(g.has_edge(n(1), n(2)), "long-range node reaches out");
-        assert!(!g.has_edge(n(2), n(1)), "short-range node cannot reach back");
+        assert!(
+            !g.has_edge(n(2), n(1)),
+            "short-range node cannot reach back"
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@ use rand::SeedableRng;
 
 use secure_neighbor_discovery::apps::aggregation::{neighborhood_average, Readings};
 use secure_neighbor_discovery::apps::clustering::lowest_id_clustering;
-use secure_neighbor_discovery::apps::routing::{route_many, RouteOutcome};
 use secure_neighbor_discovery::apps::gpsr::compare_with_greedy;
 use secure_neighbor_discovery::apps::greedy_route;
+use secure_neighbor_discovery::apps::routing::{route_many, RouteOutcome};
 use secure_neighbor_discovery::core::prelude::*;
 use secure_neighbor_discovery::topology::unit_disk::{unit_disk_graph, RadioSpec};
 use secure_neighbor_discovery::topology::{Field, NodeId, Point};
@@ -59,7 +59,10 @@ fn main() {
             pairs.push((v, all[rng.gen_range(0..all.len())]));
         }
     }
-    println!("— Greedy routing from the 8 attacked nodes ({} packets) —", pairs.len());
+    println!(
+        "— Greedy routing from the 8 attacked nodes ({} packets) —",
+        pairs.len()
+    );
     for (label, believed) in [("unprotected", &unprotected), ("protected", &protected)] {
         let stats = route_many(believed, &physical, &deployment, &pairs, 128);
         println!(

@@ -66,7 +66,11 @@ fn main() {
     let mut alice = SecureChannel::new(&k_ab, 1, 2);
     let mut bob = SecureChannel::new(&k_ba, 2, 1);
     let envelope = alice.seal(b"binding record R(u) follows...");
-    println!("  alice -> bob: {} bytes on air (seq {})", envelope.wire_len(), envelope.seq);
+    println!(
+        "  alice -> bob: {} bytes on air (seq {})",
+        envelope.wire_len(),
+        envelope.seq
+    );
     let plaintext = bob.open(&envelope).expect("authentic envelope");
     println!("  bob decrypted: {:?}", String::from_utf8_lossy(&plaintext));
     let replay = bob.open(&envelope);

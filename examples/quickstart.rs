@@ -14,23 +14,19 @@ use secure_neighbor_discovery::topology::{Field, NodeId, Point};
 fn main() {
     // Threshold t = 1: a functional relation needs >= 2 shared neighbors.
     let config = ProtocolConfig::with_threshold(1).without_updates();
-    let mut engine = DiscoveryEngine::new(
-        Field::square(200.0),
-        RadioSpec::uniform(50.0),
-        config,
-        2009,
-    );
+    let mut engine =
+        DiscoveryEngine::new(Field::square(200.0), RadioSpec::uniform(50.0), config, 2009);
 
     // Figure 2's cast: u (id 0) in the middle; nodes 2 and 3 share u's
     // dense corner, nodes 1, 4 and 5 hang off the edges.
     let u = NodeId(0);
     let placements = [
         (u, Point::new(100.0, 100.0)),
-        (NodeId(1), Point::new(60.0, 110.0)),  // knows only u and 2
-        (NodeId(2), Point::new(85.0, 120.0)),  // dense corner
+        (NodeId(1), Point::new(60.0, 110.0)), // knows only u and 2
+        (NodeId(2), Point::new(85.0, 120.0)), // dense corner
         (NodeId(3), Point::new(115.0, 120.0)), // dense corner
         (NodeId(4), Point::new(140.0, 100.0)), // knows only u and 3... barely
-        (NodeId(5), Point::new(100.0, 55.0)),  // lone southern neighbor
+        (NodeId(5), Point::new(100.0, 55.0)), // lone southern neighbor
     ];
     for (id, p) in placements {
         engine.deploy_at(id, p);
@@ -42,8 +38,14 @@ fn main() {
 
     let node_u = engine.node(u).expect("u deployed");
     println!("Node u = {u}");
-    println!("  tentative neighbors N(u)   = {:?}", pretty(node_u.tentative_neighbors().iter()));
-    println!("  functional neighbors N̄(u) = {:?}", pretty(node_u.functional_neighbors().iter()));
+    println!(
+        "  tentative neighbors N(u)   = {:?}",
+        pretty(node_u.tentative_neighbors().iter())
+    );
+    println!(
+        "  functional neighbors N̄(u) = {:?}",
+        pretty(node_u.functional_neighbors().iter())
+    );
     println!(
         "  binding record             = version {} over {} neighbors, commitment {}…",
         node_u.record().version,
@@ -52,14 +54,25 @@ fn main() {
     );
     println!(
         "  master key K               = {}",
-        if node_u.holds_master_key() { "STILL PRESENT (bug!)" } else { "erased ✓" }
+        if node_u.holds_master_key() {
+            "STILL PRESENT (bug!)"
+        } else {
+            "erased ✓"
+        }
     );
 
     println!("\nWho accepted u back (via relation commitments):");
     let functional = engine.functional_topology();
     for (id, _) in &placements[1..] {
         let accepted = functional.has_edge(*id, u);
-        println!("  {id} -> u : {}", if accepted { "functional ✓" } else { "not validated" });
+        println!(
+            "  {id} -> u : {}",
+            if accepted {
+                "functional ✓"
+            } else {
+                "not validated"
+            }
+        );
     }
 
     println!("\nWave report: {report:?}");

@@ -8,7 +8,11 @@
 //!
 //! Run: `cargo run --release --example replica_attack`
 
+use std::sync::Arc;
+
 use secure_neighbor_discovery::core::prelude::*;
+use secure_neighbor_discovery::observe::event::{Event, EventRecord};
+use secure_neighbor_discovery::observe::recorder::{MemoryRecorder, Recorder};
 use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
 use secure_neighbor_discovery::topology::{Field, NodeId, Point};
 
@@ -35,13 +39,22 @@ fn field(t: usize, seed: u64) -> (DiscoveryEngine, Vec<NodeId>) {
     let mut ids = Vec::new();
     for k in 0..10u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(30.0 + 10.0 * (k % 5) as f64, 40.0 + 15.0 * (k / 5) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(30.0 + 10.0 * (k % 5) as f64, 40.0 + 15.0 * (k / 5) as f64),
+        );
         ids.push(id);
     }
     // A handful of benign nodes near the future attack site on the right.
     for k in 10..16u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(520.0 + 10.0 * (k % 3) as f64, 40.0 + 15.0 * ((k / 3) % 2) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(
+                520.0 + 10.0 * (k % 3) as f64,
+                40.0 + 15.0 * ((k / 3) % 2) as f64,
+            ),
+        );
         ids.push(id);
     }
     engine.run_wave(&ids);
@@ -51,8 +64,14 @@ fn field(t: usize, seed: u64) -> (DiscoveryEngine, Vec<NodeId>) {
 fn stage_1_single_replica(t: usize) {
     println!("— Stage 1: one compromised node, replicated 500 m away —");
     let (mut engine, _) = field(t, 1);
+    // Watch this stage through the structured event stream.
+    let recorder = MemoryRecorder::shared();
+    engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+
     engine.compromise(NodeId(0)).expect("operational");
-    engine.place_replica(NodeId(0), Point::new(530.0, 60.0)).expect("compromised");
+    engine
+        .place_replica(NodeId(0), Point::new(530.0, 60.0))
+        .expect("compromised");
 
     engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
     engine.run_wave(&[NodeId(99)]);
@@ -67,6 +86,74 @@ fn stage_1_single_replica(t: usize) {
         victim.functional_neighbors().contains(&NodeId(0))
     );
     println!("  -> direct verification fooled, threshold validation not.\n");
+
+    println!("  Event timeline of the attack wave:");
+    print_timeline(&recorder.take());
+    println!();
+}
+
+/// Renders recorded events as an indented, human-readable timeline.
+/// Validation decisions not involving the attacker are summarized.
+fn print_timeline(events: &[EventRecord]) {
+    let attacker = NodeId(0);
+    let mut routine = 0usize;
+    for rec in events {
+        let line = match &rec.event {
+            Event::WaveStart {
+                wave,
+                new_nodes,
+                sim_time,
+            } => Some(format!(
+                "t={:>7}us  wave {wave} starts: {} new node(s)",
+                sim_time.as_micros(),
+                new_nodes.len()
+            )),
+            Event::WaveEnd { wave, sim_time } => {
+                Some(format!("t={:>7}us  wave {wave} ends", sim_time.as_micros()))
+            }
+            Event::PhaseStart {
+                phase, sim_time, ..
+            } => Some(format!(
+                "t={:>7}us  ├─ {phase} phase begins",
+                sim_time.as_micros()
+            )),
+            Event::NodeCompromised {
+                node,
+                master_key_leaked,
+            } => Some(format!(
+                "            !! {node} compromised (master key leaked: {master_key_leaked})"
+            )),
+            Event::ReplicaPlaced { node, at } => Some(format!(
+                "            !! replica of {node} placed at ({:.0}, {:.0})",
+                at.x, at.y
+            )),
+            Event::ValidationDecision {
+                node,
+                peer,
+                shared,
+                required,
+                accepted,
+            } => {
+                if *peer == attacker || *node == attacker {
+                    let verdict = if *accepted { "ACCEPTS" } else { "REJECTS" };
+                    Some(format!(
+                        "            │    {node} {verdict} {peer}: {shared} shared neighbor(s), {required} required"
+                    ))
+                } else {
+                    routine += 1;
+                    None
+                }
+            }
+            Event::MasterKeyErased { node } => Some(format!(
+                "            │    {node} erases its master key copy"
+            )),
+            _ => None,
+        };
+        if let Some(line) = line {
+            println!("  {line}");
+        }
+    }
+    println!("  ({routine} routine validation decisions between benign nodes omitted)");
 }
 
 fn stage_2_collusion(t: usize) {
@@ -75,7 +162,9 @@ fn stage_2_collusion(t: usize) {
         let (mut engine, _) = field(t, 2 + colluders as u64);
         for k in 0..colluders as u64 {
             engine.compromise(NodeId(k)).expect("operational");
-            engine.place_replica(NodeId(k), Point::new(530.0, 60.0)).expect("compromised");
+            engine
+                .place_replica(NodeId(k), Point::new(530.0, 60.0))
+                .expect("compromised");
         }
         engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
         engine.run_wave(&[NodeId(99)]);
@@ -96,7 +185,9 @@ fn stage_3_window_violation(t: usize) {
     // A fresh node is provisioned but captured before finishing discovery:
     // the attacker gets the master key K.
     engine.deploy_at(NodeId(50), Point::new(100.0, 60.0));
-    engine.compromise_violating_window(NodeId(50)).expect("deployed");
+    engine
+        .compromise_violating_window(NodeId(50))
+        .expect("deployed");
     println!(
         "  master key captured: {}",
         engine.adversary().has_total_break()
@@ -105,7 +196,9 @@ fn stage_3_window_violation(t: usize) {
         forge_records_with_master: true,
         ..AdversaryBehavior::default()
     });
-    engine.place_replica(NodeId(50), Point::new(530.0, 60.0)).expect("compromised");
+    engine
+        .place_replica(NodeId(50), Point::new(530.0, 60.0))
+        .expect("compromised");
     engine.deploy_at(NodeId(99), Point::new(535.0, 55.0));
     engine.run_wave(&[NodeId(99)]);
     let victim = engine.node(NodeId(99)).expect("deployed");

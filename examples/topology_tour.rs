@@ -42,7 +42,9 @@ fn main() {
     engine.compromise(NodeId(0)).expect("operational");
     engine.compromise(NodeId(1)).expect("operational");
     for id in [NodeId(0), NodeId(1)] {
-        engine.place_replica(id, Point::new(295.0, 5.0)).expect("compromised");
+        engine
+            .place_replica(id, Point::new(295.0, 5.0))
+            .expect("compromised");
     }
     engine.deploy_at(NodeId(200), Point::new(290.0, 10.0));
     engine.run_wave(&[NodeId(200)]);
@@ -50,10 +52,21 @@ fn main() {
     let tentative = engine.tentative_topology();
     let functional = engine.functional_topology();
 
-    println!("Tentative topology  : {} nodes, {} directed relations", tentative.node_count(), tentative.edge_count());
-    println!("Functional topology : {} nodes, {} directed relations", functional.node_count(), functional.edge_count());
+    println!(
+        "Tentative topology  : {} nodes, {} directed relations",
+        tentative.node_count(),
+        tentative.edge_count()
+    );
+    println!(
+        "Functional topology : {} nodes, {} directed relations",
+        functional.node_count(),
+        functional.edge_count()
+    );
     let ds = degree_stats(&functional);
-    println!("Functional degrees  : min {}, mean {:.1}, max {}", ds.min, ds.mean, ds.max);
+    println!(
+        "Functional degrees  : min {}, mean {:.1}, max {}",
+        ds.min, ds.mean, ds.max
+    );
 
     // The victim's view.
     let victim = engine.node(NodeId(200)).expect("deployed");

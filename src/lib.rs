@@ -14,6 +14,8 @@
 //! * [`topology`] (`snd-topology`) — deployments, unit-disk graphs,
 //!   partitions, minimal enclosing circles;
 //! * [`sim`] (`snd-sim`) — the deterministic discrete-event simulator;
+//! * [`observe`] (`snd-observe`) — structured tracing, metrics registry
+//!   and machine-readable run reports;
 //! * [`core`] (`snd-core`) — the paper's model, theorems, protocol,
 //!   extension, adversary and analysis;
 //! * [`baselines`] (`snd-baselines`) — Parno et al. replica detection and
@@ -44,5 +46,6 @@ pub use snd_apps as apps;
 pub use snd_baselines as baselines;
 pub use snd_core as core;
 pub use snd_crypto as crypto;
+pub use snd_observe as observe;
 pub use snd_sim as sim;
 pub use snd_topology as topology;

@@ -32,7 +32,10 @@ fn corridor(t: usize, seed: u64) -> DiscoveryEngine {
         let id = NodeId(k);
         engine.deploy_at(
             id,
-            Point::new(720.0 + 12.0 * (k % 4) as f64, 40.0 + 18.0 * ((k / 4) % 2) as f64),
+            Point::new(
+                720.0 + 12.0 * (k % 4) as f64,
+                40.0 + 18.0 * ((k / 4) % 2) as f64,
+            ),
         );
         ids.push(id);
     }
@@ -44,7 +47,9 @@ fn corridor(t: usize, seed: u64) -> DiscoveryEngine {
 /// deploys one victim beside them.
 fn replicate_and_lure(engine: &mut DiscoveryEngine, compromised: &[NodeId]) -> NodeId {
     for &id in compromised {
-        engine.place_replica(id, Point::new(735.0, 60.0)).expect("compromised");
+        engine
+            .place_replica(id, Point::new(735.0, 60.0))
+            .expect("compromised");
     }
     let victim = NodeId(999);
     engine.deploy_at(victim, Point::new(738.0, 63.0));
@@ -78,7 +83,10 @@ fn theorem3_two_r_safety_holds_under_replication() {
         // And the far victim rejected everyone compromised.
         let v = engine.node(victim).expect("deployed");
         for &id in &compromised {
-            assert!(!v.functional_neighbors().contains(&id), "t={t}: {id} accepted");
+            assert!(
+                !v.functional_neighbors().contains(&id),
+                "t={t}: {id} accepted"
+            );
         }
     }
 }
@@ -130,8 +138,12 @@ fn passive_adversary_changes_nothing() {
 
     let mut attacked = corridor(3, 60);
     attacked.compromise(NodeId(0)).expect("operational");
-    attacked.adversary_mut().set_behavior(AdversaryBehavior::passive());
-    attacked.place_replica(NodeId(0), Point::new(735.0, 60.0)).expect("compromised");
+    attacked
+        .adversary_mut()
+        .set_behavior(AdversaryBehavior::passive());
+    attacked
+        .place_replica(NodeId(0), Point::new(735.0, 60.0))
+        .expect("compromised");
     attacked.deploy_at(NodeId(999), Point::new(738.0, 63.0));
     attacked.run_wave(&[NodeId(999)]);
 
@@ -151,7 +163,9 @@ fn trust_window_violation_gives_total_break() {
     let mut engine = corridor(3, 70);
     // A node deployed but never discovered: still inside its window.
     engine.deploy_at(NodeId(500), Point::new(100.0, 60.0));
-    engine.compromise_violating_window(NodeId(500)).expect("deployed");
+    engine
+        .compromise_violating_window(NodeId(500))
+        .expect("deployed");
     assert!(engine.adversary().has_total_break());
 
     engine.adversary_mut().set_behavior(AdversaryBehavior {
@@ -171,7 +185,12 @@ fn normal_compromise_does_not_leak_master_key() {
     let mut engine = corridor(3, 80);
     engine.compromise(NodeId(0)).expect("operational");
     assert!(!engine.adversary().has_total_break());
-    assert!(engine.adversary().captured(NodeId(0)).expect("captured").master_key.is_none());
+    assert!(engine
+        .adversary()
+        .captured(NodeId(0))
+        .expect("captured")
+        .master_key
+        .is_none());
 }
 
 #[test]
@@ -191,7 +210,9 @@ fn forged_commitments_are_rejected_and_counted() {
         to: NodeId(21),
         digest,
     };
-    engine.sim_mut().unicast(NodeId(0), NodeId(21), msg.encode());
+    engine
+        .sim_mut()
+        .unicast(NodeId(0), NodeId(21), msg.encode());
     // Pump by running an empty wave over a throwaway node far away.
     engine.deploy_at(NodeId(998), Point::new(400.0, 60.0));
     engine.run_wave(&[NodeId(998)]);

@@ -4,19 +4,24 @@
 
 use rand::SeedableRng;
 
+use secure_neighbor_discovery::baselines::direct::VerificationContext;
+use secure_neighbor_discovery::baselines::routing::HopTable;
 use secure_neighbor_discovery::baselines::{
     CombinedDirect, DirectVerification, GeographicLeash, LineSelectedMulticast,
     RandomizedMulticast, RttBounding,
 };
-use secure_neighbor_discovery::baselines::direct::VerificationContext;
-use secure_neighbor_discovery::baselines::routing::HopTable;
 use secure_neighbor_discovery::core::prelude::*;
 use secure_neighbor_discovery::topology::unit_disk::{unit_disk_graph, RadioSpec};
 use secure_neighbor_discovery::topology::{Field, NodeId, Point};
 
 const RANGE: f64 = 50.0;
 
-fn field_from_engine(seed: u64) -> (secure_neighbor_discovery::topology::Deployment, secure_neighbor_discovery::topology::DiGraph) {
+fn field_from_engine(
+    seed: u64,
+) -> (
+    secure_neighbor_discovery::topology::Deployment,
+    secure_neighbor_discovery::topology::DiGraph,
+) {
     let mut engine = DiscoveryEngine::new(
         Field::square(300.0),
         RadioSpec::uniform(RANGE),
@@ -47,7 +52,8 @@ fn parno_runs_over_protocol_topology() {
     assert!(randomized.detected, "dense witness sets must collide");
     assert!(randomized.messages > 100, "network-wide cost expected");
 
-    let line = LineSelectedMulticast::default().detect(&d, &g, target, &[original, replica], &mut rng);
+    let line =
+        LineSelectedMulticast::default().detect(&d, &g, target, &[original, replica], &mut rng);
     assert!(line.messages < randomized.messages);
 }
 
@@ -66,7 +72,10 @@ fn parno_never_flags_honest_nodes() {
         .detect(&d, &g, target, &[site], &mut rng);
         assert!(!out.detected, "node {target} falsely flagged");
         let out = LineSelectedMulticast::default().detect(&d, &g, target, &[site], &mut rng);
-        assert!(!out.detected, "node {target} falsely flagged by line-selected");
+        assert!(
+            !out.detected,
+            "node {target} falsely flagged by line-selected"
+        );
     }
 }
 
@@ -116,16 +125,24 @@ fn direct_verification_premise_holds_in_the_field() {
             verifier_position: pu,
             range: RANGE,
         };
-        assert!(RttBounding.verify(&ctx), "benign relation ({u},{v}) failed RTT");
-        assert!(GeographicLeash.verify(&ctx), "benign relation ({u},{v}) failed leash");
+        assert!(
+            RttBounding.verify(&ctx),
+            "benign relation ({u},{v}) failed RTT"
+        );
+        assert!(
+            GeographicLeash.verify(&ctx),
+            "benign relation ({u},{v}) failed leash"
+        );
     }
 
     // The replica's view from a victim next to it.
     engine.compromise(ids[0]).expect("operational");
-    engine.place_replica(ids[0], Point::new(190.0, 190.0)).expect("compromised");
+    engine
+        .place_replica(ids[0], Point::new(190.0, 190.0))
+        .expect("compromised");
     let ctx = VerificationContext {
-        radio_distance: 5.0,                          // the replica radio is right there
-        claimed_position: Point::new(191.0, 191.0),   // and it lies about its position
+        radio_distance: 5.0,                        // the replica radio is right there
+        claimed_position: Point::new(191.0, 191.0), // and it lies about its position
         verifier_position: Point::new(188.0, 188.0),
         range: RANGE,
     };

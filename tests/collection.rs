@@ -84,7 +84,10 @@ fn physical_truth_tree_has_full_yield() {
     let w = attacked_world(62);
     let tree = CollectionTree::build(&w.physical, w.sink);
     let y = tree.collection_yield(&w.physical);
-    assert!((y - 1.0).abs() < 1e-12, "truth tree must deliver everything: {y}");
+    assert!(
+        (y - 1.0).abs() < 1e-12,
+        "truth tree must deliver everything: {y}"
+    );
     assert!(tree.attached() > 200, "field must be largely connected");
     let _ = w.deployment;
 }

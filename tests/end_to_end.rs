@@ -42,7 +42,10 @@ fn functional_edges_are_subset_of_tentative() {
     let tentative = engine.tentative_topology();
     let functional = engine.functional_topology();
     for (u, v) in functional.edges() {
-        assert!(tentative.has_edge(u, v), "functional edge ({u},{v}) not tentative");
+        assert!(
+            tentative.has_edge(u, v),
+            "functional edge ({u},{v}) not tentative"
+        );
     }
     assert!(functional.edge_count() <= tentative.edge_count());
 }
@@ -63,9 +66,7 @@ fn simulation_accuracy_tracks_theory() {
                 .nearest(Field::square(100.0).center())
                 .expect("populated")
                 .0;
-            if let Some(a) =
-                neighbor_accuracy(engine.deployment(), &functional, center, RANGE)
-            {
+            if let Some(a) = neighbor_accuracy(engine.deployment(), &functional, center, RANGE) {
                 sum += a;
                 count += 1;
             }
@@ -96,13 +97,8 @@ fn multi_wave_deployment_converges() {
     engine.run_wave(&w3);
 
     let functional = engine.functional_topology();
-    let accuracy = mean_accuracy(
-        engine.deployment(),
-        &functional,
-        w3.iter().copied(),
-        RANGE,
-    )
-    .expect("third wave has neighbors");
+    let accuracy = mean_accuracy(engine.deployment(), &functional, w3.iter().copied(), RANGE)
+        .expect("third wave has neighbors");
     assert!(
         accuracy > 0.8,
         "late-wave nodes must still validate most neighbors, got {accuracy:.3}"
@@ -110,7 +106,11 @@ fn multi_wave_deployment_converges() {
 
     // And they were accepted back by the old nodes.
     for &id in &w3 {
-        let own = engine.node(id).expect("deployed").functional_neighbors().clone();
+        let own = engine
+            .node(id)
+            .expect("deployed")
+            .functional_neighbors()
+            .clone();
         for v in own {
             assert!(
                 functional.has_edge(v, id),
@@ -174,8 +174,14 @@ fn isolated_node_survives_discovery() {
         ProtocolConfig::with_threshold(1).without_updates(),
         8,
     );
-    engine.deploy_at(NodeId(0), secure_neighbor_discovery::topology::Point::new(10.0, 10.0));
-    engine.deploy_at(NodeId(1), secure_neighbor_discovery::topology::Point::new(490.0, 490.0));
+    engine.deploy_at(
+        NodeId(0),
+        secure_neighbor_discovery::topology::Point::new(10.0, 10.0),
+    );
+    engine.deploy_at(
+        NodeId(1),
+        secure_neighbor_discovery::topology::Point::new(490.0, 490.0),
+    );
     engine.run_wave(&[NodeId(0), NodeId(1)]);
     let n0 = engine.node(NodeId(0)).expect("deployed");
     assert_eq!(n0.state(), NodeState::Operational);

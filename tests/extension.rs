@@ -12,7 +12,12 @@ fn engine_with_updates(t: usize, m: u32, seed: u64) -> DiscoveryEngine {
     let mut config = ProtocolConfig::with_threshold(t);
     config.max_updates = m;
     config.issue_evidence = true;
-    DiscoveryEngine::new(Field::new(600.0, 150.0), RadioSpec::uniform(RANGE), config, seed)
+    DiscoveryEngine::new(
+        Field::new(600.0, 150.0),
+        RadioSpec::uniform(RANGE),
+        config,
+        seed,
+    )
 }
 
 /// A tight 8-node cluster around (60, 75).
@@ -42,11 +47,18 @@ fn evidence_flows_to_old_nodes() {
     let mut evidenced = 0;
     for k in 0..8u64 {
         let node = engine.node(NodeId(k)).expect("deployed");
-        if node.buffered_evidence().iter().any(|e| e.from == NodeId(100)) {
+        if node
+            .buffered_evidence()
+            .iter()
+            .any(|e| e.from == NodeId(100))
+        {
             evidenced += 1;
         }
     }
-    assert!(evidenced >= 6, "most cluster members should hold evidence, got {evidenced}");
+    assert!(
+        evidenced >= 6,
+        "most cluster members should hold evidence, got {evidenced}"
+    );
 }
 
 #[test]
@@ -59,7 +71,10 @@ fn second_newcomer_triggers_updates() {
     // The next newcomer processes the buffered evidence.
     engine.deploy_at(NodeId(101), Point::new(62.0, 78.0));
     let report = engine.run_wave(&[NodeId(101)]);
-    assert!(report.updates_applied > 0, "old nodes should refresh records: {report:?}");
+    assert!(
+        report.updates_applied > 0,
+        "old nodes should refresh records: {report:?}"
+    );
 
     // Updated records carry version 1 and include the first newcomer.
     let updated = (0..8u64)
@@ -81,7 +96,10 @@ fn update_cap_zero_disables_everything() {
     let report = engine.run_wave(&[NodeId(101)]);
     assert_eq!(report.updates_applied, 0);
     for k in 0..8u64 {
-        assert_eq!(engine.node(NodeId(k)).expect("deployed").record().version, 0);
+        assert_eq!(
+            engine.node(NodeId(k)).expect("deployed").record().version,
+            0
+        );
     }
 }
 
@@ -151,7 +169,9 @@ fn malicious_creep_is_bounded_by_theorem4() {
         let mut next = 300u64;
         for batch in 1..=12u64 {
             let x = origin.x + step * batch as f64;
-            engine.place_replica(w, Point::new(x, 75.0)).expect("compromised");
+            engine
+                .place_replica(w, Point::new(x, 75.0))
+                .expect("compromised");
             let mut wave = Vec::new();
             for k in 0..(t + 2) as u64 {
                 let id = NodeId(next);

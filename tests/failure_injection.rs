@@ -28,7 +28,9 @@ fn lossy_links_reduce_but_never_corrupt() {
     let clean_edges = clean.functional_topology().edge_count();
 
     let mut lossy = engine(3, 1);
-    lossy.sim_mut().set_link_model(AnyLinkModel::LossyDisk(LossyDisk::new(0.3)));
+    lossy
+        .sim_mut()
+        .set_link_model(AnyLinkModel::LossyDisk(LossyDisk::new(0.3)));
     let ids = lossy.deploy_uniform(150);
     lossy.run_wave(&ids);
     let lossy_edges = lossy.functional_topology().edge_count();
@@ -143,7 +145,12 @@ fn garbage_frames_are_dropped_and_counted() {
     // And discovery still works.
     let connected = ids
         .iter()
-        .filter(|id| !eng.node(**id).expect("deployed").functional_neighbors().is_empty())
+        .filter(|id| {
+            !eng.node(**id)
+                .expect("deployed")
+                .functional_neighbors()
+                .is_empty()
+        })
         .count();
     assert!(connected > 0);
 }
@@ -153,12 +160,14 @@ fn attack_under_loss_still_bounded() {
     // Security does not depend on reliable links: with 20% loss AND a
     // replica attack, the 2R bound still holds.
     let mut eng = engine(2, 5);
-    eng.sim_mut().set_link_model(AnyLinkModel::LossyDisk(LossyDisk::new(0.2)));
+    eng.sim_mut()
+        .set_link_model(AnyLinkModel::LossyDisk(LossyDisk::new(0.2)));
     let ids = eng.deploy_uniform(200);
     eng.run_wave(&ids);
 
     eng.compromise(ids[0]).expect("operational");
-    eng.place_replica(ids[0], Point::new(190.0, 190.0)).expect("compromised");
+    eng.place_replica(ids[0], Point::new(190.0, 190.0))
+        .expect("compromised");
     eng.deploy_at(NodeId(5000), Point::new(188.0, 188.0));
     eng.run_wave(&[NodeId(5000)]);
 
@@ -184,7 +193,8 @@ fn replay_of_hello_floods_is_harmless() {
     use secure_neighbor_discovery::core::protocol::Message;
     // Replay 100 Hello broadcasts under a bogus identity.
     for _ in 0..100 {
-        eng.sim_mut().broadcast(ids[0], Message::Hello { from: NodeId(4242) }.encode());
+        eng.sim_mut()
+            .broadcast(ids[0], Message::Hello { from: NodeId(4242) }.encode());
     }
     // Run an unrelated wave to pump the queues.
     eng.deploy_at(NodeId(6000), Point::new(5.0, 5.0));

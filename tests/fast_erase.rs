@@ -23,7 +23,12 @@ fn engine(fast: bool, t: usize, seed: u64) -> DiscoveryEngine {
     if fast {
         config = config.with_fast_erase();
     }
-    DiscoveryEngine::new(Field::square(200.0), RadioSpec::uniform(RANGE), config, seed)
+    DiscoveryEngine::new(
+        Field::square(200.0),
+        RadioSpec::uniform(RANGE),
+        config,
+        seed,
+    )
 }
 
 #[test]
@@ -46,9 +51,9 @@ fn fast_variant_produces_the_same_functional_topology() {
 #[test]
 fn master_key_dies_at_commit_not_finalize() {
     // Drive one node manually through the lifecycle to observe the window.
+    use rand::SeedableRng;
     use secure_neighbor_discovery::core::protocol::ProtocolNode;
     use secure_neighbor_discovery::crypto::keys::SymmetricKey;
-    use rand::SeedableRng;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let master = SymmetricKey::random(&mut rng);
@@ -79,7 +84,11 @@ fn master_key_dies_at_commit_not_finalize() {
     );
     node.accept_record(peer_record, &ops).unwrap();
     let out = node.finalize_discovery(&mut rng, &ops).unwrap();
-    assert_eq!(out.commitments.len(), 1, "t=0 with 1 shared neighbor validates");
+    assert_eq!(
+        out.commitments.len(),
+        1,
+        "t=0 with 1 shared neighbor validates"
+    );
 }
 
 #[test]
@@ -99,9 +108,9 @@ fn compromised_node_cannot_forge_its_own_record() {
 
 #[test]
 fn mid_discovery_capture_is_a_local_break_only() {
+    use rand::SeedableRng;
     use secure_neighbor_discovery::core::protocol::ProtocolNode;
     use secure_neighbor_discovery::crypto::keys::SymmetricKey;
-    use rand::SeedableRng;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let master = SymmetricKey::random(&mut rng);
@@ -121,7 +130,10 @@ fn mid_discovery_capture_is_a_local_break_only() {
     assert!(captured.master_key.is_none());
     // But the neighborhood's record keys leaked: the attacker can forge a
     // record for neighbor 1...
-    let leaked_rk1 = captured.neighbor_record_keys.get(&NodeId(1)).expect("leaked");
+    let leaked_rk1 = captured
+        .neighbor_record_keys
+        .get(&NodeId(1))
+        .expect("leaked");
     let forged = BindingRecord::create(
         leaked_rk1,
         NodeId(1),
@@ -141,7 +153,8 @@ fn replica_attack_still_bounded_in_fast_mode() {
     eng.run_wave(&ids);
     for &id in ids.iter().take(3) {
         eng.compromise(id).expect("operational");
-        eng.place_replica(id, Point::new(190.0, 190.0)).expect("compromised");
+        eng.place_replica(id, Point::new(190.0, 190.0))
+            .expect("compromised");
     }
     eng.deploy_at(NodeId(8_000), Point::new(192.0, 192.0));
     eng.run_wave(&[NodeId(8_000)]);
@@ -160,17 +173,15 @@ fn updates_work_in_fast_mode() {
     let mut config = ProtocolConfig::with_threshold(1).with_fast_erase();
     config.max_updates = 3;
     config.issue_evidence = true;
-    let mut eng = DiscoveryEngine::new(
-        Field::square(200.0),
-        RadioSpec::uniform(RANGE),
-        config,
-        11,
-    );
+    let mut eng = DiscoveryEngine::new(Field::square(200.0), RadioSpec::uniform(RANGE), config, 11);
     // A tight cluster, then two newcomers to evidence + refresh.
     let mut ids = Vec::new();
     for k in 0..6u64 {
         let id = NodeId(k);
-        eng.deploy_at(id, Point::new(50.0 + 8.0 * (k % 3) as f64, 50.0 + 8.0 * (k / 3) as f64));
+        eng.deploy_at(
+            id,
+            Point::new(50.0 + 8.0 * (k % 3) as f64, 50.0 + 8.0 * (k / 3) as f64),
+        );
         ids.push(id);
     }
     eng.run_wave(&ids);
@@ -198,8 +209,7 @@ fn mixed_mode_networks_are_incompatible_by_design() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let master = SymmetricKey::random(&mut rng);
     let ops = HashCounter::detached();
-    let base_record =
-        BindingRecord::create(&master, NodeId(1), 0, Default::default(), &ops);
+    let base_record = BindingRecord::create(&master, NodeId(1), 0, Default::default(), &ops);
     let rk = record_key(&master, NodeId(1), &ops);
     assert!(!base_record.verify(&rk, &ops));
     let fast_record = BindingRecord::create(&rk, NodeId(1), 0, Default::default(), &ops);

@@ -26,14 +26,20 @@ fn wormholed_engine(direct_verification: bool, seed: u64) -> (DiscoveryEngine, V
     let mut ids = Vec::new();
     for k in 0..10u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64),
+        );
         ids.push(id);
     }
     for k in 10..20u64 {
         let id = NodeId(k);
         engine.deploy_at(
             id,
-            Point::new(720.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * ((k - 10) / 5) as f64),
+            Point::new(
+                720.0 + 12.0 * (k % 5) as f64,
+                40.0 + 20.0 * ((k - 10) / 5) as f64,
+            ),
         );
         ids.push(id);
     }
@@ -71,7 +77,10 @@ fn without_direct_verification_the_wormhole_wins_tentatively() {
             pu.distance(&pv) > 600.0
         })
         .count();
-    assert!(long_links > 0, "the tunnel should have created long tentative links");
+    assert!(
+        long_links > 0,
+        "the tunnel should have created long tentative links"
+    );
 
     // ...and because a wormhole relays honest traffic symmetrically, the
     // binding records of both sides commit each other: the threshold rule
@@ -106,12 +115,17 @@ fn replica_passes_direct_verification_but_not_validation() {
     let mut ids = Vec::new();
     for k in 0..10u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64),
+        );
         ids.push(id);
     }
     engine.run_wave(&ids);
     engine.compromise(NodeId(0)).expect("operational");
-    engine.place_replica(NodeId(0), Point::new(740.0, 60.0)).expect("compromised");
+    engine
+        .place_replica(NodeId(0), Point::new(740.0, 60.0))
+        .expect("compromised");
     engine.deploy_at(NodeId(99), Point::new(742.0, 62.0));
     engine.run_wave(&[NodeId(99)]);
 
@@ -139,7 +153,10 @@ fn late_wormhole_scenario(direct_verification: bool, seed: u64) -> DiscoveryEngi
     let mut ids = Vec::new();
     for k in 0..10u64 {
         let id = NodeId(k);
-        engine.deploy_at(id, Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64));
+        engine.deploy_at(
+            id,
+            Point::new(20.0 + 12.0 * (k % 5) as f64, 40.0 + 20.0 * (k / 5) as f64),
+        );
         ids.push(id);
     }
     engine.run_wave(&ids);
@@ -188,5 +205,8 @@ fn late_wormhole_defeats_the_protocol_without_direct_verification() {
         .filter_map(|v| engine.deployment().position(*v))
         .map(|p| p.distance(&origin))
         .fold(0.0f64, f64::max);
-    assert!(longest > 600.0, "the false links span the field: {longest:.0} m");
+    assert!(
+        longest > 600.0,
+        "the false links span the field: {longest:.0} m"
+    );
 }

@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion`, scoped to what this workspace uses.
+//!
+//! Implements `Criterion`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated loop around `std::time::Instant` — no statistics, plots, or
+//! regression detection — printing one mean-per-iteration line per
+//! benchmark.
+//!
+//! When invoked by `cargo test` (libtest passes `--test`), benchmarks run
+//! exactly one iteration as a smoke check, mirroring real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(60);
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, libtest-style args include `--test`; run each
+        // bench once instead of measuring.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self.quick, &id.0, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; measurement
+    /// here is time-targeted, so this only scales the measuring window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the amount of work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion.quick, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion.quick, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work performed per iteration, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(quick: bool, label: &str, tp: Option<Throughput>, mut f: F) {
+    if quick {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {label}: ok (smoke)");
+        return;
+    }
+    // Calibrate: time one iteration, then size the measuring loop to the
+    // target window.
+    let mut probe = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let iterations = (TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    let mut line = format!("bench {label}: {} ({} iters)", format_ns(mean_ns), b.iterations);
+    if let Some(tp) = tp {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => format_rate(n as f64 / (mean_ns / 1e9), "B/s"),
+            Throughput::Elements(n) => format_rate(n as f64 / (mean_ns / 1e9), "elem/s"),
+        };
+        line.push_str(&format!(" [{per_sec}]"));
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

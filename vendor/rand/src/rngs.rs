@@ -1,0 +1,76 @@
+//! Concrete generators.
+
+use crate::{CryptoRng, RngCore, SeedableRng, SplitMix64};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Upstream `rand` uses ChaCha12 for `StdRng`; this stand-in substitutes a
+/// fast, well-tested statistical generator. All uses in this repository are
+/// deterministic simulation driven by explicit seeds, so only stream quality
+/// and reproducibility matter, not cryptographic strength.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s == [0; 4] {
+            // xoshiro's all-zero state is a fixed point; derive a nonzero
+            // state from SplitMix64 instead, as the reference code suggests.
+            let mut sm = SplitMix64 { state: 0 };
+            for word in &mut s {
+                *word = sm.next();
+            }
+        }
+        StdRng { s }
+    }
+}
+
+// Compatibility marker only — see the trait docs. StdRng here is xoshiro,
+// which is *not* cryptographically secure; the simulation does not need it
+// to be.
+impl CryptoRng for StdRng {}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs.
+//!
+//! The real `serde` cannot be fetched in the air-gapped build environment,
+//! so this crate provides a much smaller contract with the same *derive
+//! surface*: `#[derive(Serialize, Deserialize)]` compiles on plain structs
+//! and enums, and [`Serialize`] renders values directly as JSON text. That
+//! is exactly what the workspace uses serde for — machine-readable run
+//! reports (JSONL) emitted by the bench binaries.
+//!
+//! Differences from upstream worth knowing about:
+//! - [`Serialize`] writes JSON into a `String` instead of driving a generic
+//!   `Serializer`; there is exactly one output format.
+//! - [`Deserialize`] is a marker trait only. Nothing in the workspace parses
+//!   serialized values back yet; the derive exists so existing
+//!   `#[derive(..., Deserialize)]` attributes keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+/// JSON rendering entry points.
+pub mod json {
+    use super::Serialize;
+
+    /// Serializes `value` to a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize(&mut out);
+        out
+    }
+}
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Marker for types deserializable in upstream serde. See the crate docs.
+pub trait Deserialize {}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(itoa_buffer(&mut [0u8; 40], *self as i128));
+            }
+        }
+
+        impl Deserialize for $t {}
+    )*};
+}
+
+/// Formats an integer without going through `fmt` machinery.
+fn itoa_buffer(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {}
+
+macro_rules! serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's shortest-roundtrip Display output is valid JSON.
+                    let s = format!("{}", self);
+                    out.push_str(&s);
+                } else {
+                    // JSON has no NaN/Infinity; null is the least-bad option.
+                    out.push_str("null");
+                }
+            }
+        }
+
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        ser::string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        ser::string(out, self);
+    }
+}
+
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        ser::string(out, self.encode_utf8(&mut buf));
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        ser::seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        ser::seq(out, self.iter());
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut String) {
+        ser::seq(out, self.iter());
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, out: &mut String) {
+        ser::seq(out, self.iter());
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            ser::map_key(out, k);
+            out.push(':');
+            v.serialize(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-7i32), "-7");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers_render_as_json() {
+        assert_eq!(json::to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        let mut m = BTreeMap::new();
+        m.insert(2u64, "b");
+        m.insert(1u64, "a");
+        assert_eq!(json::to_string(&m), "{\"1\":\"a\",\"2\":\"b\"}");
+        assert_eq!(json::to_string(&(1u8, "x")), "[1,\"x\"]");
+    }
+}

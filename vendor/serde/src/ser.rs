@@ -1,0 +1,66 @@
+//! Helpers shared by hand-written impls and `derive(Serialize)` expansions.
+
+use super::Serialize;
+
+/// Writes `s` as a JSON string literal (quoted, escaped).
+pub fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `"name":` — an object key followed by the separator.
+pub fn key(out: &mut String, name: &str) {
+    string(out, name);
+    out.push(':');
+}
+
+/// Writes one field of a JSON object, managing the leading comma.
+pub fn field<T: Serialize + ?Sized>(out: &mut String, first: &mut bool, name: &str, value: &T) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    key(out, name);
+    value.serialize(out);
+}
+
+/// Writes an iterator of values as a JSON array.
+pub fn seq<T: Serialize>(out: &mut String, items: impl Iterator<Item = T>) {
+    out.push('[');
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        item.serialize(out);
+    }
+    out.push(']');
+}
+
+/// Writes a map key: serializes `k` and string-wraps it if it did not
+/// already render as a JSON string (JSON object keys must be strings).
+pub fn map_key<K: Serialize>(out: &mut String, k: &K) {
+    let mut rendered = String::new();
+    k.serialize(&mut rendered);
+    if rendered.starts_with('"') {
+        out.push_str(&rendered);
+    } else {
+        out.push('"');
+        out.push_str(&rendered);
+        out.push('"');
+    }
+}

@@ -1,0 +1,290 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable in the air-gapped build). The parser handles the
+//! shapes this workspace actually derives on: plain structs (named, tuple,
+//! unit) and enums whose variants are unit, tuple, or struct-like. Generic
+//! type parameters are rejected with a clear error.
+//!
+//! JSON mapping (mirroring serde's defaults):
+//! - named struct        -> object
+//! - 1-field tuple struct -> the field itself (newtype transparency)
+//! - n-field tuple struct -> array
+//! - unit struct         -> null
+//! - unit enum variant   -> `"Variant"`
+//! - data enum variant   -> externally tagged: `{"Variant": ...}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    format!("impl ::serde::Deserialize for {} {{}}", def.name)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name and field layout from a struct/enum definition.
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the bracketed attribute body.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("the offline serde derive does not support generic types ({name})");
+        }
+    }
+    let shape = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        }
+    };
+    TypeDef { name, shape }
+}
+
+/// Splits a token stream at top-level commas. Delimiter groups are atomic
+/// tokens, but generic angle brackets are plain `Punct`s, so `<`/`>` depth
+/// must be tracked to avoid splitting inside `BTreeMap<K, V>` and friends.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    // `->` (fn-pointer return types) is not a closing angle.
+                    '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        chunks.push(Vec::new());
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            }
+            _ => prev_dash = false,
+        }
+        chunks.last_mut().expect("nonempty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Drops leading `#[...]` attribute tokens from a field/variant chunk.
+fn strip_attrs(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = chunk;
+    while rest.len() >= 2 {
+        match (&rest[0], &rest[1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                rest = &rest[2..];
+            }
+            _ => break,
+        }
+    }
+    rest
+}
+
+/// Extracts field names from a named-struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs(chunk);
+            // The field name is the last ident before the first `:`.
+            let mut name = None;
+            for tt in chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            name.expect("field chunk must contain a name")
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let shape = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("out.push('{');\nlet mut first = true;\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::field(out, &mut first, \"{f}\", &self.{f});\n"
+                ));
+            }
+            b.push_str("let _ = first;\nout.push('}');");
+            b
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, out);".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::serialize(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        b.push_str(&format!(
+                            "{name}::{vn} => ::serde::ser::string(out, \"{vn}\"),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        b.push_str(&format!(
+                            "{name}::{vn}(f0) => {{\n\
+                             out.push('{{');\n\
+                             ::serde::ser::key(out, \"{vn}\");\n\
+                             ::serde::Serialize::serialize(f0, out);\n\
+                             out.push('}}');\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        b.push_str(&format!("{name}::{vn}({}) => {{\n", binds.join(", ")));
+                        b.push_str(&format!(
+                            "out.push('{{');\n::serde::ser::key(out, \"{vn}\");\nout.push('[');\n"
+                        ));
+                        for (i, bind) in binds.iter().enumerate() {
+                            if i > 0 {
+                                b.push_str("out.push(',');\n");
+                            }
+                            b.push_str(&format!("::serde::Serialize::serialize({bind}, out);\n"));
+                        }
+                        b.push_str("out.push(']');\nout.push('}');\n}\n");
+                    }
+                    VariantShape::Named(fields) => {
+                        b.push_str(&format!("{name}::{vn} {{ {} }} => {{\n", fields.join(", ")));
+                        b.push_str(&format!(
+                            "out.push('{{');\n\
+                             ::serde::ser::key(out, \"{vn}\");\n\
+                             out.push('{{');\n\
+                             let mut first = true;\n"
+                        ));
+                        for f in fields {
+                            b.push_str(&format!(
+                                "::serde::ser::field(out, &mut first, \"{f}\", {f});\n"
+                            ));
+                        }
+                        b.push_str("let _ = first;\nout.push('}');\nout.push('}');\n}\n");
+                    }
+                }
+            }
+            b.push('}');
+            b
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut ::std::string::String) {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
