@@ -10,30 +10,16 @@
 //! 3. **protected** — the same attack, network uses the paper's protocol.
 //!
 //! Metrics focus on the attacked nodes (the late-wave "victims" deployed
-//! near replica sites), where the damage concentrates.
+//! near replica sites), where the damage concentrates. Trials fan out over
+//! `SND_THREADS` workers; the output is byte-identical at any thread
+//! count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin app_impact [-- --trials N]`
 
-use rand::Rng;
-use rand::SeedableRng;
-
-use snd_apps::aggregation::{neighborhood_average, Readings};
-use snd_apps::clustering::lowest_id_clustering;
-use snd_apps::routing::route_many;
-use snd_bench::report::{attach_recorder, ExperimentLog};
+use snd_bench::experiments::app_impact::{impact_rows, AppImpactConfig};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_observe::event::EventRecord;
-use snd_observe::registry::MetricsRegistry;
-use snd_observe::report::RunReport;
-use snd_sim::metrics::NodeCounters;
-use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
-use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
-
-const SIDE: f64 = 300.0;
-const NODES: usize = 300;
-const RANGE: f64 = 50.0;
-const REPLICA_SITES: usize = 10;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -43,12 +29,26 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
+    let exec = Executor::from_env();
+
+    let cfg = AppImpactConfig {
+        trials,
+        ..AppImpactConfig::default()
+    };
 
     println!(
-        "E10 — application impact: {NODES} nodes, {SIDE}x{SIDE} m, R = {RANGE} m, \
-         one compromised node replicated at {REPLICA_SITES} sites, {trials} trials. \
-         Metrics are taken at the {REPLICA_SITES} late-deployed nodes next to the \
-         replica sites, where the attack lands."
+        "E10 — application impact: {} nodes, {}x{} m, R = {} m, one \
+         compromised node replicated at {} sites, {} trials. Metrics are \
+         taken at the {} late-deployed nodes next to the replica sites, \
+         where the attack lands. [{} threads]",
+        cfg.nodes,
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        cfg.replica_sites,
+        trials,
+        cfg.replica_sites,
+        exec.threads()
     );
 
     let mut routing = Table::new(
@@ -65,76 +65,19 @@ fn main() {
     );
 
     let mut log = ExperimentLog::create("app_impact");
-    for config in ["honest", "unprotected", "protected"] {
-        let mut delivery = 0.0;
-        let mut losses = 0usize;
-        let mut cluster_dist: f64 = 0.0;
-        let mut max_err: f64 = 0.0;
-        let mut err_sum = 0.0;
-        let mut err_count = 0usize;
-        let mut report = RunReport::new("app_impact", config, 50);
-        report.set_param("nodes", &(NODES as u64));
-        report.set_param("replica_sites", &(REPLICA_SITES as u64));
-        report.set_param("trials", &(trials as u64));
-        let mut registry = MetricsRegistry::new();
-        for trial in 0..trials {
-            let world = build_world(config, 50 + trial as u64);
-            report.totals.unicasts_sent += world.totals.unicasts_sent;
-            report.totals.broadcasts_sent += world.totals.broadcasts_sent;
-            report.totals.received += world.totals.received;
-            report.totals.bytes_sent += world.totals.bytes_sent;
-            report.totals.bytes_received += world.totals.bytes_received;
-            report.hash_ops += world.hash_ops;
-            registry.ingest_events(&world.events);
-            // Routing: every victim sends to 10 random destinations.
-            let mut rng = rand::rngs::StdRng::seed_from_u64(90 + trial as u64);
-            let ids: Vec<NodeId> = world.deployment.ids().collect();
-            let mut pairs = Vec::new();
-            for &v in &world.victims {
-                for _ in 0..10 {
-                    pairs.push((v, ids[rng.gen_range(0..ids.len())]));
-                }
-            }
-            let stats = route_many(
-                &world.believed,
-                &world.physical,
-                &world.deployment,
-                &pairs,
-                128,
-            );
-            delivery += stats.delivery_ratio();
-            losses += stats.lost_to_false_neighbors;
-
-            let clusters = lowest_id_clustering(&world.believed);
-            cluster_dist = cluster_dist.max(clusters.max_member_distance(&world.deployment));
-
-            // Attack-induced aggregation error: believed average vs the
-            // average restricted to physically genuine believed neighbors.
-            let readings = Readings::gradient(&world.deployment, 1.0);
-            for &v in &world.victims {
-                let believed_avg = neighborhood_average(&world.believed, &readings, v);
-                let genuine = genuine_subgraph(&world.believed, &world.physical, v);
-                let genuine_avg = neighborhood_average(&genuine, &readings, v);
-                if let (Some(a), Some(b)) = (believed_avg, genuine_avg) {
-                    let e = (a - b).abs();
-                    max_err = max_err.max(e);
-                    err_sum += e;
-                    err_count += 1;
-                }
-            }
-        }
-        let mean_delivery = delivery / trials as f64;
-        let mean_err = err_sum / err_count.max(1) as f64;
-        routing.row(&[config.into(), f3(mean_delivery), losses.to_string()]);
-        clustering.row(&[config.into(), f1(cluster_dist)]);
-        aggregation.row(&[config.into(), f1(max_err), f1(mean_err)]);
-        report.set_outcome("delivery_ratio", &mean_delivery);
-        report.set_outcome("lost_to_false_neighbors", &(losses as u64));
-        report.set_outcome("max_member_distance_m", &cluster_dist);
-        report.set_outcome("max_injected_error", &max_err);
-        report.set_outcome("mean_injected_error", &mean_err);
-        report.capture_registry(&mut registry);
-        log.append(&report);
+    for row in impact_rows(&cfg, &exec) {
+        routing.row(&[
+            row.config.into(),
+            f3(row.delivery_ratio),
+            row.lost_to_false_neighbors.to_string(),
+        ]);
+        clustering.row(&[row.config.into(), f1(row.max_member_distance)]);
+        aggregation.row(&[
+            row.config.into(),
+            f1(row.max_injected_error),
+            f1(row.mean_injected_error),
+        ]);
+        log.append(&row.report);
     }
 
     routing.print();
@@ -148,93 +91,4 @@ fn main() {
          far-away readings into local averages; 'protected' tracks 'honest' \
          on every metric."
     );
-}
-
-/// The believed subgraph of `v`'s edges that are physically real.
-fn genuine_subgraph(believed: &DiGraph, physical: &DiGraph, v: NodeId) -> DiGraph {
-    let mut g = DiGraph::new();
-    g.add_node(v);
-    for u in believed.out_neighbors(v) {
-        if physical.has_edge(v, u) {
-            g.add_edge(v, u);
-        }
-    }
-    g
-}
-
-struct World {
-    deployment: Deployment,
-    /// What the nodes believe after (possibly attacked) discovery.
-    believed: DiGraph,
-    /// What radios can physically do (benign reachability only).
-    physical: DiGraph,
-    /// The late-wave nodes deployed next to the replica sites.
-    victims: Vec<NodeId>,
-    /// Transport counters of this trial's discovery.
-    totals: NodeCounters,
-    /// Hash operations of this trial's discovery.
-    hash_ops: u64,
-    /// The trial's recorded event stream.
-    events: Vec<EventRecord>,
-}
-
-fn build_world(config: &str, seed: u64) -> World {
-    let attack = config != "honest";
-    let protected = config == "protected";
-
-    let mut engine = DiscoveryEngine::new(
-        Field::square(SIDE),
-        RadioSpec::uniform(RANGE),
-        ProtocolConfig::with_threshold(5).without_updates(),
-        seed,
-    );
-    let recorder = attach_recorder(&mut engine);
-    let ids = engine.deploy_uniform(NODES);
-    engine.run_wave(&ids);
-
-    // The node with the smallest ID is the juiciest replication target for
-    // lowest-ID clustering.
-    let target = ids[0];
-    if attack {
-        engine.compromise(target).expect("operational");
-    }
-
-    // Same late-wave deployments in every configuration; replicas only in
-    // the attacked ones.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
-    let first = engine.deployment().next_id().raw();
-    let mut victims = Vec::new();
-    for next in first..first + REPLICA_SITES as u64 {
-        let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
-        if attack {
-            engine.place_replica(target, site).expect("compromised");
-        }
-        let victim = NodeId(next);
-        engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(SIDE)));
-        engine.run_wave(&[victim]);
-        victims.push(victim);
-    }
-
-    let believed = if !attack || protected {
-        // Honest networks and protected networks act on the functional
-        // topology the protocol produced.
-        engine.functional_topology()
-    } else {
-        // Unprotected networks act on raw tentative lists.
-        engine.tentative_topology()
-    };
-
-    // Physical reachability for benign traffic: original positions only
-    // (a replica forwards nothing — it is the attacker's radio).
-    let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(RANGE));
-
-    World {
-        deployment: engine.deployment().clone(),
-        believed,
-        physical,
-        victims,
-        totals: engine.sim().metrics().totals(),
-        hash_ops: engine.hash_ops(),
-        events: recorder.take(),
-    }
 }

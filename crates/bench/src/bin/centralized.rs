@@ -7,24 +7,15 @@
 //! network-wide reporting traffic and quarantines the compromised node's
 //! *home* relations too, while the localized protocol spends only
 //! neighbor-local messages and keeps the (harmless) home relations.
+//! Trials fan out over `SND_THREADS` workers; the output is byte-identical
+//! at any thread count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin centralized [-- --trials N]`
 
-use rand::Rng;
-use rand::SeedableRng;
-
-use snd_bench::report::{attach_recorder, ExperimentLog};
+use snd_bench::experiments::centralized::{localized_vs_centralized, CentralizedConfig};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
-use snd_core::model::centralized::centralized_validation;
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_observe::registry::MetricsRegistry;
-use snd_observe::report::RunReport;
-use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
-use snd_topology::{Field, NodeId, Point};
-
-const SIDE: f64 = 300.0;
-const NODES: usize = 350;
-const RANGE: f64 = 50.0;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,113 +25,27 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let exec = Executor::from_env();
+
+    let cfg = CentralizedConfig {
+        trials,
+        ..CentralizedConfig::default()
+    };
 
     println!(
         "Ablation — localized protocol vs centralized base-station validation: \
-         {NODES} nodes, {SIDE}x{SIDE} m, R = {RANGE} m, {trials} trials, one \
-         compromised node replicated at 5 sites."
+         {} nodes, {}x{} m, R = {} m, {} trials, one compromised node \
+         replicated at {} sites. [{} threads]",
+        cfg.nodes,
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        trials,
+        cfg.replica_sites,
+        exec.threads()
     );
 
-    let mut contained_local = 0usize;
-    let mut contained_central = 0usize;
-    let mut msgs_local = 0.0;
-    let mut msgs_central = 0.0;
-    let mut home_relations_kept_local = 0usize;
-    let mut home_relations_kept_central = 0usize;
-    let mut home_relations_total = 0usize;
-
-    let mut report = RunReport::new("centralized", "localized_vs_central", 9_000);
-    report.set_param("nodes", &(NODES as u64));
-    report.set_param("trials", &(trials as u64));
-    report.set_param("replica_sites", &5u64);
-    let mut registry = MetricsRegistry::new();
-    for trial in 0..trials {
-        let mut engine = DiscoveryEngine::new(
-            Field::square(SIDE),
-            RadioSpec::uniform(RANGE),
-            ProtocolConfig::with_threshold(5).without_updates(),
-            9_000 + trial as u64,
-        );
-        report.set_config(&engine.config());
-        let recorder = attach_recorder(&mut engine);
-        let ids = engine.deploy_uniform(NODES);
-        engine.run_wave(&ids);
-        let target = ids[0];
-        let origin = engine.deployment().position(target).expect("placed");
-        engine.compromise(target).expect("operational");
-
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12_000 + trial as u64);
-        let first = engine.deployment().next_id().raw();
-        for next in first..first + 5 {
-            let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
-            engine.place_replica(target, site).expect("compromised");
-            let victim = NodeId(next);
-            engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(SIDE)));
-            engine.run_wave(&[victim]);
-        }
-
-        // --- Localized (the paper's protocol). ---
-        let functional = engine.functional_topology();
-        let local_contained = functional
-            .in_neighbors(target)
-            .filter(|v| !engine.adversary().controls(*v))
-            .filter_map(|v| engine.deployment().position(v))
-            .all(|p| p.distance(&origin) <= 2.0 * RANGE);
-        if local_contained {
-            contained_local += 1;
-        }
-        msgs_local += engine.sim().metrics().mean_sent_per_node();
-
-        // --- Centralized (base station = node nearest the field center). ---
-        // Claims are the tentative topology; reports route over physical
-        // connectivity (original positions).
-        let tentative = engine.tentative_topology();
-        let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(RANGE));
-        let base = engine
-            .deployment()
-            .nearest(Field::square(SIDE).center())
-            .expect("populated")
-            .0;
-        let central = centralized_validation(&tentative, &physical, base, 3);
-        let central_contained = central
-            .functional
-            .in_neighbors(target)
-            .filter_map(|v| engine.deployment().position(v))
-            .all(|p| p.distance(&origin) <= 2.0 * RANGE);
-        if central_contained {
-            contained_central += 1;
-        }
-        msgs_central += central.report_messages as f64 / NODES as f64;
-
-        // Collateral damage: the compromised node's *genuine home*
-        // relations (benign nodes within R of its origin) — the paper's
-        // protocol keeps them (impact ≤ 2R is tolerated by design), the
-        // centralized detector quarantines the whole identity.
-        for (v, p) in engine.deployment().iter() {
-            if v != target
-                && !engine.adversary().controls(v)
-                && p.distance(&origin) <= RANGE
-                && tentative.has_edge(v, target)
-            {
-                home_relations_total += 1;
-                if functional.has_edge(v, target) {
-                    home_relations_kept_local += 1;
-                }
-                if central.functional.has_edge(v, target) {
-                    home_relations_kept_central += 1;
-                }
-            }
-        }
-
-        let totals = engine.sim().metrics().totals();
-        report.totals.unicasts_sent += totals.unicasts_sent;
-        report.totals.broadcasts_sent += totals.broadcasts_sent;
-        report.totals.received += totals.received;
-        report.totals.bytes_sent += totals.bytes_sent;
-        report.totals.bytes_received += totals.bytes_received;
-        report.hash_ops += engine.hash_ops();
-        registry.ingest_events(&recorder.take());
-    }
+    let out = localized_vs_centralized(&cfg, &exec);
 
     let mut table = Table::new(
         "Localized protocol vs centralized base-station validation",
@@ -148,23 +53,29 @@ fn main() {
     );
     table.row(&[
         "P[attack contained to 2R]".into(),
-        f3(contained_local as f64 / trials as f64),
-        f3(contained_central as f64 / trials as f64),
+        f3(out.contained_p_localized),
+        f3(out.contained_p_centralized),
     ]);
     table.row(&[
         "whole-discovery msgs/node".into(),
-        f1(msgs_local / trials as f64),
+        f1(out.msgs_per_node_localized),
         "same + reports".into(),
     ]);
     table.row(&[
         "extra validation msgs/node".into(),
         "0 (in-band)".into(),
-        format!("{:.1} hops/report", msgs_central / trials as f64),
+        format!("{:.1} hops/report", out.report_hops_per_node_centralized),
     ]);
     table.row(&[
         "home relations kept".into(),
-        format!("{home_relations_kept_local}/{home_relations_total}"),
-        format!("{home_relations_kept_central}/{home_relations_total}"),
+        format!(
+            "{}/{}",
+            out.home_relations_kept_localized, out.home_relations_total
+        ),
+        format!(
+            "{}/{}",
+            out.home_relations_kept_centralized, out.home_relations_total
+        ),
     ]);
     table.row(&[
         "needs trusted base station".into(),
@@ -179,30 +90,7 @@ fn main() {
     table.print();
 
     let mut log = ExperimentLog::create("centralized");
-    report.set_outcome(
-        "contained_p_localized",
-        &(contained_local as f64 / trials as f64),
-    );
-    report.set_outcome(
-        "contained_p_centralized",
-        &(contained_central as f64 / trials as f64),
-    );
-    report.set_outcome("msgs_per_node_localized", &(msgs_local / trials as f64));
-    report.set_outcome(
-        "report_hops_per_node_centralized",
-        &(msgs_central / trials as f64),
-    );
-    report.set_outcome(
-        "home_relations_kept_localized",
-        &(home_relations_kept_local as u64),
-    );
-    report.set_outcome(
-        "home_relations_kept_centralized",
-        &(home_relations_kept_central as u64),
-    );
-    report.set_outcome("home_relations_total", &(home_relations_total as u64));
-    report.capture_registry(&mut registry);
-    log.append(&report);
+    log.append(&out.report);
     log.finish();
 
     println!(

@@ -9,22 +9,15 @@
 //! * **Communication**: Parno's schemes route claims network-wide; the
 //!   protocol exchanges messages only between direct neighbors.
 //!
+//! Table rows fan out over `SND_THREADS` workers; the output is
+//! byte-identical at any thread count.
+//!
 //! Run: `cargo run -p snd-bench --release --bin compare_parno [-- --trials N]`
 
-use rand::SeedableRng;
-
-use snd_baselines::{LineSelectedMulticast, RandomizedMulticast};
-use snd_bench::report::{attach_recorder, ExperimentLog};
+use snd_bench::experiments::compare_parno::{replica_rows, CompareParnoConfig};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_observe::registry::MetricsRegistry;
-use snd_observe::report::RunReport;
-use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
-use snd_topology::{Deployment, Field, NodeId, Point};
-
-const SIDE: f64 = 400.0;
-const NODES: usize = 500;
-const RANGE: f64 = 50.0;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,10 +27,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let exec = Executor::from_env();
+
+    let cfg = CompareParnoConfig {
+        trials,
+        ..CompareParnoConfig::default()
+    };
 
     println!(
-        "E8 — vs Parno et al.: {NODES} nodes, {SIDE}x{SIDE} m, R = {RANGE} m, \
-         {trials} trials; one compromised node replicated at k sites."
+        "E8 — vs Parno et al.: {} nodes, {}x{} m, R = {} m, {} trials; one \
+         compromised node replicated at k sites. [{} threads]",
+        cfg.nodes,
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        trials,
+        exec.threads()
     );
 
     let mut table = Table::new(
@@ -54,27 +59,17 @@ fn main() {
     );
 
     let mut log = ExperimentLog::create("compare_parno");
-    for sites in [1usize, 2, 4, 6, 10] {
-        let (rand_p, rand_msgs) = parno_trial(sites, trials, true);
-        let (line_p, line_msgs) = parno_trial(sites, trials, false);
-        let (prevent_p, local_msgs, mut report) = protocol_trial(sites, trials);
+    for row in replica_rows(&cfg, &exec) {
         table.row(&[
-            sites.to_string(),
-            f3(rand_p),
-            f1(rand_msgs),
-            f3(line_p),
-            f1(line_msgs),
-            f3(prevent_p),
-            f1(local_msgs),
+            row.sites.to_string(),
+            f3(row.randomized_p),
+            f1(row.randomized_msgs),
+            f3(row.line_p),
+            f1(row.line_msgs),
+            f3(row.prevent_p),
+            f1(row.protocol_msgs_per_node),
         ]);
-        report.set_param("trials", &(trials as u64));
-        report.set_outcome("randomized_detect_p", &rand_p);
-        report.set_outcome("randomized_msgs", &rand_msgs);
-        report.set_outcome("line_selected_detect_p", &line_p);
-        report.set_outcome("line_selected_msgs", &line_msgs);
-        report.set_outcome("protocol_prevent_p", &prevent_p);
-        report.set_outcome("protocol_msgs_per_node", &local_msgs);
-        log.append(&report);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
@@ -86,117 +81,4 @@ fn main() {
          cost is a constant number of neighbor-local messages per node. \
          (3) The protocol needs no location information at all."
     );
-}
-
-/// Runs Parno detection over random replica placements; returns
-/// (detection probability, mean messages per incident).
-fn parno_trial(sites: usize, trials: usize, randomized: bool) -> (f64, f64) {
-    let mut detected = 0usize;
-    let mut messages = 0u64;
-    for trial in 0..trials {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(900 + trial as u64);
-        let d = Deployment::uniform(Field::square(SIDE), NODES, &mut rng);
-        let g = unit_disk_graph(&d, &RadioSpec::uniform(RANGE));
-        let target = NodeId(0);
-        let mut announce = vec![d.position(target).expect("node 0 deployed")];
-        for s in 0..sites {
-            use rand::Rng;
-            let _ = s;
-            announce.push(Point::new(
-                rng.gen_range(0.0..SIDE),
-                rng.gen_range(0.0..SIDE),
-            ));
-        }
-        let out = if randomized {
-            // Parno et al.'s tuning: p * d * g = sqrt(n). With mean degree
-            // d = D*pi*R^2 and g = 1, p = sqrt(n) / d.
-            let degree = NODES as f64 / (SIDE * SIDE) * std::f64::consts::PI * RANGE * RANGE;
-            RandomizedMulticast {
-                witnesses_per_neighbor: 1,
-                forward_probability: ((NODES as f64).sqrt() / degree).min(1.0),
-                tolerance: 1.0,
-            }
-            .detect(&d, &g, target, &announce, &mut rng)
-        } else {
-            LineSelectedMulticast::default().detect(&d, &g, target, &announce, &mut rng)
-        };
-        if out.detected {
-            detected += 1;
-        }
-        messages += out.messages;
-    }
-    (
-        detected as f64 / trials as f64,
-        messages as f64 / trials as f64,
-    )
-}
-
-/// Runs the protocol under the same replica attack; returns
-/// (prevention probability, mean per-node messages of the whole discovery)
-/// plus a report whose counters sum over every trial engine.
-fn protocol_trial(sites: usize, trials: usize) -> (f64, f64, RunReport) {
-    let t = 5usize;
-    let mut prevented = 0usize;
-    let mut msgs_per_node = 0.0;
-    let mut report = RunReport::new("compare_parno", format!("sites={sites}"), 1_700);
-    report.set_param("nodes", &(NODES as u64));
-    report.set_param("threshold", &(t as u64));
-    report.set_param("replica_sites", &(sites as u64));
-    let mut registry = MetricsRegistry::new();
-    for trial in 0..trials {
-        let mut engine = DiscoveryEngine::new(
-            Field::square(SIDE),
-            RadioSpec::uniform(RANGE),
-            ProtocolConfig::with_threshold(t).without_updates(),
-            1_700 + trial as u64,
-        );
-        report.set_config(&engine.config());
-        let recorder = attach_recorder(&mut engine);
-        let ids = engine.deploy_uniform(NODES);
-        engine.run_wave(&ids);
-        let target = ids[0];
-        engine.compromise(target).expect("operational");
-
-        // Replicas at random sites, each luring one fresh victim.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3_400 + trial as u64);
-        let origin = engine.deployment().position(target).expect("placed");
-        let mut remote_accept = false;
-        let first = engine.deployment().next_id().raw();
-        for next in first..first + sites as u64 {
-            use rand::Rng;
-            let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
-            engine.place_replica(target, site).expect("compromised");
-            let victim = NodeId(next);
-            engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(SIDE)));
-            engine.run_wave(&[victim]);
-            let v = engine.node(victim).expect("deployed");
-            let vpos = engine.deployment().position(victim).expect("placed");
-            if v.functional_neighbors().contains(&target) && vpos.distance(&origin) > 2.0 * RANGE {
-                remote_accept = true;
-            }
-        }
-        if !remote_accept {
-            prevented += 1;
-        }
-        msgs_per_node += engine.sim().metrics().mean_sent_per_node();
-
-        let totals = engine.sim().metrics().totals();
-        report.totals.unicasts_sent += totals.unicasts_sent;
-        report.totals.broadcasts_sent += totals.broadcasts_sent;
-        report.totals.received += totals.received;
-        report.totals.bytes_sent += totals.bytes_sent;
-        report.totals.bytes_received += totals.bytes_received;
-        report.hash_ops += engine.hash_ops();
-        registry.ingest_events(&recorder.take());
-    }
-    registry.set("sim.unicasts_sent", report.totals.unicasts_sent);
-    registry.set("sim.broadcasts_sent", report.totals.broadcasts_sent);
-    registry.set("sim.bytes_sent", report.totals.bytes_sent);
-    registry.set("sim.hash_ops", report.hash_ops);
-    report.capture_registry(&mut registry);
-    (
-        prevented as f64 / trials as f64,
-        msgs_per_node / trials as f64,
-        report,
-    )
 }

@@ -3,26 +3,39 @@
 //!
 //! Reproduces both curves: the closed-form theory (Section 4.5.1) and the
 //! protocol simulation on the paper's scenario (200 nodes, 100 × 100 m,
-//! R = 50 m, measured at the field center).
+//! R = 50 m, measured at the field center). Trials fan out over
+//! `SND_THREADS` workers; the output is byte-identical at any thread
+//! count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin fig3 [-- --trials N] [--ablation]`
 
+use snd_bench::experiments::figures::{fig3_rows, fractional_ablation_rows, Fig3Config};
 use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f3, Table};
-use snd_bench::{figure_report, paper_scenario, simulate_center_accuracy_observed};
-use snd_core::analysis::validated_fraction_theory;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = arg_value(&args, "--trials").unwrap_or(10);
     let ablation = args.iter().any(|a| a == "--ablation");
+    let exec = Executor::from_env();
 
-    let scenario = paper_scenario();
-    let density = scenario.density();
+    let cfg = Fig3Config {
+        trials,
+        ..Fig3Config::default()
+    };
+    let scenario = cfg.scenario;
 
     println!(
-        "Figure 3 reproduction: {} nodes, {}x{} m, R = {} m, density = {} /m^2, {} trials",
-        scenario.nodes, scenario.side, scenario.side, scenario.range, density, trials
+        "Figure 3 reproduction: {} nodes, {}x{} m, R = {} m, density = {} /m^2, \
+         {} trials [{} threads]",
+        scenario.nodes,
+        scenario.side,
+        scenario.side,
+        scenario.range,
+        scenario.density(),
+        trials,
+        exec.threads()
     );
 
     let mut table = Table::new(
@@ -30,21 +43,26 @@ fn main() {
         &["t", "theory", "simulation"],
     );
     let mut log = ExperimentLog::create("fig3");
-    for t in [0usize, 10, 20, 30, 45, 60, 80, 100, 120, 150, 180] {
-        let seed = 2009 + t as u64;
-        let theory = validated_fraction_theory(t, density, scenario.range);
-        let stats = simulate_center_accuracy_observed(scenario, t, trials, seed);
-        let sim = stats.mean.unwrap_or(0.0);
-        table.row(&[t.to_string(), f3(theory), f3(sim)]);
-        let mut report = figure_report("fig3", scenario, t, trials, seed, &stats);
-        report.set_outcome("theory_accuracy", &theory);
-        log.append(&report);
+    for row in fig3_rows(&cfg, &exec) {
+        table.row(&[row.threshold.to_string(), f3(row.theory), f3(row.simulated)]);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
 
     if ablation {
-        run_fractional_ablation(trials);
+        let mut table = Table::new(
+            "Ablation: absolute threshold vs fractional overlap across densities",
+            &["density(/1000m^2)", "abs t=30", "frac f=0.25"],
+        );
+        for row in fractional_ablation_rows(trials, 77, &exec) {
+            table.row(&[
+                format!("{}", row.nodes as f64 / 10.0),
+                f3(row.absolute),
+                f3(row.fractional),
+            ]);
+        }
+        table.print();
     }
 
     println!(
@@ -52,64 +70,6 @@ fn main() {
          near zero by t ~ 150 ('it is really uncommon to find such a large \
          number of common neighbors')."
     );
-}
-
-/// Ablation (DESIGN.md §5): absolute threshold `|overlap| >= t+1` (paper)
-/// vs fractional rule `|overlap| >= f * min(deg)`; the fractional rule's
-/// accuracy is density-independent but forfeits Theorem 3's counting bound.
-fn run_fractional_ablation(trials: usize) {
-    use snd_core::model::functional::functional_topology;
-    use snd_core::model::validation::{CommonNeighborRule, NeighborValidationFunction};
-    use snd_topology::metrics::mean_accuracy;
-    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
-    use snd_topology::{Deployment, DiGraph, Field, NodeId};
-
-    /// Fractional-overlap validation: topology-only stand-in used to study
-    /// accuracy (security is out of scope for the ablation).
-    #[derive(Debug)]
-    struct FractionalRule {
-        fraction: f64,
-    }
-    impl NeighborValidationFunction for FractionalRule {
-        fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
-            if !knowledge.has_edge(u, v) {
-                return false;
-            }
-            let du = knowledge.out_degree(u);
-            let dv = knowledge.out_degree(v);
-            let need = (self.fraction * du.min(dv) as f64).ceil() as usize;
-            knowledge.common_out_neighbors(u, v).len() >= need.max(1)
-        }
-        fn name(&self) -> &'static str {
-            "fractional-overlap"
-        }
-    }
-
-    let mut table = Table::new(
-        "Ablation: absolute threshold vs fractional overlap across densities",
-        &["density(/1000m^2)", "abs t=30", "frac f=0.25"],
-    );
-    use rand::SeedableRng;
-    for nodes in [100usize, 200, 400] {
-        let mut abs_sum = 0.0;
-        let mut frac_sum = 0.0;
-        for trial in 0..trials {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(77 + trial as u64);
-            let d = Deployment::uniform(Field::square(100.0), nodes, &mut rng);
-            let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
-            let abs = functional_topology(&CommonNeighborRule::new(30), &g);
-            let frac = functional_topology(&FractionalRule { fraction: 0.25 }, &g);
-            let ids: Vec<NodeId> = d.ids().collect();
-            abs_sum += mean_accuracy(&d, &abs, ids.iter().copied(), 50.0).unwrap_or(0.0);
-            frac_sum += mean_accuracy(&d, &frac, ids, 50.0).unwrap_or(0.0);
-        }
-        table.row(&[
-            format!("{}", nodes as f64 / 10.0),
-            f3(abs_sum / trials as f64),
-            f3(frac_sum / trials as f64),
-        ]);
-    }
-    table.print();
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<usize> {

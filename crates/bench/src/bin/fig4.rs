@@ -1,13 +1,14 @@
 //! Figure 4: fraction of actual neighbors included in the functional
 //! neighbor list of a benign node, vs deployment density, for
-//! t ∈ {10, 30, 60}.
+//! t ∈ {10, 30, 60}. Trials fan out over `SND_THREADS` workers; the output
+//! is byte-identical at any thread count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin fig4 [-- --trials N]`
 
+use snd_bench::experiments::figures::{fig4_rows, Fig4Config};
 use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
-use snd_bench::{figure_report, simulate_center_accuracy_observed, PaperScenario};
-use snd_core::analysis::validated_fraction_theory;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,14 +18,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let exec = Executor::from_env();
 
-    const RANGE: f64 = 50.0;
-    const SIDE: f64 = 100.0;
-    let thresholds = [10usize, 30, 60];
+    let cfg = Fig4Config {
+        trials,
+        ..Fig4Config::default()
+    };
 
     println!(
-        "Figure 4 reproduction: {SIDE}x{SIDE} m field, R = {RANGE} m, \
-         t in {{10, 30, 60}}, {trials} trials per point"
+        "Figure 4 reproduction: {}x{} m field, R = {} m, t in {{10, 30, 60}}, \
+         {} trials per point [{} threads]",
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        trials,
+        exec.threads()
     );
 
     let mut table = Table::new(
@@ -40,34 +48,18 @@ fn main() {
         ],
     );
 
-    // Densities from 4 to 40 nodes per 1000 m^2 (the paper's x-axis).
+    // Densities from 4 to 40 nodes per 1000 m^2 (the paper's x-axis); rows
+    // come back grouped by density, thresholds in order within a density.
     let mut log = ExperimentLog::create("fig4");
-    for per_1000 in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40] {
-        let density = per_1000 as f64 / 1000.0;
-        let nodes = (density * SIDE * SIDE).round() as usize;
-        let scenario = PaperScenario {
-            side: SIDE,
-            nodes,
-            range: RANGE,
-        };
-        let mut cells = vec![f1(per_1000 as f64)];
-        for &t in &thresholds {
-            let seed = 4_000 + t as u64;
-            let stats = simulate_center_accuracy_observed(scenario, t, trials, seed);
-            cells.push(f3(stats.mean.unwrap_or(0.0)));
-            let mut report = figure_report("fig4", scenario, t, trials, seed, &stats);
-            report.scenario = format!("d={per_1000},t={t}");
-            report.set_param("density_per_1000m2", &(per_1000 as u64));
-            report.set_outcome(
-                "theory_accuracy",
-                &validated_fraction_theory(t, density, RANGE),
-            );
-            log.append(&report);
-        }
-        for &t in &thresholds {
-            cells.push(f3(validated_fraction_theory(t, density, RANGE)));
-        }
+    let rows = fig4_rows(&cfg, &exec);
+    for group in rows.chunks(cfg.thresholds.len()) {
+        let mut cells = vec![f1(group[0].per_1000 as f64)];
+        cells.extend(group.iter().map(|r| f3(r.simulated)));
+        cells.extend(group.iter().map(|r| f3(r.theory)));
         table.row(&cells);
+        for row in group {
+            log.append(&row.report);
+        }
     }
     table.print();
     log.finish();

@@ -4,33 +4,29 @@
 //! topology-only version of the paper's own threshold rule — are defeated
 //! by the constructions in Section 3.3, while the deployed protocol (with
 //! its deployment-time authentication) rejects the very same forgeries.
+//! Table rows fan out over `SND_THREADS` workers; the output is
+//! byte-identical at any thread count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin generic_attack`
 
-use rand::SeedableRng;
-
-use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
+use snd_bench::experiments::generic_attack::{
+    protocol_contrast, theorem1_rows, theorem2_rows, GenericAttackConfig,
+};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, Table};
-use snd_core::model::min_deploy::search_minimum_deployment;
-use snd_core::model::validation::{AcceptAll, CommonNeighborRule, NeighborValidationFunction};
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_core::theory::{execute_theorem1, execute_theorem2};
-use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
-use snd_topology::{Deployment, Field, NodeId, Point};
+use snd_exec::Executor;
 
 fn main() {
-    theorem1_table();
-    theorem2_table();
-    protocol_contrast();
-}
+    let cfg = GenericAttackConfig::default();
+    let exec = Executor::from_env();
 
-fn theorem1_table() {
     println!(
         "Theorem 1: for any topology-only validation function F, a network of \
          n >= 2m-1 nodes (m = |G_min(F)|) admits a forgery that places a \
-         compromised node next to two benign victims arbitrarily far apart."
+         compromised node next to two benign victims arbitrarily far apart. \
+         [{} threads]",
+        exec.threads()
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut table = Table::new(
         "Theorem 1 construction vs topology-only rules (separation 500 m)",
         &[
@@ -41,57 +37,22 @@ fn theorem1_table() {
             "victim separation (m)",
         ],
     );
-
-    let accept_all = search_minimum_deployment(&AcceptAll, 4, 10, &mut rng).expect("witness");
-    let out = execute_theorem1(&AcceptAll, &accept_all, 500.0);
-    table.row(&[
-        AcceptAll.name().into(),
-        accept_all.size().to_string(),
-        out.network_size.to_string(),
-        (out.near_victim_accepts && out.far_victim_accepts).to_string(),
-        f1(out.victim_separation),
-    ]);
-
-    for t in [1usize, 5, 10] {
-        let rule = CommonNeighborRule::new(t);
-        let witness = search_minimum_deployment(&rule, t + 5, 10, &mut rng).expect("witness");
-        let out = execute_theorem1(&rule, &witness, 500.0);
+    for row in theorem1_rows(&cfg, &exec) {
         table.row(&[
-            format!("{} t={t}", rule.name()),
-            witness.size().to_string(),
-            out.network_size.to_string(),
-            (out.near_victim_accepts && out.far_victim_accepts).to_string(),
-            f1(out.victim_separation),
+            row.rule.clone(),
+            row.m.to_string(),
+            row.network_size.to_string(),
+            row.both_accept.to_string(),
+            f1(row.victim_separation),
         ]);
     }
     table.print();
-}
 
-fn theorem2_table() {
     println!(
         "\nTheorem 2: any fielded network that is extendable at u is attackable \
          at u by replaying a would-be new node's relation set from a \
          compromised far-away node."
     );
-    // Two dense clusters 700 m apart.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let mut d = Deployment::empty(Field::new(1000.0, 200.0));
-    let mut id = 0u64;
-    for cluster_x in [50.0f64, 800.0] {
-        for _ in 0..25 {
-            use rand::Rng;
-            d.place(
-                NodeId(id),
-                Point::new(
-                    cluster_x + rng.gen_range(0.0..100.0),
-                    50.0 + rng.gen_range(0.0..100.0),
-                ),
-            );
-            id += 1;
-        }
-    }
-    let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
-
     let mut table = Table::new(
         "Theorem 2 extendability attack (target cluster A, victim cluster B)",
         &[
@@ -102,99 +63,40 @@ fn theorem2_table() {
             "victim spread (m)",
         ],
     );
-    for t in [1usize, 3, 6, 10] {
-        let rule = CommonNeighborRule::new(t);
-        let out = execute_theorem2(&rule, &g, &d, NodeId(0), NodeId(30));
+    for row in theorem2_rows(&cfg, &exec) {
         table.row(&[
-            t.to_string(),
-            out.extendable.to_string(),
-            out.target_accepts.to_string(),
-            f1(out.attack_distance),
-            f1(out.victim_spread),
+            row.threshold.to_string(),
+            row.extendable.to_string(),
+            row.target_accepts.to_string(),
+            f1(row.attack_distance),
+            f1(row.victim_spread),
         ]);
     }
     table.print();
-}
 
-/// The punchline: feed the *same* forged relation set to the deployed
-/// protocol — binding-record authentication kills it.
-fn protocol_contrast() {
     println!(
         "\nContrast: the deployed protocol faces the same adversary (replica \
          + replayed relations) and rejects it, because forged tentative \
          relations cannot be backed by master-key-authenticated binding \
          records."
     );
-    let t = 3usize;
-    let mut engine = DiscoveryEngine::new(
-        Field::new(1000.0, 200.0),
-        RadioSpec::uniform(50.0),
-        ProtocolConfig::with_threshold(t).without_updates(),
-        3,
-    );
-    let recorder = attach_recorder(&mut engine);
-    // Cluster A (victims of the would-be extension) and cluster B (home of
-    // the compromised node).
-    let mut wave = Vec::new();
-    for k in 0..25u64 {
-        let id = NodeId(k);
-        engine.deploy_at(
-            id,
-            Point::new(50.0 + 18.0 * (k % 5) as f64, 60.0 + 18.0 * (k / 5) as f64),
-        );
-        wave.push(id);
-    }
-    for k in 25..50u64 {
-        let id = NodeId(k);
-        engine.deploy_at(
-            id,
-            Point::new(
-                800.0 + 18.0 * (k % 5) as f64,
-                60.0 + 18.0 * ((k - 25) / 5) as f64,
-            ),
-        );
-        wave.push(id);
-    }
-    engine.run_wave(&wave);
-
-    // Compromise one node from cluster B, replicate it inside cluster A,
-    // then deploy a fresh victim in cluster A.
-    engine.compromise(NodeId(30)).expect("operational");
-    engine
-        .place_replica(NodeId(30), Point::new(80.0, 90.0))
-        .expect("compromised");
-    engine.deploy_at(NodeId(99), Point::new(85.0, 95.0));
-    engine.run_wave(&[NodeId(99)]);
-
-    let victim = engine.node(NodeId(99)).expect("deployed");
-    let tentative = victim.tentative_neighbors().contains(&NodeId(30));
-    let functional = victim.functional_neighbors().contains(&NodeId(30));
+    let out = protocol_contrast(&cfg, &exec);
     let mut table = Table::new(
         "Same replica against the deployed protocol (t = 3)",
         &["stage", "replica accepted"],
     );
     table.row(&[
         "direct verification (tentative)".into(),
-        tentative.to_string(),
+        out.replica_tentative.to_string(),
     ]);
     table.row(&[
         "threshold validation (functional)".into(),
-        functional.to_string(),
+        out.replica_functional.to_string(),
     ]);
     table.print();
 
     let mut log = ExperimentLog::create("generic_attack");
-    let mut report = engine_report(
-        "generic_attack",
-        "protocol_contrast",
-        3,
-        &engine,
-        recorder.take(),
-    );
-    report.set_param("threshold", &(t as u64));
-    report.set_outcome("replica_tentative", &tentative);
-    report.set_outcome("replica_functional", &functional);
-    log.append(&report);
+    log.append(&out.report);
     log.finish();
 
     println!(

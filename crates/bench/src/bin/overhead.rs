@@ -4,24 +4,26 @@
 //! from the simulator: storage items per node, messages per node (local
 //! only), bytes per node, and one-way hash operations per node — swept
 //! over deployment density and threshold `t`, with and without the
-//! Section 4.4 update extension.
+//! Section 4.4 update extension. Grid cells fan out over `SND_THREADS`
+//! workers; the output is byte-identical at any thread count.
 //!
 //! Run: `cargo run -p snd-bench --release --bin overhead`
 
-use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
+use snd_bench::experiments::overhead::{density_rows, two_wave_rows, OverheadConfig};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, Table};
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_observe::report::RunReport;
-use snd_topology::unit_disk::RadioSpec;
-use snd_topology::{Field, NodeId};
-
-const SIDE: f64 = 200.0;
-const RANGE: f64 = 50.0;
+use snd_exec::Executor;
 
 fn main() {
+    let cfg = OverheadConfig::default();
+    let exec = Executor::from_env();
     println!(
-        "E9 — protocol overhead ({SIDE}x{SIDE} m, R = {RANGE} m): storage, \
-         messages, bytes and hash operations per node for one full discovery."
+        "E9 — protocol overhead ({}x{} m, R = {} m): storage, messages, bytes \
+         and hash operations per node for one full discovery. [{} threads]",
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        exec.threads()
     );
 
     let mut table = Table::new(
@@ -37,24 +39,16 @@ fn main() {
     );
 
     let mut log = ExperimentLog::create("overhead");
-    for per_1000 in [10usize, 20, 40] {
-        let nodes = (per_1000 as f64 / 1000.0 * SIDE * SIDE).round() as usize;
-        for t in [5usize, 15, 30] {
-            let (m, mut report) = measure(nodes, t, false);
-            table.row(&[
-                per_1000.to_string(),
-                t.to_string(),
-                f1(m.storage),
-                f1(m.msgs),
-                f1(m.bytes),
-                f1(m.hashes),
-            ]);
-            report.set_param("density_per_1000m2", &(per_1000 as u64));
-            report.set_param("nodes", &(nodes as u64));
-            report.set_param("threshold", &(t as u64));
-            fill_outcomes(&mut report, &m);
-            log.append(&report);
-        }
+    for row in density_rows(&cfg, &exec) {
+        table.row(&[
+            row.per_1000.to_string(),
+            row.threshold.to_string(),
+            f1(row.measured.storage),
+            f1(row.measured.msgs),
+            f1(row.measured.bytes),
+            f1(row.measured.hashes),
+        ]);
+        log.append(&row.report);
     }
     table.print();
 
@@ -69,21 +63,15 @@ fn main() {
             "updates applied",
         ],
     );
-    for enabled in [false, true] {
-        let (m, mut report) = measure_two_wave(800, 15, enabled);
+    for row in two_wave_rows(&cfg, &exec) {
         table.row(&[
-            enabled.to_string(),
-            f1(m.msgs),
-            f1(m.bytes),
-            f1(m.hashes),
-            m.updates.to_string(),
+            row.updates_enabled.to_string(),
+            f1(row.measured.msgs),
+            f1(row.measured.bytes),
+            f1(row.measured.hashes),
+            row.measured.updates.to_string(),
         ]);
-        report.set_param("nodes", &800u64);
-        report.set_param("threshold", &15u64);
-        report.set_param("updates_enabled", &enabled);
-        fill_outcomes(&mut report, &m);
-        report.set_outcome("updates_applied", &m.updates);
-        log.append(&report);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
@@ -94,92 +82,4 @@ fn main() {
          degree, not network size), computation is 'a few efficient one-way \
          hash operations', and the extension 'will not incur much overhead'."
     );
-}
-
-struct Measured {
-    storage: f64,
-    msgs: f64,
-    bytes: f64,
-    hashes: f64,
-    updates: u64,
-}
-
-/// Copies the per-node cost figures — exactly the table's cells — into the
-/// report's outcomes.
-fn fill_outcomes(report: &mut RunReport, m: &Measured) {
-    report.set_outcome("storage_per_node", &m.storage);
-    report.set_outcome("msgs_per_node", &m.msgs);
-    report.set_outcome("bytes_per_node", &m.bytes);
-    report.set_outcome("hashes_per_node", &m.hashes);
-}
-
-fn measure(nodes: usize, t: usize, updates: bool) -> (Measured, RunReport) {
-    let mut config = ProtocolConfig::with_threshold(t);
-    if !updates {
-        config = config.without_updates();
-    }
-    let mut engine =
-        DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, 5);
-    let recorder = attach_recorder(&mut engine);
-    let ids = engine.deploy_uniform(nodes);
-    engine.run_wave(&ids);
-    let report = engine_report(
-        "overhead",
-        &format!("density,nodes={nodes},t={t}"),
-        5,
-        &engine,
-        recorder.take(),
-    );
-    (collect(&engine, nodes as f64, 0), report)
-}
-
-fn measure_two_wave(nodes: usize, t: usize, updates: bool) -> (Measured, RunReport) {
-    let mut config = ProtocolConfig::with_threshold(t);
-    if !updates {
-        config = config.without_updates();
-    }
-    let mut engine =
-        DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, 6);
-    let recorder = attach_recorder(&mut engine);
-    let first = engine.deploy_uniform(nodes);
-    engine.run_wave(&first);
-    // Second wave: 10% fresh nodes join and issue evidence to old
-    // neighbors; third wave: another 10%, during which the evidenced old
-    // nodes actually refresh their records.
-    let second = engine.deploy_uniform(nodes / 10);
-    let report2 = engine.run_wave(&second);
-    let third = engine.deploy_uniform(nodes / 10);
-    let report3 = engine.run_wave(&third);
-    let report = engine_report(
-        "overhead",
-        &format!("two_wave,updates={updates}"),
-        6,
-        &engine,
-        recorder.take(),
-    );
-    (
-        collect(
-            &engine,
-            (nodes + 2 * (nodes / 10)) as f64,
-            report2.updates_applied + report3.updates_applied,
-        ),
-        report,
-    )
-}
-
-fn collect(engine: &DiscoveryEngine, nodes: f64, updates: u64) -> Measured {
-    let totals = engine.sim().metrics().totals();
-    let storage: usize = engine
-        .node_ids()
-        .filter_map(|id| engine.node(id))
-        .map(|n| n.storage_items())
-        .sum();
-    let _ = NodeId(0);
-    Measured {
-        storage: storage as f64 / nodes,
-        msgs: (totals.unicasts_sent + totals.broadcasts_sent) as f64 / nodes,
-        bytes: totals.bytes_sent as f64 / nodes,
-        hashes: engine.hash_ops() as f64 / nodes,
-        updates,
-    }
 }

@@ -10,153 +10,74 @@
 //!   creeping outward through malicious binding-record updates; its impact
 //!   radius grows with the update cap `m` and stays under `(m+1)R`.
 //!
+//! Rows fan out over `SND_THREADS` workers (default: all cores); the
+//! tables and JSONL reports are byte-identical at any thread count.
+//!
 //! Run: `cargo run -p snd-bench --release --bin safety [-- --threshold-sweep | --updates]`
 
-use std::sync::Arc;
-
-use snd_bench::report::{attach_recorder, engine_report, ExperimentLog};
+use snd_bench::experiments::safety::{
+    threshold_sweep_rows, two_r_safety_rows, update_creep_rows, SafetyConfig,
+};
+use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, Table};
-use snd_core::adversary::AdversaryBehavior;
-use snd_core::model::safety::check_d_safety;
-use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
-use snd_observe::recorder::MemoryRecorder;
-use snd_observe::report::RunReport;
-use snd_topology::unit_disk::RadioSpec;
-use snd_topology::{Field, NodeId, Point};
-
-const RANGE: f64 = 50.0;
-const SIDE: f64 = 400.0;
-const BASE_NODES: usize = 900;
+use snd_exec::Executor;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let exec = Executor::from_env();
     if args.iter().any(|a| a == "--threshold-sweep") {
-        threshold_sweep();
+        threshold_sweep(&exec);
     } else if args.iter().any(|a| a == "--updates") {
-        update_creep();
+        update_creep(&exec);
     } else {
-        two_r_safety();
+        two_r_safety(&exec);
     }
 }
 
-/// Builds a field, runs wave 1, and returns the engine plus the IDs of a
-/// mutually-tentative cluster of `c` nodes near (60, 60).
-fn base_engine(
-    t: usize,
-    max_updates: u32,
-    seed: u64,
-    c: usize,
-) -> (DiscoveryEngine, Vec<NodeId>, Arc<MemoryRecorder>) {
-    let mut config = ProtocolConfig::with_threshold(t);
-    config.max_updates = max_updates;
-    config.issue_evidence = max_updates > 0;
-    let mut engine =
-        DiscoveryEngine::new(Field::square(SIDE), RadioSpec::uniform(RANGE), config, seed);
-    let recorder = attach_recorder(&mut engine);
-    let ids = engine.deploy_uniform(BASE_NODES);
-    engine.run_wave(&ids);
-
-    // Cluster: the node nearest (60, 60) plus its c-1 nearest neighbors.
-    let anchor = engine
-        .deployment()
-        .nearest(Point::new(60.0, 60.0))
-        .expect("field populated")
-        .0;
-    let anchor_pos = engine.deployment().position(anchor).expect("anchor placed");
-    let mut by_distance: Vec<(f64, NodeId)> = engine
-        .deployment()
-        .iter()
-        .filter(|(id, _)| *id != anchor)
-        .map(|(id, p)| (p.distance(&anchor_pos), id))
-        .collect();
-    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    let mut cluster = vec![anchor];
-    cluster.extend(
-        by_distance
-            .iter()
-            .take(c.saturating_sub(1))
-            .map(|(_, id)| *id),
-    );
-    (engine, cluster, recorder)
-}
-
-/// Replicates every cluster member at several sites and deploys victim
-/// waves next to each site. Returns the worst containment radius over the
-/// cluster.
-fn attack_and_measure(engine: &mut DiscoveryEngine, cluster: &[NodeId]) -> (f64, usize) {
-    let sites = [
-        Point::new(SIDE - 30.0, SIDE - 30.0),
-        Point::new(SIDE - 30.0, 30.0),
-        Point::new(30.0, SIDE - 30.0),
-        Point::new(SIDE / 2.0, SIDE - 30.0),
-    ];
-    for &id in cluster {
-        engine.compromise(id).expect("operational node");
-        for &s in &sites {
-            engine.place_replica(id, s).expect("compromised");
-        }
-    }
-    // Victim waves: 4 fresh nodes beside each replica site.
-    let mut next = engine.deployment().next_id().raw();
-    for &s in &sites {
-        let mut wave = Vec::new();
-        for k in 0..4u64 {
-            let id = NodeId(next);
-            next += 1;
-            engine.deploy_at(id, Point::new(s.x - 6.0 + 4.0 * (k as f64), s.y + 5.0));
-            wave.push(id);
-        }
-        engine.run_wave(&wave);
-    }
-
-    let functional = engine.functional_topology();
-    let compromised = engine.adversary().compromised_set();
-    let report = check_d_safety(&functional, engine.deployment(), &compromised, 2.0 * RANGE);
-    let false_accepts: usize = report.impacts.iter().map(|i| i.victims.len()).sum();
-    (report.worst_radius(), false_accepts)
-}
-
-fn two_r_safety() {
-    let t = 5usize;
+fn two_r_safety(exec: &Executor) {
+    let cfg = SafetyConfig::default();
     println!(
-        "E5 — empirical 2R-safety (Theorem 3): {BASE_NODES} nodes, {SIDE}x{SIDE} m, \
-         R = {RANGE} m, t = {t}; compromised cluster replicated at 4 remote sites."
+        "E5 — empirical 2R-safety (Theorem 3): {} nodes, {}x{} m, R = {} m, \
+         t = {}; compromised cluster replicated at 4 remote sites. [{} threads]",
+        cfg.nodes,
+        cfg.side,
+        cfg.side,
+        cfg.range,
+        cfg.threshold,
+        exec.threads()
     );
     let mut table = Table::new(
         "Worst victim containment radius vs #compromised (bound: 2R = 100 m)",
         &["compromised", "worst radius (m)", "victims", "2R-safe"],
     );
     let mut log = ExperimentLog::create("safety");
-    for c in [1usize, 2, 3, 5] {
-        // c <= t: the guarantee must hold.
-        let seed = 11 + c as u64;
-        let (mut engine, cluster, recorder) = base_engine(t, 0, seed, c);
-        let (radius, victims) = attack_and_measure(&mut engine, &cluster);
-        let safe = radius <= 2.0 * RANGE;
+    // c <= t: the guarantee must hold.
+    for row in two_r_safety_rows(&cfg, &[1, 2, 3, 5], exec) {
         table.row(&[
-            c.to_string(),
-            f1(radius),
-            victims.to_string(),
-            safe.to_string(),
+            row.cluster_size.to_string(),
+            f1(row.worst_radius),
+            row.victims.to_string(),
+            row.two_r_safe.to_string(),
         ]);
-        let mut report = engine_report("safety", &format!("c={c}"), seed, &engine, recorder.take());
-        fill_safety_params(&mut report, t, c);
-        report.set_outcome("worst_radius_m", &radius);
-        report.set_outcome("victims", &(victims as u64));
-        report.set_outcome("two_r_safe", &safe);
-        log.append(&report);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
     println!("\nPaper claim: with <= t compromised nodes every radius stays <= 2R.");
 }
 
-fn threshold_sweep() {
-    let t = 5usize;
+fn threshold_sweep(exec: &Executor) {
+    let cfg = SafetyConfig {
+        base_seed: 23,
+        ..SafetyConfig::default()
+    };
     println!(
         "E11 — threshold tightness: colluding co-located cluster of size c, \
-         replicated to a far site. Theorem 3 protects while c <= t = {t}; the \
-         remote victims' overlap is c-1, so the attack lands at c = t+2."
+         replicated to a far site. Theorem 3 protects while c <= t = {}; the \
+         remote victims' overlap is c-1, so the attack lands at c = t+2. \
+         [{} threads]",
+        cfg.threshold,
+        exec.threads()
     );
     let mut table = Table::new(
         "Attack success vs colluding cluster size (t = 5)",
@@ -168,29 +89,14 @@ fn threshold_sweep() {
         ],
     );
     let mut log = ExperimentLog::create("safety_threshold");
-    for c in [2usize, 4, 5, 6, 7, 8] {
-        let seed = 23 + c as u64;
-        let (mut engine, cluster, recorder) = base_engine(t, 0, seed, c);
-        let (radius, _) = attack_and_measure(&mut engine, &cluster);
-        let remote = radius > 2.0 * RANGE;
+    for row in threshold_sweep_rows(&cfg, &[2, 4, 5, 6, 7, 8], exec) {
         table.row(&[
-            c.to_string(),
-            f1(radius),
-            remote.to_string(),
-            (!remote).to_string(),
+            row.cluster_size.to_string(),
+            f1(row.worst_radius),
+            row.remote_accept.to_string(),
+            (!row.remote_accept).to_string(),
         ]);
-        let mut report = engine_report(
-            "safety_threshold",
-            &format!("c={c}"),
-            seed,
-            &engine,
-            recorder.take(),
-        );
-        fill_safety_params(&mut report, t, c);
-        report.set_outcome("worst_radius_m", &radius);
-        report.set_outcome("remote_accept", &remote);
-        report.set_outcome("two_r_safe", &!remote);
-        log.append(&report);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
@@ -200,116 +106,35 @@ fn threshold_sweep() {
     );
 }
 
-fn update_creep() {
-    let t = 3usize;
+fn update_creep(exec: &Executor) {
+    let cfg = SafetyConfig {
+        threshold: 3,
+        base_seed: 7,
+        ..SafetyConfig::default()
+    };
     println!(
         "E6 — (m+1)R-safety under binding-record updates (Theorem 4): a \
          compromised node creeps outward by maliciously refreshing its record \
-         through newly deployed nodes. t = {t}, R = {RANGE} m."
+         through newly deployed nodes. t = {}, R = {} m. [{} threads]",
+        cfg.threshold,
+        cfg.range,
+        exec.threads()
     );
     let mut table = Table::new(
         "Impact radius vs update cap m (bound: (m+1)R)",
         &["m", "impact radius (m)", "bound (m)", "within bound"],
     );
     let mut log = ExperimentLog::create("safety_updates");
-    for m in [0u32, 1, 2, 4, 6] {
-        let (radius, mut report) = creep_radius(t, m);
-        let bound = (m as f64 + 1.0) * RANGE;
-        let within = radius <= bound + 1e-6;
-        table.row(&[m.to_string(), f1(radius), f1(bound), within.to_string()]);
-        report.set_param("threshold", &(t as u64));
-        report.set_param("max_updates", &u64::from(m));
-        report.set_outcome("impact_radius_m", &radius);
-        report.set_outcome("bound_m", &bound);
-        report.set_outcome("within_bound", &within);
-        log.append(&report);
+    for row in update_creep_rows(&cfg, &[0, 1, 2, 4, 6], exec) {
+        table.row(&[
+            row.max_updates.to_string(),
+            f1(row.impact_radius),
+            f1(row.bound),
+            row.within_bound.to_string(),
+        ]);
+        log.append(&row.report);
     }
     table.print();
     log.finish();
     println!("\nPaper claim: the impact radius grows with m but never exceeds (m+1)R.");
-}
-
-/// Shared scenario parameters for the safety runs.
-fn fill_safety_params(report: &mut RunReport, t: usize, c: usize) {
-    report.set_param("nodes", &(BASE_NODES as u64));
-    report.set_param("side_m", &SIDE);
-    report.set_param("range_m", &RANGE);
-    report.set_param("threshold", &(t as u64));
-    report.set_param("cluster_size", &(c as u64));
-}
-
-/// Runs the creep attack with update cap `m` and returns the farthest
-/// benign victim distance from the compromised node's original deployment,
-/// plus the run's report.
-fn creep_radius(t: usize, m: u32) -> (f64, RunReport) {
-    let seed = 7 + m as u64;
-    let mut config = ProtocolConfig::with_threshold(t);
-    config.max_updates = m;
-    config.issue_evidence = true;
-    let mut engine = DiscoveryEngine::new(
-        Field::new(1400.0, 200.0),
-        RadioSpec::uniform(RANGE),
-        config,
-        seed,
-    );
-    let recorder = attach_recorder(&mut engine);
-    // Benign seed cluster around the to-be-compromised node w at (60, 100).
-    let w = NodeId(0);
-    engine.deploy_at(w, Point::new(60.0, 100.0));
-    let mut wave = vec![w];
-    for k in 1..=8u64 {
-        let id = NodeId(k);
-        engine.deploy_at(
-            id,
-            Point::new(40.0 + 6.0 * (k as f64), 90.0 + 3.0 * ((k % 4) as f64)),
-        );
-        wave.push(id);
-    }
-    engine.run_wave(&wave);
-
-    engine.compromise(w).expect("operational");
-    engine.adversary_mut().set_behavior(AdversaryBehavior {
-        answer_hellos: true,
-        replay_records: true,
-        request_updates: true,
-        forge_records_with_master: false,
-    });
-
-    // Batches of t+2 nodes marching +x in 0.4R steps; a replica of w rides
-    // along so every batch considers w tentative.
-    let step = 0.4 * RANGE;
-    let batch_size = t + 2;
-    let mut next_id = 100u64;
-    for batch in 1..=24u64 {
-        let x = 60.0 + step * batch as f64;
-        engine
-            .place_replica(w, Point::new(x, 100.0))
-            .expect("compromised");
-        let mut wave = Vec::new();
-        for k in 0..batch_size as u64 {
-            let id = NodeId(next_id);
-            next_id += 1;
-            engine.deploy_at(id, Point::new(x, 85.0 + 6.0 * k as f64));
-            wave.push(id);
-        }
-        engine.run_wave(&wave);
-    }
-
-    // Farthest benign victim from w's original deployment point.
-    let functional = engine.functional_topology();
-    let origin = engine.deployment().position(w).expect("w placed");
-    let radius = functional
-        .in_neighbors(w)
-        .filter(|v| !engine.adversary().controls(*v))
-        .filter_map(|v| engine.deployment().position(v))
-        .map(|p| p.distance(&origin))
-        .fold(0.0, f64::max);
-    let report = engine_report(
-        "safety_updates",
-        &format!("m={m}"),
-        seed,
-        &engine,
-        recorder.take(),
-    );
-    (radius, report)
 }

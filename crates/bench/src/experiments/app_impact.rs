@@ -1,0 +1,358 @@
+//! E10 rows — application impact (the paper's Section 1 motivation).
+//!
+//! Quantifies what false neighbor relations do to the three applications
+//! the introduction names — routing, clustering and data aggregation — in
+//! three configurations built from the *same* deployment flow:
+//!
+//! 1. **honest** — no attack;
+//! 2. **unprotected** — replica attack, network uses raw tentative lists
+//!    (what direct verification alone would give);
+//! 3. **protected** — the same attack, network uses the paper's protocol.
+//!
+//! Metrics focus on the attacked nodes (the late-wave "victims" deployed
+//! near replica sites), where the damage concentrates.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use snd_apps::aggregation::{neighborhood_average, Readings};
+use snd_apps::clustering::lowest_id_clustering;
+use snd_apps::routing::route_many;
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
+use snd_observe::event::EventRecord;
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
+use snd_sim::metrics::NodeCounters;
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
+
+use crate::report::attach_recorder;
+
+/// The three network configurations compared.
+pub const CONFIGS: [&str; 3] = ["honest", "unprotected", "protected"];
+
+/// Scenario knobs for the application-impact experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppImpactConfig {
+    /// Square field side length in meters.
+    pub side: f64,
+    /// First-wave nodes.
+    pub nodes: usize,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Protocol threshold `t`.
+    pub threshold: usize,
+    /// Replica sites (= attacked late-wave victims) per trial.
+    pub replica_sites: usize,
+    /// Random routing destinations per victim.
+    pub routes_per_victim: usize,
+    /// Independent trials per configuration.
+    pub trials: usize,
+    /// Base seed; trial streams are shared across the three
+    /// configurations so they face identical deployments.
+    pub base_seed: u64,
+}
+
+impl Default for AppImpactConfig {
+    fn default() -> Self {
+        AppImpactConfig {
+            side: 300.0,
+            nodes: 300,
+            range: 50.0,
+            threshold: 5,
+            replica_sites: 10,
+            routes_per_victim: 10,
+            trials: 5,
+            base_seed: 50,
+        }
+    }
+}
+
+/// One row of the impact tables: all three applications' metrics for one
+/// network configuration.
+#[derive(Debug, Clone)]
+pub struct AppImpactRow {
+    /// Configuration name (`honest` / `unprotected` / `protected`).
+    pub config: &'static str,
+    /// Mean delivery ratio of victim-sourced greedy routing.
+    pub delivery_ratio: f64,
+    /// Packets lost to false neighbors (black holes), all trials.
+    pub lost_to_false_neighbors: usize,
+    /// Worst member-to-head distance of lowest-ID clustering, meters.
+    pub max_member_distance: f64,
+    /// Max attack-induced aggregation error at the victims.
+    pub max_injected_error: f64,
+    /// Mean attack-induced aggregation error at the victims.
+    pub mean_injected_error: f64,
+    /// Machine-readable row report (counters sum over trial engines).
+    pub report: RunReport,
+}
+
+/// What one trial of one configuration measured, before merging.
+struct ImpactTrial {
+    delivery: f64,
+    losses: usize,
+    cluster_dist: f64,
+    max_err: f64,
+    err_sum: f64,
+    err_count: usize,
+    totals: NodeCounters,
+    hash_ops: u64,
+    events: Vec<EventRecord>,
+}
+
+/// The three configuration rows; each configuration's trials fan out over
+/// `exec` and share seed streams with the other configurations, so
+/// `honest`, `unprotected` and `protected` face identical deployments.
+pub fn impact_rows(cfg: &AppImpactConfig, exec: &Executor) -> Vec<AppImpactRow> {
+    CONFIGS
+        .iter()
+        .map(|&config| {
+            let outcomes = exec.run_trials(cfg.base_seed, cfg.trials, |_trial, seed| {
+                run_trial(cfg, config, seed)
+            });
+
+            let mut report = RunReport::new("app_impact", config, cfg.base_seed);
+            report.set_config(&ProtocolConfig::with_threshold(cfg.threshold).without_updates());
+            report.set_param("nodes", &(cfg.nodes as u64));
+            report.set_param("replica_sites", &(cfg.replica_sites as u64));
+            report.set_param("trials", &(cfg.trials as u64));
+            report.set_param("threads", &(exec.threads() as u64));
+            let mut registry = MetricsRegistry::new();
+
+            let mut delivery = 0.0;
+            let mut losses = 0usize;
+            let mut cluster_dist: f64 = 0.0;
+            let mut max_err: f64 = 0.0;
+            let mut err_sum = 0.0;
+            let mut err_count = 0usize;
+            for trial in outcomes {
+                delivery += trial.delivery;
+                losses += trial.losses;
+                cluster_dist = cluster_dist.max(trial.cluster_dist);
+                max_err = max_err.max(trial.max_err);
+                err_sum += trial.err_sum;
+                err_count += trial.err_count;
+                report.totals.unicasts_sent += trial.totals.unicasts_sent;
+                report.totals.broadcasts_sent += trial.totals.broadcasts_sent;
+                report.totals.received += trial.totals.received;
+                report.totals.bytes_sent += trial.totals.bytes_sent;
+                report.totals.bytes_received += trial.totals.bytes_received;
+                report.hash_ops += trial.hash_ops;
+                registry.ingest_events(&trial.events);
+            }
+            let delivery_ratio = delivery / cfg.trials as f64;
+            let mean_err = err_sum / err_count.max(1) as f64;
+            report.set_outcome("delivery_ratio", &delivery_ratio);
+            report.set_outcome("lost_to_false_neighbors", &(losses as u64));
+            report.set_outcome("max_member_distance_m", &cluster_dist);
+            report.set_outcome("max_injected_error", &max_err);
+            report.set_outcome("mean_injected_error", &mean_err);
+            report.capture_registry(&mut registry);
+            crate::report::mirror_totals_into_registry(&mut report);
+            AppImpactRow {
+                config,
+                delivery_ratio,
+                lost_to_false_neighbors: losses,
+                max_member_distance: cluster_dist,
+                max_injected_error: max_err,
+                mean_injected_error: mean_err,
+                report,
+            }
+        })
+        .collect()
+}
+
+fn run_trial(cfg: &AppImpactConfig, config: &str, seed: u64) -> ImpactTrial {
+    let world = build_world(cfg, config, seed);
+
+    // Routing: every victim sends to `routes_per_victim` random
+    // destinations, drawn from the trial's routing stream.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::stream_seed(seed, 2));
+    let ids: Vec<NodeId> = world.deployment.ids().collect();
+    let mut pairs = Vec::new();
+    for &v in &world.victims {
+        for _ in 0..cfg.routes_per_victim {
+            pairs.push((v, ids[rng.gen_range(0..ids.len())]));
+        }
+    }
+    let stats = route_many(
+        &world.believed,
+        &world.physical,
+        &world.deployment,
+        &pairs,
+        128,
+    );
+
+    let clusters = lowest_id_clustering(&world.believed);
+    let cluster_dist = clusters.max_member_distance(&world.deployment);
+
+    // Attack-induced aggregation error: believed average vs the average
+    // restricted to physically genuine believed neighbors.
+    let mut max_err: f64 = 0.0;
+    let mut err_sum = 0.0;
+    let mut err_count = 0usize;
+    let readings = Readings::gradient(&world.deployment, 1.0);
+    for &v in &world.victims {
+        let believed_avg = neighborhood_average(&world.believed, &readings, v);
+        let genuine = genuine_subgraph(&world.believed, &world.physical, v);
+        let genuine_avg = neighborhood_average(&genuine, &readings, v);
+        if let (Some(a), Some(b)) = (believed_avg, genuine_avg) {
+            let e = (a - b).abs();
+            max_err = max_err.max(e);
+            err_sum += e;
+            err_count += 1;
+        }
+    }
+
+    ImpactTrial {
+        delivery: stats.delivery_ratio(),
+        losses: stats.lost_to_false_neighbors,
+        cluster_dist,
+        max_err,
+        err_sum,
+        err_count,
+        totals: world.totals,
+        hash_ops: world.hash_ops,
+        events: world.events,
+    }
+}
+
+/// The believed subgraph of `v`'s edges that are physically real.
+fn genuine_subgraph(believed: &DiGraph, physical: &DiGraph, v: NodeId) -> DiGraph {
+    let mut g = DiGraph::new();
+    g.add_node(v);
+    for u in believed.out_neighbors(v) {
+        if physical.has_edge(v, u) {
+            g.add_edge(v, u);
+        }
+    }
+    g
+}
+
+struct World {
+    deployment: Deployment,
+    /// What the nodes believe after (possibly attacked) discovery.
+    believed: DiGraph,
+    /// What radios can physically do (benign reachability only).
+    physical: DiGraph,
+    /// The late-wave nodes deployed next to the replica sites.
+    victims: Vec<NodeId>,
+    /// Transport counters of this trial's discovery.
+    totals: NodeCounters,
+    /// Hash operations of this trial's discovery.
+    hash_ops: u64,
+    /// The trial's recorded event stream.
+    events: Vec<EventRecord>,
+}
+
+fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
+    let attack = config != "honest";
+    let protected = config == "protected";
+
+    let mut engine = DiscoveryEngine::new(
+        Field::square(cfg.side),
+        RadioSpec::uniform(cfg.range),
+        ProtocolConfig::with_threshold(cfg.threshold).without_updates(),
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    let ids = engine.deploy_uniform(cfg.nodes);
+    engine.run_wave(&ids);
+
+    // The node with the smallest ID is the juiciest replication target for
+    // lowest-ID clustering.
+    let target = ids[0];
+    if attack {
+        engine.compromise(target).expect("operational");
+    }
+
+    // Same late-wave deployments in every configuration; replicas only in
+    // the attacked ones.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::stream_seed(seed, 1));
+    let first = engine.deployment().next_id().raw();
+    let mut victims = Vec::new();
+    for next in first..first + cfg.replica_sites as u64 {
+        let site = Point::new(rng.gen_range(0.0..cfg.side), rng.gen_range(0.0..cfg.side));
+        if attack {
+            engine.place_replica(target, site).expect("compromised");
+        }
+        let victim = NodeId(next);
+        engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(cfg.side)));
+        engine.run_wave(&[victim]);
+        victims.push(victim);
+    }
+
+    let believed = if !attack || protected {
+        // Honest networks and protected networks act on the functional
+        // topology the protocol produced.
+        engine.functional_topology()
+    } else {
+        // Unprotected networks act on raw tentative lists.
+        engine.tentative_topology()
+    };
+
+    // Physical reachability for benign traffic: original positions only
+    // (a replica forwards nothing — it is the attacker's radio).
+    let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(cfg.range));
+
+    World {
+        deployment: engine.deployment().clone(),
+        believed,
+        physical,
+        victims,
+        totals: engine.sim().metrics().totals(),
+        hash_ops: engine.hash_ops(),
+        events: recorder.take(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AppImpactConfig {
+        AppImpactConfig {
+            side: 220.0,
+            nodes: 150,
+            replica_sites: 4,
+            trials: 2,
+            ..AppImpactConfig::default()
+        }
+    }
+
+    #[test]
+    fn protection_tracks_honest_and_beats_unprotected() {
+        let rows = impact_rows(&small(), &Executor::new(2));
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.config == n).unwrap();
+        let honest = by_name("honest");
+        let unprotected = by_name("unprotected");
+        let protected = by_name("protected");
+        // The attack must actually bite somewhere in the unprotected net.
+        assert!(
+            unprotected.lost_to_false_neighbors > 0
+                || unprotected.max_injected_error > protected.max_injected_error
+                || unprotected.max_member_distance > protected.max_member_distance
+        );
+        // The protocol restores honest-level aggregation integrity.
+        assert!(protected.max_injected_error <= honest.max_injected_error + 1e-9);
+    }
+
+    #[test]
+    fn rows_are_thread_count_invariant() {
+        let cfg = small();
+        let a = impact_rows(&cfg, &Executor::serial());
+        let b = impact_rows(&cfg, &Executor::new(4));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.delivery_ratio, y.delivery_ratio);
+            let mut yr = y.report.clone();
+            yr.params.insert(
+                "threads".into(),
+                x.report.params.get("threads").cloned().unwrap(),
+            );
+            assert_eq!(x.report.to_json(), yr.to_json(), "config={}", x.config);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Ablation rows: the paper's localized protocol vs the centralized
+//! base-station strawman it rejects in Section 4's opening paragraph.
+//!
+//! Both face the same replica attack. The centralized base station,
+//! holding the complete tentative topology, flags replicated identities
+//! structurally (Theorems 1–2 only bound *localized* functions) — but pays
+//! network-wide reporting traffic and quarantines the compromised node's
+//! *home* relations too, while the localized protocol spends only
+//! neighbor-local messages and keeps the (harmless) home relations.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use snd_core::model::centralized::centralized_validation;
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
+use snd_observe::event::EventRecord;
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
+use snd_sim::metrics::NodeCounters;
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Field, NodeId, Point};
+
+use crate::report::attach_recorder;
+
+/// Scenario knobs for the localized-vs-centralized ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedConfig {
+    /// Square field side length in meters.
+    pub side: f64,
+    /// Deployed nodes.
+    pub nodes: usize,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Protocol threshold `t`.
+    pub threshold: usize,
+    /// Replica sites per trial.
+    pub replica_sites: usize,
+    /// Claim-count threshold of the centralized detector.
+    pub central_threshold: u32,
+    /// Independent trials.
+    pub trials: usize,
+    /// Base seed; each trial derives its own via `trial_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for CentralizedConfig {
+    fn default() -> Self {
+        CentralizedConfig {
+            side: 300.0,
+            nodes: 350,
+            range: 50.0,
+            threshold: 5,
+            replica_sites: 5,
+            central_threshold: 3,
+            trials: 10,
+            base_seed: 9_000,
+        }
+    }
+}
+
+/// The merged outcome of the ablation.
+#[derive(Debug, Clone)]
+pub struct CentralizedOutcome {
+    /// Fraction of trials where the localized protocol contained the
+    /// attack to 2R of the compromised node's origin.
+    pub contained_p_localized: f64,
+    /// Same for the centralized detector.
+    pub contained_p_centralized: f64,
+    /// Localized protocol: mean whole-discovery messages per node.
+    pub msgs_per_node_localized: f64,
+    /// Centralized detector: mean report hops per node, on top of the
+    /// discovery itself.
+    pub report_hops_per_node_centralized: f64,
+    /// Genuine home relations the localized protocol kept.
+    pub home_relations_kept_localized: usize,
+    /// Genuine home relations the centralized detector kept.
+    pub home_relations_kept_centralized: usize,
+    /// Genuine home relations observed in total.
+    pub home_relations_total: usize,
+    /// Machine-readable report (counters sum over trial engines).
+    pub report: RunReport,
+}
+
+/// What one ablation trial measured, before the trial-order merge.
+struct CentralTrial {
+    contained_local: bool,
+    contained_central: bool,
+    msgs_local: f64,
+    report_hops: f64,
+    home_kept_local: usize,
+    home_kept_central: usize,
+    home_total: usize,
+    totals: NodeCounters,
+    hash_ops: u64,
+    events: Vec<EventRecord>,
+    config: Option<snd_core::protocol::ProtocolConfig>,
+}
+
+/// Runs the ablation's trials on `exec` and merges them in trial order.
+pub fn localized_vs_centralized(cfg: &CentralizedConfig, exec: &Executor) -> CentralizedOutcome {
+    let outcomes = exec.run_trials(cfg.base_seed, cfg.trials, |_trial, seed| {
+        run_trial(cfg, seed)
+    });
+
+    let mut report = RunReport::new("centralized", "localized_vs_central", cfg.base_seed);
+    report.set_param("nodes", &(cfg.nodes as u64));
+    report.set_param("trials", &(cfg.trials as u64));
+    report.set_param("replica_sites", &(cfg.replica_sites as u64));
+    report.set_param("threads", &(exec.threads() as u64));
+    let mut registry = MetricsRegistry::new();
+
+    let mut contained_local = 0usize;
+    let mut contained_central = 0usize;
+    let mut msgs_local = 0.0;
+    let mut msgs_central = 0.0;
+    let mut kept_local = 0usize;
+    let mut kept_central = 0usize;
+    let mut home_total = 0usize;
+    for trial in outcomes {
+        contained_local += trial.contained_local as usize;
+        contained_central += trial.contained_central as usize;
+        msgs_local += trial.msgs_local;
+        msgs_central += trial.report_hops;
+        kept_local += trial.home_kept_local;
+        kept_central += trial.home_kept_central;
+        home_total += trial.home_total;
+        report.totals.unicasts_sent += trial.totals.unicasts_sent;
+        report.totals.broadcasts_sent += trial.totals.broadcasts_sent;
+        report.totals.received += trial.totals.received;
+        report.totals.bytes_sent += trial.totals.bytes_sent;
+        report.totals.bytes_received += trial.totals.bytes_received;
+        report.hash_ops += trial.hash_ops;
+        registry.ingest_events(&trial.events);
+        if let Some(config) = &trial.config {
+            report.set_config(config);
+        }
+    }
+
+    let mut o = CentralizedOutcome {
+        contained_p_localized: contained_local as f64 / cfg.trials as f64,
+        contained_p_centralized: contained_central as f64 / cfg.trials as f64,
+        msgs_per_node_localized: msgs_local / cfg.trials as f64,
+        report_hops_per_node_centralized: msgs_central / cfg.trials as f64,
+        home_relations_kept_localized: kept_local,
+        home_relations_kept_centralized: kept_central,
+        home_relations_total: home_total,
+        report,
+    };
+    o.report
+        .set_outcome("contained_p_localized", &o.contained_p_localized);
+    o.report
+        .set_outcome("contained_p_centralized", &o.contained_p_centralized);
+    o.report
+        .set_outcome("msgs_per_node_localized", &o.msgs_per_node_localized);
+    o.report.set_outcome(
+        "report_hops_per_node_centralized",
+        &o.report_hops_per_node_centralized,
+    );
+    o.report.set_outcome(
+        "home_relations_kept_localized",
+        &(o.home_relations_kept_localized as u64),
+    );
+    o.report.set_outcome(
+        "home_relations_kept_centralized",
+        &(o.home_relations_kept_centralized as u64),
+    );
+    o.report
+        .set_outcome("home_relations_total", &(o.home_relations_total as u64));
+    o.report.capture_registry(&mut registry);
+    crate::report::mirror_totals_into_registry(&mut o.report);
+    o
+}
+
+fn run_trial(cfg: &CentralizedConfig, seed: u64) -> CentralTrial {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(cfg.side),
+        RadioSpec::uniform(cfg.range),
+        ProtocolConfig::with_threshold(cfg.threshold).without_updates(),
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    let ids = engine.deploy_uniform(cfg.nodes);
+    engine.run_wave(&ids);
+    let target = ids[0];
+    let origin = engine.deployment().position(target).expect("placed");
+    engine.compromise(target).expect("operational");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::stream_seed(seed, 1));
+    let first = engine.deployment().next_id().raw();
+    for next in first..first + cfg.replica_sites as u64 {
+        let site = Point::new(rng.gen_range(0.0..cfg.side), rng.gen_range(0.0..cfg.side));
+        engine.place_replica(target, site).expect("compromised");
+        let victim = NodeId(next);
+        engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(cfg.side)));
+        engine.run_wave(&[victim]);
+    }
+
+    // --- Localized (the paper's protocol). ---
+    let functional = engine.functional_topology();
+    let contained_local = functional
+        .in_neighbors(target)
+        .filter(|v| !engine.adversary().controls(*v))
+        .filter_map(|v| engine.deployment().position(v))
+        .all(|p| p.distance(&origin) <= 2.0 * cfg.range);
+    let msgs_local = engine.sim().metrics().mean_sent_per_node();
+
+    // --- Centralized (base station = node nearest the field center). ---
+    // Claims are the tentative topology; reports route over physical
+    // connectivity (original positions).
+    let tentative = engine.tentative_topology();
+    let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(cfg.range));
+    let base = engine
+        .deployment()
+        .nearest(Field::square(cfg.side).center())
+        .expect("populated")
+        .0;
+    let central = centralized_validation(&tentative, &physical, base, cfg.central_threshold);
+    let contained_central = central
+        .functional
+        .in_neighbors(target)
+        .filter_map(|v| engine.deployment().position(v))
+        .all(|p| p.distance(&origin) <= 2.0 * cfg.range);
+    let report_hops = central.report_messages as f64 / cfg.nodes as f64;
+
+    // Collateral damage: the compromised node's *genuine home* relations
+    // (benign nodes within R of its origin) — the paper's protocol keeps
+    // them (impact ≤ 2R is tolerated by design), the centralized detector
+    // quarantines the whole identity.
+    let mut home_kept_local = 0usize;
+    let mut home_kept_central = 0usize;
+    let mut home_total = 0usize;
+    for (v, p) in engine.deployment().iter() {
+        if v != target
+            && !engine.adversary().controls(v)
+            && p.distance(&origin) <= cfg.range
+            && tentative.has_edge(v, target)
+        {
+            home_total += 1;
+            if functional.has_edge(v, target) {
+                home_kept_local += 1;
+            }
+            if central.functional.has_edge(v, target) {
+                home_kept_central += 1;
+            }
+        }
+    }
+
+    CentralTrial {
+        contained_local,
+        contained_central,
+        msgs_local,
+        report_hops,
+        home_kept_local,
+        home_kept_central,
+        home_total,
+        totals: engine.sim().metrics().totals(),
+        hash_ops: engine.hash_ops(),
+        events: recorder.take(),
+        config: Some(engine.config()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CentralizedConfig {
+        CentralizedConfig {
+            side: 250.0,
+            nodes: 200,
+            replica_sites: 3,
+            trials: 3,
+            ..CentralizedConfig::default()
+        }
+    }
+
+    #[test]
+    fn both_schemes_contain_the_attack() {
+        let out = localized_vs_centralized(&small(), &Executor::new(2));
+        assert_eq!(out.contained_p_localized, 1.0);
+        assert!(out.contained_p_centralized >= 0.5);
+        // The localized protocol keeps at least as many genuine home
+        // relations as the quarantining base station.
+        assert!(out.home_relations_kept_localized >= out.home_relations_kept_centralized);
+    }
+
+    #[test]
+    fn outcome_is_thread_count_invariant() {
+        let cfg = small();
+        let a = localized_vs_centralized(&cfg, &Executor::serial());
+        let b = localized_vs_centralized(&cfg, &Executor::new(4));
+        assert_eq!(a.contained_p_localized, b.contained_p_localized);
+        assert_eq!(a.msgs_per_node_localized, b.msgs_per_node_localized);
+        let mut br = b.report.clone();
+        br.params.insert(
+            "threads".into(),
+            a.report.params.get("threads").cloned().unwrap(),
+        );
+        assert_eq!(a.report.to_json(), br.to_json());
+    }
+}

@@ -1,0 +1,267 @@
+//! E8 rows (Section 4.5.3): the protocol vs Parno et al.'s replica
+//! detection schemes on a common scenario — one compromised node
+//! replicated at k sites in a 500-node network.
+
+use rand::SeedableRng;
+
+use snd_baselines::{LineSelectedMulticast, RandomizedMulticast};
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
+use snd_observe::registry::MetricsRegistry;
+use snd_observe::report::RunReport;
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Deployment, Field, NodeId, Point};
+
+use crate::report::attach_recorder;
+
+/// Scenario knobs for the Parno comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareParnoConfig {
+    /// Square field side length in meters.
+    pub side: f64,
+    /// Deployed nodes.
+    pub nodes: usize,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Protocol threshold `t`.
+    pub threshold: usize,
+    /// Replica site counts, one table row each.
+    pub sites: Vec<usize>,
+    /// Trials per row.
+    pub trials: usize,
+    /// Base seed. Trial streams are shared across rows (paired
+    /// comparison), derived per scheme via `stream_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for CompareParnoConfig {
+    fn default() -> Self {
+        CompareParnoConfig {
+            side: 400.0,
+            nodes: 500,
+            range: 50.0,
+            threshold: 5,
+            sites: vec![1, 2, 4, 6, 10],
+            trials: 10,
+            base_seed: 900,
+        }
+    }
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone)]
+pub struct ParnoRow {
+    /// Replica sites `k`.
+    pub sites: usize,
+    /// Randomized multicast detection probability.
+    pub randomized_p: f64,
+    /// Randomized multicast mean messages per incident.
+    pub randomized_msgs: f64,
+    /// Line-selected multicast detection probability.
+    pub line_p: f64,
+    /// Line-selected multicast mean messages per incident.
+    pub line_msgs: f64,
+    /// Protocol prevention probability (no remote functional victim).
+    pub prevent_p: f64,
+    /// Protocol mean per-node messages over the whole discovery.
+    pub protocol_msgs_per_node: f64,
+    /// Machine-readable row report (counters sum over trial engines).
+    pub report: RunReport,
+}
+
+/// The comparison table: rows fan out over `exec`; trials inside a row
+/// share seed streams *across* rows so every k faces the same deployments
+/// (paired comparison, lower variance between rows).
+pub fn replica_rows(cfg: &CompareParnoConfig, exec: &Executor) -> Vec<ParnoRow> {
+    exec.run_over(cfg.base_seed, &cfg.sites, |_, &sites, _row_seed| {
+        let (randomized_p, randomized_msgs) = parno_trials(cfg, sites, true);
+        let (line_p, line_msgs) = parno_trials(cfg, sites, false);
+        let (prevent_p, protocol_msgs_per_node, mut report) = protocol_trials(cfg, sites);
+        report.set_param("threads", &(exec.threads() as u64));
+        report.set_outcome("randomized_detect_p", &randomized_p);
+        report.set_outcome("randomized_msgs", &randomized_msgs);
+        report.set_outcome("line_selected_detect_p", &line_p);
+        report.set_outcome("line_selected_msgs", &line_msgs);
+        report.set_outcome("protocol_prevent_p", &prevent_p);
+        report.set_outcome("protocol_msgs_per_node", &protocol_msgs_per_node);
+        ParnoRow {
+            sites,
+            randomized_p,
+            randomized_msgs,
+            line_p,
+            line_msgs,
+            prevent_p,
+            protocol_msgs_per_node,
+            report,
+        }
+    })
+}
+
+/// Runs Parno detection over random replica placements; returns
+/// (detection probability, mean messages per incident). Both schemes see
+/// the same per-trial deployment (same seed stream).
+fn parno_trials(cfg: &CompareParnoConfig, sites: usize, randomized: bool) -> (f64, f64) {
+    let base = snd_exec::stream_seed(cfg.base_seed, 1);
+    let mut detected = 0usize;
+    let mut messages = 0u64;
+    for trial in 0..cfg.trials {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::trial_seed(base, trial as u64));
+        let d = Deployment::uniform(Field::square(cfg.side), cfg.nodes, &mut rng);
+        let g = unit_disk_graph(&d, &RadioSpec::uniform(cfg.range));
+        let target = NodeId(0);
+        let mut announce = vec![d.position(target).expect("node 0 deployed")];
+        for _ in 0..sites {
+            use rand::Rng;
+            announce.push(Point::new(
+                rng.gen_range(0.0..cfg.side),
+                rng.gen_range(0.0..cfg.side),
+            ));
+        }
+        let out = if randomized {
+            // Parno et al.'s tuning: p * d * g = sqrt(n). With mean degree
+            // d = D*pi*R^2 and g = 1, p = sqrt(n) / d.
+            let degree = cfg.nodes as f64 / (cfg.side * cfg.side)
+                * std::f64::consts::PI
+                * cfg.range
+                * cfg.range;
+            RandomizedMulticast {
+                witnesses_per_neighbor: 1,
+                forward_probability: ((cfg.nodes as f64).sqrt() / degree).min(1.0),
+                tolerance: 1.0,
+            }
+            .detect(&d, &g, target, &announce, &mut rng)
+        } else {
+            LineSelectedMulticast::default().detect(&d, &g, target, &announce, &mut rng)
+        };
+        if out.detected {
+            detected += 1;
+        }
+        messages += out.messages;
+    }
+    (
+        detected as f64 / cfg.trials as f64,
+        messages as f64 / cfg.trials as f64,
+    )
+}
+
+/// Runs the protocol under the same replica attack; returns
+/// (prevention probability, mean per-node messages of the whole discovery)
+/// plus a report whose counters sum over every trial engine.
+fn protocol_trials(cfg: &CompareParnoConfig, sites: usize) -> (f64, f64, RunReport) {
+    let base = snd_exec::stream_seed(cfg.base_seed, 2);
+    let mut prevented = 0usize;
+    let mut msgs_per_node = 0.0;
+    let mut report = RunReport::new("compare_parno", format!("sites={sites}"), cfg.base_seed);
+    report.set_param("nodes", &(cfg.nodes as u64));
+    report.set_param("threshold", &(cfg.threshold as u64));
+    report.set_param("replica_sites", &(sites as u64));
+    report.set_param("trials", &(cfg.trials as u64));
+    let mut registry = MetricsRegistry::new();
+    for trial in 0..cfg.trials {
+        let engine_seed = snd_exec::trial_seed(base, trial as u64);
+        let mut engine = DiscoveryEngine::new(
+            Field::square(cfg.side),
+            RadioSpec::uniform(cfg.range),
+            ProtocolConfig::with_threshold(cfg.threshold).without_updates(),
+            engine_seed,
+        );
+        report.set_config(&engine.config());
+        let recorder = attach_recorder(&mut engine);
+        let ids = engine.deploy_uniform(cfg.nodes);
+        engine.run_wave(&ids);
+        let target = ids[0];
+        engine.compromise(target).expect("operational");
+
+        // Replicas at random sites, each luring one fresh victim.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::stream_seed(engine_seed, 1));
+        let origin = engine.deployment().position(target).expect("placed");
+        let mut remote_accept = false;
+        let first = engine.deployment().next_id().raw();
+        for next in first..first + sites as u64 {
+            use rand::Rng;
+            let site = Point::new(rng.gen_range(0.0..cfg.side), rng.gen_range(0.0..cfg.side));
+            engine.place_replica(target, site).expect("compromised");
+            let victim = NodeId(next);
+            engine.deploy_at(victim, Point::new(site.x, (site.y + 5.0).min(cfg.side)));
+            engine.run_wave(&[victim]);
+            let v = engine.node(victim).expect("deployed");
+            let vpos = engine.deployment().position(victim).expect("placed");
+            if v.functional_neighbors().contains(&target)
+                && vpos.distance(&origin) > 2.0 * cfg.range
+            {
+                remote_accept = true;
+            }
+        }
+        if !remote_accept {
+            prevented += 1;
+        }
+        msgs_per_node += engine.sim().metrics().mean_sent_per_node();
+
+        let totals = engine.sim().metrics().totals();
+        report.totals.unicasts_sent += totals.unicasts_sent;
+        report.totals.broadcasts_sent += totals.broadcasts_sent;
+        report.totals.received += totals.received;
+        report.totals.bytes_sent += totals.bytes_sent;
+        report.totals.bytes_received += totals.bytes_received;
+        report.hash_ops += engine.hash_ops();
+        registry.ingest_events(&recorder.take());
+    }
+    report.capture_registry(&mut registry);
+    crate::report::mirror_totals_into_registry(&mut report);
+    (
+        prevented as f64 / cfg.trials as f64,
+        msgs_per_node / cfg.trials as f64,
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CompareParnoConfig {
+        CompareParnoConfig {
+            side: 250.0,
+            nodes: 180,
+            sites: vec![1, 3],
+            trials: 2,
+            ..CompareParnoConfig::default()
+        }
+    }
+
+    #[test]
+    fn protocol_prevents_remote_replicas() {
+        let rows = replica_rows(&small(), &Executor::serial());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.prevent_p, 1.0, "sites={}", row.sites);
+            // Parno schemes pay per-incident multicast traffic; the
+            // protocol's cost is neighbor-local and finite.
+            assert!(row.randomized_msgs > 0.0);
+            assert!(row.protocol_msgs_per_node > 0.0);
+        }
+    }
+
+    #[test]
+    fn rows_are_thread_count_invariant() {
+        let cfg = small();
+        let a = replica_rows(&cfg, &Executor::serial());
+        let b = replica_rows(&cfg, &Executor::new(4));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.prevent_p, y.prevent_p);
+            assert_eq!(
+                x.report.to_json(),
+                {
+                    let mut r = y.report.clone();
+                    r.params.insert(
+                        "threads".into(),
+                        x.report.params.get("threads").cloned().unwrap(),
+                    );
+                    r.to_json()
+                },
+                "sites={}",
+                x.sites
+            );
+        }
+    }
+}

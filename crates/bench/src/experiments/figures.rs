@@ -1,0 +1,267 @@
+//! Figure 3 / Figure 4 rows (Section 4.5.1): validated-neighbor accuracy
+//! vs threshold `t` and vs deployment density, theory curve beside the
+//! protocol simulation, plus the fractional-threshold ablation
+//! (DESIGN.md §5).
+
+use rand::SeedableRng;
+
+use snd_core::analysis::validated_fraction_theory;
+use snd_exec::Executor;
+use snd_observe::report::RunReport;
+
+use crate::scenario::{
+    figure_report, paper_scenario, simulate_center_accuracy_observed_on, PaperScenario,
+};
+
+/// Scenario knobs for the Figure 3 threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Config {
+    /// The deployment scenario (defaults to the paper's Section 4.5.1).
+    pub scenario: PaperScenario,
+    /// Thresholds swept (the figure's x-axis).
+    pub thresholds: Vec<usize>,
+    /// Trials per data point.
+    pub trials: usize,
+    /// Base seed; each threshold gets its own stream via `stream_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            scenario: paper_scenario(),
+            thresholds: vec![0, 10, 20, 30, 45, 60, 80, 100, 120, 150, 180],
+            trials: 10,
+            base_seed: 2009,
+        }
+    }
+}
+
+/// Scenario knobs for the Figure 4 density sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Config {
+    /// Square field side length in meters.
+    pub side: f64,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Densities swept, in nodes per 1000 m² (the figure's x-axis).
+    pub densities_per_1000: Vec<usize>,
+    /// Thresholds, one curve each.
+    pub thresholds: Vec<usize>,
+    /// Trials per data point.
+    pub trials: usize,
+    /// Base seed; each threshold's trial stream is shared across densities
+    /// (paired comparison along a curve).
+    pub base_seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            side: 100.0,
+            range: 50.0,
+            densities_per_1000: vec![4, 8, 12, 16, 20, 24, 28, 32, 36, 40],
+            thresholds: vec![10, 30, 60],
+            trials: 10,
+            base_seed: 4_000,
+        }
+    }
+}
+
+/// One accuracy data point: a (threshold, density) cell of either figure.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Threshold `t`.
+    pub threshold: usize,
+    /// Density in nodes per 1000 m².
+    pub per_1000: usize,
+    /// The closed-form theory curve's value.
+    pub theory: f64,
+    /// The simulated mean accuracy.
+    pub simulated: f64,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// Figure 3's rows: one per threshold, trials fanned out over `exec`.
+pub fn fig3_rows(cfg: &Fig3Config, exec: &Executor) -> Vec<FigureRow> {
+    let scenario = cfg.scenario;
+    let density = scenario.density();
+    let per_1000 = (density * 1000.0).round() as usize;
+    cfg.thresholds
+        .iter()
+        .map(|&t| {
+            let seed = snd_exec::stream_seed(cfg.base_seed, t as u64);
+            let theory = validated_fraction_theory(t, density, scenario.range);
+            let stats = simulate_center_accuracy_observed_on(scenario, t, cfg.trials, seed, exec);
+            let simulated = stats.mean.unwrap_or(0.0);
+            let mut report = figure_report("fig3", scenario, t, cfg.trials, seed, &stats);
+            report.set_param("threads", &(exec.threads() as u64));
+            report.set_outcome("theory_accuracy", &theory);
+            FigureRow {
+                threshold: t,
+                per_1000,
+                theory,
+                simulated,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Figure 4's rows: the density × threshold grid, trials fanned out over
+/// `exec`. A threshold's trial seeds repeat across densities, so each
+/// curve is a paired comparison.
+pub fn fig4_rows(cfg: &Fig4Config, exec: &Executor) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for &per_1000 in &cfg.densities_per_1000 {
+        let density = per_1000 as f64 / 1000.0;
+        let nodes = (density * cfg.side * cfg.side).round() as usize;
+        let scenario = PaperScenario {
+            side: cfg.side,
+            nodes,
+            range: cfg.range,
+        };
+        for &t in &cfg.thresholds {
+            let seed = snd_exec::stream_seed(cfg.base_seed, t as u64);
+            let theory = validated_fraction_theory(t, density, cfg.range);
+            let stats = simulate_center_accuracy_observed_on(scenario, t, cfg.trials, seed, exec);
+            let simulated = stats.mean.unwrap_or(0.0);
+            let mut report = figure_report("fig4", scenario, t, cfg.trials, seed, &stats);
+            report.scenario = format!("d={per_1000},t={t}");
+            report.set_param("density_per_1000m2", &(per_1000 as u64));
+            report.set_param("threads", &(exec.threads() as u64));
+            report.set_outcome("theory_accuracy", &theory);
+            rows.push(FigureRow {
+                threshold: t,
+                per_1000,
+                theory,
+                simulated,
+                report,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the fractional-threshold ablation: mean accuracy of the
+/// absolute rule vs the fractional rule at one density.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Deployed nodes (on the paper's 100 × 100 m field).
+    pub nodes: usize,
+    /// Mean accuracy of the absolute `|overlap| >= t+1` rule.
+    pub absolute: f64,
+    /// Mean accuracy of the fractional `|overlap| >= f·min(deg)` rule.
+    pub fractional: f64,
+}
+
+/// Ablation (DESIGN.md §5): absolute threshold `|overlap| >= t+1` (paper)
+/// vs fractional rule `|overlap| >= f * min(deg)`; the fractional rule's
+/// accuracy is density-independent but forfeits Theorem 3's counting
+/// bound. Trials fan out over `exec` and share seed streams across
+/// densities.
+pub fn fractional_ablation_rows(
+    trials: usize,
+    base_seed: u64,
+    exec: &Executor,
+) -> Vec<AblationRow> {
+    use snd_core::model::functional::functional_topology;
+    use snd_core::model::validation::{CommonNeighborRule, NeighborValidationFunction};
+    use snd_topology::metrics::mean_accuracy;
+    use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+    use snd_topology::{Deployment, DiGraph, Field, NodeId};
+
+    /// Fractional-overlap validation: topology-only stand-in used to study
+    /// accuracy (security is out of scope for the ablation).
+    #[derive(Debug)]
+    struct FractionalRule {
+        fraction: f64,
+    }
+    impl NeighborValidationFunction for FractionalRule {
+        fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
+            if !knowledge.has_edge(u, v) {
+                return false;
+            }
+            let du = knowledge.out_degree(u);
+            let dv = knowledge.out_degree(v);
+            let need = (self.fraction * du.min(dv) as f64).ceil() as usize;
+            knowledge.common_out_neighbors(u, v).len() >= need.max(1)
+        }
+        fn name(&self) -> &'static str {
+            "fractional-overlap"
+        }
+    }
+
+    [100usize, 200, 400]
+        .iter()
+        .map(|&nodes| {
+            let sums = exec.run_trials(base_seed, trials, |_trial, seed| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let d = Deployment::uniform(Field::square(100.0), nodes, &mut rng);
+                let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+                let abs = functional_topology(&CommonNeighborRule::new(30), &g);
+                let frac = functional_topology(&FractionalRule { fraction: 0.25 }, &g);
+                let ids: Vec<NodeId> = d.ids().collect();
+                (
+                    mean_accuracy(&d, &abs, ids.iter().copied(), 50.0).unwrap_or(0.0),
+                    mean_accuracy(&d, &frac, ids, 50.0).unwrap_or(0.0),
+                )
+            });
+            let (abs_sum, frac_sum) = sums
+                .into_iter()
+                .fold((0.0, 0.0), |(a, f), (x, y)| (a + x, f + y));
+            AblationRow {
+                nodes,
+                absolute: abs_sum / trials as f64,
+                fractional: frac_sum / trials as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_rows_decline_with_threshold() {
+        let cfg = Fig3Config {
+            scenario: PaperScenario {
+                nodes: 100,
+                ..paper_scenario()
+            },
+            thresholds: vec![0, 80],
+            trials: 2,
+            ..Fig3Config::default()
+        };
+        let rows = fig3_rows(&cfg, &Executor::new(2));
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].simulated >= rows[1].simulated);
+        assert!(rows[0].theory >= rows[1].theory);
+    }
+
+    #[test]
+    fn fig4_rows_are_thread_count_invariant() {
+        let cfg = Fig4Config {
+            densities_per_1000: vec![8, 16],
+            thresholds: vec![10],
+            trials: 2,
+            ..Fig4Config::default()
+        };
+        let a = fig4_rows(&cfg, &Executor::serial());
+        let b = fig4_rows(&cfg, &Executor::new(4));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.simulated.to_bits(), y.simulated.to_bits());
+        }
+    }
+
+    #[test]
+    fn ablation_fractional_rule_is_density_stable() {
+        let rows = fractional_ablation_rows(2, 77, &Executor::new(2));
+        assert_eq!(rows.len(), 3);
+        // The absolute rule collapses at low density; the fractional rule
+        // holds up.
+        assert!(rows[0].fractional > rows[0].absolute);
+    }
+}

@@ -1,0 +1,258 @@
+//! Theory-experiment rows (E7): Theorems 1 and 2 executed as live attacks
+//! against topology-only validation functions, and the protocol-contrast
+//! run showing the deployed protocol rejecting the same forgery.
+
+use rand::SeedableRng;
+
+use snd_core::model::min_deploy::search_minimum_deployment;
+use snd_core::model::validation::{AcceptAll, CommonNeighborRule, NeighborValidationFunction};
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_core::theory::{execute_theorem1, execute_theorem2};
+use snd_exec::Executor;
+use snd_observe::report::RunReport;
+use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+use snd_topology::{Deployment, Field, NodeId, Point};
+
+use crate::report::{attach_recorder, engine_report};
+
+/// Scenario knobs for the theory experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenericAttackConfig {
+    /// Victim separation demanded of the Theorem 1 construction, meters.
+    pub separation: f64,
+    /// Thresholds whose `CommonNeighborRule` is attacked (Theorem 1).
+    pub t1_thresholds: Vec<usize>,
+    /// Thresholds swept in the Theorem 2 extendability attack.
+    pub t2_thresholds: Vec<usize>,
+    /// Nodes per cluster in the Theorem 2 / contrast two-cluster fields.
+    pub cluster_nodes: usize,
+    /// Threshold for the protocol-contrast run.
+    pub contrast_threshold: usize,
+    /// Base seed; each row derives its own via `trial_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for GenericAttackConfig {
+    fn default() -> Self {
+        GenericAttackConfig {
+            separation: 500.0,
+            t1_thresholds: vec![1, 5, 10],
+            t2_thresholds: vec![1, 3, 6, 10],
+            cluster_nodes: 25,
+            contrast_threshold: 3,
+            base_seed: 1,
+        }
+    }
+}
+
+/// One row of the Theorem 1 table.
+#[derive(Debug, Clone)]
+pub struct Theorem1Row {
+    /// Attacked rule's display label.
+    pub rule: String,
+    /// Minimum-deployment size `m = |G_min(F)|`.
+    pub m: usize,
+    /// Network size `n = 2m - 1` of the construction.
+    pub network_size: usize,
+    /// Whether both victims accepted the compromised node.
+    pub both_accept: bool,
+    /// Achieved victim separation, meters.
+    pub victim_separation: f64,
+}
+
+/// One row of the Theorem 2 table.
+#[derive(Debug, Clone)]
+pub struct Theorem2Row {
+    /// Threshold `t`.
+    pub threshold: usize,
+    /// Whether the fielded network is extendable at the target.
+    pub extendable: bool,
+    /// Whether the target accepted the forged relation set.
+    pub target_accepts: bool,
+    /// Distance between the compromised node and its victim, meters.
+    pub attack_distance: f64,
+    /// Spread of the victims, meters.
+    pub victim_spread: f64,
+}
+
+/// Outcome of the protocol-contrast run: the same forged relation set fed
+/// to the deployed protocol.
+#[derive(Debug, Clone)]
+pub struct ContrastOutcome {
+    /// Whether the replica fooled direct verification (tentative list).
+    pub replica_tentative: bool,
+    /// Whether the replica survived threshold validation (functional list).
+    pub replica_functional: bool,
+    /// Machine-readable run report.
+    pub report: RunReport,
+}
+
+/// Theorem 1 rows: the `AcceptAll` baseline plus one `CommonNeighborRule`
+/// per configured threshold, each row's witness search on its own derived
+/// seed.
+pub fn theorem1_rows(cfg: &GenericAttackConfig, exec: &Executor) -> Vec<Theorem1Row> {
+    // Row 0 is AcceptAll; rows 1.. are the threshold rules.
+    let mut rows: Vec<Option<usize>> = vec![None];
+    rows.extend(cfg.t1_thresholds.iter().copied().map(Some));
+    exec.run_over(cfg.base_seed, &rows, |_, &t, seed| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match t {
+            None => {
+                let witness =
+                    search_minimum_deployment(&AcceptAll, 4, 10, &mut rng).expect("witness");
+                let out = execute_theorem1(&AcceptAll, &witness, cfg.separation);
+                Theorem1Row {
+                    rule: AcceptAll.name().into(),
+                    m: witness.size(),
+                    network_size: out.network_size,
+                    both_accept: out.near_victim_accepts && out.far_victim_accepts,
+                    victim_separation: out.victim_separation,
+                }
+            }
+            Some(t) => {
+                let rule = CommonNeighborRule::new(t);
+                let witness =
+                    search_minimum_deployment(&rule, t + 5, 10, &mut rng).expect("witness");
+                let out = execute_theorem1(&rule, &witness, cfg.separation);
+                Theorem1Row {
+                    rule: format!("{} t={t}", rule.name()),
+                    m: witness.size(),
+                    network_size: out.network_size,
+                    both_accept: out.near_victim_accepts && out.far_victim_accepts,
+                    victim_separation: out.victim_separation,
+                }
+            }
+        }
+    })
+}
+
+/// Theorem 2 rows: a two-cluster field (clusters ~700 m apart) built once
+/// from a derived seed, then the extendability attack per threshold.
+pub fn theorem2_rows(cfg: &GenericAttackConfig, exec: &Executor) -> Vec<Theorem2Row> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::stream_seed(cfg.base_seed, 2));
+    let mut d = Deployment::empty(Field::new(1000.0, 200.0));
+    let mut id = 0u64;
+    for cluster_x in [50.0f64, 800.0] {
+        for _ in 0..cfg.cluster_nodes {
+            use rand::Rng;
+            d.place(
+                NodeId(id),
+                Point::new(
+                    cluster_x + rng.gen_range(0.0..100.0),
+                    50.0 + rng.gen_range(0.0..100.0),
+                ),
+            );
+            id += 1;
+        }
+    }
+    let g = unit_disk_graph(&d, &RadioSpec::uniform(50.0));
+    let victim = NodeId(cfg.cluster_nodes as u64 + 5);
+
+    exec.run_over(cfg.base_seed, &cfg.t2_thresholds, |_, &t, _seed| {
+        let rule = CommonNeighborRule::new(t);
+        let out = execute_theorem2(&rule, &g, &d, NodeId(0), victim);
+        Theorem2Row {
+            threshold: t,
+            extendable: out.extendable,
+            target_accepts: out.target_accepts,
+            attack_distance: out.attack_distance,
+            victim_spread: out.victim_spread,
+        }
+    })
+}
+
+/// The punchline: feed the *same* forged relation set to the deployed
+/// protocol — binding-record authentication kills it.
+pub fn protocol_contrast(cfg: &GenericAttackConfig, exec: &Executor) -> ContrastOutcome {
+    let t = cfg.contrast_threshold;
+    let seed = snd_exec::stream_seed(cfg.base_seed, 3);
+    let n = cfg.cluster_nodes as u64;
+    let mut engine = DiscoveryEngine::new(
+        Field::new(1000.0, 200.0),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(t).without_updates(),
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    // Cluster A (victims of the would-be extension) and cluster B (home of
+    // the compromised node).
+    let mut wave = Vec::new();
+    for k in 0..n {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(50.0 + 18.0 * (k % 5) as f64, 60.0 + 18.0 * (k / 5) as f64),
+        );
+        wave.push(id);
+    }
+    for k in n..2 * n {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(
+                800.0 + 18.0 * (k % 5) as f64,
+                60.0 + 18.0 * ((k - n) / 5) as f64,
+            ),
+        );
+        wave.push(id);
+    }
+    engine.run_wave(&wave);
+
+    // Compromise one node from cluster B, replicate it inside cluster A,
+    // then deploy a fresh victim in cluster A.
+    let compromised = NodeId(n + 5);
+    engine.compromise(compromised).expect("operational");
+    engine
+        .place_replica(compromised, Point::new(80.0, 90.0))
+        .expect("compromised");
+    let fresh = NodeId(2 * n + 49);
+    engine.deploy_at(fresh, Point::new(85.0, 95.0));
+    engine.run_wave(&[fresh]);
+
+    let victim = engine.node(fresh).expect("deployed");
+    let tentative = victim.tentative_neighbors().contains(&compromised);
+    let functional = victim.functional_neighbors().contains(&compromised);
+
+    let mut report = engine_report(
+        "generic_attack",
+        "protocol_contrast",
+        seed,
+        &engine,
+        recorder.take(),
+    );
+    report.set_param("threshold", &(t as u64));
+    report.set_param("threads", &(exec.threads() as u64));
+    report.set_outcome("replica_tentative", &tentative);
+    report.set_outcome("replica_functional", &functional);
+    ContrastOutcome {
+        replica_tentative: tentative,
+        replica_functional: functional,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_defeats_topology_only_rules() {
+        let cfg = GenericAttackConfig {
+            t1_thresholds: vec![1],
+            ..GenericAttackConfig::default()
+        };
+        let rows = theorem1_rows(&cfg, &Executor::new(2));
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.both_accept, "{} should be defeated", row.rule);
+            assert!(row.victim_separation >= cfg.separation);
+        }
+    }
+
+    #[test]
+    fn contrast_rejects_replica_functionally() {
+        let out = protocol_contrast(&GenericAttackConfig::default(), &Executor::serial());
+        assert!(out.replica_tentative, "replicas fool direct verification");
+        assert!(!out.replica_functional, "the protocol must stop them");
+    }
+}

@@ -1,0 +1,26 @@
+//! The experiment row producers behind every bench binary.
+//!
+//! Each submodule owns one experiment family: a `*Config` describing the
+//! scenario (defaults reproduce the paper-scale runs, tests shrink them),
+//! and row functions that fan independent rows/trials out over an
+//! [`snd_exec::Executor`] and merge the results **in trial order**.
+//!
+//! The binaries under `src/bin/` are thin CLI shells: parse flags, call a
+//! row function, print the table, append the reports. Keeping the row
+//! logic here means the determinism regression test and the golden schema
+//! test exercise *exactly* the code paths that produce the published
+//! numbers.
+//!
+//! Seeding contract (see `DESIGN.md` §9): every trial seed is derived with
+//! [`snd_exec::trial_seed`] from the experiment's base seed, and any
+//! additional RNG a trial needs comes from [`snd_exec::stream_seed`] off
+//! the trial seed — never `base + trial` or `seed ^ constant` arithmetic,
+//! which correlates streams between adjacent bases.
+
+pub mod app_impact;
+pub mod centralized;
+pub mod compare_parno;
+pub mod figures;
+pub mod generic_attack;
+pub mod overhead;
+pub mod safety;

@@ -1,0 +1,260 @@
+//! Overhead accounting rows (E9, Section 4.3): per-node storage, message,
+//! byte and hash-op costs across the density × threshold grid, plus the
+//! Section 4.4 update extension's marginal cost.
+
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
+use snd_observe::report::RunReport;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::Field;
+
+use crate::report::{attach_recorder, engine_report};
+
+/// Scenario knobs for the overhead grid. Defaults reproduce the paper-scale
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadConfig {
+    /// Square field side length in meters.
+    pub side: f64,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Densities to sweep, in nodes per 1000 m².
+    pub densities_per_1000: Vec<usize>,
+    /// Thresholds `t` to sweep.
+    pub thresholds: Vec<usize>,
+    /// Nodes in the two-wave extension experiment's first wave.
+    pub two_wave_nodes: usize,
+    /// Threshold for the two-wave extension experiment.
+    pub two_wave_threshold: usize,
+    /// Base seed; each grid cell derives its own via `trial_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        OverheadConfig {
+            side: 200.0,
+            range: 50.0,
+            densities_per_1000: vec![10, 20, 40],
+            thresholds: vec![5, 15, 30],
+            two_wave_nodes: 800,
+            two_wave_threshold: 15,
+            base_seed: 5,
+        }
+    }
+}
+
+/// Per-node cost figures for one overhead row — exactly the table's cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measured {
+    /// Stored items (records, commitments, evidence) per node.
+    pub storage: f64,
+    /// Messages sent per node.
+    pub msgs: f64,
+    /// Bytes sent per node.
+    pub bytes: f64,
+    /// One-way hash operations per node.
+    pub hashes: f64,
+    /// Binding-record updates applied (two-wave rows only).
+    pub updates: u64,
+}
+
+/// One row of the density × threshold grid.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Density in nodes per 1000 m².
+    pub per_1000: usize,
+    /// Threshold `t`.
+    pub threshold: usize,
+    /// The measured per-node costs.
+    pub measured: Measured,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// One row of the update-extension table.
+#[derive(Debug, Clone)]
+pub struct TwoWaveRow {
+    /// Whether the Section 4.4 update flow was enabled.
+    pub updates_enabled: bool,
+    /// The measured per-node costs.
+    pub measured: Measured,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// E9's main grid: one full discovery per (density, threshold) cell, cells
+/// fanned out over the executor.
+pub fn density_rows(cfg: &OverheadConfig, exec: &Executor) -> Vec<OverheadRow> {
+    let cells: Vec<(usize, usize)> = cfg
+        .densities_per_1000
+        .iter()
+        .flat_map(|&d| cfg.thresholds.iter().map(move |&t| (d, t)))
+        .collect();
+    exec.run_over(cfg.base_seed, &cells, |_, &(per_1000, t), seed| {
+        let nodes = (per_1000 as f64 / 1000.0 * cfg.side * cfg.side).round() as usize;
+        let (measured, mut report) = measure(cfg, nodes, t, seed);
+        report.set_param("density_per_1000m2", &(per_1000 as u64));
+        report.set_param("nodes", &(nodes as u64));
+        report.set_param("threshold", &(t as u64));
+        report.set_param("threads", &(exec.threads() as u64));
+        fill_outcomes(&mut report, &measured);
+        OverheadRow {
+            per_1000,
+            threshold: t,
+            measured,
+            report,
+        }
+    })
+}
+
+/// The update extension's extra cost (Section 4.4 closing paragraph): a
+/// second and third wave joining an existing field, with updates off/on.
+pub fn two_wave_rows(cfg: &OverheadConfig, exec: &Executor) -> Vec<TwoWaveRow> {
+    // A distinct stream so the two-wave rows never share seeds with the
+    // grid cells.
+    let base = snd_exec::stream_seed(cfg.base_seed, 1);
+    exec.run_over(base, &[false, true], |_, &enabled, seed| {
+        let (measured, mut report) = measure_two_wave(cfg, enabled, seed);
+        report.set_param("nodes", &(cfg.two_wave_nodes as u64));
+        report.set_param("threshold", &(cfg.two_wave_threshold as u64));
+        report.set_param("updates_enabled", &enabled);
+        report.set_param("threads", &(exec.threads() as u64));
+        fill_outcomes(&mut report, &measured);
+        report.set_outcome("updates_applied", &measured.updates);
+        TwoWaveRow {
+            updates_enabled: enabled,
+            measured,
+            report,
+        }
+    })
+}
+
+/// Copies the per-node cost figures into the report's outcomes.
+fn fill_outcomes(report: &mut RunReport, m: &Measured) {
+    report.set_outcome("storage_per_node", &m.storage);
+    report.set_outcome("msgs_per_node", &m.msgs);
+    report.set_outcome("bytes_per_node", &m.bytes);
+    report.set_outcome("hashes_per_node", &m.hashes);
+}
+
+fn measure(cfg: &OverheadConfig, nodes: usize, t: usize, seed: u64) -> (Measured, RunReport) {
+    let config = ProtocolConfig::with_threshold(t).without_updates();
+    let mut engine = DiscoveryEngine::new(
+        Field::square(cfg.side),
+        RadioSpec::uniform(cfg.range),
+        config,
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    let ids = engine.deploy_uniform(nodes);
+    engine.run_wave(&ids);
+    let report = engine_report(
+        "overhead",
+        &format!("density,nodes={nodes},t={t}"),
+        seed,
+        &engine,
+        recorder.take(),
+    );
+    (collect(&engine, nodes as f64, 0), report)
+}
+
+fn measure_two_wave(cfg: &OverheadConfig, updates: bool, seed: u64) -> (Measured, RunReport) {
+    let nodes = cfg.two_wave_nodes;
+    let mut config = ProtocolConfig::with_threshold(cfg.two_wave_threshold);
+    if !updates {
+        config = config.without_updates();
+    }
+    let mut engine = DiscoveryEngine::new(
+        Field::square(cfg.side),
+        RadioSpec::uniform(cfg.range),
+        config,
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    let first = engine.deploy_uniform(nodes);
+    engine.run_wave(&first);
+    // Second wave: 10% fresh nodes join and issue evidence to old
+    // neighbors; third wave: another 10%, during which the evidenced old
+    // nodes actually refresh their records.
+    let second = engine.deploy_uniform(nodes / 10);
+    let report2 = engine.run_wave(&second);
+    let third = engine.deploy_uniform(nodes / 10);
+    let report3 = engine.run_wave(&third);
+    let report = engine_report(
+        "overhead",
+        &format!("two_wave,updates={updates}"),
+        seed,
+        &engine,
+        recorder.take(),
+    );
+    (
+        collect(
+            &engine,
+            (nodes + 2 * (nodes / 10)) as f64,
+            report2.updates_applied + report3.updates_applied,
+        ),
+        report,
+    )
+}
+
+fn collect(engine: &DiscoveryEngine, nodes: f64, updates: u64) -> Measured {
+    let totals = engine.sim().metrics().totals();
+    let storage: usize = engine
+        .node_ids()
+        .filter_map(|id| engine.node(id))
+        .map(|n| n.storage_items())
+        .sum();
+    Measured {
+        storage: storage as f64 / nodes,
+        msgs: (totals.unicasts_sent + totals.broadcasts_sent) as f64 / nodes,
+        bytes: totals.bytes_sent as f64 / nodes,
+        hashes: engine.hash_ops() as f64 / nodes,
+        updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OverheadConfig {
+        OverheadConfig {
+            side: 120.0,
+            densities_per_1000: vec![10, 20],
+            thresholds: vec![5],
+            two_wave_nodes: 120,
+            ..OverheadConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_rows_cover_the_cartesian_product() {
+        let cfg = small();
+        let rows = density_rows(&cfg, &Executor::serial());
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].per_1000, rows[0].threshold), (10, 5));
+        assert_eq!((rows[1].per_1000, rows[1].threshold), (20, 5));
+        // Denser fields send more per node (degree grows).
+        assert!(rows[1].measured.msgs > rows[0].measured.msgs);
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let cfg = small();
+        let a = density_rows(&cfg, &Executor::serial());
+        let b = density_rows(&cfg, &Executor::new(4));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.measured, y.measured);
+        }
+    }
+
+    #[test]
+    fn updates_cost_more_than_no_updates() {
+        let cfg = small();
+        let rows = two_wave_rows(&cfg, &Executor::new(2));
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].updates_enabled && rows[1].updates_enabled);
+        assert!(rows[1].measured.msgs >= rows[0].measured.msgs);
+    }
+}

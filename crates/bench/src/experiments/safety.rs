@@ -1,0 +1,397 @@
+//! Safety experiment rows (E5, E6, E11 in DESIGN.md): empirical 2R-safety,
+//! threshold tightness, and the (m+1)R bound under record updates.
+//!
+//! Each table row is one independent attack scenario on its own derived
+//! seed, so rows fan out across the executor's workers; the row vector
+//! comes back in row order regardless of thread count.
+
+use std::sync::Arc;
+
+use snd_core::adversary::AdversaryBehavior;
+use snd_core::model::safety::check_d_safety;
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
+use snd_observe::recorder::MemoryRecorder;
+use snd_observe::report::RunReport;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId, Point};
+
+use crate::report::{attach_recorder, engine_report};
+
+/// Scenario knobs shared by the safety experiments. Defaults reproduce the
+/// paper-scale runs; tests shrink `nodes`/`side` for speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyConfig {
+    /// Nodes in the initial benign deployment wave.
+    pub nodes: usize,
+    /// Square field side length in meters.
+    pub side: f64,
+    /// Radio range `R` in meters.
+    pub range: f64,
+    /// Validation threshold `t`.
+    pub threshold: usize,
+    /// Base seed; each row derives its own via `trial_seed`.
+    pub base_seed: u64,
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        SafetyConfig {
+            nodes: 900,
+            side: 400.0,
+            range: 50.0,
+            threshold: 5,
+            base_seed: 11,
+        }
+    }
+}
+
+/// One row of the 2R-safety table (E5).
+#[derive(Debug, Clone)]
+pub struct SafetyRow {
+    /// Compromised-cluster size `c`.
+    pub cluster_size: usize,
+    /// Worst victim containment radius over the cluster, meters.
+    pub worst_radius: f64,
+    /// Benign victims that accepted any compromised identity.
+    pub victims: usize,
+    /// Whether the radius stayed within 2R.
+    pub two_r_safe: bool,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// One row of the threshold-tightness table (E11).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Colluding cluster size `c`.
+    pub cluster_size: usize,
+    /// Worst victim containment radius, meters.
+    pub worst_radius: f64,
+    /// Whether a remote victim accepted (the attack landed).
+    pub remote_accept: bool,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// One row of the update-creep table (E6).
+#[derive(Debug, Clone)]
+pub struct CreepRow {
+    /// The update cap `m`.
+    pub max_updates: u32,
+    /// Farthest benign victim from the original deployment point, meters.
+    pub impact_radius: f64,
+    /// Theorem 4's bound `(m+1)R`, meters.
+    pub bound: f64,
+    /// Whether the radius respected the bound.
+    pub within_bound: bool,
+    /// Machine-readable row report.
+    pub report: RunReport,
+}
+
+/// E5 — empirical 2R-safety (Theorem 3): one row per compromised-cluster
+/// size in `cluster_sizes`, each replicated at 4 remote sites with victim
+/// waves beside each site.
+pub fn two_r_safety_rows(
+    cfg: &SafetyConfig,
+    cluster_sizes: &[usize],
+    exec: &Executor,
+) -> Vec<SafetyRow> {
+    exec.run_over(cfg.base_seed, cluster_sizes, |_, &c, seed| {
+        let (mut engine, cluster, recorder) = base_engine(cfg, 0, seed, c);
+        let (radius, victims) = attack_and_measure(cfg, &mut engine, &cluster);
+        let safe = radius <= 2.0 * cfg.range;
+        let mut report = engine_report("safety", &format!("c={c}"), seed, &engine, recorder.take());
+        fill_safety_params(&mut report, cfg, c, exec);
+        report.set_outcome("worst_radius_m", &radius);
+        report.set_outcome("victims", &(victims as u64));
+        report.set_outcome("two_r_safe", &safe);
+        SafetyRow {
+            cluster_size: c,
+            worst_radius: radius,
+            victims,
+            two_r_safe: safe,
+            report,
+        }
+    })
+}
+
+/// E11 — threshold tightness: colluding co-located clusters of growing
+/// size; Theorem 3 protects while `c <= t`, and the attack must land once
+/// the cluster exceeds `t + 1` co-located colluders.
+pub fn threshold_sweep_rows(
+    cfg: &SafetyConfig,
+    cluster_sizes: &[usize],
+    exec: &Executor,
+) -> Vec<SweepRow> {
+    exec.run_over(cfg.base_seed, cluster_sizes, |_, &c, seed| {
+        let (mut engine, cluster, recorder) = base_engine(cfg, 0, seed, c);
+        let (radius, _) = attack_and_measure(cfg, &mut engine, &cluster);
+        let remote = radius > 2.0 * cfg.range;
+        let mut report = engine_report(
+            "safety_threshold",
+            &format!("c={c}"),
+            seed,
+            &engine,
+            recorder.take(),
+        );
+        fill_safety_params(&mut report, cfg, c, exec);
+        report.set_outcome("worst_radius_m", &radius);
+        report.set_outcome("remote_accept", &remote);
+        report.set_outcome("two_r_safe", &!remote);
+        SweepRow {
+            cluster_size: c,
+            worst_radius: radius,
+            remote_accept: remote,
+            report,
+        }
+    })
+}
+
+/// E6 — (m+1)R-safety under binding-record updates (Theorem 4): one row
+/// per update cap in `caps`, each a compromised node creeping outward
+/// through malicious record refreshes.
+pub fn update_creep_rows(cfg: &SafetyConfig, caps: &[u32], exec: &Executor) -> Vec<CreepRow> {
+    exec.run_over(cfg.base_seed, caps, |_, &m, seed| {
+        let (radius, mut report) = creep_radius(cfg, m, seed);
+        let bound = (m as f64 + 1.0) * cfg.range;
+        let within = radius <= bound + 1e-6;
+        report.set_param("threshold", &(cfg.threshold as u64));
+        report.set_param("max_updates", &u64::from(m));
+        report.set_param("threads", &(exec.threads() as u64));
+        report.set_outcome("impact_radius_m", &radius);
+        report.set_outcome("bound_m", &bound);
+        report.set_outcome("within_bound", &within);
+        CreepRow {
+            max_updates: m,
+            impact_radius: radius,
+            bound,
+            within_bound: within,
+            report,
+        }
+    })
+}
+
+/// Shared scenario parameters for the safety run reports.
+fn fill_safety_params(report: &mut RunReport, cfg: &SafetyConfig, c: usize, exec: &Executor) {
+    report.set_param("nodes", &(cfg.nodes as u64));
+    report.set_param("side_m", &cfg.side);
+    report.set_param("range_m", &cfg.range);
+    report.set_param("threshold", &(cfg.threshold as u64));
+    report.set_param("cluster_size", &(c as u64));
+    report.set_param("threads", &(exec.threads() as u64));
+}
+
+/// Builds a field, runs wave 1, and returns the engine plus the IDs of a
+/// mutually-tentative cluster of `c` nodes near (0.15·side, 0.15·side).
+fn base_engine(
+    cfg: &SafetyConfig,
+    max_updates: u32,
+    seed: u64,
+    c: usize,
+) -> (DiscoveryEngine, Vec<NodeId>, Arc<MemoryRecorder>) {
+    let mut config = ProtocolConfig::with_threshold(cfg.threshold);
+    config.max_updates = max_updates;
+    config.issue_evidence = max_updates > 0;
+    let mut engine = DiscoveryEngine::new(
+        Field::square(cfg.side),
+        RadioSpec::uniform(cfg.range),
+        config,
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    let ids = engine.deploy_uniform(cfg.nodes);
+    engine.run_wave(&ids);
+
+    // Cluster: the node nearest the anchor point plus its c-1 nearest
+    // neighbors.
+    let anchor_at = Point::new(0.15 * cfg.side, 0.15 * cfg.side);
+    let anchor = engine
+        .deployment()
+        .nearest(anchor_at)
+        .expect("field populated")
+        .0;
+    let anchor_pos = engine.deployment().position(anchor).expect("anchor placed");
+    let mut by_distance: Vec<(f64, NodeId)> = engine
+        .deployment()
+        .iter()
+        .filter(|(id, _)| *id != anchor)
+        .map(|(id, p)| (p.distance(&anchor_pos), id))
+        .collect();
+    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut cluster = vec![anchor];
+    cluster.extend(
+        by_distance
+            .iter()
+            .take(c.saturating_sub(1))
+            .map(|(_, id)| *id),
+    );
+    (engine, cluster, recorder)
+}
+
+/// Replicates every cluster member at several sites and deploys victim
+/// waves next to each site. Returns the worst containment radius over the
+/// cluster.
+fn attack_and_measure(
+    cfg: &SafetyConfig,
+    engine: &mut DiscoveryEngine,
+    cluster: &[NodeId],
+) -> (f64, usize) {
+    let side = cfg.side;
+    let sites = [
+        Point::new(side - 30.0, side - 30.0),
+        Point::new(side - 30.0, 30.0),
+        Point::new(30.0, side - 30.0),
+        Point::new(side / 2.0, side - 30.0),
+    ];
+    for &id in cluster {
+        engine.compromise(id).expect("operational node");
+        for &s in &sites {
+            engine.place_replica(id, s).expect("compromised");
+        }
+    }
+    // Victim waves: 4 fresh nodes beside each replica site.
+    let mut next = engine.deployment().next_id().raw();
+    for &s in &sites {
+        let mut wave = Vec::new();
+        for k in 0..4u64 {
+            let id = NodeId(next);
+            next += 1;
+            engine.deploy_at(id, Point::new(s.x - 6.0 + 4.0 * (k as f64), s.y + 5.0));
+            wave.push(id);
+        }
+        engine.run_wave(&wave);
+    }
+
+    let functional = engine.functional_topology();
+    let compromised = engine.adversary().compromised_set();
+    let report = check_d_safety(
+        &functional,
+        engine.deployment(),
+        &compromised,
+        2.0 * cfg.range,
+    );
+    let false_accepts: usize = report.impacts.iter().map(|i| i.victims.len()).sum();
+    (report.worst_radius(), false_accepts)
+}
+
+/// Runs the creep attack with update cap `m` and returns the farthest
+/// benign victim distance from the compromised node's original deployment,
+/// plus the run's report.
+fn creep_radius(cfg: &SafetyConfig, m: u32, seed: u64) -> (f64, RunReport) {
+    let t = cfg.threshold;
+    let mut config = ProtocolConfig::with_threshold(t);
+    config.max_updates = m;
+    config.issue_evidence = true;
+    let mut engine = DiscoveryEngine::new(
+        Field::new(1400.0, 200.0),
+        RadioSpec::uniform(cfg.range),
+        config,
+        seed,
+    );
+    let recorder = attach_recorder(&mut engine);
+    // Benign seed cluster around the to-be-compromised node w at (60, 100).
+    let w = NodeId(0);
+    engine.deploy_at(w, Point::new(60.0, 100.0));
+    let mut wave = vec![w];
+    for k in 1..=8u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(40.0 + 6.0 * (k as f64), 90.0 + 3.0 * ((k % 4) as f64)),
+        );
+        wave.push(id);
+    }
+    engine.run_wave(&wave);
+
+    engine.compromise(w).expect("operational");
+    engine.adversary_mut().set_behavior(AdversaryBehavior {
+        answer_hellos: true,
+        replay_records: true,
+        request_updates: true,
+        forge_records_with_master: false,
+    });
+
+    // Batches of t+2 nodes marching +x in 0.4R steps; a replica of w rides
+    // along so every batch considers w tentative.
+    let step = 0.4 * cfg.range;
+    let batch_size = t + 2;
+    let mut next_id = 100u64;
+    for batch in 1..=24u64 {
+        let x = 60.0 + step * batch as f64;
+        engine
+            .place_replica(w, Point::new(x, 100.0))
+            .expect("compromised");
+        let mut wave = Vec::new();
+        for k in 0..batch_size as u64 {
+            let id = NodeId(next_id);
+            next_id += 1;
+            engine.deploy_at(id, Point::new(x, 85.0 + 6.0 * k as f64));
+            wave.push(id);
+        }
+        engine.run_wave(&wave);
+    }
+
+    // Farthest benign victim from w's original deployment point.
+    let functional = engine.functional_topology();
+    let origin = engine.deployment().position(w).expect("w placed");
+    let radius = functional
+        .in_neighbors(w)
+        .filter(|v| !engine.adversary().controls(*v))
+        .filter_map(|v| engine.deployment().position(v))
+        .map(|p| p.distance(&origin))
+        .fold(0.0, f64::max);
+    let report = engine_report(
+        "safety_updates",
+        &format!("m={m}"),
+        seed,
+        &engine,
+        recorder.take(),
+    );
+    (radius, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SafetyConfig {
+        SafetyConfig {
+            nodes: 250,
+            side: 300.0,
+            ..SafetyConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_r_rows_hold_the_bound_below_threshold() {
+        let cfg = small();
+        let rows = two_r_safety_rows(&cfg, &[1, 2], &Executor::serial());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                row.two_r_safe,
+                "c={} radius={}",
+                row.cluster_size, row.worst_radius
+            );
+            assert_eq!(row.report.experiment, "safety");
+        }
+    }
+
+    #[test]
+    fn rows_are_thread_count_invariant() {
+        let cfg = small();
+        let serial = two_r_safety_rows(&cfg, &[1, 2, 3], &Executor::serial());
+        let parallel = two_r_safety_rows(&cfg, &[1, 2, 3], &Executor::new(3));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.worst_radius.to_bits(), b.worst_radius.to_bits());
+            assert_eq!(a.victims, b.victims);
+            // Reports differ only in the recorded thread count.
+            let mut ra = a.report.clone();
+            let mut rb = b.report.clone();
+            ra.params.remove("threads");
+            rb.params.remove("threads");
+            assert_eq!(ra.to_json(), rb.to_json());
+        }
+    }
+}

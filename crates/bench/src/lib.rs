@@ -14,12 +14,17 @@
 //! | `app_impact` | Section 1 — routing/clustering/aggregation impact (E10) |
 //!
 //! This library provides the text-table rendering and simulation helpers
-//! those binaries share. Each binary also appends one machine-readable
-//! [`report::RunReport`] per table row to `results/<name>.jsonl` (see
-//! [`report`]).
+//! those binaries share. The row-producing logic itself lives in
+//! [`experiments`]; the binaries are thin CLI shells over it, and every
+//! experiment fans its independent trials out over an
+//! [`snd_exec::Executor`] (`SND_THREADS` workers) while keeping the merged
+//! output byte-identical at any thread count. Each binary also appends one
+//! machine-readable [`report::RunReport`] per table row to
+//! `results/<name>.jsonl` (see [`report`]).
 
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod report;
 pub mod scenario;
 pub mod table;

@@ -60,6 +60,26 @@ impl ExperimentLog {
     }
 }
 
+/// Mirrors a merged report's transport totals and hash count into its
+/// registry counters, preserving the single-engine invariant that
+/// `registry.counters` (`sim.unicasts_sent`, `sim.bytes_sent`,
+/// `core.hash_ops`, …) agrees with the top-level `totals` / `hash_ops`.
+///
+/// Multi-trial rows sum counters over many short-lived engines, so they
+/// cannot use [`MetricsRegistry::ingest_sim`] on a live engine; call this
+/// after the last trial is folded in and the registry snapshot captured.
+pub fn mirror_totals_into_registry(report: &mut RunReport) {
+    let totals = report.totals;
+    let counters = &mut report.registry.counters;
+    counters.insert("sim.unicasts_sent".into(), totals.unicasts_sent);
+    counters.insert("sim.broadcasts_sent".into(), totals.broadcasts_sent);
+    counters.insert("sim.received".into(), totals.received);
+    counters.insert("sim.bytes_sent".into(), totals.bytes_sent);
+    counters.insert("sim.bytes_received".into(), totals.bytes_received);
+    counters.insert("sim.hash_ops".into(), report.hash_ops);
+    counters.insert("core.hash_ops".into(), report.hash_ops);
+}
+
 /// Attaches a fresh [`MemoryRecorder`] to `engine` and returns it.
 ///
 /// Call before the engine's first wave; drain with
@@ -137,5 +157,27 @@ mod tests {
         );
         assert!(!report.events.is_empty());
         assert!(report.to_json().contains(r#""experiment":"demo""#));
+    }
+
+    #[test]
+    fn mirror_totals_keeps_registry_in_sync_with_merged_totals() {
+        let mut report = RunReport::new("demo", "merged", 1);
+        report.totals.unicasts_sent = 10;
+        report.totals.broadcasts_sent = 4;
+        report.totals.received = 13;
+        report.totals.bytes_sent = 2_000;
+        report.totals.bytes_received = 1_900;
+        report.hash_ops = 77;
+
+        mirror_totals_into_registry(&mut report);
+
+        let c = &report.registry.counters;
+        assert_eq!(c["sim.unicasts_sent"], 10);
+        assert_eq!(c["sim.broadcasts_sent"], 4);
+        assert_eq!(c["sim.received"], 13);
+        assert_eq!(c["sim.bytes_sent"], 2_000);
+        assert_eq!(c["sim.bytes_received"], 1_900);
+        assert_eq!(c["sim.hash_ops"], 77);
+        assert_eq!(c["core.hash_ops"], 77);
     }
 }

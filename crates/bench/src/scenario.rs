@@ -6,10 +6,16 @@
 //! meters. We also set the maximum radio range R to 50 meters. We focus on
 //! the sensor node located at the center of this field and obtain the
 //! simulation data from this node."
+//!
+//! Trials are independent deployments on independently derived seeds, so
+//! they fan out across an [`Executor`]'s worker pool; per-trial outcomes
+//! are merged **in trial order**, which keeps every derived statistic —
+//! floating-point means included — byte-identical at any thread count.
 
 use std::sync::Arc;
 
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
+use snd_exec::Executor;
 use snd_observe::event::Event;
 use snd_observe::recorder::{MemoryRecorder, Recorder};
 use snd_observe::report::{RawJson, RunReport};
@@ -49,9 +55,9 @@ pub fn paper_scenario() -> PaperScenario {
 /// accuracy metric at the center node: the fraction of its actual
 /// neighbors that made it into its functional neighbor list.
 ///
-/// Averages over `trials` independent deployments. Returns `None` only in
-/// the degenerate case where every trial left the center node without
-/// actual neighbors.
+/// Averages over `trials` independent deployments (run on the
+/// `SND_THREADS`-sized pool). Returns `None` only in the degenerate case
+/// where every trial left the center node without actual neighbors.
 pub fn simulate_center_accuracy(
     scenario: PaperScenario,
     threshold: usize,
@@ -66,7 +72,7 @@ pub fn simulate_center_accuracy(
 /// The trials run many short-lived engines, so the transport and decision
 /// counters here are *sums over all trials* — the cost of producing one
 /// figure data point, ready for a [`RunReport`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CenterAccuracyStats {
     /// Mean accuracy over the trials where the metric was defined, or
     /// `None` if the center node never had an actual neighbor.
@@ -90,22 +96,7 @@ impl CenterAccuracyStats {
         report.hash_ops = self.hash_ops;
         report.set_outcome("accuracy", &self.mean.unwrap_or(0.0));
         report.set_outcome("per_trial", &self.per_trial);
-        report
-            .registry
-            .counters
-            .insert("sim.unicasts_sent".into(), self.totals.unicasts_sent);
-        report
-            .registry
-            .counters
-            .insert("sim.broadcasts_sent".into(), self.totals.broadcasts_sent);
-        report
-            .registry
-            .counters
-            .insert("sim.bytes_sent".into(), self.totals.bytes_sent);
-        report
-            .registry
-            .counters
-            .insert("sim.hash_ops".into(), self.hash_ops);
+        crate::report::mirror_totals_into_registry(report);
         report
             .registry
             .counters
@@ -117,54 +108,97 @@ impl CenterAccuracyStats {
     }
 }
 
-/// [`simulate_center_accuracy`] with the full per-batch accounting: each
-/// trial engine carries a recorder, and the validation decisions plus the
-/// simulator's cost counters are folded into the returned stats.
+/// What one center-accuracy trial produced, before merging.
+#[derive(Debug, Clone, PartialEq)]
+struct CenterTrial {
+    accuracy: Option<f64>,
+    totals: NodeCounters,
+    hash_ops: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+/// One full-protocol trial on its own derived seed: fresh engine, fresh
+/// deployment, center node measured.
+fn center_trial(scenario: PaperScenario, threshold: usize, seed: u64) -> CenterTrial {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(scenario.side),
+        RadioSpec::uniform(scenario.range),
+        ProtocolConfig::with_threshold(threshold).without_updates(),
+        seed,
+    );
+    let recorder = MemoryRecorder::shared();
+    engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let mut ids = engine.deploy_uniform(scenario.nodes.saturating_sub(1));
+    // The measured node sits exactly at the field center.
+    let center = NodeId(scenario.nodes as u64);
+    engine.deploy_at(center, Field::square(scenario.side).center());
+    ids.push(center);
+    engine.run_wave(&ids);
+
+    let functional = engine.functional_topology();
+    let accuracy = neighbor_accuracy(engine.deployment(), &functional, center, scenario.range);
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for rec in recorder.take() {
+        if let Event::ValidationDecision { accepted: ok, .. } = rec.event {
+            if ok {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+    }
+    CenterTrial {
+        accuracy,
+        totals: engine.sim().metrics().totals(),
+        hash_ops: engine.hash_ops(),
+        accepted,
+        rejected,
+    }
+}
+
+/// [`simulate_center_accuracy`] with the full per-batch accounting, on the
+/// environment-sized executor (`SND_THREADS`, default: available
+/// parallelism).
 pub fn simulate_center_accuracy_observed(
     scenario: PaperScenario,
     threshold: usize,
     trials: usize,
     seed: u64,
 ) -> CenterAccuracyStats {
-    let mut stats = CenterAccuracyStats::default();
-    for trial in 0..trials {
-        let mut engine = DiscoveryEngine::new(
-            Field::square(scenario.side),
-            RadioSpec::uniform(scenario.range),
-            ProtocolConfig::with_threshold(threshold).without_updates(),
-            seed.wrapping_add(trial as u64),
-        );
-        let recorder = MemoryRecorder::shared();
-        engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
-        let mut ids = engine.deploy_uniform(scenario.nodes.saturating_sub(1));
-        // The measured node sits exactly at the field center.
-        let center = NodeId(scenario.nodes as u64);
-        engine.deploy_at(center, Field::square(scenario.side).center());
-        ids.push(center);
-        engine.run_wave(&ids);
+    simulate_center_accuracy_observed_on(scenario, threshold, trials, seed, &Executor::from_env())
+}
 
-        let functional = engine.functional_topology();
-        if let Some(a) = neighbor_accuracy(engine.deployment(), &functional, center, scenario.range)
-        {
+/// [`simulate_center_accuracy`] with the full per-batch accounting: each
+/// trial engine carries a recorder, trials run on `exec`'s pool, and the
+/// validation decisions plus the simulator's cost counters are folded into
+/// the returned stats in trial order.
+pub fn simulate_center_accuracy_observed_on(
+    scenario: PaperScenario,
+    threshold: usize,
+    trials: usize,
+    seed: u64,
+    exec: &Executor,
+) -> CenterAccuracyStats {
+    let outcomes = exec.run_trials(seed, trials, |_trial, trial_seed| {
+        center_trial(scenario, threshold, trial_seed)
+    });
+
+    let mut stats = CenterAccuracyStats::default();
+    for trial in outcomes {
+        if let Some(a) = trial.accuracy {
             stats.per_trial.push(a);
         }
-
-        let totals = engine.sim().metrics().totals();
-        stats.totals.unicasts_sent += totals.unicasts_sent;
-        stats.totals.broadcasts_sent += totals.broadcasts_sent;
-        stats.totals.received += totals.received;
-        stats.totals.bytes_sent += totals.bytes_sent;
-        stats.totals.bytes_received += totals.bytes_received;
-        stats.hash_ops += engine.hash_ops();
-        for rec in recorder.take() {
-            if let Event::ValidationDecision { accepted, .. } = rec.event {
-                if accepted {
-                    stats.accepted += 1;
-                } else {
-                    stats.rejected += 1;
-                }
-            }
-        }
+        stats.totals.unicasts_sent += trial.totals.unicasts_sent;
+        stats.totals.broadcasts_sent += trial.totals.broadcasts_sent;
+        stats.totals.received += trial.totals.received;
+        stats.totals.bytes_sent += trial.totals.bytes_sent;
+        stats.totals.bytes_received += trial.totals.bytes_received;
+        stats.hash_ops += trial.hash_ops;
+        stats.accepted += trial.accepted;
+        stats.rejected += trial.rejected;
     }
     if !stats.per_trial.is_empty() {
         stats.mean = Some(stats.per_trial.iter().sum::<f64>() / stats.per_trial.len() as f64);
@@ -230,5 +264,14 @@ mod tests {
         let lo = simulate_center_accuracy(s, 5, 1, 11).unwrap();
         let hi = simulate_center_accuracy(s, 60, 1, 11).unwrap();
         assert!(lo >= hi, "t=5 gave {lo}, t=60 gave {hi}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_stats() {
+        let mut s = paper_scenario();
+        s.nodes = 90;
+        let serial = simulate_center_accuracy_observed_on(s, 5, 4, 13, &Executor::serial());
+        let threaded = simulate_center_accuracy_observed_on(s, 5, 4, 13, &Executor::new(4));
+        assert_eq!(serial, threaded);
     }
 }

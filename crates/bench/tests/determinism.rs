@@ -1,0 +1,122 @@
+//! Determinism regression tests for the parallel trial executor
+//! (DESIGN.md §9).
+//!
+//! The contract: running any experiment batch at 1, 2 or 8 threads must
+//! produce byte-identical merged statistics and byte-identical serialized
+//! `RunReport` rows. The only field allowed to differ is the recorded
+//! `threads` parameter itself (the analogue of "timestamps excluded" —
+//! `RunReport` carries no timestamps), which these tests strip before
+//! comparing.
+
+use snd_bench::experiments::safety::{two_r_safety_rows, SafetyConfig};
+use snd_bench::scenario::{paper_scenario, simulate_center_accuracy_observed_on};
+use snd_exec::Executor;
+use snd_observe::report::RunReport;
+
+/// Serializes a report with the thread-count parameter removed; everything
+/// that remains must be byte-identical across thread counts.
+fn canonical_json(report: &RunReport) -> String {
+    let mut r = report.clone();
+    r.params.remove("threads");
+    r.to_json()
+}
+
+/// A quick safety scenario: small enough for CI, large enough that the
+/// trial closures do real protocol work (deployment, waves, replicas,
+/// validation) and the recorder/metrics merge paths are exercised.
+fn quick_safety() -> SafetyConfig {
+    SafetyConfig {
+        nodes: 220,
+        side: 300.0,
+        ..SafetyConfig::default()
+    }
+}
+
+#[test]
+fn safety_rows_are_byte_identical_at_1_2_8_threads() {
+    let cfg = quick_safety();
+    let cluster_sizes = [1usize, 2, 3];
+    let baseline = two_r_safety_rows(&cfg, &cluster_sizes, &Executor::new(1));
+    for threads in [2usize, 8] {
+        let rows = two_r_safety_rows(&cfg, &cluster_sizes, &Executor::new(threads));
+        assert_eq!(baseline.len(), rows.len());
+        for (a, b) in baseline.iter().zip(&rows) {
+            assert_eq!(
+                a.worst_radius.to_bits(),
+                b.worst_radius.to_bits(),
+                "threads={threads} c={}",
+                a.cluster_size
+            );
+            assert_eq!(a.victims, b.victims, "threads={threads}");
+            assert_eq!(a.two_r_safe, b.two_r_safe, "threads={threads}");
+            assert_eq!(
+                canonical_json(&a.report),
+                canonical_json(&b.report),
+                "threads={threads} c={}",
+                a.cluster_size
+            );
+        }
+    }
+}
+
+#[test]
+fn safety_reports_record_the_thread_count() {
+    let cfg = quick_safety();
+    let rows = two_r_safety_rows(&cfg, &[1], &Executor::new(2));
+    let json = rows[0].report.to_json();
+    assert!(
+        json.contains("\"threads\":2"),
+        "report must record its thread count: {json}"
+    );
+}
+
+#[test]
+fn center_accuracy_stats_are_byte_identical_at_1_2_8_threads() {
+    let mut scenario = paper_scenario();
+    scenario.nodes = 90;
+    let baseline = simulate_center_accuracy_observed_on(scenario, 5, 6, 13, &Executor::new(1));
+    for threads in [2usize, 8] {
+        let stats =
+            simulate_center_accuracy_observed_on(scenario, 5, 6, 13, &Executor::new(threads));
+        // Structural equality covers the f64 mean (same bits: the fold
+        // happens in trial order regardless of scheduling).
+        assert_eq!(baseline, stats, "threads={threads}");
+        assert_eq!(
+            baseline.mean.map(f64::to_bits),
+            stats.mean.map(f64::to_bits),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn run_report_rows_serialize_identically_through_the_full_report_path() {
+    use snd_bench::scenario::figure_report;
+
+    let mut scenario = paper_scenario();
+    scenario.nodes = 90;
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let exec = Executor::new(threads);
+        let stats = simulate_center_accuracy_observed_on(scenario, 5, 4, 21, &exec);
+        let mut report = figure_report("determinism", scenario, 5, 4, 21, &stats);
+        report.set_param("threads", &(exec.threads() as u64));
+        rows.push(canonical_json(&report));
+    }
+    assert_eq!(rows[0], rows[1]);
+    assert_eq!(rows[0], rows[2]);
+}
+
+#[test]
+fn snd_threads_env_contract_is_respected_by_from_env() {
+    // `Executor::from_env` is read from `SND_THREADS`; CI runs the suite
+    // with SND_THREADS=8. Whatever the ambient value, from_env must yield
+    // a positive pool and the batch must match the serial baseline.
+    let exec = Executor::from_env();
+    assert!(exec.threads() >= 1);
+    let mut scenario = paper_scenario();
+    scenario.nodes = 80;
+    let ambient = simulate_center_accuracy_observed_on(scenario, 5, 3, 5, &exec);
+    let serial = simulate_center_accuracy_observed_on(scenario, 5, 3, 5, &Executor::serial());
+    assert_eq!(ambient, serial);
+}

@@ -1,0 +1,298 @@
+//! Golden-file schema tests for the `results/*.jsonl` rows.
+//!
+//! `tests/golden/` holds one committed fixture row per bench binary —
+//! exactly what that binary appends to its results file, generated at a
+//! small deterministic configuration. The tests parse the fixtures with
+//! `snd_observe::json` (the vendored serializer's read half) and assert
+//! the schema — field names, their order and their JSON types — in two
+//! directions:
+//!
+//! * every fixture satisfies the `RunReport` contract (the fixed
+//!   twelve-field top level), so the committed files document the format;
+//! * a freshly generated row per binary has the *same* schema as its
+//!   fixture, so renaming a param/outcome key or changing a value's type
+//!   fails here before it silently breaks downstream readers.
+//!
+//! Values are deliberately not compared — experiments may retune without
+//! touching the format. Regenerate fixtures after an intentional schema
+//! change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p snd-bench --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use snd_bench::experiments::app_impact::{impact_rows, AppImpactConfig};
+use snd_bench::experiments::centralized::{localized_vs_centralized, CentralizedConfig};
+use snd_bench::experiments::compare_parno::{replica_rows, CompareParnoConfig};
+use snd_bench::experiments::figures::{fig3_rows, fig4_rows, Fig3Config, Fig4Config};
+use snd_bench::experiments::generic_attack::{protocol_contrast, GenericAttackConfig};
+use snd_bench::experiments::overhead::{density_rows, OverheadConfig};
+use snd_bench::experiments::safety::{two_r_safety_rows, SafetyConfig};
+use snd_bench::scenario::{paper_scenario, PaperScenario};
+use snd_exec::Executor;
+use snd_observe::json::{parse, Value};
+use snd_observe::report::RunReport;
+
+/// The `RunReport` top level, in serialization order, with each field's
+/// JSON type. `config` serializes as an object (or `null` when a report
+/// never attached one — no bench binary does that).
+const TOP_LEVEL: [(&str, &str); 12] = [
+    ("experiment", "string"),
+    ("scenario", "string"),
+    ("seed", "number"),
+    ("config", "object"),
+    ("params", "object"),
+    ("totals", "object"),
+    ("hash_ops", "number"),
+    ("drops", "object"),
+    ("per_node", "object"),
+    ("registry", "object"),
+    ("outcomes", "object"),
+    ("events", "array"),
+];
+
+/// `NodeCounters`' fields, all numbers.
+const COUNTER_FIELDS: [&str; 5] = [
+    "unicasts_sent",
+    "broadcasts_sent",
+    "received",
+    "bytes_sent",
+    "bytes_received",
+];
+
+fn fixture_path(bin: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{bin}.jsonl"))
+}
+
+/// One representative report per bench binary, at a small deterministic
+/// configuration run serially. Each is a row the binary would append to
+/// `results/<bin>.jsonl` (larger runs add rows, not fields).
+fn representative_reports() -> Vec<(&'static str, RunReport)> {
+    let exec = Executor::serial();
+    let mut rows = Vec::new();
+
+    let safety = SafetyConfig {
+        nodes: 220,
+        side: 300.0,
+        ..SafetyConfig::default()
+    };
+    rows.push((
+        "safety",
+        two_r_safety_rows(&safety, &[1], &exec).remove(0).report,
+    ));
+
+    let fig3 = Fig3Config {
+        scenario: PaperScenario {
+            nodes: 90,
+            ..paper_scenario()
+        },
+        thresholds: vec![5],
+        trials: 2,
+        ..Fig3Config::default()
+    };
+    rows.push(("fig3", fig3_rows(&fig3, &exec).remove(0).report));
+
+    let fig4 = Fig4Config {
+        densities_per_1000: vec![8],
+        thresholds: vec![10],
+        trials: 2,
+        ..Fig4Config::default()
+    };
+    rows.push(("fig4", fig4_rows(&fig4, &exec).remove(0).report));
+
+    let overhead = OverheadConfig {
+        side: 120.0,
+        densities_per_1000: vec![10],
+        thresholds: vec![5],
+        two_wave_nodes: 120,
+        ..OverheadConfig::default()
+    };
+    rows.push(("overhead", density_rows(&overhead, &exec).remove(0).report));
+
+    rows.push((
+        "generic_attack",
+        protocol_contrast(&GenericAttackConfig::default(), &exec).report,
+    ));
+
+    let parno = CompareParnoConfig {
+        side: 250.0,
+        nodes: 180,
+        sites: vec![1],
+        trials: 2,
+        ..CompareParnoConfig::default()
+    };
+    rows.push((
+        "compare_parno",
+        replica_rows(&parno, &exec).remove(0).report,
+    ));
+
+    let central = CentralizedConfig {
+        side: 250.0,
+        nodes: 200,
+        replica_sites: 3,
+        trials: 3,
+        ..CentralizedConfig::default()
+    };
+    rows.push((
+        "centralized",
+        localized_vs_centralized(&central, &exec).report,
+    ));
+
+    let impact = AppImpactConfig {
+        side: 220.0,
+        nodes: 150,
+        replica_sites: 4,
+        trials: 2,
+        ..AppImpactConfig::default()
+    };
+    rows.push(("app_impact", impact_rows(&impact, &exec).remove(0).report));
+
+    rows
+}
+
+/// Renders a row's schema: the top-level fields in order with their types;
+/// `params`, `outcomes`, `totals` and `registry` expanded one level (their
+/// keys are part of a binary's format). Data-keyed maps (`per_node`,
+/// `drops`) and the event stream stay opaque — their keys are run data.
+fn row_schema(root: &Value) -> String {
+    let mut out = String::new();
+    for (key, value) in root.as_object().expect("report row is a JSON object") {
+        let rendered = match key.as_str() {
+            "params" | "outcomes" | "totals" | "registry" => shallow(value),
+            _ => value.kind().to_string(),
+        };
+        writeln!(out, "{key}:{rendered}").expect("write to String");
+    }
+    out
+}
+
+/// `{key:kind,...}` one level deep, keys in source order.
+fn shallow(v: &Value) -> String {
+    match v.as_object() {
+        Some(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", v.kind()))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        None => v.kind().to_string(),
+    }
+}
+
+/// Asserts the fixed `RunReport` contract on one parsed row.
+fn assert_report_contract(bin: &str, row: &Value) {
+    let keys = row.keys();
+    let expected: Vec<&str> = TOP_LEVEL.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, expected, "{bin}: top-level fields, in order");
+    for (key, kind) in TOP_LEVEL {
+        assert_eq!(
+            row.get(key).expect("present").kind(),
+            kind,
+            "{bin}: field `{key}`"
+        );
+    }
+    let totals = row.get("totals").expect("present");
+    for field in COUNTER_FIELDS {
+        assert_eq!(
+            totals.get(field).map(Value::kind),
+            Some("number"),
+            "{bin}: totals.{field}"
+        );
+    }
+    let registry = row.get("registry").expect("present");
+    assert_eq!(registry.keys(), vec!["counters", "histograms"], "{bin}");
+    assert_eq!(
+        row.get("params")
+            .expect("present")
+            .get("threads")
+            .map(Value::kind),
+        Some("number"),
+        "{bin}: every row must record its thread count"
+    );
+}
+
+#[test]
+fn fixtures_satisfy_the_run_report_contract() {
+    for (bin, _) in representative_reports() {
+        let path = fixture_path(bin);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let line = text.lines().next().unwrap_or_else(|| {
+            panic!("fixture {} is empty", path.display());
+        });
+        let row = parse(line).unwrap_or_else(|e| {
+            panic!("fixture {} does not parse: {e}", path.display());
+        });
+        assert_report_contract(bin, &row);
+        assert_eq!(
+            row.get("experiment").and_then(Value::as_str),
+            Some(bin),
+            "fixture {} must carry its binary's experiment name",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fresh_rows_match_the_committed_fixture_schema() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (bin, report) in representative_reports() {
+        let json = report.to_json();
+        let path = fixture_path(bin);
+        if update {
+            fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+            fs::write(&path, format!("{json}\n")).expect("write fixture");
+            continue;
+        }
+        let fresh = parse(&json).expect("generated rows serialize to valid JSON");
+        assert_report_contract(bin, &fresh);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {}: {e}\nregenerate with UPDATE_GOLDEN=1 \
+                 cargo test -p snd-bench --test golden",
+                path.display()
+            )
+        });
+        let committed = parse(text.lines().next().expect("one row")).expect("fixture parses");
+        assert_eq!(
+            row_schema(&committed),
+            row_schema(&fresh),
+            "{bin}: schema drifted from tests/golden/{bin}.jsonl — if \
+             intentional, regenerate with UPDATE_GOLDEN=1 cargo test -p \
+             snd-bench --test golden"
+        );
+    }
+}
+
+#[test]
+fn committed_results_files_parse_and_satisfy_the_contract() {
+    // `results/` sits at the workspace root, two levels up from this
+    // crate. The directory is a build artifact of the bench binaries; when
+    // a file is absent (fresh checkout, results not regenerated) there is
+    // nothing to check — the fixtures above still pin the schema.
+    let results = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let Ok(entries) = fs::read_dir(&results) else {
+        return;
+    };
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable results file");
+        for (i, line) in text.lines().enumerate() {
+            let row = parse(line).unwrap_or_else(|e| {
+                panic!("{}:{}: {e}", path.display(), i + 1);
+            });
+            let name = path.file_stem().and_then(|s| s.to_str()).expect("utf-8");
+            assert_report_contract(name, &row);
+        }
+    }
+}

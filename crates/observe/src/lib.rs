@@ -15,7 +15,10 @@
 //!   seed, counters and the event stream into one JSON object;
 //!   [`report::JsonlWriter`] appends them to `results/*.jsonl` so every
 //!   bench binary produces machine-readable output next to its text
-//!   tables.
+//!   tables;
+//! * **a JSON reader** — [`json::parse`] loads report lines back into a
+//!   [`json::Value`] tree (the vendored serializer has no deserializer),
+//!   so golden-file tests can check `results/*.jsonl` schemas.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod report;

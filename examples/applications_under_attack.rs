@@ -35,12 +35,11 @@ fn main() {
     engine.compromise(target).expect("operational");
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let mut victims = Vec::new();
-    let mut next = engine.deployment().next_id().raw();
-    for _ in 0..8 {
+    let first = engine.deployment().next_id().raw();
+    for next in first..first + 8 {
         let site = Point::new(rng.gen_range(0.0..300.0), rng.gen_range(0.0..300.0));
         engine.place_replica(target, site).expect("compromised");
         let victim = NodeId(next);
-        next += 1;
         engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(300.0)));
         engine.run_wave(&[victim]);
         victims.push(victim);

@@ -14,6 +14,7 @@
 //! * [`topology`] (`snd-topology`) — deployments, unit-disk graphs,
 //!   partitions, minimal enclosing circles;
 //! * [`sim`] (`snd-sim`) — the deterministic discrete-event simulator;
+//! * [`exec`] (`snd-exec`) — the deterministic parallel trial executor;
 //! * [`observe`] (`snd-observe`) — structured tracing, metrics registry
 //!   and machine-readable run reports;
 //! * [`core`] (`snd-core`) — the paper's model, theorems, protocol,
@@ -46,6 +47,7 @@ pub use snd_apps as apps;
 pub use snd_baselines as baselines;
 pub use snd_core as core;
 pub use snd_crypto as crypto;
+pub use snd_exec as exec;
 pub use snd_observe as observe;
 pub use snd_sim as sim;
 pub use snd_topology as topology;

@@ -7,7 +7,7 @@ use secure_neighbor_discovery::crypto::broadcast_auth::{TeslaReceiver, TeslaSend
 use secure_neighbor_discovery::crypto::sha256::{Digest, Sha256};
 use secure_neighbor_discovery::sim::prelude::*;
 use secure_neighbor_discovery::topology::unit_disk::RadioSpec;
-use secure_neighbor_discovery::topology::{Deployment, Field, NodeId, Point};
+use secure_neighbor_discovery::topology::{Deployment, Field, NodeId};
 
 /// Base station at the field center, 30 sensors around it.
 fn star_network(seed: u64) -> (Simulator, NodeId, Vec<NodeId>) {

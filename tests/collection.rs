@@ -43,13 +43,13 @@ fn attacked_world(seed: u64) -> World {
         .find(|&id| id != sink && engine.node(id).is_some())
         .expect("nodes exist");
     engine.compromise(target).expect("operational");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
-    let mut next = engine.deployment().next_id().raw();
-    for _ in 0..8 {
+    let mut rng =
+        rand::rngs::StdRng::seed_from_u64(secure_neighbor_discovery::exec::stream_seed(seed, 1));
+    let first = engine.deployment().next_id().raw();
+    for next in first..first + 8 {
         let site = Point::new(rng.gen_range(0.0..SIDE), rng.gen_range(0.0..SIDE));
         engine.place_replica(target, site).expect("compromised");
         let victim = NodeId(next);
-        next += 1;
         engine.deploy_at(victim, Point::new(site.x, (site.y + 4.0).min(SIDE)));
         engine.run_wave(&[victim]);
     }
@@ -65,7 +65,7 @@ fn attacked_world(seed: u64) -> World {
 
 #[test]
 fn protected_collection_yield_dominates_unprotected() {
-    let w = attacked_world(61);
+    let w = attacked_world(611);
     let unprotected_tree = CollectionTree::build(&w.unprotected, w.sink);
     let protected_tree = CollectionTree::build(&w.protected, w.sink);
 

@@ -108,10 +108,10 @@ fn expired_jammer_lets_later_waves_through() {
     ));
     // Advance past the jam window before deploying anything.
     let ids = eng.deploy_uniform(80);
-    eng.run_wave(&ids[..40].to_vec());
+    eng.run_wave(&ids[..40]);
     // First half ran while... actually check both halves; the second wave
     // must definitely succeed after expiry.
-    eng.run_wave(&ids[40..].to_vec());
+    eng.run_wave(&ids[40..]);
     let functional = eng.functional_topology();
     let second_half_connected = ids[40..]
         .iter()

@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) over the system's core invariants:
-//! Definition 3's isomorphism invariance, the geometry of d-safety
-//! checking, wire-format robustness, protocol commitments, and Theorem 3's
-//! bound on randomized attack configurations.
+//! Definition 3's isomorphism invariance (including under fully random ID
+//! permutations, Definition 2), the geometry of d-safety checking,
+//! wire-format robustness, protocol commitments, and Theorem 3's 2R bound
+//! on randomized attack configurations — with a domain-specific shrinker
+//! that reduces any violating deployment to a minimal counterexample.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -57,6 +59,42 @@ proptest! {
         prop_assert!(is_isomorphism_invariant(
             &CommonNeighborRule::new(t), NodeId(u), NodeId(v), &g, &map
         ));
+    }
+
+    #[test]
+    fn validation_is_invariant_under_random_id_permutations(
+        g in graph_strategy(16),
+        t in 0usize..4,
+        u in 0u64..16,
+        v in 0u64..16,
+        perm_seed in any::<u64>(),
+    ) {
+        // Definition 2: F(u, v, B) depends only on the *structure* of the
+        // knowledge graph, so any bijective relabeling π must leave it
+        // unchanged: F(u, v, B) == F(π(u), π(v), π(B)). The relabeling here
+        // is a uniformly random permutation (Fisher–Yates on a derived
+        // stream), not just an additive offset.
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut targets: Vec<u64> = (0..16).collect();
+        for i in (1..targets.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            targets.swap(i, j);
+        }
+        let map: BTreeMap<NodeId, NodeId> = (0..16u64)
+            .map(|x| (NodeId(x), NodeId(targets[x as usize])))
+            .collect();
+        prop_assert!(is_isomorphism_invariant(&AcceptAll, NodeId(u), NodeId(v), &g, &map));
+        prop_assert!(is_isomorphism_invariant(
+            &CommonNeighborRule::new(t), NodeId(u), NodeId(v), &g, &map
+        ));
+        // Sanity: the permuted graph has the same edge count (π is a
+        // bijection, nothing collapses).
+        let permuted: DiGraph = g
+            .edges()
+            .map(|(a, b)| (map[&a], map[&b]))
+            .collect();
+        prop_assert_eq!(permuted.edge_count(), g.edge_count());
     }
 
     #[test]
@@ -245,6 +283,247 @@ proptest! {
             report.holds(),
             "seed {} t {} site ({:.0},{:.0}): radius {:.1}",
             seed, t, site_x, site_y, report.worst_radius()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3 at the model level, with a domain-specific shrinker.
+//
+// The vendored proptest has no generic shrinking, so the 2R-safety property
+// carries its own: when a random deployment violates the bound, the failure
+// path greedily removes benign nodes while the violation persists, and the
+// assertion message reports a *minimal* counterexample deployment (removing
+// any single remaining benign node makes the violation disappear).
+// ---------------------------------------------------------------------------
+
+/// A replica-attack scenario in the validation model: true positions, a
+/// colluding compromised set, and one replica site luring victims.
+#[derive(Clone)]
+struct AttackScenario {
+    deployment: secure_neighbor_discovery::topology::Deployment,
+    compromised: BTreeSet<NodeId>,
+    site: Point,
+    range: f64,
+    threshold: usize,
+}
+
+impl AttackScenario {
+    /// The tentative knowledge graph the attack produces, honoring the
+    /// protocol's authentication constraints:
+    ///
+    /// * benign↔benign edges are genuine unit-disk links;
+    /// * every benign node within range of the replica site believes an
+    ///   edge *to* each compromised node (it heard the replica and the
+    ///   replayed record verifies);
+    /// * a compromised node's own relation set stays what its
+    ///   deployment-time binding record authenticates — its genuine home
+    ///   neighbors plus its colluders (who co-signed each other before
+    ///   deployment). It cannot forge edges to the site's benign nodes.
+    fn tentative(&self) -> DiGraph {
+        let mut g = DiGraph::new();
+        for (id, _) in self.deployment.iter() {
+            g.add_node(id);
+        }
+        let nodes: Vec<(NodeId, Point)> = self.deployment.iter().collect();
+        for &(u, pu) in &nodes {
+            for &(v, pv) in &nodes {
+                if u != v && pu.distance(&pv) <= self.range {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        for &(v, pv) in &nodes {
+            if self.compromised.contains(&v) {
+                continue;
+            }
+            if pv.distance(&self.site) <= self.range {
+                for &w in &self.compromised {
+                    g.add_edge(v, w);
+                }
+            }
+        }
+        for &w1 in &self.compromised {
+            for &w2 in &self.compromised {
+                if w1 != w2 {
+                    g.add_edge(w1, w2);
+                }
+            }
+        }
+        g
+    }
+
+    /// Whether the scenario violates Theorem 3's 2R bound.
+    fn violates_2r(&self) -> bool {
+        let functional =
+            functional_topology(&CommonNeighborRule::new(self.threshold), &self.tentative());
+        !check_d_safety(
+            &functional,
+            &self.deployment,
+            &self.compromised,
+            2.0 * self.range,
+        )
+        .holds()
+    }
+
+    /// Greedy node-removal shrinker: repeatedly deletes benign nodes while
+    /// the violation persists, until no single further removal preserves
+    /// it. The result is a minimal counterexample deployment.
+    fn shrink(&self) -> AttackScenario {
+        assert!(self.violates_2r(), "shrink() needs a violating scenario");
+        let mut current = self.clone();
+        loop {
+            let benign: Vec<NodeId> = current
+                .deployment
+                .ids()
+                .filter(|id| !current.compromised.contains(id))
+                .collect();
+            let mut shrunk = false;
+            for id in benign {
+                let mut candidate = current.clone();
+                candidate.deployment.remove(id);
+                if candidate.violates_2r() {
+                    current = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+            if !shrunk {
+                return current;
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        let nodes: Vec<String> = self
+            .deployment
+            .iter()
+            .map(|(id, p)| {
+                let tag = if self.compromised.contains(&id) {
+                    "*"
+                } else {
+                    ""
+                };
+                format!("{id}{tag}@({:.0},{:.0})", p.x, p.y)
+            })
+            .collect();
+        format!(
+            "minimal counterexample ({} nodes, * = compromised, site ({:.0},{:.0}), t={}): [{}]",
+            self.deployment.len(),
+            self.site.x,
+            self.site.y,
+            self.threshold,
+            nodes.join(", ")
+        )
+    }
+}
+
+/// Builds the random scenario shared by the property and the shrinker
+/// demonstration: a uniform benign field, `c` colluders clustered in one
+/// corner, one replica site elsewhere, and a few fresh victims beside it.
+fn random_attack_scenario(seed: u64, nodes: usize, c: usize, t: usize) -> AttackScenario {
+    use rand::{Rng as _, SeedableRng as _};
+    let side = 400.0;
+    let range = 50.0;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut deployment = secure_neighbor_discovery::topology::Deployment::uniform(
+        Field::square(side),
+        nodes,
+        &mut rng,
+    );
+    // Colluders: a tight cluster near the origin corner.
+    let mut compromised = BTreeSet::new();
+    for k in 0..c {
+        let id = NodeId(10_000 + k as u64);
+        deployment.place(
+            id,
+            Point::new(30.0 + 4.0 * k as f64, 30.0 + 3.0 * (k % 3) as f64),
+        );
+        compromised.insert(id);
+    }
+    // Replica site far from the colluders' home, with fresh victims beside
+    // it (the late wave the attack targets).
+    let site = Point::new(
+        rng.gen_range(250.0..side - 10.0),
+        rng.gen_range(10.0..side - 10.0),
+    );
+    for k in 0..4u64 {
+        deployment.place(
+            NodeId(20_000 + k),
+            Point::new(
+                (site.x - 6.0 + 4.0 * k as f64).max(0.0),
+                (site.y + 5.0).min(side),
+            ),
+        );
+    }
+    AttackScenario {
+        deployment,
+        compromised,
+        site,
+        range,
+        threshold: t,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem3_model_random_deployments_are_2r_safe(
+        seed in any::<u64>(),
+        nodes in 40usize..140,
+        t in 1usize..5,
+        c_off in 0usize..5,
+    ) {
+        // Up to t compromised colluders (Theorem 3's premise).
+        let c = 1 + c_off % t;
+        let scenario = random_attack_scenario(seed, nodes, c, t);
+        if scenario.violates_2r() {
+            // Shrink before failing so the report is a minimal
+            // counterexample, not a 140-node haystack.
+            let minimal = scenario.shrink();
+            prop_assert!(false, "2R-safety violated; {}", minimal.describe());
+        }
+    }
+}
+
+#[test]
+fn shrinker_produces_a_minimal_counterexample_when_the_bound_is_breached() {
+    // c = t + 2 colluders exceed Theorem 3's premise: remote victims see
+    // c - 1 >= t + 1 common neighbors and accept, so the violation exists
+    // by construction.
+    let t = 2;
+    let scenario = random_attack_scenario(77, 90, t + 2, t);
+    assert!(
+        scenario.violates_2r(),
+        "c = t+2 colluders must break the 2R bound"
+    );
+
+    let minimal = scenario.shrink();
+    // Still a counterexample...
+    assert!(
+        minimal.violates_2r(),
+        "shrinking must preserve the violation"
+    );
+    // ...genuinely smaller than the original...
+    assert!(
+        minimal.deployment.len() < scenario.deployment.len() / 2,
+        "shrinker should discard most of the {}-node field (kept {})",
+        scenario.deployment.len(),
+        minimal.deployment.len()
+    );
+    // ...and 1-minimal: removing any single remaining benign node destroys
+    // the violation.
+    for id in minimal.deployment.ids().collect::<Vec<_>>() {
+        if minimal.compromised.contains(&id) {
+            continue;
+        }
+        let mut smaller = minimal.clone();
+        smaller.deployment.remove(id);
+        assert!(
+            !smaller.violates_2r(),
+            "removing {id} keeps the violation — {} is not minimal",
+            minimal.describe()
         );
     }
 }
