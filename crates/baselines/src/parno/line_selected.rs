@@ -49,6 +49,20 @@ impl LineSelectedMulticast {
         rng: &mut R,
     ) -> DetectionOutcome {
         let mut hops = HopTable::new(topology);
+        self.detect_with(deployment, target, sites, rng, &mut hops)
+    }
+
+    /// Like [`detect`](Self::detect), but routing over a caller-supplied
+    /// [`HopTable`] so its mutual view and BFS cache are shared across
+    /// schemes and rounds on the same topology.
+    pub fn detect_with<R: Rng + ?Sized>(
+        &self,
+        deployment: &Deployment,
+        target: NodeId,
+        sites: &[Point],
+        rng: &mut R,
+        hops: &mut HopTable,
+    ) -> DetectionOutcome {
         let all_ids: Vec<NodeId> = deployment.ids().filter(|&id| id != target).collect();
         let mut outcome = DetectionOutcome::default();
         let mut stored: std::collections::BTreeMap<NodeId, Vec<LocationClaim>> =

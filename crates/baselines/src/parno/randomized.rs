@@ -54,6 +54,22 @@ impl RandomizedMulticast {
         rng: &mut R,
     ) -> DetectionOutcome {
         let mut hops = HopTable::new(topology);
+        self.detect_with(deployment, topology, target, sites, rng, &mut hops)
+    }
+
+    /// Like [`detect`](Self::detect), but routing over a caller-supplied
+    /// [`HopTable`] so its mutual view and BFS cache are shared across
+    /// schemes and rounds on the same topology. `topology` is still needed
+    /// to reconstruct per-node radio ranges.
+    pub fn detect_with<R: Rng + ?Sized>(
+        &self,
+        deployment: &Deployment,
+        topology: &DiGraph,
+        target: NodeId,
+        sites: &[Point],
+        rng: &mut R,
+        hops: &mut HopTable,
+    ) -> DetectionOutcome {
         let all_ids: Vec<NodeId> = deployment.ids().filter(|&id| id != target).collect();
         let mut outcome = DetectionOutcome::default();
         // witness -> claims stored there

@@ -5,41 +5,51 @@
 //! [`HopTable`] precomputes BFS hop distances over the mutual (undirected)
 //! view of a topology so baselines can charge realistic per-claim costs.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use snd_topology::{DiGraph, NodeId};
+use snd_topology::{DiGraph, FrozenGraph, NodeId};
+
+/// Hop count marking unreachable nodes in cached BFS rows.
+const UNREACHED: u32 = u32::MAX;
 
 /// All-pairs-on-demand BFS hop distances over a topology's mutual edges.
+///
+/// Runs on a [`FrozenGraph`] mutual view: BFS rows are flat `Vec<u32>`
+/// distance tables indexed by the snapshot's dense node indexes, and CSR
+/// rows iterate neighbors in ascending-id order — the same tie-breaking the
+/// old `BTreeSet` walk used, so reconstructed paths are identical.
 #[derive(Debug, Clone)]
 pub struct HopTable {
-    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
-    cache: BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
+    mutual: FrozenGraph,
+    cache: BTreeMap<u32, Vec<u32>>,
 }
 
 impl HopTable {
     /// Builds a hop table for `graph`.
     pub fn new(graph: &DiGraph) -> Self {
+        Self::from_frozen(&FrozenGraph::freeze(graph))
+    }
+
+    /// Builds a hop table from an existing snapshot, sharing the freeze
+    /// cost with other consumers of the same topology.
+    pub fn from_frozen(frozen: &FrozenGraph) -> Self {
         HopTable {
-            adj: graph.mutual_adjacency(),
+            mutual: frozen.mutual_view(),
             cache: BTreeMap::new(),
         }
     }
 
-    fn bfs(&mut self, source: NodeId) -> &BTreeMap<NodeId, u32> {
+    fn bfs(&mut self, source: u32) -> &Vec<u32> {
         if !self.cache.contains_key(&source) {
-            let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
-            if self.adj.contains_key(&source) {
-                dist.insert(source, 0);
-                let mut queue = VecDeque::from([source]);
-                while let Some(u) = queue.pop_front() {
-                    let du = dist[&u];
-                    if let Some(nbrs) = self.adj.get(&u) {
-                        for &v in nbrs {
-                            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
-                                e.insert(du + 1);
-                                queue.push_back(v);
-                            }
-                        }
+            let mut dist = vec![UNREACHED; self.mutual.node_count()];
+            dist[source as usize] = 0;
+            let mut queue = VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                for &v in self.mutual.out(u) {
+                    if dist[v as usize] == UNREACHED {
+                        dist[v as usize] = du + 1;
+                        queue.push_back(v);
                     }
                 }
             }
@@ -50,38 +60,46 @@ impl HopTable {
 
     /// Hop distance from `a` to `b`, or `None` when disconnected.
     pub fn hops(&mut self, a: NodeId, b: NodeId) -> Option<u32> {
-        self.bfs(a).get(&b).copied()
+        let ai = self.mutual.index_of(a)?;
+        let bi = self.mutual.index_of(b)?;
+        Some(self.bfs(ai)[bi as usize]).filter(|&h| h != UNREACHED)
     }
 
     /// One shortest path from `a` to `b` (inclusive of both endpoints), or
     /// `None` when disconnected. Used by line-selected multicast, whose
     /// detection depends on the intermediate nodes.
     pub fn path(&mut self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
-        let dist = self.bfs(a).clone();
-        dist.get(&b)?;
-        // Walk backwards from b choosing any neighbor one hop closer.
-        let mut path = vec![b];
-        let mut current = b;
-        while current != a {
-            let d = dist[&current];
+        let ai = self.mutual.index_of(a)?;
+        let bi = self.mutual.index_of(b)?;
+        let dist = self.bfs(ai).clone();
+        if dist[bi as usize] == UNREACHED {
+            return None;
+        }
+        // Walk backwards from b choosing the first (smallest-id) neighbor
+        // one hop closer.
+        let mut path = vec![bi];
+        let mut current = bi;
+        while current != ai {
+            let d = dist[current as usize];
             let prev = self
-                .adj
-                .get(&current)
-                .and_then(|nbrs| {
-                    nbrs.iter()
-                        .find(|v| dist.get(v).is_some_and(|dv| *dv + 1 == d))
-                })
-                .copied()?;
+                .mutual
+                .out(current)
+                .iter()
+                .copied()
+                .find(|&v| dist[v as usize] != UNREACHED && dist[v as usize] + 1 == d)?;
             path.push(prev);
             current = prev;
         }
         path.reverse();
-        Some(path)
+        Some(path.into_iter().map(|i| self.mutual.id(i)).collect())
     }
 
     /// Nodes reachable from `source` (including itself).
     pub fn reachable_count(&mut self, source: NodeId) -> usize {
-        self.bfs(source).len()
+        match self.mutual.index_of(source) {
+            Some(si) => self.bfs(si).iter().filter(|&&h| h != UNREACHED).count(),
+            None => 0,
+        }
     }
 }
 
@@ -134,6 +152,19 @@ mod tests {
         let mut t = HopTable::new(&path_graph());
         assert_eq!(t.reachable_count(n(0)), 4);
         assert_eq!(t.reachable_count(n(9)), 1);
+    }
+
+    #[test]
+    fn from_frozen_matches_new() {
+        let g = path_graph();
+        let frozen = FrozenGraph::freeze(&g);
+        let mut a = HopTable::new(&g);
+        let mut b = HopTable::from_frozen(&frozen);
+        for (x, y) in [(n(0), n(3)), (n(3), n(0)), (n(0), n(9)), (n(2), n(2))] {
+            assert_eq!(a.hops(x, y), b.hops(x, y));
+            assert_eq!(a.path(x, y), b.path(x, y));
+        }
+        assert_eq!(a.reachable_count(n(0)), b.reachable_count(n(0)));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Perf-trajectory bench: the repo's before/after performance record.
+//!
+//! Times the flat-topology hot paths at n ∈ {200, 2 000, 20 000} — spatial
+//! unit-disk graph build, `FrozenGraph` freeze, functional-topology
+//! construction (Definition 5) through the frozen CSR fast path *and*
+//! through the legacy localized-knowledge reference path, and d-safety
+//! checking (Definition 6) — and writes the table to `BENCH_topology.json`
+//! so every future PR can diff its numbers against this one.
+//!
+//! Rows run through the deterministic executor's seed derivation, serially
+//! (timing under a contended worker pool would measure the scheduler, not
+//! the code). The functional topologies produced by both paths are checked
+//! equal before a row is reported, and the largest row must finish its
+//! frozen build inside a generous wall-clock bound so pathological
+//! regressions fail the release CI job loudly.
+//!
+//! Run: `cargo run -p snd-bench --release --bin perf`
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use serde::Serialize;
+use snd_core::model::functional::{functional_topology, functional_topology_localized};
+use snd_core::model::safety::check_d_safety;
+use snd_core::model::validation::CommonNeighborRule;
+use snd_exec::Executor;
+use snd_topology::spatial::unit_disk_graph_indexed;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Deployment, Field, FrozenGraph, NodeId};
+
+/// Threshold `t` for the validation rule under test.
+const THRESHOLD: usize = 5;
+/// Radio range in meters.
+const RANGE: f64 = 50.0;
+/// Deployment density in nodes/m² (≈ 39 mean degree at R = 50 m), kept
+/// constant across sizes so rows differ only in scale.
+const DENSITY: f64 = 0.005;
+/// Base seed for the deterministic trial-seed derivation.
+const BASE_SEED: u64 = 4242;
+/// Smoke bound: the 20k-node *frozen* functional build must finish within
+/// this many milliseconds. Generous — the measured time is ~two orders of
+/// magnitude lower — so only pathological regressions trip it.
+const SMOKE_BOUND_MS: f64 = 60_000.0;
+
+#[derive(Debug, Serialize)]
+struct PerfRow {
+    nodes: usize,
+    side_m: f64,
+    edges: usize,
+    functional_edges: usize,
+    graph_build_ms: f64,
+    freeze_ms: f64,
+    functional_frozen_ms: f64,
+    functional_localized_ms: f64,
+    functional_speedup: f64,
+    safety_check_ms: f64,
+    compromised: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    bench: &'static str,
+    rule: &'static str,
+    threshold: usize,
+    range_m: f64,
+    density_per_m2: f64,
+    base_seed: u64,
+    smoke_bound_ms: f64,
+    rows: Vec<PerfRow>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn bench_row(nodes: usize, seed: u64) -> PerfRow {
+    use rand::SeedableRng;
+    let side = (nodes as f64 / DENSITY).sqrt();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let deployment = Deployment::uniform(Field::square(side), nodes, &mut rng);
+
+    let t0 = Instant::now();
+    let tentative = unit_disk_graph_indexed(&deployment, &RadioSpec::uniform(RANGE));
+    let graph_build_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let frozen = FrozenGraph::freeze(&tentative);
+    let freeze_ms = ms(t0);
+
+    let rule = CommonNeighborRule::new(THRESHOLD);
+    let t0 = Instant::now();
+    let functional = functional_topology(&rule, &tentative);
+    let functional_frozen_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let reference = functional_topology_localized(&rule, &tentative);
+    let functional_localized_ms = ms(t0);
+    assert_eq!(
+        functional, reference,
+        "frozen and localized paths must agree at n={nodes}"
+    );
+
+    let compromised: BTreeSet<NodeId> = deployment
+        .ids()
+        .step_by((nodes / 16).max(1))
+        .take(16)
+        .collect();
+    let t0 = Instant::now();
+    let report = check_d_safety(&functional, &deployment, &compromised, 2.0 * RANGE);
+    let safety_check_ms = ms(t0);
+    assert_eq!(report.impacts.len(), compromised.len());
+
+    PerfRow {
+        nodes,
+        side_m: side,
+        edges: frozen.edge_count(),
+        functional_edges: functional.edge_count(),
+        graph_build_ms,
+        freeze_ms,
+        functional_frozen_ms,
+        functional_localized_ms,
+        functional_speedup: functional_localized_ms / functional_frozen_ms.max(1e-9),
+        safety_check_ms,
+        compromised: compromised.len(),
+    }
+}
+
+fn main() {
+    let sizes = [200usize, 2_000, 20_000];
+    println!(
+        "perf trajectory — t = {THRESHOLD}, R = {RANGE} m, density {DENSITY} nodes/m², \
+         sizes {sizes:?} (serial timing)"
+    );
+
+    // Serial executor: row timings must not fight each other for cores;
+    // seeds still come from the deterministic trial-seed derivation.
+    let exec = Executor::serial();
+    let rows = exec.run_over(BASE_SEED, &sizes, |_, &nodes, seed| bench_row(nodes, seed));
+
+    println!(
+        "{:>7} {:>9} {:>11} {:>10} {:>13} {:>16} {:>9} {:>11}",
+        "nodes",
+        "edges",
+        "build (ms)",
+        "freeze(ms)",
+        "frozen F (ms)",
+        "localized F (ms)",
+        "speedup",
+        "safety(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>9} {:>11.1} {:>10.1} {:>13.1} {:>16.1} {:>8.1}x {:>11.1}",
+            r.nodes,
+            r.edges,
+            r.graph_build_ms,
+            r.freeze_ms,
+            r.functional_frozen_ms,
+            r.functional_localized_ms,
+            r.functional_speedup,
+            r.safety_check_ms
+        );
+    }
+
+    let largest = rows.last().expect("at least one row");
+    if largest.functional_frozen_ms > SMOKE_BOUND_MS {
+        eprintln!(
+            "SMOKE FAILURE: frozen functional-topology build at n={} took {:.0} ms \
+             (bound {SMOKE_BOUND_MS:.0} ms)",
+            largest.nodes, largest.functional_frozen_ms
+        );
+        std::process::exit(1);
+    }
+
+    let report = PerfReport {
+        bench: "topology",
+        rule: "common-neighbor-threshold",
+        threshold: THRESHOLD,
+        range_m: RANGE,
+        density_per_m2: DENSITY,
+        base_seed: BASE_SEED,
+        smoke_bound_ms: SMOKE_BOUND_MS,
+        rows,
+    };
+    let path = "BENCH_topology.json";
+    match std::fs::write(path, serde::json::to_string(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

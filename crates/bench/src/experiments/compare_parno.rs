@@ -74,8 +74,7 @@ pub struct ParnoRow {
 /// (paired comparison, lower variance between rows).
 pub fn replica_rows(cfg: &CompareParnoConfig, exec: &Executor) -> Vec<ParnoRow> {
     exec.run_over(cfg.base_seed, &cfg.sites, |_, &sites, _row_seed| {
-        let (randomized_p, randomized_msgs) = parno_trials(cfg, sites, true);
-        let (line_p, line_msgs) = parno_trials(cfg, sites, false);
+        let ((randomized_p, randomized_msgs), (line_p, line_msgs)) = parno_trials(cfg, sites);
         let (prevent_p, protocol_msgs_per_node, mut report) = protocol_trials(cfg, sites);
         report.set_param("threads", &(exec.threads() as u64));
         report.set_outcome("randomized_detect_p", &randomized_p);
@@ -98,49 +97,64 @@ pub fn replica_rows(cfg: &CompareParnoConfig, exec: &Executor) -> Vec<ParnoRow> 
 }
 
 /// Runs Parno detection over random replica placements; returns
-/// (detection probability, mean messages per incident). Both schemes see
-/// the same per-trial deployment (same seed stream).
-fn parno_trials(cfg: &CompareParnoConfig, sites: usize, randomized: bool) -> (f64, f64) {
+/// `((randomized detection p, mean messages), (line-selected p, mean
+/// messages))`. Both schemes see the same per-trial deployment and replica
+/// sites, built **once** per trial and routed over one shared [`HopTable`]
+/// (the old code replayed the deployment and rebuilt the mutual-adjacency
+/// BFS table per scheme). Each scheme still consumes the exact RNG stream
+/// it always did: the trial RNG is cloned after the shared prefix
+/// (deployment + site sampling), so rows stay byte-identical.
+fn parno_trials(cfg: &CompareParnoConfig, sites: usize) -> ((f64, f64), (f64, f64)) {
     let base = snd_exec::stream_seed(cfg.base_seed, 1);
-    let mut detected = 0usize;
-    let mut messages = 0u64;
+    let mut randomized_detected = 0usize;
+    let mut randomized_messages = 0u64;
+    let mut line_detected = 0usize;
+    let mut line_messages = 0u64;
     for trial in 0..cfg.trials {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(snd_exec::trial_seed(base, trial as u64));
-        let d = Deployment::uniform(Field::square(cfg.side), cfg.nodes, &mut rng);
+        let mut rng_r = rand::rngs::StdRng::seed_from_u64(snd_exec::trial_seed(base, trial as u64));
+        let d = Deployment::uniform(Field::square(cfg.side), cfg.nodes, &mut rng_r);
         let g = unit_disk_graph(&d, &RadioSpec::uniform(cfg.range));
         let target = NodeId(0);
         let mut announce = vec![d.position(target).expect("node 0 deployed")];
         for _ in 0..sites {
             use rand::Rng;
             announce.push(Point::new(
-                rng.gen_range(0.0..cfg.side),
-                rng.gen_range(0.0..cfg.side),
+                rng_r.gen_range(0.0..cfg.side),
+                rng_r.gen_range(0.0..cfg.side),
             ));
         }
-        let out = if randomized {
-            // Parno et al.'s tuning: p * d * g = sqrt(n). With mean degree
-            // d = D*pi*R^2 and g = 1, p = sqrt(n) / d.
-            let degree = cfg.nodes as f64 / (cfg.side * cfg.side)
-                * std::f64::consts::PI
-                * cfg.range
-                * cfg.range;
-            RandomizedMulticast {
-                witnesses_per_neighbor: 1,
-                forward_probability: ((cfg.nodes as f64).sqrt() / degree).min(1.0),
-                tolerance: 1.0,
-            }
-            .detect(&d, &g, target, &announce, &mut rng)
-        } else {
-            LineSelectedMulticast::default().detect(&d, &g, target, &announce, &mut rng)
-        };
-        if out.detected {
-            detected += 1;
+        let mut rng_l = rng_r.clone();
+        let mut hops = snd_baselines::HopTable::new(&g);
+
+        // Parno et al.'s tuning: p * d * g = sqrt(n). With mean degree
+        // d = D*pi*R^2 and g = 1, p = sqrt(n) / d.
+        let degree =
+            cfg.nodes as f64 / (cfg.side * cfg.side) * std::f64::consts::PI * cfg.range * cfg.range;
+        let out = RandomizedMulticast {
+            witnesses_per_neighbor: 1,
+            forward_probability: ((cfg.nodes as f64).sqrt() / degree).min(1.0),
+            tolerance: 1.0,
         }
-        messages += out.messages;
+        .detect_with(&d, &g, target, &announce, &mut rng_r, &mut hops);
+        if out.detected {
+            randomized_detected += 1;
+        }
+        randomized_messages += out.messages;
+
+        let out = LineSelectedMulticast::default()
+            .detect_with(&d, target, &announce, &mut rng_l, &mut hops);
+        if out.detected {
+            line_detected += 1;
+        }
+        line_messages += out.messages;
     }
+    let trials = cfg.trials as f64;
     (
-        detected as f64 / cfg.trials as f64,
-        messages as f64 / cfg.trials as f64,
+        (
+            randomized_detected as f64 / trials,
+            randomized_messages as f64 / trials,
+        ),
+        (line_detected as f64 / trials, line_messages as f64 / trials),
     )
 }
 

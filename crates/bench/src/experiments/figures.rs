@@ -185,8 +185,24 @@ pub fn fractional_ablation_rows(
             }
             let du = knowledge.out_degree(u);
             let dv = knowledge.out_degree(v);
-            let need = (self.fraction * du.min(dv) as f64).ceil() as usize;
-            knowledge.common_out_neighbors(u, v).len() >= need.max(1)
+            let need = ((self.fraction * du.min(dv) as f64).ceil() as usize).max(1);
+            knowledge.common_out_count(u, v, need) >= need
+        }
+        // Reads only N(u), N(v) and their overlap — all exact in B(u) for a
+        // tentative edge — so the frozen fast path is sound here too.
+        fn validate_frozen(
+            &self,
+            u: u32,
+            v: u32,
+            frozen: &snd_topology::FrozenGraph,
+        ) -> Option<bool> {
+            if !frozen.has_edge(u, v) {
+                return Some(false);
+            }
+            let du = frozen.out_degree(u);
+            let dv = frozen.out_degree(v);
+            let need = ((self.fraction * du.min(dv) as f64).ceil() as usize).max(1);
+            Some(frozen.common_out_count(u, v, need) >= need)
         }
         fn name(&self) -> &'static str {
             "fractional-overlap"

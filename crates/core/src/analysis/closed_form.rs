@@ -212,7 +212,7 @@ mod tests {
                     continue;
                 }
                 let bucket = ((c - 0.2) / 0.2) as usize;
-                sums[bucket] += g.common_out_neighbors(*u, *v).len() as f64;
+                sums[bucket] += g.common_out_count(*u, *v, usize::MAX) as f64;
                 counts[bucket] += 1;
             }
         }

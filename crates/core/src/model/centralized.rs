@@ -23,9 +23,9 @@
 //! proofs exclude. The price is the reporting traffic and a single point of
 //! trust, which is the paper's argument for the localized protocol.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
-use snd_topology::{DiGraph, NodeId};
+use snd_topology::{DiGraph, FrozenGraph, NodeId};
 
 /// Result of a centralized validation round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,15 +59,23 @@ pub fn centralized_validation(
     base: NodeId,
     hop_threshold: u32,
 ) -> CentralizedOutcome {
-    let adj = routing.mutual_adjacency();
+    // One frozen mutual view serves the base-station BFS and every
+    // per-suspect BFS below.
+    let mutual = FrozenGraph::freeze(routing).mutual_view();
 
     // Reporting cost: every node ships its list hops(node, base) hops.
-    let dist_to_base = bfs(&adj, base, None);
+    let dist_to_base = mutual.index_of(base).map(|b| bfs(&mutual, b, None));
     let mut report_messages = 0u64;
     let mut unreported = BTreeSet::new();
     for node in tentative.nodes() {
-        match dist_to_base.get(&node) {
-            Some(h) => report_messages += u64::from(*h),
+        let hops = dist_to_base.as_ref().and_then(|dist| {
+            mutual
+                .index_of(node)
+                .map(|i| dist[i as usize])
+                .filter(|&h| h != UNREACHED)
+        });
+        match hops {
+            Some(h) => report_messages += u64::from(h),
             None => {
                 unreported.insert(node);
             }
@@ -89,11 +97,15 @@ pub fn centralized_validation(
             continue;
         }
         // Hop distances in the topology with the suspect removed: genuine
-        // neighborhoods stay tight, replica sites fall apart.
-        let from_first = bfs(&adj, claimants[0], Some(*suspect));
-        let scattered = claimants[1..]
-            .iter()
-            .any(|c| from_first.get(c).is_none_or(|h| *h > hop_threshold));
+        // neighborhoods stay tight, replica sites fall apart. Every
+        // reported claimant is connected to the base, hence in `mutual`.
+        let first = mutual.index_of(claimants[0]).expect("reported claimant");
+        let from_first = bfs(&mutual, first, mutual.index_of(*suspect));
+        let scattered = claimants[1..].iter().any(|c| {
+            mutual
+                .index_of(*c)
+                .is_none_or(|i| from_first[i as usize] > hop_threshold)
+        });
         if scattered {
             flagged.insert(*suspect);
         }
@@ -122,28 +134,26 @@ pub fn centralized_validation(
     }
 }
 
-/// BFS over a mutual adjacency, optionally excluding one node.
-fn bfs(
-    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
-    source: NodeId,
-    exclude: Option<NodeId>,
-) -> BTreeMap<NodeId, u32> {
-    let mut dist = BTreeMap::new();
-    if !adj.contains_key(&source) || exclude == Some(source) {
+/// Hop count marking unreachable (or excluded) nodes.
+const UNREACHED: u32 = u32::MAX;
+
+/// BFS over a frozen mutual view, optionally excluding one index. Returns
+/// per-index distances, [`UNREACHED`] where the source cannot reach.
+fn bfs(mutual: &FrozenGraph, source: u32, exclude: Option<u32>) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; mutual.node_count()];
+    if exclude == Some(source) {
         return dist;
     }
-    dist.insert(source, 0u32);
+    dist[source as usize] = 0;
     let mut queue = VecDeque::from([source]);
     while let Some(u) = queue.pop_front() {
-        let du = dist[&u];
-        if let Some(nbrs) = adj.get(&u) {
-            for &v in nbrs {
-                if Some(v) == exclude || dist.contains_key(&v) {
-                    continue;
-                }
-                dist.insert(v, du + 1);
-                queue.push_back(v);
+        let du = dist[u as usize];
+        for &v in mutual.out(u) {
+            if Some(v) == exclude || dist[v as usize] != UNREACHED {
+                continue;
             }
+            dist[v as usize] = du + 1;
+            queue.push_back(v);
         }
     }
     dist

@@ -4,7 +4,7 @@
 //! yields the *functional network topology* Ḡ — "the actual topology used by
 //! the application".
 
-use snd_topology::{DiGraph, NodeId};
+use snd_topology::{DiGraph, FrozenGraph, NodeId};
 
 use super::knowledge::knowledge_of;
 use super::validation::NeighborValidationFunction;
@@ -14,7 +14,45 @@ use super::validation::NeighborValidationFunction;
 ///
 /// All nodes are preserved (possibly isolated), matching Definition 5 where
 /// `V` is unchanged.
+///
+/// Runs on a [`FrozenGraph`] snapshot: rules exposing
+/// [`validate_frozen`](NeighborValidationFunction::validate_frozen) decide
+/// each edge straight off the CSR rows; for rules without a frozen fast
+/// path, the localized knowledge `B(u)` is built lazily per node exactly as
+/// before. Decisions are identical either way (see `validate_frozen`'s
+/// contract), so this is a pure performance change.
 pub fn functional_topology<F: NeighborValidationFunction>(f: &F, tentative: &DiGraph) -> DiGraph {
+    let frozen = FrozenGraph::freeze(tentative);
+    let mut functional = DiGraph::new();
+    for &node in frozen.ids() {
+        functional.add_node(node);
+    }
+    for u in 0..frozen.node_count() as u32 {
+        let mut localized: Option<DiGraph> = None;
+        for &v in frozen.out(u) {
+            let accept = match f.validate_frozen(u, v, &frozen) {
+                Some(decision) => decision,
+                None => {
+                    let b = localized.get_or_insert_with(|| knowledge_of(tentative, frozen.id(u)));
+                    f.validate(frozen.id(u), frozen.id(v), b)
+                }
+            };
+            if accept {
+                functional.add_edge(frozen.id(u), frozen.id(v));
+            }
+        }
+    }
+    functional
+}
+
+/// The reference implementation of [`functional_topology`]: materializes
+/// `B(u) = knowledge_of(tentative, u)` for every node and validates through
+/// the `BTree` path. Kept for the equivalence property tests and as the
+/// "before" side of the perf-trajectory bench (`BENCH_topology.json`).
+pub fn functional_topology_localized<F: NeighborValidationFunction>(
+    f: &F,
+    tentative: &DiGraph,
+) -> DiGraph {
     let mut functional = DiGraph::new();
     for node in tentative.nodes() {
         functional.add_node(node);
@@ -103,6 +141,69 @@ mod tests {
             let from_full: Vec<NodeId> = full.out_neighbors(u).collect();
             assert_eq!(quick, from_full, "node {u}");
         }
+    }
+
+    #[test]
+    fn frozen_fast_path_matches_localized_reference() {
+        use rand::{Rng, SeedableRng};
+        use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+        use snd_topology::{Deployment, Field};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for trial in 0..6 {
+            let d = Deployment::uniform(Field::square(220.0), 90 + trial * 10, &mut rng);
+            let mut g = unit_disk_graph(&d, &RadioSpec::uniform(45.0));
+            // Knock out some reverse edges so validation sees a properly
+            // directed tentative topology.
+            let edges: Vec<_> = g.edges().collect();
+            for (u, v) in edges {
+                if rng.gen_range(0..7) == 0 {
+                    g.remove_edge(u, v);
+                }
+            }
+            for t in [0usize, 1, 3, 8] {
+                let rule = CommonNeighborRule::new(t);
+                assert_eq!(
+                    functional_topology(&rule, &g),
+                    functional_topology_localized(&rule, &g),
+                    "trial {trial}, t={t}"
+                );
+            }
+            assert_eq!(
+                functional_topology(&AcceptAll, &g),
+                functional_topology_localized(&AcceptAll, &g),
+                "trial {trial}, accept-all"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_without_frozen_path_fall_back_to_localized_knowledge() {
+        /// A rule with no `validate_frozen` override: accepts `(u, v)` only
+        /// when `u`'s knowledge holds at most `max_edges` edges.
+        struct KnowledgeBudget {
+            max_edges: usize,
+        }
+        impl NeighborValidationFunction for KnowledgeBudget {
+            fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
+                knowledge.has_edge(u, v) && knowledge.edge_count() <= self.max_edges
+            }
+            fn name(&self) -> &'static str {
+                "knowledge-budget"
+            }
+        }
+
+        let g = clique_plus_pendant();
+        let rule = KnowledgeBudget { max_edges: 6 };
+        assert_eq!(
+            functional_topology(&rule, &g),
+            functional_topology_localized(&rule, &g)
+        );
+        // Node 6 knows only its own edge plus 1's list: small budget, kept.
+        let f = functional_topology(&rule, &g);
+        assert!(f.has_edge(n(6), n(1)));
+        // Clique members know far more than 6 edges: everything dropped.
+        assert!(!f.has_edge(n(1), n(2)));
     }
 
     #[test]

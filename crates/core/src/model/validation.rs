@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use snd_topology::{DiGraph, NodeId};
+use snd_topology::{DiGraph, FrozenGraph, NodeId};
 
 /// A neighbor validation function in the sense of Definition 3.
 ///
@@ -22,6 +22,23 @@ pub trait NeighborValidationFunction {
     /// Decides whether `u` should accept the tentative relation `(u, v)`,
     /// given the tentative relations `knowledge` known to `u`.
     fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool;
+
+    /// Optional frozen fast path used by
+    /// [`functional_topology`](crate::model::functional_topology): decides
+    /// the tentative edge `(u, v)` (as CSR indexes) directly against the
+    /// frozen *full* tentative topology, skipping the per-node localized
+    /// knowledge construction.
+    ///
+    /// Returning `Some(d)` asserts that `d` equals
+    /// `self.validate(u, v, knowledge_of(tentative, u))` for this tentative
+    /// edge. That holds for any rule that reads only `N(u)`, `N(v)` and
+    /// their overlap, because the localized knowledge `B(u)` contains `u`'s
+    /// and each tentative neighbor's out-edges in full. Rules that inspect
+    /// knowledge beyond that must keep the default `None` and take the
+    /// localized path.
+    fn validate_frozen(&self, _u: u32, _v: u32, _frozen: &FrozenGraph) -> Option<bool> {
+        None
+    }
 
     /// Short name for experiment output.
     fn name(&self) -> &'static str;
@@ -37,6 +54,10 @@ pub struct AcceptAll;
 impl NeighborValidationFunction for AcceptAll {
     fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
         knowledge.has_edge(u, v)
+    }
+
+    fn validate_frozen(&self, u: u32, v: u32, frozen: &FrozenGraph) -> Option<bool> {
+        Some(frozen.has_edge(u, v))
     }
 
     fn name(&self) -> &'static str {
@@ -88,10 +109,17 @@ impl CommonNeighborRule {
 }
 
 impl NeighborValidationFunction for CommonNeighborRule {
-    // `>= t + 1` spells out the paper's "at least t+1 common neighbors".
+    // `>= t + 1` spells out the paper's "at least t+1 common neighbors";
+    // the capped count stops walking as soon as that many are seen and
+    // never materializes the overlap set.
     #[allow(clippy::int_plus_one)]
     fn validate(&self, u: NodeId, v: NodeId, knowledge: &DiGraph) -> bool {
-        knowledge.has_edge(u, v) && knowledge.common_out_neighbors(u, v).len() >= self.t + 1
+        knowledge.has_edge(u, v) && knowledge.common_out_count(u, v, self.t + 1) >= self.t + 1
+    }
+
+    #[allow(clippy::int_plus_one)]
+    fn validate_frozen(&self, u: u32, v: u32, frozen: &FrozenGraph) -> Option<bool> {
+        Some(frozen.has_edge(u, v) && frozen.common_out_count(u, v, self.t + 1) >= self.t + 1)
     }
 
     fn name(&self) -> &'static str {

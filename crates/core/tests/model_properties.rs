@@ -1,0 +1,71 @@
+//! Property-based tests for the model layer.
+//!
+//! Two families of invariants guard the frozen fast path introduced for the
+//! CSR topology snapshot:
+//!
+//! 1. **Equivalence** — `functional_topology` (frozen CSR path) and
+//!    `functional_topology_localized` (reference `B(u)` path) must produce
+//!    identical functional topologies on arbitrary tentative topologies.
+//! 2. **Isomorphism invariance (Definition 3)** — relabeling every node ID
+//!    through a bijection must commute with functional-topology
+//!    construction. The flat path interns IDs into dense indexes, so this
+//!    property would catch any accidental dependence on the interning order.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use snd_core::model::{
+    functional_topology, functional_topology_localized, AcceptAll, CommonNeighborRule,
+};
+use snd_topology::{DiGraph, NodeId};
+
+/// Arbitrary directed (possibly asymmetric) tentative topologies.
+fn arb_digraph() -> impl Strategy<Value = DiGraph> {
+    prop::collection::vec((0u64..30, 0u64..30), 0..200).prop_map(|edges| {
+        edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (NodeId(a), NodeId(b)))
+            .collect()
+    })
+}
+
+/// An ID bijection for `g`'s nodes: XOR with a mask scrambles the relative
+/// order of IDs, so the frozen path's sorted interner sees a genuinely
+/// different layout after remapping.
+fn xor_bijection(g: &DiGraph, mask: u64) -> BTreeMap<NodeId, NodeId> {
+    g.nodes().map(|n| (n, NodeId(n.raw() ^ mask))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frozen_and_localized_paths_agree(g in arb_digraph(), t in 0usize..5) {
+        let rule = CommonNeighborRule::new(t);
+        prop_assert_eq!(
+            functional_topology(&rule, &g),
+            functional_topology_localized(&rule, &g)
+        );
+        prop_assert_eq!(
+            functional_topology(&AcceptAll, &g),
+            functional_topology_localized(&AcceptAll, &g)
+        );
+    }
+
+    #[test]
+    fn functional_topology_commutes_with_id_permutation(
+        g in arb_digraph(),
+        t in 0usize..5,
+        mask in any::<u64>(),
+    ) {
+        // Definition 3 on the flat path: F is isomorphism-invariant, so
+        // remap-then-construct equals construct-then-remap.
+        let rule = CommonNeighborRule::new(t);
+        let map = xor_bijection(&g, mask);
+        let remapped_first = functional_topology(&rule, &g.remap(&map));
+        let constructed_first = functional_topology(&rule, &g).remap(&map);
+        prop_assert_eq!(remapped_first, constructed_first);
+    }
+}

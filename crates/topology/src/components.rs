@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::frozen::FrozenGraph;
 use crate::graph::DiGraph;
 use crate::ids::NodeId;
 
@@ -35,31 +36,53 @@ pub struct PartitionAnalysis {
 impl PartitionAnalysis {
     /// Computes connected components of `graph`'s mutual view and classifies
     /// them with `rule`.
+    ///
+    /// Freezes the graph first; callers that already hold a
+    /// [`FrozenGraph`] snapshot should use
+    /// [`compute_frozen`](Self::compute_frozen) to share it.
     pub fn compute(graph: &DiGraph, rule: UsefulnessRule) -> Self {
-        let adj = graph.mutual_adjacency();
-        let mut membership: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut partitions: Vec<BTreeSet<NodeId>> = Vec::new();
+        Self::compute_frozen(&FrozenGraph::freeze(graph), rule)
+    }
 
-        for start in adj.keys().copied() {
-            if membership.contains_key(&start) {
+    /// Computes connected components of `frozen`'s mutual view and
+    /// classifies them with `rule`. The BFS runs over CSR rows with a flat
+    /// per-index component table — no per-node map lookups.
+    pub fn compute_frozen(frozen: &FrozenGraph, rule: UsefulnessRule) -> Self {
+        let mutual = frozen.mutual_view();
+        let n = mutual.node_count();
+        const UNSEEN: u32 = u32::MAX;
+        let mut comp_of = vec![UNSEEN; n];
+        let mut partitions: Vec<BTreeSet<NodeId>> = Vec::new();
+        let mut queue = VecDeque::new();
+
+        // Indexes ascend in id order, so discovery order (and hence
+        // partition numbering) matches the original BTree walk.
+        for start in 0..n as u32 {
+            if comp_of[start as usize] != UNSEEN {
                 continue;
             }
             let idx = partitions.len();
             let mut comp = BTreeSet::new();
-            let mut queue = VecDeque::from([start]);
-            membership.insert(start, idx);
-            comp.insert(start);
+            comp_of[start as usize] = idx as u32;
+            comp.insert(mutual.id(start));
+            queue.push_back(start);
             while let Some(u) = queue.pop_front() {
-                for &v in &adj[&u] {
-                    if let std::collections::btree_map::Entry::Vacant(e) = membership.entry(v) {
-                        e.insert(idx);
-                        comp.insert(v);
+                for &v in mutual.out(u) {
+                    if comp_of[v as usize] == UNSEEN {
+                        comp_of[v as usize] = idx as u32;
+                        comp.insert(mutual.id(v));
                         queue.push_back(v);
                     }
                 }
             }
             partitions.push(comp);
         }
+
+        let membership: BTreeMap<NodeId, usize> = comp_of
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (mutual.id(i as u32), c as usize))
+            .collect();
 
         let useful = match rule {
             UsefulnessRule::LargestOnly => {

@@ -116,8 +116,16 @@ impl DiGraph {
     }
 
     /// Out-neighborhood as an owned set.
+    ///
+    /// Clones the whole set; prefer [`out_neighbor_set`](Self::out_neighbor_set)
+    /// (borrowed) unless ownership is genuinely needed.
     pub fn neighbor_set(&self, u: NodeId) -> BTreeSet<NodeId> {
         self.out.get(&u).cloned().unwrap_or_default()
+    }
+
+    /// Out-neighborhood of `u`, borrowed. `None` for unknown nodes.
+    pub fn out_neighbor_set(&self, u: NodeId) -> Option<&BTreeSet<NodeId>> {
+        self.out.get(&u)
     }
 
     /// Out-degree of `u` (0 for unknown nodes).
@@ -216,11 +224,45 @@ impl DiGraph {
 
     /// Common out-neighbors of `u` and `v`: the overlap `N(u) ∩ N(v)` that
     /// drives the paper's threshold rule.
+    ///
+    /// Allocates the overlap set; hot paths that only need its size should
+    /// use [`common_out_count`](Self::common_out_count) instead.
     pub fn common_out_neighbors(&self, u: NodeId, v: NodeId) -> BTreeSet<NodeId> {
         match (self.out.get(&u), self.out.get(&v)) {
             (Some(a), Some(b)) => a.intersection(b).copied().collect(),
             _ => BTreeSet::new(),
         }
+    }
+
+    /// `|N(u) ∩ N(v)|` without materializing the overlap, clamped at `cap`:
+    /// the sorted-merge walk stops as soon as `cap` common out-neighbors
+    /// are found, which is all the `>= t+1` threshold rule needs. Pass
+    /// `usize::MAX` for the exact count.
+    pub fn common_out_count(&self, u: NodeId, v: NodeId, cap: usize) -> usize {
+        let (Some(a), Some(b)) = (self.out.get(&u), self.out.get(&v)) else {
+            return 0;
+        };
+        if cap == 0 {
+            return 0;
+        }
+        let mut count = 0;
+        let (mut ia, mut ib) = (a.iter(), b.iter());
+        let (mut x, mut y) = (ia.next(), ib.next());
+        while let (Some(xv), Some(yv)) = (x, y) {
+            match xv.cmp(yv) {
+                std::cmp::Ordering::Less => x = ia.next(),
+                std::cmp::Ordering::Greater => y = ib.next(),
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    if count >= cap {
+                        return count;
+                    }
+                    x = ia.next();
+                    y = ib.next();
+                }
+            }
+        }
+        count
     }
 }
 
@@ -367,6 +409,38 @@ mod tests {
         let common = g.common_out_neighbors(n(1), n(2));
         assert_eq!(common, [n(4), n(5)].into_iter().collect());
         assert!(g.common_out_neighbors(n(1), n(99)).is_empty());
+    }
+
+    #[test]
+    fn common_out_count_matches_common_out_neighbors() {
+        let g: DiGraph = [
+            (n(1), n(3)),
+            (n(1), n(4)),
+            (n(1), n(5)),
+            (n(2), n(4)),
+            (n(2), n(5)),
+            (n(2), n(6)),
+        ]
+        .into_iter()
+        .collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let exact = g.common_out_neighbors(u, v).len();
+                assert_eq!(g.common_out_count(u, v, usize::MAX), exact);
+                for cap in 0..4 {
+                    assert_eq!(g.common_out_count(u, v, cap), exact.min(cap));
+                }
+            }
+        }
+        assert_eq!(g.common_out_count(n(1), n(99), usize::MAX), 0);
+    }
+
+    #[test]
+    fn out_neighbor_set_borrows() {
+        let g: DiGraph = [(n(1), n(2)), (n(1), n(3))].into_iter().collect();
+        assert_eq!(g.out_neighbor_set(n(1)).unwrap(), &g.neighbor_set(n(1)));
+        assert!(g.out_neighbor_set(n(99)).is_none());
+        assert!(g.out_neighbor_set(n(2)).unwrap().is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod components;
 pub mod deployment;
 pub mod enclosing;
+pub mod frozen;
 pub mod graph;
 pub mod ids;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod spatial;
 pub mod unit_disk;
 
 pub use deployment::{Deployment, Field};
+pub use frozen::FrozenGraph;
 pub use graph::DiGraph;
 pub use ids::NodeId;
 pub use point::{Circle, Point};

@@ -6,8 +6,6 @@
 //! radius, making range queries `O(points in 9 cells)` and whole-graph
 //! construction `O(n · degree)`.
 
-use std::collections::BTreeMap;
-
 use crate::deployment::Deployment;
 use crate::graph::DiGraph;
 use crate::ids::NodeId;
@@ -16,10 +14,23 @@ use crate::unit_disk::RadioSpec;
 
 /// A uniform grid over deployed points, with cell size equal to the query
 /// radius so any disk query touches at most 9 cells.
+///
+/// Cells are stored as one flat row-major CSR layout over the occupied
+/// bounding box — cell lookup is an O(1) index computation plus a slice, no
+/// tree walk per cell.
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    buckets: BTreeMap<(i64, i64), Vec<(NodeId, Point)>>,
+    /// Cell coordinate of the bounding box origin.
+    min_cx: i64,
+    min_cy: i64,
+    /// Bounding box extent in cells.
+    cols: i64,
+    rows: i64,
+    /// `offsets[c]..offsets[c + 1]` delimits row-major cell `c` in `entries`.
+    offsets: Vec<u32>,
+    /// Points grouped by cell, deployment order preserved within each cell.
+    entries: Vec<(NodeId, Point)>,
 }
 
 impl SpatialGrid {
@@ -30,21 +41,72 @@ impl SpatialGrid {
     /// Panics on a non-positive radius.
     pub fn build(deployment: &Deployment, radius: f64) -> Self {
         assert!(radius > 0.0, "query radius must be positive");
-        let mut buckets: BTreeMap<(i64, i64), Vec<(NodeId, Point)>> = BTreeMap::new();
-        for (id, p) in deployment.iter() {
-            buckets
-                .entry(Self::key(p, radius))
-                .or_default()
-                .push((id, p));
+        let keyed: Vec<((i64, i64), (NodeId, Point))> = deployment
+            .iter()
+            .map(|(id, p)| (Self::key(p, radius), (id, p)))
+            .collect();
+        let (mut min_cx, mut min_cy) = (i64::MAX, i64::MAX);
+        let (mut max_cx, mut max_cy) = (i64::MIN, i64::MIN);
+        for &((cx, cy), _) in &keyed {
+            min_cx = min_cx.min(cx);
+            min_cy = min_cy.min(cy);
+            max_cx = max_cx.max(cx);
+            max_cy = max_cy.max(cy);
         }
+        let (cols, rows) = if keyed.is_empty() {
+            (min_cx, min_cy) = (0, 0);
+            (0, 0)
+        } else {
+            (max_cx - min_cx + 1, max_cy - min_cy + 1)
+        };
+        let cells = (cols * rows) as usize;
+
+        // Counting sort into the CSR layout: stable, so each cell keeps its
+        // points in deployment iteration order.
+        let mut counts = vec![0u32; cells + 1];
+        let slot = |cx: i64, cy: i64| ((cy - min_cy) * cols + (cx - min_cx)) as usize;
+        for &((cx, cy), _) in &keyed {
+            counts[slot(cx, cy) + 1] += 1;
+        }
+        for c in 0..cells {
+            counts[c + 1] += counts[c];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![(NodeId(0), Point::new(0.0, 0.0)); keyed.len()];
+        for ((cx, cy), entry) in keyed {
+            let c = slot(cx, cy);
+            entries[cursor[c] as usize] = entry;
+            cursor[c] += 1;
+        }
+
         SpatialGrid {
             cell: radius,
-            buckets,
+            min_cx,
+            min_cy,
+            cols,
+            rows,
+            offsets,
+            entries,
         }
     }
 
     fn key(p: Point, cell: f64) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// The points bucketed in cell `(cx, cy)`, empty when out of the box.
+    #[inline]
+    fn bucket(&self, cx: i64, cy: i64) -> &[(NodeId, Point)] {
+        if cx < self.min_cx
+            || cy < self.min_cy
+            || cx >= self.min_cx + self.cols
+            || cy >= self.min_cy + self.rows
+        {
+            return &[];
+        }
+        let c = ((cy - self.min_cy) * self.cols + (cx - self.min_cx)) as usize;
+        &self.entries[self.offsets[c] as usize..self.offsets[c + 1] as usize]
     }
 
     /// All nodes within `radius` of `center` (inclusive), excluding
@@ -68,11 +130,9 @@ impl SpatialGrid {
         let mut out = Vec::new();
         for dx in -1..=1 {
             for dy in -1..=1 {
-                if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
-                    for &(id, p) in bucket {
-                        if Some(id) != exclude && p.distance(&center) <= radius {
-                            out.push((id, p));
-                        }
+                for &(id, p) in self.bucket(cx + dx, cy + dy) {
+                    if Some(id) != exclude && p.distance(&center) <= radius {
+                        out.push((id, p));
                     }
                 }
             }
@@ -82,12 +142,12 @@ impl SpatialGrid {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.buckets.values().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.entries.is_empty()
     }
 }
 
@@ -174,6 +234,21 @@ mod tests {
         let grid = SpatialGrid::build(&d, 50.0);
         let hits = grid.within(Point::new(50.0, 50.0), 50.0, Some(n(1)));
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn off_origin_and_negative_cells() {
+        let mut d = Deployment::empty(Field::square(1_000.0));
+        d.place(n(1), Point::new(-37.0, -81.0));
+        d.place(n(2), Point::new(-35.0, -79.0));
+        d.place(n(3), Point::new(400.0, 900.0));
+        let grid = SpatialGrid::build(&d, 10.0);
+        assert_eq!(grid.len(), 3);
+        let hits = grid.within(Point::new(-36.0, -80.0), 10.0, None);
+        assert_eq!(hits.len(), 2);
+        assert!(grid.within(Point::new(200.0, 200.0), 10.0, None).is_empty());
+        let far = grid.within(Point::new(400.0, 900.0), 10.0, Some(n(3)));
+        assert!(far.is_empty());
     }
 
     #[test]

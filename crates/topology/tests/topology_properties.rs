@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use snd_topology::components::{PartitionAnalysis, UsefulnessRule};
 use snd_topology::deployment::{Deployment, Field};
 use snd_topology::enclosing::min_enclosing_circle;
+use snd_topology::frozen::FrozenGraph;
 use snd_topology::graph::DiGraph;
 use snd_topology::ids::NodeId;
 use snd_topology::point::Point;
@@ -105,6 +106,64 @@ proptest! {
         prop_assert_eq!(h.edge_count(), g.edge_count());
         for (u, v) in g.edges() {
             prop_assert!(h.has_edge(NodeId(u.raw() + offset), NodeId(v.raw() + offset)));
+        }
+    }
+
+    #[test]
+    fn frozen_snapshot_matches_digraph_on_deployments(
+        d in arb_deployment(),
+        range in 10.0f64..80.0,
+        cap in 0usize..6,
+    ) {
+        let g = unit_disk_graph_indexed(&d, &RadioSpec::uniform(range));
+        let frozen = FrozenGraph::freeze(&g);
+        prop_assert_eq!(frozen.node_count(), g.node_count());
+        prop_assert_eq!(frozen.edge_count(), g.edge_count());
+        for u in 0..frozen.node_count() as u32 {
+            let uid = frozen.id(u);
+            let row: Vec<NodeId> = frozen.out(u).iter().map(|&i| frozen.id(i)).collect();
+            let expect: Vec<NodeId> = g.out_neighbors(uid).collect();
+            prop_assert_eq!(row, expect, "row of {}", uid);
+            for v in 0..frozen.node_count() as u32 {
+                let vid = frozen.id(v);
+                prop_assert_eq!(frozen.has_edge(u, v), g.has_edge(uid, vid));
+                prop_assert_eq!(
+                    frozen.common_out_count(u, v, cap),
+                    g.common_out_count(uid, vid, cap),
+                    "capped common count ({}, {}) cap {}", uid, vid, cap
+                );
+            }
+        }
+        prop_assert_eq!(frozen.thaw(), g);
+    }
+
+    #[test]
+    fn frozen_snapshot_matches_digraph_on_arbitrary_edges(
+        edges in prop::collection::vec((0u64..25, 0u64..25), 0..160),
+    ) {
+        // Directed, possibly asymmetric graphs: exercises the one-way-edge
+        // handling of `mutual_view` and the uncapped common counts.
+        let g: DiGraph = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (NodeId(a), NodeId(b)))
+            .collect();
+        let frozen = FrozenGraph::freeze(&g);
+        let mutual = frozen.mutual_view();
+        let adj = g.mutual_adjacency();
+        prop_assert_eq!(mutual.node_count(), adj.len());
+        for u in 0..mutual.node_count() as u32 {
+            let row: Vec<NodeId> = mutual.out(u).iter().map(|&i| mutual.id(i)).collect();
+            let expect: Vec<NodeId> = adj[&mutual.id(u)].iter().copied().collect();
+            prop_assert_eq!(row, expect, "mutual row of {}", mutual.id(u));
+        }
+        for u in 0..frozen.node_count() as u32 {
+            for v in 0..frozen.node_count() as u32 {
+                prop_assert_eq!(
+                    frozen.common_out_count(u, v, usize::MAX),
+                    g.common_out_count(frozen.id(u), frozen.id(v), usize::MAX)
+                );
+            }
         }
     }
 
