@@ -20,6 +20,7 @@
 pub mod app_impact;
 pub mod centralized;
 pub mod compare_parno;
+pub mod faults;
 pub mod figures;
 pub mod generic_attack;
 pub mod overhead;

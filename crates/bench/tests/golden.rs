@@ -28,6 +28,7 @@ use std::path::PathBuf;
 use snd_bench::experiments::app_impact::{impact_rows, AppImpactConfig};
 use snd_bench::experiments::centralized::{localized_vs_centralized, CentralizedConfig};
 use snd_bench::experiments::compare_parno::{replica_rows, CompareParnoConfig};
+use snd_bench::experiments::faults::{fault_rows, FaultsConfig};
 use snd_bench::experiments::figures::{fig3_rows, fig4_rows, Fig3Config, Fig4Config};
 use snd_bench::experiments::generic_attack::{protocol_contrast, GenericAttackConfig};
 use snd_bench::experiments::overhead::{density_rows, OverheadConfig};
@@ -152,6 +153,19 @@ fn representative_reports() -> Vec<(&'static str, RunReport)> {
         ..AppImpactConfig::default()
     };
     rows.push(("app_impact", impact_rows(&impact, &exec).remove(0).report));
+
+    let faults = FaultsConfig {
+        scenario: PaperScenario {
+            nodes: 60,
+            ..paper_scenario()
+        },
+        losses: vec![0.2],
+        retry_budgets: vec![3],
+        threshold: 3,
+        trials: 1,
+        ..FaultsConfig::default()
+    };
+    rows.push(("faults", fault_rows(&faults, &exec).remove(0).report));
 
     rows
 }

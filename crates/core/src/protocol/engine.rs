@@ -20,7 +20,7 @@
 //! compromise nodes, place replicas, rerun waves, and measure the
 //! functional topology that results.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -38,6 +38,7 @@ use snd_topology::{Deployment, DiGraph, Field, NodeId, Point};
 use super::config::ProtocolConfig;
 use super::node::{NodeState, ProtocolNode};
 use super::records::BindingRecord;
+use super::reliability::ReliabilityConfig;
 use super::wire::Message;
 use crate::adversary::Adversary;
 use crate::errors::ProtocolError;
@@ -57,6 +58,23 @@ pub struct WaveReport {
     pub updates_rejected: u64,
     /// Undecodable frames dropped.
     pub malformed_frames: u64,
+    /// Frames re-sent by the reliability layer (Hello re-rounds, record
+    /// re-pulls, commitment/evidence re-sends). Zero with reliability off.
+    pub retransmissions: u64,
+    /// Acknowledgements consumed for outstanding reliable unicasts.
+    pub acks_received: u64,
+    /// Re-deliveries recognized and discarded idempotently: already
+    /// collected records, already buffered evidence, already served
+    /// updates, acks for no-longer-outstanding nonces.
+    pub duplicates_ignored: u64,
+    /// Phases that hit their wall-clock budget (or retry cap) with work
+    /// still missing and degraded gracefully instead of stalling.
+    pub timed_out_phases: u64,
+    /// Directed links the wave could not confirm: binding records never
+    /// collected and relation commitments / evidence never acknowledged.
+    /// `(u, v)` means `u` is missing confirmation about/from `v`. Sorted,
+    /// deduplicated. Empty on a fully converged wave.
+    pub unconfirmed_links: Vec<(NodeId, NodeId)>,
 }
 
 /// The protocol engine. See the module docs for the lifecycle.
@@ -74,6 +92,20 @@ pub struct DiscoveryEngine {
     /// Old node → a new node it heard in the current wave (update target).
     wave_contacts: BTreeMap<NodeId, NodeId>,
     report: WaveReport,
+    /// ARQ policy; [`ReliabilityConfig::legacy`] (fire-and-forget) unless
+    /// [`DiscoveryEngine::set_reliability`] is called.
+    reliability: ReliabilityConfig,
+    /// Monotonic nonce source for reliable envelopes.
+    next_nonce: u64,
+    /// Unacknowledged reliable unicasts: nonce → (sender, receiver,
+    /// encoded frame ready for retransmission).
+    outstanding: BTreeMap<u64, (NodeId, NodeId, Vec<u8>)>,
+    /// `(server, requester)` update pairs already counted this wave, so a
+    /// retransmitted request is re-served (the re-mint is deterministic)
+    /// without double-counting `updates_applied`.
+    served_updates: BTreeSet<(NodeId, NodeId)>,
+    /// Whether per-node pairwise-key caches are enabled on deploy.
+    key_cache: bool,
     /// Structured-event sink; [`NullRecorder`] (free) unless installed.
     recorder: Arc<dyn Recorder>,
     /// Waves completed, for event numbering (first wave is 1).
@@ -111,6 +143,11 @@ impl DiscoveryEngine {
             ops,
             wave_contacts: BTreeMap::new(),
             report: WaveReport::default(),
+            reliability: ReliabilityConfig::legacy(),
+            next_nonce: 0,
+            outstanding: BTreeMap::new(),
+            served_updates: BTreeSet::new(),
+            key_cache: true,
             recorder: Arc::new(NullRecorder),
             waves_run: 0,
             auto_update_benign: true,
@@ -184,6 +221,35 @@ impl DiscoveryEngine {
         self.ops.get()
     }
 
+    /// Installs an ARQ policy for subsequent waves. The default is
+    /// [`ReliabilityConfig::legacy`] — fire-and-forget, byte-identical to
+    /// the engine's historical behavior.
+    pub fn set_reliability(&mut self, reliability: ReliabilityConfig) {
+        self.reliability = reliability;
+    }
+
+    /// The active ARQ policy.
+    pub fn reliability(&self) -> ReliabilityConfig {
+        self.reliability
+    }
+
+    /// Enables or disables the per-node pairwise-key memo caches, for all
+    /// already-deployed nodes and everything deployed later. On by default;
+    /// turning it off forces every derivation back through the hash chain
+    /// (useful for measuring what the memoization saves).
+    pub fn set_key_cache(&mut self, enabled: bool) {
+        self.key_cache = enabled;
+        for node in self.nodes.values_mut() {
+            node.set_key_cache(enabled);
+        }
+    }
+
+    /// Total pairwise-key/commitment derivations answered from node-local
+    /// caches instead of re-hashing, across all deployed nodes.
+    pub fn key_cache_hits(&self) -> u64 {
+        self.nodes.values().map(|n| n.key_cache_hits()).sum()
+    }
+
     /// A node's protocol state, if deployed.
     pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
         self.nodes.get(&id)
@@ -206,7 +272,8 @@ impl DiscoveryEngine {
     /// Provisions and places a node; it joins the protocol on the next
     /// [`DiscoveryEngine::run_wave`] that includes it.
     pub fn deploy_at(&mut self, id: NodeId, at: Point) {
-        let node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
+        let mut node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
+        node.set_key_cache(self.key_cache);
         self.nodes.insert(id, node);
         self.deployment.place(id, at);
         self.sim.add_node(id, at);
@@ -236,23 +303,45 @@ impl DiscoveryEngine {
             ..WaveReport::default()
         };
         self.wave_contacts.clear();
+        self.outstanding.clear();
+        self.served_updates.clear();
         self.waves_run += 1;
         let wave = self.waves_run;
+        let rel = self.reliability;
         self.emit(|| Event::WaveStart {
             wave,
             new_nodes: new_ids.to_vec(),
             sim_time: self.sim.now(),
         });
 
-        // Phase 1: Hello broadcasts.
+        // Phase 1: Hello broadcasts. With reliability on, each new node
+        // re-broadcasts for up to `hello_rounds` rounds (bounded by the
+        // phase budget), so a lost Hello or ack gets fresh chances to
+        // assert the tentative relation; `add_tentative` is idempotent.
         let span = self.phase_span(wave, Phase::Hello);
-        for &id in new_ids {
-            let node = self.nodes.get_mut(&id).expect("node deployed");
-            node.begin_discovery().expect("fresh node enters discovery");
-            self.sim.broadcast(id, Message::Hello { from: id }.encode());
+        let hello_deadline = self.sim.now() + rel.phase_timeout;
+        let rounds = if rel.enabled {
+            rel.hello_rounds.max(1)
+        } else {
+            1
+        };
+        for round in 0..rounds {
+            if round > 0 && self.sim.now() >= hello_deadline {
+                self.report.timed_out_phases += 1;
+                break;
+            }
+            for &id in new_ids {
+                if round == 0 {
+                    let node = self.nodes.get_mut(&id).expect("node deployed");
+                    node.begin_discovery().expect("fresh node enters discovery");
+                } else {
+                    self.report.retransmissions += 1;
+                }
+                self.sim.broadcast(id, Message::Hello { from: id }.encode());
+            }
+            self.pump(); // deliver Hellos; acks queued
+            self.pump(); // deliver acks; tentative lists complete
         }
-        self.pump(); // deliver Hellos; acks queued
-        self.pump(); // deliver acks; tentative lists complete
         span.close(self.sim.now());
 
         // Phase 2a: commit binding records (and, in the fast-erasure
@@ -268,7 +357,10 @@ impl DiscoveryEngine {
         }
         span.close(self.sim.now());
 
-        // Phase 2b: record collection.
+        // Phase 2b: record collection. The requester knows exactly which
+        // records it still lacks, so reliability here is a pull-based ARQ:
+        // re-request only the missing ones, with exponential backoff,
+        // until the retry budget or the phase clock runs out.
         let span = self.phase_span(wave, Phase::Collect);
         for &id in new_ids {
             let targets: Vec<NodeId> = self.nodes[&id]
@@ -283,6 +375,43 @@ impl DiscoveryEngine {
         }
         self.pump(); // deliver requests; replies queued
         self.pump(); // deliver replies; records collected
+        if rel.enabled {
+            let deadline = self.sim.now() + rel.phase_timeout;
+            for attempt in 0..=rel.retry_budget {
+                let mut any_missing = false;
+                for &id in new_ids {
+                    for v in self.nodes[&id].missing_records() {
+                        any_missing = true;
+                        self.sim
+                            .unicast(id, v, Message::RecordRequest { from: id }.encode());
+                        self.report.retransmissions += 1;
+                    }
+                }
+                if !any_missing {
+                    break;
+                }
+                // Wait out the backoff (the request/reply round trip needs
+                // at least two pump steps), then re-check.
+                self.pump_for(rel.backoff(attempt).max(SimDuration::from_millis(4)));
+                let exhausted = attempt == rel.retry_budget || self.sim.now() >= deadline;
+                if exhausted {
+                    let still_missing = new_ids
+                        .iter()
+                        .any(|id| !self.nodes[id].missing_records().is_empty());
+                    if still_missing {
+                        self.report.timed_out_phases += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        // Records that never arrived degrade the wave: the pair is named
+        // unconfirmed and the peer simply cannot validate this wave.
+        for &id in new_ids {
+            for v in self.nodes[&id].missing_records() {
+                self.report.unconfirmed_links.push((id, v));
+            }
+        }
         span.close(self.sim.now());
 
         // Phase 3: binding-record updates against the still-trusted wave.
@@ -344,24 +473,50 @@ impl DiscoveryEngine {
                 }
             }
             for (v, digest) in out.commitments {
-                self.sim.unicast(
+                self.send_reliable(
                     id,
                     v,
                     Message::RelationCommit {
                         from: id,
                         to: v,
                         digest,
-                    }
-                    .encode(),
+                    },
                 );
             }
             for ev in out.evidence {
                 let to = ev.to;
-                self.sim
-                    .unicast(id, to, Message::Evidence { evidence: ev }.encode());
+                self.send_reliable(id, to, Message::Evidence { evidence: ev });
             }
         }
         self.pump(); // deliver commitments & evidence
+        if rel.enabled {
+            // Acknowledged unicast: resend whatever has not been acked,
+            // backing off exponentially, until everything is confirmed or
+            // the budget/deadline runs out. Receivers handle re-delivery
+            // idempotently, so a lost *ack* cannot corrupt state.
+            self.pump(); // deliver the acks the first pump provoked
+            let deadline = self.sim.now() + rel.phase_timeout;
+            for attempt in 0..rel.retry_budget {
+                if self.outstanding.is_empty() || self.sim.now() >= deadline {
+                    break;
+                }
+                let resend: Vec<(NodeId, NodeId, Vec<u8>)> =
+                    self.outstanding.values().cloned().collect();
+                for (from, to, payload) in resend {
+                    self.sim.unicast(from, to, payload);
+                    self.report.retransmissions += 1;
+                }
+                self.pump_for(rel.backoff(attempt).max(SimDuration::from_millis(4)));
+            }
+            if !self.outstanding.is_empty() {
+                self.report.timed_out_phases += 1;
+                for (from, to, _) in self.outstanding.values() {
+                    self.report.unconfirmed_links.push((*from, *to));
+                }
+            }
+        }
+        self.report.unconfirmed_links.sort_unstable();
+        self.report.unconfirmed_links.dedup();
         span.close(self.sim.now());
 
         self.emit(|| Event::WaveEnd {
@@ -369,6 +524,38 @@ impl DiscoveryEngine {
             sim_time: self.sim.now(),
         });
         self.report.clone()
+    }
+
+    /// Sends `inner` as an acknowledged unicast when reliability is on
+    /// (wrapped in a nonce-carrying envelope and tracked until acked), or
+    /// as a plain fire-and-forget unicast when it is off.
+    fn send_reliable(&mut self, from: NodeId, to: NodeId, inner: Message) {
+        if self.reliability.enabled {
+            self.next_nonce += 1;
+            let nonce = self.next_nonce;
+            let frame = Message::Reliable {
+                nonce,
+                inner: Box::new(inner),
+            }
+            .encode();
+            self.outstanding.insert(nonce, (from, to, frame.clone()));
+            self.sim.unicast(from, to, frame);
+        } else {
+            self.sim.unicast(from, to, inner.encode());
+        }
+    }
+
+    /// Pumps repeatedly until at least `d` of simulated time has passed
+    /// (each pump advances the clock one 2 ms delivery step).
+    fn pump_for(&mut self, d: SimDuration) {
+        let mut remaining = d.as_micros();
+        loop {
+            self.pump();
+            remaining = remaining.saturating_sub(2_000);
+            if remaining == 0 {
+                break;
+            }
+        }
     }
 
     /// Advances the clock one delivery step and dispatches every delivered
@@ -390,11 +577,50 @@ impl DiscoveryEngine {
             return;
         };
         // Direct verification: a tentative relation may only be asserted
-        // over a frame whose measured path length fits in the radio range.
-        // Wormhole-relayed Hellos/acks fail this check; replica frames pass
-        // it (the replica radio genuinely is nearby).
-        let direct_ok =
-            !self.direct_verification || frame.distance <= self.radio.max_range() * (1.0 + 1e-9);
+        // over a frame whose measured path length fits in the radio range
+        // AND whose claimed sender is the radio-layer transmitter — u
+        // verifies that *v itself* sent the Hello, so a corrupted frame
+        // claiming a mangled identity cannot plant a phantom tentative
+        // neighbor. Wormhole-relayed Hellos/acks fail the distance check;
+        // replica frames pass both (the replica radio genuinely is nearby
+        // and transmits under the captured identity).
+        let claims_sender_honestly = match &msg {
+            Message::Hello { from } | Message::HelloAck { from } => *from == frame.from,
+            _ => true,
+        };
+        let direct_ok = !self.direct_verification
+            || (frame.distance <= self.radio.max_range() * (1.0 + 1e-9) && claims_sender_honestly);
+        // The reliability envelope is transport framing, shared by benign
+        // and compromised receivers alike: ack the nonce (an attacker that
+        // refused would only draw retransmissions, never gain anything),
+        // then process the payload. Re-delivered envelopes are re-acked —
+        // a lost ack must provoke a fresh one — and the inner message is
+        // handled idempotently below. Decode depth is bounded: nested
+        // envelopes are rejected at the wire layer.
+        let msg = match msg {
+            Message::Reliable { nonce, inner } => {
+                self.sim.unicast(
+                    receiver,
+                    frame.from,
+                    Message::Ack {
+                        from: receiver,
+                        nonce,
+                    }
+                    .encode(),
+                );
+                *inner
+            }
+            Message::Ack { nonce, .. } => {
+                if self.outstanding.remove(&nonce).is_some() {
+                    self.report.acks_received += 1;
+                } else {
+                    // Duplicate ack for a frame already confirmed.
+                    self.report.duplicates_ignored += 1;
+                }
+                return;
+            }
+            other => other,
+        };
         if self.adversary.controls(receiver) {
             self.dispatch_compromised(receiver, msg);
         } else {
@@ -447,7 +673,13 @@ impl DiscoveryEngine {
             }
             Message::RecordReply { record } => {
                 if let Some(node) = self.nodes.get_mut(&receiver) {
-                    if node.accept_record(record, &self.ops).is_err() {
+                    // A record that already authenticated must not be
+                    // re-verified (wasted hashes) or double-counted toward
+                    // the ≥ t+1 overlap: the collected map is keyed by
+                    // origin, so re-delivery is recognized and dropped.
+                    if node.has_collected(record.node) {
+                        self.report.duplicates_ignored += 1;
+                    } else if node.accept_record(record, &self.ops).is_err() {
                         self.report.rejected_records += 1;
                     }
                 }
@@ -468,7 +700,11 @@ impl DiscoveryEngine {
             }
             Message::Evidence { evidence } => {
                 if let Some(node) = self.nodes.get_mut(&receiver) {
-                    let _ = node.buffer_evidence(evidence);
+                    if let Ok(false) = node.buffer_evidence(evidence) {
+                        // Same token already buffered: a retransmission,
+                        // not new ammunition.
+                        self.report.duplicates_ignored += 1;
+                    }
                 }
             }
             Message::UpdateRequest { record, evidences } => {
@@ -479,7 +715,14 @@ impl DiscoveryEngine {
                 };
                 match node.process_update_request(&record, &evidences, &self.ops) {
                     Ok(refreshed) => {
-                        self.report.updates_applied += 1;
+                        // Re-minting the same request is deterministic, so
+                        // serving a retransmission is idempotent — but it
+                        // must not double-count as a distinct update.
+                        if self.served_updates.insert((receiver, requester)) {
+                            self.report.updates_applied += 1;
+                        } else {
+                            self.report.duplicates_ignored += 1;
+                        }
                         self.sim.unicast(
                             receiver,
                             requester,
@@ -494,6 +737,9 @@ impl DiscoveryEngine {
                     let _ = node.install_updated_record(record);
                 }
             }
+            // Transport framing is consumed in `dispatch` before the
+            // benign/compromised split; nothing reaches here.
+            Message::Ack { .. } | Message::Reliable { .. } => {}
         }
     }
 
@@ -567,9 +813,12 @@ impl DiscoveryEngine {
             }
             // Compromised nodes never serve honest updates or care about
             // acks/record replies (they do not run discovery again).
+            // Transport framing never reaches here (consumed in dispatch).
             Message::HelloAck { .. }
             | Message::RecordReply { .. }
-            | Message::UpdateRequest { .. } => {}
+            | Message::UpdateRequest { .. }
+            | Message::Ack { .. }
+            | Message::Reliable { .. } => {}
         }
     }
 
@@ -925,5 +1174,166 @@ mod tests {
         assert_eq!(totals.broadcasts_sent, 9, "one Hello per node");
         assert!(totals.unicasts_sent > 0);
         assert!(eng.hash_ops() > 0);
+    }
+
+    #[test]
+    fn legacy_wave_reports_no_reliability_activity() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        let report = eng.run_wave(&ids);
+        assert_eq!(report.retransmissions, 0);
+        assert_eq!(report.acks_received, 0);
+        assert_eq!(report.duplicates_ignored, 0);
+        assert_eq!(report.timed_out_phases, 0);
+        assert!(report.unconfirmed_links.is_empty());
+    }
+
+    #[test]
+    fn reliable_wave_on_a_clean_channel_matches_legacy_topology() {
+        let mut legacy = grid_engine(0);
+        let mut reliable = grid_engine(0);
+        reliable.set_reliability(ReliabilityConfig::default());
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        legacy.run_wave(&ids);
+        let report = reliable.run_wave(&ids);
+        assert_eq!(
+            legacy.functional_topology(),
+            reliable.functional_topology(),
+            "ARQ must be invisible on a lossless channel"
+        );
+        assert!(report.unconfirmed_links.is_empty());
+        assert_eq!(report.timed_out_phases, 0);
+        // Every commitment/evidence unicast was acknowledged.
+        assert!(report.acks_received > 0);
+    }
+
+    #[test]
+    fn reliable_wave_converges_through_heavy_loss() {
+        use snd_sim::faults::{FaultPlan, FaultSpec};
+        let mut eng = grid_engine(0);
+        eng.set_reliability(ReliabilityConfig::default());
+        let spec = FaultSpec {
+            loss: 0.3,
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 7));
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        let report = eng.run_wave(&ids);
+        assert!(report.retransmissions > 0, "loss must force resends");
+        assert!(report.acks_received > 0);
+        assert!(
+            report.unconfirmed_links.is_empty(),
+            "30% loss is well within the default retry budget: {:?}",
+            report.unconfirmed_links
+        );
+        // Full convergence: the center node validates all 8 neighbors.
+        let center = eng.node(n(4)).unwrap();
+        assert_eq!(center.functional_neighbors().len(), 8);
+        for id in &ids {
+            assert_eq!(eng.node(*id).unwrap().state(), NodeState::Operational);
+        }
+    }
+
+    #[test]
+    fn blacked_out_collect_phase_degrades_gracefully() {
+        use snd_sim::faults::{FaultPlan, FaultSpec, LossBurst};
+        use snd_sim::time::SimTime;
+        let mut eng = grid_engine(0);
+        // One Hello round keeps the phase clock simple: Hellos and acks
+        // are all settled by t = 4 ms; everything after is blacked out.
+        eng.set_reliability(ReliabilityConfig {
+            enabled: true,
+            retry_budget: 2,
+            hello_rounds: 1,
+            base_backoff: SimDuration::from_millis(4),
+            max_backoff: SimDuration::from_millis(8),
+            phase_timeout: SimDuration::from_millis(100),
+        });
+        let spec = FaultSpec {
+            bursts: vec![LossBurst {
+                from: SimTime::from_millis(4),
+                until: SimTime::from_micros(u64::MAX),
+                loss: 1.0,
+            }],
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 3));
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        let report = eng.run_wave(&ids);
+
+        // The wave must terminate (not stall) and name what it lost.
+        assert!(report.timed_out_phases >= 1, "collect must time out");
+        assert!(
+            !report.unconfirmed_links.is_empty(),
+            "every uncollected record is an unconfirmed link"
+        );
+        for id in &ids {
+            let node = eng.node(*id).unwrap();
+            // Tentative topology survived (hello phase was clean)...
+            assert!(!node.tentative_neighbors().is_empty());
+            // ...but nothing validated, and the node still finished its
+            // lifecycle: operational, master key erased.
+            assert!(node.functional_neighbors().is_empty());
+            assert_eq!(node.state(), NodeState::Operational);
+            assert!(!node.holds_master_key());
+        }
+    }
+
+    #[test]
+    fn duplicated_frames_do_not_double_count() {
+        use snd_sim::faults::{FaultPlan, FaultSpec};
+        let mut clean = grid_engine(0);
+        let mut dup = grid_engine(0);
+        // Every frame duplicated, receiver-side dedup disabled: the raw
+        // duplicates reach the protocol, which must stay idempotent.
+        let spec = FaultSpec {
+            duplicate: 1.0,
+            dedup_window: 0,
+            ..FaultSpec::default()
+        };
+        dup.sim_mut().set_fault_plan(FaultPlan::new(spec, 11));
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        clean.run_wave(&ids);
+        let report = dup.run_wave(&ids);
+        assert!(report.duplicates_ignored > 0, "re-deliveries recognized");
+        assert_eq!(report.rejected_records, 0);
+        assert_eq!(report.rejected_commitments, 0);
+        assert_eq!(
+            clean.functional_topology(),
+            dup.functional_topology(),
+            "duplicate delivery must not change the outcome"
+        );
+    }
+
+    #[test]
+    fn key_cache_cuts_hash_ops_under_redelivery() {
+        use snd_sim::faults::{FaultPlan, FaultSpec};
+        let spec = FaultSpec {
+            duplicate: 1.0,
+            dedup_window: 0,
+            ..FaultSpec::default()
+        };
+        let run = |cache: bool| {
+            let mut eng = grid_engine(0);
+            eng.set_key_cache(cache);
+            eng.sim_mut()
+                .set_fault_plan(FaultPlan::new(spec.clone(), 13));
+            let ids: Vec<NodeId> = (0..9).map(n).collect();
+            eng.run_wave(&ids);
+            (
+                eng.hash_ops(),
+                eng.key_cache_hits(),
+                eng.functional_topology(),
+            )
+        };
+        let (ops_on, hits_on, topo_on) = run(true);
+        let (ops_off, hits_off, topo_off) = run(false);
+        assert_eq!(topo_on, topo_off, "memoization must not change results");
+        assert_eq!(hits_off, 0);
+        assert!(hits_on > 0, "duplicated commitments must hit the memo");
+        assert!(
+            ops_on < ops_off,
+            "cache on must hash strictly less: {ops_on} vs {ops_off}"
+        );
     }
 }

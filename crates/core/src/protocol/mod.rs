@@ -25,10 +25,12 @@ pub mod config;
 pub mod engine;
 pub mod node;
 pub mod records;
+pub mod reliability;
 pub mod wire;
 
 pub use config::ProtocolConfig;
 pub use engine::{DiscoveryEngine, WaveReport};
-pub use node::{CapturedState, DiscoveryOutput, NodeState, ProtocolNode};
+pub use node::{CapturedState, DiscoveryOutput, KeyScheme, NodeState, ProtocolNode};
 pub use records::{BindingRecord, RelationEvidence};
+pub use reliability::ReliabilityConfig;
 pub use wire::Message;

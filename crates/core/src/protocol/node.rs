@@ -66,6 +66,76 @@ pub struct CapturedState {
     pub evidence: Vec<RelationEvidence>,
 }
 
+/// Which pairwise-key derivation a cache entry memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KeyScheme {
+    /// Record keys `RK_v` (fast-erasure record authentication).
+    Record,
+    /// Verification keys `K_v` (relation commitments).
+    Verification,
+}
+
+/// Per-node cache of derived pairwise keys, keyed by `(scheme, neighbor)`.
+///
+/// Two roles share the map: the fast-erasure variant *stashes* the
+/// protocol-mandated neighbor keys here at commit time (mandatory state —
+/// the master key is gone afterwards), and recomputable derivations are
+/// *memoized* through [`KeyCache::get_or_derive`], which is what the
+/// `hits` counter measures (each hit is one avoided hash derivation).
+#[derive(Debug)]
+struct KeyCache {
+    map: BTreeMap<(KeyScheme, NodeId), SymmetricKey>,
+    hits: u64,
+    enabled: bool,
+}
+
+impl Default for KeyCache {
+    fn default() -> Self {
+        KeyCache {
+            map: BTreeMap::new(),
+            hits: 0,
+            enabled: true,
+        }
+    }
+}
+
+impl KeyCache {
+    /// Memoized derivation: returns the cached key or derives-and-stores.
+    /// With memoization disabled this always derives (legacy behavior).
+    fn get_or_derive(
+        &mut self,
+        scheme: KeyScheme,
+        peer: NodeId,
+        derive: impl FnOnce() -> SymmetricKey,
+    ) -> SymmetricKey {
+        if !self.enabled {
+            return derive();
+        }
+        if let Some(k) = self.map.get(&(scheme, peer)) {
+            self.hits += 1;
+            return k.clone();
+        }
+        let k = derive();
+        self.map.insert((scheme, peer), k.clone());
+        k
+    }
+
+    /// Stores a protocol-mandated key unconditionally (fast erasure).
+    fn stash(&mut self, scheme: KeyScheme, peer: NodeId, key: SymmetricKey) {
+        self.map.insert((scheme, peer), key);
+    }
+
+    /// Looks up a stored key without touching the hit counter.
+    fn get(&self, scheme: KeyScheme, peer: NodeId) -> Option<&SymmetricKey> {
+        self.map.get(&(scheme, peer))
+    }
+
+    /// Destroys every cached key (entries zeroize on drop).
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// A sensor node running the localized neighbor-validation protocol.
 #[derive(Debug)]
 pub struct ProtocolNode {
@@ -83,10 +153,15 @@ pub struct ProtocolNode {
     functional: BTreeSet<NodeId>,
     /// Evidence addressed to this node, buffered for future updates.
     evidence: Vec<RelationEvidence>,
-    /// Fast-erasure caches: tentative neighbors' record keys and
-    /// verification keys, derived at commit time and destroyed at finalize.
-    neighbor_record_keys: BTreeMap<NodeId, SymmetricKey>,
-    neighbor_verification_keys: BTreeMap<NodeId, SymmetricKey>,
+    /// Pairwise keys: the fast-erasure neighbor-key stash (derived at
+    /// commit, destroyed at finalize) plus memoized derivations.
+    keys: KeyCache,
+    /// Memoized expected relation commitments `H(K_u ‖ from)`, keyed by
+    /// issuer. Derived solely from this node's own permanent verification
+    /// key, so retaining them indefinitely leaks nothing the key itself
+    /// doesn't; duplicate/retransmitted commitments then verify without
+    /// re-hashing.
+    commit_memo: BTreeMap<NodeId, Digest>,
 }
 
 /// One threshold-validation judgement made while finalizing discovery:
@@ -136,9 +211,21 @@ impl ProtocolNode {
             collected: BTreeMap::new(),
             functional: BTreeSet::new(),
             evidence: Vec::new(),
-            neighbor_record_keys: BTreeMap::new(),
-            neighbor_verification_keys: BTreeMap::new(),
+            keys: KeyCache::default(),
+            commit_memo: BTreeMap::new(),
         }
+    }
+
+    /// Enables or disables key/commitment memoization. The fast-erasure
+    /// neighbor-key stash is protocol state and unaffected; this switch
+    /// only controls whether *recomputable* derivations are cached.
+    pub fn set_key_cache(&mut self, enabled: bool) {
+        self.keys.enabled = enabled;
+    }
+
+    /// Hash derivations avoided so far by the memoization cache.
+    pub fn key_cache_hits(&self) -> u64 {
+        self.keys.hits
     }
 
     /// The node's identity.
@@ -255,10 +342,13 @@ impl ProtocolNode {
             let rk_self = record_key(&master, self.id, ops);
             self.record = BindingRecord::create(&rk_self, self.id, 0, self.tentative.clone(), ops);
             for &v in &self.tentative {
-                self.neighbor_record_keys
-                    .insert(v, record_key(&master, v, ops));
-                self.neighbor_verification_keys
-                    .insert(v, verification_key(&master, v, ops));
+                self.keys
+                    .stash(KeyScheme::Record, v, record_key(&master, v, ops));
+                self.keys.stash(
+                    KeyScheme::Verification,
+                    v,
+                    verification_key(&master, v, ops),
+                );
             }
             // The whole point: K dies here, before any record arrives.
             self.master.erase(rng);
@@ -294,8 +384,8 @@ impl ProtocolNode {
         }
         let authentic = if self.config.fast_erase {
             let rk = self
-                .neighbor_record_keys
-                .get(&record.node)
+                .keys
+                .get(KeyScheme::Record, record.node)
                 .ok_or(ProtocolError::NotTentativeNeighbor { peer: record.node })?;
             record.verify(rk, ops)
         } else {
@@ -312,6 +402,27 @@ impl ProtocolNode {
         }
         self.collected.insert(record.node, record);
         Ok(())
+    }
+
+    /// Whether a binding record from `peer` has already been collected
+    /// (and authenticated) this wave. Lets the transport layer drop
+    /// re-delivered records without paying the verification hashes again.
+    pub fn has_collected(&self, peer: NodeId) -> bool {
+        self.collected.contains_key(&peer)
+    }
+
+    /// Tentative neighbors whose binding records are still missing, in id
+    /// order. Empty unless the node is `Committed` (before commit nothing
+    /// is expected; after finalize nothing is retained).
+    pub fn missing_records(&self) -> Vec<NodeId> {
+        if self.state != NodeState::Committed {
+            return Vec::new();
+        }
+        self.tentative
+            .iter()
+            .copied()
+            .filter(|v| !self.collected.contains_key(v))
+            .collect()
     }
 
     /// Completes discovery: selects functional neighbors by the `t + 1`
@@ -358,11 +469,13 @@ impl ProtocolNode {
             if accepted {
                 self.functional.insert(v);
                 let k_v = match &master {
-                    Some(k) => verification_key(k, v, ops),
+                    Some(k) => self
+                        .keys
+                        .get_or_derive(KeyScheme::Verification, v, || verification_key(k, v, ops)),
                     None => self
-                        .neighbor_verification_keys
-                        .get(&v)
-                        .expect("fast-erase cache covers tentative neighbors")
+                        .keys
+                        .get(KeyScheme::Verification, v)
+                        .expect("fast-erase stash covers tentative neighbors")
                         .clone(),
                 };
                 commitments.push((v, relation_commitment(&k_v, self.id, ops)));
@@ -375,9 +488,9 @@ impl ProtocolNode {
                 let evidence_key = match &master {
                     Some(k) => k.clone(),
                     None => self
-                        .neighbor_record_keys
-                        .get(&v)
-                        .expect("fast-erase cache covers tentative neighbors")
+                        .keys
+                        .get(KeyScheme::Record, v)
+                        .expect("fast-erase stash covers tentative neighbors")
                         .clone(),
                 };
                 evidence_out.push(RelationEvidence::issue(
@@ -393,10 +506,10 @@ impl ProtocolNode {
         // Storage hygiene per Section 4.3: collected records are deleted
         // once used; "a sensor node only needs to remember its own binding
         // record, the functional neighbor list, and the verification key".
-        // Fast-erase caches die here too (keys zeroize on drop).
+        // The pairwise-key cache dies here too (keys zeroize on drop) —
+        // every entry descends from the master key being erased.
         self.collected.clear();
-        self.neighbor_record_keys.clear();
-        self.neighbor_verification_keys.clear();
+        self.keys.clear();
         self.master.erase(rng);
         self.state = NodeState::Operational;
 
@@ -420,7 +533,18 @@ impl ProtocolNode {
         digest: &Digest,
         ops: &HashCounter,
     ) -> Result<(), ProtocolError> {
-        let expected = relation_commitment(&self.verification_key, from, ops);
+        let expected = if self.keys.enabled {
+            if let Some(d) = self.commit_memo.get(&from) {
+                self.keys.hits += 1;
+                *d
+            } else {
+                let d = relation_commitment(&self.verification_key, from, ops);
+                self.commit_memo.insert(from, d);
+                d
+            }
+        } else {
+            relation_commitment(&self.verification_key, from, ops)
+        };
         if !expected.ct_eq(digest) {
             return Err(ProtocolError::CommitmentAuthFailed { from });
         }
@@ -431,20 +555,25 @@ impl ProtocolNode {
     /// Buffers evidence addressed to this node for a future record update.
     ///
     /// The node cannot verify the evidence itself (that needs `K`); the
-    /// updater will. Mis-addressed evidence is rejected.
+    /// updater will. Mis-addressed evidence is rejected; an exact
+    /// duplicate of an already-buffered token is ignored (retransmissions
+    /// must not inflate the buffer), reported as `Ok(false)`.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::MalformedMessage`] if the evidence names another
     /// beneficiary.
-    pub fn buffer_evidence(&mut self, ev: RelationEvidence) -> Result<(), ProtocolError> {
+    pub fn buffer_evidence(&mut self, ev: RelationEvidence) -> Result<bool, ProtocolError> {
         if ev.to != self.id {
             return Err(ProtocolError::MalformedMessage {
                 detail: "evidence addressed to another node",
             });
         }
+        if self.evidence.contains(&ev) {
+            return Ok(false);
+        }
         self.evidence.push(ev);
-        Ok(())
+        Ok(true)
     }
 
     /// Builds an update request (Section 4.4): the node's current record
@@ -490,8 +619,8 @@ impl ProtocolNode {
         // cached record key (it must be a tentative neighbor); in the
         // baseline it uses K directly.
         let key: SymmetricKey = if self.config.fast_erase {
-            self.neighbor_record_keys
-                .get(&record.node)
+            self.keys
+                .get(KeyScheme::Record, record.node)
                 .cloned()
                 .ok_or(ProtocolError::NotTentativeNeighbor { peer: record.node })?
         } else {
@@ -583,7 +712,13 @@ impl ProtocolNode {
             verification_key: self.verification_key.clone(),
             functional: self.functional.clone(),
             master_key: self.master.get().ok().cloned(),
-            neighbor_record_keys: self.neighbor_record_keys.clone(),
+            neighbor_record_keys: self
+                .keys
+                .map
+                .iter()
+                .filter(|((scheme, _), _)| *scheme == KeyScheme::Record)
+                .map(|((_, v), k)| (*v, k.clone()))
+                .collect(),
             evidence: self.evidence.clone(),
         }
     }
@@ -953,5 +1088,78 @@ mod tests {
         let (node, _) = discovered_node(1, &master, &ops, &mut rng);
         // 3 record neighbors + 3 functional + 0 evidence + 2 keys.
         assert_eq!(node.storage_items(), 8);
+    }
+
+    #[test]
+    fn commitment_memo_skips_rehashing_on_redelivery() {
+        let (master, ops, mut rng) = setup();
+        let (mut receiver, _) = discovered_node(1, &master, &ops, &mut rng);
+        let k_0 = verification_key(&master, n(0), &ops);
+        let digest = relation_commitment(&k_0, n(42), &ops);
+
+        let before = ops.get();
+        receiver
+            .accept_relation_commitment(n(42), &digest, &ops)
+            .unwrap();
+        let first = ops.get();
+        assert!(first > before, "first verification hashes");
+
+        // A retransmitted commitment verifies from the memo: zero hashes.
+        receiver
+            .accept_relation_commitment(n(42), &digest, &ops)
+            .unwrap();
+        assert_eq!(ops.get(), first, "re-delivery must not re-hash");
+        assert_eq!(receiver.key_cache_hits(), 1);
+    }
+
+    #[test]
+    fn disabled_key_cache_always_rehashes() {
+        let (master, ops, mut rng) = setup();
+        let (mut receiver, _) = discovered_node(1, &master, &ops, &mut rng);
+        receiver.set_key_cache(false);
+        let k_0 = verification_key(&master, n(0), &ops);
+        let digest = relation_commitment(&k_0, n(42), &ops);
+
+        receiver
+            .accept_relation_commitment(n(42), &digest, &ops)
+            .unwrap();
+        let first = ops.get();
+        receiver
+            .accept_relation_commitment(n(42), &digest, &ops)
+            .unwrap();
+        assert!(ops.get() > first, "cache off recomputes every time");
+        assert_eq!(receiver.key_cache_hits(), 0);
+    }
+
+    #[test]
+    fn duplicate_evidence_is_ignored() {
+        let (master, ops, mut rng) = setup();
+        let (mut node, _) = discovered_node(1, &master, &ops, &mut rng);
+        let ev = RelationEvidence::issue(&master, n(50), n(0), 0, &ops);
+        assert_eq!(node.buffer_evidence(ev.clone()), Ok(true));
+        assert_eq!(node.buffer_evidence(ev), Ok(false), "retransmission");
+        assert_eq!(node.buffered_evidence().len(), 1);
+    }
+
+    #[test]
+    fn missing_records_track_collection_progress() {
+        let (master, ops, mut rng) = setup();
+        let config = ProtocolConfig::with_threshold(0);
+        let mut node = ProtocolNode::provision(n(0), &master, config, &ops);
+        node.begin_discovery().unwrap();
+        node.add_tentative(n(1)).unwrap();
+        node.add_tentative(n(2)).unwrap();
+        assert!(
+            node.missing_records().is_empty(),
+            "nothing is expected before commit"
+        );
+        node.commit_record(&mut rng, &ops).unwrap();
+        assert_eq!(node.missing_records(), vec![n(1), n(2)]);
+        assert!(!node.has_collected(n(1)));
+
+        node.accept_record(record_for(&master, n(1), &[n(0), n(2)], &ops), &ops)
+            .unwrap();
+        assert!(node.has_collected(n(1)));
+        assert_eq!(node.missing_records(), vec![n(2)]);
     }
 }

@@ -60,6 +60,23 @@ pub enum Message {
         /// The new record (version incremented).
         record: BindingRecord,
     },
+    /// Link-layer acknowledgement of a [`Message::Reliable`] frame.
+    Ack {
+        /// The acknowledging node.
+        from: NodeId,
+        /// The nonce of the reliable frame being acknowledged.
+        nonce: u64,
+    },
+    /// A message sent under the retransmission protocol: the receiver
+    /// replies with [`Message::Ack`] carrying the same nonce, then
+    /// processes `inner` idempotently. Nesting is rejected at decode, so
+    /// the envelope is exactly one level deep.
+    Reliable {
+        /// Sender-chosen retransmission nonce.
+        nonce: u64,
+        /// The enveloped message (never `Reliable` or `Ack` itself).
+        inner: Box<Message>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -70,6 +87,8 @@ const TAG_RELATION_COMMIT: u8 = 5;
 const TAG_EVIDENCE: u8 = 6;
 const TAG_UPDATE_REQUEST: u8 = 7;
 const TAG_UPDATE_REPLY: u8 = 8;
+const TAG_ACK: u8 = 9;
+const TAG_RELIABLE: u8 = 10;
 
 impl Message {
     /// Serializes the message.
@@ -113,6 +132,16 @@ impl Message {
             Message::UpdateReply { record } => {
                 out.push(TAG_UPDATE_REPLY);
                 out.extend_from_slice(&record.encode());
+            }
+            Message::Ack { from, nonce } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&from.to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
+            }
+            Message::Reliable { nonce, inner } => {
+                out.push(TAG_RELIABLE);
+                out.extend_from_slice(&nonce.to_be_bytes());
+                out.extend_from_slice(&inner.encode());
             }
         }
         out
@@ -205,6 +234,31 @@ impl Message {
                 let (record, rest) = BindingRecord::decode(rest)?;
                 done(rest, Message::UpdateReply { record })
             }
+            TAG_ACK => {
+                if rest.len() < 16 {
+                    return Err(malformed("ack truncated"));
+                }
+                let from = read_id(&rest[0..8])?;
+                let nonce = u64::from_be_bytes(rest[8..16].try_into().expect("len checked"));
+                done(&rest[16..], Message::Ack { from, nonce })
+            }
+            TAG_RELIABLE => {
+                if rest.len() < 8 {
+                    return Err(malformed("reliable nonce truncated"));
+                }
+                let nonce = u64::from_be_bytes(rest[..8].try_into().expect("len checked"));
+                let inner = Message::decode(&rest[8..])?;
+                if matches!(inner, Message::Reliable { .. } | Message::Ack { .. }) {
+                    return Err(malformed("reliable envelope must not nest"));
+                }
+                done(
+                    &[],
+                    Message::Reliable {
+                        nonce,
+                        inner: Box::new(inner),
+                    },
+                )
+            }
             _ => Err(malformed("unknown message tag")),
         }
     }
@@ -266,6 +320,24 @@ mod tests {
             Message::UpdateReply {
                 record: sample_record(),
             },
+            Message::Ack {
+                from: n(4),
+                nonce: 0xDEAD_BEEF,
+            },
+            Message::Reliable {
+                nonce: 7,
+                inner: Box::new(Message::RelationCommit {
+                    from: n(1),
+                    to: n(2),
+                    digest: snd_crypto::sha256::Sha256::digest(b"c"),
+                }),
+            },
+            Message::Reliable {
+                nonce: u64::MAX,
+                inner: Box::new(Message::Evidence {
+                    evidence: sample_evidence(12),
+                }),
+            },
         ]
     }
 
@@ -307,5 +379,31 @@ mod tests {
     fn unknown_tag_rejected() {
         assert!(Message::decode(&[0x7F, 0, 0]).is_err());
         assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn nested_reliable_envelopes_rejected() {
+        let inner = Message::Reliable {
+            nonce: 1,
+            inner: Box::new(Message::Hello { from: n(1) }),
+        };
+        for wrapped in [
+            inner.clone(),
+            Message::Ack {
+                from: n(2),
+                nonce: 3,
+            },
+        ] {
+            let mut bytes = vec![TAG_RELIABLE];
+            bytes.extend_from_slice(&9u64.to_be_bytes());
+            bytes.extend_from_slice(&wrapped.encode());
+            assert!(
+                Message::decode(&bytes).is_err(),
+                "nesting {wrapped:?} must be rejected"
+            );
+        }
+        // Sanity: a legal single-level envelope still decodes.
+        let bytes = inner.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), inner);
     }
 }

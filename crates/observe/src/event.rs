@@ -7,6 +7,7 @@
 //! `{"PhaseStart": {"wave": 1, "phase": "Hello", "sim_time": 4000}}`.
 
 use serde::Serialize;
+use snd_sim::faults::FaultKind;
 use snd_sim::metrics::DropReason;
 use snd_sim::time::SimTime;
 use snd_topology::{NodeId, Point};
@@ -136,6 +137,17 @@ pub enum Event {
         /// Why the frame died.
         reason: DropReason,
     },
+    /// A fault plan tampered with a frame without dropping it, or
+    /// scheduled a node-level event (mirrors the simulator's fault
+    /// counters; plan-induced *drops* arrive as [`Event::RadioDrop`]).
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+        /// Sending identity (equal to `to` for node-level faults).
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
 }
 
 /// An [`Event`] stamped with its position in the recorded stream.
@@ -179,6 +191,19 @@ mod tests {
         assert_eq!(
             serde::json::to_string(&ev),
             r#"{"ValidationDecision":{"node":9,"peer":0,"shared":1,"required":2,"accepted":false}}"#
+        );
+    }
+
+    #[test]
+    fn fault_injections_serialize_externally_tagged() {
+        let ev = Event::FaultInjected {
+            kind: FaultKind::Duplicated,
+            from: NodeId(3),
+            to: NodeId(4),
+        };
+        assert_eq!(
+            serde::json::to_string(&ev),
+            r#"{"FaultInjected":{"kind":"Duplicated","from":3,"to":4}}"#
         );
     }
 

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use snd_sim::faults::FaultKind;
 use snd_sim::metrics::DropReason;
 use snd_sim::time::SimTime;
 use snd_sim::trace::TraceHook;
@@ -165,6 +166,12 @@ impl TraceHook for SimTraceBridge {
             self.0.record(Event::RadioDrop { from, to, reason });
         }
     }
+
+    fn fault_injected(&self, kind: FaultKind, from: NodeId, to: NodeId) {
+        if self.0.enabled() {
+            self.0.record(Event::FaultInjected { kind, from, to });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +272,21 @@ mod tests {
                 from: NodeId(1),
                 to: NodeId(2),
                 reason: DropReason::Jammed
+            }
+        );
+    }
+
+    #[test]
+    fn bridge_forwards_fault_injections() {
+        let rec = MemoryRecorder::shared();
+        let bridge = SimTraceBridge(Arc::clone(&rec) as Arc<dyn Recorder>);
+        bridge.fault_injected(FaultKind::Corrupted, NodeId(7), NodeId(8));
+        assert_eq!(
+            rec.snapshot()[0].event,
+            Event::FaultInjected {
+                kind: FaultKind::Corrupted,
+                from: NodeId(7),
+                to: NodeId(8),
             }
         );
     }

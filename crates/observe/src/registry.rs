@@ -188,6 +188,12 @@ impl MetricsRegistry {
         for (&reason, &count) in metrics.drop_counts() {
             self.set(&format!("sim.drops.{reason:?}"), count);
         }
+        if metrics.total_faults() > 0 {
+            self.set("sim.faults", metrics.total_faults());
+        }
+        for (&kind, &count) in metrics.fault_counts() {
+            self.set(&format!("sim.faults.{kind:?}"), count);
+        }
         for (_, c) in metrics.per_node() {
             self.observe("sim.node.unicasts_sent", c.unicasts_sent);
             self.observe("sim.node.broadcasts_sent", c.broadcasts_sent);
@@ -234,6 +240,7 @@ impl MetricsRegistry {
                 Event::NodeCompromised { .. } => self.inc("adversary.compromises", 1),
                 Event::ReplicaPlaced { .. } => self.inc("adversary.replicas", 1),
                 Event::RadioDrop { .. } => self.inc("trace.radio_drops", 1),
+                Event::FaultInjected { .. } => self.inc("trace.faults_injected", 1),
                 Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
             }
         }
@@ -351,6 +358,42 @@ mod tests {
         let h = r.histograms.get_mut("sim.node.unicasts_sent").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn ingest_sim_exports_fault_counters() {
+        use snd_sim::faults::FaultKind;
+        let mut m = Metrics::new();
+        m.record_fault(FaultKind::Duplicated);
+        m.record_fault(FaultKind::Duplicated);
+        m.record_fault(FaultKind::NodeCrash);
+
+        let mut r = MetricsRegistry::new();
+        r.ingest_sim(&m);
+        assert_eq!(r.counter("sim.faults"), 3);
+        assert_eq!(r.counter("sim.faults.Duplicated"), 2);
+        assert_eq!(r.counter("sim.faults.NodeCrash"), 1);
+
+        // Fault-free runs export no fault keys at all (schema-neutral).
+        let mut clean = MetricsRegistry::new();
+        clean.ingest_sim(&Metrics::new());
+        assert!(!clean.counters().any(|(k, _)| k.starts_with("sim.faults")));
+    }
+
+    #[test]
+    fn ingest_events_counts_fault_injections() {
+        use snd_sim::faults::FaultKind;
+        let events = vec![EventRecord {
+            seq: 0,
+            event: Event::FaultInjected {
+                kind: FaultKind::Reordered,
+                from: NodeId(1),
+                to: NodeId(2),
+            },
+        }];
+        let mut r = MetricsRegistry::new();
+        r.ingest_events(&events);
+        assert_eq!(r.counter("trace.faults_injected"), 1);
     }
 
     #[test]

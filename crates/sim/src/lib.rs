@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod faults;
 pub mod jamming;
 pub mod metrics;
 pub mod network;
@@ -41,6 +42,7 @@ pub mod trace;
 /// Re-exports of the items most experiments need.
 pub mod prelude {
     pub use crate::energy::{Battery, EnergyModel};
+    pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, LossBurst};
     pub use crate::jamming::JamZone;
     pub use crate::metrics::{DropReason, HashCounter, Metrics, NodeCounters};
     pub use crate::network::{Delivered, SendOutcome, Simulator, Wormhole};

@@ -13,6 +13,8 @@ use std::sync::Arc;
 use serde::Serialize;
 use snd_topology::NodeId;
 
+use crate::faults::FaultKind;
+
 /// Why a transmission failed to reach a receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
 pub enum DropReason {
@@ -24,6 +26,14 @@ pub enum DropReason {
     Jammed,
     /// Destination does not exist (or died).
     NoSuchNode,
+    /// Injected loss burst (fault plan).
+    BurstLoss,
+    /// Sender or receiver radio inside a crash/reboot window (fault plan).
+    NodeDown,
+    /// Payload failed the receiver's CRC after injected corruption.
+    Corrupted,
+    /// Re-delivered frame id suppressed by the receiver's dedup window.
+    DuplicateSuppressed,
 }
 
 /// Per-node transmission/reception counters.
@@ -46,6 +56,7 @@ pub struct NodeCounters {
 pub struct Metrics {
     per_node: BTreeMap<NodeId, NodeCounters>,
     drops: BTreeMap<DropReason, u64>,
+    faults: BTreeMap<FaultKind, u64>,
     hash_ops: Arc<AtomicU64>,
 }
 
@@ -93,6 +104,27 @@ impl Metrics {
     /// Every drop reason observed, with its count.
     pub fn drop_counts(&self) -> &BTreeMap<DropReason, u64> {
         &self.drops
+    }
+
+    /// Records a non-drop fault injection (duplication, reordering,
+    /// corruption, crash scheduling).
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        *self.faults.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Number of injected faults of `kind`.
+    pub fn faults(&self, kind: FaultKind) -> u64 {
+        self.faults.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total injected (non-drop) faults across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.values().sum()
+    }
+
+    /// Every fault kind observed, with its count.
+    pub fn fault_counts(&self) -> &BTreeMap<FaultKind, u64> {
+        &self.faults
     }
 
     /// A shareable counter for hash operations; protocol code clones the
@@ -188,6 +220,19 @@ mod tests {
         assert_eq!(m.drops(DropReason::Jammed), 1);
         assert_eq!(m.drops(DropReason::LinkLoss), 0);
         assert_eq!(m.total_drops(), 3);
+    }
+
+    #[test]
+    fn fault_kinds_tracked_separately() {
+        let mut m = Metrics::new();
+        m.record_fault(FaultKind::Duplicated);
+        m.record_fault(FaultKind::Duplicated);
+        m.record_fault(FaultKind::Corrupted);
+        assert_eq!(m.faults(FaultKind::Duplicated), 2);
+        assert_eq!(m.faults(FaultKind::Corrupted), 1);
+        assert_eq!(m.faults(FaultKind::Reordered), 0);
+        assert_eq!(m.total_faults(), 3);
+        assert_eq!(m.fault_counts().len(), 2);
     }
 
     #[test]

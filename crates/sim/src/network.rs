@@ -17,6 +17,7 @@ use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Deployment, NodeId, Point};
 
 use crate::energy::{Battery, EnergyModel};
+use crate::faults::{FaultKind, FaultPlan, FrameFaults};
 use crate::jamming::JamZone;
 use crate::metrics::{DropReason, Metrics};
 use crate::radio::{AnyLinkModel, LinkModel};
@@ -47,6 +48,11 @@ struct InFlight {
     seq: u64,
     to: NodeId,
     frame: Delivered,
+    /// Frame identity for duplicate suppression: an injected duplicate
+    /// shares its original's id while keeping a unique `seq`.
+    id: u64,
+    /// Injected corruption the receiver's CRC will catch at delivery.
+    crc_failed: bool,
 }
 
 impl PartialEq for InFlight {
@@ -123,6 +129,11 @@ pub struct Simulator {
     deaths: Vec<NodeId>,
     wormholes: Vec<Wormhole>,
     trace: Option<Arc<dyn TraceHook>>,
+    faults: Option<FaultPlan>,
+    /// Per-receiver ring of recently delivered frame ids (dedup window).
+    recent: BTreeMap<NodeId, VecDeque<u64>>,
+    /// Frame-id counter; distinct from `seq`, which stays unique per copy.
+    frames: u64,
 }
 
 /// An out-of-band tunnel between two field positions \[8\]–\[10\]: frames
@@ -162,6 +173,42 @@ impl Simulator {
             deaths: Vec::new(),
             wormholes: Vec::new(),
             trace: None,
+            faults: None,
+            recent: BTreeMap::new(),
+            frames: 0,
+        }
+    }
+
+    /// Installs a deterministic fault plan.
+    ///
+    /// The plan's jam zones are added to the simulator, each node with a
+    /// scheduled crash window is announced as a [`FaultKind::NodeCrash`]
+    /// fault, and from here on every scheduled frame passes through the
+    /// plan. Crash windows also apply to nodes added later (they are pure
+    /// functions of the plan seed), but those gain no announcement.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for zone in plan.spec().jams.clone() {
+            self.jammers.push(zone);
+        }
+        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        for id in ids {
+            if plan.crash_window(id).is_some() {
+                self.note_fault(FaultKind::NodeCrash, id, id);
+            }
+        }
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Notes an injected fault in both the metrics and the trace hook.
+    fn note_fault(&mut self, kind: FaultKind, from: NodeId, to: NodeId) {
+        self.metrics.record_fault(kind);
+        if let Some(hook) = &self.trace {
+            hook.fault_injected(kind, from, to);
         }
     }
 
@@ -368,16 +415,20 @@ impl Simulator {
         best
     }
 
-    fn enqueue(
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_frame(
         &mut self,
         from: NodeId,
         to: NodeId,
         payload: Vec<u8>,
         broadcast: bool,
         distance: f64,
+        id: u64,
+        crc_failed: bool,
+        extra_delay: SimDuration,
     ) {
         let frame = Delivered {
-            at: self.time + self.latency,
+            at: self.time + self.latency + extra_delay,
             from,
             payload,
             broadcast,
@@ -389,7 +440,95 @@ impl Simulator {
             seq: self.seq,
             to,
             frame,
+            id,
+            crc_failed,
         }));
+    }
+
+    /// Schedules a frame that already cleared [`Simulator::check_delivery`],
+    /// applying the fault plan (if any) on the way.
+    fn schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        mut payload: Vec<u8>,
+        broadcast: bool,
+        distance: f64,
+    ) -> SendOutcome {
+        self.frames += 1;
+        let id = self.frames;
+        if self.faults.is_none() {
+            self.enqueue_frame(
+                from,
+                to,
+                payload,
+                broadcast,
+                distance,
+                id,
+                false,
+                SimDuration::ZERO,
+            );
+            return SendOutcome::Scheduled;
+        }
+        let now = self.time;
+        let (down, decision) = {
+            let plan = self.faults.as_mut().expect("checked above");
+            let down = plan.is_down(from, now) || plan.is_down(to, now);
+            // A frame from/to a crashed radio never makes it onto the air,
+            // so no per-frame randomness is consumed for it (down-ness is a
+            // pure function of the plan seed — determinism is preserved).
+            let decision = if down {
+                FrameFaults::CLEAN
+            } else {
+                plan.decide_frame(now)
+            };
+            (down, decision)
+        };
+        if down {
+            self.drop_frame(from, to, DropReason::NodeDown);
+            return SendOutcome::Dropped(DropReason::NodeDown);
+        }
+        if let Some(reason) = decision.drop {
+            self.drop_frame(from, to, reason);
+            return SendOutcome::Dropped(reason);
+        }
+        if decision.corrupt {
+            self.faults
+                .as_mut()
+                .expect("checked above")
+                .mangle(&mut payload);
+            self.note_fault(FaultKind::Corrupted, from, to);
+        }
+        if decision.extra_delay > SimDuration::ZERO {
+            self.note_fault(FaultKind::Reordered, from, to);
+        }
+        if decision.duplicate.is_some() {
+            self.note_fault(FaultKind::Duplicated, from, to);
+        }
+        let crc_failed = decision.corrupt && decision.corrupt_detectable;
+        if let Some(dup_delay) = decision.duplicate {
+            self.enqueue_frame(
+                from,
+                to,
+                payload.clone(),
+                broadcast,
+                distance,
+                id,
+                crc_failed,
+                dup_delay,
+            );
+        }
+        self.enqueue_frame(
+            from,
+            to,
+            payload,
+            broadcast,
+            distance,
+            id,
+            crc_failed,
+            decision.extra_delay,
+        );
+        SendOutcome::Scheduled
     }
 
     /// Sends `payload` from `from` to `to`.
@@ -405,10 +544,7 @@ impl Simulator {
         }
         self.charge(from, payload.len(), false);
         match self.check_delivery(from, to) {
-            Ok(distance) => {
-                self.enqueue(from, to, payload, false, distance);
-                SendOutcome::Scheduled
-            }
+            Ok(distance) => self.schedule(from, to, payload, false, distance),
             Err(reason) => {
                 self.drop_frame(from, to, reason);
                 SendOutcome::Dropped(reason)
@@ -436,8 +572,12 @@ impl Simulator {
         for to in targets {
             match self.check_delivery(from, to) {
                 Ok(distance) => {
-                    self.enqueue(from, to, payload.clone(), true, distance);
-                    delivered += 1;
+                    if self
+                        .schedule(from, to, payload.clone(), true, distance)
+                        .is_scheduled()
+                    {
+                        delivered += 1;
+                    }
                 }
                 Err(DropReason::OutOfRange) => {
                     // Out-of-range nodes are not an error for broadcast;
@@ -464,6 +604,37 @@ impl Simulator {
             // Dead receivers silently lose frames.
             if !self.positions.contains_key(&inflight.to) {
                 continue;
+            }
+            if self.faults.is_some() {
+                let from = inflight.frame.from;
+                // A crashed radio hears nothing while its window is open.
+                let down = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|p| p.is_down(inflight.to, inflight.deliver_at));
+                if down {
+                    self.drop_frame(from, inflight.to, DropReason::NodeDown);
+                    continue;
+                }
+                // Detected corruption dies at the receiver's CRC check.
+                if inflight.crc_failed {
+                    self.drop_frame(from, inflight.to, DropReason::Corrupted);
+                    continue;
+                }
+                // Duplicate suppression: a frame id already seen within the
+                // receiver's dedup window is discarded.
+                let window = self.faults.as_ref().map_or(0, |p| p.spec().dedup_window);
+                if window > 0 {
+                    let ring = self.recent.entry(inflight.to).or_default();
+                    if ring.contains(&inflight.id) {
+                        self.drop_frame(from, inflight.to, DropReason::DuplicateSuppressed);
+                        continue;
+                    }
+                    ring.push_back(inflight.id);
+                    while ring.len() > window {
+                        ring.pop_front();
+                    }
+                }
             }
             {
                 let c = self.metrics.node_mut(inflight.to);
@@ -817,5 +988,225 @@ mod tests {
         sim.advance(SimDuration::from_millis(2));
         assert_eq!(sim.in_flight(), 0);
         assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    use crate::faults::FaultSpec;
+
+    fn plan(spec: FaultSpec) -> FaultPlan {
+        FaultPlan::new(spec, 99)
+    }
+
+    #[test]
+    fn inert_plan_changes_nothing() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec::default()));
+        assert!(sim.unicast(n(1), n(2), b"ok".to_vec()).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        assert_eq!(sim.drain_inbox(n(2)).len(), 1);
+        assert_eq!(sim.metrics().total_drops(), 0);
+        assert_eq!(sim.metrics().total_faults(), 0);
+    }
+
+    #[test]
+    fn injected_loss_drops_as_link_loss() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            loss: 1.0,
+            ..FaultSpec::default()
+        }));
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![1]),
+            SendOutcome::Dropped(DropReason::LinkLoss)
+        );
+        assert_eq!(sim.metrics().drops(DropReason::LinkLoss), 1);
+    }
+
+    #[test]
+    fn burst_loss_has_its_own_reason() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            bursts: vec![crate::faults::LossBurst {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1),
+                loss: 1.0,
+            }],
+            ..FaultSpec::default()
+        }));
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![1]),
+            SendOutcome::Dropped(DropReason::BurstLoss)
+        );
+        // After the burst window the link is clean again.
+        sim.advance(SimDuration::from_secs(2));
+        assert!(sim.unicast(n(1), n(2), vec![2]).is_scheduled());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_within_the_window() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            duplicate: 1.0,
+            ..FaultSpec::default() // dedup_window = 16
+        }));
+        assert!(sim.unicast(n(1), n(2), b"once".to_vec()).is_scheduled());
+        assert_eq!(sim.in_flight(), 2, "copy scheduled alongside original");
+        sim.advance(SimDuration::from_millis(10));
+        assert_eq!(sim.drain_inbox(n(2)).len(), 1, "window eats the copy");
+        assert_eq!(sim.metrics().drops(DropReason::DuplicateSuppressed), 1);
+        assert_eq!(sim.metrics().faults(FaultKind::Duplicated), 1);
+    }
+
+    #[test]
+    fn duplicates_reach_the_protocol_when_dedup_disabled() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            duplicate: 1.0,
+            dedup_window: 0,
+            ..FaultSpec::default()
+        }));
+        sim.unicast(n(1), n(2), b"twice".to_vec());
+        sim.advance(SimDuration::from_millis(10));
+        let inbox = sim.drain_inbox(n(2));
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].payload, inbox[1].payload);
+        assert_eq!(sim.metrics().total_drops(), 0);
+    }
+
+    #[test]
+    fn detectable_corruption_dies_at_the_crc() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            corrupt: 1.0,
+            corrupt_detectable: 1.0,
+            ..FaultSpec::default()
+        }));
+        assert!(sim.unicast(n(1), n(2), b"data".to_vec()).is_scheduled());
+        sim.advance(SimDuration::from_millis(10));
+        assert!(sim.drain_inbox(n(2)).is_empty());
+        assert_eq!(sim.metrics().drops(DropReason::Corrupted), 1);
+        assert_eq!(sim.metrics().faults(FaultKind::Corrupted), 1);
+        assert_eq!(sim.metrics().node(n(2)).received, 0);
+    }
+
+    #[test]
+    fn undetectable_corruption_delivers_mangled_bytes() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            corrupt: 1.0,
+            corrupt_detectable: 0.0,
+            ..FaultSpec::default()
+        }));
+        sim.unicast(n(1), n(2), b"data".to_vec());
+        sim.advance(SimDuration::from_millis(10));
+        let inbox = sim.drain_inbox(n(2));
+        assert_eq!(inbox.len(), 1);
+        assert_ne!(inbox[0].payload, b"data", "payload must arrive mangled");
+        assert_eq!(inbox[0].payload.len(), 4);
+    }
+
+    #[test]
+    fn reordered_frames_arrive_late_but_arrive() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            reorder: 1.0,
+            max_extra_delay: SimDuration::from_millis(10),
+            ..FaultSpec::default()
+        }));
+        sim.unicast(n(1), n(2), vec![7]);
+        sim.advance(SimDuration::from_millis(1));
+        // Base latency alone is not enough: the extra delay holds it back.
+        assert_eq!(sim.inbox_len(n(2)), 0);
+        sim.advance(SimDuration::from_millis(11));
+        assert_eq!(sim.drain_inbox(n(2)).len(), 1);
+        assert_eq!(sim.metrics().faults(FaultKind::Reordered), 1);
+        assert_eq!(sim.metrics().total_drops(), 0);
+    }
+
+    #[test]
+    fn crashed_node_neither_sends_nor_receives() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            crash: 1.0,
+            crash_from: SimTime::ZERO,
+            crash_until: SimTime::ZERO,
+            crash_len: SimDuration::from_millis(50),
+            ..FaultSpec::default()
+        }));
+        // Every node crashes over [0, 50ms): nothing moves.
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![1]),
+            SendOutcome::Dropped(DropReason::NodeDown)
+        );
+        // Crash scheduling itself was announced per node.
+        assert_eq!(sim.metrics().faults(FaultKind::NodeCrash), 3);
+        // After every reboot the link works again.
+        sim.advance(SimDuration::from_millis(60));
+        assert!(sim.unicast(n(1), n(2), vec![2]).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        assert_eq!(sim.drain_inbox(n(2)).len(), 1);
+    }
+
+    #[test]
+    fn frame_in_flight_into_a_crash_window_is_lost() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            crash: 1.0,
+            crash_from: SimTime::from_millis(1),
+            crash_until: SimTime::from_millis(1),
+            crash_len: SimDuration::from_millis(5),
+            ..FaultSpec::default()
+        }));
+        // Sent at t=0 (everyone up), due at t=1ms (receiver just crashed).
+        assert!(sim.unicast(n(1), n(2), vec![1]).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        assert!(sim.drain_inbox(n(2)).is_empty());
+        assert_eq!(sim.metrics().drops(DropReason::NodeDown), 1);
+    }
+
+    #[test]
+    fn plan_jam_zones_are_installed() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            jams: vec![JamZone::permanent(Circle::new(Point::new(40.0, 10.0), 5.0))],
+            ..FaultSpec::default()
+        }));
+        assert_eq!(
+            sim.unicast(n(1), n(2), vec![1]),
+            SendOutcome::Dropped(DropReason::Jammed)
+        );
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically() {
+        let run = |plan_seed: u64| {
+            let mut d = Deployment::empty(Field::square(100.0));
+            for i in 0..20 {
+                d.place(n(i), Point::new(i as f64 * 4.0, 50.0));
+            }
+            let mut sim = Simulator::new(d, RadioSpec::uniform(30.0), 5);
+            sim.set_fault_plan(FaultPlan::new(
+                FaultSpec {
+                    loss: 0.2,
+                    duplicate: 0.2,
+                    reorder: 0.2,
+                    corrupt: 0.1,
+                    crash: 0.1,
+                    crash_until: SimTime::from_millis(10),
+                    ..FaultSpec::default()
+                },
+                plan_seed,
+            ));
+            let mut outcomes = Vec::new();
+            for round in 0..5 {
+                for i in 0..19 {
+                    outcomes.push(sim.unicast(n(i), n(i + 1), vec![round, i as u8]));
+                }
+                sim.advance(SimDuration::from_millis(5));
+            }
+            let inboxes: Vec<Vec<Delivered>> = (0..20).map(|i| sim.drain_inbox(n(i))).collect();
+            (outcomes, inboxes, sim.metrics().total_drops())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0, "different plan seeds diverge");
     }
 }

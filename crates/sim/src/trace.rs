@@ -14,6 +14,7 @@
 
 use snd_topology::NodeId;
 
+use crate::faults::FaultKind;
 use crate::metrics::DropReason;
 
 /// Observer for transport events the simulator would otherwise only
@@ -23,6 +24,12 @@ use crate::metrics::DropReason;
 pub trait TraceHook: Send + Sync + std::fmt::Debug {
     /// A frame from `from` addressed to `to` was dropped for `reason`.
     fn radio_drop(&self, from: NodeId, to: NodeId, reason: DropReason);
+
+    /// A fault plan tampered with (but did not drop) a frame from `from`
+    /// to `to`, or scheduled a node-level event (`from == to` for
+    /// [`FaultKind::NodeCrash`]). Fires at the same sites that bump
+    /// [`crate::metrics::Metrics::record_fault`]. Default: ignore.
+    fn fault_injected(&self, _kind: FaultKind, _from: NodeId, _to: NodeId) {}
 }
 
 #[cfg(test)]

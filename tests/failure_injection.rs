@@ -211,3 +211,151 @@ fn replay_of_hello_floods_is_harmless() {
         assert!(functional_after.has_edge(u, v));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic fault plans + the reliable wave (ARQ, timeouts, degradation)
+// ---------------------------------------------------------------------------
+
+mod reliable_wave {
+    use super::*;
+    use secure_neighbor_discovery::core::protocol::ReliabilityConfig;
+    use secure_neighbor_discovery::sim::faults::{FaultPlan, FaultSpec, LossBurst};
+    use secure_neighbor_discovery::sim::prelude::SimTime;
+    use secure_neighbor_discovery::sim::time::SimDuration;
+
+    /// Heavy loss plus duplication, reordering and corruption: the ARQ
+    /// layer must recover the clean functional topology exactly, while the
+    /// metrics expose every injected fault class under its own counter.
+    #[test]
+    fn arq_recovers_the_clean_topology_through_a_hostile_channel() {
+        let mut clean = engine(3, 21);
+        let ids = clean.deploy_uniform(120);
+        clean.run_wave(&ids);
+        let want = clean.functional_topology();
+
+        let mut eng = engine(3, 21);
+        eng.set_reliability(ReliabilityConfig::default());
+        let ids = eng.deploy_uniform(120);
+        let spec = FaultSpec {
+            loss: 0.25,
+            duplicate: 0.10,
+            reorder: 0.15,
+            corrupt: 0.05,
+            corrupt_detectable: 0.5,
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 5));
+        let report = eng.run_wave(&ids);
+
+        assert_eq!(
+            eng.functional_topology(),
+            want,
+            "retransmission must recover every lost record"
+        );
+        assert!(report.retransmissions > 0);
+        assert!(report.acks_received > 0);
+        // A handful of finalize-phase envelopes may exhaust even a deep
+        // retry budget on a channel this hostile; the wave must *name*
+        // them rather than hide them, and they must stay a sliver of the
+        // thousands of reliable messages sent.
+        assert!(
+            report.unconfirmed_links.len() <= 8,
+            "too many unconfirmed links: {}",
+            report.unconfirmed_links.len()
+        );
+        let m = eng.sim().metrics();
+        assert!(m.drops(DropReason::LinkLoss) > 0);
+        assert!(m.drops(DropReason::Corrupted) > 0);
+        assert!(m.drops(DropReason::DuplicateSuppressed) > 0);
+    }
+
+    /// A total blackout that outlives the retry budget: the wave must end
+    /// with the engine operational, name the unconfirmed links instead of
+    /// inventing functional ones, and still satisfy Theorem 3's 2R bound
+    /// on the degraded graph after an attack.
+    #[test]
+    fn exhausted_retries_degrade_gracefully_and_preserve_2r_safety() {
+        let mut eng = engine(2, 8);
+        eng.set_reliability(ReliabilityConfig {
+            enabled: true,
+            retry_budget: 2,
+            hello_rounds: 1,
+            base_backoff: SimDuration::from_millis(4),
+            max_backoff: SimDuration::from_millis(8),
+            phase_timeout: SimDuration::from_millis(100),
+        });
+        let ids = eng.deploy_uniform(100);
+        let spec = FaultSpec {
+            bursts: vec![LossBurst {
+                from: SimTime::from_micros(4_000),
+                until: SimTime::from_micros(u64::MAX),
+                loss: 1.0,
+            }],
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 9));
+        let report = eng.run_wave(&ids);
+
+        assert!(report.timed_out_phases > 0, "the blackout must time out");
+        assert!(
+            !report.unconfirmed_links.is_empty(),
+            "degraded waves must name what they could not confirm"
+        );
+        assert_eq!(
+            eng.functional_topology().edge_count(),
+            0,
+            "no record collection, no functional edges"
+        );
+
+        // The degraded graph is still a graph the adversary gains nothing
+        // from: compromise two nodes and check Definition 6's bound.
+        let compromised: Vec<NodeId> = ids.iter().copied().take(2).collect();
+        for &id in &compromised {
+            eng.compromise(id).expect("operational after degraded wave");
+        }
+        let safety = check_d_safety(
+            &eng.functional_topology(),
+            eng.deployment(),
+            &eng.adversary().compromised_set(),
+            2.0 * RANGE,
+        );
+        assert!(safety.worst_radius() <= 2.0 * RANGE);
+    }
+
+    /// Crash/reboot windows silence nodes mid-wave; the protocol must
+    /// treat them like loss (missing relations) and the fault metrics must
+    /// attribute the silence to `NodeDown`.
+    #[test]
+    fn crash_windows_cost_edges_but_never_invent_them() {
+        let mut clean = engine(2, 33);
+        let ids = clean.deploy_uniform(120);
+        clean.run_wave(&ids);
+        let want = clean.functional_topology();
+
+        let mut eng = engine(2, 33);
+        eng.set_reliability(ReliabilityConfig {
+            retry_budget: 3,
+            hello_rounds: 4,
+            ..ReliabilityConfig::default()
+        });
+        let ids = eng.deploy_uniform(120);
+        let spec = FaultSpec {
+            crash: 0.3,
+            crash_from: SimTime::from_micros(0),
+            crash_until: SimTime::from_micros(20_000),
+            crash_len: SimDuration::from_millis(30),
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 13));
+        eng.run_wave(&ids);
+
+        assert!(eng.sim().metrics().drops(DropReason::NodeDown) > 0);
+        let got = eng.functional_topology();
+        for (u, v) in got.edges() {
+            assert!(
+                want.has_edge(u, v),
+                "crashes may only remove edges, found new ({u},{v})"
+            );
+        }
+    }
+}

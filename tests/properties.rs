@@ -527,3 +527,102 @@ fn shrinker_produces_a_minimal_counterexample_when_the_bound_is_breached() {
         );
     }
 }
+
+/// Satellite invariant for the reliable wave: record collection is a *set*
+/// operation. Delivering the same inbox of authenticated binding records
+/// permuted and duplicated must produce exactly the functional topology of
+/// in-order exactly-once delivery — otherwise retransmission could change
+/// what a node validates.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn record_collection_is_order_and_duplication_invariant(
+        neighbor_bits in prop::collection::vec(0u16..1024, 3..8),
+        t in 0usize..3,
+        shuffle_seed in 0u64..1_000_000,
+        dup_every in 1usize..4,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        use secure_neighbor_discovery::core::protocol::{BindingRecord, ProtocolNode};
+        use secure_neighbor_discovery::crypto::keys::SymmetricKey;
+
+        let master = SymmetricKey::from_bytes([9u8; 32]);
+        let ops = HashCounter::detached();
+        let n = neighbor_bits.len() as u64;
+
+        // Records for tentative neighbors 1..=n; bit k of `neighbor_bits[i]`
+        // decides whether node k is in record i's neighbor list (bit 0 is
+        // the observer, node 0).
+        let records: Vec<BindingRecord> = neighbor_bits
+            .iter()
+            .enumerate()
+            .map(|(i, bits)| {
+                let id = NodeId(i as u64 + 1);
+                let neighbors: BTreeSet<NodeId> = (0..=n)
+                    .filter(|&k| NodeId(k) != id && bits >> k & 1 == 1)
+                    .map(NodeId)
+                    .collect();
+                BindingRecord::create(&master, id, 0, neighbors, &ops)
+            })
+            .collect();
+
+        let observer = |seed: u64| -> ProtocolNode {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut node = ProtocolNode::provision(
+                NodeId(0),
+                &master,
+                ProtocolConfig::with_threshold(t),
+                &ops,
+            );
+            node.begin_discovery().expect("initialized");
+            for i in 1..=n {
+                node.add_tentative(NodeId(i)).expect("discovering");
+            }
+            node.commit_record(&mut rng, &ops).expect("commit");
+            node
+        };
+
+        // Reference: in-order, exactly-once.
+        let mut reference = observer(shuffle_seed);
+        for r in &records {
+            reference.accept_record(r.clone(), &ops).expect("authentic");
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1);
+        let out_ref = reference.finalize_discovery(&mut rng, &ops).expect("finalize");
+
+        // Permuted + duplicated inbox: every record re-delivered up to
+        // `dup_every` extra times, whole sequence shuffled.
+        let mut inbox: Vec<&BindingRecord> = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            for _ in 0..=(i % dup_every + 1) {
+                inbox.push(r);
+            }
+        }
+        let mut shuffler = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        inbox.shuffle(&mut shuffler);
+
+        let mut permuted = observer(shuffle_seed);
+        for r in inbox {
+            if permuted.has_collected(r.node) {
+                // The transport's duplicate guard; taking this branch or
+                // re-accepting must be equivalent, so exercise both.
+                if r.node.0 % 2 == 0 {
+                    continue;
+                }
+            }
+            permuted.accept_record(r.clone(), &ops).expect("authentic");
+        }
+        prop_assert!(permuted.missing_records().is_empty());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1);
+        let out_perm = permuted.finalize_discovery(&mut rng, &ops).expect("finalize");
+
+        prop_assert_eq!(
+            reference.functional_neighbors(),
+            permuted.functional_neighbors(),
+            "functional topology must not depend on delivery order/duplication"
+        );
+        prop_assert_eq!(out_ref, out_perm);
+    }
+}
