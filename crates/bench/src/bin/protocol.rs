@@ -1,0 +1,141 @@
+//! Full-protocol wave bench: discovery at scale with crypto and ARQ on.
+//!
+//! One complete discovery wave — hello, commitment exchange, record
+//! collection, finalize/validation, with the reliability layer enabled —
+//! at n ∈ {200, 2 000, 20 000}, profiled with the wall-clock span
+//! profiler. Writes the table to `BENCH_protocol.json` (deterministic
+//! counters + `_ms` wall fields) and one profiled `RunReport` per size to
+//! `results/protocol.jsonl`, whose `prof.*.ns` histograms feed
+//! `snd-trace flame` and `snd-trace summarize`.
+//!
+//! CI runs this binary at `SND_THREADS=1` and `8` and gates on
+//! `snd-trace diff --ignore _ms` over the two `BENCH_protocol.json`
+//! files: every counter must match exactly; only wall clock may move.
+//!
+//! Run: `cargo run -p snd-bench --release --bin protocol`
+
+use serde::Serialize;
+use snd_bench::experiments::protocol::{protocol_rows, ProtocolBenchConfig};
+use snd_bench::report::ExperimentLog;
+use snd_bench::table::{f1, f3, Table};
+use snd_exec::Executor;
+
+/// Wall clock the largest wave must stay under; generous, so only
+/// pathological regressions trip it.
+const SMOKE_BOUND_MS: f64 = 600_000.0;
+
+/// One row of `BENCH_protocol.json`. Everything except the `_ms` fields
+/// is byte-identical across `SND_THREADS`.
+#[derive(Serialize)]
+struct ProtocolBenchRow {
+    nodes: usize,
+    side_m: f64,
+    functional_edges: usize,
+    rejected_records: u64,
+    retransmissions: u64,
+    unconfirmed_links: usize,
+    timed_out_phases: u64,
+    hash_ops: u64,
+    msgs_per_node: f64,
+    wave_wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ProtocolBenchReport {
+    bench: &'static str,
+    threshold: usize,
+    range_m: f64,
+    density_per_m2: f64,
+    retry_budget: u32,
+    base_seed: u64,
+    smoke_bound_ms: f64,
+    rows: Vec<ProtocolBenchRow>,
+}
+
+fn main() {
+    let cfg = ProtocolBenchConfig::default();
+    let exec = Executor::from_env();
+    println!(
+        "Protocol wave bench — full discovery with crypto + ARQ (t = {}, R = {} m, \
+         density {} nodes/m², retry budget {}, sizes {:?}). [{} threads]",
+        cfg.threshold,
+        cfg.range,
+        cfg.density,
+        cfg.retry_budget,
+        cfg.sizes,
+        exec.threads()
+    );
+
+    let rows = protocol_rows(&cfg, &exec);
+
+    let mut table = Table::new(
+        "Full discovery wave at scale",
+        &[
+            "nodes",
+            "func edges",
+            "rejected",
+            "retransmits",
+            "unconfirmed",
+            "hash ops",
+            "msgs/node",
+            "wave (ms)",
+        ],
+    );
+    let mut log = ExperimentLog::create("protocol");
+    let mut bench_rows = Vec::new();
+    for row in &rows {
+        table.row(&[
+            row.nodes.to_string(),
+            row.functional_edges.to_string(),
+            row.rejected_records.to_string(),
+            row.retransmissions.to_string(),
+            row.unconfirmed_links.to_string(),
+            row.hash_ops.to_string(),
+            f3(row.msgs_per_node),
+            f1(row.wave_wall_ms),
+        ]);
+        log.append(&row.report);
+        bench_rows.push(ProtocolBenchRow {
+            nodes: row.nodes,
+            side_m: row.side_m,
+            functional_edges: row.functional_edges,
+            rejected_records: row.rejected_records,
+            retransmissions: row.retransmissions,
+            unconfirmed_links: row.unconfirmed_links,
+            timed_out_phases: row.timed_out_phases,
+            hash_ops: row.hash_ops,
+            msgs_per_node: row.msgs_per_node,
+            wave_wall_ms: row.wave_wall_ms,
+        });
+    }
+    table.print();
+    log.finish();
+
+    let largest = rows.last().expect("at least one row");
+    if largest.wave_wall_ms > SMOKE_BOUND_MS {
+        eprintln!(
+            "SMOKE FAILURE: the n={} wave took {:.0} ms (bound {SMOKE_BOUND_MS:.0} ms)",
+            largest.nodes, largest.wave_wall_ms
+        );
+        std::process::exit(1);
+    }
+
+    let report = ProtocolBenchReport {
+        bench: "protocol",
+        threshold: cfg.threshold,
+        range_m: cfg.range,
+        density_per_m2: cfg.density,
+        retry_budget: cfg.retry_budget,
+        base_seed: cfg.base_seed,
+        smoke_bound_ms: SMOKE_BOUND_MS,
+        rows: bench_rows,
+    };
+    let path = "BENCH_protocol.json";
+    match std::fs::write(path, serde::json::to_string(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

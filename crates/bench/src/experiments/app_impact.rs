@@ -20,7 +20,6 @@ use snd_apps::clustering::lowest_id_clustering;
 use snd_apps::routing::route_many;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
 use snd_exec::Executor;
-use snd_observe::event::EventRecord;
 use snd_observe::registry::MetricsRegistry;
 use snd_observe::report::RunReport;
 use snd_sim::metrics::NodeCounters;
@@ -99,7 +98,10 @@ struct ImpactTrial {
     err_count: usize,
     totals: NodeCounters,
     hash_ops: u64,
-    events: Vec<EventRecord>,
+    /// Full-fidelity per-trial aggregates (every event, pre-decimation).
+    registry: MetricsRegistry,
+    /// Events the trial recorded; the merged row stores none of them.
+    events_recorded: u64,
 }
 
 /// The three configuration rows; each configuration's trials fan out over
@@ -120,6 +122,7 @@ pub fn impact_rows(cfg: &AppImpactConfig, exec: &Executor) -> Vec<AppImpactRow> 
             report.set_param("trials", &(cfg.trials as u64));
             report.set_param("threads", &(exec.threads() as u64));
             let mut registry = MetricsRegistry::new();
+            let mut events_recorded = 0u64;
 
             let mut delivery = 0.0;
             let mut losses = 0usize;
@@ -140,7 +143,8 @@ pub fn impact_rows(cfg: &AppImpactConfig, exec: &Executor) -> Vec<AppImpactRow> 
                 report.totals.bytes_sent += trial.totals.bytes_sent;
                 report.totals.bytes_received += trial.totals.bytes_received;
                 report.hash_ops += trial.hash_ops;
-                registry.ingest_events(&trial.events);
+                registry.merge(&trial.registry);
+                events_recorded += trial.events_recorded;
             }
             let delivery_ratio = delivery / cfg.trials as f64;
             let mean_err = err_sum / err_count.max(1) as f64;
@@ -149,7 +153,12 @@ pub fn impact_rows(cfg: &AppImpactConfig, exec: &Executor) -> Vec<AppImpactRow> 
             report.set_outcome("max_member_distance_m", &cluster_dist);
             report.set_outcome("max_injected_error", &max_err);
             report.set_outcome("mean_injected_error", &mean_err);
-            report.capture_registry(&mut registry);
+            // All trial events are aggregated, none stored raw.
+            registry.set("trace.events_recorded", events_recorded);
+            registry.set("trace.events_stored", 0);
+            registry.set("trace.events_dropped", events_recorded);
+            report.events_dropped = events_recorded;
+            report.capture_registry(&registry);
             crate::report::mirror_totals_into_registry(&mut report);
             AppImpactRow {
                 config,
@@ -215,7 +224,8 @@ fn run_trial(cfg: &AppImpactConfig, config: &str, seed: u64) -> ImpactTrial {
         err_count,
         totals: world.totals,
         hash_ops: world.hash_ops,
-        events: world.events,
+        registry: world.registry,
+        events_recorded: world.events_recorded,
     }
 }
 
@@ -243,8 +253,10 @@ struct World {
     totals: NodeCounters,
     /// Hash operations of this trial's discovery.
     hash_ops: u64,
-    /// The trial's recorded event stream.
-    events: Vec<EventRecord>,
+    /// Full-fidelity aggregates of the trial's event stream.
+    registry: MetricsRegistry,
+    /// How many events the trial's discovery recorded.
+    events_recorded: u64,
 }
 
 fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
@@ -297,6 +309,7 @@ fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
     // (a replica forwards nothing — it is the attacker's radio).
     let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(cfg.range));
 
+    let drain = recorder.drain();
     World {
         deployment: engine.deployment().clone(),
         believed,
@@ -304,7 +317,8 @@ fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
         victims,
         totals: engine.sim().metrics().totals(),
         hash_ops: engine.hash_ops(),
-        events: recorder.take(),
+        registry: drain.registry,
+        events_recorded: drain.recorded,
     }
 }
 

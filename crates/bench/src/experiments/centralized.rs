@@ -14,7 +14,6 @@ use rand::SeedableRng;
 use snd_core::model::centralized::centralized_validation;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
 use snd_exec::Executor;
-use snd_observe::event::EventRecord;
 use snd_observe::registry::MetricsRegistry;
 use snd_observe::report::RunReport;
 use snd_sim::metrics::NodeCounters;
@@ -93,7 +92,10 @@ struct CentralTrial {
     home_total: usize,
     totals: NodeCounters,
     hash_ops: u64,
-    events: Vec<EventRecord>,
+    /// Full-fidelity per-trial aggregates (every event, pre-decimation).
+    registry: MetricsRegistry,
+    /// Events the trial recorded; the merged row stores none of them.
+    events_recorded: u64,
     config: Option<snd_core::protocol::ProtocolConfig>,
 }
 
@@ -109,6 +111,7 @@ pub fn localized_vs_centralized(cfg: &CentralizedConfig, exec: &Executor) -> Cen
     report.set_param("replica_sites", &(cfg.replica_sites as u64));
     report.set_param("threads", &(exec.threads() as u64));
     let mut registry = MetricsRegistry::new();
+    let mut events_recorded = 0u64;
 
     let mut contained_local = 0usize;
     let mut contained_central = 0usize;
@@ -131,7 +134,8 @@ pub fn localized_vs_centralized(cfg: &CentralizedConfig, exec: &Executor) -> Cen
         report.totals.bytes_sent += trial.totals.bytes_sent;
         report.totals.bytes_received += trial.totals.bytes_received;
         report.hash_ops += trial.hash_ops;
-        registry.ingest_events(&trial.events);
+        registry.merge(&trial.registry);
+        events_recorded += trial.events_recorded;
         if let Some(config) = &trial.config {
             report.set_config(config);
         }
@@ -167,7 +171,13 @@ pub fn localized_vs_centralized(cfg: &CentralizedConfig, exec: &Executor) -> Cen
     );
     o.report
         .set_outcome("home_relations_total", &(o.home_relations_total as u64));
-    o.report.capture_registry(&mut registry);
+    // The merged row aggregates every trial's events but stores no raw
+    // rows: they are all accounted as dropped.
+    registry.set("trace.events_recorded", events_recorded);
+    registry.set("trace.events_stored", 0);
+    registry.set("trace.events_dropped", events_recorded);
+    o.report.events_dropped = events_recorded;
+    o.report.capture_registry(&registry);
     crate::report::mirror_totals_into_registry(&mut o.report);
     o
 }
@@ -246,6 +256,7 @@ fn run_trial(cfg: &CentralizedConfig, seed: u64) -> CentralTrial {
         }
     }
 
+    let drain = recorder.drain();
     CentralTrial {
         contained_local,
         contained_central,
@@ -256,7 +267,8 @@ fn run_trial(cfg: &CentralizedConfig, seed: u64) -> CentralTrial {
         home_total,
         totals: engine.sim().metrics().totals(),
         hash_ops: engine.hash_ops(),
-        events: recorder.take(),
+        registry: drain.registry,
+        events_recorded: drain.recorded,
         config: Some(engine.config()),
     }
 }

@@ -171,6 +171,7 @@ fn protocol_trials(cfg: &CompareParnoConfig, sites: usize) -> (f64, f64, RunRepo
     report.set_param("replica_sites", &(sites as u64));
     report.set_param("trials", &(cfg.trials as u64));
     let mut registry = MetricsRegistry::new();
+    let mut events_recorded = 0u64;
     for trial in 0..cfg.trials {
         let engine_seed = snd_exec::trial_seed(base, trial as u64);
         let mut engine = DiscoveryEngine::new(
@@ -218,9 +219,16 @@ fn protocol_trials(cfg: &CompareParnoConfig, sites: usize) -> (f64, f64, RunRepo
         report.totals.bytes_sent += totals.bytes_sent;
         report.totals.bytes_received += totals.bytes_received;
         report.hash_ops += engine.hash_ops();
-        registry.ingest_events(&recorder.take());
+        let drain = recorder.drain();
+        registry.merge(&drain.registry);
+        events_recorded += drain.recorded;
     }
-    report.capture_registry(&mut registry);
+    // All trial events are aggregated, none stored raw.
+    registry.set("trace.events_recorded", events_recorded);
+    registry.set("trace.events_stored", 0);
+    registry.set("trace.events_dropped", events_recorded);
+    report.events_dropped = events_recorded;
+    report.capture_registry(&registry);
     crate::report::mirror_totals_into_registry(&mut report);
     (
         prevented as f64 / cfg.trials as f64,

@@ -218,7 +218,7 @@ pub fn protocol_contrast(cfg: &GenericAttackConfig, exec: &Executor) -> Contrast
         "protocol_contrast",
         seed,
         &engine,
-        recorder.take(),
+        &recorder,
     );
     report.set_param("threshold", &(t as u64));
     report.set_param("threads", &(exec.threads() as u64));

@@ -24,4 +24,5 @@ pub mod faults;
 pub mod figures;
 pub mod generic_attack;
 pub mod overhead;
+pub mod protocol;
 pub mod safety;

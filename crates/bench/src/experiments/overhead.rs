@@ -154,7 +154,7 @@ fn measure(cfg: &OverheadConfig, nodes: usize, t: usize, seed: u64) -> (Measured
         &format!("density,nodes={nodes},t={t}"),
         seed,
         &engine,
-        recorder.take(),
+        &recorder,
     );
     (collect(&engine, nodes as f64, 0), report)
 }
@@ -186,7 +186,7 @@ fn measure_two_wave(cfg: &OverheadConfig, updates: bool, seed: u64) -> (Measured
         &format!("two_wave,updates={updates}"),
         seed,
         &engine,
-        recorder.take(),
+        &recorder,
     );
     (
         collect(

@@ -1,0 +1,213 @@
+//! Full-protocol wave timing at increasing scale.
+//!
+//! The topology perf bin times the *model* hot paths in isolation; this
+//! experiment times the whole protocol — one complete discovery wave with
+//! real crypto (hash chains, HMAC-sealed records, commitments) and the
+//! reliability layer enabled — at n ∈ {200, 2 000, 20 000}. Each row runs
+//! with the wall-clock [`Profiler`](snd_observe::profile::Profiler)
+//! attached, so the `results/protocol.jsonl` rows carry `prof.*.ns` span
+//! histograms (`snd-trace flame` folds them into stacks) while the
+//! committed `BENCH_protocol.json` keeps only the headline `_ms` wall
+//! fields next to its deterministic protocol counters.
+//!
+//! Determinism contract (DESIGN.md §9): every non-`_ms` field of a row is
+//! byte-identical across `SND_THREADS` — rows fan out over the executor
+//! but each trial is a self-contained engine run on a derived seed. Wall
+//! clock lives only in `_ms`-suffixed fields and `prof.*` registry keys,
+//! which the CI gate ignores when it diffs the 1-thread and 8-thread runs.
+
+use std::time::Instant;
+
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig, ReliabilityConfig};
+use snd_exec::Executor;
+use snd_observe::profile::Profiler;
+use snd_observe::report::RunReport;
+use snd_sim::time::SimDuration;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::Field;
+
+use crate::report::{attach_recorder, engine_report};
+
+/// Scenario knobs. Defaults are the published configuration; tests shrink
+/// `sizes` to stay fast.
+#[derive(Debug, Clone)]
+pub struct ProtocolBenchConfig {
+    /// Node counts, one row each.
+    pub sizes: Vec<usize>,
+    /// Validation threshold `t`.
+    pub threshold: usize,
+    /// Radio range in meters.
+    pub range: f64,
+    /// Deployment density in nodes/m², constant across sizes.
+    pub density: f64,
+    /// ARQ retry budget (reliability layer is always on here).
+    pub retry_budget: u32,
+    /// Base seed for the deterministic trial-seed derivation.
+    pub base_seed: u64,
+}
+
+impl Default for ProtocolBenchConfig {
+    fn default() -> Self {
+        ProtocolBenchConfig {
+            sizes: vec![200, 2_000, 20_000],
+            threshold: 5,
+            range: 50.0,
+            density: 0.002,
+            retry_budget: 2,
+            base_seed: 20_250_807,
+        }
+    }
+}
+
+impl ProtocolBenchConfig {
+    fn reliability(&self) -> ReliabilityConfig {
+        ReliabilityConfig {
+            enabled: true,
+            retry_budget: self.retry_budget,
+            hello_rounds: self.retry_budget + 1,
+            base_backoff: SimDuration::from_millis(4),
+            max_backoff: SimDuration::from_millis(32),
+            phase_timeout: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// One wave at one size: deterministic protocol counters plus the wall
+/// clock of the whole wave.
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    /// Nodes deployed in the wave.
+    pub nodes: usize,
+    /// Field side length in meters (derived from the density).
+    pub side_m: f64,
+    /// Directed functional edges after validation.
+    pub functional_edges: usize,
+    /// Binding records that failed authentication.
+    pub rejected_records: u64,
+    /// Reliability-layer resends during the wave.
+    pub retransmissions: u64,
+    /// Directed links the wave could not confirm.
+    pub unconfirmed_links: usize,
+    /// Phases that degraded gracefully at their budget.
+    pub timed_out_phases: u64,
+    /// Hash-chain and HMAC evaluations over the whole run.
+    pub hash_ops: u64,
+    /// Frames sent per node (unicasts + broadcasts).
+    pub msgs_per_node: f64,
+    /// Wall clock of the full wave, milliseconds. Excluded from the
+    /// determinism compare.
+    pub wave_wall_ms: f64,
+    /// Machine-readable row report (carries the `prof.*.ns` span
+    /// histograms of the profiled wave).
+    pub report: RunReport,
+}
+
+/// Runs one profiled wave per size, fanned out over `exec`.
+pub fn protocol_rows(cfg: &ProtocolBenchConfig, exec: &Executor) -> Vec<ProtocolRow> {
+    let threads = exec.threads() as u64;
+    exec.run_over(cfg.base_seed, &cfg.sizes, move |_, &nodes, seed| {
+        wave_trial(cfg, nodes, seed, threads)
+    })
+}
+
+fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) -> ProtocolRow {
+    let side = (nodes as f64 / cfg.density).sqrt();
+    let mut engine = DiscoveryEngine::new(
+        Field::square(side),
+        RadioSpec::uniform(cfg.range),
+        ProtocolConfig::with_threshold(cfg.threshold),
+        seed,
+    );
+    engine.set_reliability(cfg.reliability());
+    engine.set_profiler(Profiler::enabled());
+    let recorder = attach_recorder(&mut engine);
+
+    let ids = engine.deploy_uniform(nodes);
+    let t0 = Instant::now();
+    let wave = engine.run_wave(&ids);
+    let wave_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let functional_edges = engine.functional_topology().edge_count();
+    let totals = engine.sim().metrics().totals();
+    let msgs_per_node =
+        (totals.unicasts_sent + totals.broadcasts_sent) as f64 / (nodes as f64).max(1.0);
+
+    let mut report = engine_report(
+        "protocol",
+        &format!("wave-n{nodes}"),
+        seed,
+        &engine,
+        &recorder,
+    );
+    report.set_param("threads", &threads);
+    report.set_param("nodes", &nodes);
+    report.set_param("side_m", &side);
+    report.set_param("retry_budget", &cfg.retry_budget);
+    report.set_outcome("functional_edges", &functional_edges);
+    report.set_outcome("msgs_per_node", &msgs_per_node);
+    report.set_outcome("wave_wall_ms", &wave_wall_ms);
+
+    ProtocolRow {
+        nodes,
+        side_m: side,
+        functional_edges,
+        rejected_records: wave.rejected_records,
+        retransmissions: wave.retransmissions,
+        unconfirmed_links: wave.unconfirmed_links.len(),
+        timed_out_phases: wave.timed_out_phases,
+        hash_ops: engine.hash_ops(),
+        msgs_per_node,
+        wave_wall_ms,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::{parse, Value};
+
+    fn small() -> ProtocolBenchConfig {
+        ProtocolBenchConfig {
+            sizes: vec![40, 80],
+            ..ProtocolBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic_apart_from_wall_clock() {
+        let exec = Executor::serial();
+        let a = protocol_rows(&small(), &exec);
+        let b = protocol_rows(&small(), &exec);
+        assert_eq!(a.len(), 2);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.nodes, rb.nodes);
+            assert_eq!(ra.functional_edges, rb.functional_edges);
+            assert_eq!(ra.rejected_records, rb.rejected_records);
+            assert_eq!(ra.retransmissions, rb.retransmissions);
+            assert_eq!(ra.hash_ops, rb.hash_ops);
+            assert_eq!(ra.msgs_per_node, rb.msgs_per_node);
+        }
+    }
+
+    #[test]
+    fn profiled_wave_reports_carry_span_histograms() {
+        let exec = Executor::serial();
+        let rows = protocol_rows(&small(), &exec);
+        let row = parse(&rows[0].report.to_json()).expect("report serializes");
+        let histograms = row
+            .get("registry")
+            .and_then(|r| r.get("histograms"))
+            .and_then(Value::as_object)
+            .expect("registry histograms");
+        let prof: Vec<&str> = histograms
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| k.starts_with("prof."))
+            .collect();
+        assert!(
+            prof.contains(&"prof.wave.ns") && prof.contains(&"prof.wave.hello.ns"),
+            "wave span tree exported: {prof:?}"
+        );
+    }
+}

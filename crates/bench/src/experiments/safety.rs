@@ -11,7 +11,7 @@ use snd_core::adversary::AdversaryBehavior;
 use snd_core::model::safety::check_d_safety;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
 use snd_exec::Executor;
-use snd_observe::recorder::MemoryRecorder;
+use snd_observe::recorder::RingRecorder;
 use snd_observe::report::RunReport;
 use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Field, NodeId, Point};
@@ -101,7 +101,7 @@ pub fn two_r_safety_rows(
         let (mut engine, cluster, recorder) = base_engine(cfg, 0, seed, c);
         let (radius, victims) = attack_and_measure(cfg, &mut engine, &cluster);
         let safe = radius <= 2.0 * cfg.range;
-        let mut report = engine_report("safety", &format!("c={c}"), seed, &engine, recorder.take());
+        let mut report = engine_report("safety", &format!("c={c}"), seed, &engine, &recorder);
         fill_safety_params(&mut report, cfg, c, exec);
         report.set_outcome("worst_radius_m", &radius);
         report.set_outcome("victims", &(victims as u64));
@@ -133,7 +133,7 @@ pub fn threshold_sweep_rows(
             &format!("c={c}"),
             seed,
             &engine,
-            recorder.take(),
+            &recorder,
         );
         fill_safety_params(&mut report, cfg, c, exec);
         report.set_outcome("worst_radius_m", &radius);
@@ -189,7 +189,7 @@ fn base_engine(
     max_updates: u32,
     seed: u64,
     c: usize,
-) -> (DiscoveryEngine, Vec<NodeId>, Arc<MemoryRecorder>) {
+) -> (DiscoveryEngine, Vec<NodeId>, Arc<RingRecorder>) {
     let mut config = ProtocolConfig::with_threshold(cfg.threshold);
     config.max_updates = max_updates;
     config.issue_evidence = max_updates > 0;
@@ -346,7 +346,7 @@ fn creep_radius(cfg: &SafetyConfig, m: u32, seed: u64) -> (f64, RunReport) {
         &format!("m={m}"),
         seed,
         &engine,
-        recorder.take(),
+        &recorder,
     );
     (radius, report)
 }

@@ -8,9 +8,7 @@
 use std::sync::Arc;
 
 use snd_core::protocol::DiscoveryEngine;
-use snd_observe::event::EventRecord;
-use snd_observe::recorder::{MemoryRecorder, Recorder};
-use snd_observe::registry::MetricsRegistry;
+use snd_observe::recorder::{Recorder, RingRecorder};
 use snd_observe::report::{JsonlWriter, RunReport};
 
 /// A tolerant wrapper around [`JsonlWriter`].
@@ -80,50 +78,59 @@ pub fn mirror_totals_into_registry(report: &mut RunReport) {
     counters.insert("core.hash_ops".into(), report.hash_ops);
 }
 
-/// Attaches a fresh [`MemoryRecorder`] to `engine` and returns it.
+/// Attaches a fresh [`RingRecorder`] capped at [`EVENT_CAP`] to `engine`
+/// and returns it.
 ///
-/// Call before the engine's first wave; drain with
-/// [`MemoryRecorder::take`] when building the row's report.
-pub fn attach_recorder(engine: &mut DiscoveryEngine) -> Arc<MemoryRecorder> {
-    let recorder = MemoryRecorder::shared();
+/// Call before the engine's first wave; pass the recorder to
+/// [`engine_report`] when building the row's report — draining happens
+/// there.
+pub fn attach_recorder(engine: &mut DiscoveryEngine) -> Arc<RingRecorder> {
+    let recorder = RingRecorder::shared(EVENT_CAP);
     engine.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
     recorder
 }
 
 /// Cap on the event stream stored *verbatim* in one report. Dense fields
 /// emit one `ValidationDecision` per tentative edge, which runs to hundreds
-/// of thousands of events; the registry keeps the aggregate picture, so
-/// beyond the cap the raw tail is cut rather than ballooning the JSONL
-/// file. `trace.events_recorded` always holds the true count.
+/// of thousands of events; the [`RingRecorder`] aggregates every event into
+/// its registry before the retention decision, then decimates the raw rows
+/// to a bounded in-order subsequence rather than ballooning the JSONL file.
+/// `trace.events_recorded` always holds the true count and the report's
+/// `events_dropped` field says exactly how many raw rows are missing.
 pub const EVENT_CAP: usize = 10_000;
 
-/// Builds a [`RunReport`] from an engine's final state plus the events
-/// recorded while it ran.
+/// Builds a [`RunReport`] from an engine's final state plus the recorder
+/// that listened while it ran. Drains the recorder.
 ///
 /// Captures the protocol config, the simulator's transport counters (the
-/// same `Metrics` the text tables read), hash ops, and a registry distilled
-/// from both the counters and the event stream. Streams longer than
-/// [`EVENT_CAP`] are truncated after ingestion.
+/// same `Metrics` the text tables read), hash ops, a registry distilled
+/// from both the counters and the *complete* event stream (aggregated
+/// before any decimation), wall-clock profiler histograms when the
+/// engine's profiler is enabled (`prof.*.ns` keys — excluded from
+/// byte-determinism comparisons, see DESIGN.md §9), and the retained event
+/// subsequence with its exact `events_dropped` count.
 pub fn engine_report(
     experiment: &str,
     scenario: &str,
     seed: u64,
     engine: &DiscoveryEngine,
-    mut events: Vec<EventRecord>,
+    recorder: &RingRecorder,
 ) -> RunReport {
+    let drain = recorder.drain();
     let mut report = RunReport::new(experiment, scenario, seed);
     report.set_config(&engine.config());
     report.capture_sim(engine.sim().metrics());
     report.hash_ops = engine.hash_ops();
-    let mut registry = MetricsRegistry::new();
+    let mut registry = drain.registry;
     registry.ingest_sim(engine.sim().metrics());
     registry.set("core.hash_ops", engine.hash_ops());
-    registry.ingest_events(&events);
-    registry.set("trace.events_recorded", events.len() as u64);
-    events.truncate(EVENT_CAP);
-    registry.set("trace.events_stored", events.len() as u64);
-    report.capture_registry(&mut registry);
-    report.set_events(events);
+    registry.set("trace.events_recorded", drain.recorded);
+    registry.set("trace.events_stored", drain.events.len() as u64);
+    registry.set("trace.events_dropped", drain.dropped);
+    engine.profiler().export_into(&mut registry);
+    report.capture_registry(&registry);
+    report.events_dropped = drain.dropped;
+    report.set_events(drain.events);
     report
 }
 
@@ -146,9 +153,13 @@ mod tests {
         let ids = engine.deploy_uniform(12);
         engine.run_wave(&ids);
 
-        let report = engine_report("demo", "row", 9, &engine, recorder.take());
+        let report = engine_report("demo", "row", 9, &engine, &recorder);
         let totals = engine.sim().metrics().totals();
         assert_eq!(report.totals, totals);
+        assert_eq!(
+            report.events_dropped + report.events.len() as u64,
+            report.registry.counters["trace.events_recorded"]
+        );
         assert_eq!(report.hash_ops, engine.hash_ops());
         assert_eq!(report.registry.counters["core.hash_ops"], engine.hash_ops());
         assert_eq!(

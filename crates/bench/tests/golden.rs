@@ -8,7 +8,7 @@
 //! directions:
 //!
 //! * every fixture satisfies the `RunReport` contract (the fixed
-//!   twelve-field top level), so the committed files document the format;
+//!   thirteen-field top level), so the committed files document the format;
 //! * a freshly generated row per binary has the *same* schema as its
 //!   fixture, so renaming a param/outcome key or changing a value's type
 //!   fails here before it silently breaks downstream readers.
@@ -41,7 +41,7 @@ use snd_observe::report::RunReport;
 /// The `RunReport` top level, in serialization order, with each field's
 /// JSON type. `config` serializes as an object (or `null` when a report
 /// never attached one — no bench binary does that).
-const TOP_LEVEL: [(&str, &str); 12] = [
+const TOP_LEVEL: [(&str, &str); 13] = [
     ("experiment", "string"),
     ("scenario", "string"),
     ("seed", "number"),
@@ -53,6 +53,7 @@ const TOP_LEVEL: [(&str, &str); 12] = [
     ("per_node", "object"),
     ("registry", "object"),
     ("outcomes", "object"),
+    ("events_dropped", "number"),
     ("events", "array"),
 ];
 

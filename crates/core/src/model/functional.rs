@@ -4,6 +4,7 @@
 //! yields the *functional network topology* Ḡ — "the actual topology used by
 //! the application".
 
+use snd_observe::profile::Profiler;
 use snd_topology::{DiGraph, FrozenGraph, NodeId};
 
 use super::knowledge::knowledge_of;
@@ -22,17 +23,36 @@ use super::validation::NeighborValidationFunction;
 /// before. Decisions are identical either way (see `validate_frozen`'s
 /// contract), so this is a pure performance change.
 pub fn functional_topology<F: NeighborValidationFunction>(f: &F, tentative: &DiGraph) -> DiGraph {
-    let frozen = FrozenGraph::freeze(tentative);
+    functional_topology_profiled(f, tentative, &Profiler::disabled())
+}
+
+/// [`functional_topology`] with wall-clock profiling: the freeze and the
+/// validation sweep are timed as `functional;freeze` and
+/// `functional;validate` spans (plus `functional;validate;localized` for
+/// each lazy localized-knowledge fallback). With a disabled profiler the
+/// spans are inert and this *is* `functional_topology`.
+pub fn functional_topology_profiled<F: NeighborValidationFunction>(
+    f: &F,
+    tentative: &DiGraph,
+    profiler: &Profiler,
+) -> DiGraph {
+    let prof = profiler.span("functional");
+    let frozen = {
+        let _freeze = profiler.span("freeze");
+        FrozenGraph::freeze(tentative)
+    };
     let mut functional = DiGraph::new();
     for &node in frozen.ids() {
         functional.add_node(node);
     }
+    let validate = profiler.span("validate");
     for u in 0..frozen.node_count() as u32 {
         let mut localized: Option<DiGraph> = None;
         for &v in frozen.out(u) {
             let accept = match f.validate_frozen(u, v, &frozen) {
                 Some(decision) => decision,
                 None => {
+                    let _fallback = profiler.span("localized");
                     let b = localized.get_or_insert_with(|| knowledge_of(tentative, frozen.id(u)));
                     f.validate(frozen.id(u), frozen.id(v), b)
                 }
@@ -42,6 +62,8 @@ pub fn functional_topology<F: NeighborValidationFunction>(f: &F, tentative: &DiG
             }
         }
     }
+    validate.close();
+    prof.close();
     functional
 }
 

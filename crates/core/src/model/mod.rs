@@ -17,7 +17,9 @@ pub mod safety;
 pub mod validation;
 
 pub use centralized::{centralized_validation, CentralizedOutcome};
-pub use functional::{functional_topology, functional_topology_localized};
+pub use functional::{
+    functional_topology, functional_topology_localized, functional_topology_profiled,
+};
 pub use knowledge::knowledge_of;
 pub use safety::{safety_radius, SafetyReport};
 pub use validation::{AcceptAll, CommonNeighborRule, NeighborValidationFunction};

@@ -28,6 +28,7 @@ use rand::SeedableRng;
 
 use snd_crypto::keys::SymmetricKey;
 use snd_observe::event::{Event, Phase};
+use snd_observe::profile::Profiler;
 use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
 use snd_sim::metrics::HashCounter;
 use snd_sim::network::{Delivered, Simulator};
@@ -108,6 +109,8 @@ pub struct DiscoveryEngine {
     key_cache: bool,
     /// Structured-event sink; [`NullRecorder`] (free) unless installed.
     recorder: Arc<dyn Recorder>,
+    /// Wall-clock profiler; disabled (spans inert) unless installed.
+    profiler: Profiler,
     /// Waves completed, for event numbering (first wave is 1).
     waves_run: u64,
     /// Whether benign old nodes automatically request record updates.
@@ -149,6 +152,7 @@ impl DiscoveryEngine {
             served_updates: BTreeSet::new(),
             key_cache: true,
             recorder: Arc::new(NullRecorder),
+            profiler: Profiler::disabled(),
             waves_run: 0,
             auto_update_benign: true,
             direct_verification: true,
@@ -167,6 +171,21 @@ impl DiscoveryEngine {
     /// The installed recorder (a [`NullRecorder`] by default).
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.recorder
+    }
+
+    /// Installs a wall-clock profiler (clone of the caller's handle, so
+    /// both sides read the same accumulator). Waves then time their phases
+    /// and ARQ work under the span tree documented in DESIGN.md §12.
+    ///
+    /// Wall-clock data is inherently non-deterministic: keep it out of any
+    /// byte-compared output (DESIGN.md §9).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The installed profiler (disabled by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Emits an event without constructing it when tracing is off.
@@ -272,6 +291,8 @@ impl DiscoveryEngine {
     /// Provisions and places a node; it joins the protocol on the next
     /// [`DiscoveryEngine::run_wave`] that includes it.
     pub fn deploy_at(&mut self, id: NodeId, at: Point) {
+        // Crypto-bound: provisioning derives the node's key material.
+        let _prof = self.profiler.span("provision");
         let mut node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
         node.set_key_cache(self.key_cache);
         self.nodes.insert(id, node);
@@ -313,12 +334,14 @@ impl DiscoveryEngine {
             new_nodes: new_ids.to_vec(),
             sim_time: self.sim.now(),
         });
+        let prof_wave = self.profiler.span("wave");
 
         // Phase 1: Hello broadcasts. With reliability on, each new node
         // re-broadcasts for up to `hello_rounds` rounds (bounded by the
         // phase budget), so a lost Hello or ack gets fresh chances to
         // assert the tentative relation; `add_tentative` is idempotent.
         let span = self.phase_span(wave, Phase::Hello);
+        let prof = self.profiler.span("hello");
         let hello_deadline = self.sim.now() + rel.phase_timeout;
         let rounds = if rel.enabled {
             rel.hello_rounds.max(1)
@@ -342,11 +365,14 @@ impl DiscoveryEngine {
             self.pump(); // deliver Hellos; acks queued
             self.pump(); // deliver acks; tentative lists complete
         }
+        prof.close();
         span.close(self.sim.now());
 
         // Phase 2a: commit binding records (and, in the fast-erasure
-        // variant, erase the master key right here).
+        // variant, erase the master key right here). Crypto-bound: every
+        // commit derives the record key family and mints the commitment.
         let span = self.phase_span(wave, Phase::Commit);
+        let prof = self.profiler.span("commit");
         for &id in new_ids {
             let node = self.nodes.get_mut(&id).expect("node deployed");
             node.commit_record(&mut self.rng, &self.ops)
@@ -355,6 +381,7 @@ impl DiscoveryEngine {
                 self.emit(|| Event::MasterKeyErased { node: id });
             }
         }
+        prof.close();
         span.close(self.sim.now());
 
         // Phase 2b: record collection. The requester knows exactly which
@@ -362,6 +389,7 @@ impl DiscoveryEngine {
         // re-request only the missing ones, with exponential backoff,
         // until the retry budget or the phase clock runs out.
         let span = self.phase_span(wave, Phase::Collect);
+        let prof = self.profiler.span("collect");
         for &id in new_ids {
             let targets: Vec<NodeId> = self.nodes[&id]
                 .tentative_neighbors()
@@ -376,6 +404,7 @@ impl DiscoveryEngine {
         self.pump(); // deliver requests; replies queued
         self.pump(); // deliver replies; records collected
         if rel.enabled {
+            let _prof_arq = self.profiler.span("arq_repull");
             let deadline = self.sim.now() + rel.phase_timeout;
             for attempt in 0..=rel.retry_budget {
                 let mut any_missing = false;
@@ -412,11 +441,13 @@ impl DiscoveryEngine {
                 self.report.unconfirmed_links.push((id, v));
             }
         }
+        prof.close();
         span.close(self.sim.now());
 
         // Phase 3: binding-record updates against the still-trusted wave.
         if self.config.max_updates > 0 {
             let span = self.phase_span(wave, Phase::Update);
+            let _prof = self.profiler.span("update");
             let contacts: Vec<(NodeId, NodeId)> = self
                 .wave_contacts
                 .iter()
@@ -453,6 +484,8 @@ impl DiscoveryEngine {
 
         // Phase 4: finalize — validation, commitments, evidence, K erasure.
         let span = self.phase_span(wave, Phase::Finalize);
+        let prof = self.profiler.span("finalize");
+        let prof_validate = self.profiler.span("validate");
         for &id in new_ids {
             let node = self.nodes.get_mut(&id).expect("node deployed");
             let out = node
@@ -488,8 +521,10 @@ impl DiscoveryEngine {
                 self.send_reliable(id, to, Message::Evidence { evidence: ev });
             }
         }
+        prof_validate.close();
         self.pump(); // deliver commitments & evidence
         if rel.enabled {
+            let _prof_arq = self.profiler.span("arq_resend");
             // Acknowledged unicast: resend whatever has not been acked,
             // backing off exponentially, until everything is confirmed or
             // the budget/deadline runs out. Receivers handle re-delivery
@@ -517,8 +552,10 @@ impl DiscoveryEngine {
         }
         self.report.unconfirmed_links.sort_unstable();
         self.report.unconfirmed_links.dedup();
+        prof.close();
         span.close(self.sim.now());
 
+        prof_wave.close();
         self.emit(|| Event::WaveEnd {
             wave,
             sim_time: self.sim.now(),
@@ -640,8 +677,16 @@ impl DiscoveryEngine {
                 };
                 match node.state() {
                     NodeState::Discovering => {
-                        // Another wave member: record it and ack.
-                        let _ = node.add_tentative(from);
+                        // Another wave member: record it and ack. Hello
+                        // re-rounds re-assert known relations; only a
+                        // genuinely new tentative neighbor is an event.
+                        let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
+                        if node.add_tentative(from).is_ok() && fresh && self.recorder.enabled() {
+                            self.recorder.record(Event::TentativeAdded {
+                                node: receiver,
+                                peer: from,
+                            });
+                        }
                     }
                     NodeState::Operational => {
                         // An old node notes a reachable new node as its
@@ -661,7 +706,13 @@ impl DiscoveryEngine {
                     return; // direct verification rejects the relation
                 }
                 if let Some(node) = self.nodes.get_mut(&receiver) {
-                    let _ = node.add_tentative(from);
+                    let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
+                    if node.add_tentative(from).is_ok() && fresh && self.recorder.enabled() {
+                        self.recorder.record(Event::TentativeAdded {
+                            node: receiver,
+                            peer: from,
+                        });
+                    }
                 }
             }
             Message::RecordRequest { from } => {
@@ -677,10 +728,21 @@ impl DiscoveryEngine {
                     // re-verified (wasted hashes) or double-counted toward
                     // the ≥ t+1 overlap: the collected map is keyed by
                     // origin, so re-delivery is recognized and dropped.
-                    if node.has_collected(record.node) {
+                    let origin = record.node;
+                    if node.has_collected(origin) {
                         self.report.duplicates_ignored += 1;
-                    } else if node.accept_record(record, &self.ops).is_err() {
-                        self.report.rejected_records += 1;
+                    } else {
+                        let authenticated = node.accept_record(record, &self.ops).is_ok();
+                        if !authenticated {
+                            self.report.rejected_records += 1;
+                        }
+                        if self.recorder.enabled() {
+                            self.recorder.record(Event::RecordCollected {
+                                node: receiver,
+                                from: origin,
+                                authenticated,
+                            });
+                        }
                     }
                 }
             }
@@ -690,20 +752,40 @@ impl DiscoveryEngine {
                     return;
                 }
                 if let Some(node) = self.nodes.get_mut(&receiver) {
-                    if node
+                    // ARQ re-delivers commitments; a re-verified success is
+                    // not a fresh forensic event, but every failure is.
+                    let already = node.functional_neighbors().contains(&from);
+                    let ok = node
                         .accept_relation_commitment(from, &digest, &self.ops)
-                        .is_err()
-                    {
+                        .is_ok();
+                    if !ok {
                         self.report.rejected_commitments += 1;
+                    }
+                    if self.recorder.enabled() && !(ok && already) {
+                        self.recorder.record(Event::CommitmentChecked {
+                            node: receiver,
+                            from,
+                            ok,
+                        });
                     }
                 }
             }
             Message::Evidence { evidence } => {
+                let issuer = evidence.from;
                 if let Some(node) = self.nodes.get_mut(&receiver) {
-                    if let Ok(false) = node.buffer_evidence(evidence) {
+                    match node.buffer_evidence(evidence) {
+                        Ok(true) => {
+                            if self.recorder.enabled() {
+                                self.recorder.record(Event::EvidenceBuffered {
+                                    node: receiver,
+                                    from: issuer,
+                                });
+                            }
+                        }
                         // Same token already buffered: a retransmission,
                         // not new ammunition.
-                        self.report.duplicates_ignored += 1;
+                        Ok(false) => self.report.duplicates_ignored += 1,
+                        Err(_) => {}
                     }
                 }
             }

@@ -93,6 +93,43 @@ pub enum Event {
         /// Simulator clock at phase end.
         sim_time: SimTime,
     },
+    /// Phase-1 forensics: a hello (or hello ack) from `peer` survived
+    /// direct verification and entered `node`'s tentative neighbor list.
+    TentativeAdded {
+        /// The node growing its tentative list.
+        node: NodeId,
+        /// The tentative neighbor just recorded.
+        peer: NodeId,
+    },
+    /// Phase-2b forensics: `node` received `from`'s binding record and
+    /// either authenticated it into its collected set or rejected it.
+    RecordCollected {
+        /// The collecting node.
+        node: NodeId,
+        /// The record's claimed origin.
+        from: NodeId,
+        /// Whether the one-way authenticator checked out.
+        authenticated: bool,
+    },
+    /// Phase-4 forensics: `node` checked the relation commitment `from`
+    /// sent after accepting (or claiming to accept) the functional edge.
+    CommitmentChecked {
+        /// The commitment's addressee.
+        node: NodeId,
+        /// The committing neighbor.
+        from: NodeId,
+        /// Whether the commitment verified against the pairwise key.
+        ok: bool,
+    },
+    /// Phase-4 forensics: `node` buffered relation evidence issued by
+    /// `from` for a future record update (duplicates are not re-buffered
+    /// and emit nothing).
+    EvidenceBuffered {
+        /// The old node holding the evidence.
+        node: NodeId,
+        /// The newly deployed issuer.
+        from: NodeId,
+    },
     /// A finalizing node judged one collected binding record against the
     /// `t + 1` shared-neighbor rule.
     ValidationDecision {

@@ -296,17 +296,31 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through untouched: take the
-                    // whole char from the source slice.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    if (c as u32) < 0x20 {
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
                         return Err(self.err("unescaped control character"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through untouched. Validate
+                    // only this character's bytes — validating the whole
+                    // remaining input here would make string parsing
+                    // quadratic in the document size.
+                    let len = match b {
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push(s.chars().next().expect("non-empty"));
+                    self.pos += len;
                 }
             }
         }

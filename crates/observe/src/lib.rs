@@ -45,6 +45,7 @@
 
 pub mod event;
 pub mod json;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod report;
@@ -52,7 +53,12 @@ pub mod report;
 /// Re-exports of the items instrumented code and experiments need.
 pub mod prelude {
     pub use crate::event::{Event, EventRecord, Phase};
-    pub use crate::recorder::{MemoryRecorder, NullRecorder, Recorder, SimTraceBridge, Span};
-    pub use crate::registry::{Histogram, HistogramSummary, MetricsRegistry, RegistrySnapshot};
+    pub use crate::profile::{ProfSpan, ProfTotals, Profiler};
+    pub use crate::recorder::{
+        MemoryRecorder, NullRecorder, Recorder, RingDrain, RingRecorder, SimTraceBridge, Span,
+    };
+    pub use crate::registry::{
+        EventIngester, Histogram, HistogramSummary, MetricsRegistry, RegistrySnapshot,
+    };
     pub use crate::report::{JsonlWriter, RawJson, RunReport};
 }

@@ -1,0 +1,327 @@
+//! Wall-clock hierarchical profiling.
+//!
+//! Sim-time [`Span`](crate::recorder::Span)s measure *protocol* time — the
+//! simulated radio schedule. This module measures *host* time: where a
+//! bench run actually spends its nanoseconds (hello dispatch, record
+//! collection, frozen vs localized validation, crypto, ARQ retransmits).
+//!
+//! A [`Profiler`] is a cheap handle, either disabled (the default: opening
+//! a span is one branch, closing it a no-op) or backed by shared state.
+//! [`Profiler::span`] opens a RAII [`ProfSpan`]; nesting spans builds a
+//! path (`wave` → `wave;hello`), and closing one accumulates its inclusive
+//! wall time under that path. Paths deliberately use the `;` separator of
+//! the folded-stack format consumed by flamegraph tooling, see
+//! [`Profiler::folded`].
+//!
+//! Wall-clock samples are **never deterministic**: export them only into
+//! registries/fields excluded from byte-compared outputs (DESIGN.md §9).
+//! [`Profiler::export_into`] namespaces everything under `prof.…ns` so the
+//! analysis tooling (and determinism diffs) can tell them apart from
+//! deterministic counters by name.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::registry::MetricsRegistry;
+
+/// Aggregate wall time recorded under one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfTotals {
+    /// Summed inclusive nanoseconds over all completions of the span.
+    pub total_ns: u64,
+    /// Number of span completions.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProfState {
+    /// Labels of the currently open spans, outermost first.
+    stack: Vec<&'static str>,
+    /// Inclusive-duration samples per `;`-joined path.
+    samples: BTreeMap<String, Vec<u64>>,
+}
+
+#[derive(Debug, Default)]
+struct ProfInner {
+    state: Mutex<ProfState>,
+}
+
+/// A handle to (possibly disabled) wall-clock profiling state.
+///
+/// Clones share the same accumulator, so one `Profiler` can be threaded
+/// through an engine and its experiment driver and read once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl Profiler {
+    /// A disabled profiler: spans are inert, nothing is recorded.
+    pub fn disabled() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// A live profiler with an empty accumulator.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            inner: Some(Arc::new(ProfInner::default())),
+        }
+    }
+
+    /// Whether spans record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a wall-clock span labelled `label`, nested under whatever
+    /// spans this profiler currently has open.
+    ///
+    /// Spans must close in LIFO order (RAII scoping gives this for free).
+    /// Labels become path segments, so they must not contain `;` (the
+    /// folded-stack separator), `.` (the registry-key separator) or
+    /// whitespace.
+    pub fn span(&self, label: &'static str) -> ProfSpan {
+        let Some(inner) = &self.inner else {
+            return ProfSpan { open: None };
+        };
+        debug_assert!(
+            !label.contains([';', '.', ' ', '\t']),
+            "profile label {label:?} contains a path separator"
+        );
+        inner.state.lock().stack.push(label);
+        ProfSpan {
+            open: Some(OpenSpan {
+                inner: Arc::clone(inner),
+                label,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Aggregate totals per span path (`;`-joined labels), in path order.
+    pub fn totals(&self) -> BTreeMap<String, ProfTotals> {
+        let Some(inner) = &self.inner else {
+            return BTreeMap::new();
+        };
+        let state = inner.state.lock();
+        state
+            .samples
+            .iter()
+            .map(|(path, samples)| {
+                (
+                    path.clone(),
+                    ProfTotals {
+                        total_ns: samples.iter().sum(),
+                        count: samples.len() as u64,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Exports every span path as a nanosecond histogram named
+    /// `prof.<path-with-dots>.ns` (one sample per span completion).
+    pub fn export_into(&self, registry: &mut MetricsRegistry) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let state = inner.state.lock();
+        for (path, samples) in &state.samples {
+            let key = format!("prof.{}.ns", path.replace(';', "."));
+            for &ns in samples {
+                registry.observe(&key, ns);
+            }
+        }
+    }
+
+    /// Folded-stack rendering (`path;to;span <self_ns>` per line), the
+    /// input format of standard flamegraph tooling. Self time is a path's
+    /// inclusive total minus its direct children's; negative residues
+    /// (possible when a parent span closes before a clock tick) clamp to
+    /// zero and zero-weight lines are kept so every path stays visible.
+    pub fn folded(&self) -> String {
+        let totals = self.totals();
+        let mut out = String::new();
+        for (path, t) in &totals {
+            let child_prefix = format!("{path};");
+            let child_total: u64 = totals
+                .iter()
+                .filter(|(p, _)| {
+                    p.starts_with(&child_prefix) && !p[child_prefix.len()..].contains(';')
+                })
+                .map(|(_, c)| c.total_ns)
+                .sum();
+            let self_ns = t.total_ns.saturating_sub(child_total);
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards everything recorded so far (open spans stay open).
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().samples.clear();
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    inner: Arc<ProfInner>,
+    label: &'static str,
+    start: Instant,
+}
+
+/// RAII guard for one wall-clock span; records on drop.
+#[derive(Debug)]
+#[must_use = "a profile span measures until dropped"]
+pub struct ProfSpan {
+    open: Option<OpenSpan>,
+}
+
+impl ProfSpan {
+    /// Closes the span now (equivalent to dropping it).
+    pub fn close(self) {}
+}
+
+impl Drop for ProfSpan {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let ns = open.start.elapsed().as_nanos() as u64;
+        let mut state = open.inner.state.lock();
+        let path = state.stack.join(";");
+        let popped = state.stack.pop();
+        debug_assert_eq!(
+            popped,
+            Some(open.label),
+            "profile spans closed out of order"
+        );
+        state.samples.entry(path).or_default().push(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        {
+            let _a = p.span("wave");
+            let _b = p.span("hello");
+        }
+        assert!(p.totals().is_empty());
+        assert_eq!(p.folded(), "");
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let p = Profiler::enabled();
+        {
+            let _wave = p.span("wave");
+            {
+                let _hello = p.span("hello");
+            }
+            {
+                let _hello = p.span("hello");
+            }
+            {
+                let _fin = p.span("finalize");
+            }
+        }
+        let totals = p.totals();
+        let paths: Vec<&str> = totals.keys().map(|s| s.as_str()).collect();
+        assert_eq!(paths, ["wave", "wave;finalize", "wave;hello"]);
+        assert_eq!(totals["wave;hello"].count, 2);
+        assert_eq!(totals["wave"].count, 1);
+    }
+
+    #[test]
+    fn clones_share_the_accumulator() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        {
+            let _outer = p.span("outer");
+            let _inner = q.span("inner");
+        }
+        let totals = p.totals();
+        assert!(totals.contains_key("outer;inner"), "{totals:?}");
+    }
+
+    #[test]
+    fn export_into_prefixes_prof_keys() {
+        let p = Profiler::enabled();
+        {
+            let _a = p.span("wave");
+            let _b = p.span("collect");
+        }
+        let mut reg = MetricsRegistry::new();
+        p.export_into(&mut reg);
+        let h = reg.histogram("prof.wave.collect.ns").expect("histogram");
+        assert_eq!(h.count(), 1);
+        assert!(reg.histogram("prof.wave.ns").is_some());
+    }
+
+    #[test]
+    fn folded_self_time_subtracts_children() {
+        let p = Profiler::enabled();
+        {
+            let _a = p.span("a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _b = p.span("b");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let folded = p.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a "), "{folded}");
+        assert!(lines[1].starts_with("a;b "), "{folded}");
+        let a_self: u64 = lines[0].split(' ').nth(1).unwrap().parse().unwrap();
+        let b_self: u64 = lines[1].split(' ').nth(1).unwrap().parse().unwrap();
+        let totals = p.totals();
+        assert_eq!(a_self, totals["a"].total_ns - totals["a;b"].total_ns);
+        assert!(b_self > 0);
+    }
+
+    /// Overhead probe behind DESIGN.md §12's "disabled profiling is free"
+    /// claim. Ignored by default (timing-sensitive); run it manually with
+    /// `cargo test -p snd-observe --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "wall-clock measurement, run manually"]
+    fn disabled_span_overhead_probe() {
+        const ITERS: u32 = 10_000_000;
+        let measure = |p: &Profiler| {
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                let _span = p.span("probe");
+            }
+            t0.elapsed().as_nanos() as f64 / ITERS as f64
+        };
+        let disabled = measure(&Profiler::disabled());
+        let enabled = measure(&Profiler::enabled());
+        println!("span open+close: disabled {disabled:.2} ns, enabled {enabled:.2} ns");
+        assert!(
+            disabled < 50.0,
+            "disabled span should be ~a branch, got {disabled:.2} ns"
+        );
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let p = Profiler::enabled();
+        p.span("x").close();
+        assert_eq!(p.totals().len(), 1);
+        p.reset();
+        assert!(p.totals().is_empty());
+    }
+}

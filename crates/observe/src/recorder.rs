@@ -7,7 +7,10 @@
 //! event construction, no allocation.
 //!
 //! [`MemoryRecorder`] buffers the stream in memory (thread-safe via a
-//! `parking_lot` mutex) for tests, timelines and run reports.
+//! `parking_lot` mutex) for tests, timelines and run reports; when the
+//! stream can be huge, [`RingRecorder`] bounds the retained raw events
+//! with deterministic reservoir-style decimation while an embedded
+//! [`EventIngester`] keeps aggregate metrics full-fidelity.
 //! [`SimTraceBridge`] adapts a recorder into the simulator's
 //! [`TraceHook`], forwarding transport drops as [`Event::RadioDrop`].
 
@@ -22,6 +25,7 @@ use snd_sim::trace::TraceHook;
 use snd_topology::NodeId;
 
 use crate::event::{Event, EventRecord, Phase};
+use crate::registry::{EventIngester, MetricsRegistry};
 
 /// A sink for structured [`Event`]s.
 pub trait Recorder: Send + Sync + std::fmt::Debug {
@@ -81,8 +85,19 @@ impl MemoryRecorder {
         self.events.lock().clone()
     }
 
-    /// Drains the recorded stream, leaving the recorder empty (sequence
-    /// numbers keep counting up).
+    /// Drains the recorded stream, leaving the recorder empty.
+    ///
+    /// Semantics worth spelling out (this feeds run reports):
+    ///
+    /// * the returned vector is the **complete** stream recorded since the
+    ///   last `take()` (or construction) — a `MemoryRecorder` never drops
+    ///   events, so no `events_dropped` accounting applies to it;
+    /// * sequence numbers keep counting across drains: the first event
+    ///   recorded after a `take()` continues where the drained stream
+    ///   ended, so concatenating successive drains reconstructs one gapless
+    ///   stream;
+    /// * events recorded concurrently with the drain land wholly in either
+    ///   the returned vector or the next drain, never split or reordered.
     pub fn take(&self) -> Vec<EventRecord> {
         std::mem::take(&mut *self.events.lock())
     }
@@ -92,6 +107,154 @@ impl Recorder for MemoryRecorder {
     fn record(&self, event: Event) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.events.lock().push(EventRecord { seq, event });
+    }
+}
+
+/// Everything a [`RingRecorder`] accumulated since its last drain.
+#[derive(Debug)]
+pub struct RingDrain {
+    /// The retained raw events: an in-order subsequence of the full
+    /// stream, at most the recorder's capacity.
+    pub events: Vec<EventRecord>,
+    /// How many events were recorded in total (retained + dropped).
+    pub recorded: u64,
+    /// How many recorded events were decimated away
+    /// (`recorded == events.len() as u64 + dropped`).
+    pub dropped: u64,
+    /// Full-fidelity aggregation of **every** recorded event (not just the
+    /// retained ones), as produced by [`EventIngester`].
+    pub registry: MetricsRegistry,
+}
+
+#[derive(Debug)]
+struct RingState {
+    events: Vec<EventRecord>,
+    /// Events recorded since the last drain.
+    index: u64,
+    /// Decimation stride: the event at per-drain index `i` is retained iff
+    /// `i` is the next multiple of `stride` (tracked in `next_keep`).
+    stride: u64,
+    next_keep: u64,
+    registry: MetricsRegistry,
+    ingester: EventIngester,
+}
+
+impl RingState {
+    fn fresh() -> RingState {
+        RingState {
+            events: Vec::new(),
+            index: 0,
+            stride: 1,
+            next_keep: 0,
+            registry: MetricsRegistry::new(),
+            ingester: EventIngester::new(),
+        }
+    }
+}
+
+/// A bounded recorder for streams too large to keep verbatim.
+///
+/// Dense scenarios emit one event per tentative edge — hundreds of
+/// thousands of rows — and the old fixed answer (silently truncating the
+/// tail at 10k) kept only the opening moments of a run. `RingRecorder`
+/// instead applies **deterministic reservoir-style decimation**: events are
+/// retained at a stride (initially every event); whenever the buffer hits
+/// its capacity, every other retained event is discarded and the stride
+/// doubles. The survivors are always an in-order subsequence spread over
+/// the *whole* stream, the bookkeeping is RNG-free (so bench outputs stay
+/// byte-deterministic), and the exact drop count is reported instead of
+/// implied.
+///
+/// Aggregates never decimate: every recorded event is folded through an
+/// embedded [`EventIngester`] into a [`MetricsRegistry`] before the
+/// retention decision, so counters like `validation.accepted` stay exact
+/// regardless of how many raw rows survive. [`RingRecorder::drain`]
+/// returns both views plus the `recorded`/`dropped` accounting.
+#[derive(Debug)]
+pub struct RingRecorder {
+    state: Mutex<RingState>,
+    seq: AtomicU64,
+    cap: usize,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `cap` raw events per drain
+    /// (`cap` is clamped to at least 2 so decimation can halve).
+    pub fn new(cap: usize) -> RingRecorder {
+        RingRecorder {
+            state: Mutex::new(RingState::fresh()),
+            seq: AtomicU64::new(0),
+            cap: cap.max(2),
+        }
+    }
+
+    /// A fresh recorder behind an `Arc`, ready to hand to an engine.
+    pub fn shared(cap: usize) -> Arc<RingRecorder> {
+        Arc::new(RingRecorder::new(cap))
+    }
+
+    /// The retention capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Events recorded since the last drain (retained or not).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().index
+    }
+
+    /// Events currently retained.
+    pub fn retained(&self) -> usize {
+        self.state.lock().events.len()
+    }
+
+    /// Events decimated away since the last drain.
+    pub fn dropped(&self) -> u64 {
+        let state = self.state.lock();
+        state.index - state.events.len() as u64
+    }
+
+    /// Takes everything accumulated since the last drain and resets the
+    /// recorder (stride back to 1, fresh registry; sequence numbers keep
+    /// counting across drains, mirroring [`MemoryRecorder::take`]).
+    pub fn drain(&self) -> RingDrain {
+        let mut state = self.state.lock();
+        let state = std::mem::replace(&mut *state, RingState::fresh());
+        RingDrain {
+            recorded: state.index,
+            dropped: state.index - state.events.len() as u64,
+            events: state.events,
+            registry: state.registry,
+        }
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let rec = EventRecord { seq, event };
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        state.ingester.ingest(&mut state.registry, &rec);
+        if state.index == state.next_keep {
+            state.next_keep += state.stride;
+            state.events.push(rec);
+            if state.events.len() >= self.cap {
+                // Halve the reservoir: keep even positions. Retained
+                // indexes were 0, s, 2s, …; survivors are the multiples of
+                // the doubled stride, so the invariant "events holds every
+                // index ≡ 0 (mod stride) below next_keep" is preserved.
+                let mut pos = 0usize;
+                state.events.retain(|_| {
+                    let keep = pos.is_multiple_of(2);
+                    pos += 1;
+                    keep
+                });
+                state.stride *= 2;
+                state.next_keep = state.next_keep.div_ceil(state.stride) * state.stride;
+            }
+        }
+        state.index += 1;
     }
 }
 
@@ -202,6 +365,90 @@ mod tests {
         assert!(r.is_empty());
         r.record(Event::MasterKeyErased { node: NodeId(3) });
         assert_eq!(r.snapshot()[0].seq, 2);
+    }
+
+    #[test]
+    fn ring_recorder_keeps_everything_under_cap() {
+        let r = RingRecorder::new(16);
+        for i in 0..10 {
+            r.record(Event::MasterKeyErased { node: NodeId(i) });
+        }
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 0);
+        let drain = r.drain();
+        assert_eq!(drain.recorded, 10);
+        assert_eq!(drain.dropped, 0);
+        assert_eq!(drain.events.len(), 10);
+        assert_eq!(drain.registry.counter("protocol.key_erasures"), 10);
+    }
+
+    #[test]
+    fn ring_recorder_decimates_but_aggregates_exactly() {
+        let cap = 8;
+        let r = RingRecorder::new(cap);
+        let total = 1000u64;
+        for i in 0..total {
+            r.record(Event::ValidationDecision {
+                node: NodeId(i),
+                peer: NodeId(i + 1),
+                shared: 3,
+                required: 2,
+                accepted: i % 3 == 0,
+            });
+        }
+        let drain = r.drain();
+        assert_eq!(drain.recorded, total);
+        assert!(drain.events.len() < cap, "retention stays bounded");
+        assert!(!drain.events.is_empty());
+        assert_eq!(drain.dropped + drain.events.len() as u64, total);
+        // The sample spans the stream rather than hugging its head.
+        assert_eq!(drain.events.first().unwrap().seq, 0);
+        assert!(drain.events.last().unwrap().seq >= total / 2);
+        // Aggregates saw every event.
+        let accepted = drain.registry.counter("validation.accepted");
+        let rejected = drain.registry.counter("validation.rejected");
+        assert_eq!(accepted + rejected, total);
+        assert_eq!(accepted, total.div_ceil(3));
+    }
+
+    #[test]
+    fn ring_recorder_drain_resets_but_seq_continues() {
+        let r = RingRecorder::new(4);
+        for i in 0..100 {
+            r.record(Event::MasterKeyErased { node: NodeId(i) });
+        }
+        let first = r.drain();
+        assert!(first.dropped > 0);
+        assert_eq!(r.recorded(), 0);
+        r.record(Event::MasterKeyErased { node: NodeId(7) });
+        let second = r.drain();
+        assert_eq!(second.recorded, 1);
+        assert_eq!(second.dropped, 0);
+        assert_eq!(second.events[0].seq, 100, "seq is gapless across drains");
+        assert_eq!(second.registry.counter("protocol.key_erasures"), 1);
+    }
+
+    #[test]
+    fn ring_recorder_phase_spans_survive_decimation() {
+        // Aggregation happens before the retention decision, so phase
+        // histograms stay complete even when every raw row is decimated.
+        let r = RingRecorder::new(2);
+        for wave in 0..50u64 {
+            r.record(Event::PhaseStart {
+                wave,
+                phase: Phase::Hello,
+                sim_time: SimTime::from_millis(wave),
+            });
+            r.record(Event::PhaseEnd {
+                wave,
+                phase: Phase::Hello,
+                sim_time: SimTime::from_millis(wave + 2),
+            });
+        }
+        let drain = r.drain();
+        let h = drain.registry.histogram("phase.hello.us").unwrap();
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.percentile(50.0), Some(2_000));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use parking_lot::Mutex;
 use serde::Serialize;
 use snd_sim::metrics::Metrics;
 use snd_sim::time::SimTime;
@@ -17,11 +18,56 @@ use snd_sim::time::SimTime;
 use crate::event::{Event, EventRecord, Phase};
 
 /// A distribution of `u64` samples with nearest-rank percentiles.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Reads (`percentile`, `summary`, …) take `&self`: the sample buffer sits
+/// behind a mutex and is sorted lazily on first read after a write, so
+/// snapshotting never needs a mutable registry. Writes (`record`, `merge`)
+/// still take `&mut self` and go through `Mutex::get_mut`, which is
+/// lock-free.
+#[derive(Debug, Default)]
 pub struct Histogram {
+    inner: Mutex<HistogramInner>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct HistogramInner {
     samples: Vec<u64>,
     sorted: bool,
 }
+
+impl HistogramInner {
+    /// Sorts lazily; afterwards `samples` is ascending.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Histogram {
+            inner: Mutex::new(self.inner.lock().clone()),
+        }
+    }
+}
+
+impl PartialEq for Histogram {
+    /// Distribution equality: same samples regardless of insertion order.
+    fn eq(&self, other: &Histogram) -> bool {
+        if std::ptr::eq(self, other) {
+            return true;
+        }
+        let mut a = self.inner.lock();
+        a.ensure_sorted();
+        let mut b = other.inner.lock();
+        b.ensure_sorted();
+        a.samples == b.samples
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Histogram {
     /// An empty histogram.
@@ -31,31 +77,46 @@ impl Histogram {
 
     /// Adds one sample.
     pub fn record(&mut self, value: u64) {
-        self.samples.push(value);
-        self.sorted = false;
+        let inner = self.inner.get_mut();
+        inner.samples.push(value);
+        inner.sorted = false;
+    }
+
+    /// Absorbs every sample of `other`.
+    pub fn merge(&mut self, other: &Histogram) {
+        let theirs = other.inner.lock();
+        let inner = self.inner.get_mut();
+        inner.samples.extend_from_slice(&theirs.samples);
+        inner.sorted = false;
+    }
+
+    /// The samples recorded so far, in unspecified order.
+    pub fn samples(&self) -> Vec<u64> {
+        self.inner.lock().samples.clone()
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.inner.lock().samples.len()
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.inner.lock().samples.is_empty()
     }
 
     /// Sum of all samples.
     pub fn sum(&self) -> u64 {
-        self.samples.iter().sum()
+        self.inner.lock().samples.iter().sum()
     }
 
     /// Arithmetic mean, 0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        let inner = self.inner.lock();
+        if inner.samples.is_empty() {
             0.0
         } else {
-            self.sum() as f64 / self.samples.len() as f64
+            inner.samples.iter().sum::<u64>() as f64 / inner.samples.len() as f64
         }
     }
 
@@ -65,44 +126,54 @@ impl Histogram {
     /// # Panics
     ///
     /// Panics unless `0.0 <= p <= 100.0`.
-    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        if self.samples.is_empty() {
+        let mut inner = self.inner.lock();
+        if inner.samples.is_empty() {
             return None;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let n = self.samples.len();
-        // Nearest-rank: rank = ceil(p/100 · n), clamped to [1, n].
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        Some(self.samples[rank.clamp(1, n) - 1])
+        inner.ensure_sorted();
+        Some(nearest_rank(&inner.samples, p))
     }
 
     /// Smallest sample, `None` when empty.
     pub fn min(&self) -> Option<u64> {
-        self.samples.iter().copied().min()
+        self.inner.lock().samples.iter().copied().min()
     }
 
     /// Largest sample, `None` when empty.
     pub fn max(&self) -> Option<u64> {
-        self.samples.iter().copied().max()
+        self.inner.lock().samples.iter().copied().max()
     }
 
     /// The exportable five-number-ish summary.
-    pub fn summary(&mut self) -> HistogramSummary {
+    pub fn summary(&self) -> HistogramSummary {
+        let mut inner = self.inner.lock();
+        if inner.samples.is_empty() {
+            return HistogramSummary::default();
+        }
+        inner.ensure_sorted();
+        let s = &inner.samples;
+        let sum: u64 = s.iter().sum();
         HistogramSummary {
-            count: self.count() as u64,
-            sum: self.sum(),
-            mean: self.mean(),
-            min: self.min().unwrap_or(0),
-            max: self.max().unwrap_or(0),
-            p50: self.percentile(50.0).unwrap_or(0),
-            p90: self.percentile(90.0).unwrap_or(0),
-            p99: self.percentile(99.0).unwrap_or(0),
+            count: s.len() as u64,
+            sum,
+            mean: sum as f64 / s.len() as f64,
+            min: s[0],
+            max: s[s.len() - 1],
+            p50: nearest_rank(s, 50.0),
+            p90: nearest_rank(s, 90.0),
+            p99: nearest_rank(s, 99.0),
         }
     }
+}
+
+/// Nearest-rank lookup over an ascending, non-empty slice:
+/// rank = ceil(p/100 · n), clamped to [1, n].
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Percentile summary of one [`Histogram`], as exported in run reports.
@@ -172,6 +243,28 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// concatenate their samples. The workhorse of multi-trial merges —
+    /// each trial aggregates its own events locally (see
+    /// [`crate::recorder::RingRecorder`]) and the row registry absorbs
+    /// them here.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
     /// Absorbs a simulator's cost metrics under the `sim.` prefix:
     /// aggregate counters (`sim.unicasts_sent`, `sim.bytes_sent`,
     /// `sim.hash_ops`, `sim.drops.<Reason>`, …) and per-node distributions
@@ -203,58 +296,104 @@ impl MetricsRegistry {
         }
     }
 
-    /// Distills a recorded event stream into registry metrics: per-phase
-    /// sim-time histograms (`phase.<name>.us`, one sample per completed
-    /// span), validation accept/reject counters, and tallies of erasures,
-    /// adversary actions and traced drops.
+    /// Distills a recorded event stream into registry metrics; see
+    /// [`EventIngester::ingest`] for the per-event mapping.
     pub fn ingest_events(&mut self, events: &[EventRecord]) {
-        let mut open: BTreeMap<(u64, Phase), SimTime> = BTreeMap::new();
+        let mut ingester = EventIngester::new();
         for rec in events {
-            match &rec.event {
-                Event::PhaseStart {
-                    wave,
-                    phase,
-                    sim_time,
-                } => {
-                    open.insert((*wave, *phase), *sim_time);
-                }
-                Event::PhaseEnd {
-                    wave,
-                    phase,
-                    sim_time,
-                } => {
-                    if let Some(start) = open.remove(&(*wave, *phase)) {
-                        let us = (*sim_time - start).as_micros();
-                        self.observe(&format!("phase.{}.us", phase.name()), us);
-                    }
-                }
-                Event::ValidationDecision { accepted, .. } => {
-                    let key = if *accepted {
-                        "validation.accepted"
-                    } else {
-                        "validation.rejected"
-                    };
-                    self.inc(key, 1);
-                }
-                Event::MasterKeyErased { .. } => self.inc("protocol.key_erasures", 1),
-                Event::NodeCompromised { .. } => self.inc("adversary.compromises", 1),
-                Event::ReplicaPlaced { .. } => self.inc("adversary.replicas", 1),
-                Event::RadioDrop { .. } => self.inc("trace.radio_drops", 1),
-                Event::FaultInjected { .. } => self.inc("trace.faults_injected", 1),
-                Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
-            }
+            ingester.ingest(self, rec);
         }
     }
 
     /// Freezes the registry into its exportable form.
-    pub fn snapshot(&mut self) -> RegistrySnapshot {
+    pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
             counters: self.counters.clone(),
             histograms: self
                 .histograms
-                .iter_mut()
+                .iter()
                 .map(|(k, h)| (k.clone(), h.summary()))
                 .collect(),
+        }
+    }
+}
+
+/// Incremental event-stream aggregation.
+///
+/// [`MetricsRegistry::ingest_events`] needs the whole stream in memory;
+/// this is the streaming form: feed it one [`EventRecord`] at a time (it
+/// keeps the open-phase state between calls) and the registry accumulates
+/// exactly what a batch ingest of the full stream would have produced.
+/// [`crate::recorder::RingRecorder`] runs one of these on every recorded
+/// event so aggregate metrics stay full-fidelity even when the retained
+/// raw stream is bounded.
+#[derive(Debug, Clone, Default)]
+pub struct EventIngester {
+    open: BTreeMap<(u64, Phase), SimTime>,
+}
+
+impl EventIngester {
+    /// A fresh ingester with no open phases.
+    pub fn new() -> Self {
+        EventIngester::default()
+    }
+
+    /// Folds one event into `registry`: per-phase sim-time histograms
+    /// (`phase.<name>.us`, one sample per completed span), validation
+    /// accept/reject counters, per-step protocol forensics tallies
+    /// (tentative adds, record collections, commitment checks, evidence)
+    /// and counts of erasures, adversary actions and traced drops.
+    pub fn ingest(&mut self, registry: &mut MetricsRegistry, rec: &EventRecord) {
+        match &rec.event {
+            Event::PhaseStart {
+                wave,
+                phase,
+                sim_time,
+            } => {
+                self.open.insert((*wave, *phase), *sim_time);
+            }
+            Event::PhaseEnd {
+                wave,
+                phase,
+                sim_time,
+            } => {
+                if let Some(start) = self.open.remove(&(*wave, *phase)) {
+                    let us = (*sim_time - start).as_micros();
+                    registry.observe(&format!("phase.{}.us", phase.name()), us);
+                }
+            }
+            Event::ValidationDecision { accepted, .. } => {
+                let key = if *accepted {
+                    "validation.accepted"
+                } else {
+                    "validation.rejected"
+                };
+                registry.inc(key, 1);
+            }
+            Event::TentativeAdded { .. } => registry.inc("protocol.tentative_added", 1),
+            Event::RecordCollected { authenticated, .. } => {
+                let key = if *authenticated {
+                    "protocol.records_collected"
+                } else {
+                    "protocol.records_rejected"
+                };
+                registry.inc(key, 1);
+            }
+            Event::CommitmentChecked { ok, .. } => {
+                let key = if *ok {
+                    "protocol.commitments_ok"
+                } else {
+                    "protocol.commitments_bad"
+                };
+                registry.inc(key, 1);
+            }
+            Event::EvidenceBuffered { .. } => registry.inc("protocol.evidence_buffered", 1),
+            Event::MasterKeyErased { .. } => registry.inc("protocol.key_erasures", 1),
+            Event::NodeCompromised { .. } => registry.inc("adversary.compromises", 1),
+            Event::ReplicaPlaced { .. } => registry.inc("adversary.replicas", 1),
+            Event::RadioDrop { .. } => registry.inc("trace.radio_drops", 1),
+            Event::FaultInjected { .. } => registry.inc("trace.faults_injected", 1),
+            Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
         }
     }
 }
@@ -291,11 +430,29 @@ mod tests {
 
     #[test]
     fn percentile_of_empty_is_none() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert_eq!(h.percentile(50.0), None);
         let s = h.summary();
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn histograms_merge_and_compare_as_distributions() {
+        let mut a = Histogram::new();
+        a.record(3);
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(3);
+        assert_eq!(a, b, "insertion order must not matter");
+        let mut c = Histogram::new();
+        c.record(2);
+        a.merge(&c);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(50.0), Some(2));
+        // Reads leave the observable distribution intact.
+        assert_eq!(a.sum(), 6);
     }
 
     #[test]
@@ -355,9 +512,92 @@ mod tests {
         assert_eq!(r.counter("sim.hash_ops"), 11);
         assert_eq!(r.counter("sim.drops"), 1);
         assert_eq!(r.counter("sim.drops.LinkLoss"), 1);
-        let h = r.histograms.get_mut("sim.node.unicasts_sent").unwrap();
+        let h = r.histogram("sim.node.unicasts_sent").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn registries_merge_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 2);
+        a.observe("h", 1);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 3);
+        b.inc("y", 1);
+        b.observe("h", 5);
+        b.observe("g", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 6);
+        assert_eq!(a.histogram("g").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn streaming_ingester_matches_batch_ingest() {
+        let events = vec![
+            EventRecord {
+                seq: 0,
+                event: Event::PhaseStart {
+                    wave: 1,
+                    phase: Phase::Commit,
+                    sim_time: SimTime::from_millis(1),
+                },
+            },
+            EventRecord {
+                seq: 1,
+                event: Event::TentativeAdded {
+                    node: NodeId(1),
+                    peer: NodeId(2),
+                },
+            },
+            EventRecord {
+                seq: 2,
+                event: Event::RecordCollected {
+                    node: NodeId(1),
+                    from: NodeId(2),
+                    authenticated: true,
+                },
+            },
+            EventRecord {
+                seq: 3,
+                event: Event::CommitmentChecked {
+                    node: NodeId(2),
+                    from: NodeId(1),
+                    ok: false,
+                },
+            },
+            EventRecord {
+                seq: 4,
+                event: Event::EvidenceBuffered {
+                    node: NodeId(2),
+                    from: NodeId(3),
+                },
+            },
+            EventRecord {
+                seq: 5,
+                event: Event::PhaseEnd {
+                    wave: 1,
+                    phase: Phase::Commit,
+                    sim_time: SimTime::from_millis(4),
+                },
+            },
+        ];
+        let mut batch = MetricsRegistry::new();
+        batch.ingest_events(&events);
+        let mut streamed = MetricsRegistry::new();
+        let mut ingester = EventIngester::new();
+        for rec in &events {
+            ingester.ingest(&mut streamed, rec);
+        }
+        assert_eq!(batch.snapshot(), streamed.snapshot());
+        assert_eq!(streamed.counter("protocol.tentative_added"), 1);
+        assert_eq!(streamed.counter("protocol.records_collected"), 1);
+        assert_eq!(streamed.counter("protocol.commitments_bad"), 1);
+        assert_eq!(streamed.counter("protocol.evidence_buffered"), 1);
+        assert_eq!(streamed.histogram("phase.commit.us").unwrap().count(), 1);
     }
 
     #[test]
@@ -442,7 +682,7 @@ mod tests {
         ];
         let mut r = MetricsRegistry::new();
         r.ingest_events(&events);
-        let h = r.histograms.get_mut("phase.hello.us").unwrap();
+        let h = r.histogram("phase.hello.us").unwrap();
         assert_eq!(h.count(), 1);
         assert_eq!(h.percentile(50.0), Some(4_000));
         assert_eq!(r.counter("validation.accepted"), 1);

@@ -69,6 +69,11 @@ pub struct RunReport {
     pub registry: RegistrySnapshot,
     /// Experiment-specific result values.
     pub outcomes: BTreeMap<String, RawJson>,
+    /// Events recorded during the run but absent from `events` — bounded
+    /// retention (see `snd_observe::recorder::RingRecorder`) or a merged
+    /// multi-trial row that aggregates without storing raw rows. Always
+    /// present; 0 means `events` is the complete stream.
+    pub events_dropped: u64,
     /// The structured event stream, if a recorder was attached.
     pub events: Vec<EventRecord>,
 }
@@ -88,6 +93,7 @@ impl RunReport {
             per_node: BTreeMap::new(),
             registry: RegistrySnapshot::default(),
             outcomes: BTreeMap::new(),
+            events_dropped: 0,
             events: Vec::new(),
         }
     }
@@ -117,7 +123,7 @@ impl RunReport {
     }
 
     /// Freezes a registry into the report.
-    pub fn capture_registry(&mut self, registry: &mut MetricsRegistry) {
+    pub fn capture_registry(&mut self, registry: &MetricsRegistry) {
         self.registry = registry.snapshot();
     }
 

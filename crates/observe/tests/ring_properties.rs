@@ -1,0 +1,92 @@
+//! Property tests for the bounded `RingRecorder` (DESIGN.md §12): the
+//! retained rows are an in-order subsequence of the full stream, the
+//! `recorded = retained + dropped` accounting is exact, and aggregate
+//! metrics never lose events to decimation.
+
+use proptest::prelude::*;
+use snd_observe::event::Event;
+use snd_observe::recorder::{MemoryRecorder, Recorder, RingRecorder};
+use snd_topology::NodeId;
+
+/// A deterministic toy stream: alternating validation decisions and key
+/// erasures, with the node id encoding the position.
+fn event_at(i: u64) -> Event {
+    if i.is_multiple_of(4) {
+        Event::MasterKeyErased { node: NodeId(i) }
+    } else {
+        Event::ValidationDecision {
+            node: NodeId(i),
+            peer: NodeId(i + 1),
+            shared: i % 7,
+            required: 3,
+            accepted: i % 7 >= 3,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_retains_an_exact_subsequence(
+        total in 0u64..4_000,
+        cap in 2usize..200,
+    ) {
+        let ring = RingRecorder::new(cap);
+        let full = MemoryRecorder::new();
+        for i in 0..total {
+            ring.record(event_at(i));
+            full.record(event_at(i));
+        }
+        let drain = ring.drain();
+        let reference = full.take();
+
+        // Conservation: every recorded event is either retained or counted
+        // as dropped.
+        prop_assert_eq!(drain.recorded, total);
+        prop_assert_eq!(drain.dropped + drain.events.len() as u64, total);
+        prop_assert!(drain.events.len() <= cap.max(2));
+
+        // Subsequence: retained rows appear in the full stream, in order,
+        // with identical payloads at their claimed positions.
+        let mut last_seq = None;
+        for rec in &drain.events {
+            if let Some(prev) = last_seq {
+                prop_assert!(rec.seq > prev, "retained rows out of order");
+            }
+            last_seq = Some(rec.seq);
+            prop_assert_eq!(&reference[rec.seq as usize].event, &rec.event);
+        }
+        if total > 0 {
+            prop_assert_eq!(drain.events.first().map(|r| r.seq), Some(0));
+        }
+
+        // Aggregates are full-fidelity: the ring's internal registry equals
+        // a batch ingest of the complete stream.
+        let mut batch = snd_observe::registry::MetricsRegistry::new();
+        batch.ingest_events(&reference);
+        prop_assert_eq!(batch.snapshot(), drain.registry.snapshot());
+    }
+
+    #[test]
+    fn ring_accounting_survives_multiple_drains(
+        chunks in prop::collection::vec(0u64..500, 1..6),
+        cap in 2usize..64,
+    ) {
+        let ring = RingRecorder::new(cap);
+        let mut next = 0u64;
+        for chunk in chunks {
+            for _ in 0..chunk {
+                ring.record(event_at(next));
+                next += 1;
+            }
+            let drain = ring.drain();
+            prop_assert_eq!(drain.recorded, chunk);
+            prop_assert_eq!(drain.dropped + drain.events.len() as u64, chunk);
+        }
+        // Nothing left behind after the final drain.
+        prop_assert_eq!(ring.recorded(), 0);
+        prop_assert_eq!(ring.retained(), 0);
+        prop_assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -252,7 +252,66 @@ impl FrozenGraph {
     /// exists. Same node set and interner as `self`. This is the CSR
     /// analogue of [`DiGraph::mutual_adjacency`], computed once and shared
     /// by partition analysis and hop counting.
+    ///
+    /// Reverse-edge membership is constant-time for every row, not just the
+    /// degree-gated bitset rows: the transpose is built once by counting
+    /// sort, then each node's in-neighbors are marked in one reusable
+    /// scratch bitmap and its forward row filtered against it — O(V + E)
+    /// overall, versus a binary search per edge on low-degree rows. The
+    /// per-edge probe path survives as [`mutual_view_reference`]
+    /// (`Self::mutual_view_reference`); the property tests assert both
+    /// produce identical snapshots.
     pub fn mutual_view(&self) -> FrozenGraph {
+        let n = self.ids.len();
+        // Transpose by counting sort. Filling in ascending source order
+        // leaves every in-row sorted, though only membership is needed here.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &v in &self.targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for u in 0..n {
+            in_offsets[u + 1] += in_offsets[u];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_targets = vec![0u32; self.targets.len()];
+        for u in 0..n as u32 {
+            for &v in self.row(u) {
+                in_targets[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        // Mark u's in-neighbors in the scratch bitmap, filter u's forward
+        // row against it, then unmark — clearing only the set bits keeps
+        // the whole sweep linear in the edge count.
+        let mut scratch = vec![0u64; n.div_ceil(64)];
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for u in 0..n {
+            let ins = &in_targets[in_offsets[u] as usize..in_offsets[u + 1] as usize];
+            for &w in ins {
+                scratch[w as usize >> 6] |= 1u64 << (w & 63);
+            }
+            targets.extend(
+                self.row(u as u32)
+                    .iter()
+                    .copied()
+                    .filter(|&v| scratch[v as usize >> 6] & (1u64 << (v & 63)) != 0),
+            );
+            for &w in ins {
+                scratch[w as usize >> 6] &= !(1u64 << (w & 63));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        self.view_from(offsets, targets)
+    }
+
+    /// Reference implementation of [`mutual_view`](Self::mutual_view):
+    /// probes `has_edge(v, u)` per forward edge — a binary search on
+    /// low-degree rows, the degree-gated bitset on high-degree ones. Kept
+    /// for the equivalence property tests.
+    pub fn mutual_view_reference(&self) -> FrozenGraph {
         let n = self.ids.len();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::new();
@@ -261,6 +320,11 @@ impl FrozenGraph {
             targets.extend(self.row(u).iter().copied().filter(|&v| self.has_edge(v, u)));
             offsets.push(targets.len() as u32);
         }
+        self.view_from(offsets, targets)
+    }
+
+    /// Assembles a derived snapshot sharing this graph's interner.
+    fn view_from(&self, offsets: Vec<u32>, targets: Vec<u32>) -> FrozenGraph {
         let mut view = FrozenGraph {
             ids: self.ids.clone(),
             offsets,
@@ -408,7 +472,9 @@ mod tests {
             }
         }
         let adj = g.mutual_adjacency();
-        let mutual = FrozenGraph::freeze(&g).mutual_view();
+        let frozen = FrozenGraph::freeze(&g);
+        let mutual = frozen.mutual_view();
+        assert_eq!(mutual, frozen.mutual_view_reference());
         assert_eq!(mutual.node_count(), adj.len());
         for (u, set) in adj {
             let ui = mutual.index_of(u).unwrap();
@@ -425,5 +491,30 @@ mod tests {
         assert_eq!(f.edge_count(), 0);
         assert_eq!(f.thaw(), DiGraph::new());
         assert_eq!(f.mutual_view().node_count(), 0);
+    }
+
+    #[test]
+    fn mutual_view_paths_agree_across_bitset_threshold() {
+        // A hub above the bitset threshold whose spokes reciprocate only on
+        // even ids, plus a one-way edge: the reference path exercises both
+        // the hub's bitset probe and low-degree binary searches.
+        let mut g = DiGraph::new();
+        for i in 1..=(BITSET_MIN_DEGREE as u64 + 20) {
+            g.add_edge(n(0), n(i));
+            if i % 2 == 0 {
+                g.add_edge(n(i), n(0));
+            }
+        }
+        g.add_edge(n(1), n(2));
+        let f = FrozenGraph::freeze(&g);
+        let fast = f.mutual_view();
+        assert_eq!(fast, f.mutual_view_reference());
+        let hub = fast.index_of(n(0)).unwrap();
+        assert_eq!(
+            fast.out_degree(hub),
+            (BITSET_MIN_DEGREE as u64 + 20) as usize / 2
+        );
+        let one_way = fast.index_of(n(1)).unwrap();
+        assert_eq!(fast.out_degree(one_way), 0);
     }
 }

@@ -134,6 +134,7 @@ proptest! {
                 );
             }
         }
+        prop_assert_eq!(frozen.mutual_view(), frozen.mutual_view_reference());
         prop_assert_eq!(frozen.thaw(), g);
     }
 
@@ -150,6 +151,9 @@ proptest! {
             .collect();
         let frozen = FrozenGraph::freeze(&g);
         let mutual = frozen.mutual_view();
+        // The transpose-bitmap fast path and the per-edge probe path must
+        // produce byte-identical snapshots.
+        prop_assert_eq!(&mutual, &frozen.mutual_view_reference());
         let adj = g.mutual_adjacency();
         prop_assert_eq!(mutual.node_count(), adj.len());
         for u in 0..mutual.node_count() as u32 {

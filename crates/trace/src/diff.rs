@@ -1,0 +1,271 @@
+//! Numeric regression diffing between two run artifacts.
+//!
+//! The engine of the CI perf-regression gate: load a committed baseline
+//! and a freshly generated candidate, walk both JSON trees in parallel,
+//! and report every numeric leaf whose relative deviation exceeds the
+//! tolerance — plus any structural drift (missing rows, missing fields,
+//! type changes). The raw `events` arrays are never compared: they are
+//! bounded forensic samples, not aggregates; their full-fidelity view
+//! lives in the registry counters, which *are* compared.
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+
+/// Knobs for [`diff_rows`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative tolerance: a numeric pair passes while
+    /// `|a - b| <= tolerance * max(|a|, |b|)`. Zero demands exactness.
+    pub tolerance: f64,
+    /// Substring filters: any leaf whose dotted path contains one of
+    /// these is skipped (e.g. `_ms` to ignore wall-clock fields).
+    pub ignore: Vec<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tolerance: 0.0,
+            ignore: Vec::new(),
+        }
+    }
+}
+
+/// One out-of-tolerance or structural difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted path to the leaf, rooted at the row label.
+    pub path: String,
+    /// Baseline-side rendering (`absent` when the key is new).
+    pub before: String,
+    /// Candidate-side rendering (`absent` when the key vanished).
+    pub after: String,
+    /// Relative deviation for numeric pairs, `None` for structural drift.
+    pub relative: Option<f64>,
+}
+
+/// Diffs two artifacts row-by-row. Rows pair up by label (the common
+/// case: both sides ran the same scenarios); unmatched rows on either
+/// side are reported as structural deltas. An empty result means the
+/// candidate is within tolerance everywhere.
+pub fn diff_rows(base: &[Row], cand: &[Row], opts: &DiffOptions) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for b in base {
+        match cand.iter().find(|c| c.label == b.label) {
+            Some(c) => diff_value(&b.value, &c.value, &b.label, opts, &mut deltas),
+            None => deltas.push(Delta {
+                path: b.label.clone(),
+                before: "row present".into(),
+                after: "absent".into(),
+                relative: None,
+            }),
+        }
+    }
+    for c in cand {
+        if !base.iter().any(|b| b.label == c.label) {
+            deltas.push(Delta {
+                path: c.label.clone(),
+                before: "absent".into(),
+                after: "row present".into(),
+                relative: None,
+            });
+        }
+    }
+    deltas
+}
+
+/// Renders deltas one per line, `path: before -> after (+x.x%)`.
+pub fn render(deltas: &[Delta]) -> String {
+    let mut out = String::new();
+    for d in deltas {
+        out.push_str(&d.path);
+        out.push_str(": ");
+        out.push_str(&d.before);
+        out.push_str(" -> ");
+        out.push_str(&d.after);
+        if let Some(rel) = d.relative {
+            out.push_str(&format!(" ({:+.2}%)", rel * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn diff_value(a: &Value, b: &Value, path: &str, opts: &DiffOptions, out: &mut Vec<Delta>) {
+    if opts.ignore.iter().any(|i| path.contains(i.as_str())) {
+        return;
+    }
+    match (a, b) {
+        (Value::Object(fa), Value::Object(fb)) => {
+            for (key, va) in fa {
+                // Raw event samples are bounded subsequences, not
+                // aggregates — never compared.
+                if key == "events" {
+                    continue;
+                }
+                let sub = format!("{path}.{key}");
+                match fb.iter().find(|(k, _)| k == key) {
+                    Some((_, vb)) => diff_value(va, vb, &sub, opts, out),
+                    None => push_structural(out, &sub, render_leaf(va), "absent".into(), opts),
+                }
+            }
+            for (key, vb) in fb {
+                if key != "events" && !fa.iter().any(|(k, _)| k == key) {
+                    let sub = format!("{path}.{key}");
+                    push_structural(out, &sub, "absent".into(), render_leaf(vb), opts);
+                }
+            }
+        }
+        (Value::Array(ia), Value::Array(ib)) => {
+            if ia.len() != ib.len() {
+                push_structural(
+                    out,
+                    path,
+                    format!("{} items", ia.len()),
+                    format!("{} items", ib.len()),
+                    opts,
+                );
+                return;
+            }
+            for (i, (va, vb)) in ia.iter().zip(ib).enumerate() {
+                diff_value(va, vb, &format!("{path}.{i}"), opts, out);
+            }
+        }
+        (Value::Number(na), Value::Number(nb)) => {
+            let scale = na.abs().max(nb.abs());
+            let dev = (na - nb).abs();
+            if dev > opts.tolerance * scale {
+                out.push(Delta {
+                    path: path.to_string(),
+                    before: trim_float(*na),
+                    after: trim_float(*nb),
+                    relative: Some(if scale == 0.0 { 0.0 } else { (nb - na) / scale }),
+                });
+            }
+        }
+        _ if a == b => {}
+        _ => push_structural(out, path, render_leaf(a), render_leaf(b), opts),
+    }
+}
+
+fn push_structural(
+    out: &mut Vec<Delta>,
+    path: &str,
+    before: String,
+    after: String,
+    opts: &DiffOptions,
+) {
+    if opts.ignore.iter().any(|i| path.contains(i.as_str())) {
+        return;
+    }
+    out.push(Delta {
+        path: path.to_string(),
+        before,
+        after,
+        relative: None,
+    });
+}
+
+fn render_leaf(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => trim_float(*n),
+        Value::String(s) => format!("{s:?}"),
+        Value::Array(items) => format!("[{} items]", items.len()),
+        Value::Object(fields) => format!("{{{} fields}}", fields.len()),
+    }
+}
+
+/// Integers render without the `.0` tail the `f64` carrier would add.
+fn trim_float(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::parse;
+
+    fn row(label: &str, json: &str) -> Row {
+        Row {
+            label: label.to_string(),
+            value: parse(json).expect("test json"),
+        }
+    }
+
+    #[test]
+    fn identical_rows_produce_no_deltas() {
+        let a = [row(
+            "r",
+            r#"{"x":1,"y":{"z":[1,2.5]},"events":[{"seq":0}]}"#,
+        )];
+        let b = [row(
+            "r",
+            r#"{"x":1,"y":{"z":[1,2.5]},"events":[{"seq":9}]}"#,
+        )];
+        assert!(diff_rows(&a, &b, &DiffOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn out_of_tolerance_numbers_are_reported_with_relative_deviation() {
+        let a = [row("r", r#"{"x":100}"#)];
+        let b = [row("r", r#"{"x":110}"#)];
+        let strict = diff_rows(&a, &b, &DiffOptions::default());
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].path, "r.x");
+        assert!((strict[0].relative.unwrap() - 10.0 / 110.0).abs() < 1e-12);
+        let loose = DiffOptions {
+            tolerance: 0.1,
+            ..DiffOptions::default()
+        };
+        assert!(diff_rows(&a, &b, &loose).is_empty());
+    }
+
+    #[test]
+    fn ignore_filters_skip_matching_paths_and_subtrees() {
+        let a = [row(
+            "r",
+            r#"{"wall_ms":5.0,"timings":{"hello_ms":1.0},"n":3}"#,
+        )];
+        let b = [row(
+            "r",
+            r#"{"wall_ms":9.0,"timings":{"hello_ms":4.0},"n":3}"#,
+        )];
+        let opts = DiffOptions {
+            ignore: vec!["_ms".into()],
+            ..DiffOptions::default()
+        };
+        assert!(diff_rows(&a, &b, &opts).is_empty());
+    }
+
+    #[test]
+    fn structural_drift_is_reported() {
+        let a = [row("r", r#"{"x":1,"gone":2}"#), row("only_base", r#"{}"#)];
+        let b = [row("r", r#"{"x":true,"new":3}"#)];
+        let deltas = diff_rows(&a, &b, &DiffOptions::default());
+        let paths: Vec<&str> = deltas.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["r.x", "r.gone", "r.new", "only_base"]);
+        assert!(deltas.iter().all(|d| d.relative.is_none()));
+    }
+
+    #[test]
+    fn zero_against_zero_passes_any_tolerance() {
+        let a = [row("r", r#"{"x":0}"#)];
+        let b = [row("r", r#"{"x":0}"#)];
+        assert!(diff_rows(&a, &b, &DiffOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn render_is_one_line_per_delta() {
+        let a = [row("r", r#"{"x":1}"#)];
+        let b = [row("r", r#"{"x":2}"#)];
+        let text = render(&diff_rows(&a, &b, &DiffOptions::default()));
+        assert_eq!(text, "r.x: 1 -> 2 (+50.00%)\n");
+    }
+}

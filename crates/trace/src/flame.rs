@@ -1,0 +1,117 @@
+//! Folding `prof.*.ns` registry histograms back into flamegraph stacks.
+//!
+//! The engine's [`Profiler`](snd_observe::profile::Profiler) exports each
+//! span path as a `prof.<a>.<b>.ns` histogram whose `sum` is the span's
+//! inclusive wall time. The classic folded-stack format wants *self* time
+//! per stack, so this module subtracts each path's direct children from
+//! its inclusive total and emits `a;b <self_ns>` lines — pipe them into
+//! any flamegraph renderer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// Renders the folded-stack view of the selected rows' profiler spans.
+///
+/// Spans aggregate across rows (inclusive sums add), mirroring how a
+/// sampling profiler would fold repeated runs of the same program.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when no selected row carries `prof.*.ns`
+/// histograms — i.e. the producing binary ran with the profiler disabled.
+pub fn flame(rows: &[&Row]) -> Result<String, TraceError> {
+    let mut inclusive: BTreeMap<String, f64> = BTreeMap::new();
+    for row in rows {
+        let Some(histograms) = row
+            .value
+            .get("registry")
+            .and_then(|r| r.get("histograms"))
+            .and_then(Value::as_object)
+        else {
+            continue;
+        };
+        for (key, summary) in histograms {
+            let Some(path) = key
+                .strip_prefix("prof.")
+                .and_then(|k| k.strip_suffix(".ns"))
+            else {
+                continue;
+            };
+            let sum = summary.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+            *inclusive.entry(path.replace('.', ";")).or_insert(0.0) += sum;
+        }
+    }
+    if inclusive.is_empty() {
+        return Err(TraceError::Usage(
+            "no prof.*.ns histograms in the selected rows (profiler disabled?)".to_string(),
+        ));
+    }
+    let mut out = String::new();
+    for (path, total) in &inclusive {
+        let children: f64 = inclusive
+            .iter()
+            .filter(|(other, _)| is_direct_child(other, path))
+            .map(|(_, v)| v)
+            .sum();
+        let self_ns = (total - children).max(0.0) as u64;
+        let _ = writeln!(out, "{path} {self_ns}");
+    }
+    Ok(out)
+}
+
+/// `a;b;c` is a direct child of `a;b`: one extra `;`-separated frame.
+fn is_direct_child(child: &str, parent: &str) -> bool {
+    child
+        .strip_prefix(parent)
+        .and_then(|rest| rest.strip_prefix(';'))
+        .is_some_and(|tail| !tail.contains(';'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::parse;
+
+    fn row(json: &str) -> Row {
+        Row {
+            label: "r".to_string(),
+            value: parse(json).expect("test json"),
+        }
+    }
+
+    #[test]
+    fn self_time_is_inclusive_minus_direct_children() {
+        let r = row(r#"{"registry":{"histograms":{
+                "prof.wave.ns":{"sum":100.0},
+                "prof.wave.hello.ns":{"sum":30.0},
+                "prof.wave.hello.sign.ns":{"sum":10.0},
+                "prof.wave.finalize.ns":{"sum":50.0},
+                "phase.hello.us":{"sum":7.0}
+            }}}"#);
+        let out = flame(&[&r]).expect("prof data present");
+        assert_eq!(
+            out,
+            "wave 20\nwave;finalize 50\nwave;hello 20\nwave;hello;sign 10\n"
+        );
+    }
+
+    #[test]
+    fn rows_aggregate_and_profiler_less_rows_are_skipped() {
+        let a = row(r#"{"registry":{"histograms":{"prof.wave.ns":{"sum":5.0}}}}"#);
+        let b = row(r#"{"registry":{"histograms":{"prof.wave.ns":{"sum":7.0}}}}"#);
+        let plain = row(r#"{"registry":{"histograms":{}}}"#);
+        let out = flame(&[&a, &b, &plain]).expect("prof data present");
+        assert_eq!(out, "wave 12\n");
+    }
+
+    #[test]
+    fn disabled_profiler_is_a_usage_error() {
+        let r = row(r#"{"registry":{"histograms":{"phase.hello.us":{"sum":1.0}}}}"#);
+        assert!(matches!(flame(&[&r]), Err(TraceError::Usage(_))));
+    }
+}

@@ -1,0 +1,99 @@
+//! Loading run-report rows and bench trajectories from disk.
+
+use std::fs;
+use std::path::Path;
+
+use snd_observe::json::{parse, Value};
+
+use crate::TraceError;
+
+/// One analyzable row: a parsed JSON object plus a human label.
+///
+/// `results/*.jsonl` files yield one row per line, labeled
+/// `experiment/scenario#seed`; a `BENCH_*.json` file yields a single row
+/// labeled by its `bench` field (or the file name).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Stable label used for row matching in diffs and `--row` selection.
+    pub label: String,
+    /// The parsed object.
+    pub value: Value,
+}
+
+/// Reads `path` and parses it into rows.
+///
+/// Each non-empty line must be one JSON document (both report JSONL files
+/// and the single-line `BENCH_*.json` files satisfy this); a file whose
+/// lines do not parse individually is retried as one whole document, so
+/// pretty-printed JSON still loads as a single row.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the file cannot be read, [`TraceError::Parse`]
+/// when its contents are not JSON objects.
+pub fn load_rows(path: &Path) -> Result<Vec<Row>, TraceError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let parsed: Result<Vec<Value>, _> = lines.iter().map(|l| parse(l)).collect();
+    let values = match parsed {
+        Ok(values) if !values.is_empty() => values,
+        _ => vec![parse(text.trim())
+            .map_err(|e| TraceError::Parse(format!("{}: {e}", path.display())))?],
+    };
+    let mut rows = Vec::new();
+    for (i, value) in values.into_iter().enumerate() {
+        if value.as_object().is_none() {
+            return Err(TraceError::Parse(format!(
+                "{}:{}: expected a JSON object row",
+                path.display(),
+                i + 1
+            )));
+        }
+        rows.push(Row {
+            label: label_of(&value, path, i),
+            value,
+        });
+    }
+    Ok(rows)
+}
+
+/// Derives a row's label: `experiment/scenario#seed` for run reports,
+/// `bench:<name>` for perf trajectories, `<file stem>:<line>` otherwise.
+fn label_of(value: &Value, path: &Path, index: usize) -> String {
+    let field = |key: &str| value.get(key).and_then(Value::as_str);
+    if let (Some(experiment), Some(scenario)) = (field("experiment"), field("scenario")) {
+        let seed = value
+            .get("seed")
+            .and_then(Value::as_f64)
+            .map(|s| format!("#{s}"))
+            .unwrap_or_default();
+        return format!("{experiment}/{scenario}{seed}");
+    }
+    if let Some(bench) = field("bench") {
+        return format!("bench:{bench}");
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("input");
+    format!("{stem}:{}", index + 1)
+}
+
+/// Selects rows by `--row` substring filter; `None` keeps everything.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when the filter matches no row.
+pub fn select<'a>(rows: &'a [Row], filter: Option<&str>) -> Result<Vec<&'a Row>, TraceError> {
+    match filter {
+        None => Ok(rows.iter().collect()),
+        Some(f) => {
+            let hit: Vec<&Row> = rows.iter().filter(|r| r.label.contains(f)).collect();
+            if hit.is_empty() {
+                let known: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+                return Err(TraceError::Usage(format!(
+                    "--row {f:?} matches none of {known:?}"
+                )));
+            }
+            Ok(hit)
+        }
+    }
+}

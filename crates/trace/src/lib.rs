@@ -1,0 +1,56 @@
+//! Analysis library behind the `snd-trace` CLI (DESIGN.md §12).
+//!
+//! Every bench binary leaves two machine-readable artifacts behind: one
+//! [`RunReport`](snd_observe::report::RunReport) per table row in
+//! `results/<experiment>.jsonl`, and the perf bins' committed
+//! `BENCH_*.json` trajectory files. This crate reads both back through
+//! `snd_observe::json` (field order preserved) and turns them into the
+//! four views the CLI exposes:
+//!
+//! * [`summarize`](summarize::summarize) — per-phase sim-time and
+//!   wall-clock breakdowns plus the headline counters of each row;
+//! * [`diff`](diff::diff_rows) — recursive numeric comparison of two
+//!   artifacts with a relative tolerance, the engine of the CI
+//!   perf-regression gate;
+//! * [`timeline`](timeline::timeline) — the per-node forensic event chain
+//!   behind each accepted or rejected edge;
+//! * [`flame`](flame::flame) — `prof.*.ns` registry histograms folded
+//!   back into flamegraph-compatible `a;b <self_ns>` stacks.
+//!
+//! The library is I/O-free except for [`input::load_rows`]; everything
+//! else maps parsed [`Value`](snd_observe::json::Value) trees to strings,
+//! so the golden tests can pin CLI output byte-for-byte.
+
+pub mod diff;
+pub mod flame;
+pub mod input;
+pub mod summarize;
+pub mod timeline;
+
+use std::fmt;
+
+/// What went wrong while loading or analyzing an artifact.
+///
+/// The CLI maps every variant to exit code 2 (usage / I/O); regressions
+/// found by `diff` are not errors — they are its *result* — and exit 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(String),
+    /// The file's contents are not the JSON shape expected.
+    Parse(String),
+    /// The request itself is malformed (unknown row label, bad flag).
+    Usage(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(m) => write!(f, "i/o error: {m}"),
+            TraceError::Parse(m) => write!(f, "parse error: {m}"),
+            TraceError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

@@ -1,0 +1,177 @@
+//! `snd-trace` — run-report analysis CLI (DESIGN.md §12).
+//!
+//! ```text
+//! snd-trace summarize <file>... [--row SUBSTR]
+//! snd-trace diff <baseline> <candidate> [--tolerance FRAC] [--ignore SUBSTR]...
+//! snd-trace timeline <file> --node N [--row SUBSTR] [--peer M]
+//! snd-trace flame <file>... [--row SUBSTR]
+//! ```
+//!
+//! Exit codes: 0 success (for `diff`: within tolerance), 1 `diff` found
+//! out-of-tolerance deltas, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snd_trace::diff::{diff_rows, render, DiffOptions};
+use snd_trace::flame::flame;
+use snd_trace::input::{load_rows, select, Row};
+use snd_trace::summarize::summarize;
+use snd_trace::timeline::{timeline, TimelineOptions};
+use snd_trace::TraceError;
+
+const USAGE: &str = "usage:
+  snd-trace summarize <file>... [--row SUBSTR]
+  snd-trace diff <baseline> <candidate> [--tolerance FRAC] [--ignore SUBSTR]...
+  snd-trace timeline <file> --node N [--row SUBSTR] [--peer M]
+  snd-trace flame <file>... [--row SUBSTR]
+
+exit codes: 0 ok / within tolerance, 1 diff found regressions, 2 usage or i/o error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("snd-trace: {err}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, TraceError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(TraceError::Usage("missing subcommand".to_string()));
+    };
+    match command.as_str() {
+        "summarize" => {
+            let parsed = Parsed::from(rest, &["--row"])?;
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", summarize(&selected));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let parsed = Parsed::from(rest, &["--tolerance", "--ignore"])?;
+            let [base_path, cand_path] = parsed.files.as_slice() else {
+                return Err(TraceError::Usage(
+                    "diff takes exactly a <baseline> and a <candidate> file".to_string(),
+                ));
+            };
+            let opts = DiffOptions {
+                tolerance: match parsed.flag("--tolerance") {
+                    Some(raw) => raw.parse().map_err(|_| {
+                        TraceError::Usage(format!("--tolerance {raw:?} is not a number"))
+                    })?,
+                    None => 0.0,
+                },
+                ignore: parsed.flags("--ignore"),
+            };
+            let base = load_rows(base_path)?;
+            let cand = load_rows(cand_path)?;
+            let deltas = diff_rows(&base, &cand, &opts);
+            if deltas.is_empty() {
+                println!(
+                    "ok: {} within tolerance {} of {}",
+                    cand_path.display(),
+                    opts.tolerance,
+                    base_path.display()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                print!("{}", render(&deltas));
+                eprintln!(
+                    "snd-trace: {} delta(s) exceed tolerance {}",
+                    deltas.len(),
+                    opts.tolerance
+                );
+                Ok(ExitCode::from(1))
+            }
+        }
+        "timeline" => {
+            let parsed = Parsed::from(rest, &["--node", "--row", "--peer"])?;
+            let node = parsed
+                .flag("--node")
+                .ok_or_else(|| TraceError::Usage("timeline requires --node N".to_string()))?;
+            let opts = TimelineOptions {
+                node: parse_id("--node", node)?,
+                peer: parsed
+                    .flag("--peer")
+                    .map(|p| parse_id("--peer", p))
+                    .transpose()?,
+            };
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", timeline(&selected, &opts)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "flame" => {
+            let parsed = Parsed::from(rest, &["--row"])?;
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", flame(&selected)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(TraceError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Positional file paths plus `--flag value` pairs from a known set.
+struct Parsed {
+    files: Vec<PathBuf>,
+    flags: Vec<(String, String)>,
+}
+
+impl Parsed {
+    fn from(args: &[String], known: &[&str]) -> Result<Parsed, TraceError> {
+        let mut files = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if arg.starts_with("--") {
+                if !known.contains(&arg.as_str()) {
+                    return Err(TraceError::Usage(format!("unknown flag {arg:?}")));
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| TraceError::Usage(format!("flag {arg:?} needs a value")))?;
+                flags.push((arg.clone(), value.clone()));
+            } else {
+                files.push(PathBuf::from(arg));
+            }
+        }
+        if files.is_empty() {
+            return Err(TraceError::Usage("no input files given".to_string()));
+        }
+        Ok(Parsed { files, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flags(&self, name: &str) -> Vec<String> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    fn load_all(&self) -> Result<Vec<Row>, TraceError> {
+        let mut rows = Vec::new();
+        for path in &self.files {
+            rows.extend(load_rows(path)?);
+        }
+        Ok(rows)
+    }
+}
+
+fn parse_id(flag: &str, raw: &str) -> Result<u64, TraceError> {
+    raw.parse()
+        .map_err(|_| TraceError::Usage(format!("{flag} {raw:?} is not a node id")))
+}

@@ -1,0 +1,137 @@
+//! Per-row summaries: phase breakdowns, wall-clock spans, headline counters.
+
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+
+/// Renders one summary block per row.
+///
+/// Run-report rows (those carrying a `registry`) get three sections:
+///
+/// * **phases** — the `phase.<name>.us` histograms as simulated-time
+///   totals per protocol phase, in protocol order;
+/// * **wall clock** — the `prof.<path>.ns` histograms the engine's
+///   [`Profiler`](snd_observe::profile::Profiler) exported, as inclusive
+///   wall-time per span path;
+/// * **counters** — every registry counter, one per line.
+///
+/// Rows without a registry (the `BENCH_*.json` trajectories) fall back to
+/// listing every numeric leaf by dotted path, which is exactly the diff
+/// engine's view of them.
+pub fn summarize(rows: &[&Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let _ = writeln!(out, "== {} ==", row.label);
+        match row.value.get("registry") {
+            Some(registry) => report_summary(&mut out, &row.value, registry),
+            None => numeric_leaves(&mut out, &row.value, ""),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn report_summary(out: &mut String, row: &Value, registry: &Value) {
+    let histograms = registry.get("histograms");
+    let empty = Vec::new();
+    let histograms = histograms.and_then(Value::as_object).unwrap_or(&empty);
+
+    let phase_order = ["hello", "commit", "collect", "update", "finalize"];
+    let mut phase_lines = Vec::new();
+    for phase in phase_order {
+        let key = format!("phase.{phase}.us");
+        if let Some((_, summary)) = histograms.iter().find(|(k, _)| *k == key) {
+            let count = field(summary, "count");
+            let sum = field(summary, "sum");
+            let mean = field(summary, "mean");
+            phase_lines.push(format!(
+                "  {phase:<10} spans {count:>6}  sim total {:>12.3} ms  mean {mean:>10.1} us",
+                sum / 1e3
+            ));
+        }
+    }
+    if !phase_lines.is_empty() {
+        let _ = writeln!(out, "phases (simulated time):");
+        for line in phase_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    let mut wall_lines = Vec::new();
+    for (key, summary) in histograms {
+        if let Some(path) = key
+            .strip_prefix("prof.")
+            .and_then(|k| k.strip_suffix(".ns"))
+        {
+            let count = field(summary, "count");
+            let sum = field(summary, "sum");
+            wall_lines.push(format!(
+                "  {path:<40} calls {count:>6}  wall {:>12.3} ms",
+                sum / 1e6
+            ));
+        }
+    }
+    if !wall_lines.is_empty() {
+        let _ = writeln!(out, "wall clock (profiler spans):");
+        for line in wall_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    if let Some(counters) = registry.get("counters").and_then(Value::as_object) {
+        let _ = writeln!(out, "counters:");
+        for (key, value) in counters {
+            let _ = writeln!(out, "  {key:<32} {}", leaf(value));
+        }
+    }
+    if let Some(dropped) = row.get("events_dropped").and_then(Value::as_f64) {
+        let stored = row
+            .get("events")
+            .and_then(Value::as_array)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "events: {stored} stored, {dropped} dropped (bounded retention)"
+        );
+    }
+}
+
+/// Every numeric leaf, one `path value` line, in source order.
+fn numeric_leaves(out: &mut String, value: &Value, path: &str) {
+    match value {
+        Value::Object(fields) => {
+            for (key, v) in fields {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                numeric_leaves(out, v, &sub);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                numeric_leaves(out, v, &format!("{path}.{i}"));
+            }
+        }
+        Value::Number(_) => {
+            let _ = writeln!(out, "  {path:<40} {}", leaf(value));
+        }
+        _ => {}
+    }
+}
+
+fn field(summary: &Value, name: &str) -> f64 {
+    summary.get(name).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn leaf(v: &Value) -> String {
+    match v.as_f64() {
+        Some(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", n as i64),
+        Some(n) => format!("{n}"),
+        None => format!("{v:?}"),
+    }
+}

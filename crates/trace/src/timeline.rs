@@ -1,0 +1,211 @@
+//! Per-node attack forensics: the event chain behind every edge decision.
+//!
+//! `timeline --node u` replays a row's recorded event stream from `u`'s
+//! perspective: every event that references `u` in chronological (`seq`)
+//! order, followed by one synthesized line per judged edge tying together
+//! the phase-1 hello (`TentativeAdded`), the phase-2b record collection
+//! (`RecordCollected`), the threshold decision (`ValidationDecision` with
+//! its shared-neighbor count against `t + 1`) and the phase-4 commitment
+//! and evidence checks (`CommitmentChecked` / `EvidenceBuffered`). This is
+//! the exact causal chain behind an accepted or rejected edge — e.g. *why*
+//! a victim refused a replica's identity in the E5 attack scenario.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// Selection knobs for [`timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    /// The node whose view is replayed.
+    pub node: u64,
+    /// Restrict the edge chains to this peer.
+    pub peer: Option<u64>,
+}
+
+/// What one judged edge went through, keyed by peer.
+#[derive(Debug, Clone, Default)]
+struct EdgeChain {
+    hello: Option<u64>,
+    record: Option<(u64, bool)>,
+    decision: Option<(u64, u64, u64, bool)>,
+    commitment: Option<(u64, bool)>,
+    evidence: Option<u64>,
+}
+
+/// Renders the timelines of `rows` for the chosen node.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when no row carries an `events` array.
+pub fn timeline(rows: &[&Row], opts: &TimelineOptions) -> Result<String, TraceError> {
+    let mut out = String::new();
+    let mut any_events = false;
+    for row in rows {
+        let Some(events) = row.value.get("events").and_then(Value::as_array) else {
+            continue;
+        };
+        any_events = true;
+        let _ = writeln!(out, "== {} · node {} ==", row.label, opts.node);
+        let mut chains: BTreeMap<u64, EdgeChain> = BTreeMap::new();
+        for record in events {
+            let Some(seq) = record.get("seq").and_then(Value::as_f64) else {
+                continue;
+            };
+            let Some((kind, fields)) = tagged(record.get("event")) else {
+                continue;
+            };
+            if !mentions(fields, opts.node) {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  seq {:>8}  {kind:<20} {}",
+                seq as u64,
+                render_fields(fields)
+            );
+            collect_chain(&mut chains, opts.node, seq as u64, kind, fields);
+        }
+
+        let _ = writeln!(out, "edges judged by node {}:", opts.node);
+        for (peer, chain) in &chains {
+            if opts.peer.is_some_and(|p| p != *peer) {
+                continue;
+            }
+            let mut line = format!("  peer {peer}:");
+            match chain.hello {
+                Some(seq) => {
+                    let _ = write!(line, " hello@{seq}");
+                }
+                None => line.push_str(" hello:unseen"),
+            }
+            if let Some((seq, authenticated)) = chain.record {
+                let verdict = if authenticated {
+                    "authenticated"
+                } else {
+                    "rejected"
+                };
+                let _ = write!(line, " record@{seq}({verdict})");
+            }
+            if let Some((seq, shared, required, accepted)) = chain.decision {
+                let verdict = if accepted { "ACCEPTED" } else { "REJECTED" };
+                let _ = write!(line, " shared {shared}/{required} -> {verdict}@{seq}");
+            }
+            if let Some((seq, ok)) = chain.commitment {
+                let verdict = if ok { "ok" } else { "BAD" };
+                let _ = write!(line, " commitment@{seq}({verdict})");
+            }
+            if let Some(seq) = chain.evidence {
+                let _ = write!(line, " evidence@{seq}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        if let Some(dropped) = row.value.get("events_dropped").and_then(Value::as_f64) {
+            if dropped > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  (note: {} events dropped by bounded retention; chains may have gaps)",
+                    dropped as u64
+                );
+            }
+        }
+        out.push('\n');
+    }
+    if !any_events {
+        return Err(TraceError::Usage(
+            "no selected row carries an `events` array".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Unwraps the externally tagged `{"Kind": {fields}}` event encoding.
+fn tagged(event: Option<&Value>) -> Option<(&str, &Value)> {
+    let fields = event?.as_object()?;
+    let (kind, inner) = fields.first()?;
+    Some((kind.as_str(), inner))
+}
+
+/// Whether any node-bearing field of the event references `node`.
+fn mentions(fields: &Value, node: u64) -> bool {
+    ["node", "peer", "from", "to"].iter().any(|key| {
+        fields
+            .get(key)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v == node as f64)
+    })
+}
+
+fn render_fields(fields: &Value) -> String {
+    let Some(object) = fields.as_object() else {
+        return String::new();
+    };
+    let parts: Vec<String> = object
+        .iter()
+        .map(|(k, v)| {
+            let rendered = match v {
+                Value::Number(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+                Value::Number(n) => format!("{n}"),
+                Value::Bool(b) => b.to_string(),
+                Value::String(s) => s.clone(),
+                other => other.kind().to_string(),
+            };
+            format!("{k}={rendered}")
+        })
+        .collect();
+    parts.join(" ")
+}
+
+fn collect_chain(
+    chains: &mut BTreeMap<u64, EdgeChain>,
+    node: u64,
+    seq: u64,
+    kind: &str,
+    fields: &Value,
+) {
+    let int = |key: &str| fields.get(key).and_then(Value::as_f64).map(|v| v as u64);
+    let flag = |key: &str| matches!(fields.get(key), Some(Value::Bool(true)));
+    // Only events where `node` is the judging side open or extend a chain.
+    if int("node") != Some(node) {
+        return;
+    }
+    match kind {
+        "TentativeAdded" => {
+            if let Some(peer) = int("peer") {
+                chains.entry(peer).or_default().hello.get_or_insert(seq);
+            }
+        }
+        "RecordCollected" => {
+            if let Some(peer) = int("from") {
+                let chain = chains.entry(peer).or_default();
+                if chain.record.is_none() {
+                    chain.record = Some((seq, flag("authenticated")));
+                }
+            }
+        }
+        "ValidationDecision" => {
+            if let (Some(peer), Some(shared), Some(required)) =
+                (int("peer"), int("shared"), int("required"))
+            {
+                let chain = chains.entry(peer).or_default();
+                chain.decision = Some((seq, shared, required, flag("accepted")));
+            }
+        }
+        "CommitmentChecked" => {
+            if let Some(peer) = int("from") {
+                let chain = chains.entry(peer).or_default();
+                chain.commitment = Some((seq, flag("ok")));
+            }
+        }
+        "EvidenceBuffered" => {
+            if let Some(peer) = int("from") {
+                chains.entry(peer).or_default().evidence.get_or_insert(seq);
+            }
+        }
+        _ => {}
+    }
+}

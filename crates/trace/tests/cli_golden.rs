@@ -1,0 +1,161 @@
+//! Golden-output tests for the `snd-trace` views.
+//!
+//! `tests/fixtures/` commits hand-written artifacts — a two-row
+//! `sample.jsonl` run-report file (one row with events and profiler
+//! histograms, one merged row with neither) and a baseline/regressed pair
+//! of `BENCH_*.json` trajectories. Each view's rendering of them is pinned
+//! byte-for-byte against a committed `.golden` file, so any formatting or
+//! semantics change to the CLI output is a reviewed diff. Regenerate after
+//! an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p snd-trace --test cli_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use snd_trace::diff::{diff_rows, render, DiffOptions};
+use snd_trace::flame::flame;
+use snd_trace::input::{load_rows, select, Row};
+use snd_trace::summarize::summarize;
+use snd_trace::timeline::{timeline, TimelineOptions};
+use snd_trace::TraceError;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rows(name: &str) -> Vec<Row> {
+    load_rows(&fixture(name)).expect("fixture loads")
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = fixture(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).expect("golden written");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden {name}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(actual, expected, "{name} drifted; review and regenerate");
+}
+
+#[test]
+fn sample_rows_get_report_labels_and_bench_rows_get_bench_labels() {
+    let sample = rows("sample.jsonl");
+    let labels: Vec<&str> = sample.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, vec!["demo/attack#11", "demo/merged#11"]);
+    assert_eq!(rows("bench_base.json")[0].label, "bench:protocol");
+}
+
+#[test]
+fn summarize_output_matches_golden() {
+    let sample = rows("sample.jsonl");
+    let selected = select(&sample, None).expect("no filter");
+    assert_golden("summarize.golden", &summarize(&selected));
+}
+
+#[test]
+fn timeline_output_matches_golden_and_shows_the_rejected_edge() {
+    let sample = rows("sample.jsonl");
+    let selected = select(&sample, Some("attack")).expect("row exists");
+    let opts = TimelineOptions {
+        node: 3,
+        peer: None,
+    };
+    let out = timeline(&selected, &opts).expect("events present");
+    assert!(out
+        .contains("peer 9: hello@4 record@8(authenticated) shared 1/3 -> REJECTED@12 evidence@15"));
+    assert!(out.contains(
+        "peer 4: hello@5 record@9(authenticated) shared 4/3 -> ACCEPTED@13 commitment@14(ok)"
+    ));
+    assert!(out.contains("2 events dropped"));
+    assert_golden("timeline.golden", &out);
+}
+
+#[test]
+fn timeline_peer_filter_keeps_one_chain() {
+    let sample = rows("sample.jsonl");
+    let selected = select(&sample, Some("attack")).expect("row exists");
+    let opts = TimelineOptions {
+        node: 3,
+        peer: Some(9),
+    };
+    let out = timeline(&selected, &opts).expect("events present");
+    assert!(out.contains("peer 9:"));
+    assert!(!out.contains("peer 4:"));
+}
+
+#[test]
+fn timeline_without_events_is_a_usage_error() {
+    let base = rows("bench_base.json");
+    let selected = select(&base, None).expect("no filter");
+    let opts = TimelineOptions {
+        node: 3,
+        peer: None,
+    };
+    assert!(matches!(
+        timeline(&selected, &opts),
+        Err(TraceError::Usage(_))
+    ));
+}
+
+#[test]
+fn flame_output_matches_golden() {
+    let sample = rows("sample.jsonl");
+    let selected = select(&sample, None).expect("no filter");
+    assert_golden(
+        "flame.golden",
+        &flame(&selected).expect("prof data present"),
+    );
+}
+
+#[test]
+fn self_diff_is_empty_for_both_artifact_kinds() {
+    let opts = DiffOptions::default();
+    let sample = rows("sample.jsonl");
+    assert!(diff_rows(&sample, &sample, &opts).is_empty());
+    let base = rows("bench_base.json");
+    assert!(diff_rows(&base, &base, &opts).is_empty());
+}
+
+#[test]
+fn regression_diff_matches_golden_and_tolerance_band_clears_it() {
+    let base = rows("bench_base.json");
+    let regressed = rows("bench_regressed.json");
+
+    let strict = diff_rows(&base, &regressed, &DiffOptions::default());
+    let paths: Vec<&str> = strict.iter().map(|d| d.path.as_str()).collect();
+    assert_eq!(
+        paths,
+        vec![
+            "bench:protocol.rows.0.functional_edges",
+            "bench:protocol.rows.0.wave_wall_ms",
+        ]
+    );
+    assert_golden("diff.golden", &render(&strict));
+
+    // The CI gate's shape: wall-clock fields ignored, counters held to a
+    // relative band. 1612 -> 1800 deviates ~10.4%, so 5% still fails and
+    // 15% passes.
+    let banded = |tolerance: f64| DiffOptions {
+        tolerance,
+        ignore: vec!["_ms".to_string()],
+    };
+    let gated = diff_rows(&base, &regressed, &banded(0.05));
+    assert_eq!(gated.len(), 1);
+    assert_eq!(gated[0].path, "bench:protocol.rows.0.functional_edges");
+    assert!(diff_rows(&base, &regressed, &banded(0.15)).is_empty());
+}
+
+#[test]
+fn row_filter_rejects_unknown_labels() {
+    let sample = rows("sample.jsonl");
+    assert!(matches!(
+        select(&sample, Some("no-such-row")),
+        Err(TraceError::Usage(_))
+    ));
+}

@@ -1,0 +1,145 @@
+//! End-to-end forensics: `timeline` on a real E5 replica-attack run.
+//!
+//! Runs the paper's node-replication attack (§5, scenario E5) on a live
+//! [`DiscoveryEngine`]: a benign cluster discovers each other, one member
+//! is compromised and replicated across the field, and a fresh victim
+//! wave lands beside the replica site. The victims must refuse the
+//! replica — it cannot present `t + 1` authenticated shared neighbors —
+//! and the timeline view must reproduce the exact recorded event chain
+//! behind that rejection: hello seen, record collected, shared-neighbor
+//! count vs threshold, REJECTED verdict.
+
+use std::sync::Arc;
+
+use snd_core::prelude::*;
+use snd_observe::json::{parse, Value};
+use snd_observe::recorder::MemoryRecorder;
+use snd_observe::report::RunReport;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{Field, NodeId, Point};
+use snd_trace::input::Row;
+use snd_trace::timeline::{timeline, TimelineOptions};
+
+const THRESHOLD: usize = 2;
+const RANGE: f64 = 50.0;
+const SEED: u64 = 90210;
+
+/// Runs the attack and returns the parsed run-report row. A full-fidelity
+/// [`MemoryRecorder`] (no decimation) keeps every event, so the chains in
+/// the timeline are complete.
+fn replica_attack_row() -> Row {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(400.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(THRESHOLD),
+        SEED,
+    );
+    let recorder = MemoryRecorder::shared();
+    engine.set_recorder(recorder.clone() as Arc<_>);
+
+    // Benign cluster around the to-be-compromised node w.
+    let w = NodeId(0);
+    engine.deploy_at(w, Point::new(60.0, 60.0));
+    let mut wave = vec![w];
+    for k in 1..=6u64 {
+        let id = NodeId(k);
+        engine.deploy_at(
+            id,
+            Point::new(40.0 + 8.0 * (k as f64), 50.0 + 7.0 * ((k % 3) as f64)),
+        );
+        wave.push(id);
+    }
+    engine.run_wave(&wave);
+
+    // E5: replicate w far from its real neighborhood, then land victims
+    // beside the replica site.
+    engine.compromise(w).expect("operational node");
+    let site = Point::new(340.0, 340.0);
+    engine.place_replica(w, site).expect("compromised node");
+    let victims: Vec<NodeId> = (100..104u64).map(NodeId).collect();
+    for (k, &id) in victims.iter().enumerate() {
+        engine.deploy_at(
+            id,
+            Point::new(site.x - 6.0 + 4.0 * (k as f64), site.y + 5.0),
+        );
+    }
+    engine.run_wave(&victims);
+
+    let mut report = RunReport::new("e5", "replica-timeline", SEED);
+    report.set_events(recorder.take());
+    let value = parse(&report.to_json()).expect("report serializes");
+    Row {
+        label: "e5/replica-timeline".to_string(),
+        value,
+    }
+}
+
+/// The validator nodes behind every rejected `ValidationDecision` against
+/// the replica's identity `w`.
+fn rejecting_validators(row: &Row, w: u64) -> Vec<u64> {
+    let events = row
+        .value
+        .get("events")
+        .and_then(Value::as_array)
+        .expect("events recorded");
+    events
+        .iter()
+        .filter_map(|record| {
+            let fields = record.get("event")?.get("ValidationDecision")?;
+            let peer = fields.get("peer")?.as_f64()?;
+            let accepted = matches!(fields.get("accepted"), Some(Value::Bool(true)));
+            if peer == w as f64 && !accepted {
+                fields.get("node")?.as_f64().map(|n| n as u64)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn timeline_reproduces_the_event_chain_behind_a_replica_rejection() {
+    let row = replica_attack_row();
+
+    // The security property itself: at least one victim judged the
+    // replica's identity and refused the edge.
+    let validators = rejecting_validators(&row, 0);
+    assert!(
+        !validators.is_empty(),
+        "no victim rejected the replica — attack scenario is broken"
+    );
+    let victim = validators[0];
+    assert!(victim >= 100, "the rejecting validator is a victim node");
+
+    let opts = TimelineOptions {
+        node: victim,
+        peer: Some(0),
+    };
+    let out = timeline(&[&row], &opts).expect("events present");
+
+    // The forensic chain: the chronological section shows the hello and
+    // the decision in order, and the edge-chain line ties them together
+    // with the shared-neighbor count that fell below t + 1.
+    let hello_at = out
+        .find("TentativeAdded")
+        .expect("victim saw the replica's hello");
+    let decision_at = out
+        .find("ValidationDecision")
+        .expect("victim judged the edge");
+    assert!(hello_at < decision_at, "hello precedes the decision");
+    let chain = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("peer 0:"))
+        .expect("edge chain line for the replica");
+    assert!(
+        chain.contains("hello@"),
+        "chain cites the hello seq: {chain}"
+    );
+    assert!(
+        chain.contains(&format!("/{} -> REJECTED@", THRESHOLD + 1)),
+        "chain shows shared/required and the rejection: {chain}"
+    );
+
+    // Full-fidelity recorder: no retention gaps to warn about.
+    assert!(!out.contains("chains may have gaps"));
+}

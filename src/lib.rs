@@ -21,7 +21,9 @@
 //!   extension, adversary and analysis;
 //! * [`baselines`] (`snd-baselines`) — Parno et al. replica detection and
 //!   direct-verification models;
-//! * [`apps`] (`snd-apps`) — routing, clustering and aggregation consumers.
+//! * [`apps`] (`snd-apps`) — routing, clustering and aggregation consumers;
+//! * [`trace`] (`snd-trace`) — the `snd-trace` analysis CLI over run
+//!   reports and bench trajectories.
 //!
 //! ## Example
 //!
@@ -51,3 +53,4 @@ pub use snd_exec as exec;
 pub use snd_observe as observe;
 pub use snd_sim as sim;
 pub use snd_topology as topology;
+pub use snd_trace as trace;

@@ -528,11 +528,11 @@ fn shrinker_produces_a_minimal_counterexample_when_the_bound_is_breached() {
     }
 }
 
-/// Satellite invariant for the reliable wave: record collection is a *set*
-/// operation. Delivering the same inbox of authenticated binding records
-/// permuted and duplicated must produce exactly the functional topology of
-/// in-order exactly-once delivery — otherwise retransmission could change
-/// what a node validates.
+// Satellite invariant for the reliable wave: record collection is a *set*
+// operation. Delivering the same inbox of authenticated binding records
+// permuted and duplicated must produce exactly the functional topology of
+// in-order exactly-once delivery — otherwise retransmission could change
+// what a node validates.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
