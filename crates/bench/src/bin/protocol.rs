@@ -15,7 +15,7 @@
 //! Run: `cargo run -p snd-bench --release --bin protocol`
 
 use serde::Serialize;
-use snd_bench::experiments::protocol::{protocol_rows, ProtocolBenchConfig};
+use snd_bench::experiments::protocol::{protocol_rows, CommRow, ProtocolBenchConfig};
 use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
 use snd_exec::Executor;
@@ -37,6 +37,9 @@ struct ProtocolBenchRow {
     timed_out_phases: u64,
     hash_ops: u64,
     msgs_per_node: f64,
+    /// Communication-ledger summary; byte-deterministic, so the CI diff
+    /// gates it like every other counter.
+    comm: CommRow,
     wave_wall_ms: f64,
 }
 
@@ -105,6 +108,7 @@ fn main() {
             timed_out_phases: row.timed_out_phases,
             hash_ops: row.hash_ops,
             msgs_per_node: row.msgs_per_node,
+            comm: row.comm.clone(),
             wave_wall_ms: row.wave_wall_ms,
         });
     }

@@ -16,8 +16,10 @@
 //! clock lives only in `_ms`-suffixed fields and `prof.*` registry keys,
 //! which the CI gate ignores when it diffs the 1-thread and 8-thread runs.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
+use serde::Serialize;
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig, ReliabilityConfig};
 use snd_exec::Executor;
 use snd_observe::profile::Profiler;
@@ -72,6 +74,33 @@ impl ProtocolBenchConfig {
     }
 }
 
+/// Deterministic communication-ledger summary of one wave, serialized
+/// verbatim into `BENCH_protocol.json` so the CI determinism diff gates
+/// the `comm.*` pipeline alongside the protocol counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommRow {
+    /// Logical sends (unicasts + broadcasts).
+    pub tx_msgs: u64,
+    /// Payload bytes across logical sends.
+    pub tx_bytes: u64,
+    /// Frames heard across all inboxes.
+    pub rx_msgs: u64,
+    /// Bytes heard across all inboxes.
+    pub rx_bytes: u64,
+    /// Frame copies dropped anywhere on the path.
+    pub dropped_frames: u64,
+    /// Ledger-flagged retransmissions (equals the wave report's count).
+    pub retransmissions: u64,
+    /// Estimated transmit energy, nanojoules.
+    pub tx_energy_nj: u64,
+    /// Estimated receive energy, nanojoules.
+    pub rx_energy_nj: u64,
+    /// Hottest radio's bytes over the mean, ×1000.
+    pub imbalance_x1000: u64,
+    /// Transmitted bytes by protocol phase.
+    pub phase_tx_bytes: BTreeMap<String, u64>,
+}
+
 /// One wave at one size: deterministic protocol counters plus the wall
 /// clock of the whole wave.
 #[derive(Debug, Clone)]
@@ -97,6 +126,8 @@ pub struct ProtocolRow {
     /// Wall clock of the full wave, milliseconds. Excluded from the
     /// determinism compare.
     pub wave_wall_ms: f64,
+    /// Communication-ledger summary (byte-deterministic).
+    pub comm: CommRow,
     /// Machine-readable row report (carries the `prof.*.ns` span
     /// histograms of the profiled wave).
     pub report: RunReport,
@@ -147,6 +178,29 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
     report.set_outcome("msgs_per_node", &msgs_per_node);
     report.set_outcome("wave_wall_ms", &wave_wall_ms);
 
+    let ledger = engine.sim().ledger();
+    let lt = ledger.totals();
+    let comm = CommRow {
+        tx_msgs: lt.tx_msgs,
+        tx_bytes: lt.tx_bytes,
+        rx_msgs: lt.rx_msgs,
+        rx_bytes: lt.rx_bytes,
+        dropped_frames: lt.dropped_frames,
+        retransmissions: lt.retransmissions,
+        tx_energy_nj: lt.tx_energy_nj,
+        rx_energy_nj: lt.rx_energy_nj,
+        imbalance_x1000: report
+            .registry
+            .counters
+            .get("comm.imbalance_x1000")
+            .copied()
+            .unwrap_or(0),
+        phase_tx_bytes: ledger
+            .phases()
+            .map(|(p, agg)| (p.to_string(), agg.tx_bytes))
+            .collect(),
+    };
+
     ProtocolRow {
         nodes,
         side_m: side,
@@ -158,6 +212,7 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
         hash_ops: engine.hash_ops(),
         msgs_per_node,
         wave_wall_ms,
+        comm,
         report,
     }
 }
@@ -187,6 +242,32 @@ mod tests {
             assert_eq!(ra.retransmissions, rb.retransmissions);
             assert_eq!(ra.hash_ops, rb.hash_ops);
             assert_eq!(ra.msgs_per_node, rb.msgs_per_node);
+            assert_eq!(
+                serde::json::to_string(&ra.comm),
+                serde::json::to_string(&rb.comm)
+            );
+        }
+    }
+
+    #[test]
+    fn comm_summary_is_consistent_with_transport_counters() {
+        let exec = Executor::serial();
+        let rows = protocol_rows(&small(), &exec);
+        for row in &rows {
+            let c = &row.report.registry.counters;
+            // The E9 cross-check: ledger message counters equal the
+            // simulator transport counters.
+            assert_eq!(
+                row.comm.tx_msgs,
+                c["sim.unicasts_sent"] + c["sim.broadcasts_sent"]
+            );
+            assert_eq!(row.comm.tx_bytes, c["sim.bytes_sent"]);
+            assert_eq!(row.comm.rx_msgs, c["sim.received"]);
+            assert_eq!(row.comm.retransmissions, row.retransmissions);
+            assert!(row.comm.tx_energy_nj > 0);
+            // Per-phase bytes sum to the total.
+            let phase_sum: u64 = row.comm.phase_tx_bytes.values().sum();
+            assert_eq!(phase_sum, row.comm.tx_bytes);
         }
     }
 

@@ -123,6 +123,7 @@ pub fn engine_report(
     report.hash_ops = engine.hash_ops();
     let mut registry = drain.registry;
     registry.ingest_sim(engine.sim().metrics());
+    registry.ingest_ledger(engine.sim().ledger());
     registry.set("core.hash_ops", engine.hash_ops());
     registry.set("trace.events_recorded", drain.recorded);
     registry.set("trace.events_stored", drain.events.len() as u64);
@@ -168,6 +169,19 @@ mod tests {
         );
         assert!(!report.events.is_empty());
         assert!(report.to_json().contains(r#""experiment":"demo""#));
+        // The communication ledger rides along, consistent with the
+        // transport counters (the E9 cross-check).
+        assert_eq!(
+            report.registry.counters["comm.tx_msgs"],
+            totals.unicasts_sent + totals.broadcasts_sent
+        );
+        assert_eq!(report.registry.counters["comm.tx_bytes"], totals.bytes_sent);
+        assert_eq!(report.registry.counters["comm.rx_msgs"], totals.received);
+        assert!(report.registry.counters["comm.tx_energy_nj"] > 0);
+        assert!(report
+            .registry
+            .counters
+            .contains_key("comm.phase.hello.tx_bytes"));
     }
 
     #[test]

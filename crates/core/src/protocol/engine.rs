@@ -30,6 +30,7 @@ use snd_crypto::keys::SymmetricKey;
 use snd_observe::event::{Event, Phase};
 use snd_observe::profile::Profiler;
 use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
+use snd_sim::ledger::TxMeta;
 use snd_sim::metrics::HashCounter;
 use snd_sim::network::{Delivered, Simulator};
 use snd_sim::time::SimDuration;
@@ -78,6 +79,38 @@ pub struct WaveReport {
     pub unconfirmed_links: Vec<(NodeId, NodeId)>,
 }
 
+/// One unacknowledged reliable unicast, kept until its ack arrives.
+#[derive(Debug, Clone)]
+struct OutstandingFrame {
+    from: NodeId,
+    to: NodeId,
+    /// Encoded envelope, ready for retransmission.
+    frame: Vec<u8>,
+    /// Ledger id of the original send; resends cite it as causal parent.
+    msg_id: u64,
+    /// Ledger kind of the envelope (`reliable.relation_commit`, …).
+    kind: &'static str,
+}
+
+/// Send metadata for a reply whose cause may be unknown (e.g. the
+/// provenance map was cleared, or the causal frame predates the ledger).
+fn meta_reply(kind: &'static str, parent: Option<u64>) -> TxMeta {
+    TxMeta {
+        kind,
+        parent,
+        retransmission: false,
+    }
+}
+
+/// Send metadata for a retransmission whose original may be unknown.
+fn meta_retx(kind: &'static str, parent: Option<u64>) -> TxMeta {
+    TxMeta {
+        kind,
+        parent,
+        retransmission: true,
+    }
+}
+
 /// The protocol engine. See the module docs for the lifecycle.
 #[derive(Debug)]
 pub struct DiscoveryEngine {
@@ -98,9 +131,22 @@ pub struct DiscoveryEngine {
     reliability: ReliabilityConfig,
     /// Monotonic nonce source for reliable envelopes.
     next_nonce: u64,
-    /// Unacknowledged reliable unicasts: nonce → (sender, receiver,
-    /// encoded frame ready for retransmission).
-    outstanding: BTreeMap<u64, (NodeId, NodeId, Vec<u8>)>,
+    /// Unacknowledged reliable unicasts, by nonce.
+    outstanding: BTreeMap<u64, OutstandingFrame>,
+    /// Causal provenance, cleared per wave: ledger msg id of each node's
+    /// round-0 `Hello` broadcast (re-rounds cite it as their original).
+    hello_broadcast: BTreeMap<NodeId, u64>,
+    /// `(node, peer)` → msg id of the `Hello`/`HelloAck` frame that first
+    /// asserted the tentative relation (or made `peer` an update contact);
+    /// parents the `RecordRequest`/`UpdateRequest` that follow.
+    hello_origin: BTreeMap<(NodeId, NodeId), u64>,
+    /// `(requester, target)` → msg id of the first `RecordRequest`, so an
+    /// ARQ re-pull cites the original it repeats.
+    request_origin: BTreeMap<(NodeId, NodeId), u64>,
+    /// `(collector, origin)` → msg id of the `RecordReply` that delivered
+    /// the authenticated record; parents the commitments and evidence the
+    /// record's validation later produces.
+    record_origin: BTreeMap<(NodeId, NodeId), u64>,
     /// `(server, requester)` update pairs already counted this wave, so a
     /// retransmitted request is re-served (the re-mint is deterministic)
     /// without double-counting `updates_applied`.
@@ -149,6 +195,10 @@ impl DiscoveryEngine {
             reliability: ReliabilityConfig::legacy(),
             next_nonce: 0,
             outstanding: BTreeMap::new(),
+            hello_broadcast: BTreeMap::new(),
+            hello_origin: BTreeMap::new(),
+            request_origin: BTreeMap::new(),
+            record_origin: BTreeMap::new(),
             served_updates: BTreeSet::new(),
             key_cache: true,
             recorder: Arc::new(NullRecorder),
@@ -326,6 +376,10 @@ impl DiscoveryEngine {
         self.wave_contacts.clear();
         self.outstanding.clear();
         self.served_updates.clear();
+        self.hello_broadcast.clear();
+        self.hello_origin.clear();
+        self.request_origin.clear();
+        self.record_origin.clear();
         self.waves_run += 1;
         let wave = self.waves_run;
         let rel = self.reliability;
@@ -340,6 +394,7 @@ impl DiscoveryEngine {
         // re-broadcasts for up to `hello_rounds` rounds (bounded by the
         // phase budget), so a lost Hello or ack gets fresh chances to
         // assert the tentative relation; `add_tentative` is idempotent.
+        self.sim.set_comm_phase(Phase::Hello.name());
         let span = self.phase_span(wave, Phase::Hello);
         let prof = self.profiler.span("hello");
         let hello_deadline = self.sim.now() + rel.phase_timeout;
@@ -354,13 +409,18 @@ impl DiscoveryEngine {
                 break;
             }
             for &id in new_ids {
+                let payload = Message::Hello { from: id }.encode();
                 if round == 0 {
                     let node = self.nodes.get_mut(&id).expect("node deployed");
                     node.begin_discovery().expect("fresh node enters discovery");
+                    let (msg_id, _) = self.sim.broadcast_meta(id, payload, TxMeta::of("hello"));
+                    self.hello_broadcast.insert(id, msg_id);
                 } else {
                     self.report.retransmissions += 1;
+                    let original = self.hello_broadcast.get(&id).copied();
+                    self.sim
+                        .broadcast_meta(id, payload, meta_retx("hello", original));
                 }
-                self.sim.broadcast(id, Message::Hello { from: id }.encode());
             }
             self.pump(); // deliver Hellos; acks queued
             self.pump(); // deliver acks; tentative lists complete
@@ -371,6 +431,7 @@ impl DiscoveryEngine {
         // Phase 2a: commit binding records (and, in the fast-erasure
         // variant, erase the master key right here). Crypto-bound: every
         // commit derives the record key family and mints the commitment.
+        self.sim.set_comm_phase(Phase::Commit.name());
         let span = self.phase_span(wave, Phase::Commit);
         let prof = self.profiler.span("commit");
         for &id in new_ids {
@@ -388,6 +449,7 @@ impl DiscoveryEngine {
         // records it still lacks, so reliability here is a pull-based ARQ:
         // re-request only the missing ones, with exponential backoff,
         // until the retry budget or the phase clock runs out.
+        self.sim.set_comm_phase(Phase::Collect.name());
         let span = self.phase_span(wave, Phase::Collect);
         let prof = self.profiler.span("collect");
         for &id in new_ids {
@@ -397,8 +459,14 @@ impl DiscoveryEngine {
                 .copied()
                 .collect();
             for v in targets {
-                self.sim
-                    .unicast(id, v, Message::RecordRequest { from: id }.encode());
+                let cause = self.hello_origin.get(&(id, v)).copied();
+                let (msg_id, _) = self.sim.unicast_meta(
+                    id,
+                    v,
+                    Message::RecordRequest { from: id }.encode(),
+                    meta_reply("record_request", cause),
+                );
+                self.request_origin.insert((id, v), msg_id);
             }
         }
         self.pump(); // deliver requests; replies queued
@@ -411,8 +479,13 @@ impl DiscoveryEngine {
                 for &id in new_ids {
                     for v in self.nodes[&id].missing_records() {
                         any_missing = true;
-                        self.sim
-                            .unicast(id, v, Message::RecordRequest { from: id }.encode());
+                        let original = self.request_origin.get(&(id, v)).copied();
+                        self.sim.unicast_meta(
+                            id,
+                            v,
+                            Message::RecordRequest { from: id }.encode(),
+                            meta_retx("record_request", original),
+                        );
                         self.report.retransmissions += 1;
                     }
                 }
@@ -446,6 +519,7 @@ impl DiscoveryEngine {
 
         // Phase 3: binding-record updates against the still-trusted wave.
         if self.config.max_updates > 0 {
+            self.sim.set_comm_phase(Phase::Update.name());
             let span = self.phase_span(wave, Phase::Update);
             let _prof = self.profiler.span("update");
             let contacts: Vec<(NodeId, NodeId)> = self
@@ -470,10 +544,12 @@ impl DiscoveryEngine {
                     continue;
                 }
                 if let Ok((record, evidences)) = node.build_update_request() {
-                    self.sim.unicast(
+                    let cause = self.hello_origin.get(&(old, new)).copied();
+                    self.sim.unicast_meta(
                         old,
                         new,
                         Message::UpdateRequest { record, evidences }.encode(),
+                        meta_reply("update_request", cause),
                     );
                 }
             }
@@ -483,6 +559,7 @@ impl DiscoveryEngine {
         }
 
         // Phase 4: finalize — validation, commitments, evidence, K erasure.
+        self.sim.set_comm_phase(Phase::Finalize.name());
         let span = self.phase_span(wave, Phase::Finalize);
         let prof = self.profiler.span("finalize");
         let prof_validate = self.profiler.span("validate");
@@ -506,6 +583,11 @@ impl DiscoveryEngine {
                 }
             }
             for (v, digest) in out.commitments {
+                let cause = self
+                    .record_origin
+                    .get(&(id, v))
+                    .or_else(|| self.hello_origin.get(&(id, v)))
+                    .copied();
                 self.send_reliable(
                     id,
                     v,
@@ -514,11 +596,17 @@ impl DiscoveryEngine {
                         to: v,
                         digest,
                     },
+                    cause,
                 );
             }
             for ev in out.evidence {
                 let to = ev.to;
-                self.send_reliable(id, to, Message::Evidence { evidence: ev });
+                let cause = self
+                    .record_origin
+                    .get(&(id, to))
+                    .or_else(|| self.hello_origin.get(&(id, to)))
+                    .copied();
+                self.send_reliable(id, to, Message::Evidence { evidence: ev }, cause);
             }
         }
         prof_validate.close();
@@ -535,18 +623,18 @@ impl DiscoveryEngine {
                 if self.outstanding.is_empty() || self.sim.now() >= deadline {
                     break;
                 }
-                let resend: Vec<(NodeId, NodeId, Vec<u8>)> =
-                    self.outstanding.values().cloned().collect();
-                for (from, to, payload) in resend {
-                    self.sim.unicast(from, to, payload);
+                let resend: Vec<OutstandingFrame> = self.outstanding.values().cloned().collect();
+                for o in resend {
+                    self.sim
+                        .unicast_meta(o.from, o.to, o.frame, TxMeta::retx(o.kind, o.msg_id));
                     self.report.retransmissions += 1;
                 }
                 self.pump_for(rel.backoff(attempt).max(SimDuration::from_millis(4)));
             }
             if !self.outstanding.is_empty() {
                 self.report.timed_out_phases += 1;
-                for (from, to, _) in self.outstanding.values() {
-                    self.report.unconfirmed_links.push((*from, *to));
+                for o in self.outstanding.values() {
+                    self.report.unconfirmed_links.push((o.from, o.to));
                 }
             }
         }
@@ -565,20 +653,36 @@ impl DiscoveryEngine {
 
     /// Sends `inner` as an acknowledged unicast when reliability is on
     /// (wrapped in a nonce-carrying envelope and tracked until acked), or
-    /// as a plain fire-and-forget unicast when it is off.
-    fn send_reliable(&mut self, from: NodeId, to: NodeId, inner: Message) {
+    /// as a plain fire-and-forget unicast when it is off. `parent` is the
+    /// ledger msg id that caused this send (the record reply the
+    /// commitment answers, usually).
+    fn send_reliable(&mut self, from: NodeId, to: NodeId, inner: Message, parent: Option<u64>) {
         if self.reliability.enabled {
             self.next_nonce += 1;
             let nonce = self.next_nonce;
-            let frame = Message::Reliable {
+            let msg = Message::Reliable {
                 nonce,
                 inner: Box::new(inner),
-            }
-            .encode();
-            self.outstanding.insert(nonce, (from, to, frame.clone()));
-            self.sim.unicast(from, to, frame);
+            };
+            let kind = msg.kind();
+            let frame = msg.encode();
+            let (msg_id, _) =
+                self.sim
+                    .unicast_meta(from, to, frame.clone(), meta_reply(kind, parent));
+            self.outstanding.insert(
+                nonce,
+                OutstandingFrame {
+                    from,
+                    to,
+                    frame,
+                    msg_id,
+                    kind,
+                },
+            );
         } else {
-            self.sim.unicast(from, to, inner.encode());
+            let kind = inner.kind();
+            self.sim
+                .unicast_meta(from, to, inner.encode(), meta_reply(kind, parent));
         }
     }
 
@@ -613,6 +717,9 @@ impl DiscoveryEngine {
             self.report.malformed_frames += 1;
             return;
         };
+        // The delivered frame's ledger id: everything this dispatch sends
+        // in response cites it as causal parent.
+        let cause = frame.msg_id;
         // Direct verification: a tentative relation may only be asserted
         // over a frame whose measured path length fits in the radio range
         // AND whose claimed sender is the radio-layer transmitter — u
@@ -636,7 +743,7 @@ impl DiscoveryEngine {
         // envelopes are rejected at the wire layer.
         let msg = match msg {
             Message::Reliable { nonce, inner } => {
-                self.sim.unicast(
+                self.sim.unicast_meta(
                     receiver,
                     frame.from,
                     Message::Ack {
@@ -644,6 +751,7 @@ impl DiscoveryEngine {
                         nonce,
                     }
                     .encode(),
+                    TxMeta::reply("ack", cause),
                 );
                 *inner
             }
@@ -659,14 +767,15 @@ impl DiscoveryEngine {
             other => other,
         };
         if self.adversary.controls(receiver) {
-            self.dispatch_compromised(receiver, msg);
+            self.dispatch_compromised(receiver, msg, cause);
         } else {
-            self.dispatch_benign(receiver, msg, direct_ok);
+            self.dispatch_benign(receiver, msg, direct_ok, cause);
         }
     }
 
-    /// Honest protocol handling.
-    fn dispatch_benign(&mut self, receiver: NodeId, msg: Message, direct_ok: bool) {
+    /// Honest protocol handling. `cause` is the delivered frame's ledger
+    /// msg id; replies cite it as their causal parent.
+    fn dispatch_benign(&mut self, receiver: NodeId, msg: Message, direct_ok: bool, cause: u64) {
         match msg {
             Message::Hello { from } => {
                 if !direct_ok {
@@ -681,24 +790,29 @@ impl DiscoveryEngine {
                         // re-rounds re-assert known relations; only a
                         // genuinely new tentative neighbor is an event.
                         let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
-                        if node.add_tentative(from).is_ok() && fresh && self.recorder.enabled() {
-                            self.recorder.record(Event::TentativeAdded {
-                                node: receiver,
-                                peer: from,
-                            });
+                        if node.add_tentative(from).is_ok() {
+                            self.hello_origin.entry((receiver, from)).or_insert(cause);
+                            if fresh && self.recorder.enabled() {
+                                self.recorder.record(Event::TentativeAdded {
+                                    node: receiver,
+                                    peer: from,
+                                });
+                            }
                         }
                     }
                     NodeState::Operational => {
                         // An old node notes a reachable new node as its
                         // potential record updater.
                         self.wave_contacts.entry(receiver).or_insert(from);
+                        self.hello_origin.entry((receiver, from)).or_insert(cause);
                     }
                     _ => {}
                 }
-                self.sim.unicast(
+                self.sim.unicast_meta(
                     receiver,
                     from,
                     Message::HelloAck { from: receiver }.encode(),
+                    TxMeta::reply("hello_ack", cause),
                 );
             }
             Message::HelloAck { from } => {
@@ -707,19 +821,26 @@ impl DiscoveryEngine {
                 }
                 if let Some(node) = self.nodes.get_mut(&receiver) {
                     let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
-                    if node.add_tentative(from).is_ok() && fresh && self.recorder.enabled() {
-                        self.recorder.record(Event::TentativeAdded {
-                            node: receiver,
-                            peer: from,
-                        });
+                    if node.add_tentative(from).is_ok() {
+                        self.hello_origin.entry((receiver, from)).or_insert(cause);
+                        if fresh && self.recorder.enabled() {
+                            self.recorder.record(Event::TentativeAdded {
+                                node: receiver,
+                                peer: from,
+                            });
+                        }
                     }
                 }
             }
             Message::RecordRequest { from } => {
                 if let Some(node) = self.nodes.get(&receiver) {
                     let record = node.record().clone();
-                    self.sim
-                        .unicast(receiver, from, Message::RecordReply { record }.encode());
+                    self.sim.unicast_meta(
+                        receiver,
+                        from,
+                        Message::RecordReply { record }.encode(),
+                        TxMeta::reply("record_reply", cause),
+                    );
                 }
             }
             Message::RecordReply { record } => {
@@ -733,7 +854,11 @@ impl DiscoveryEngine {
                         self.report.duplicates_ignored += 1;
                     } else {
                         let authenticated = node.accept_record(record, &self.ops).is_ok();
-                        if !authenticated {
+                        if authenticated {
+                            self.record_origin
+                                .entry((receiver, origin))
+                                .or_insert(cause);
+                        } else {
                             self.report.rejected_records += 1;
                         }
                         if self.recorder.enabled() {
@@ -805,10 +930,11 @@ impl DiscoveryEngine {
                         } else {
                             self.report.duplicates_ignored += 1;
                         }
-                        self.sim.unicast(
+                        self.sim.unicast_meta(
                             receiver,
                             requester,
                             Message::UpdateReply { record: refreshed }.encode(),
+                            TxMeta::reply("update_reply", cause),
                         );
                     }
                     Err(_) => self.report.updates_rejected += 1,
@@ -825,16 +951,19 @@ impl DiscoveryEngine {
         }
     }
 
-    /// Attacker-controlled handling for compromised nodes.
-    fn dispatch_compromised(&mut self, receiver: NodeId, msg: Message) {
+    /// Attacker-controlled handling for compromised nodes. The ledger
+    /// traces attacker traffic like any other — `cause` chains survive
+    /// compromise, which is exactly what forensics wants.
+    fn dispatch_compromised(&mut self, receiver: NodeId, msg: Message, cause: u64) {
         let behavior = self.adversary.behavior();
         match msg {
             Message::Hello { from } => {
                 if behavior.answer_hellos {
-                    self.sim.unicast(
+                    self.sim.unicast_meta(
                         receiver,
                         from,
                         Message::HelloAck { from: receiver }.encode(),
+                        TxMeta::reply("hello_ack", cause),
                     );
                 }
                 // The attacker tracks new arrivals for malicious updates.
@@ -861,8 +990,12 @@ impl DiscoveryEngine {
                     None => None,
                 };
                 if let Some(record) = record {
-                    self.sim
-                        .unicast(receiver, from, Message::RecordReply { record }.encode());
+                    self.sim.unicast_meta(
+                        receiver,
+                        from,
+                        Message::RecordReply { record }.encode(),
+                        TxMeta::reply("record_reply", cause),
+                    );
                 }
             }
             Message::RelationCommit { from, to, digest } => {
@@ -1384,6 +1517,137 @@ mod tests {
             clean.functional_topology(),
             dup.functional_topology(),
             "duplicate delivery must not change the outcome"
+        );
+    }
+
+    #[test]
+    fn ledger_bills_traffic_to_engine_phases() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        let ledger = eng.sim().ledger();
+        // Commit sends nothing and update has no old-node contacts in a
+        // first wave, so exactly three phases carry traffic.
+        let phases: Vec<&str> = ledger.phases().map(|(p, _)| p).collect();
+        assert_eq!(phases, ["hello", "collect", "finalize"]);
+        // Ledger message counters mirror the transport metrics (E9).
+        let totals = eng.sim().metrics().totals();
+        assert_eq!(
+            ledger.totals().tx_msgs,
+            totals.unicasts_sent + totals.broadcasts_sent
+        );
+        assert_eq!(ledger.totals().tx_bytes, totals.bytes_sent);
+        assert_eq!(ledger.totals().rx_msgs, totals.received);
+        // Every kind the wave uses shows up in the cube.
+        let kinds: Vec<&str> = ledger.kinds().iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&"hello"));
+        assert!(kinds.contains(&"hello_ack"));
+        assert!(kinds.contains(&"record_request"));
+        assert!(kinds.contains(&"record_reply"));
+        assert!(kinds.contains(&"relation_commit"));
+    }
+
+    #[test]
+    fn causal_parents_chain_hello_to_commitment() {
+        use snd_observe::recorder::MemoryRecorder;
+        let mut eng = grid_engine(0);
+        eng.set_reliability(ReliabilityConfig::default());
+        let rec = MemoryRecorder::shared();
+        eng.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        let sent: BTreeMap<u64, (Option<u64>, &str)> = rec
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::MsgSent {
+                    id, parent, kind, ..
+                } => Some((*id, (*parent, *kind))),
+                _ => None,
+            })
+            .collect();
+        assert!(!sent.is_empty());
+        // Every cited parent resolves to a recorded send: no dangling ids.
+        for (id, (parent, kind)) in &sent {
+            if let Some(p) = parent {
+                assert!(sent.contains_key(p), "dangling parent {p} of {id} ({kind})");
+            }
+        }
+        // Walk a relation commitment's ancestry: it must pass through the
+        // record exchange and bottom out at a root hello broadcast.
+        let mut verified = 0;
+        for (_, (parent, kind)) in &sent {
+            if *kind != "reliable.relation_commit" {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut cur = *parent;
+            while let Some(p) = cur {
+                let (next, k) = sent[&p];
+                chain.push(k);
+                cur = next;
+            }
+            assert!(chain.contains(&"record_reply"), "chain {chain:?}");
+            assert!(chain.contains(&"record_request"), "chain {chain:?}");
+            assert_eq!(chain.last(), Some(&"hello"), "chain {chain:?}");
+            verified += 1;
+        }
+        assert!(verified > 0, "wave must commit at least one relation");
+        // Acks parent the reliable envelope they confirm.
+        let ack_parents_resolve = sent
+            .values()
+            .filter(|(_, kind)| *kind == "ack")
+            .all(|(parent, _)| parent.is_some_and(|p| sent[&p].1.starts_with("reliable")));
+        assert!(ack_parents_resolve);
+    }
+
+    #[test]
+    fn retransmissions_cite_their_originals() {
+        use snd_observe::recorder::MemoryRecorder;
+        use snd_sim::faults::{FaultPlan, FaultSpec};
+        let mut eng = grid_engine(0);
+        eng.set_reliability(ReliabilityConfig::default());
+        let spec = FaultSpec {
+            loss: 0.3,
+            ..FaultSpec::default()
+        };
+        eng.sim_mut().set_fault_plan(FaultPlan::new(spec, 7));
+        let rec = MemoryRecorder::shared();
+        eng.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        let report = eng.run_wave(&ids);
+        assert!(report.retransmissions > 0);
+
+        let sent: BTreeMap<u64, (Option<u64>, &str, bool)> = rec
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::MsgSent {
+                    id,
+                    parent,
+                    kind,
+                    retransmission,
+                    ..
+                } => Some((*id, (*parent, *kind, *retransmission))),
+                _ => None,
+            })
+            .collect();
+        let retx: Vec<_> = sent.values().filter(|(_, _, r)| *r).collect();
+        assert_eq!(
+            retx.len() as u64,
+            report.retransmissions,
+            "every reported resend is a flagged ledger send"
+        );
+        for (parent, kind, _) in &retx {
+            let p = parent.expect("retransmissions cite an original");
+            let (_, orig_kind, orig_retx) = sent[&p];
+            assert_eq!(*kind, orig_kind, "resend repeats its original's kind");
+            assert!(!orig_retx, "the cited original is not itself a resend");
+        }
+        assert_eq!(
+            eng.sim().ledger().totals().retransmissions,
+            report.retransmissions
         );
     }
 

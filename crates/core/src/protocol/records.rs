@@ -135,6 +135,9 @@ pub struct RelationEvidence {
 }
 
 impl RelationEvidence {
+    /// On-air size in bytes: `from(8) ‖ to(8) ‖ version(4) ‖ digest(32)`.
+    pub const WIRE_LEN: usize = 20 + DIGEST_LEN;
+
     /// Issues evidence; requires the master key.
     pub fn issue(
         master: &SymmetricKey,

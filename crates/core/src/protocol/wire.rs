@@ -147,6 +147,52 @@ impl Message {
         out
     }
 
+    /// The exact on-air size of [`encode`](Message::encode)'s output,
+    /// computed without allocating. The communication ledger charges byte
+    /// counters from the encoded payload length; the size-pinning unit
+    /// tests below keep this formula and the encoder in lock-step so
+    /// ledger bytes can never drift from the wire format.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::Hello { .. } | Message::HelloAck { .. } | Message::RecordRequest { .. } => {
+                1 + 8
+            }
+            Message::RecordReply { record } | Message::UpdateReply { record } => {
+                1 + record.wire_len()
+            }
+            Message::RelationCommit { .. } => 1 + 8 + 8 + DIGEST_LEN,
+            Message::Evidence { .. } => 1 + RelationEvidence::WIRE_LEN,
+            Message::UpdateRequest { record, evidences } => {
+                1 + record.wire_len() + 4 + evidences.len() * RelationEvidence::WIRE_LEN
+            }
+            Message::Ack { .. } => 1 + 8 + 8,
+            Message::Reliable { inner, .. } => 1 + 8 + inner.encoded_len(),
+        }
+    }
+
+    /// Stable short name used by the communication ledger to bucket
+    /// per-message-kind counters. A reliable envelope names its payload
+    /// (`reliable.relation_commit`), so ARQ traffic stays attributable to
+    /// the protocol step that caused it.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::HelloAck { .. } => "hello_ack",
+            Message::RecordRequest { .. } => "record_request",
+            Message::RecordReply { .. } => "record_reply",
+            Message::RelationCommit { .. } => "relation_commit",
+            Message::Evidence { .. } => "evidence",
+            Message::UpdateRequest { .. } => "update_request",
+            Message::UpdateReply { .. } => "update_reply",
+            Message::Ack { .. } => "ack",
+            Message::Reliable { inner, .. } => match inner.as_ref() {
+                Message::RelationCommit { .. } => "reliable.relation_commit",
+                Message::Evidence { .. } => "reliable.evidence",
+                _ => "reliable",
+            },
+        }
+    }
+
     /// Deserializes a message.
     ///
     /// # Errors
@@ -348,6 +394,120 @@ mod tests {
             let decoded = Message::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
             assert_eq!(decoded, msg);
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_the_encoder_for_every_variant() {
+        for msg in all_messages() {
+            assert_eq!(
+                msg.encoded_len(),
+                msg.encode().len(),
+                "{msg:?} length formula drifted from the encoder"
+            );
+        }
+    }
+
+    #[test]
+    fn on_air_sizes_are_pinned() {
+        // `sample_record()` binds 2 neighbors: 16 + 8·2 + 32 = 64 bytes.
+        let pins: &[(Message, usize)] = &[
+            (Message::Hello { from: n(1) }, 9),
+            (Message::HelloAck { from: n(2) }, 9),
+            (Message::RecordRequest { from: n(3) }, 9),
+            (
+                Message::RecordReply {
+                    record: sample_record(),
+                },
+                65,
+            ),
+            (
+                Message::RelationCommit {
+                    from: n(1),
+                    to: n(2),
+                    digest: snd_crypto::sha256::Sha256::digest(b"c"),
+                },
+                49,
+            ),
+            (
+                Message::Evidence {
+                    evidence: sample_evidence(10),
+                },
+                53,
+            ),
+            (
+                Message::UpdateRequest {
+                    record: sample_record(),
+                    evidences: vec![sample_evidence(10), sample_evidence(11)],
+                },
+                173,
+            ),
+            (
+                Message::UpdateRequest {
+                    record: sample_record(),
+                    evidences: vec![],
+                },
+                69,
+            ),
+            (
+                Message::UpdateReply {
+                    record: sample_record(),
+                },
+                65,
+            ),
+            (
+                Message::Ack {
+                    from: n(4),
+                    nonce: 1,
+                },
+                17,
+            ),
+            (
+                Message::Reliable {
+                    nonce: 7,
+                    inner: Box::new(Message::RelationCommit {
+                        from: n(1),
+                        to: n(2),
+                        digest: snd_crypto::sha256::Sha256::digest(b"c"),
+                    }),
+                },
+                58,
+            ),
+            (
+                Message::Reliable {
+                    nonce: 8,
+                    inner: Box::new(Message::Evidence {
+                        evidence: sample_evidence(12),
+                    }),
+                },
+                62,
+            ),
+        ];
+        for (msg, bytes) in pins {
+            assert_eq!(msg.encoded_len(), *bytes, "{msg:?} on-air size moved");
+            assert_eq!(msg.encode().len(), *bytes, "{msg:?} encoder size moved");
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinguish_reliable_payloads() {
+        let kinds: Vec<&str> = all_messages().iter().map(Message::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "hello",
+                "hello_ack",
+                "record_request",
+                "record_reply",
+                "relation_commit",
+                "evidence",
+                "update_request",
+                "update_request",
+                "update_reply",
+                "ack",
+                "reliable.relation_commit",
+                "reliable.evidence",
+            ]
+        );
     }
 
     #[test]

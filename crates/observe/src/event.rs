@@ -185,6 +185,51 @@ pub enum Event {
         /// Intended receiver.
         to: NodeId,
     },
+    /// Ledger forensics: one logical send (a unicast, or a whole
+    /// broadcast) left `from`'s radio. `id` is the seed-derived ledger
+    /// message id; `parent` links replies and retransmissions to their
+    /// cause, forming the causal chains `snd-trace causal` reconstructs.
+    MsgSent {
+        /// Seed-derived ledger message id.
+        id: u64,
+        /// Causal parent message id (`null` for a root send).
+        parent: Option<u64>,
+        /// Sender.
+        from: NodeId,
+        /// Unicast destination; `null` for a broadcast.
+        to: Option<NodeId>,
+        /// Message-kind bucket (`hello`, `record_reply`, …).
+        kind: &'static str,
+        /// Protocol phase the send is billed to.
+        phase: &'static str,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Whether the send repeats an earlier message.
+        retransmission: bool,
+    },
+    /// Ledger forensics: one frame copy of message `id` reached `to`'s
+    /// inbox (a broadcast emits one per receiver).
+    MsgDelivered {
+        /// The delivered message's ledger id.
+        id: u64,
+        /// Sending identity.
+        from: NodeId,
+        /// The receiver.
+        to: NodeId,
+    },
+    /// Ledger forensics: one frame copy of message `id` died en route.
+    /// Unlike [`Event::RadioDrop`] this also covers frames lost to a
+    /// receiver that no longer exists, so causal chains never dangle.
+    MsgDropped {
+        /// The dropped message's ledger id.
+        id: u64,
+        /// Sending identity.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Why the frame died.
+        reason: DropReason,
+    },
 }
 
 /// An [`Event`] stamped with its position in the recorded stream.
@@ -241,6 +286,34 @@ mod tests {
         assert_eq!(
             serde::json::to_string(&ev),
             r#"{"FaultInjected":{"kind":"Duplicated","from":3,"to":4}}"#
+        );
+    }
+
+    #[test]
+    fn ledger_events_serialize_externally_tagged() {
+        let ev = Event::MsgSent {
+            id: 7,
+            parent: None,
+            from: NodeId(1),
+            to: None,
+            kind: "hello",
+            phase: "hello",
+            bytes: 9,
+            retransmission: false,
+        };
+        assert_eq!(
+            serde::json::to_string(&ev),
+            r#"{"MsgSent":{"id":7,"parent":null,"from":1,"to":null,"kind":"hello","phase":"hello","bytes":9,"retransmission":false}}"#
+        );
+        let ev = Event::MsgDropped {
+            id: 7,
+            from: NodeId(1),
+            to: NodeId(2),
+            reason: DropReason::LinkLoss,
+        };
+        assert_eq!(
+            serde::json::to_string(&ev),
+            r#"{"MsgDropped":{"id":7,"from":1,"to":2,"reason":"LinkLoss"}}"#
         );
     }
 

@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use snd_sim::faults::FaultKind;
 use snd_sim::metrics::DropReason;
 use snd_sim::time::SimTime;
-use snd_sim::trace::TraceHook;
+use snd_sim::trace::{MsgSend, TraceHook};
 use snd_topology::NodeId;
 
 use crate::event::{Event, EventRecord, Phase};
@@ -319,7 +319,9 @@ impl Drop for Span {
 }
 
 /// Adapts a [`Recorder`] into the simulator's [`TraceHook`], turning
-/// transport drops into [`Event::RadioDrop`].
+/// transport drops into [`Event::RadioDrop`] and the ledger's message
+/// lifecycle into [`Event::MsgSent`] / [`Event::MsgDelivered`] /
+/// [`Event::MsgDropped`].
 #[derive(Debug)]
 pub struct SimTraceBridge(pub Arc<dyn Recorder>);
 
@@ -333,6 +335,38 @@ impl TraceHook for SimTraceBridge {
     fn fault_injected(&self, kind: FaultKind, from: NodeId, to: NodeId) {
         if self.0.enabled() {
             self.0.record(Event::FaultInjected { kind, from, to });
+        }
+    }
+
+    fn msg_sent(&self, msg: &MsgSend) {
+        if self.0.enabled() {
+            self.0.record(Event::MsgSent {
+                id: msg.id,
+                parent: msg.parent,
+                from: msg.from,
+                to: msg.to,
+                kind: msg.kind,
+                phase: msg.phase,
+                bytes: msg.bytes as u64,
+                retransmission: msg.retransmission,
+            });
+        }
+    }
+
+    fn msg_delivered(&self, id: u64, from: NodeId, to: NodeId) {
+        if self.0.enabled() {
+            self.0.record(Event::MsgDelivered { id, from, to });
+        }
+    }
+
+    fn msg_dropped(&self, id: u64, from: NodeId, to: NodeId, reason: DropReason) {
+        if self.0.enabled() {
+            self.0.record(Event::MsgDropped {
+                id,
+                from,
+                to,
+                reason,
+            });
         }
     }
 }
@@ -519,6 +553,55 @@ mod tests {
                 from: NodeId(1),
                 to: NodeId(2),
                 reason: DropReason::Jammed
+            }
+        );
+    }
+
+    #[test]
+    fn bridge_forwards_ledger_message_lifecycle() {
+        let rec = MemoryRecorder::shared();
+        let bridge = SimTraceBridge(Arc::clone(&rec) as Arc<dyn Recorder>);
+        bridge.msg_sent(&MsgSend {
+            id: 9,
+            parent: Some(4),
+            from: NodeId(1),
+            to: Some(NodeId(2)),
+            kind: "ack",
+            phase: "finalize",
+            bytes: 17,
+            retransmission: false,
+        });
+        bridge.msg_delivered(9, NodeId(1), NodeId(2));
+        bridge.msg_dropped(9, NodeId(1), NodeId(3), DropReason::LinkLoss);
+        let events = rec.snapshot();
+        assert_eq!(
+            events[0].event,
+            Event::MsgSent {
+                id: 9,
+                parent: Some(4),
+                from: NodeId(1),
+                to: Some(NodeId(2)),
+                kind: "ack",
+                phase: "finalize",
+                bytes: 17,
+                retransmission: false,
+            }
+        );
+        assert_eq!(
+            events[1].event,
+            Event::MsgDelivered {
+                id: 9,
+                from: NodeId(1),
+                to: NodeId(2)
+            }
+        );
+        assert_eq!(
+            events[2].event,
+            Event::MsgDropped {
+                id: 9,
+                from: NodeId(1),
+                to: NodeId(3),
+                reason: DropReason::LinkLoss
             }
         );
     }

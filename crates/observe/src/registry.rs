@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 use serde::Serialize;
+use snd_sim::ledger::CommLedger;
 use snd_sim::metrics::Metrics;
 use snd_sim::time::SimTime;
 
@@ -296,6 +297,90 @@ impl MetricsRegistry {
         }
     }
 
+    /// Absorbs a simulator's communication ledger under the `comm.`
+    /// prefix (DESIGN.md §13): aggregate message/frame/energy totals,
+    /// drop reasons (`comm.drops.<Reason>`), per-phase and per-kind
+    /// breakdowns, the top-3 talkers by radio bytes, a per-mille load
+    /// imbalance ratio, and per-node distributions
+    /// (`comm.node.tx_bytes` holds one sample per node the ledger saw).
+    ///
+    /// Everything exported here is derived from seed-deterministic
+    /// ledger state, so `comm.*` is byte-identical across `SND_THREADS`
+    /// (DESIGN.md §9).
+    pub fn ingest_ledger(&mut self, ledger: &CommLedger) {
+        let t = ledger.totals();
+        self.set("comm.tx_msgs", t.tx_msgs);
+        self.set("comm.tx_bytes", t.tx_bytes);
+        self.set("comm.tx_frames", t.tx_frames);
+        self.set("comm.tx_frame_bytes", t.tx_frame_bytes);
+        self.set("comm.rx_msgs", t.rx_msgs);
+        self.set("comm.rx_bytes", t.rx_bytes);
+        self.set("comm.delivered_frames", t.delivered_frames);
+        self.set("comm.delivered_bytes", t.delivered_bytes);
+        self.set("comm.dropped_frames", t.dropped_frames);
+        self.set("comm.dropped_bytes", t.dropped_bytes);
+        self.set("comm.retransmissions", t.retransmissions);
+        self.set("comm.tx_energy_nj", t.tx_energy_nj);
+        self.set("comm.rx_energy_nj", t.rx_energy_nj);
+        self.set("comm.msg_ids_issued", ledger.issued());
+        for (&reason, &count) in &t.drops {
+            self.set(&format!("comm.drops.{reason:?}"), count);
+        }
+        for (phase, agg) in ledger.phases() {
+            self.set(&format!("comm.phase.{phase}.tx_msgs"), agg.tx_msgs);
+            self.set(&format!("comm.phase.{phase}.tx_bytes"), agg.tx_bytes);
+            self.set(&format!("comm.phase.{phase}.rx_msgs"), agg.rx_msgs);
+            self.set(&format!("comm.phase.{phase}.rx_bytes"), agg.rx_bytes);
+            self.set(
+                &format!("comm.phase.{phase}.dropped_frames"),
+                agg.dropped_frames,
+            );
+            self.set(
+                &format!("comm.phase.{phase}.retransmissions"),
+                agg.retransmissions,
+            );
+            self.set(
+                &format!("comm.phase.{phase}.tx_energy_nj"),
+                agg.tx_energy_nj,
+            );
+            self.set(
+                &format!("comm.phase.{phase}.rx_energy_nj"),
+                agg.rx_energy_nj,
+            );
+        }
+        for (kind, agg) in ledger.kinds() {
+            self.set(&format!("comm.kind.{kind}.tx_msgs"), agg.tx_msgs);
+            self.set(&format!("comm.kind.{kind}.tx_bytes"), agg.tx_bytes);
+        }
+        let mut loads: Vec<(snd_topology::NodeId, u64, u64)> = ledger
+            .per_node()
+            .map(|(id, c)| (id, c.bytes(), c.tx_bytes))
+            .collect();
+        for (_, comm) in ledger.per_node() {
+            self.observe("comm.node.tx_bytes", comm.tx_bytes);
+            self.observe("comm.node.rx_bytes", comm.rx_bytes);
+            self.observe("comm.node.bytes", comm.bytes());
+            self.observe("comm.node.tx_msgs", comm.tx_msgs);
+            self.observe("comm.node.energy_nj", comm.energy_nj());
+        }
+        if !loads.is_empty() {
+            // Hottest radios first; ties break on node id so the export
+            // is stable.
+            loads.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (i, (id, bytes, tx_bytes)) in loads.iter().take(3).enumerate() {
+                self.set(&format!("comm.top_talker.{i}.node"), id.0);
+                self.set(&format!("comm.top_talker.{i}.bytes"), *bytes);
+                self.set(&format!("comm.top_talker.{i}.tx_bytes"), *tx_bytes);
+            }
+            let total: u64 = loads.iter().map(|(_, b, _)| b).sum();
+            let mean = total as f64 / loads.len() as f64;
+            if mean > 0.0 {
+                let imbalance = (loads[0].1 as f64 / mean * 1000.0).round() as u64;
+                self.set("comm.imbalance_x1000", imbalance);
+            }
+        }
+    }
+
     /// Distills a recorded event stream into registry metrics; see
     /// [`EventIngester::ingest`] for the per-event mapping.
     pub fn ingest_events(&mut self, events: &[EventRecord]) {
@@ -393,6 +478,9 @@ impl EventIngester {
             Event::ReplicaPlaced { .. } => registry.inc("adversary.replicas", 1),
             Event::RadioDrop { .. } => registry.inc("trace.radio_drops", 1),
             Event::FaultInjected { .. } => registry.inc("trace.faults_injected", 1),
+            Event::MsgSent { .. } => registry.inc("trace.msg_sent", 1),
+            Event::MsgDelivered { .. } => registry.inc("trace.msg_delivered", 1),
+            Event::MsgDropped { .. } => registry.inc("trace.msg_dropped", 1),
             Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
         }
     }
@@ -515,6 +603,83 @@ mod tests {
         let h = r.histogram("sim.node.unicasts_sent").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn ingest_ledger_exports_comm_counters() {
+        use snd_sim::ledger::TxMeta;
+        use snd_sim::network::Simulator;
+        use snd_sim::time::SimDuration;
+        use snd_topology::unit_disk::RadioSpec;
+        use snd_topology::{Deployment, Field, Point};
+
+        let mut d = Deployment::empty(Field::square(100.0));
+        d.place(NodeId(1), Point::new(10.0, 10.0));
+        d.place(NodeId(2), Point::new(20.0, 10.0));
+        let mut sim = Simulator::new(d, RadioSpec::uniform(50.0), 42);
+        sim.set_comm_phase("hello");
+        sim.broadcast_meta(NodeId(1), vec![0u8; 9], TxMeta::of("hello"));
+        sim.advance(SimDuration::from_millis(10));
+
+        let mut r = MetricsRegistry::new();
+        r.ingest_ledger(sim.ledger());
+        assert_eq!(r.counter("comm.tx_msgs"), 1);
+        assert_eq!(r.counter("comm.tx_bytes"), 9);
+        assert_eq!(r.counter("comm.rx_msgs"), 1);
+        assert_eq!(r.counter("comm.rx_bytes"), 9);
+        assert_eq!(r.counter("comm.tx_frames"), 1);
+        assert_eq!(r.counter("comm.delivered_frames"), 1);
+        assert_eq!(r.counter("comm.dropped_frames"), 0);
+        assert_eq!(r.counter("comm.msg_ids_issued"), 1);
+        assert_eq!(r.counter("comm.phase.hello.tx_bytes"), 9);
+        assert_eq!(r.counter("comm.kind.hello.tx_msgs"), 1);
+        assert!(r.counter("comm.tx_energy_nj") > 0, "energy is estimated");
+        assert_eq!(r.counter("comm.top_talker.0.node"), 1);
+        assert_eq!(r.counter("comm.top_talker.0.tx_bytes"), 9);
+        // Both radios moved 9 bytes, so the load is perfectly balanced.
+        assert_eq!(r.counter("comm.imbalance_x1000"), 1000);
+        assert_eq!(r.histogram("comm.node.bytes").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn ingest_events_counts_ledger_lifecycle() {
+        let events = vec![
+            EventRecord {
+                seq: 0,
+                event: Event::MsgSent {
+                    id: 1,
+                    parent: None,
+                    from: NodeId(1),
+                    to: None,
+                    kind: "hello",
+                    phase: "hello",
+                    bytes: 9,
+                    retransmission: false,
+                },
+            },
+            EventRecord {
+                seq: 1,
+                event: Event::MsgDelivered {
+                    id: 1,
+                    from: NodeId(1),
+                    to: NodeId(2),
+                },
+            },
+            EventRecord {
+                seq: 2,
+                event: Event::MsgDropped {
+                    id: 1,
+                    from: NodeId(1),
+                    to: NodeId(3),
+                    reason: snd_sim::metrics::DropReason::LinkLoss,
+                },
+            },
+        ];
+        let mut r = MetricsRegistry::new();
+        r.ingest_events(&events);
+        assert_eq!(r.counter("trace.msg_sent"), 1);
+        assert_eq!(r.counter("trace.msg_delivered"), 1);
+        assert_eq!(r.counter("trace.msg_dropped"), 1);
     }
 
     #[test]

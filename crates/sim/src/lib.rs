@@ -33,6 +33,7 @@
 pub mod energy;
 pub mod faults;
 pub mod jamming;
+pub mod ledger;
 pub mod metrics;
 pub mod network;
 pub mod radio;
@@ -44,9 +45,10 @@ pub mod prelude {
     pub use crate::energy::{Battery, EnergyModel};
     pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, LossBurst};
     pub use crate::jamming::JamZone;
+    pub use crate::ledger::{CommLedger, NodeComm, TxMeta};
     pub use crate::metrics::{DropReason, HashCounter, Metrics, NodeCounters};
     pub use crate::network::{Delivered, SendOutcome, Simulator, Wormhole};
     pub use crate::radio::{AnyLinkModel, LinkModel, LogDistance, LossyDisk, UnitDisk};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::TraceHook;
+    pub use crate::trace::{MsgSend, TraceHook};
 }

@@ -19,10 +19,11 @@ use snd_topology::{Deployment, NodeId, Point};
 use crate::energy::{Battery, EnergyModel};
 use crate::faults::{FaultKind, FaultPlan, FrameFaults};
 use crate::jamming::JamZone;
+use crate::ledger::{CommLedger, TxMeta};
 use crate::metrics::{DropReason, Metrics};
 use crate::radio::{AnyLinkModel, LinkModel};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::TraceHook;
+use crate::trace::{MsgSend, TraceHook};
 
 /// A frame delivered into a node's inbox.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,11 @@ pub struct Delivered {
     /// wormhole this includes the tunnel, which is exactly what RTT-based
     /// direct verification measures (packet leashes \[9\]\[10\]).
     pub distance: f64,
+    /// The ledger's seed-derived id of the logical send this frame
+    /// belongs to (shared by every copy of a broadcast and by injected
+    /// duplicates). Protocol layers cite it as the causal parent of the
+    /// messages they send in response.
+    pub msg_id: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -48,9 +54,9 @@ struct InFlight {
     seq: u64,
     to: NodeId,
     frame: Delivered,
-    /// Frame identity for duplicate suppression: an injected duplicate
-    /// shares its original's id while keeping a unique `seq`.
-    id: u64,
+    /// Ledger kind index, so deliveries and drops land in the right
+    /// ledger cell without re-deriving the message kind.
+    kind: u8,
     /// Injected corruption the receiver's CRC will catch at delivery.
     crc_failed: bool,
 }
@@ -130,10 +136,12 @@ pub struct Simulator {
     wormholes: Vec<Wormhole>,
     trace: Option<Arc<dyn TraceHook>>,
     faults: Option<FaultPlan>,
-    /// Per-receiver ring of recently delivered frame ids (dedup window).
+    /// Per-receiver ring of recently delivered message ids (dedup window).
     recent: BTreeMap<NodeId, VecDeque<u64>>,
-    /// Frame-id counter; distinct from `seq`, which stays unique per copy.
-    frames: u64,
+    /// The communication ledger: per-node × per-phase × per-kind
+    /// accounting of every frame, always on. Also issues the message ids
+    /// used for duplicate suppression.
+    ledger: CommLedger,
 }
 
 /// An out-of-band tunnel between two field positions \[8\]–\[10\]: frames
@@ -175,7 +183,30 @@ impl Simulator {
             trace: None,
             faults: None,
             recent: BTreeMap::new(),
-            frames: 0,
+            ledger: CommLedger::new(seed),
+        }
+    }
+
+    /// Read access to the communication ledger.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Announces the protocol phase subsequent ledger traffic is billed
+    /// to (one of the `snd-observe` phase names, or any static label).
+    pub fn set_comm_phase(&mut self, phase: &'static str) {
+        self.ledger.set_phase(phase);
+    }
+
+    /// Estimated radio energy of one frame in µJ, from the installed
+    /// model or the default one when energy accounting is off. The ledger
+    /// always books energy; batteries only drain when accounting is on.
+    fn est_energy_uj(&self, bytes: usize, receiving: bool) -> f64 {
+        let model = self.energy.unwrap_or_default();
+        if receiving {
+            model.rx_cost(bytes)
+        } else {
+            model.tx_cost(bytes)
         }
     }
 
@@ -217,11 +248,32 @@ impl Simulator {
         self.trace = Some(hook);
     }
 
-    /// Notes a drop in both the metrics and the trace hook (if any).
-    fn drop_frame(&mut self, from: NodeId, to: NodeId, reason: DropReason) {
-        self.metrics.record_drop(reason);
+    /// Closes one frame copy of message `id` as dropped: books it in the
+    /// ledger, and — when `counted` — in the drop metrics and the
+    /// `radio_drop` hook. The one un-`counted` site is a frame arriving
+    /// at a receiver that no longer exists: the radio saw no failure, so
+    /// `Metrics` stays silent, but the ledger still closes its books
+    /// (otherwise frame conservation would leak).
+    #[allow(clippy::too_many_arguments)]
+    fn drop_msg(
+        &mut self,
+        id: u64,
+        kind: u8,
+        from: NodeId,
+        to: NodeId,
+        reason: DropReason,
+        bytes: usize,
+        counted: bool,
+    ) {
+        self.ledger.record_drop(from, kind, reason, bytes);
+        if counted {
+            self.metrics.record_drop(reason);
+        }
         if let Some(hook) = &self.trace {
-            hook.radio_drop(from, to, reason);
+            if counted {
+                hook.radio_drop(from, to, reason);
+            }
+            hook.msg_dropped(id, from, to, reason);
         }
     }
 
@@ -424,6 +476,7 @@ impl Simulator {
         broadcast: bool,
         distance: f64,
         id: u64,
+        kind: u8,
         crc_failed: bool,
         extra_delay: SimDuration,
     ) {
@@ -433,6 +486,7 @@ impl Simulator {
             payload,
             broadcast,
             distance,
+            msg_id: id,
         };
         self.seq += 1;
         self.queue.push(Reverse(InFlight {
@@ -440,13 +494,15 @@ impl Simulator {
             seq: self.seq,
             to,
             frame,
-            id,
+            kind,
             crc_failed,
         }));
     }
 
     /// Schedules a frame that already cleared [`Simulator::check_delivery`],
-    /// applying the fault plan (if any) on the way.
+    /// applying the fault plan (if any) on the way. `id`/`kind` are the
+    /// ledger identity of the logical send this copy belongs to.
+    #[allow(clippy::too_many_arguments)]
     fn schedule(
         &mut self,
         from: NodeId,
@@ -454,9 +510,9 @@ impl Simulator {
         mut payload: Vec<u8>,
         broadcast: bool,
         distance: f64,
+        id: u64,
+        kind: u8,
     ) -> SendOutcome {
-        self.frames += 1;
-        let id = self.frames;
         if self.faults.is_none() {
             self.enqueue_frame(
                 from,
@@ -465,6 +521,7 @@ impl Simulator {
                 broadcast,
                 distance,
                 id,
+                kind,
                 false,
                 SimDuration::ZERO,
             );
@@ -485,11 +542,19 @@ impl Simulator {
             (down, decision)
         };
         if down {
-            self.drop_frame(from, to, DropReason::NodeDown);
+            self.drop_msg(
+                id,
+                kind,
+                from,
+                to,
+                DropReason::NodeDown,
+                payload.len(),
+                true,
+            );
             return SendOutcome::Dropped(DropReason::NodeDown);
         }
         if let Some(reason) = decision.drop {
-            self.drop_frame(from, to, reason);
+            self.drop_msg(id, kind, from, to, reason, payload.len(), true);
             return SendOutcome::Dropped(reason);
         }
         if decision.corrupt {
@@ -507,6 +572,9 @@ impl Simulator {
         }
         let crc_failed = decision.corrupt && decision.corrupt_detectable;
         if let Some(dup_delay) = decision.duplicate {
+            // The injected copy is one more on-air frame the ledger must
+            // see end its life (delivered or suppressed).
+            self.ledger.frame_attempt(from, payload.len());
             self.enqueue_frame(
                 from,
                 to,
@@ -514,6 +582,7 @@ impl Simulator {
                 broadcast,
                 distance,
                 id,
+                kind,
                 crc_failed,
                 dup_delay,
             );
@@ -525,10 +594,27 @@ impl Simulator {
             broadcast,
             distance,
             id,
+            kind,
             crc_failed,
             decision.extra_delay,
         );
         SendOutcome::Scheduled
+    }
+
+    /// Fires the `msg_sent` hook for a freshly opened logical send.
+    fn note_sent(&self, id: u64, meta: TxMeta, from: NodeId, to: Option<NodeId>, bytes: usize) {
+        if let Some(hook) = &self.trace {
+            hook.msg_sent(&MsgSend {
+                id,
+                parent: meta.parent,
+                from,
+                to,
+                kind: meta.kind,
+                phase: self.ledger.phase(),
+                bytes,
+                retransmission: meta.retransmission,
+            });
+        }
     }
 
     /// Sends `payload` from `from` to `to`.
@@ -536,44 +622,74 @@ impl Simulator {
     /// Accounting: the attempt is always charged to the sender; drops are
     /// recorded with their reason.
     pub fn unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> SendOutcome {
-        let bytes = payload.len() as u64;
+        self.unicast_meta(from, to, payload, TxMeta::raw()).1
+    }
+
+    /// [`Simulator::unicast`] with ledger metadata: assigns the send a
+    /// deterministic message id (returned alongside the outcome) and
+    /// books it under `meta`'s kind, causal parent and retransmission
+    /// flag.
+    pub fn unicast_meta(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        meta: TxMeta,
+    ) -> (u64, SendOutcome) {
+        let bytes = payload.len();
         {
             let c = self.metrics.node_mut(from);
             c.unicasts_sent += 1;
-            c.bytes_sent += bytes;
+            c.bytes_sent += bytes as u64;
         }
-        self.charge(from, payload.len(), false);
-        match self.check_delivery(from, to) {
-            Ok(distance) => self.schedule(from, to, payload, false, distance),
+        self.charge(from, bytes, false);
+        let tx_uj = self.est_energy_uj(bytes, false);
+        let (id, kind) = self.ledger.begin_tx(from, meta, bytes, tx_uj);
+        self.note_sent(id, meta, from, Some(to), bytes);
+        self.ledger.frame_attempt(from, bytes);
+        let outcome = match self.check_delivery(from, to) {
+            Ok(distance) => self.schedule(from, to, payload, false, distance, id, kind),
             Err(reason) => {
-                self.drop_frame(from, to, reason);
+                self.drop_msg(id, kind, from, to, reason, bytes, true);
                 SendOutcome::Dropped(reason)
             }
-        }
+        };
+        (id, outcome)
     }
 
     /// Broadcasts `payload` from `from` to every node in range of any of its
     /// transceivers. Returns the number of receivers scheduled.
     pub fn broadcast(&mut self, from: NodeId, payload: Vec<u8>) -> usize {
-        let bytes = payload.len() as u64;
+        self.broadcast_meta(from, payload, TxMeta::raw()).1
+    }
+
+    /// [`Simulator::broadcast`] with ledger metadata. The whole broadcast
+    /// is one logical send: every per-receiver copy shares the returned
+    /// message id.
+    pub fn broadcast_meta(&mut self, from: NodeId, payload: Vec<u8>, meta: TxMeta) -> (u64, usize) {
+        let bytes = payload.len();
         {
             let c = self.metrics.node_mut(from);
             c.broadcasts_sent += 1;
-            c.bytes_sent += bytes;
+            c.bytes_sent += bytes as u64;
         }
-        self.charge(from, payload.len(), false);
+        self.charge(from, bytes, false);
+        let tx_uj = self.est_energy_uj(bytes, false);
+        let (id, kind) = self.ledger.begin_tx(from, meta, bytes, tx_uj);
+        self.note_sent(id, meta, from, None, bytes);
         let targets: Vec<NodeId> = self
             .positions
             .keys()
             .copied()
-            .filter(|&id| id != from)
+            .filter(|&node| node != from)
             .collect();
         let mut delivered = 0usize;
         for to in targets {
             match self.check_delivery(from, to) {
                 Ok(distance) => {
+                    self.ledger.frame_attempt(from, bytes);
                     if self
-                        .schedule(from, to, payload.clone(), true, distance)
+                        .schedule(from, to, payload.clone(), true, distance, id, kind)
                         .is_scheduled()
                     {
                         delivered += 1;
@@ -581,12 +697,16 @@ impl Simulator {
                 }
                 Err(DropReason::OutOfRange) => {
                     // Out-of-range nodes are not an error for broadcast;
-                    // don't pollute drop stats.
+                    // don't pollute drop stats (and the ledger never
+                    // opens a frame for them, so conservation holds).
                 }
-                Err(reason) => self.drop_frame(from, to, reason),
+                Err(reason) => {
+                    self.ledger.frame_attempt(from, bytes);
+                    self.drop_msg(id, kind, from, to, reason, bytes, true);
+                }
             }
         }
-        delivered
+        (id, delivered)
     }
 
     /// Advances the clock by `dt`, delivering every frame that comes due.
@@ -601,36 +721,73 @@ impl Simulator {
                 break;
             }
             let Reverse(inflight) = self.queue.pop().expect("peeked");
-            // Dead receivers silently lose frames.
+            let (id, kind) = (inflight.frame.msg_id, inflight.kind);
+            let from = inflight.frame.from;
+            let bytes = inflight.frame.payload.len();
+            // Dead receivers silently lose frames: no metric drop (the
+            // radio saw no failure), but the ledger closes the frame so
+            // conservation holds.
             if !self.positions.contains_key(&inflight.to) {
+                self.drop_msg(
+                    id,
+                    kind,
+                    from,
+                    inflight.to,
+                    DropReason::NoSuchNode,
+                    bytes,
+                    false,
+                );
                 continue;
             }
             if self.faults.is_some() {
-                let from = inflight.frame.from;
                 // A crashed radio hears nothing while its window is open.
                 let down = self
                     .faults
                     .as_ref()
                     .is_some_and(|p| p.is_down(inflight.to, inflight.deliver_at));
                 if down {
-                    self.drop_frame(from, inflight.to, DropReason::NodeDown);
+                    self.drop_msg(
+                        id,
+                        kind,
+                        from,
+                        inflight.to,
+                        DropReason::NodeDown,
+                        bytes,
+                        true,
+                    );
                     continue;
                 }
                 // Detected corruption dies at the receiver's CRC check.
                 if inflight.crc_failed {
-                    self.drop_frame(from, inflight.to, DropReason::Corrupted);
+                    self.drop_msg(
+                        id,
+                        kind,
+                        from,
+                        inflight.to,
+                        DropReason::Corrupted,
+                        bytes,
+                        true,
+                    );
                     continue;
                 }
-                // Duplicate suppression: a frame id already seen within the
-                // receiver's dedup window is discarded.
+                // Duplicate suppression: a message id already seen within
+                // the receiver's dedup window is discarded.
                 let window = self.faults.as_ref().map_or(0, |p| p.spec().dedup_window);
                 if window > 0 {
                     let ring = self.recent.entry(inflight.to).or_default();
-                    if ring.contains(&inflight.id) {
-                        self.drop_frame(from, inflight.to, DropReason::DuplicateSuppressed);
+                    if ring.contains(&id) {
+                        self.drop_msg(
+                            id,
+                            kind,
+                            from,
+                            inflight.to,
+                            DropReason::DuplicateSuppressed,
+                            bytes,
+                            true,
+                        );
                         continue;
                     }
-                    ring.push_back(inflight.id);
+                    ring.push_back(id);
                     while ring.len() > window {
                         ring.pop_front();
                     }
@@ -639,9 +796,14 @@ impl Simulator {
             {
                 let c = self.metrics.node_mut(inflight.to);
                 c.received += 1;
-                c.bytes_received += inflight.frame.payload.len() as u64;
+                c.bytes_received += bytes as u64;
             }
-            self.charge(inflight.to, inflight.frame.payload.len(), true);
+            let rx_uj = self.est_energy_uj(bytes, true);
+            self.ledger.record_rx(inflight.to, from, kind, bytes, rx_uj);
+            if let Some(hook) = &self.trace {
+                hook.msg_delivered(id, from, inflight.to);
+            }
+            self.charge(inflight.to, bytes, true);
             // The receive itself may have exhausted the battery.
             if !self.positions.contains_key(&inflight.to) {
                 continue;
@@ -1174,6 +1336,121 @@ mod tests {
             sim.unicast(n(1), n(2), vec![1]),
             SendOutcome::Dropped(DropReason::Jammed)
         );
+    }
+
+    use crate::ledger::TxMeta;
+
+    #[test]
+    fn ledger_mirrors_metrics_message_counters() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0u8; 10]);
+        sim.broadcast(n(1), vec![0u8; 4]);
+        sim.unicast(n(1), n(3), vec![0u8; 6]); // out of range: dropped
+        sim.advance(SimDuration::from_millis(5));
+        let totals = sim.ledger().totals();
+        let m = sim.metrics().totals();
+        assert_eq!(totals.tx_msgs, m.unicasts_sent + m.broadcasts_sent);
+        assert_eq!(totals.tx_bytes, m.bytes_sent);
+        assert_eq!(totals.rx_msgs, m.received);
+        assert_eq!(totals.rx_bytes, m.bytes_received);
+    }
+
+    #[test]
+    fn ledger_frames_are_conserved() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0u8; 10]);
+        sim.broadcast(n(1), vec![0u8; 4]); // node 2 in range, node 3 not
+        sim.unicast(n(1), n(3), vec![0u8; 6]); // dropped out of range
+        sim.unicast(n(2), n(1), vec![0u8; 8]);
+        sim.kill(n(1)); // pending frame to 1 dies silently at delivery
+        sim.advance(SimDuration::from_millis(5));
+        let t = sim.ledger().totals();
+        assert_eq!(t.tx_frames, t.delivered_frames + t.dropped_frames);
+        assert_eq!(t.tx_frame_bytes, t.delivered_bytes + t.dropped_bytes);
+        assert_eq!(t.delivered_frames, t.rx_msgs);
+        // The dead-receiver loss is ledger-only: metrics saw one drop
+        // (the out-of-range unicast), the ledger saw two.
+        assert_eq!(sim.metrics().total_drops(), 1);
+        assert_eq!(t.dropped_frames, 2);
+        for (id, c) in sim.ledger().per_node() {
+            assert_eq!(
+                c.tx_frames,
+                c.delivered_frames + c.dropped_frames,
+                "node {id:?} leaks frames"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_share_one_message_id() {
+        let mut d = Deployment::empty(Field::square(100.0));
+        d.place(n(1), Point::new(10.0, 10.0));
+        d.place(n(2), Point::new(20.0, 10.0));
+        d.place(n(3), Point::new(30.0, 10.0));
+        let mut sim = Simulator::new(d, RadioSpec::uniform(50.0), 7);
+        let (id, delivered) = sim.broadcast_meta(n(1), b"hi".to_vec(), TxMeta::of("hello"));
+        assert_eq!(delivered, 2);
+        sim.advance(SimDuration::from_millis(5));
+        let a = sim.drain_inbox(n(2));
+        let b = sim.drain_inbox(n(3));
+        assert_eq!(a[0].msg_id, id);
+        assert_eq!(b[0].msg_id, id);
+        assert_eq!(sim.ledger().totals().tx_msgs, 1, "one logical send");
+        assert_eq!(sim.ledger().totals().tx_frames, 2, "two on-air copies");
+    }
+
+    #[test]
+    fn ledger_phase_and_kind_buckets_follow_the_announcements() {
+        let mut sim = three_node_sim();
+        sim.set_comm_phase("hello");
+        let (hello_id, _) = sim.broadcast_meta(n(1), vec![0u8; 9], TxMeta::of("hello"));
+        sim.advance(SimDuration::from_millis(5));
+        sim.set_comm_phase("collect");
+        let (_, outcome) = sim.unicast_meta(
+            n(2),
+            n(1),
+            vec![0u8; 9],
+            TxMeta::reply("record_request", hello_id),
+        );
+        assert!(outcome.is_scheduled());
+        sim.advance(SimDuration::from_millis(5));
+        let phases: Vec<(&str, u64, u64)> = sim
+            .ledger()
+            .phases()
+            .map(|(p, agg)| (p, agg.tx_msgs, agg.rx_msgs))
+            .collect();
+        assert_eq!(phases, vec![("hello", 1, 1), ("collect", 1, 1)]);
+        let kinds: Vec<&str> = sim.ledger().kinds().iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds, vec!["hello", "record_request"]);
+    }
+
+    #[test]
+    fn ledger_energy_is_booked_even_without_energy_accounting() {
+        let mut sim = three_node_sim();
+        sim.unicast(n(1), n(2), vec![0u8; 100]);
+        sim.advance(SimDuration::from_millis(5));
+        // Default model: tx 10 + 0.6·100 = 70 µJ, rx 10 + 0.67·100 = 77 µJ.
+        assert_eq!(sim.ledger().node(n(1)).tx_energy_nj, 70_000);
+        assert_eq!(sim.ledger().node(n(2)).rx_energy_nj, 77_000);
+        assert!(sim.battery_deaths().is_empty(), "estimation drains nothing");
+    }
+
+    #[test]
+    fn injected_duplicate_is_conserved_and_shares_its_id() {
+        let mut sim = three_node_sim();
+        sim.set_fault_plan(plan(FaultSpec {
+            duplicate: 1.0,
+            ..FaultSpec::default() // dedup_window = 16
+        }));
+        sim.unicast(n(1), n(2), b"once".to_vec());
+        sim.advance(SimDuration::from_millis(10));
+        let t = sim.ledger().totals();
+        assert_eq!(t.tx_msgs, 1);
+        assert_eq!(t.tx_frames, 2, "original + injected copy");
+        assert_eq!(t.rx_msgs, 1, "window ate the copy");
+        assert_eq!(t.dropped_frames, 1);
+        assert_eq!(t.drops[&DropReason::DuplicateSuppressed], 1);
+        assert_eq!(t.tx_frames, t.delivered_frames + t.dropped_frames);
     }
 
     #[test]

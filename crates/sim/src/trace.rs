@@ -6,16 +6,43 @@
 //! layers install an adapter that forwards transport events into their
 //! recorder of choice.
 //!
-//! The hook fires only for *recorded* drops — the same sites that bump
-//! [`crate::metrics::Metrics::record_drop`] — so a hook sees exactly
-//! what the drop counters count. In particular, out-of-range receivers
-//! during a broadcast are not drops (broadcast is best-effort by
-//! definition) and do not fire the hook.
+//! [`TraceHook::radio_drop`] fires only for *recorded* drops — the same
+//! sites that bump [`crate::metrics::Metrics::record_drop`] — so a hook
+//! sees exactly what the drop counters count. In particular, out-of-range
+//! receivers during a broadcast are not drops (broadcast is best-effort
+//! by definition) and do not fire it. The ledger-level message hooks
+//! ([`TraceHook::msg_sent`] / [`msg_delivered`](TraceHook::msg_delivered)
+//! / [`msg_dropped`](TraceHook::msg_dropped)) instead follow every frame
+//! copy to its end, including the dead-receiver losses `Metrics` never
+//! sees — they are the event source for causal message tracing.
 
 use snd_topology::NodeId;
 
 use crate::faults::FaultKind;
 use crate::metrics::DropReason;
+
+/// Ledger metadata for one logical send, handed to
+/// [`TraceHook::msg_sent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSend {
+    /// Seed-derived message id (see `crate::ledger`).
+    pub id: u64,
+    /// Causal parent message id, if this send replies to or retransmits
+    /// an earlier message.
+    pub parent: Option<u64>,
+    /// Sender.
+    pub from: NodeId,
+    /// Unicast destination; `None` for a broadcast.
+    pub to: Option<NodeId>,
+    /// Message-kind bucket.
+    pub kind: &'static str,
+    /// Protocol phase the send is billed to.
+    pub phase: &'static str,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Whether the send repeats an earlier message.
+    pub retransmission: bool,
+}
 
 /// Observer for transport events the simulator would otherwise only
 /// aggregate into counters.
@@ -30,6 +57,19 @@ pub trait TraceHook: Send + Sync + std::fmt::Debug {
     /// [`FaultKind::NodeCrash`]). Fires at the same sites that bump
     /// [`crate::metrics::Metrics::record_fault`]. Default: ignore.
     fn fault_injected(&self, _kind: FaultKind, _from: NodeId, _to: NodeId) {}
+
+    /// A logical send left a node's radio. Fires once per unicast or
+    /// broadcast, before fault/delivery resolution. Default: ignore.
+    fn msg_sent(&self, _msg: &MsgSend) {}
+
+    /// One frame copy of message `id` reached `to`'s inbox. A broadcast
+    /// fires this once per receiver. Default: ignore.
+    fn msg_delivered(&self, _id: u64, _from: NodeId, _to: NodeId) {}
+
+    /// One frame copy of message `id` addressed to `to` died for
+    /// `reason`. Unlike [`TraceHook::radio_drop`] this also fires for
+    /// frames silently lost to a dead receiver. Default: ignore.
+    fn msg_dropped(&self, _id: u64, _from: NodeId, _to: NodeId, _reason: DropReason) {}
 }
 
 #[cfg(test)]

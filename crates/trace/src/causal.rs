@@ -1,0 +1,408 @@
+//! Causal message-chain reconstruction over the communication ledger.
+//!
+//! `causal --edge u v` replays a row's recorded `MsgSent` / `MsgDelivered`
+//! / `MsgDropped` events (DESIGN.md §13) and reconstructs every causal
+//! chain that touches the directed pair {u, v}: the hello broadcast, the
+//! hello-ack it provoked, the record request/reply exchange, the reliable
+//! commitment envelope with its acks — and every retransmission or drop
+//! fork along the way. A message "touches" the edge when it is a unicast
+//! between u and v, or a broadcast from one of them that was delivered to
+//! (or dropped at) the other. Chains are rendered as indented trees rooted
+//! at the parentless ancestor, so the full hello → record → commitment
+//! causality reads top to bottom.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// Selection knobs for [`causal`].
+#[derive(Debug, Clone)]
+pub struct CausalOptions {
+    /// The undirected node pair whose chains are reconstructed.
+    pub edge: (u64, u64),
+}
+
+/// One `MsgSent` ledger event.
+#[derive(Debug, Clone)]
+struct Send {
+    seq: u64,
+    parent: Option<u64>,
+    from: u64,
+    /// `None` for broadcasts.
+    to: Option<u64>,
+    kind: String,
+    phase: String,
+    bytes: u64,
+    retransmission: bool,
+}
+
+/// Delivery / drop fates of one message id, in event order.
+#[derive(Debug, Clone, Default)]
+struct Fate {
+    delivered: Vec<u64>,
+    dropped: Vec<(u64, String)>,
+}
+
+/// Renders the causal chains of `rows` touching the chosen edge.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when no selected row carries an `events` array.
+pub fn causal(rows: &[&Row], opts: &CausalOptions) -> Result<String, TraceError> {
+    let (u, v) = opts.edge;
+    let mut out = String::new();
+    let mut any_events = false;
+    for row in rows {
+        let Some(events) = row.value.get("events").and_then(Value::as_array) else {
+            continue;
+        };
+        any_events = true;
+        let _ = writeln!(out, "== {} · edge {} <-> {} ==", row.label, u, v);
+
+        let (sends, fates) = index_events(events);
+        let relevant: BTreeSet<u64> = sends
+            .iter()
+            .filter(|(id, send)| touches(send, fates.get(id), u, v))
+            .map(|(id, _)| *id)
+            .collect();
+        if relevant.is_empty() {
+            let _ = writeln!(out, "  no ledger messages touch this edge\n");
+            continue;
+        }
+
+        // Close over ancestors so each chain renders from its root; a
+        // parent id missing from the index (evicted by bounded retention)
+        // truncates the chain there.
+        let mut closure = relevant.clone();
+        for id in &relevant {
+            let mut cursor = sends[id].parent;
+            while let Some(parent) = cursor {
+                let Some(send) = sends.get(&parent) else {
+                    break;
+                };
+                if !closure.insert(parent) {
+                    break;
+                }
+                cursor = send.parent;
+            }
+        }
+
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for id in &closure {
+            match sends[id].parent.filter(|p| closure.contains(p)) {
+                Some(parent) => children.entry(parent).or_default().push(*id),
+                None => roots.push(*id),
+            }
+        }
+        let by_seq = |ids: &mut Vec<u64>| ids.sort_by_key(|id| (sends[id].seq, *id));
+        for ids in children.values_mut() {
+            by_seq(ids);
+        }
+        by_seq(&mut roots);
+
+        for root in roots {
+            render_tree(&mut out, root, 0, &sends, &children, &fates, u, v);
+        }
+        if let Some(dropped) = row.value.get("events_dropped").and_then(Value::as_f64) {
+            if dropped > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  (note: {} events dropped by bounded retention; chains may be truncated)",
+                    dropped as u64
+                );
+            }
+        }
+        out.push('\n');
+    }
+    if !any_events {
+        return Err(TraceError::Usage(
+            "no selected row carries an `events` array".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Indexes a row's event stream into sends by id and fates by id.
+fn index_events(events: &[Value]) -> (BTreeMap<u64, Send>, BTreeMap<u64, Fate>) {
+    let mut sends = BTreeMap::new();
+    let mut fates: BTreeMap<u64, Fate> = BTreeMap::new();
+    for record in events {
+        let seq = record
+            .get("seq")
+            .and_then(Value::as_f64)
+            .map(|s| s as u64)
+            .unwrap_or(0);
+        let Some((kind, fields)) = tagged(record.get("event")) else {
+            continue;
+        };
+        let int = |key: &str| fields.get(key).and_then(Value::as_f64).map(|n| n as u64);
+        let text = |key: &str| {
+            fields
+                .get(key)
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        match kind {
+            "MsgSent" => {
+                let (Some(id), Some(from)) = (int("id"), int("from")) else {
+                    continue;
+                };
+                sends.insert(
+                    id,
+                    Send {
+                        seq,
+                        parent: int("parent"),
+                        from,
+                        to: int("to"),
+                        kind: text("kind"),
+                        phase: text("phase"),
+                        bytes: int("bytes").unwrap_or(0),
+                        retransmission: matches!(
+                            fields.get("retransmission"),
+                            Some(Value::Bool(true))
+                        ),
+                    },
+                );
+            }
+            "MsgDelivered" => {
+                if let (Some(id), Some(to)) = (int("id"), int("to")) {
+                    fates.entry(id).or_default().delivered.push(to);
+                }
+            }
+            "MsgDropped" => {
+                if let (Some(id), Some(to)) = (int("id"), int("to")) {
+                    fates
+                        .entry(id)
+                        .or_default()
+                        .dropped
+                        .push((to, reason_of(fields.get("reason"))));
+                }
+            }
+            _ => {}
+        }
+    }
+    (sends, fates)
+}
+
+/// Whether a send belongs to the edge {u, v}: unicast between the pair,
+/// or a broadcast from one endpoint whose fate reached the other.
+fn touches(send: &Send, fate: Option<&Fate>, u: u64, v: u64) -> bool {
+    let pair = |a: u64, b: u64| (a == u && b == v) || (a == v && b == u);
+    match send.to {
+        Some(to) => pair(send.from, to),
+        None => {
+            let other = if send.from == u {
+                v
+            } else if send.from == v {
+                u
+            } else {
+                return false;
+            };
+            fate.is_some_and(|f| {
+                f.delivered.contains(&other) || f.dropped.iter().any(|(to, _)| *to == other)
+            })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_tree(
+    out: &mut String,
+    id: u64,
+    depth: usize,
+    sends: &BTreeMap<u64, Send>,
+    children: &BTreeMap<u64, Vec<u64>>,
+    fates: &BTreeMap<u64, Fate>,
+    u: u64,
+    v: u64,
+) {
+    let send = &sends[&id];
+    let target = match send.to {
+        Some(to) => to.to_string(),
+        None => "*".to_string(),
+    };
+    let retx = if send.retransmission { " RETX" } else { "" };
+    let _ = writeln!(
+        out,
+        "  seq {:>8}  {:indent$}{} #{id} {}->{} [{}] {}B{}{}",
+        send.seq,
+        "",
+        send.kind,
+        send.from,
+        target,
+        send.phase,
+        send.bytes,
+        retx,
+        render_fate(fates.get(&id), send, u, v),
+        indent = depth * 2,
+    );
+    if let Some(kids) = children.get(&id) {
+        for kid in kids {
+            render_tree(out, *kid, depth + 1, sends, children, fates, u, v);
+        }
+    }
+}
+
+/// The delivery/drop outcomes that involve the edge endpoints; everything
+/// else is folded into a `+n elsewhere` tally so broadcast fan-out stays
+/// readable.
+fn render_fate(fate: Option<&Fate>, send: &Send, u: u64, v: u64) -> String {
+    let Some(fate) = fate else {
+        return "  (no fate recorded)".to_string();
+    };
+    let on_edge = |to: u64| (to == u || to == v) && to != send.from;
+    let mut parts = Vec::new();
+    let mut elsewhere = 0usize;
+    for to in &fate.delivered {
+        if on_edge(*to) {
+            parts.push(format!("delivered->{to}"));
+        } else {
+            elsewhere += 1;
+        }
+    }
+    for (to, reason) in &fate.dropped {
+        if on_edge(*to) {
+            parts.push(format!("DROPPED->{to}({reason})"));
+        } else {
+            elsewhere += 1;
+        }
+    }
+    if elsewhere > 0 {
+        parts.push(format!("+{elsewhere} elsewhere"));
+    }
+    if parts.is_empty() {
+        "  (no fate recorded)".to_string()
+    } else {
+        format!("  {}", parts.join(" "))
+    }
+}
+
+/// `DropReason` serializes as a bare string for unit variants; tolerate an
+/// externally tagged object too.
+fn reason_of(value: Option<&Value>) -> String {
+    match value {
+        Some(Value::String(s)) => s.clone(),
+        Some(other) => other
+            .as_object()
+            .and_then(|o| o.first())
+            .map(|(k, _)| k.clone())
+            .unwrap_or_else(|| "?".to_string()),
+        None => "?".to_string(),
+    }
+}
+
+/// Unwraps the externally tagged `{"Kind": {fields}}` event encoding.
+fn tagged(event: Option<&Value>) -> Option<(&str, &Value)> {
+    let fields = event?.as_object()?;
+    let (kind, inner) = fields.first()?;
+    Some((kind.as_str(), inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::parse;
+
+    fn row(events: &str) -> Row {
+        Row {
+            label: "demo/wave#1".to_string(),
+            value: parse(&format!(r#"{{"events":[{events}],"events_dropped":0}}"#))
+                .expect("valid test json"),
+        }
+    }
+
+    fn sent(
+        seq: u64,
+        id: u64,
+        parent: &str,
+        from: u64,
+        to: &str,
+        kind: &str,
+        retx: bool,
+    ) -> String {
+        format!(
+            r#"{{"seq":{seq},"event":{{"MsgSent":{{"id":{id},"parent":{parent},"from":{from},"to":{to},"kind":"{kind}","phase":"hello","bytes":9,"retransmission":{retx}}}}}}}"#
+        )
+    }
+
+    fn delivered(seq: u64, id: u64, from: u64, to: u64) -> String {
+        format!(
+            r#"{{"seq":{seq},"event":{{"MsgDelivered":{{"id":{id},"from":{from},"to":{to}}}}}}}"#
+        )
+    }
+
+    fn dropped(seq: u64, id: u64, from: u64, to: u64, reason: &str) -> String {
+        format!(
+            r#"{{"seq":{seq},"event":{{"MsgDropped":{{"id":{id},"from":{from},"to":{to},"reason":"{reason}"}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn reconstructs_the_chain_with_retransmit_and_drop_forks() {
+        // hello broadcast #1 from 3 reaches 4 (and one node off-edge);
+        // 4 answers with record_reply #2; its reliable envelope #3 is
+        // dropped and retransmitted as #4, which gets acked by #5.
+        let events = [
+            sent(1, 1, "null", 3, "null", "hello", false),
+            delivered(2, 1, 3, 4),
+            delivered(3, 1, 3, 9),
+            sent(4, 2, "1", 4, "3", "record_reply", false),
+            delivered(5, 2, 4, 3),
+            sent(6, 3, "2", 3, "4", "reliable.relation_commit", false),
+            dropped(7, 3, 3, 4, "LinkLoss"),
+            sent(8, 4, "3", 3, "4", "reliable.relation_commit", true),
+            delivered(9, 4, 3, 4),
+            sent(10, 5, "4", 4, "3", "ack", false),
+            delivered(11, 5, 4, 3),
+            // off-edge chatter that must not render
+            sent(12, 6, "null", 9, "8", "hello_ack", false),
+        ]
+        .join(",");
+        let r = row(&events);
+        let out = causal(&[&r], &CausalOptions { edge: (3, 4) }).expect("events present");
+        assert!(out.contains("hello #1 3->*"), "{out}");
+        assert!(out.contains("+1 elsewhere"), "{out}");
+        assert!(out.contains("record_reply #2 4->3"), "{out}");
+        assert!(out.contains("DROPPED->4(LinkLoss)"), "{out}");
+        assert!(out.contains("reliable.relation_commit #4 3->4"), "{out}");
+        assert!(out.contains("RETX"), "{out}");
+        assert!(out.contains("ack #5 4->3"), "{out}");
+        assert!(!out.contains("hello_ack #6"), "{out}");
+        // The tree nests: deeper chain links are indented further.
+        let hello_col = out
+            .lines()
+            .find_map(|l| l.find("hello #1"))
+            .expect("hello line");
+        let ack_col = out
+            .lines()
+            .find_map(|l| l.find("ack #5"))
+            .expect("ack line");
+        assert!(ack_col > hello_col, "{out}");
+    }
+
+    #[test]
+    fn edge_without_traffic_says_so() {
+        let events = sent(1, 1, "null", 3, "7", "hello_ack", false);
+        let r = row(&events);
+        let out = causal(&[&r], &CausalOptions { edge: (1, 2) }).expect("events present");
+        assert!(out.contains("no ledger messages touch this edge"), "{out}");
+    }
+
+    #[test]
+    fn rows_without_events_are_a_usage_error() {
+        let r = Row {
+            label: "bench:protocol".to_string(),
+            value: parse(r#"{"rows":[]}"#).expect("valid"),
+        };
+        assert!(matches!(
+            causal(&[&r], &CausalOptions { edge: (1, 2) }),
+            Err(TraceError::Usage(_))
+        ));
+    }
+}

@@ -5,7 +5,7 @@
 //! `results/<experiment>.jsonl`, and the perf bins' committed
 //! `BENCH_*.json` trajectory files. This crate reads both back through
 //! `snd_observe::json` (field order preserved) and turns them into the
-//! four views the CLI exposes:
+//! views the CLI exposes:
 //!
 //! * [`summarize`](summarize::summarize) — per-phase sim-time and
 //!   wall-clock breakdowns plus the headline counters of each row;
@@ -15,15 +15,23 @@
 //! * [`timeline`](timeline::timeline) — the per-node forensic event chain
 //!   behind each accepted or rejected edge;
 //! * [`flame`](flame::flame) — `prof.*.ns` registry histograms folded
-//!   back into flamegraph-compatible `a;b <self_ns>` stacks.
+//!   back into flamegraph-compatible `a;b <self_ns>` stacks;
+//! * [`overhead`](overhead::overhead) — communication-ledger pivots over
+//!   the `comm.*` export: per-phase byte/energy breakdowns, per-node
+//!   distributions and the E9 consistency check (DESIGN.md §13);
+//! * [`causal`](causal::causal) — message-level causal chains for one
+//!   edge, reconstructed from the ledger's `MsgSent`/`MsgDelivered`/
+//!   `MsgDropped` events, retransmit and drop forks included.
 //!
 //! The library is I/O-free except for [`input::load_rows`]; everything
 //! else maps parsed [`Value`](snd_observe::json::Value) trees to strings,
 //! so the golden tests can pin CLI output byte-for-byte.
 
+pub mod causal;
 pub mod diff;
 pub mod flame;
 pub mod input;
+pub mod overhead;
 pub mod summarize;
 pub mod timeline;
 

@@ -5,6 +5,8 @@
 //! snd-trace diff <baseline> <candidate> [--tolerance FRAC] [--ignore SUBSTR]...
 //! snd-trace timeline <file> --node N [--row SUBSTR] [--peer M]
 //! snd-trace flame <file>... [--row SUBSTR]
+//! snd-trace overhead <file>... [--row SUBSTR]
+//! snd-trace causal <file>... --edge U V [--row SUBSTR]
 //! ```
 //!
 //! Exit codes: 0 success (for `diff`: within tolerance), 1 `diff` found
@@ -13,9 +15,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use snd_trace::causal::{causal, CausalOptions};
 use snd_trace::diff::{diff_rows, render, DiffOptions};
 use snd_trace::flame::flame;
 use snd_trace::input::{load_rows, select, Row};
+use snd_trace::overhead::overhead;
 use snd_trace::summarize::summarize;
 use snd_trace::timeline::{timeline, TimelineOptions};
 use snd_trace::TraceError;
@@ -25,6 +29,8 @@ const USAGE: &str = "usage:
   snd-trace diff <baseline> <candidate> [--tolerance FRAC] [--ignore SUBSTR]...
   snd-trace timeline <file> --node N [--row SUBSTR] [--peer M]
   snd-trace flame <file>... [--row SUBSTR]
+  snd-trace overhead <file>... [--row SUBSTR]
+  snd-trace causal <file>... --edge U V [--row SUBSTR]
 
 exit codes: 0 ok / within tolerance, 1 diff found regressions, 2 usage or i/o error";
 
@@ -113,6 +119,32 @@ fn run(args: &[String]) -> Result<ExitCode, TraceError> {
             print!("{}", flame(&selected)?);
             Ok(ExitCode::SUCCESS)
         }
+        "overhead" => {
+            let parsed = Parsed::from(rest, &["--row"])?;
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", overhead(&selected)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "causal" => {
+            // `--edge U V` takes two values; fold them into one token so
+            // the single-valued flag parser can carry them.
+            let folded = fold_edge(rest);
+            let parsed = Parsed::from(&folded, &["--edge", "--row"])?;
+            let raw = parsed
+                .flag("--edge")
+                .ok_or_else(|| TraceError::Usage("causal requires --edge U V".to_string()))?;
+            let (u, v) = raw
+                .split_once(',')
+                .ok_or_else(|| TraceError::Usage("--edge needs two node ids".to_string()))?;
+            let opts = CausalOptions {
+                edge: (parse_id("--edge", u)?, parse_id("--edge", v)?),
+            };
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", causal(&selected, &opts)?);
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(TraceError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -174,4 +206,26 @@ impl Parsed {
 fn parse_id(flag: &str, raw: &str) -> Result<u64, TraceError> {
     raw.parse()
         .map_err(|_| TraceError::Usage(format!("{flag} {raw:?} is not a node id")))
+}
+
+/// Rewrites `--edge U V` into `--edge U,V` (the comma form also parses
+/// verbatim) so [`Parsed`] can treat it as a single-valued flag.
+fn fold_edge(args: &[String]) -> Vec<String> {
+    let mut folded = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--edge"
+            && i + 2 < args.len()
+            && args[i + 1].parse::<u64>().is_ok()
+            && args[i + 2].parse::<u64>().is_ok()
+        {
+            folded.push("--edge".to_string());
+            folded.push(format!("{},{}", args[i + 1], args[i + 2]));
+            i += 3;
+        } else {
+            folded.push(args[i].clone());
+            i += 1;
+        }
+    }
+    folded
 }

@@ -1,0 +1,467 @@
+//! Communication-overhead pivots: where the bytes and joules went.
+//!
+//! `overhead` reads the `comm.*` ledger export (DESIGN.md §13) out of each
+//! selected row and renders it as pivot tables: wave totals, a per-phase
+//! byte/energy breakdown, a per-kind byte breakdown, drops by reason, the
+//! per-node distribution histograms, the top talkers with the imbalance
+//! ratio, and the E9 consistency check tying the ledger back to the
+//! simulator transport counters. With more than one ledger-bearing row a
+//! cross-run comparison table closes the output. `BENCH_protocol.json`
+//! trajectories (no registry, but `rows[].comm` summaries) get a per-size
+//! comparison table instead.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// Protocol-order phase listing; unknown phases append alphabetically.
+const PHASE_ORDER: [&str; 6] = ["setup", "hello", "commit", "collect", "update", "finalize"];
+
+/// Renders the communication-overhead view of `rows`.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when no selected row carries a `comm.*` registry
+/// export or a bench `rows[].comm` summary.
+pub fn overhead(rows: &[&Row]) -> Result<String, TraceError> {
+    let mut out = String::new();
+    let mut compare: Vec<(String, BTreeMap<String, u64>)> = Vec::new();
+    let mut any = false;
+    for row in rows {
+        if let Some(counters) = row
+            .value
+            .get("registry")
+            .and_then(|r| r.get("counters"))
+            .and_then(Value::as_object)
+        {
+            let comm = collect_prefixed(counters, "comm.");
+            if comm.is_empty() {
+                continue;
+            }
+            any = true;
+            let _ = writeln!(out, "== {} ==", row.label);
+            render_ledger(&mut out, &comm, counters, &row.value);
+            compare.push((row.label.clone(), comm));
+            out.push('\n');
+        } else if let Some(bench_rows) = row.value.get("rows").and_then(Value::as_array) {
+            if render_bench(&mut out, &row.label, bench_rows) {
+                any = true;
+                out.push('\n');
+            }
+        }
+    }
+    if !any {
+        return Err(TraceError::Usage(
+            "no selected row carries a comm.* ledger export".to_string(),
+        ));
+    }
+    if compare.len() > 1 {
+        render_comparison(&mut out, &compare);
+    }
+    Ok(out)
+}
+
+/// All counters under `prefix`, keyed by the trimmed remainder.
+fn collect_prefixed(counters: &[(String, Value)], prefix: &str) -> BTreeMap<String, u64> {
+    counters
+        .iter()
+        .filter_map(|(k, v)| {
+            let rest = k.strip_prefix(prefix)?;
+            Some((rest.to_string(), v.as_f64()? as u64))
+        })
+        .collect()
+}
+
+fn get(map: &BTreeMap<String, u64>, key: &str) -> u64 {
+    map.get(key).copied().unwrap_or(0)
+}
+
+/// Nanojoules rendered as microjoules with fixed precision.
+fn uj(nj: u64) -> String {
+    format!("{:.3}", nj as f64 / 1e3)
+}
+
+fn render_ledger(
+    out: &mut String,
+    comm: &BTreeMap<String, u64>,
+    counters: &[(String, Value)],
+    row: &Value,
+) {
+    let _ = writeln!(
+        out,
+        "totals: tx {} msgs / {} B, rx {} msgs / {} B, frames {} sent = {} delivered + {} dropped, \
+         {} retransmissions, energy tx {} uJ rx {} uJ",
+        get(comm, "tx_msgs"),
+        get(comm, "tx_bytes"),
+        get(comm, "rx_msgs"),
+        get(comm, "rx_bytes"),
+        get(comm, "tx_frames"),
+        get(comm, "delivered_frames"),
+        get(comm, "dropped_frames"),
+        get(comm, "retransmissions"),
+        uj(get(comm, "tx_energy_nj")),
+        uj(get(comm, "rx_energy_nj")),
+    );
+
+    // Per-phase pivot: comm.phase.<phase>.<field>.
+    let mut phases: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+    for (key, value) in comm {
+        if let Some(rest) = key.strip_prefix("phase.") {
+            if let Some((phase, field)) = rest.split_once('.') {
+                phases.entry(phase).or_default().insert(field, *value);
+            }
+        }
+    }
+    if !phases.is_empty() {
+        let _ = writeln!(
+            out,
+            "per phase:\n  {:<10} {:>9} {:>10} {:>9} {:>10} {:>7} {:>6} {:>12}",
+            "phase", "tx msgs", "tx bytes", "rx msgs", "rx bytes", "drops", "retx", "energy (uJ)"
+        );
+        let ordered = PHASE_ORDER
+            .iter()
+            .copied()
+            .filter(|p| phases.contains_key(p))
+            .chain(phases.keys().copied().filter(|p| !PHASE_ORDER.contains(p)));
+        for phase in ordered {
+            let f = &phases[phase];
+            let g = |k: &str| f.get(k).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9} {:>10} {:>9} {:>10} {:>7} {:>6} {:>12}",
+                phase,
+                g("tx_msgs"),
+                g("tx_bytes"),
+                g("rx_msgs"),
+                g("rx_bytes"),
+                g("dropped_frames"),
+                g("retransmissions"),
+                uj(g("tx_energy_nj") + g("rx_energy_nj")),
+            );
+        }
+    }
+
+    // Per-kind pivot: comm.kind.<kind>.{tx_msgs,tx_bytes}; kinds may
+    // themselves contain dots ("reliable.relation_commit"), so the field
+    // is split off the right.
+    let mut kinds: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for (key, value) in comm {
+        if let Some(rest) = key.strip_prefix("kind.") {
+            if let Some((kind, field)) = rest.rsplit_once('.') {
+                let entry = kinds.entry(kind).or_default();
+                match field {
+                    "tx_msgs" => entry.0 = *value,
+                    "tx_bytes" => entry.1 = *value,
+                    _ => {}
+                }
+            }
+        }
+    }
+    if !kinds.is_empty() {
+        let mut sorted: Vec<_> = kinds.into_iter().collect();
+        sorted.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+        let _ = writeln!(
+            out,
+            "per kind:\n  {:<26} {:>9} {:>10}",
+            "kind", "tx msgs", "tx bytes"
+        );
+        for (kind, (msgs, bytes)) in sorted {
+            let _ = writeln!(out, "  {kind:<26} {msgs:>9} {bytes:>10}");
+        }
+    }
+
+    let drops: Vec<(&str, u64)> = comm
+        .iter()
+        .filter_map(|(k, v)| Some((k.strip_prefix("drops.")?, *v)))
+        .collect();
+    if !drops.is_empty() {
+        let _ = writeln!(out, "drops by reason:");
+        for (reason, count) in drops {
+            let _ = writeln!(out, "  {reason:<26} {count:>9}");
+        }
+    }
+
+    render_node_distribution(out, row);
+
+    let talkers: Vec<(u64, u64, u64)> = (0..)
+        .map_while(|i| {
+            Some((
+                *comm.get(&format!("top_talker.{i}.node"))?,
+                get(comm, &format!("top_talker.{i}.bytes")),
+                get(comm, &format!("top_talker.{i}.tx_bytes")),
+            ))
+        })
+        .collect();
+    if !talkers.is_empty() {
+        let _ = writeln!(out, "top talkers (tx+rx bytes):");
+        for (node, bytes, tx_bytes) in talkers {
+            let _ = writeln!(out, "  node {node:<8} {bytes:>10} B ({tx_bytes} tx)");
+        }
+    }
+    if let Some(imbalance) = comm.get("imbalance_x1000") {
+        let _ = writeln!(
+            out,
+            "imbalance: hottest node carries {:.3}x the mean byte load",
+            *imbalance as f64 / 1e3
+        );
+    }
+
+    render_e9(out, comm, counters);
+}
+
+/// The `comm.node.*` per-node distribution histograms, when exported.
+fn render_node_distribution(out: &mut String, row: &Value) {
+    let Some(histograms) = row
+        .get("registry")
+        .and_then(|r| r.get("histograms"))
+        .and_then(Value::as_object)
+    else {
+        return;
+    };
+    let mut lines = Vec::new();
+    for (key, summary) in histograms {
+        let Some(metric) = key.strip_prefix("comm.node.") else {
+            continue;
+        };
+        let field = |name: &str| summary.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+        lines.push(format!(
+            "  {:<12} nodes {:>6}  mean {:>12.1}  p50 {:>10}  p90 {:>10}  max {:>10}",
+            metric,
+            field("count") as u64,
+            field("mean"),
+            field("p50") as u64,
+            field("p90") as u64,
+            field("max") as u64,
+        ));
+    }
+    if !lines.is_empty() {
+        let _ = writeln!(out, "per-node distribution:");
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+/// The E9 cross-check (EXPERIMENTS.md): the ledger's message counters must
+/// equal the simulator transport counters captured in the same registry.
+fn render_e9(out: &mut String, comm: &BTreeMap<String, u64>, counters: &[(String, Value)]) {
+    let sim = |key: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .map(|v| v as u64)
+    };
+    let (Some(uni), Some(bcast), Some(bytes), Some(received)) = (
+        sim("sim.unicasts_sent"),
+        sim("sim.broadcasts_sent"),
+        sim("sim.bytes_sent"),
+        sim("sim.received"),
+    ) else {
+        return;
+    };
+    let checks = [
+        (
+            "comm.tx_msgs == sim sends",
+            get(comm, "tx_msgs"),
+            uni + bcast,
+        ),
+        (
+            "comm.tx_bytes == sim.bytes_sent",
+            get(comm, "tx_bytes"),
+            bytes,
+        ),
+        (
+            "comm.rx_msgs == sim.received",
+            get(comm, "rx_msgs"),
+            received,
+        ),
+    ];
+    let mut ok = true;
+    for (name, ledger, transport) in checks {
+        if ledger != transport {
+            ok = false;
+            let _ = writeln!(out, "E9 MISMATCH: {name} fails ({ledger} != {transport})");
+        }
+    }
+    if ok {
+        let _ = writeln!(
+            out,
+            "E9 consistency: ok (ledger matches transport counters)"
+        );
+    }
+}
+
+/// Per-size comparison over a bench trajectory's `rows[].comm` summaries.
+fn render_bench(out: &mut String, label: &str, bench_rows: &[Value]) -> bool {
+    let mut lines = Vec::new();
+    let mut phase_lines = Vec::new();
+    for row in bench_rows {
+        let Some(comm) = row.get("comm") else {
+            continue;
+        };
+        let num = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let nodes = num(row, "nodes");
+        lines.push(format!(
+            "  {:>8} {:>9} {:>10} {:>9} {:>8} {:>6} {:>14} {:>11.3}",
+            nodes,
+            num(comm, "tx_msgs"),
+            num(comm, "tx_bytes"),
+            num(comm, "rx_msgs"),
+            num(comm, "dropped_frames"),
+            num(comm, "retransmissions"),
+            uj(num(comm, "tx_energy_nj") + num(comm, "rx_energy_nj")),
+            num(comm, "imbalance_x1000") as f64 / 1e3,
+        ));
+        if let Some(phase_bytes) = comm.get("phase_tx_bytes").and_then(Value::as_object) {
+            let parts: Vec<String> = phase_bytes
+                .iter()
+                .map(|(phase, bytes)| format!("{phase}={}", leaf_u64(bytes)))
+                .collect();
+            phase_lines.push(format!("  n={nodes}: {}", parts.join(" ")));
+        }
+    }
+    if lines.is_empty() {
+        return false;
+    }
+    let _ = writeln!(out, "== {label} ==");
+    let _ = writeln!(
+        out,
+        "per size:\n  {:>8} {:>9} {:>10} {:>9} {:>8} {:>6} {:>14} {:>11}",
+        "nodes", "tx msgs", "tx bytes", "rx msgs", "drops", "retx", "energy (uJ)", "imbalance"
+    );
+    for line in lines {
+        let _ = writeln!(out, "{line}");
+    }
+    if !phase_lines.is_empty() {
+        let _ = writeln!(out, "phase tx bytes:");
+        for line in phase_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    true
+}
+
+/// Cross-run comparison of wave totals, one line per ledger-bearing row.
+fn render_comparison(out: &mut String, runs: &[(String, BTreeMap<String, u64>)]) {
+    let _ = writeln!(
+        out,
+        "cross-run comparison:\n  {:<28} {:>9} {:>10} {:>9} {:>8} {:>6} {:>14}",
+        "row", "tx msgs", "tx bytes", "rx msgs", "drops", "retx", "energy (uJ)"
+    );
+    for (label, comm) in runs {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9} {:>10} {:>9} {:>8} {:>6} {:>14}",
+            label,
+            get(comm, "tx_msgs"),
+            get(comm, "tx_bytes"),
+            get(comm, "rx_msgs"),
+            get(comm, "dropped_frames"),
+            get(comm, "retransmissions"),
+            uj(get(comm, "tx_energy_nj") + get(comm, "rx_energy_nj")),
+        );
+    }
+}
+
+fn leaf_u64(v: &Value) -> u64 {
+    v.as_f64().unwrap_or(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::parse;
+
+    fn row(json: &str, label: &str) -> Row {
+        Row {
+            label: label.to_string(),
+            value: parse(json).expect("valid test json"),
+        }
+    }
+
+    #[test]
+    fn renders_ledger_pivots_and_e9_check() {
+        let report = r#"{"registry":{"counters":{
+            "comm.tx_msgs":10,"comm.tx_bytes":200,"comm.rx_msgs":8,"comm.rx_bytes":160,
+            "comm.tx_frames":12,"comm.delivered_frames":8,"comm.dropped_frames":4,
+            "comm.retransmissions":2,"comm.tx_energy_nj":4000,"comm.rx_energy_nj":1000,
+            "comm.phase.hello.tx_msgs":6,"comm.phase.hello.tx_bytes":120,
+            "comm.phase.collect.tx_msgs":4,"comm.phase.collect.tx_bytes":80,
+            "comm.kind.hello.tx_msgs":6,"comm.kind.hello.tx_bytes":120,
+            "comm.kind.reliable.relation_commit.tx_msgs":4,
+            "comm.kind.reliable.relation_commit.tx_bytes":80,
+            "comm.drops.LinkLoss":4,
+            "comm.top_talker.0.node":7,"comm.top_talker.0.bytes":90,"comm.top_talker.0.tx_bytes":60,
+            "comm.imbalance_x1000":1500,
+            "sim.unicasts_sent":7,"sim.broadcasts_sent":3,"sim.bytes_sent":200,"sim.received":8
+        },"histograms":{"comm.node.bytes":{"count":5,"sum":360,"mean":72.0,"min":10,"max":90,"p50":70,"p90":90,"p99":90}}}}"#;
+        let r = row(report, "demo/wave#1");
+        let out = overhead(&[&r]).expect("ledger present");
+        assert!(out.contains("totals: tx 10 msgs / 200 B"), "{out}");
+        assert!(out.contains("hello"), "{out}");
+        assert!(out.contains("reliable.relation_commit"), "{out}");
+        assert!(out.contains("LinkLoss"), "{out}");
+        assert!(out.contains("node 7"), "{out}");
+        assert!(out.contains("1.500x the mean"), "{out}");
+        assert!(out.contains("E9 consistency: ok"), "{out}");
+        assert!(out.contains("per-node distribution:"), "{out}");
+        // hello rows sort above collect (protocol order).
+        let hello = out.find("  hello").expect("hello row");
+        let collect = out.find("  collect").expect("collect row");
+        assert!(hello < collect);
+    }
+
+    #[test]
+    fn e9_mismatch_is_called_out() {
+        let report = r#"{"registry":{"counters":{
+            "comm.tx_msgs":10,"comm.tx_bytes":200,"comm.rx_msgs":8,
+            "sim.unicasts_sent":9,"sim.broadcasts_sent":3,"sim.bytes_sent":200,"sim.received":8
+        },"histograms":{}}}"#;
+        let r = row(report, "demo/wave#1");
+        let out = overhead(&[&r]).expect("ledger present");
+        assert!(
+            out.contains("E9 MISMATCH: comm.tx_msgs == sim sends fails (10 != 12)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn bench_trajectories_get_a_per_size_table() {
+        let bench = r#"{"bench":"protocol","rows":[
+            {"nodes":200,"comm":{"tx_msgs":100,"tx_bytes":2000,"rx_msgs":90,"rx_bytes":1800,
+             "dropped_frames":10,"retransmissions":3,"tx_energy_nj":5000,"rx_energy_nj":2000,
+             "imbalance_x1000":1200,"phase_tx_bytes":{"hello":800,"collect":1200}}}
+        ]}"#;
+        let r = row(bench, "bench:protocol");
+        let out = overhead(&[&r]).expect("comm rows present");
+        assert!(out.contains("per size:"), "{out}");
+        assert!(out.contains("hello=800"), "{out}");
+    }
+
+    #[test]
+    fn multiple_ledger_rows_get_a_comparison_table() {
+        let report = r#"{"registry":{"counters":{"comm.tx_msgs":10,"comm.tx_bytes":200,
+            "comm.rx_msgs":8,"comm.dropped_frames":1,"comm.retransmissions":0,
+            "comm.tx_energy_nj":100,"comm.rx_energy_nj":50},"histograms":{}}}"#;
+        let a = row(report, "demo/a#1");
+        let b = row(report, "demo/b#1");
+        let out = overhead(&[&a, &b]).expect("ledgers present");
+        assert!(out.contains("cross-run comparison:"), "{out}");
+        assert!(out.contains("demo/a#1"), "{out}");
+        assert!(out.contains("demo/b#1"), "{out}");
+    }
+
+    #[test]
+    fn rows_without_comm_are_a_usage_error() {
+        let r = row(
+            r#"{"registry":{"counters":{"sim.received":3},"histograms":{}}}"#,
+            "x",
+        );
+        assert!(matches!(overhead(&[&r]), Err(TraceError::Usage(_))));
+    }
+}

@@ -96,6 +96,14 @@ fn report_summary(out: &mut String, row: &Value, registry: &Value) {
             out,
             "events: {stored} stored, {dropped} dropped (bounded retention)"
         );
+        if dropped > 0.0 {
+            let _ = writeln!(
+                out,
+                "WARNING: retention gap — {} raw events were dropped; `timeline` chains and \
+                 `causal` trees over this row may be incomplete (registry aggregates are exact)",
+                dropped as u64
+            );
+        }
     }
 }
 
