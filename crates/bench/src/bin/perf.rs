@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use serde::Serialize;
-use snd_core::model::functional::{functional_topology, functional_topology_localized};
+use snd_core::model::functional::{
+    functional_topology, functional_topology_localized, functional_topology_parallel,
+};
 use snd_core::model::safety::check_d_safety;
 use snd_core::model::validation::CommonNeighborRule;
 use snd_exec::Executor;
@@ -51,6 +53,7 @@ struct PerfRow {
     graph_build_ms: f64,
     freeze_ms: f64,
     functional_frozen_ms: f64,
+    functional_parallel_ms: f64,
     functional_localized_ms: f64,
     functional_speedup: f64,
     safety_check_ms: f64,
@@ -92,6 +95,22 @@ fn bench_row(nodes: usize, seed: u64) -> PerfRow {
     let functional = functional_topology(&rule, &tentative);
     let functional_frozen_ms = ms(t0);
 
+    // Row-parallel sweep at the ambient SND_THREADS; must be byte-equal
+    // to the serial frozen path (index-order merge, DESIGN.md §14).
+    let row_exec = Executor::from_env();
+    let t0 = Instant::now();
+    let parallel = functional_topology_parallel(
+        &rule,
+        &tentative,
+        &row_exec,
+        &snd_observe::profile::Profiler::disabled(),
+    );
+    let functional_parallel_ms = ms(t0);
+    assert_eq!(
+        functional, parallel,
+        "serial and row-parallel sweeps must agree at n={nodes}"
+    );
+
     let t0 = Instant::now();
     let reference = functional_topology_localized(&rule, &tentative);
     let functional_localized_ms = ms(t0);
@@ -118,6 +137,7 @@ fn bench_row(nodes: usize, seed: u64) -> PerfRow {
         graph_build_ms,
         freeze_ms,
         functional_frozen_ms,
+        functional_parallel_ms,
         functional_localized_ms,
         functional_speedup: functional_localized_ms / functional_frozen_ms.max(1e-9),
         safety_check_ms,

@@ -51,7 +51,7 @@ pub struct ProtocolBenchConfig {
 impl Default for ProtocolBenchConfig {
     fn default() -> Self {
         ProtocolBenchConfig {
-            sizes: vec![200, 2_000, 20_000],
+            sizes: vec![200, 2_000, 20_000, 100_000],
             threshold: 5,
             range: 50.0,
             density: 0.002,

@@ -32,6 +32,7 @@ use snd_bench::experiments::faults::{fault_rows, FaultsConfig};
 use snd_bench::experiments::figures::{fig3_rows, fig4_rows, Fig3Config, Fig4Config};
 use snd_bench::experiments::generic_attack::{protocol_contrast, GenericAttackConfig};
 use snd_bench::experiments::overhead::{density_rows, OverheadConfig};
+use snd_bench::experiments::protocol::{protocol_rows, ProtocolBenchConfig};
 use snd_bench::experiments::safety::{two_r_safety_rows, SafetyConfig};
 use snd_bench::scenario::{paper_scenario, PaperScenario};
 use snd_exec::Executor;
@@ -167,6 +168,12 @@ fn representative_reports() -> Vec<(&'static str, RunReport)> {
         ..FaultsConfig::default()
     };
     rows.push(("faults", fault_rows(&faults, &exec).remove(0).report));
+
+    let protocol = ProtocolBenchConfig {
+        sizes: vec![120],
+        ..ProtocolBenchConfig::default()
+    };
+    rows.push(("protocol", protocol_rows(&protocol, &exec).remove(0).report));
 
     rows
 }

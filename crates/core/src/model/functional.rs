@@ -4,6 +4,7 @@
 //! yields the *functional network topology* Ḡ — "the actual topology used by
 //! the application".
 
+use snd_exec::Executor;
 use snd_observe::profile::Profiler;
 use snd_topology::{DiGraph, FrozenGraph, NodeId};
 
@@ -63,6 +64,56 @@ pub fn functional_topology_profiled<F: NeighborValidationFunction>(
         }
     }
     validate.close();
+    prof.close();
+    functional
+}
+
+/// [`functional_topology`] with the validation sweep fanned out across an
+/// [`Executor`] (`SND_THREADS`), one CSR row per work item.
+///
+/// Rows are independent — `validate_frozen` reads only the shared frozen
+/// snapshot, and the localized fallback builds `B(u)` privately per row —
+/// so workers share nothing mutable. Per-row accept lists come back in
+/// index order ([`Executor::map_indexed`]) and merge through
+/// [`DiGraph::from_rows`], making the result byte-identical to the serial
+/// [`functional_topology_profiled`] at any thread count (the equivalence
+/// suite in `tests/` and the `functional;validate` profiling span both
+/// rely on this). The per-row `localized` fallback span is not emitted
+/// here: nested spans from concurrent rows would interleave
+/// nondeterministically, and the fallback cost is already visible in the
+/// enclosing `validate` span.
+pub fn functional_topology_parallel<F: NeighborValidationFunction + Sync>(
+    f: &F,
+    tentative: &DiGraph,
+    exec: &Executor,
+    profiler: &Profiler,
+) -> DiGraph {
+    let prof = profiler.span("functional");
+    let frozen = {
+        let _freeze = profiler.span("freeze");
+        FrozenGraph::freeze(tentative)
+    };
+    let validate = profiler.span("validate");
+    let rows: Vec<Vec<NodeId>> = exec.map_indexed(frozen.node_count(), |ui| {
+        let u = ui as u32;
+        let mut localized: Option<DiGraph> = None;
+        let mut accepted = Vec::new();
+        for &v in frozen.out(u) {
+            let accept = match f.validate_frozen(u, v, &frozen) {
+                Some(decision) => decision,
+                None => {
+                    let b = localized.get_or_insert_with(|| knowledge_of(tentative, frozen.id(u)));
+                    f.validate(frozen.id(u), frozen.id(v), b)
+                }
+            };
+            if accept {
+                accepted.push(frozen.id(v));
+            }
+        }
+        accepted
+    });
+    validate.close();
+    let functional = DiGraph::from_rows(frozen.ids().iter().copied().zip(rows));
     prof.close();
     functional
 }
@@ -226,6 +277,49 @@ mod tests {
         assert!(f.has_edge(n(6), n(1)));
         // Clique members know far more than 6 edges: everything dropped.
         assert!(!f.has_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_at_any_thread_count() {
+        use rand::{Rng, SeedableRng};
+        use snd_topology::unit_disk::{unit_disk_graph, RadioSpec};
+        use snd_topology::{Deployment, Field};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let d = Deployment::uniform(Field::square(240.0), 160, &mut rng);
+        let mut g = unit_disk_graph(&d, &RadioSpec::uniform(48.0));
+        let edges: Vec<_> = g.edges().collect();
+        for (u, v) in edges {
+            if rng.gen_range(0..5) == 0 {
+                g.remove_edge(u, v);
+            }
+        }
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            for t in [0usize, 2, 6] {
+                let rule = CommonNeighborRule::new(t);
+                assert_eq!(
+                    functional_topology_parallel(&rule, &g, &exec, &Profiler::disabled()),
+                    functional_topology(&rule, &g),
+                    "threads={threads}, t={t}"
+                );
+            }
+            assert_eq!(
+                functional_topology_parallel(&AcceptAll, &g, &exec, &Profiler::disabled()),
+                functional_topology(&AcceptAll, &g),
+                "threads={threads}, accept-all"
+            );
+        }
+        // Empty graph: the sweep has zero rows and must still terminate.
+        assert_eq!(
+            functional_topology_parallel(
+                &AcceptAll,
+                &DiGraph::new(),
+                &Executor::new(4),
+                &Profiler::disabled()
+            ),
+            DiGraph::new()
+        );
     }
 
     #[test]

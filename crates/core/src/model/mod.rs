@@ -18,7 +18,8 @@ pub mod validation;
 
 pub use centralized::{centralized_validation, CentralizedOutcome};
 pub use functional::{
-    functional_topology, functional_topology_localized, functional_topology_profiled,
+    functional_topology, functional_topology_localized, functional_topology_parallel,
+    functional_topology_profiled,
 };
 pub use knowledge::knowledge_of;
 pub use safety::{safety_radius, SafetyReport};

@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use snd_crypto::keys::SymmetricKey;
+use snd_exec::Executor;
 use snd_observe::event::{Event, Phase};
 use snd_observe::profile::Profiler;
 use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
@@ -157,6 +158,14 @@ pub struct DiscoveryEngine {
     recorder: Arc<dyn Recorder>,
     /// Wall-clock profiler; disabled (spans inert) unless installed.
     profiler: Profiler,
+    /// Worker pool for in-wave parallel stages (the batched hello phase).
+    /// Sized from `SND_THREADS` unless overridden; thread count never
+    /// changes results (DESIGN.md §9/§14).
+    exec: Executor,
+    /// Whether the hello phase runs through the batched per-node bulk
+    /// path (the default) or the pre-batch message-at-a-time reference
+    /// ([`DiscoveryEngine::wave_serial_reference`]).
+    batched_hello: bool,
     /// Waves completed, for event numbering (first wave is 1).
     waves_run: u64,
     /// Whether benign old nodes automatically request record updates.
@@ -203,6 +212,8 @@ impl DiscoveryEngine {
             key_cache: true,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::disabled(),
+            exec: Executor::from_env(),
+            batched_hello: true,
             waves_run: 0,
             auto_update_benign: true,
             direct_verification: true,
@@ -300,6 +311,32 @@ impl DiscoveryEngine {
     /// The active ARQ policy.
     pub fn reliability(&self) -> ReliabilityConfig {
         self.reliability
+    }
+
+    /// Installs the worker pool for in-wave parallel stages. The default
+    /// is [`Executor::from_env`] (`SND_THREADS`); any size produces
+    /// byte-identical waves — this only changes wall-clock time.
+    pub fn set_executor(&mut self, exec: Executor) {
+        self.exec = exec;
+    }
+
+    /// The in-wave worker pool.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// Routes the hello phase through the pre-batch serial reference
+    /// path (`false`) instead of the batched bulk path (`true`, the
+    /// default). The two are byte-identical — `wave_serial_reference` in
+    /// `tests/wave_equivalence.rs` is the differential proof — so the
+    /// serial path exists only as that test's oracle.
+    pub fn set_batched_hello(&mut self, enabled: bool) {
+        self.batched_hello = enabled;
+    }
+
+    /// Whether the hello phase uses the batched bulk path.
+    pub fn batched_hello(&self) -> bool {
+        self.batched_hello
     }
 
     /// Enables or disables the per-node pairwise-key memo caches, for all
@@ -422,8 +459,13 @@ impl DiscoveryEngine {
                         .broadcast_meta(id, payload, meta_retx("hello", original));
                 }
             }
-            self.pump(); // deliver Hellos; acks queued
-            self.pump(); // deliver acks; tentative lists complete
+            if self.batched_hello {
+                self.pump_hello(); // deliver Hellos; acks queued
+                self.pump_hello(); // deliver acks; tentative lists complete
+            } else {
+                self.pump(); // deliver Hellos; acks queued
+                self.pump(); // deliver acks; tentative lists complete
+            }
         }
         prof.close();
         span.close(self.sim.now());
@@ -708,6 +750,108 @@ impl DiscoveryEngine {
             let inbox = self.sim.drain_inbox(id);
             for frame in inbox {
                 self.dispatch(id, frame);
+            }
+        }
+    }
+
+    /// One hello-phase delivery step through the batched bulk path.
+    ///
+    /// Inboxes are drained all at once and the per-node frame handling —
+    /// decode, direct verification, `add_tentative` — fans out across
+    /// [`Executor::map_mut`]: each worker owns exactly one node's state,
+    /// so nothing it mutates is shared. Every *global* effect (the
+    /// `hello_origin`/`wave_contacts` bookkeeping, recorder events, and
+    /// above all the `HelloAck` sends with their order-sensitive ledger
+    /// ids) is emitted as a [`HelloEffect`] and applied afterwards in
+    /// (receiver ascending, frame order) — precisely the order the serial
+    /// reference dispatches in, which is what makes the two paths
+    /// byte-identical at any `SND_THREADS` (DESIGN.md §14).
+    ///
+    /// A node whose inbox holds anything other than `Hello`/`HelloAck`
+    /// (cross-phase stragglers under reordering faults), or whose
+    /// receiver is compromised or unknown to the engine, is *deferred*:
+    /// its whole inbox goes through the serial [`DiscoveryEngine::dispatch`]
+    /// at its merge position, preserving the global order exactly.
+    fn pump_hello(&mut self) {
+        self.sim.advance(SimDuration::from_millis(2));
+        let inboxes = self.sim.drain_all_inboxes();
+        if inboxes.is_empty() {
+            return;
+        }
+
+        let direct_verification = self.direct_verification;
+        let max_range = self.radio.max_range();
+        let exec = self.exec;
+
+        // Pair each inbox with exclusive access to its node's state by a
+        // single ascending merge over the node map (both are id-sorted).
+        let mut work: Vec<HelloWork<'_>> = Vec::with_capacity(inboxes.len());
+        {
+            let adversary = &self.adversary;
+            let mut iter = self.nodes.iter_mut().peekable();
+            for (id, frames) in inboxes {
+                while iter.peek().is_some_and(|(nid, _)| **nid < id) {
+                    iter.next();
+                }
+                let node = if iter.peek().is_some_and(|(nid, _)| **nid == id) {
+                    iter.next().map(|(_, node)| node)
+                } else {
+                    None
+                };
+                // Compromised receivers run attacker logic against
+                // engine-global state: serial path only.
+                let node = node.filter(|_| !adversary.controls(id));
+                work.push(HelloWork { id, frames, node });
+            }
+        }
+
+        let outcomes = exec.map_mut(&mut work, |_, w| {
+            process_hello_inbox(w, direct_verification, max_range)
+        });
+
+        // Drop the node borrows; only ids + raw frames travel onward.
+        let merged: Vec<(NodeId, Vec<Delivered>, HelloOutcome)> = work
+            .into_iter()
+            .zip(outcomes)
+            .map(|(w, outcome)| (w.id, w.frames, outcome))
+            .collect();
+
+        for (receiver, frames, outcome) in merged {
+            match outcome {
+                HelloOutcome::Batched(effects) => {
+                    for effect in effects {
+                        match effect {
+                            HelloEffect::Origin { peer, cause } => {
+                                self.hello_origin.entry((receiver, peer)).or_insert(cause);
+                            }
+                            HelloEffect::Tentative { peer } => {
+                                if self.recorder.enabled() {
+                                    self.recorder.record(Event::TentativeAdded {
+                                        node: receiver,
+                                        peer,
+                                    });
+                                }
+                            }
+                            HelloEffect::Contact { peer } => {
+                                self.wave_contacts.entry(receiver).or_insert(peer);
+                            }
+                            HelloEffect::Ack { peer, cause } => {
+                                self.sim.unicast_meta(
+                                    receiver,
+                                    peer,
+                                    Message::HelloAck { from: receiver }.encode(),
+                                    TxMeta::reply("hello_ack", cause),
+                                );
+                            }
+                            HelloEffect::Malformed => self.report.malformed_frames += 1,
+                        }
+                    }
+                }
+                HelloOutcome::Deferred => {
+                    for frame in frames {
+                        self.dispatch(receiver, frame);
+                    }
+                }
             }
         }
     }
@@ -1129,6 +1273,136 @@ impl DiscoveryEngine {
         }
         g
     }
+}
+
+/// One node's share of a batched hello delivery step: its drained inbox
+/// plus exclusive mutable access to its protocol state. `node` is `None`
+/// when the receiver must take the serial path (compromised, or unknown
+/// to the engine).
+struct HelloWork<'a> {
+    id: NodeId,
+    frames: Vec<Delivered>,
+    node: Option<&'a mut ProtocolNode>,
+}
+
+/// What a hello worker decided for one node's inbox.
+enum HelloOutcome {
+    /// Every frame was pure hello traffic; node-local state is already
+    /// updated and these global effects remain, in frame order.
+    Batched(Vec<HelloEffect>),
+    /// Something in the inbox needs engine-global handling (a cross-phase
+    /// straggler, a compromised receiver, an unknown node): replay the
+    /// whole inbox through the serial dispatch at this merge position.
+    Deferred,
+}
+
+/// A global side effect of hello handling, extracted so the parallel
+/// phase stays node-local. Applied serially in (receiver ascending,
+/// frame order) — the exact order the serial dispatch produces them in,
+/// which keeps ledger msg ids and the fault-plan RNG stream identical.
+enum HelloEffect {
+    /// `hello_origin.entry((receiver, peer)).or_insert(cause)`.
+    Origin { peer: NodeId, cause: u64 },
+    /// A genuinely new tentative neighbor: `Event::TentativeAdded`.
+    Tentative { peer: NodeId },
+    /// `wave_contacts.entry(receiver).or_insert(peer)` (Operational
+    /// receiver noting a reachable wave member).
+    Contact { peer: NodeId },
+    /// Send `HelloAck` to `peer`, citing the Hello's ledger id.
+    Ack { peer: NodeId, cause: u64 },
+    /// Undecodable frame: bump `report.malformed_frames`.
+    Malformed,
+}
+
+/// The node-local half of hello dispatch, byte-equivalent to
+/// [`DiscoveryEngine::dispatch`] + `dispatch_benign` restricted to
+/// `Hello`/`HelloAck`. Mutates only `work.node`; every engine-global
+/// consequence comes back as an ordered [`HelloEffect`] list.
+fn process_hello_inbox(
+    work: &mut HelloWork<'_>,
+    direct_verification: bool,
+    max_range: f64,
+) -> HelloOutcome {
+    let Some(node) = work.node.as_deref_mut() else {
+        return HelloOutcome::Deferred;
+    };
+    let receiver = work.id;
+    // Classification pass: the batch fast path only covers pure hello
+    // traffic. Anything else (reliability envelopes, record exchange
+    // stragglers under reordering faults) defers the whole inbox so the
+    // serial path sees it in its original position.
+    let decoded: Vec<Result<Message, _>> = work
+        .frames
+        .iter()
+        .map(|frame| Message::decode(&frame.payload))
+        .collect();
+    let pure_hello = decoded.iter().all(|msg| {
+        matches!(
+            msg,
+            Ok(Message::Hello { .. }) | Ok(Message::HelloAck { .. }) | Err(_)
+        )
+    });
+    if !pure_hello {
+        return HelloOutcome::Deferred;
+    }
+    let mut effects = Vec::with_capacity(work.frames.len() * 2);
+    for (frame, msg) in work.frames.iter().zip(decoded) {
+        match msg {
+            Err(_) => effects.push(HelloEffect::Malformed),
+            Ok(Message::Hello { from }) => {
+                let direct_ok = !direct_verification
+                    || (frame.distance <= max_range * (1.0 + 1e-9) && from == frame.from);
+                if !direct_ok {
+                    continue; // direct verification rejects the relation
+                }
+                match node.state() {
+                    NodeState::Discovering => {
+                        let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
+                        if node.add_tentative(from).is_ok() {
+                            effects.push(HelloEffect::Origin {
+                                peer: from,
+                                cause: frame.msg_id,
+                            });
+                            if fresh {
+                                effects.push(HelloEffect::Tentative { peer: from });
+                            }
+                        }
+                    }
+                    NodeState::Operational => {
+                        effects.push(HelloEffect::Contact { peer: from });
+                        effects.push(HelloEffect::Origin {
+                            peer: from,
+                            cause: frame.msg_id,
+                        });
+                    }
+                    _ => {}
+                }
+                effects.push(HelloEffect::Ack {
+                    peer: from,
+                    cause: frame.msg_id,
+                });
+            }
+            Ok(Message::HelloAck { from }) => {
+                let direct_ok = !direct_verification
+                    || (frame.distance <= max_range * (1.0 + 1e-9) && from == frame.from);
+                if !direct_ok {
+                    continue; // direct verification rejects the relation
+                }
+                let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
+                if node.add_tentative(from).is_ok() {
+                    effects.push(HelloEffect::Origin {
+                        peer: from,
+                        cause: frame.msg_id,
+                    });
+                    if fresh {
+                        effects.push(HelloEffect::Tentative { peer: from });
+                    }
+                }
+            }
+            Ok(_) => unreachable!("classification pass admits only hello traffic"),
+        }
+    }
+    HelloOutcome::Batched(effects)
 }
 
 #[cfg(test)]

@@ -6,6 +6,14 @@
 //! deployed. An attacker who compromises `u` later can replay `R(u)` but can
 //! never mint a record with a different neighbor list, because `C(u)`
 //! requires `K`.
+//!
+//! Every `create`/`issue`/`verify` here threads the simulator's
+//! [`HashCounter`], so record cryptography lands in the wave's cost ledger
+//! one hash op at a time. The per-pair *verification* keys consumed while
+//! checking relation commitments are not re-derived per frame: the node
+//! memoizes them for the wave (`node::KeyCache`), and
+//! `crates/core/tests/key_cache.rs` pins the exactly-one-derivation-per-pair
+//! contract against duplication and ARQ replay.
 
 use std::collections::BTreeSet;
 

@@ -26,7 +26,12 @@ pub struct ReliabilityConfig {
     /// Retransmissions allowed per outstanding item after the first
     /// attempt (budget 9 ⇒ up to 10 attempts).
     pub retry_budget: u32,
-    /// Maximum Hello broadcast rounds per node in the hello phase.
+    /// Hello broadcast rounds per node in the hello phase (cut short by
+    /// `phase_timeout`). Each round is two batched inbox pumps
+    /// (`engine::pump_hello`, DESIGN.md §14): one delivering the Hellos,
+    /// one delivering the HelloAcks they triggered. Rounds past the first
+    /// count as retransmissions; `add_tentative` is idempotent, so replay
+    /// only fills in what loss dropped.
     pub hello_rounds: u32,
     /// Backoff before the first retransmission; doubles per attempt.
     pub base_backoff: SimDuration,

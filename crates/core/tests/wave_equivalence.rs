@@ -1,0 +1,254 @@
+//! Differential suite for the batched/parallel hello phase.
+//!
+//! The serial message-at-a-time wave (`wave_serial_reference`, the
+//! pre-batch path kept behind the engine's `set_batched_hello(false)`
+//! flag) is the oracle. For a grid of (n, loss, hello_rounds) scenarios
+//! and `SND_THREADS ∈ {1, 2, 8}`, the batched wave must reproduce it
+//! byte-for-byte: the `WaveReport`, the full `comm.*` ledger registry
+//! (totals, per-node rows, per-phase and per-kind aggregates), the
+//! functional and tentative topologies, the hash-op counter, and the
+//! complete structured event stream including every `MsgSent` with its
+//! seed-derived ledger id. That last one is the strongest claim — it
+//! pins the exact global *send order*, which is what the deterministic
+//! msg-id and fault-RNG streams hang off (DESIGN.md §9/§14).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use snd_core::protocol::{DiscoveryEngine, ProtocolConfig, ReliabilityConfig, WaveReport};
+use snd_exec::Executor;
+use snd_observe::event::EventRecord;
+use snd_observe::recorder::MemoryRecorder;
+use snd_sim::faults::{FaultPlan, FaultSpec};
+use snd_sim::ledger::{CellComm, NodeComm, PhaseComm};
+use snd_sim::radio::{AnyLinkModel, LossyDisk};
+use snd_sim::time::SimDuration;
+use snd_topology::unit_disk::RadioSpec;
+use snd_topology::{DiGraph, Field, NodeId};
+
+const RANGE: f64 = 50.0;
+
+/// One cell of the differential grid.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    n: usize,
+    /// Independent per-frame loss probability on the radio link.
+    loss: f64,
+    hello_rounds: u32,
+    /// Transport fault injection (duplication + reordering) to push
+    /// cross-phase stragglers through the deferral path.
+    faults: bool,
+    /// Run a first wave, compromise a few nodes, then diff the *second*
+    /// wave — compromised receivers must take the serial deferral path.
+    compromised: bool,
+    seed: u64,
+}
+
+/// Everything a wave externalizes, captured for byte-comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    wave: WaveReport,
+    functional: DiGraph,
+    tentative: DiGraph,
+    hash_ops: u64,
+    ledger_totals: NodeComm,
+    ledger_per_node: BTreeMap<NodeId, NodeComm>,
+    ledger_phases: Vec<(&'static str, PhaseComm)>,
+    ledger_kinds: Vec<(&'static str, CellComm)>,
+    events: Vec<EventRecord>,
+}
+
+fn reliability(hello_rounds: u32) -> ReliabilityConfig {
+    ReliabilityConfig {
+        enabled: true,
+        retry_budget: 2,
+        hello_rounds,
+        base_backoff: SimDuration::from_millis(4),
+        max_backoff: SimDuration::from_millis(32),
+        phase_timeout: SimDuration::from_millis(400),
+    }
+}
+
+/// Runs one full scenario and captures its externally visible output.
+/// `batched` selects the bulk hello path; `threads` sizes the executor.
+fn run_case(scn: Scenario, batched: bool, threads: usize) -> Fingerprint {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(220.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2),
+        scn.seed,
+    );
+    engine.set_reliability(reliability(scn.hello_rounds));
+    engine.set_executor(Executor::new(threads));
+    engine.set_batched_hello(batched);
+    let recorder = MemoryRecorder::shared();
+    engine.set_recorder(Arc::clone(&recorder) as Arc<_>);
+    if scn.loss > 0.0 {
+        engine
+            .sim_mut()
+            .set_link_model(AnyLinkModel::LossyDisk(LossyDisk::new(scn.loss)));
+    }
+    if scn.faults {
+        let spec = FaultSpec {
+            duplicate: 0.25,
+            reorder: 0.25,
+            max_extra_delay: SimDuration::from_millis(3),
+            dedup_window: 4,
+            ..FaultSpec::default()
+        };
+        engine
+            .sim_mut()
+            .set_fault_plan(FaultPlan::new(spec, scn.seed));
+    }
+
+    let ids = engine.deploy_uniform(scn.n);
+    let mut wave = engine.run_wave(&ids);
+    if scn.compromised {
+        for &id in ids.iter().step_by((scn.n / 4).max(1)).take(4) {
+            let _ = engine.compromise(id);
+        }
+        let late = engine.deploy_uniform(scn.n / 3);
+        wave = engine.run_wave(&late);
+    }
+
+    let ledger = engine.sim().ledger();
+    Fingerprint {
+        functional: engine.functional_topology(),
+        tentative: engine.tentative_topology(),
+        hash_ops: engine.hash_ops(),
+        wave,
+        ledger_totals: ledger.totals().clone(),
+        ledger_per_node: ledger
+            .per_node()
+            .map(|(id, comm)| (id, comm.clone()))
+            .collect(),
+        ledger_phases: ledger
+            .phases()
+            .map(|(phase, agg)| (phase, agg.clone()))
+            .collect(),
+        ledger_kinds: ledger.kinds(),
+        events: recorder.take(),
+    }
+}
+
+/// The pre-batch serial oracle: message-at-a-time dispatch, one thread.
+fn wave_serial_reference(scn: Scenario) -> Fingerprint {
+    run_case(scn, false, 1)
+}
+
+fn grid() -> Vec<Scenario> {
+    vec![
+        // Clean dense wave, default rounds.
+        Scenario {
+            n: 80,
+            loss: 0.0,
+            hello_rounds: 3,
+            faults: false,
+            compromised: false,
+            seed: 11,
+        },
+        // Lossy link: ARQ retransmissions and degraded hello coverage.
+        Scenario {
+            n: 120,
+            loss: 0.25,
+            hello_rounds: 3,
+            faults: false,
+            compromised: false,
+            seed: 12,
+        },
+        // Heavier loss, fewer hello rounds.
+        Scenario {
+            n: 90,
+            loss: 0.4,
+            hello_rounds: 2,
+            faults: false,
+            compromised: false,
+            seed: 13,
+        },
+        // Extra hello rounds re-assert known relations (idempotence).
+        Scenario {
+            n: 70,
+            loss: 0.1,
+            hello_rounds: 4,
+            faults: false,
+            compromised: false,
+            seed: 14,
+        },
+        // Duplication + reordering: cross-phase stragglers land in hello
+        // pumps and whole inboxes defer to the serial dispatch.
+        Scenario {
+            n: 80,
+            loss: 0.15,
+            hello_rounds: 3,
+            faults: true,
+            compromised: false,
+            seed: 15,
+        },
+        // Second wave with compromised incumbents: attacker-controlled
+        // receivers are engine-global and must defer.
+        Scenario {
+            n: 80,
+            loss: 0.1,
+            hello_rounds: 3,
+            faults: false,
+            compromised: true,
+            seed: 16,
+        },
+    ]
+}
+
+#[test]
+fn batched_wave_matches_serial_reference_across_grid() {
+    for scn in grid() {
+        let oracle = wave_serial_reference(scn);
+        for threads in [1usize, 2, 8] {
+            let got = run_case(scn, true, threads);
+            assert_eq!(
+                oracle, got,
+                "batched wave diverged from serial reference: {scn:?}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_path_itself_is_thread_count_invariant() {
+    // The executor must be inert when the batched path is off.
+    let scn = grid()[1];
+    let one = run_case(scn, false, 1);
+    let eight = run_case(scn, false, 8);
+    assert_eq!(one, eight);
+}
+
+#[test]
+fn batched_hello_is_the_default_and_the_flag_round_trips() {
+    let mut engine = DiscoveryEngine::new(
+        Field::square(100.0),
+        RadioSpec::uniform(RANGE),
+        ProtocolConfig::with_threshold(2),
+        1,
+    );
+    assert!(engine.batched_hello(), "bulk path is the default");
+    engine.set_batched_hello(false);
+    assert!(!engine.batched_hello());
+    engine.set_executor(Executor::new(8));
+    assert_eq!(engine.executor().threads(), 8);
+}
+
+/// The strongest single-scenario claim spelled out: the exact `MsgSent`
+/// order (and thus every seed-derived ledger id) survives batching.
+#[test]
+fn msg_send_order_and_ledger_ids_are_identical() {
+    let scn = Scenario {
+        n: 100,
+        loss: 0.2,
+        hello_rounds: 3,
+        faults: true,
+        compromised: false,
+        seed: 21,
+    };
+    let oracle = wave_serial_reference(scn);
+    let got = run_case(scn, true, 8);
+    assert!(!oracle.events.is_empty());
+    assert_eq!(oracle.events, got.events);
+}

@@ -153,6 +153,101 @@ impl Executor {
             f(trial, &items[trial], seed)
         })
     }
+
+    /// Runs `f(index)` for every index in `0..n` and returns the results
+    /// **in index order** — [`run_trials`] without the seed plumbing, for
+    /// pure read-only fan-out (row sweeps over a frozen snapshot).
+    ///
+    /// The index-order merge makes the output identical at any thread
+    /// count; `f` must be a pure function of its index for that guarantee
+    /// to mean anything.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        run_trials(0, n, self.threads, |i, _seed| f(i))
+    }
+
+    /// Runs `f` once per item of `items` — each invocation gets exclusive
+    /// `&mut` access to its item — and returns the results **in item
+    /// order**.
+    ///
+    /// This is the scoped per-item map the in-wave parallel stages use:
+    /// the discovery engine hands each worker one node's state plus its
+    /// drained inbox, workers mutate their items independently, and the
+    /// index-order merge keeps everything folded from the results
+    /// byte-identical at any thread count (DESIGN.md §9).
+    ///
+    /// Items are split into one contiguous chunk per worker (no work
+    /// stealing): per-item cost is assumed roughly uniform, and static
+    /// chunking needs no shared cursor over `&mut` state.
+    ///
+    /// # Panics
+    ///
+    /// If an invocation panics, the panic is propagated after the scope
+    /// joins (other workers run to completion first).
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = self.threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let chunk = n.div_ceil(threads);
+        let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(threads));
+        // As in `run_trials`: keep the first original panic payload and
+        // re-raise it after the scope joins.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            let mut rest = items;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let s = start;
+                start += take;
+                let (f, done, panicked) = (&f, &done, &panicked);
+                scope.spawn(move || {
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        head.iter_mut()
+                            .enumerate()
+                            .map(|(i, item)| f(s + i, item))
+                            .collect::<Vec<R>>()
+                    }));
+                    match run {
+                        Ok(results) => done.lock().push((s, results)),
+                        Err(payload) => {
+                            panicked.lock().get_or_insert(payload);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = panicked.into_inner() {
+            std::panic::resume_unwind(payload);
+        }
+        let mut parts = done.into_inner();
+        parts.sort_by_key(|&(s, _)| s);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut results) in parts {
+            out.append(&mut results);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
 }
 
 impl Default for Executor {
@@ -330,6 +425,71 @@ mod tests {
         assert_eq!(Executor::new(0).threads(), 1);
         assert_eq!(Executor::serial().threads(), 1);
         assert!(Executor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_in_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut items: Vec<u64> = (0..100).collect();
+            let out = Executor::new(threads).map_mut(&mut items, |i, item| {
+                *item += 1;
+                (i, *item)
+            });
+            assert_eq!(items, (1..=100).collect::<Vec<u64>>(), "threads={threads}");
+            let expect: Vec<(usize, u64)> = (0..100).map(|i| (i, i as u64 + 1)).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_mut_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut items: Vec<Vec<u64>> = (0..37).map(|i| vec![i]).collect();
+            let out = Executor::new(threads).map_mut(&mut items, |i, item| {
+                item.push(splitmix64(i as u64));
+                item.iter().sum::<u64>()
+            });
+            (items, out)
+        };
+        let serial = run(1);
+        for threads in [2usize, 5, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_mut_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = Executor::new(8).map_mut(&mut empty, |_, &mut x| x);
+        assert!(out.is_empty());
+        let mut one = vec![7u32];
+        let out = Executor::new(8).map_mut(&mut one, |i, x| {
+            *x *= 2;
+            (i, *x)
+        });
+        assert_eq!(out, vec![(0, 14)]);
+        assert_eq!(one, vec![14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 5 exploded")]
+    fn map_mut_panics_propagate() {
+        let mut items: Vec<u32> = (0..16).collect();
+        let _ = Executor::new(4).map_mut(&mut items, |i, _| {
+            if i == 5 {
+                panic!("item 5 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn map_indexed_matches_inline_loop() {
+        let serial: Vec<u64> = (0..50).map(|i| splitmix64(i as u64)).collect();
+        for threads in [1usize, 2, 8] {
+            let out = Executor::new(threads).map_indexed(50, |i| splitmix64(i as u64));
+            assert_eq!(out, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -142,6 +142,95 @@ pub struct Simulator {
     /// accounting of every frame, always on. Also issues the message ids
     /// used for duplicate suppression.
     ledger: CommLedger,
+    /// Lazily built spatial shortlist for broadcast receivers, dropped on
+    /// any position mutation. `None` means stale/absent.
+    bcast_index: Option<BroadcastIndex>,
+}
+
+/// A uniform grid over every live transceiver position, used to shortlist
+/// broadcast candidates in O(neighborhood) instead of scanning all nodes.
+///
+/// The shortlist is a *superset* filter: a query returns every node with a
+/// transceiver inside the axis-aligned boxes around the sender's
+/// transceivers, in ascending id order. Callers still run the full
+/// [`Simulator::check_delivery`] per candidate, so delivery decisions (and
+/// the RNG stream they consume) are exactly those of a full scan — nodes
+/// outside the box are precisely those the scan would have skipped as
+/// out-of-range without consuming randomness or ledger entries.
+#[derive(Debug)]
+struct BroadcastIndex {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// One bucket per grid cell; a node appears once per transceiver.
+    cells: Vec<Vec<NodeId>>,
+}
+
+impl BroadcastIndex {
+    fn build(positions: &BTreeMap<NodeId, Vec<Point>>, cell: f64) -> Self {
+        let cell = cell.max(1e-6);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for ps in positions.values() {
+            for p in ps {
+                min_x = min_x.min(p.x);
+                min_y = min_y.min(p.y);
+                max_x = max_x.max(p.x);
+                max_y = max_y.max(p.y);
+            }
+        }
+        if min_x > max_x {
+            // No transceivers at all: a single empty cell.
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+        let cols = (((max_x - min_x) / cell) as usize) + 1;
+        let rows = (((max_y - min_y) / cell) as usize) + 1;
+        let mut cells = vec![Vec::new(); cols * rows];
+        let mut index = BroadcastIndex {
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            cells: Vec::new(),
+        };
+        for (&id, ps) in positions {
+            for p in ps {
+                cells[index.cell_of(p)].push(id);
+            }
+        }
+        index.cells = cells;
+        index
+    }
+
+    fn cell_of(&self, p: &Point) -> usize {
+        let col = (((p.x - self.min_x) / self.cell) as usize).min(self.cols - 1);
+        let row = (((p.y - self.min_y) / self.cell) as usize).min(self.rows - 1);
+        row * self.cols + col
+    }
+
+    /// Appends every node with a transceiver within `radius` (in the
+    /// box metric, a superset of the disk) of any of `centers` to `out`.
+    /// May contain duplicates; the caller sorts and dedups.
+    fn candidates(&self, centers: &[Point], radius: f64, out: &mut Vec<NodeId>) {
+        for c in centers {
+            let col_lo = (((c.x - radius - self.min_x) / self.cell).floor().max(0.0) as usize)
+                .min(self.cols - 1);
+            let col_hi = (((c.x + radius - self.min_x) / self.cell).floor().max(0.0) as usize)
+                .min(self.cols - 1);
+            let row_lo = (((c.y - radius - self.min_y) / self.cell).floor().max(0.0) as usize)
+                .min(self.rows - 1);
+            let row_hi = (((c.y + radius - self.min_y) / self.cell).floor().max(0.0) as usize)
+                .min(self.rows - 1);
+            for row in row_lo..=row_hi {
+                for col in col_lo..=col_hi {
+                    out.extend_from_slice(&self.cells[row * self.cols + col]);
+                }
+            }
+        }
+    }
 }
 
 /// An out-of-band tunnel between two field positions \[8\]–\[10\]: frames
@@ -184,6 +273,7 @@ impl Simulator {
             faults: None,
             recent: BTreeMap::new(),
             ledger: CommLedger::new(seed),
+            bcast_index: None,
         }
     }
 
@@ -319,6 +409,7 @@ impl Simulator {
         if battery.draw(cost) {
             self.deaths.push(id);
             self.positions.remove(&id);
+            self.bcast_index = None;
         }
     }
 
@@ -340,6 +431,7 @@ impl Simulator {
     /// Adds a node at `p` (e.g. a newly deployed sensor).
     pub fn add_node(&mut self, id: NodeId, p: Point) {
         self.positions.entry(id).or_default().push(p);
+        self.bcast_index = None;
     }
 
     /// Installs an attacker-controlled replica transceiver that shares
@@ -351,6 +443,7 @@ impl Simulator {
     /// Removes a node (battery death / physical destruction) and its
     /// replicas; pending frames to it are silently dropped on delivery.
     pub fn kill(&mut self, id: NodeId) -> bool {
+        self.bcast_index = None;
         self.positions.remove(&id).is_some()
     }
 
@@ -677,12 +770,7 @@ impl Simulator {
         let tx_uj = self.est_energy_uj(bytes, false);
         let (id, kind) = self.ledger.begin_tx(from, meta, bytes, tx_uj);
         self.note_sent(id, meta, from, None, bytes);
-        let targets: Vec<NodeId> = self
-            .positions
-            .keys()
-            .copied()
-            .filter(|&node| node != from)
-            .collect();
+        let targets = self.broadcast_targets(from);
         let mut delivered = 0usize;
         for to in targets {
             match self.check_delivery(from, to) {
@@ -707,6 +795,45 @@ impl Simulator {
             }
         }
         (id, delivered)
+    }
+
+    /// The receivers a broadcast from `from` must consider, ascending by
+    /// id, `from` excluded.
+    ///
+    /// The spatial index prunes this to nodes near the sender whenever
+    /// pruning is provably invisible: it must skip exactly the nodes a
+    /// full scan would have dropped as `OutOfRange` — silently, with no
+    /// RNG draw and no ledger frame. Wormholes deliver beyond direct
+    /// range and jam zones drop (with a ledger entry) before the range
+    /// check, so either feature forces the full scan; so does a sender
+    /// with no transceivers left (every target then drops as
+    /// `NoSuchNode`, which the scan must record).
+    fn broadcast_targets(&mut self, from: NodeId) -> Vec<NodeId> {
+        let prunable = self.wormholes.is_empty()
+            && self.jammers.is_empty()
+            && self.positions.contains_key(&from);
+        if !prunable {
+            return self
+                .positions
+                .keys()
+                .copied()
+                .filter(|&node| node != from)
+                .collect();
+        }
+        if self.bcast_index.is_none() {
+            self.bcast_index = Some(BroadcastIndex::build(
+                &self.positions,
+                self.radio.max_range(),
+            ));
+        }
+        let index = self.bcast_index.as_ref().expect("just built");
+        let centers = self.positions.get(&from).expect("checked above");
+        let mut targets = Vec::new();
+        index.candidates(centers, self.radio.range(from), &mut targets);
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&node| node != from);
+        targets
     }
 
     /// Advances the clock by `dt`, delivering every frame that comes due.
@@ -821,6 +948,22 @@ impl Simulator {
             .get_mut(&id)
             .map(|q| q.drain(..).collect())
             .unwrap_or_default()
+    }
+
+    /// Drains every live node's inbox at once, ascending by id, skipping
+    /// nodes with nothing pending. Equivalent to calling
+    /// [`Simulator::drain_inbox`] for each live id in order — dead nodes'
+    /// leftover frames stay queued, exactly as a per-id loop over
+    /// [`Simulator::node_ids`] would leave them. This is the bulk intake
+    /// of the engine's batched hello phase.
+    pub fn drain_all_inboxes(&mut self) -> Vec<(NodeId, Vec<Delivered>)> {
+        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        ids.into_iter()
+            .filter_map(|id| {
+                let frames = self.drain_inbox(id);
+                (!frames.is_empty()).then_some((id, frames))
+            })
+            .collect()
     }
 
     /// Number of frames waiting in `id`'s inbox.
@@ -1451,6 +1594,75 @@ mod tests {
         assert_eq!(t.dropped_frames, 1);
         assert_eq!(t.drops[&DropReason::DuplicateSuppressed], 1);
         assert_eq!(t.tx_frames, t.delivered_frames + t.dropped_frames);
+    }
+
+    /// The broadcast index must be invisible: same deliveries, same
+    /// ledger, same RNG consumption as the full scan it replaces. The
+    /// full scan is forced by installing a far-away jammer (which
+    /// disables pruning without touching any frame in this geometry).
+    #[test]
+    fn broadcast_index_matches_full_scan() {
+        let run = |force_full_scan: bool, lossy: bool| {
+            let mut d = Deployment::empty(Field::square(300.0));
+            for i in 0..40 {
+                let (row, col) = (i / 8, i % 8);
+                d.place(n(i), Point::new(col as f64 * 35.0, row as f64 * 35.0));
+            }
+            let mut sim = Simulator::new(d, RadioSpec::uniform(50.0), 9);
+            if lossy {
+                sim.set_link_model(AnyLinkModel::LossyDisk(crate::radio::LossyDisk::new(0.3)));
+            }
+            if force_full_scan {
+                // A zone that jams nothing (far outside the field) still
+                // disqualifies the index.
+                sim.add_jammer(JamZone::permanent(Circle::new(
+                    Point::new(-1000.0, -1000.0),
+                    1.0,
+                )));
+            }
+            let mut counts = Vec::new();
+            for i in 0..40 {
+                counts.push(sim.broadcast(n(i), vec![i as u8]));
+            }
+            sim.advance(SimDuration::from_millis(5));
+            let inboxes: Vec<Vec<Delivered>> = (0..40).map(|i| sim.drain_inbox(n(i))).collect();
+            let totals = sim.ledger().totals().clone();
+            (counts, inboxes, totals)
+        };
+        for lossy in [false, true] {
+            let pruned = run(false, lossy);
+            let full = run(true, lossy);
+            assert_eq!(pruned.0, full.0, "delivered counts (lossy={lossy})");
+            assert_eq!(pruned.1, full.1, "inboxes (lossy={lossy})");
+            assert_eq!(pruned.2, full.2, "ledger totals (lossy={lossy})");
+        }
+    }
+
+    #[test]
+    fn broadcast_index_sees_replicas_and_late_nodes() {
+        let mut sim = three_node_sim(); // 1 at (10,10), 2 at (40,10), 3 at (150,10)
+        assert_eq!(sim.broadcast(n(1), vec![0]), 1, "only node 2 in range");
+        // A replica of node 1 near node 3 must be picked up after the
+        // index was already built.
+        sim.add_replica(n(1), Point::new(140.0, 10.0));
+        assert_eq!(sim.broadcast(n(1), vec![1]), 2, "replica reaches node 3");
+        // Killing a node invalidates the shortlist too.
+        sim.kill(n(2));
+        assert_eq!(sim.broadcast(n(1), vec![2]), 1, "only node 3 remains");
+    }
+
+    #[test]
+    fn drain_all_inboxes_matches_per_id_drains() {
+        let mut sim = three_node_sim();
+        sim.broadcast(n(1), vec![1]);
+        sim.broadcast(n(2), vec![2]);
+        sim.advance(SimDuration::from_millis(5));
+        let all = sim.drain_all_inboxes();
+        let ids: Vec<NodeId> = all.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![n(1), n(2)], "ascending, empties skipped");
+        assert_eq!(all[0].1.len(), 1, "node 1 heard node 2");
+        assert_eq!(all[1].1.len(), 1, "node 2 heard node 1");
+        assert!(sim.drain_inbox(n(1)).is_empty(), "drained for real");
     }
 
     #[test]

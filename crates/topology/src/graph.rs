@@ -66,6 +66,28 @@ impl DiGraph {
         self.add_edge(v, u);
     }
 
+    /// Builds a graph from per-node out-adjacency rows in one pass,
+    /// keeping every listed node even when its row is empty (isolated).
+    ///
+    /// The result is identical to replaying `add_node(u)` + `add_edge(u, v)`
+    /// per row regardless of row order — `BTree` adjacency makes insertion
+    /// order invisible — so row-parallel sweeps can merge their per-node
+    /// results through this without any ordering discipline beyond
+    /// collecting one row per node.
+    pub fn from_rows<I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Vec<NodeId>)>,
+    {
+        let mut g = Self::new();
+        for (u, outs) in rows {
+            g.add_node(u);
+            for v in outs {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
     /// Removes the edge `(u, v)` if present; returns whether it existed.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let existed = self.out.get_mut(&u).map(|s| s.remove(&v)).unwrap_or(false);

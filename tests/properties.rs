@@ -626,3 +626,209 @@ proptest! {
         prop_assert_eq!(out_ref, out_perm);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Hello-phase invariants for the batched wave (PR 7).
+//
+// The bulk inbox path fans per-node hello handling over the executor and
+// re-serializes global effects, so these two properties are the semantic
+// ground it stands on: the hello-phase *result* (tentative topology, and
+// with loss = 0 the functional topology too) must not depend on (a) the
+// order frames land inside an inbox, or (b) the node-ID labels themselves
+// (Definition 3 lifted to the protocol). Like the Theorem 3 property
+// above, failures shrink through a domain-specific greedy node-removal
+// loop to a minimal counterexample deployment.
+// ---------------------------------------------------------------------------
+
+/// A concrete hello-phase scenario: explicit placements so the shrinker
+/// can delete nodes one at a time.
+#[derive(Clone)]
+struct HelloScenario {
+    placements: Vec<(NodeId, Point)>,
+    engine_seed: u64,
+    /// Transport permutation knobs (delivery-order property only).
+    reorder: f64,
+    duplicate: f64,
+    fault_seed: u64,
+}
+
+/// One lossless reliable wave over the scenario's placements; returns
+/// (tentative, functional) topologies. `permute_delivery` injects
+/// reordering/duplication whose extra delays stay under the 2 ms pump
+/// step, so the same frames arrive in the same window at permuted
+/// positions — a pure inbox-order permutation.
+fn hello_wave(scn: &HelloScenario, permute_delivery: bool) -> (DiGraph, DiGraph) {
+    use secure_neighbor_discovery::core::protocol::ReliabilityConfig;
+    use secure_neighbor_discovery::sim::faults::{FaultPlan, FaultSpec};
+    use secure_neighbor_discovery::sim::time::SimDuration;
+
+    let mut engine = DiscoveryEngine::new(
+        Field::square(260.0),
+        RadioSpec::uniform(50.0),
+        ProtocolConfig::with_threshold(2),
+        scn.engine_seed,
+    );
+    engine.set_reliability(ReliabilityConfig {
+        enabled: true,
+        retry_budget: 2,
+        hello_rounds: 3,
+        base_backoff: SimDuration::from_millis(4),
+        max_backoff: SimDuration::from_millis(32),
+        phase_timeout: SimDuration::from_millis(400),
+    });
+    if permute_delivery {
+        engine.sim_mut().set_fault_plan(FaultPlan::new(
+            FaultSpec {
+                reorder: scn.reorder,
+                duplicate: scn.duplicate,
+                max_extra_delay: SimDuration::from_millis(1),
+                ..FaultSpec::default()
+            },
+            scn.fault_seed,
+        ));
+    }
+    let mut ids = Vec::with_capacity(scn.placements.len());
+    for &(id, at) in &scn.placements {
+        engine.deploy_at(id, at);
+        ids.push(id);
+    }
+    engine.run_wave(&ids);
+    (engine.tentative_topology(), engine.functional_topology())
+}
+
+/// Greedy shrinker shared by both hello properties: removes placements
+/// while `diverges` holds, returning a 1-minimal scenario.
+fn shrink_hello_scenario(
+    scenario: &HelloScenario,
+    diverges: &dyn Fn(&HelloScenario) -> bool,
+) -> HelloScenario {
+    let mut current = scenario.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.placements.len() {
+            let mut candidate = current.clone();
+            candidate.placements.remove(i);
+            if diverges(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+fn describe_hello_scenario(scn: &HelloScenario) -> String {
+    let nodes: Vec<String> = scn
+        .placements
+        .iter()
+        .map(|(id, p)| format!("{id}@({:.0},{:.0})", p.x, p.y))
+        .collect();
+    format!(
+        "minimal counterexample ({} nodes, engine_seed {}, fault_seed {}, reorder {:.2}, dup {:.2}): [{}]",
+        scn.placements.len(),
+        scn.engine_seed,
+        scn.fault_seed,
+        scn.reorder,
+        scn.duplicate,
+        nodes.join(", ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn hello_phase_is_invariant_under_delivery_order_permutation(
+        engine_seed in any::<u64>(),
+        nodes in 24usize..56,
+        reorder in 0.1f64..0.9,
+        duplicate in 0.0f64..0.5,
+        fault_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(engine_seed ^ 0xD15C0);
+        let deployment = secure_neighbor_discovery::topology::Deployment::uniform(
+            Field::square(260.0),
+            nodes,
+            &mut rng,
+        );
+        let scenario = HelloScenario {
+            placements: deployment.iter().collect(),
+            engine_seed,
+            reorder,
+            duplicate,
+            fault_seed,
+        };
+        let diverges = |scn: &HelloScenario| hello_wave(scn, false) != hello_wave(scn, true);
+        if diverges(&scenario) {
+            let minimal = shrink_hello_scenario(&scenario, &diverges);
+            prop_assert!(
+                false,
+                "hello result depends on delivery order; {}",
+                describe_hello_scenario(&minimal)
+            );
+        }
+    }
+
+    #[test]
+    fn hello_phase_is_invariant_under_node_id_permutation(
+        engine_seed in any::<u64>(),
+        nodes in 24usize..56,
+        perm_seed in any::<u64>(),
+    ) {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(engine_seed ^ 0x1D5);
+        let deployment = secure_neighbor_discovery::topology::Deployment::uniform(
+            Field::square(260.0),
+            nodes,
+            &mut rng,
+        );
+        let scenario = HelloScenario {
+            placements: deployment.iter().collect(),
+            engine_seed,
+            reorder: 0.0,
+            duplicate: 0.0,
+            fault_seed: 0,
+        };
+
+        // A uniformly random bijection π over the deployed IDs
+        // (Fisher–Yates on a derived stream). Definition 3: relabeling
+        // must commute with the wave — π changes the inbox drain order,
+        // the broadcast target order, and every derived key, but not the
+        // discovered structure.
+        let ids: Vec<NodeId> = scenario.placements.iter().map(|&(id, _)| id).collect();
+        let mut targets = ids.clone();
+        let mut prng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        for i in (1..targets.len()).rev() {
+            let j = prng.gen_range(0..=i);
+            targets.swap(i, j);
+        }
+        let map: BTreeMap<NodeId, NodeId> =
+            ids.iter().copied().zip(targets.iter().copied()).collect();
+
+        let permute = |scn: &HelloScenario| HelloScenario {
+            placements: scn
+                .placements
+                .iter()
+                .map(|&(id, p)| (map[&id], p))
+                .collect(),
+            ..scn.clone()
+        };
+        let diverges = |scn: &HelloScenario| {
+            let (tentative, functional) = hello_wave(scn, false);
+            let (tentative_p, functional_p) = hello_wave(&permute(scn), false);
+            tentative_p != tentative.remap(&map) || functional_p != functional.remap(&map)
+        };
+        if diverges(&scenario) {
+            let minimal = shrink_hello_scenario(&scenario, &diverges);
+            prop_assert!(
+                false,
+                "hello result depends on node-ID labels; {}",
+                describe_hello_scenario(&minimal)
+            );
+        }
+    }
+}
