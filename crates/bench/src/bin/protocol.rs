@@ -2,15 +2,17 @@
 //!
 //! One complete discovery wave — hello, commitment exchange, record
 //! collection, finalize/validation, with the reliability layer enabled —
-//! at n ∈ {200, 2 000, 20 000}, profiled with the wall-clock span
+//! at n ∈ {200, …, 250 000}, profiled with the wall-clock span
 //! profiler. Writes the table to `BENCH_protocol.json` (deterministic
-//! counters + `_ms` wall fields) and one profiled `RunReport` per size to
+//! counters + `_ms` wall fields + the process-wide `peak_rss_bytes`
+//! mark) and one profiled `RunReport` per size to
 //! `results/protocol.jsonl`, whose `prof.*.ns` histograms feed
 //! `snd-trace flame` and `snd-trace summarize`.
 //!
 //! CI runs this binary at `SND_THREADS=1` and `8` and gates on
-//! `snd-trace diff --ignore _ms` over the two `BENCH_protocol.json`
-//! files: every counter must match exactly; only wall clock may move.
+//! `snd-trace diff --ignore _ms --ignore peak_rss_bytes` over the two
+//! `BENCH_protocol.json` files: every counter must match exactly; only
+//! wall clock and the RSS high-water mark may move.
 //!
 //! Run: `cargo run -p snd-bench --release --bin protocol`
 
@@ -37,10 +39,17 @@ struct ProtocolBenchRow {
     timed_out_phases: u64,
     hash_ops: u64,
     msgs_per_node: f64,
+    /// Transmitted payload bytes per node; byte-deterministic and gated
+    /// by the CI perf job against the committed baseline.
+    bytes_per_node: f64,
     /// Communication-ledger summary; byte-deterministic, so the CI diff
     /// gates it like every other counter.
     comm: CommRow,
     wave_wall_ms: f64,
+    /// Process-wide peak RSS after this row (Linux `VmHWM`). Monotone
+    /// across rows and run-dependent, so the CI determinism diff
+    /// normalizes it away exactly like the `_ms` fields.
+    peak_rss_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -81,7 +90,9 @@ fn main() {
             "unconfirmed",
             "hash ops",
             "msgs/node",
+            "B/node",
             "wave (ms)",
+            "peak RSS (MB)",
         ],
     );
     let mut log = ExperimentLog::create("protocol");
@@ -95,7 +106,9 @@ fn main() {
             row.unconfirmed_links.to_string(),
             row.hash_ops.to_string(),
             f3(row.msgs_per_node),
+            f1(row.bytes_per_node),
             f1(row.wave_wall_ms),
+            f1(row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
         ]);
         log.append(&row.report);
         bench_rows.push(ProtocolBenchRow {
@@ -108,8 +121,10 @@ fn main() {
             timed_out_phases: row.timed_out_phases,
             hash_ops: row.hash_ops,
             msgs_per_node: row.msgs_per_node,
+            bytes_per_node: row.bytes_per_node,
             comm: row.comm.clone(),
             wave_wall_ms: row.wave_wall_ms,
+            peak_rss_bytes: row.peak_rss_bytes,
         });
     }
     table.print();

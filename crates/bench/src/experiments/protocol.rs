@@ -3,18 +3,20 @@
 //! The topology perf bin times the *model* hot paths in isolation; this
 //! experiment times the whole protocol — one complete discovery wave with
 //! real crypto (hash chains, HMAC-sealed records, commitments) and the
-//! reliability layer enabled — at n ∈ {200, 2 000, 20 000}. Each row runs
+//! reliability layer enabled — at n ∈ {200, …, 250 000}. Each row runs
 //! with the wall-clock [`Profiler`](snd_observe::profile::Profiler)
 //! attached, so the `results/protocol.jsonl` rows carry `prof.*.ns` span
 //! histograms (`snd-trace flame` folds them into stacks) while the
 //! committed `BENCH_protocol.json` keeps only the headline `_ms` wall
 //! fields next to its deterministic protocol counters.
 //!
-//! Determinism contract (DESIGN.md §9): every non-`_ms` field of a row is
-//! byte-identical across `SND_THREADS` — rows fan out over the executor
-//! but each trial is a self-contained engine run on a derived seed. Wall
-//! clock lives only in `_ms`-suffixed fields and `prof.*` registry keys,
-//! which the CI gate ignores when it diffs the 1-thread and 8-thread runs.
+//! Determinism contract (DESIGN.md §9): every field of a row except the
+//! `_ms`-suffixed wall clocks, the `prof.*` registry keys and the
+//! process-wide `peak_rss_bytes` mark is byte-identical across
+//! `SND_THREADS` — rows fan out over the executor but each trial is a
+//! self-contained engine run on a derived seed. The CI gate ignores
+//! exactly those machine-dependent fields when it diffs the 1-thread and
+//! 8-thread runs.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -50,8 +52,20 @@ pub struct ProtocolBenchConfig {
 
 impl Default for ProtocolBenchConfig {
     fn default() -> Self {
+        // `SND_PROTOCOL_SIZES` (comma-separated node counts) shrinks or
+        // reshapes the row list for local iteration; CI and committed
+        // baselines always run the default ladder.
+        let sizes = std::env::var("SND_PROTOCOL_SIZES")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|s| s.trim().parse::<usize>().ok())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![200, 2_000, 20_000, 100_000, 250_000]);
         ProtocolBenchConfig {
-            sizes: vec![200, 2_000, 20_000, 100_000],
+            sizes,
             threshold: 5,
             range: 50.0,
             density: 0.002,
@@ -126,6 +140,15 @@ pub struct ProtocolRow {
     /// Wall clock of the full wave, milliseconds. Excluded from the
     /// determinism compare.
     pub wave_wall_ms: f64,
+    /// Payload bytes transmitted per deployed node (ledger `tx_bytes`
+    /// over `nodes`) — the memory-per-node headline for the march to
+    /// 1M nodes. Byte-deterministic like every `comm.*` field.
+    pub bytes_per_node: f64,
+    /// Peak resident set size of the whole bench process after this row's
+    /// wave, in bytes (Linux `VmHWM`; 0 where unavailable). Process-wide
+    /// and monotone across rows, hence *not* deterministic — the CI
+    /// determinism diff normalizes it away exactly like the `_ms` fields.
+    pub peak_rss_bytes: u64,
     /// Communication-ledger summary (byte-deterministic).
     pub comm: CommRow,
     /// Machine-readable row report (carries the `prof.*.ns` span
@@ -139,6 +162,24 @@ pub fn protocol_rows(cfg: &ProtocolBenchConfig, exec: &Executor) -> Vec<Protocol
     exec.run_over(cfg.base_seed, &cfg.sizes, move |_, &nodes, seed| {
         wave_trial(cfg, nodes, seed, threads)
     })
+}
+
+/// Peak resident set size of this process in bytes. Reads `VmHWM` from
+/// `/proc/self/status` on Linux; returns 0 where the file (or the line)
+/// is unavailable. The high-water mark is process-wide and monotone, so
+/// later rows can only report equal-or-larger values and reruns differ —
+/// callers must treat it as a wall-clock-like, nondeterministic field.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb.saturating_mul(1024))
 }
 
 fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) -> ProtocolRow {
@@ -180,6 +221,10 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
 
     let ledger = engine.sim().ledger();
     let lt = ledger.totals();
+    let bytes_per_node = lt.tx_bytes as f64 / (nodes as f64).max(1.0);
+    let peak_rss = peak_rss_bytes();
+    report.set_outcome("bytes_per_node", &bytes_per_node);
+    report.set_outcome("peak_rss_bytes", &peak_rss);
     let comm = CommRow {
         tx_msgs: lt.tx_msgs,
         tx_bytes: lt.tx_bytes,
@@ -212,6 +257,8 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
         hash_ops: engine.hash_ops(),
         msgs_per_node,
         wave_wall_ms,
+        bytes_per_node,
+        peak_rss_bytes: peak_rss,
         comm,
         report,
     }
@@ -242,6 +289,9 @@ mod tests {
             assert_eq!(ra.retransmissions, rb.retransmissions);
             assert_eq!(ra.hash_ops, rb.hash_ops);
             assert_eq!(ra.msgs_per_node, rb.msgs_per_node);
+            // `bytes_per_node` is derived from deterministic counters;
+            // `peak_rss_bytes` deliberately is NOT compared here.
+            assert_eq!(ra.bytes_per_node, rb.bytes_per_node);
             assert_eq!(
                 serde::json::to_string(&ra.comm),
                 serde::json::to_string(&rb.comm)
@@ -268,6 +318,14 @@ mod tests {
             // Per-phase bytes sum to the total.
             let phase_sum: u64 = row.comm.phase_tx_bytes.values().sum();
             assert_eq!(phase_sum, row.comm.tx_bytes);
+            // `bytes_per_node` is exactly tx_bytes over the row's size.
+            assert_eq!(
+                row.bytes_per_node,
+                row.comm.tx_bytes as f64 / row.nodes as f64
+            );
+            // The VmHWM probe works on every platform CI runs on.
+            #[cfg(target_os = "linux")]
+            assert!(row.peak_rss_bytes > 0, "VmHWM should be readable");
         }
     }
 

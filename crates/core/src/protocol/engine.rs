@@ -20,7 +20,7 @@
 //! compromise nodes, place replicas, rerun waves, and measure the
 //! functional topology that results.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -31,6 +31,8 @@ use snd_exec::Executor;
 use snd_observe::event::{Event, Phase};
 use snd_observe::profile::Profiler;
 use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
+use snd_sim::envelope::{Envelope, PayloadPool, MAX_INLINE};
+use snd_sim::fasthash::FastMap;
 use snd_sim::ledger::TxMeta;
 use snd_sim::metrics::HashCounter;
 use snd_sim::network::{Delivered, Simulator};
@@ -85,8 +87,9 @@ pub struct WaveReport {
 struct OutstandingFrame {
     from: NodeId,
     to: NodeId,
-    /// Encoded envelope, ready for retransmission.
-    frame: Vec<u8>,
+    /// Encoded envelope, ready for retransmission (an ARQ resend
+    /// clones the `Arc` backing store, never the bytes).
+    frame: Envelope,
     /// Ledger id of the original send; resends cite it as causal parent.
     msg_id: u64,
     /// Ledger kind of the envelope (`reliable.relation_commit`, …).
@@ -112,6 +115,26 @@ fn meta_retx(kind: &'static str, parent: Option<u64>) -> TxMeta {
     }
 }
 
+/// Shared-borrow lookup into the engine's dense node table. A macro
+/// rather than a method so the borrow stays scoped to the `nodes` field
+/// and the call sites keep their disjoint borrows of `sim`, `recorder`,
+/// `adversary`, etc.
+macro_rules! node_ref {
+    ($engine:expr, $id:expr) => {
+        $engine.nodes.get($id.0 as usize).and_then(Option::as_ref)
+    };
+}
+
+/// Mutable-borrow twin of [`node_ref!`].
+macro_rules! node_mut {
+    ($engine:expr, $id:expr) => {
+        $engine
+            .nodes
+            .get_mut($id.0 as usize)
+            .and_then(Option::as_mut)
+    };
+}
+
 /// The protocol engine. See the module docs for the lifecycle.
 #[derive(Debug)]
 pub struct DiscoveryEngine {
@@ -120,12 +143,17 @@ pub struct DiscoveryEngine {
     sim: Simulator,
     deployment: Deployment,
     radio: RadioSpec,
-    nodes: BTreeMap<NodeId, ProtocolNode>,
+    /// Per-node protocol state, dense by node id (deployments number
+    /// nodes `0..n`; `None` = never deployed). Direct indexing replaces
+    /// the old ordered-map lookups on the per-message dispatch path, and
+    /// ascending-id iteration — the order the determinism contract fixes
+    /// everywhere — is the natural scan order.
+    nodes: Vec<Option<ProtocolNode>>,
     adversary: Adversary,
     rng: StdRng,
     ops: HashCounter,
     /// Old node → a new node it heard in the current wave (update target).
-    wave_contacts: BTreeMap<NodeId, NodeId>,
+    wave_contacts: FastMap<NodeId, NodeId>,
     report: WaveReport,
     /// ARQ policy; [`ReliabilityConfig::legacy`] (fire-and-forget) unless
     /// [`DiscoveryEngine::set_reliability`] is called.
@@ -133,21 +161,21 @@ pub struct DiscoveryEngine {
     /// Monotonic nonce source for reliable envelopes.
     next_nonce: u64,
     /// Unacknowledged reliable unicasts, by nonce.
-    outstanding: BTreeMap<u64, OutstandingFrame>,
+    outstanding: FastMap<u64, OutstandingFrame>,
     /// Causal provenance, cleared per wave: ledger msg id of each node's
     /// round-0 `Hello` broadcast (re-rounds cite it as their original).
-    hello_broadcast: BTreeMap<NodeId, u64>,
+    hello_broadcast: FastMap<NodeId, u64>,
     /// `(node, peer)` → msg id of the `Hello`/`HelloAck` frame that first
     /// asserted the tentative relation (or made `peer` an update contact);
     /// parents the `RecordRequest`/`UpdateRequest` that follow.
-    hello_origin: BTreeMap<(NodeId, NodeId), u64>,
+    hello_origin: FastMap<(NodeId, NodeId), u64>,
     /// `(requester, target)` → msg id of the first `RecordRequest`, so an
     /// ARQ re-pull cites the original it repeats.
-    request_origin: BTreeMap<(NodeId, NodeId), u64>,
+    request_origin: FastMap<(NodeId, NodeId), u64>,
     /// `(collector, origin)` → msg id of the `RecordReply` that delivered
     /// the authenticated record; parents the commitments and evidence the
     /// record's validation later produces.
-    record_origin: BTreeMap<(NodeId, NodeId), u64>,
+    record_origin: FastMap<(NodeId, NodeId), u64>,
     /// `(server, requester)` update pairs already counted this wave, so a
     /// retransmitted request is re-served (the re-mint is deterministic)
     /// without double-counting `updates_applied`.
@@ -166,6 +194,14 @@ pub struct DiscoveryEngine {
     /// path (the default) or the pre-batch message-at-a-time reference
     /// ([`DiscoveryEngine::wave_serial_reference`]).
     batched_hello: bool,
+    /// Whether the collect and finalize phases run through the batched
+    /// per-node bulk path (the default) or the message-at-a-time serial
+    /// reference. Independent of `batched_hello` so equivalence tests can
+    /// exercise each stage's two paths separately.
+    batched_collect: bool,
+    /// Reusable encode scratch for every serial-path send: payloads that
+    /// inline (hello family, acks, requests) cost no allocation at all.
+    pool: PayloadPool,
     /// Waves completed, for event numbering (first wave is 1).
     waves_run: u64,
     /// Whether benign old nodes automatically request record updates.
@@ -195,25 +231,27 @@ impl DiscoveryEngine {
             sim,
             deployment,
             radio,
-            nodes: BTreeMap::new(),
+            nodes: Vec::new(),
             adversary: Adversary::new(),
             rng,
             ops,
-            wave_contacts: BTreeMap::new(),
+            wave_contacts: FastMap::default(),
             report: WaveReport::default(),
             reliability: ReliabilityConfig::legacy(),
             next_nonce: 0,
-            outstanding: BTreeMap::new(),
-            hello_broadcast: BTreeMap::new(),
-            hello_origin: BTreeMap::new(),
-            request_origin: BTreeMap::new(),
-            record_origin: BTreeMap::new(),
+            outstanding: FastMap::default(),
+            hello_broadcast: FastMap::default(),
+            hello_origin: FastMap::default(),
+            request_origin: FastMap::default(),
+            record_origin: FastMap::default(),
             served_updates: BTreeSet::new(),
             key_cache: true,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::disabled(),
             exec: Executor::from_env(),
             batched_hello: true,
+            batched_collect: true,
+            pool: PayloadPool::new(),
             waves_run: 0,
             auto_update_benign: true,
             direct_verification: true,
@@ -339,13 +377,26 @@ impl DiscoveryEngine {
         self.batched_hello
     }
 
+    /// Routes the collect and finalize phases through the pre-batch
+    /// serial reference path (`false`) instead of the batched bulk path
+    /// (`true`, the default). Byte-identical by construction — see
+    /// DESIGN.md §15 and `tests/wave_equivalence.rs`.
+    pub fn set_batched_collect(&mut self, enabled: bool) {
+        self.batched_collect = enabled;
+    }
+
+    /// Whether the collect/finalize phases use the batched bulk path.
+    pub fn batched_collect(&self) -> bool {
+        self.batched_collect
+    }
+
     /// Enables or disables the per-node pairwise-key memo caches, for all
     /// already-deployed nodes and everything deployed later. On by default;
     /// turning it off forces every derivation back through the hash chain
     /// (useful for measuring what the memoization saves).
     pub fn set_key_cache(&mut self, enabled: bool) {
         self.key_cache = enabled;
-        for node in self.nodes.values_mut() {
+        for node in self.nodes.iter_mut().flatten() {
             node.set_key_cache(enabled);
         }
     }
@@ -353,24 +404,30 @@ impl DiscoveryEngine {
     /// Total pairwise-key/commitment derivations answered from node-local
     /// caches instead of re-hashing, across all deployed nodes.
     pub fn key_cache_hits(&self) -> u64 {
-        self.nodes.values().map(|n| n.key_cache_hits()).sum()
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|n| n.key_cache_hits())
+            .sum()
     }
 
     /// A node's protocol state, if deployed.
     pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
-        self.nodes.get(&id)
+        node_ref!(self, id)
     }
 
-    /// All deployed node IDs.
+    /// All deployed node IDs, ascending.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(idx, _)| NodeId(idx as u64))
     }
 
     /// IDs of benign (non-compromised) nodes.
     pub fn benign_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .keys()
-            .copied()
+        self.node_ids()
             .filter(|id| !self.adversary.controls(*id))
             .collect()
     }
@@ -382,7 +439,11 @@ impl DiscoveryEngine {
         let _prof = self.profiler.span("provision");
         let mut node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
         node.set_key_cache(self.key_cache);
-        self.nodes.insert(id, node);
+        let idx = id.0 as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, || None);
+        }
+        self.nodes[idx] = Some(node);
         self.deployment.place(id, at);
         self.sim.add_node(id, at);
     }
@@ -446,9 +507,11 @@ impl DiscoveryEngine {
                 break;
             }
             for &id in new_ids {
-                let payload = Message::Hello { from: id }.encode();
+                let payload = self
+                    .pool
+                    .build(|b| Message::Hello { from: id }.encode_into(b));
                 if round == 0 {
-                    let node = self.nodes.get_mut(&id).expect("node deployed");
+                    let node = node_mut!(self, id).expect("node deployed");
                     node.begin_discovery().expect("fresh node enters discovery");
                     let (msg_id, _) = self.sim.broadcast_meta(id, payload, TxMeta::of("hello"));
                     self.hello_broadcast.insert(id, msg_id);
@@ -477,7 +540,7 @@ impl DiscoveryEngine {
         let span = self.phase_span(wave, Phase::Commit);
         let prof = self.profiler.span("commit");
         for &id in new_ids {
-            let node = self.nodes.get_mut(&id).expect("node deployed");
+            let node = node_mut!(self, id).expect("node deployed");
             node.commit_record(&mut self.rng, &self.ops)
                 .expect("commit after discovery");
             if self.config.fast_erase {
@@ -495,37 +558,44 @@ impl DiscoveryEngine {
         let span = self.phase_span(wave, Phase::Collect);
         let prof = self.profiler.span("collect");
         for &id in new_ids {
-            let targets: Vec<NodeId> = self.nodes[&id]
+            let targets: Vec<NodeId> = node_ref!(self, id)
+                .expect("node deployed")
                 .tentative_neighbors()
                 .iter()
                 .copied()
                 .collect();
             for v in targets {
                 let cause = self.hello_origin.get(&(id, v)).copied();
-                let (msg_id, _) = self.sim.unicast_meta(
-                    id,
-                    v,
-                    Message::RecordRequest { from: id }.encode(),
-                    meta_reply("record_request", cause),
-                );
+                let payload = self
+                    .pool
+                    .build(|b| Message::RecordRequest { from: id }.encode_into(b));
+                let (msg_id, _) =
+                    self.sim
+                        .unicast_meta(id, v, payload, meta_reply("record_request", cause));
                 self.request_origin.insert((id, v), msg_id);
             }
         }
-        self.pump(); // deliver requests; replies queued
-        self.pump(); // deliver replies; records collected
+        self.pump_step(); // deliver requests; replies queued
+        self.pump_step(); // deliver replies; records collected
         if rel.enabled {
             let _prof_arq = self.profiler.span("arq_repull");
             let deadline = self.sim.now() + rel.phase_timeout;
             for attempt in 0..=rel.retry_budget {
                 let mut any_missing = false;
                 for &id in new_ids {
-                    for v in self.nodes[&id].missing_records() {
+                    for v in node_ref!(self, id)
+                        .expect("node deployed")
+                        .missing_records()
+                    {
                         any_missing = true;
                         let original = self.request_origin.get(&(id, v)).copied();
+                        let payload = self
+                            .pool
+                            .build(|b| Message::RecordRequest { from: id }.encode_into(b));
                         self.sim.unicast_meta(
                             id,
                             v,
-                            Message::RecordRequest { from: id }.encode(),
+                            payload,
                             meta_retx("record_request", original),
                         );
                         self.report.retransmissions += 1;
@@ -539,9 +609,12 @@ impl DiscoveryEngine {
                 self.pump_for(rel.backoff(attempt).max(SimDuration::from_millis(4)));
                 let exhausted = attempt == rel.retry_budget || self.sim.now() >= deadline;
                 if exhausted {
-                    let still_missing = new_ids
-                        .iter()
-                        .any(|id| !self.nodes[id].missing_records().is_empty());
+                    let still_missing = new_ids.iter().any(|id| {
+                        !node_ref!(self, *id)
+                            .expect("node deployed")
+                            .missing_records()
+                            .is_empty()
+                    });
                     if still_missing {
                         self.report.timed_out_phases += 1;
                     }
@@ -552,7 +625,10 @@ impl DiscoveryEngine {
         // Records that never arrived degrade the wave: the pair is named
         // unconfirmed and the peer simply cannot validate this wave.
         for &id in new_ids {
-            for v in self.nodes[&id].missing_records() {
+            for v in node_ref!(self, id)
+                .expect("node deployed")
+                .missing_records()
+            {
                 self.report.unconfirmed_links.push((id, v));
             }
         }
@@ -564,11 +640,14 @@ impl DiscoveryEngine {
             self.sim.set_comm_phase(Phase::Update.name());
             let span = self.phase_span(wave, Phase::Update);
             let _prof = self.profiler.span("update");
-            let contacts: Vec<(NodeId, NodeId)> = self
+            let mut contacts: Vec<(NodeId, NodeId)> = self
                 .wave_contacts
                 .iter()
                 .map(|(old, new)| (*old, *new))
                 .collect();
+            // Update requests are sends; keep the ascending (old, new)
+            // order the ordered map used to provide.
+            contacts.sort_unstable();
             for (old, new) in contacts {
                 let is_compromised = self.adversary.controls(old);
                 let wants = if is_compromised {
@@ -576,7 +655,7 @@ impl DiscoveryEngine {
                 } else {
                     self.auto_update_benign
                 };
-                let Some(node) = self.nodes.get(&old) else {
+                let Some(node) = node_ref!(self, old) else {
                     continue;
                 };
                 if !wants
@@ -606,7 +685,7 @@ impl DiscoveryEngine {
         let prof = self.profiler.span("finalize");
         let prof_validate = self.profiler.span("validate");
         for &id in new_ids {
-            let node = self.nodes.get_mut(&id).expect("node deployed");
+            let node = node_mut!(self, id).expect("node deployed");
             let out = node
                 .finalize_discovery(&mut self.rng, &self.ops)
                 .expect("committed node finalizes");
@@ -652,21 +731,28 @@ impl DiscoveryEngine {
             }
         }
         prof_validate.close();
-        self.pump(); // deliver commitments & evidence
+        self.pump_step(); // deliver commitments & evidence
         if rel.enabled {
             let _prof_arq = self.profiler.span("arq_resend");
             // Acknowledged unicast: resend whatever has not been acked,
             // backing off exponentially, until everything is confirmed or
             // the budget/deadline runs out. Receivers handle re-delivery
             // idempotently, so a lost *ack* cannot corrupt state.
-            self.pump(); // deliver the acks the first pump provoked
+            self.pump_step(); // deliver the acks the first pump provoked
             let deadline = self.sim.now() + rel.phase_timeout;
             for attempt in 0..rel.retry_budget {
                 if self.outstanding.is_empty() || self.sim.now() >= deadline {
                     break;
                 }
-                let resend: Vec<OutstandingFrame> = self.outstanding.values().cloned().collect();
-                for o in resend {
+                let mut resend: Vec<(u64, OutstandingFrame)> = self
+                    .outstanding
+                    .iter()
+                    .map(|(&nonce, o)| (nonce, o.clone()))
+                    .collect();
+                // Resends are sends; keep the ascending-nonce order the
+                // ordered map used to provide.
+                resend.sort_unstable_by_key(|(nonce, _)| *nonce);
+                for (_, o) in resend {
                     self.sim
                         .unicast_meta(o.from, o.to, o.frame, TxMeta::retx(o.kind, o.msg_id));
                     self.report.retransmissions += 1;
@@ -707,7 +793,7 @@ impl DiscoveryEngine {
                 inner: Box::new(inner),
             };
             let kind = msg.kind();
-            let frame = msg.encode();
+            let frame = self.pool.build(|b| msg.encode_into(b));
             let (msg_id, _) =
                 self.sim
                     .unicast_meta(from, to, frame.clone(), meta_reply(kind, parent));
@@ -723,17 +809,19 @@ impl DiscoveryEngine {
             );
         } else {
             let kind = inner.kind();
+            let payload = self.pool.build(|b| inner.encode_into(b));
             self.sim
-                .unicast_meta(from, to, inner.encode(), meta_reply(kind, parent));
+                .unicast_meta(from, to, payload, meta_reply(kind, parent));
         }
     }
 
     /// Pumps repeatedly until at least `d` of simulated time has passed
-    /// (each pump advances the clock one 2 ms delivery step).
+    /// (each pump advances the clock one 2 ms delivery step). Used by the
+    /// collect/finalize ARQ loops, so it follows `batched_collect`.
     fn pump_for(&mut self, d: SimDuration) {
         let mut remaining = d.as_micros();
         loop {
-            self.pump();
+            self.pump_step();
             remaining = remaining.saturating_sub(2_000);
             if remaining == 0 {
                 break;
@@ -741,13 +829,23 @@ impl DiscoveryEngine {
         }
     }
 
+    /// One collect/finalize delivery step: the batched bulk path by
+    /// default, the serial reference when `set_batched_collect(false)`.
+    fn pump_step(&mut self) {
+        if self.batched_collect {
+            self.pump_batched();
+        } else {
+            self.pump();
+        }
+    }
+
     /// Advances the clock one delivery step and dispatches every delivered
-    /// frame to its receiver's protocol logic.
+    /// frame to its receiver's protocol logic, message at a time. Only
+    /// receivers whose inboxes saw deliveries are visited (ascending id,
+    /// exactly the order the historical every-node sweep dispatched in).
     fn pump(&mut self) {
         self.sim.advance(SimDuration::from_millis(2));
-        let ids: Vec<NodeId> = self.sim.node_ids().collect();
-        for id in ids {
-            let inbox = self.sim.drain_inbox(id);
+        for (id, inbox) in self.sim.drain_all_inboxes() {
             for frame in inbox {
                 self.dispatch(id, frame);
             }
@@ -788,15 +886,21 @@ impl DiscoveryEngine {
         let mut work: Vec<HelloWork<'_>> = Vec::with_capacity(inboxes.len());
         {
             let adversary = &self.adversary;
-            let mut iter = self.nodes.iter_mut().peekable();
+            // `inboxes` is ascending with distinct ids, so exclusive
+            // access to each receiver's slot is carved off the dense node
+            // table with O(1) split_at_mut steps.
+            let mut remaining = self.nodes.as_mut_slice();
+            let mut offset = 0usize;
             for (id, frames) in inboxes {
-                while iter.peek().is_some_and(|(nid, _)| **nid < id) {
-                    iter.next();
-                }
-                let node = if iter.peek().is_some_and(|(nid, _)| **nid == id) {
-                    iter.next().map(|(_, node)| node)
-                } else {
+                let idx = id.0 as usize;
+                let node = if idx < offset || idx - offset >= remaining.len() {
                     None
+                } else {
+                    let tail = std::mem::take(&mut remaining).split_at_mut(idx - offset).1;
+                    let (slot, rest) = tail.split_first_mut().expect("tail non-empty");
+                    remaining = rest;
+                    offset = idx + 1;
+                    slot.as_mut()
                 };
                 // Compromised receivers run attacker logic against
                 // engine-global state: serial path only.
@@ -836,10 +940,13 @@ impl DiscoveryEngine {
                                 self.wave_contacts.entry(receiver).or_insert(peer);
                             }
                             HelloEffect::Ack { peer, cause } => {
+                                let payload = self
+                                    .pool
+                                    .build(|b| Message::HelloAck { from: receiver }.encode_into(b));
                                 self.sim.unicast_meta(
                                     receiver,
                                     peer,
-                                    Message::HelloAck { from: receiver }.encode(),
+                                    payload,
                                     TxMeta::reply("hello_ack", cause),
                                 );
                             }
@@ -848,6 +955,157 @@ impl DiscoveryEngine {
                     }
                 }
                 HelloOutcome::Deferred => {
+                    for frame in frames {
+                        self.dispatch(receiver, frame);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One collect/finalize delivery step through the batched bulk path.
+    ///
+    /// The same shape as [`DiscoveryEngine::pump_hello`], generalized to
+    /// the record-exchange and commitment traffic those phases move:
+    /// inboxes drain all at once, per-node frame handling (decode, record
+    /// authentication, commitment verification — the crypto-heavy work)
+    /// fans out across [`Executor::map_mut`] with each worker owning
+    /// exactly one node's state, and every *global* effect comes back as
+    /// an ordered [`CollectEffect`] list replayed in (receiver ascending,
+    /// frame order) — the exact order the serial dispatcher produces, so
+    /// ledger msg ids, fault-plan RNG draws, `outstanding` ARQ state and
+    /// the event stream stay byte-identical at any `SND_THREADS`
+    /// (DESIGN.md §15).
+    ///
+    /// An inbox is batchable only when the receiver is benign and known
+    /// and every frame is pure collect/finalize traffic: `RecordRequest`,
+    /// `RecordReply`, `Ack`, or a `Reliable` envelope wrapping a
+    /// `RelationCommit`/`Evidence` (undecodable frames batch as malformed
+    /// tallies, exactly like the serial path). Anything else — hello
+    /// stragglers under reordering faults, update traffic, compromised or
+    /// unknown receivers (whose `Ack`/`Reliable` transport framing the
+    /// serial path still processes) — defers the whole inbox to
+    /// [`DiscoveryEngine::dispatch`] at its merge position.
+    fn pump_batched(&mut self) {
+        self.sim.advance(SimDuration::from_millis(2));
+        let inboxes = self.sim.drain_all_inboxes();
+        if inboxes.is_empty() {
+            return;
+        }
+
+        let exec = self.exec;
+        let ops = self.ops.clone();
+
+        // Pair each inbox with exclusive access to its node's state by a
+        // single ascending merge over the node map (both are id-sorted).
+        let mut work: Vec<CollectWork<'_>> = Vec::with_capacity(inboxes.len());
+        {
+            let adversary = &self.adversary;
+            // `inboxes` is ascending with distinct ids, so exclusive
+            // access to each receiver's slot is carved off the dense node
+            // table with O(1) split_at_mut steps.
+            let mut remaining = self.nodes.as_mut_slice();
+            let mut offset = 0usize;
+            for (id, frames) in inboxes {
+                let idx = id.0 as usize;
+                let node = if idx < offset || idx - offset >= remaining.len() {
+                    None
+                } else {
+                    let tail = std::mem::take(&mut remaining).split_at_mut(idx - offset).1;
+                    let (slot, rest) = tail.split_first_mut().expect("tail non-empty");
+                    remaining = rest;
+                    offset = idx + 1;
+                    slot.as_mut()
+                };
+                // Compromised receivers run attacker logic against
+                // engine-global state: serial path only.
+                let node = node.filter(|_| !adversary.controls(id));
+                work.push(CollectWork { id, frames, node });
+            }
+        }
+
+        let outcomes = exec.map_mut(&mut work, |_, w| process_collect_inbox(w, &ops));
+
+        // Drop the node borrows; only ids + raw frames travel onward.
+        let merged: Vec<(NodeId, Vec<Delivered>, CollectOutcome)> = work
+            .into_iter()
+            .zip(outcomes)
+            .map(|(w, outcome)| (w.id, w.frames, outcome))
+            .collect();
+
+        for (receiver, frames, outcome) in merged {
+            match outcome {
+                CollectOutcome::Batched(effects) => {
+                    for effect in effects {
+                        match effect {
+                            CollectEffect::Send {
+                                peer,
+                                payload,
+                                kind,
+                                cause,
+                            } => {
+                                self.sim.unicast_meta(
+                                    receiver,
+                                    peer,
+                                    payload,
+                                    TxMeta::reply(kind, cause),
+                                );
+                            }
+                            CollectEffect::AckSettle { nonce } => {
+                                if self.outstanding.remove(&nonce).is_some() {
+                                    self.report.acks_received += 1;
+                                } else {
+                                    self.report.duplicates_ignored += 1;
+                                }
+                            }
+                            CollectEffect::RecordOrigin { origin, cause } => {
+                                self.record_origin
+                                    .entry((receiver, origin))
+                                    .or_insert(cause);
+                            }
+                            CollectEffect::Collected {
+                                origin,
+                                authenticated,
+                            } => {
+                                if self.recorder.enabled() {
+                                    self.recorder.record(Event::RecordCollected {
+                                        node: receiver,
+                                        from: origin,
+                                        authenticated,
+                                    });
+                                }
+                            }
+                            CollectEffect::RejectedRecord => self.report.rejected_records += 1,
+                            CollectEffect::Commitment {
+                                from,
+                                ok,
+                                emit_event,
+                            } => {
+                                if !ok {
+                                    self.report.rejected_commitments += 1;
+                                }
+                                if emit_event && self.recorder.enabled() {
+                                    self.recorder.record(Event::CommitmentChecked {
+                                        node: receiver,
+                                        from,
+                                        ok,
+                                    });
+                                }
+                            }
+                            CollectEffect::Evidence { from } => {
+                                if self.recorder.enabled() {
+                                    self.recorder.record(Event::EvidenceBuffered {
+                                        node: receiver,
+                                        from,
+                                    });
+                                }
+                            }
+                            CollectEffect::DuplicateIgnored => self.report.duplicates_ignored += 1,
+                            CollectEffect::Malformed => self.report.malformed_frames += 1,
+                        }
+                    }
+                }
+                CollectOutcome::Deferred => {
                     for frame in frames {
                         self.dispatch(receiver, frame);
                     }
@@ -887,16 +1145,15 @@ impl DiscoveryEngine {
         // envelopes are rejected at the wire layer.
         let msg = match msg {
             Message::Reliable { nonce, inner } => {
-                self.sim.unicast_meta(
-                    receiver,
-                    frame.from,
+                let ack = self.pool.build(|b| {
                     Message::Ack {
                         from: receiver,
                         nonce,
                     }
-                    .encode(),
-                    TxMeta::reply("ack", cause),
-                );
+                    .encode_into(b)
+                });
+                self.sim
+                    .unicast_meta(receiver, frame.from, ack, TxMeta::reply("ack", cause));
                 *inner
             }
             Message::Ack { nonce, .. } => {
@@ -925,7 +1182,7 @@ impl DiscoveryEngine {
                 if !direct_ok {
                     return; // direct verification rejects the relation
                 }
-                let Some(node) = self.nodes.get_mut(&receiver) else {
+                let Some(node) = node_mut!(self, receiver) else {
                     return;
                 };
                 match node.state() {
@@ -952,18 +1209,17 @@ impl DiscoveryEngine {
                     }
                     _ => {}
                 }
-                self.sim.unicast_meta(
-                    receiver,
-                    from,
-                    Message::HelloAck { from: receiver }.encode(),
-                    TxMeta::reply("hello_ack", cause),
-                );
+                let payload = self
+                    .pool
+                    .build(|b| Message::HelloAck { from: receiver }.encode_into(b));
+                self.sim
+                    .unicast_meta(receiver, from, payload, TxMeta::reply("hello_ack", cause));
             }
             Message::HelloAck { from } => {
                 if !direct_ok {
                     return; // direct verification rejects the relation
                 }
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     let fresh = from != receiver && !node.tentative_neighbors().contains(&from);
                     if node.add_tentative(from).is_ok() {
                         self.hello_origin.entry((receiver, from)).or_insert(cause);
@@ -977,18 +1233,21 @@ impl DiscoveryEngine {
                 }
             }
             Message::RecordRequest { from } => {
-                if let Some(node) = self.nodes.get(&receiver) {
+                if let Some(node) = node_ref!(self, receiver) {
                     let record = node.record().clone();
+                    let payload = self
+                        .pool
+                        .build(|b| Message::RecordReply { record }.encode_into(b));
                     self.sim.unicast_meta(
                         receiver,
                         from,
-                        Message::RecordReply { record }.encode(),
+                        payload,
                         TxMeta::reply("record_reply", cause),
                     );
                 }
             }
             Message::RecordReply { record } => {
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     // A record that already authenticated must not be
                     // re-verified (wasted hashes) or double-counted toward
                     // the ≥ t+1 overlap: the collected map is keyed by
@@ -1020,7 +1279,7 @@ impl DiscoveryEngine {
                     self.report.malformed_frames += 1;
                     return;
                 }
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     // ARQ re-delivers commitments; a re-verified success is
                     // not a fresh forensic event, but every failure is.
                     let already = node.functional_neighbors().contains(&from);
@@ -1041,7 +1300,7 @@ impl DiscoveryEngine {
             }
             Message::Evidence { evidence } => {
                 let issuer = evidence.from;
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     match node.buffer_evidence(evidence) {
                         Ok(true) => {
                             if self.recorder.enabled() {
@@ -1061,7 +1320,7 @@ impl DiscoveryEngine {
             Message::UpdateRequest { record, evidences } => {
                 // Only a node still holding K can serve updates.
                 let requester = record.node;
-                let Some(node) = self.nodes.get(&receiver) else {
+                let Some(node) = node_ref!(self, receiver) else {
                     return;
                 };
                 match node.process_update_request(&record, &evidences, &self.ops) {
@@ -1085,7 +1344,7 @@ impl DiscoveryEngine {
                 }
             }
             Message::UpdateReply { record } => {
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     let _ = node.install_updated_record(record);
                 }
             }
@@ -1121,7 +1380,7 @@ impl DiscoveryEngine {
                     .map(|stolen| {
                         // Total break: mint a record claiming every node in
                         // the network as a neighbor — guaranteed overlap.
-                        let everyone = self.nodes.keys().copied().filter(|&x| x != receiver);
+                        let everyone = self.node_ids().filter(|&x| x != receiver);
                         BindingRecord::create(&stolen, receiver, 0, everyone.collect(), &self.ops)
                     });
                 let record = match forged {
@@ -1130,7 +1389,7 @@ impl DiscoveryEngine {
                         .adversary
                         .captured(receiver)
                         .map(|c| c.record.clone())
-                        .or_else(|| self.nodes.get(&receiver).map(|n| n.record().clone())),
+                        .or_else(|| node_ref!(self, receiver).map(|n| n.record().clone())),
                     None => None,
                 };
                 if let Some(record) = record {
@@ -1146,14 +1405,14 @@ impl DiscoveryEngine {
                 // The attacker knows K_receiver and happily verifies —
                 // functional edges into the compromised node are its yield.
                 if to == receiver {
-                    if let Some(node) = self.nodes.get_mut(&receiver) {
+                    if let Some(node) = node_mut!(self, receiver) {
                         let _ = node.accept_relation_commitment(from, &digest, &self.ops);
                     }
                 }
             }
             Message::Evidence { evidence } => {
                 // Buffered: ammunition for malicious update requests.
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     let _ = node.buffer_evidence(evidence.clone());
                 }
                 if let Some(c) = self.adversary.captured_mut(receiver) {
@@ -1161,7 +1420,7 @@ impl DiscoveryEngine {
                 }
             }
             Message::UpdateReply { record } => {
-                if let Some(node) = self.nodes.get_mut(&receiver) {
+                if let Some(node) = node_mut!(self, receiver) {
                     if node.install_updated_record(record.clone()).is_ok() {
                         if let Some(c) = self.adversary.captured_mut(receiver) {
                             c.record = record;
@@ -1193,10 +1452,7 @@ impl DiscoveryEngine {
     ///   [`DiscoveryEngine::compromise_violating_window`] to model the
     ///   assumption failing.
     pub fn compromise(&mut self, id: NodeId) -> Result<(), ProtocolError> {
-        let node = self
-            .nodes
-            .get(&id)
-            .ok_or(ProtocolError::UnknownNode { node: id })?;
+        let node = node_ref!(self, id).ok_or(ProtocolError::UnknownNode { node: id })?;
         if node.state() != NodeState::Operational {
             return Err(ProtocolError::WrongState {
                 operation: "compromise inside trust window",
@@ -1219,10 +1475,7 @@ impl DiscoveryEngine {
     ///
     /// [`ProtocolError::UnknownNode`] if never deployed.
     pub fn compromise_violating_window(&mut self, id: NodeId) -> Result<(), ProtocolError> {
-        let node = self
-            .nodes
-            .get(&id)
-            .ok_or(ProtocolError::UnknownNode { node: id })?;
+        let node = node_ref!(self, id).ok_or(ProtocolError::UnknownNode { node: id })?;
         let leaked = node.holds_master_key();
         self.adversary.absorb(node.compromise());
         self.emit(|| Event::NodeCompromised {
@@ -1252,7 +1505,9 @@ impl DiscoveryEngine {
     /// functional neighbor list.
     pub fn functional_topology(&self) -> DiGraph {
         let mut g = DiGraph::new();
-        for (&id, node) in &self.nodes {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            let id = NodeId(idx as u64);
             g.add_node(id);
             for &v in node.functional_neighbors() {
                 g.add_edge(id, v);
@@ -1265,7 +1520,9 @@ impl DiscoveryEngine {
     /// during discovery.
     pub fn tentative_topology(&self) -> DiGraph {
         let mut g = DiGraph::new();
-        for (&id, node) in &self.nodes {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            let id = NodeId(idx as u64);
             g.add_node(id);
             for &v in node.tentative_neighbors() {
                 g.add_edge(id, v);
@@ -1405,9 +1662,206 @@ fn process_hello_inbox(
     HelloOutcome::Batched(effects)
 }
 
+/// One node's share of a batched collect/finalize delivery step: its
+/// drained inbox plus exclusive mutable access to its protocol state.
+/// `node` is `None` when the receiver must take the serial path
+/// (compromised, or unknown to the engine).
+struct CollectWork<'a> {
+    id: NodeId,
+    frames: Vec<Delivered>,
+    node: Option<&'a mut ProtocolNode>,
+}
+
+/// What a collect/finalize worker decided for one node's inbox.
+enum CollectOutcome {
+    /// Every frame was pure collect/finalize traffic; node-local state is
+    /// already updated and these global effects remain, in frame order.
+    Batched(Vec<CollectEffect>),
+    /// Something in the inbox needs engine-global handling: replay the
+    /// whole inbox through the serial dispatch at this merge position.
+    Deferred,
+}
+
+/// A global side effect of collect/finalize handling, extracted so the
+/// parallel stage stays node-local. Applied serially in (receiver
+/// ascending, frame order) — the exact order the serial dispatch produces
+/// them in, which keeps ledger msg ids, the fault-plan RNG stream, ARQ
+/// `outstanding` state and the recorder event stream identical.
+enum CollectEffect {
+    /// `unicast_meta(receiver, peer, payload, TxMeta::reply(kind, cause))`
+    /// — a `RecordReply` answering a request, or the transport `Ack` a
+    /// `Reliable` envelope provokes (sent *before* its inner message is
+    /// processed, mirroring the serial dispatcher).
+    Send {
+        peer: NodeId,
+        payload: Envelope,
+        kind: &'static str,
+        cause: u64,
+    },
+    /// `outstanding.remove(nonce)`: `acks_received` on a hit,
+    /// `duplicates_ignored` on a re-delivered ack.
+    AckSettle { nonce: u64 },
+    /// `record_origin.entry((receiver, origin)).or_insert(cause)`.
+    RecordOrigin { origin: NodeId, cause: u64 },
+    /// `Event::RecordCollected` (recorder permitting).
+    Collected { origin: NodeId, authenticated: bool },
+    /// A record that failed authentication: `report.rejected_records`.
+    RejectedRecord,
+    /// A verified/rejected relation commitment: `rejected_commitments`
+    /// on failure, `Event::CommitmentChecked` unless it is an ARQ
+    /// re-verification of an already-functional edge.
+    Commitment {
+        from: NodeId,
+        ok: bool,
+        emit_event: bool,
+    },
+    /// Fresh evidence buffered: `Event::EvidenceBuffered`.
+    Evidence { from: NodeId },
+    /// Idempotently discarded re-delivery: `report.duplicates_ignored`.
+    DuplicateIgnored,
+    /// Undecodable frame (or misaddressed commitment):
+    /// `report.malformed_frames`.
+    Malformed,
+}
+
+/// Serializes `msg` into worker-local scratch and freezes it, reusing
+/// the scratch allocation whenever the payload inlines (the
+/// [`PayloadPool`] logic, without sharing a pool across workers).
+fn encode_scratch(msg: &Message, scratch: &mut Vec<u8>) -> Envelope {
+    scratch.clear();
+    msg.encode_into(scratch);
+    if scratch.len() <= MAX_INLINE {
+        Envelope::from_slice(scratch)
+    } else {
+        Envelope::from(std::mem::take(scratch))
+    }
+}
+
+/// The node-local half of collect/finalize dispatch, byte-equivalent to
+/// [`DiscoveryEngine::dispatch`] + `dispatch_benign` restricted to
+/// `RecordRequest`/`RecordReply`/`Ack`/`Reliable(RelationCommit |
+/// Evidence)`. Mutates only `work.node`; every engine-global consequence
+/// comes back as an ordered [`CollectEffect`] list. The classification
+/// pass decodes *every* frame before the first mutation, so a deferred
+/// inbox reaches the serial path with its node state untouched.
+fn process_collect_inbox(work: &mut CollectWork<'_>, ops: &HashCounter) -> CollectOutcome {
+    let Some(node) = work.node.as_deref_mut() else {
+        return CollectOutcome::Deferred;
+    };
+    let receiver = work.id;
+    let decoded: Vec<Result<Message, _>> = work
+        .frames
+        .iter()
+        .map(|frame| Message::decode(&frame.payload))
+        .collect();
+    let batchable = decoded.iter().all(|msg| match msg {
+        Ok(Message::RecordRequest { .. })
+        | Ok(Message::RecordReply { .. })
+        | Ok(Message::Ack { .. })
+        | Err(_) => true,
+        Ok(Message::Reliable { inner, .. }) => matches!(
+            &**inner,
+            Message::RelationCommit { .. } | Message::Evidence { .. }
+        ),
+        _ => false,
+    });
+    if !batchable {
+        return CollectOutcome::Deferred;
+    }
+    let mut effects = Vec::with_capacity(work.frames.len() * 2);
+    let mut scratch = Vec::new();
+    for (frame, msg) in work.frames.iter().zip(decoded) {
+        let cause = frame.msg_id;
+        // Transport framing first, exactly as the serial dispatcher: a
+        // reliability envelope is acked before its payload is processed,
+        // and a (re-)delivered ack settles `outstanding` and stops.
+        let msg = match msg {
+            Err(_) => {
+                effects.push(CollectEffect::Malformed);
+                continue;
+            }
+            Ok(Message::Ack { nonce, .. }) => {
+                effects.push(CollectEffect::AckSettle { nonce });
+                continue;
+            }
+            Ok(Message::Reliable { nonce, inner }) => {
+                effects.push(CollectEffect::Send {
+                    peer: frame.from,
+                    payload: encode_scratch(
+                        &Message::Ack {
+                            from: receiver,
+                            nonce,
+                        },
+                        &mut scratch,
+                    ),
+                    kind: "ack",
+                    cause,
+                });
+                *inner
+            }
+            Ok(other) => other,
+        };
+        match msg {
+            Message::RecordRequest { from } => {
+                let record = node.record().clone();
+                effects.push(CollectEffect::Send {
+                    peer: from,
+                    payload: encode_scratch(&Message::RecordReply { record }, &mut scratch),
+                    kind: "record_reply",
+                    cause,
+                });
+            }
+            Message::RecordReply { record } => {
+                let origin = record.node;
+                if node.has_collected(origin) {
+                    effects.push(CollectEffect::DuplicateIgnored);
+                } else {
+                    let authenticated = node.accept_record(record, ops).is_ok();
+                    if authenticated {
+                        effects.push(CollectEffect::RecordOrigin { origin, cause });
+                    } else {
+                        effects.push(CollectEffect::RejectedRecord);
+                    }
+                    effects.push(CollectEffect::Collected {
+                        origin,
+                        authenticated,
+                    });
+                }
+            }
+            Message::RelationCommit { from, to, digest } => {
+                if to != receiver {
+                    effects.push(CollectEffect::Malformed);
+                } else {
+                    // ARQ re-delivers commitments; a re-verified success
+                    // is not a fresh forensic event, but every failure is.
+                    let already = node.functional_neighbors().contains(&from);
+                    let ok = node.accept_relation_commitment(from, &digest, ops).is_ok();
+                    effects.push(CollectEffect::Commitment {
+                        from,
+                        ok,
+                        emit_event: !(ok && already),
+                    });
+                }
+            }
+            Message::Evidence { evidence } => {
+                let issuer = evidence.from;
+                match node.buffer_evidence(evidence) {
+                    Ok(true) => effects.push(CollectEffect::Evidence { from: issuer }),
+                    // Same token already buffered: a retransmission.
+                    Ok(false) => effects.push(CollectEffect::DuplicateIgnored),
+                    Err(_) => {}
+                }
+            }
+            _ => unreachable!("classification pass admits only collect/finalize traffic"),
+        }
+    }
+    CollectOutcome::Batched(effects)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn n(i: u64) -> NodeId {
         NodeId(i)

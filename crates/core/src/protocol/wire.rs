@@ -93,7 +93,16 @@ const TAG_RELIABLE: u8 = 10;
 impl Message {
     /// Serializes the message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes into a caller-provided buffer (appended, not cleared),
+    /// so hot send paths can reuse pooled scratch instead of allocating a
+    /// fresh `Vec` per message. Byte-identical to [`encode`](Message::encode).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
         match self {
             Message::Hello { from } => {
                 out.push(TAG_HELLO);
@@ -141,10 +150,9 @@ impl Message {
             Message::Reliable { nonce, inner } => {
                 out.push(TAG_RELIABLE);
                 out.extend_from_slice(&nonce.to_be_bytes());
-                out.extend_from_slice(&inner.encode());
+                inner.encode_into(out);
             }
         }
-        out
     }
 
     /// The exact on-air size of [`encode`](Message::encode)'s output,

@@ -1,9 +1,11 @@
-//! Differential suite for the batched/parallel hello phase.
+//! Differential suite for the batched/parallel wave phases.
 //!
 //! The serial message-at-a-time wave (`wave_serial_reference`, the
-//! pre-batch path kept behind the engine's `set_batched_hello(false)`
-//! flag) is the oracle. For a grid of (n, loss, hello_rounds) scenarios
-//! and `SND_THREADS ∈ {1, 2, 8}`, the batched wave must reproduce it
+//! pre-batch path kept behind the engine's `set_batched_hello(false)` +
+//! `set_batched_collect(false)` escape hatches) is the oracle. For a
+//! grid of (n, loss, hello_rounds) scenarios, every batched-flag
+//! combination (hello only, collect/finalize only, both) and
+//! `SND_THREADS ∈ {1, 2, 8}`, the batched wave must reproduce it
 //! byte-for-byte: the `WaveReport`, the full `comm.*` ledger registry
 //! (totals, per-node rows, per-phase and per-kind aggregates), the
 //! functional and tentative topologies, the hash-op counter, and the
@@ -70,8 +72,14 @@ fn reliability(hello_rounds: u32) -> ReliabilityConfig {
 }
 
 /// Runs one full scenario and captures its externally visible output.
-/// `batched` selects the bulk hello path; `threads` sizes the executor.
-fn run_case(scn: Scenario, batched: bool, threads: usize) -> Fingerprint {
+/// `batched_hello` selects the bulk hello path, `batched_collect` the
+/// bulk collect/finalize path; `threads` sizes the executor.
+fn run_case(
+    scn: Scenario,
+    batched_hello: bool,
+    batched_collect: bool,
+    threads: usize,
+) -> Fingerprint {
     let mut engine = DiscoveryEngine::new(
         Field::square(220.0),
         RadioSpec::uniform(RANGE),
@@ -80,7 +88,8 @@ fn run_case(scn: Scenario, batched: bool, threads: usize) -> Fingerprint {
     );
     engine.set_reliability(reliability(scn.hello_rounds));
     engine.set_executor(Executor::new(threads));
-    engine.set_batched_hello(batched);
+    engine.set_batched_hello(batched_hello);
+    engine.set_batched_collect(batched_collect);
     let recorder = MemoryRecorder::shared();
     engine.set_recorder(Arc::clone(&recorder) as Arc<_>);
     if scn.loss > 0.0 {
@@ -131,9 +140,10 @@ fn run_case(scn: Scenario, batched: bool, threads: usize) -> Fingerprint {
     }
 }
 
-/// The pre-batch serial oracle: message-at-a-time dispatch, one thread.
+/// The pre-batch serial oracle: message-at-a-time dispatch in every
+/// phase, one thread.
 fn wave_serial_reference(scn: Scenario) -> Fingerprint {
-    run_case(scn, false, 1)
+    run_case(scn, false, false, 1)
 }
 
 fn grid() -> Vec<Scenario> {
@@ -199,14 +209,19 @@ fn grid() -> Vec<Scenario> {
 
 #[test]
 fn batched_wave_matches_serial_reference_across_grid() {
+    // Each batched flag is exercised alone and combined, so a divergence
+    // pins the phase that introduced it.
     for scn in grid() {
         let oracle = wave_serial_reference(scn);
-        for threads in [1usize, 2, 8] {
-            let got = run_case(scn, true, threads);
-            assert_eq!(
-                oracle, got,
-                "batched wave diverged from serial reference: {scn:?}, threads={threads}"
-            );
+        for (hello, collect) in [(true, false), (false, true), (true, true)] {
+            for threads in [1usize, 2, 8] {
+                let got = run_case(scn, hello, collect, threads);
+                assert_eq!(
+                    oracle, got,
+                    "batched wave diverged from serial reference: {scn:?}, \
+                     batched_hello={hello}, batched_collect={collect}, threads={threads}"
+                );
+            }
         }
     }
 }
@@ -215,22 +230,29 @@ fn batched_wave_matches_serial_reference_across_grid() {
 fn serial_path_itself_is_thread_count_invariant() {
     // The executor must be inert when the batched path is off.
     let scn = grid()[1];
-    let one = run_case(scn, false, 1);
-    let eight = run_case(scn, false, 8);
+    let one = run_case(scn, false, false, 1);
+    let eight = run_case(scn, false, false, 8);
     assert_eq!(one, eight);
 }
 
 #[test]
-fn batched_hello_is_the_default_and_the_flag_round_trips() {
+fn batched_paths_are_the_default_and_the_flags_round_trip() {
     let mut engine = DiscoveryEngine::new(
         Field::square(100.0),
         RadioSpec::uniform(RANGE),
         ProtocolConfig::with_threshold(2),
         1,
     );
-    assert!(engine.batched_hello(), "bulk path is the default");
+    assert!(engine.batched_hello(), "bulk hello path is the default");
+    assert!(engine.batched_collect(), "bulk collect path is the default");
     engine.set_batched_hello(false);
     assert!(!engine.batched_hello());
+    engine.set_batched_collect(false);
+    assert!(!engine.batched_collect());
+    assert!(
+        !engine.batched_hello(),
+        "the collect flag must not re-enable hello batching"
+    );
     engine.set_executor(Executor::new(8));
     assert_eq!(engine.executor().threads(), 8);
 }
@@ -248,7 +270,7 @@ fn msg_send_order_and_ledger_ids_are_identical() {
         seed: 21,
     };
     let oracle = wave_serial_reference(scn);
-    let got = run_case(scn, true, 8);
+    let got = run_case(scn, true, true, 8);
     assert!(!oracle.events.is_empty());
     assert_eq!(oracle.events, got.events);
 }

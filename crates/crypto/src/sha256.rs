@@ -292,7 +292,26 @@ impl Sha256 {
     }
 
     /// SHA-256 compression function over one 64-byte block.
+    ///
+    /// Dispatches to the SHA-NI accelerated path when the CPU supports it
+    /// (detected once, cached by `is_x86_feature_detected!`); both paths
+    /// compute the identical FIPS 180-4 function, so digests never depend
+    /// on which one ran.
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+        {
+            // SAFETY: the required target features were just verified.
+            unsafe { shani::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    /// Portable scalar compression (the fallback and reference path).
+    fn compress_soft(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -338,6 +357,117 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// SHA-NI (x86 SHA extensions) implementation of the SHA-256 compression
+/// function. The round structure follows Intel's reference sequence: the
+/// working state lives in two XMM registers in ABEF/CDGH order, each
+/// `sha256rnds2` executes two rounds, and the message schedule is advanced
+/// four words at a time with `sha256msg1`/`sha256msg2`.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::{BLOCK_LEN, K};
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32, _mm_shuffle_epi32,
+        _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+
+    /// Advances the message schedule: from words `w[i-16..i]` held in
+    /// `v0..v3` (four per register), computes `w[i..i+4]`.
+    #[inline(always)]
+    unsafe fn schedule(v0: __m128i, v1: __m128i, v2: __m128i, v3: __m128i) -> __m128i {
+        // SAFETY: caller guarantees sha+ssse3+sse4.1 (checked in `compress`).
+        unsafe {
+            let t1 = _mm_sha256msg1_epu32(v0, v1);
+            let t2 = _mm_alignr_epi8(v3, v2, 4);
+            let t3 = _mm_add_epi32(t1, t2);
+            _mm_sha256msg2_epu32(t3, v3)
+        }
+    }
+
+    macro_rules! rounds4 {
+        ($abef:ident, $cdgh:ident, $w:expr, $i:expr) => {{
+            let kv = _mm_loadu_si128(K.as_ptr().add($i * 4).cast::<__m128i>());
+            let t1 = _mm_add_epi32($w, kv);
+            $cdgh = _mm_sha256rnds2_epu32($cdgh, $abef, t1);
+            let t2 = _mm_shuffle_epi32(t1, 0x0E);
+            $abef = _mm_sha256rnds2_epu32($abef, $cdgh, t2);
+        }};
+    }
+
+    /// One compression over `block`, updating `state` in place.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `sha`, `ssse3` and `sse4.1` features.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub(super) unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // SAFETY: unaligned loads/stores over in-bounds state and block
+        // memory; all intrinsics are gated by this fn's target features.
+        unsafe {
+            // Big-endian word loads expressed as one byte shuffle.
+            let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b_u64 as i64, 0x0405_0607_0001_0203);
+
+            // Repack [a,b,c,d] / [e,f,g,h] into ABEF / CDGH register order.
+            let dcba = _mm_loadu_si128(state.as_ptr().cast::<__m128i>());
+            let hgfe = _mm_loadu_si128(state.as_ptr().add(4).cast::<__m128i>());
+            let cdab = _mm_shuffle_epi32(dcba, 0xB1);
+            let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+            let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+            let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+
+            let p = block.as_ptr().cast::<__m128i>();
+            let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+            let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+            let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+            let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+            let mut w4;
+
+            rounds4!(abef, cdgh, w0, 0);
+            rounds4!(abef, cdgh, w1, 1);
+            rounds4!(abef, cdgh, w2, 2);
+            rounds4!(abef, cdgh, w3, 3);
+            w4 = schedule(w0, w1, w2, w3);
+            rounds4!(abef, cdgh, w4, 4);
+            w0 = schedule(w1, w2, w3, w4);
+            rounds4!(abef, cdgh, w0, 5);
+            w1 = schedule(w2, w3, w4, w0);
+            rounds4!(abef, cdgh, w1, 6);
+            w2 = schedule(w3, w4, w0, w1);
+            rounds4!(abef, cdgh, w2, 7);
+            w3 = schedule(w4, w0, w1, w2);
+            rounds4!(abef, cdgh, w3, 8);
+            w4 = schedule(w0, w1, w2, w3);
+            rounds4!(abef, cdgh, w4, 9);
+            w0 = schedule(w1, w2, w3, w4);
+            rounds4!(abef, cdgh, w0, 10);
+            w1 = schedule(w2, w3, w4, w0);
+            rounds4!(abef, cdgh, w1, 11);
+            w2 = schedule(w3, w4, w0, w1);
+            rounds4!(abef, cdgh, w2, 12);
+            w3 = schedule(w4, w0, w1, w2);
+            rounds4!(abef, cdgh, w3, 13);
+            w4 = schedule(w0, w1, w2, w3);
+            rounds4!(abef, cdgh, w4, 14);
+            w0 = schedule(w1, w2, w3, w4);
+            rounds4!(abef, cdgh, w0, 15);
+
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+            // Unpack ABEF/CDGH back to the [a..d] / [e..h] memory layout.
+            let feba = _mm_shuffle_epi32(abef, 0x1B);
+            let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+            let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+            let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+            _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), dcba);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), hgfe);
+        }
     }
 }
 
@@ -440,6 +570,30 @@ mod tests {
     #[should_panic(expected = "cannot truncate")]
     fn truncated_panics_past_len() {
         Sha256::digest(b"xyz").truncated(33);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn shani_matches_scalar_compression() {
+        if !(std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1"))
+        {
+            return; // nothing to cross-check on this CPU
+        }
+        let mut block = [0u8; BLOCK_LEN];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let mut scalar = Sha256::new();
+        let mut state = scalar.state;
+        for round in 0..32u8 {
+            block[(round as usize) % BLOCK_LEN] ^= round.wrapping_add(1);
+            scalar.compress_soft(&block);
+            // SAFETY: features verified above.
+            unsafe { shani::compress(&mut state, &block) };
+            assert_eq!(scalar.state, state, "diverged at round {round}");
+        }
     }
 
     #[test]

@@ -219,7 +219,10 @@ impl RingRecorder {
     /// counting across drains, mirroring [`MemoryRecorder::take`]).
     pub fn drain(&self) -> RingDrain {
         let mut state = self.state.lock();
-        let state = std::mem::replace(&mut *state, RingState::fresh());
+        let mut state = std::mem::replace(&mut *state, RingState::fresh());
+        // Publish the ingester's buffered counter tallies so the returned
+        // registry is the full-fidelity aggregate of every recorded event.
+        state.ingester.flush(&mut state.registry);
         RingDrain {
             recorded: state.index,
             dropped: state.index - state.events.len() as u64,

@@ -388,6 +388,7 @@ impl MetricsRegistry {
         for rec in events {
             ingester.ingest(self, rec);
         }
+        ingester.flush(self);
     }
 
     /// Freezes the registry into its exportable form.
@@ -407,14 +408,43 @@ impl MetricsRegistry {
 ///
 /// [`MetricsRegistry::ingest_events`] needs the whole stream in memory;
 /// this is the streaming form: feed it one [`EventRecord`] at a time (it
-/// keeps the open-phase state between calls) and the registry accumulates
-/// exactly what a batch ingest of the full stream would have produced.
+/// keeps the open-phase state between calls) and, after a final
+/// [`EventIngester::flush`], the registry holds exactly what a batch
+/// ingest of the full stream would have produced.
 /// [`crate::recorder::RingRecorder`] runs one of these on every recorded
 /// event so aggregate metrics stay full-fidelity even when the retained
 /// raw stream is bounded.
+///
+/// The hot counters (one bump per *message* at 100k+ nodes) accumulate in
+/// plain `u64` fields rather than going through the string-keyed registry
+/// each time — `MetricsRegistry::inc` allocates its key — and are
+/// published wholesale by `flush`. Only the rare per-phase span histogram
+/// writes straight through.
 #[derive(Debug, Clone, Default)]
 pub struct EventIngester {
     open: BTreeMap<(u64, Phase), SimTime>,
+    tallies: EventTallies,
+}
+
+/// Buffered event counters; field order mirrors the flush table below.
+#[derive(Debug, Clone, Copy, Default)]
+struct EventTallies {
+    validation_accepted: u64,
+    validation_rejected: u64,
+    tentative_added: u64,
+    records_collected: u64,
+    records_rejected: u64,
+    commitments_ok: u64,
+    commitments_bad: u64,
+    evidence_buffered: u64,
+    key_erasures: u64,
+    compromises: u64,
+    replicas: u64,
+    radio_drops: u64,
+    faults_injected: u64,
+    msg_sent: u64,
+    msg_delivered: u64,
+    msg_dropped: u64,
 }
 
 impl EventIngester {
@@ -423,12 +453,15 @@ impl EventIngester {
         EventIngester::default()
     }
 
-    /// Folds one event into `registry`: per-phase sim-time histograms
-    /// (`phase.<name>.us`, one sample per completed span), validation
-    /// accept/reject counters, per-step protocol forensics tallies
-    /// (tentative adds, record collections, commitment checks, evidence)
-    /// and counts of erasures, adversary actions and traced drops.
+    /// Folds one event into the ingester (and, for phase spans, straight
+    /// into `registry`): per-phase sim-time histograms (`phase.<name>.us`,
+    /// one sample per completed span), validation accept/reject counters,
+    /// per-step protocol forensics tallies (tentative adds, record
+    /// collections, commitment checks, evidence) and counts of erasures,
+    /// adversary actions and traced drops. Counter tallies buffer
+    /// internally until [`EventIngester::flush`].
     pub fn ingest(&mut self, registry: &mut MetricsRegistry, rec: &EventRecord) {
+        let t = &mut self.tallies;
         match &rec.event {
             Event::PhaseStart {
                 wave,
@@ -447,41 +480,60 @@ impl EventIngester {
                     registry.observe(&format!("phase.{}.us", phase.name()), us);
                 }
             }
-            Event::ValidationDecision { accepted, .. } => {
-                let key = if *accepted {
-                    "validation.accepted"
-                } else {
-                    "validation.rejected"
-                };
-                registry.inc(key, 1);
-            }
-            Event::TentativeAdded { .. } => registry.inc("protocol.tentative_added", 1),
-            Event::RecordCollected { authenticated, .. } => {
-                let key = if *authenticated {
-                    "protocol.records_collected"
-                } else {
-                    "protocol.records_rejected"
-                };
-                registry.inc(key, 1);
-            }
-            Event::CommitmentChecked { ok, .. } => {
-                let key = if *ok {
-                    "protocol.commitments_ok"
-                } else {
-                    "protocol.commitments_bad"
-                };
-                registry.inc(key, 1);
-            }
-            Event::EvidenceBuffered { .. } => registry.inc("protocol.evidence_buffered", 1),
-            Event::MasterKeyErased { .. } => registry.inc("protocol.key_erasures", 1),
-            Event::NodeCompromised { .. } => registry.inc("adversary.compromises", 1),
-            Event::ReplicaPlaced { .. } => registry.inc("adversary.replicas", 1),
-            Event::RadioDrop { .. } => registry.inc("trace.radio_drops", 1),
-            Event::FaultInjected { .. } => registry.inc("trace.faults_injected", 1),
-            Event::MsgSent { .. } => registry.inc("trace.msg_sent", 1),
-            Event::MsgDelivered { .. } => registry.inc("trace.msg_delivered", 1),
-            Event::MsgDropped { .. } => registry.inc("trace.msg_dropped", 1),
+            Event::ValidationDecision { accepted: true, .. } => t.validation_accepted += 1,
+            Event::ValidationDecision {
+                accepted: false, ..
+            } => t.validation_rejected += 1,
+            Event::TentativeAdded { .. } => t.tentative_added += 1,
+            Event::RecordCollected {
+                authenticated: true,
+                ..
+            } => t.records_collected += 1,
+            Event::RecordCollected {
+                authenticated: false,
+                ..
+            } => t.records_rejected += 1,
+            Event::CommitmentChecked { ok: true, .. } => t.commitments_ok += 1,
+            Event::CommitmentChecked { ok: false, .. } => t.commitments_bad += 1,
+            Event::EvidenceBuffered { .. } => t.evidence_buffered += 1,
+            Event::MasterKeyErased { .. } => t.key_erasures += 1,
+            Event::NodeCompromised { .. } => t.compromises += 1,
+            Event::ReplicaPlaced { .. } => t.replicas += 1,
+            Event::RadioDrop { .. } => t.radio_drops += 1,
+            Event::FaultInjected { .. } => t.faults_injected += 1,
+            Event::MsgSent { .. } => t.msg_sent += 1,
+            Event::MsgDelivered { .. } => t.msg_delivered += 1,
+            Event::MsgDropped { .. } => t.msg_dropped += 1,
             Event::WaveStart { .. } | Event::WaveEnd { .. } => {}
+        }
+    }
+
+    /// Publishes the buffered counter tallies into `registry` and resets
+    /// them. Keys that never fired are not created, matching the
+    /// per-event `inc` behavior this replaces.
+    pub fn flush(&mut self, registry: &mut MetricsRegistry) {
+        let t = std::mem::take(&mut self.tallies);
+        for (key, n) in [
+            ("validation.accepted", t.validation_accepted),
+            ("validation.rejected", t.validation_rejected),
+            ("protocol.tentative_added", t.tentative_added),
+            ("protocol.records_collected", t.records_collected),
+            ("protocol.records_rejected", t.records_rejected),
+            ("protocol.commitments_ok", t.commitments_ok),
+            ("protocol.commitments_bad", t.commitments_bad),
+            ("protocol.evidence_buffered", t.evidence_buffered),
+            ("protocol.key_erasures", t.key_erasures),
+            ("adversary.compromises", t.compromises),
+            ("adversary.replicas", t.replicas),
+            ("trace.radio_drops", t.radio_drops),
+            ("trace.faults_injected", t.faults_injected),
+            ("trace.msg_sent", t.msg_sent),
+            ("trace.msg_delivered", t.msg_delivered),
+            ("trace.msg_dropped", t.msg_dropped),
+        ] {
+            if n > 0 {
+                registry.inc(key, n);
+            }
         }
     }
 }
@@ -757,6 +809,7 @@ mod tests {
         for rec in &events {
             ingester.ingest(&mut streamed, rec);
         }
+        ingester.flush(&mut streamed);
         assert_eq!(batch.snapshot(), streamed.snapshot());
         assert_eq!(streamed.counter("protocol.tentative_added"), 1);
         assert_eq!(streamed.counter("protocol.records_collected"), 1);

@@ -1,0 +1,279 @@
+//! Memory-lean payload envelopes.
+//!
+//! Every frame the simulator moves used to carry its own `Vec<u8>`: a
+//! broadcast heard by 26 receivers allocated 26 payload copies, and an
+//! ARQ resend re-cloned the frame each round. At the 100k–1M node scales
+//! the ROADMAP targets, those per-copy heap allocations dominate both
+//! wall clock and peak RSS. An [`Envelope`] removes them:
+//!
+//! * payloads up to [`MAX_INLINE`] bytes — which covers *every* frame
+//!   the discovery protocol emits, from the 9-byte hello family to the
+//!   65-byte `RecordReply` — are stored *inline* in the envelope itself:
+//!   cloning is a small memcpy, no heap at all;
+//! * larger payloads are stored behind an `Arc`, so broadcast fan-out,
+//!   injected duplicates and ARQ retransmissions all share one buffer.
+//!
+//! [`PayloadPool`] is the companion arena for *encode scratch*: protocol
+//! layers serialize messages into a pooled buffer, and the buffer is
+//! reused for the next encode whenever the payload inlined (the common
+//! case), so steady-state sending performs no allocation at all.
+//!
+//! Envelopes are byte-transparent: `Deref<Target = [u8]>` plus
+//! byte-equality mean every consumer (decode, CRC, ledger byte counts)
+//! sees exactly the `Vec<u8>` it saw before. Determinism is untouched —
+//! the representation never influences delivery order, RNG draws or
+//! ledger arithmetic.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Largest payload stored inline. Chosen to cover every wire format the
+/// protocol currently emits (the largest, `RecordReply`, is 65 bytes), so
+/// the steady-state wave allocates no payload buffers at all; only
+/// oversized test/attack payloads spill to the shared representation.
+pub const MAX_INLINE: usize = 72;
+
+/// An immutable, cheaply clonable payload buffer.
+#[derive(Clone)]
+pub enum Envelope {
+    /// Small payload stored in the envelope itself.
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// Backing storage; only `buf[..len]` is the payload.
+        buf: [u8; MAX_INLINE],
+    },
+    /// Large payload shared between copies.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Envelope {
+    /// Builds an envelope from raw bytes, inlining when they fit.
+    pub fn from_slice(bytes: &[u8]) -> Envelope {
+        if bytes.len() <= MAX_INLINE {
+            let mut buf = [0u8; MAX_INLINE];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Envelope::Inline {
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            Envelope::Shared(Arc::new(bytes.to_vec()))
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Envelope::Inline { len, .. } => *len as usize,
+            Envelope::Shared(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Mutable access for in-place fault injection (payload corruption).
+    /// An inline payload mutates directly; a shared one is copied first
+    /// when other copies still reference it (copy-on-write), so mangling
+    /// one frame copy never corrupts its siblings.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        match self {
+            Envelope::Inline { len, buf } => &mut buf[..*len as usize],
+            Envelope::Shared(arc) => {
+                if Arc::get_mut(arc).is_none() {
+                    *arc = Arc::new(arc.as_ref().clone());
+                }
+                Arc::get_mut(arc).expect("uniquely owned after copy-on-write")
+            }
+        }
+    }
+}
+
+impl Deref for Envelope {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Envelope::Inline { len, buf } => &buf[..*len as usize],
+            Envelope::Shared(v) => v,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Envelope {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Envelope {
+    /// Inlines small vectors; adopts large ones without copying.
+    fn from(v: Vec<u8>) -> Envelope {
+        if v.len() <= MAX_INLINE {
+            Envelope::from_slice(&v)
+        } else {
+            Envelope::Shared(Arc::new(v))
+        }
+    }
+}
+
+impl From<&[u8]> for Envelope {
+    fn from(bytes: &[u8]) -> Envelope {
+        Envelope::from_slice(bytes)
+    }
+}
+
+impl PartialEq for Envelope {
+    /// Byte equality, independent of representation.
+    fn eq(&self, other: &Envelope) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Envelope {}
+
+impl PartialEq<[u8]> for Envelope {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Envelope {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_ref() == &other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Envelope {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("len", &self.len())
+            .field("bytes", &self.as_ref())
+            .finish()
+    }
+}
+
+/// An arena of reusable encode-scratch buffers.
+///
+/// [`PayloadPool::build`] hands the closure a cleared buffer to serialize
+/// into and freezes the result into an [`Envelope`]. When the payload
+/// inlines, the buffer goes straight back into the pool — zero heap
+/// traffic. When it is too large, the buffer itself becomes the shared
+/// backing store (one allocation amortized across every copy/resend) and
+/// the pool grows a fresh buffer on the next large build.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl PayloadPool {
+    /// An empty pool.
+    pub fn new() -> PayloadPool {
+        PayloadPool::default()
+    }
+
+    /// Buffers currently parked for reuse.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Serializes via `fill` into pooled scratch and freezes the result.
+    pub fn build(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> Envelope {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        fill(&mut buf);
+        if buf.len() <= MAX_INLINE {
+            let env = Envelope::from_slice(&buf);
+            self.free.push(buf);
+            env
+        } else {
+            Envelope::Shared(Arc::new(buf))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payloads_inline_and_round_trip() {
+        let env = Envelope::from_slice(b"hello");
+        assert!(matches!(env, Envelope::Inline { .. }));
+        assert_eq!(env.len(), 5);
+        assert_eq!(&env[..], b"hello");
+        assert_eq!(env, b"hello");
+        let copy = env.clone();
+        assert_eq!(copy, env);
+    }
+
+    #[test]
+    fn large_payloads_share_one_buffer() {
+        let big = vec![7u8; 100];
+        let env = Envelope::from(big.clone());
+        assert!(matches!(env, Envelope::Shared(_)));
+        assert_eq!(env, big);
+        let copy = env.clone();
+        if let (Envelope::Shared(a), Envelope::Shared(b)) = (&env, &copy) {
+            assert!(Arc::ptr_eq(a, b), "clones share the backing store");
+        }
+    }
+
+    #[test]
+    fn boundary_sits_at_max_inline() {
+        let fits = Envelope::from_slice(&[1u8; MAX_INLINE]);
+        assert!(matches!(fits, Envelope::Inline { .. }));
+        let spills = Envelope::from_slice(&[1u8; MAX_INLINE + 1]);
+        assert!(matches!(spills, Envelope::Shared(_)));
+    }
+
+    #[test]
+    fn make_mut_copies_on_write_only_when_shared() {
+        let mut env = Envelope::from(vec![0u8; 100]);
+        let sibling = env.clone();
+        env.make_mut()[0] = 0xFF;
+        assert_eq!(env[0], 0xFF);
+        assert_eq!(sibling[0], 0, "sibling copy untouched");
+
+        let mut lone = Envelope::from(vec![0u8; 100]);
+        let before = match &lone {
+            Envelope::Shared(a) => Arc::as_ptr(a),
+            _ => unreachable!(),
+        };
+        lone.make_mut()[1] = 1;
+        let after = match &lone {
+            Envelope::Shared(a) => Arc::as_ptr(a),
+            _ => unreachable!(),
+        };
+        assert_eq!(before, after, "unique owner mutates in place");
+    }
+
+    #[test]
+    fn pool_reuses_scratch_for_inline_builds() {
+        let mut pool = PayloadPool::new();
+        let a = pool.build(|b| b.extend_from_slice(b"tiny"));
+        assert_eq!(a, b"tiny");
+        assert_eq!(pool.idle(), 1, "scratch returned after inlining");
+        let b = pool.build(|b| b.extend_from_slice(&[9u8; 80]));
+        assert_eq!(b.len(), 80);
+        assert_eq!(
+            pool.idle(),
+            0,
+            "large build keeps the buffer as backing store"
+        );
+    }
+}

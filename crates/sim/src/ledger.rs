@@ -189,14 +189,64 @@ pub struct CommLedger {
     /// Logical sends so far; `next_id` input.
     issued: u64,
     phase: &'static str,
-    /// Interned phase labels; cube keys index into this.
+    /// Index of `phase` in `phases`, kept in sync by `set_phase` so the
+    /// hot paths never re-intern the current label.
+    phase_idx: u8,
+    /// Interned phase labels; cell keys index into this.
     phases: Vec<&'static str>,
-    /// Interned kind labels; cube keys index into this.
+    /// Interned kind labels; cell keys index into this.
     kinds: Vec<&'static str>,
-    per_node: BTreeMap<NodeId, NodeComm>,
-    cube: BTreeMap<(NodeId, u8, u8), CellComm>,
-    phase_agg: BTreeMap<u8, PhaseComm>,
+    /// Per-node totals plus that node's (phase, kind) cells, stored
+    /// densely: deployments number nodes `0..n`, so indexing by id makes
+    /// every hot-path charge a bounds check and a direct load, and the
+    /// ascending-id order every export needs is the natural iteration
+    /// order (§9 determinism). `touched` marks slots the ledger actually
+    /// charged, so exports skip never-seen ids.
+    per_node: Vec<NodeEntry>,
+    touched: Vec<bool>,
+    /// Per-phase aggregates, indexed by interned phase id.
+    phase_agg: Vec<PhaseComm>,
     totals: NodeComm,
+}
+
+/// One node's ledger state: its totals and its slice of the
+/// node × phase × kind cube. The cell list is sorted by packed
+/// `(phase << 8) | kind` key and stays tiny (≤ phases × kinds), so a
+/// binary search beats any map.
+#[derive(Debug, Default)]
+struct NodeEntry {
+    comm: NodeComm,
+    cells: Vec<(u16, CellComm)>,
+}
+
+impl NodeEntry {
+    fn cell(&mut self, phase: u8, kind: u8) -> &mut CellComm {
+        let key = u16::from(phase) << 8 | u16::from(kind);
+        match self.cells.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => &mut self.cells[i].1,
+            Err(i) => {
+                self.cells.insert(i, (key, CellComm::default()));
+                &mut self.cells[i].1
+            }
+        }
+    }
+}
+
+/// The dense slot for `id`, created (and marked touched) on demand. A
+/// free function over the two fields so callers can still borrow the
+/// ledger's other fields (e.g. `totals`) simultaneously.
+fn ent<'a>(
+    per_node: &'a mut Vec<NodeEntry>,
+    touched: &mut Vec<bool>,
+    id: NodeId,
+) -> &'a mut NodeEntry {
+    let idx = id.0 as usize;
+    if idx >= per_node.len() {
+        per_node.resize_with(idx + 1, NodeEntry::default);
+        touched.resize(idx + 1, false);
+    }
+    touched[idx] = true;
+    &mut per_node[idx]
 }
 
 impl CommLedger {
@@ -205,11 +255,12 @@ impl CommLedger {
             base: stream_seed(seed, LEDGER_STREAM),
             issued: 0,
             phase: PHASE_SETUP,
+            phase_idx: 0,
             phases: vec![PHASE_SETUP],
             kinds: Vec::new(),
-            per_node: BTreeMap::new(),
-            cube: BTreeMap::new(),
-            phase_agg: BTreeMap::new(),
+            per_node: Vec::new(),
+            touched: Vec::new(),
+            phase_agg: vec![PhaseComm::default()],
             totals: NodeComm::default(),
         }
     }
@@ -217,7 +268,7 @@ impl CommLedger {
     /// Announces the protocol phase subsequent traffic is billed to.
     pub(crate) fn set_phase(&mut self, phase: &'static str) {
         self.phase = phase;
-        self.intern_phase(phase);
+        self.phase_idx = self.intern_phase(phase);
     }
 
     /// The phase currently being billed.
@@ -226,7 +277,12 @@ impl CommLedger {
     }
 
     fn intern_phase(&mut self, phase: &'static str) -> u8 {
-        intern(&mut self.phases, phase)
+        let idx = intern(&mut self.phases, phase);
+        if self.phase_agg.len() <= idx as usize {
+            self.phase_agg
+                .resize(idx as usize + 1, PhaseComm::default());
+        }
+        idx
     }
 
     fn intern_kind(&mut self, kind: &'static str) -> u8 {
@@ -247,20 +303,21 @@ impl CommLedger {
         self.issued += 1;
         let id = splitmix64(self.base.wrapping_add(self.issued));
         let kind = self.intern_kind(meta.kind);
-        let phase = self.intern_phase(self.phase);
+        let phase = self.phase_idx;
         let nj = to_nj(energy_uj);
         let retx = u64::from(meta.retransmission);
-        for comm in [self.per_node.entry(from).or_default(), &mut self.totals] {
+        let entry = ent(&mut self.per_node, &mut self.touched, from);
+        for comm in [&mut entry.comm, &mut self.totals] {
             comm.tx_msgs += 1;
             comm.tx_bytes += bytes as u64;
             comm.retransmissions += retx;
             comm.tx_energy_nj += nj;
         }
-        let cell = self.cube.entry((from, phase, kind)).or_default();
+        let cell = entry.cell(phase, kind);
         cell.tx_msgs += 1;
         cell.tx_bytes += bytes as u64;
         cell.retransmissions += retx;
-        let agg = self.phase_agg.entry(phase).or_default();
+        let agg = &mut self.phase_agg[phase as usize];
         agg.tx_msgs += 1;
         agg.tx_bytes += bytes as u64;
         agg.retransmissions += retx;
@@ -270,7 +327,10 @@ impl CommLedger {
 
     /// Charges one directed on-air frame copy to the sender.
     pub(crate) fn frame_attempt(&mut self, from: NodeId, bytes: usize) {
-        for comm in [self.per_node.entry(from).or_default(), &mut self.totals] {
+        for comm in [
+            &mut ent(&mut self.per_node, &mut self.touched, from).comm,
+            &mut self.totals,
+        ] {
             comm.tx_frames += 1;
             comm.tx_frame_bytes += bytes as u64;
         }
@@ -278,14 +338,15 @@ impl CommLedger {
 
     /// Closes one frame copy as dropped, attributed to the sender.
     pub(crate) fn record_drop(&mut self, from: NodeId, kind: u8, reason: DropReason, bytes: usize) {
-        for comm in [self.per_node.entry(from).or_default(), &mut self.totals] {
+        let phase = self.phase_idx;
+        let entry = ent(&mut self.per_node, &mut self.touched, from);
+        for comm in [&mut entry.comm, &mut self.totals] {
             comm.dropped_frames += 1;
             comm.dropped_bytes += bytes as u64;
             *comm.drops.entry(reason).or_default() += 1;
         }
-        let phase = self.intern_phase(self.phase);
-        self.cube.entry((from, phase, kind)).or_default().drops += 1;
-        self.phase_agg.entry(phase).or_default().dropped_frames += 1;
+        entry.cell(phase, kind).drops += 1;
+        self.phase_agg[phase as usize].dropped_frames += 1;
     }
 
     /// Closes one frame copy as delivered: receive side billed to `to`,
@@ -299,23 +360,24 @@ impl CommLedger {
         energy_uj: f64,
     ) {
         let nj = to_nj(energy_uj);
+        let phase = self.phase_idx;
         {
-            let sender = self.per_node.entry(from).or_default();
+            let sender = &mut ent(&mut self.per_node, &mut self.touched, from).comm;
             sender.delivered_frames += 1;
             sender.delivered_bytes += bytes as u64;
         }
         self.totals.delivered_frames += 1;
         self.totals.delivered_bytes += bytes as u64;
-        for comm in [self.per_node.entry(to).or_default(), &mut self.totals] {
+        let entry = ent(&mut self.per_node, &mut self.touched, to);
+        for comm in [&mut entry.comm, &mut self.totals] {
             comm.rx_msgs += 1;
             comm.rx_bytes += bytes as u64;
             comm.rx_energy_nj += nj;
         }
-        let phase = self.intern_phase(self.phase);
-        let cell = self.cube.entry((to, phase, kind)).or_default();
+        let cell = entry.cell(phase, kind);
         cell.rx_msgs += 1;
         cell.rx_bytes += bytes as u64;
-        let agg = self.phase_agg.entry(phase).or_default();
+        let agg = &mut self.phase_agg[phase as usize];
         agg.rx_msgs += 1;
         agg.rx_bytes += bytes as u64;
         agg.rx_energy_nj += nj;
@@ -333,47 +395,68 @@ impl CommLedger {
 
     /// One node's totals (zeroes for a node the ledger never saw).
     pub fn node(&self, id: NodeId) -> NodeComm {
-        self.per_node.get(&id).cloned().unwrap_or_default()
+        self.per_node
+            .get(id.0 as usize)
+            .map(|e| e.comm.clone())
+            .unwrap_or_default()
     }
 
-    /// Per-node totals, ordered by node id.
+    /// Per-node totals, ordered by node id (the natural order of the
+    /// dense storage).
     pub fn per_node(&self) -> impl Iterator<Item = (NodeId, &NodeComm)> + '_ {
-        self.per_node.iter().map(|(id, c)| (*id, c))
+        self.per_node
+            .iter()
+            .zip(self.touched.iter())
+            .enumerate()
+            .filter(|(_, (_, &touched))| touched)
+            .map(|(idx, (e, _))| (NodeId(idx as u64), &e.comm))
     }
 
-    /// Per-phase aggregates, in phase announcement order.
+    /// Per-phase aggregates, in phase announcement order (phases that
+    /// never saw traffic are omitted, matching the pre-flat layout).
     pub fn phases(&self) -> impl Iterator<Item = (&'static str, &PhaseComm)> + '_ {
         self.phase_agg
             .iter()
-            .map(|(idx, agg)| (self.phases[*idx as usize], agg))
+            .enumerate()
+            .filter(|(_, agg)| **agg != PhaseComm::default())
+            .map(|(idx, agg)| (self.phases[idx], agg))
     }
 
     /// The full node × phase × kind cube, ordered by (node, phase, kind).
     pub fn cells(
         &self,
     ) -> impl Iterator<Item = (NodeId, &'static str, &'static str, &CellComm)> + '_ {
-        self.cube.iter().map(|((id, phase, kind), cell)| {
-            (
-                *id,
-                self.phases[*phase as usize],
-                self.kinds[*kind as usize],
-                cell,
-            )
-        })
+        self.per_node
+            .iter()
+            .enumerate()
+            .flat_map(move |(idx, entry)| {
+                entry.cells.iter().map(move |(key, cell)| {
+                    (
+                        NodeId(idx as u64),
+                        self.phases[(key >> 8) as usize],
+                        self.kinds[(key & 0xFF) as usize],
+                        cell,
+                    )
+                })
+            })
     }
 
     /// Per-kind aggregates over all nodes and phases, ordered by kind
     /// label (stable across thread counts).
     pub fn kinds(&self) -> Vec<(&'static str, CellComm)> {
         let mut by_kind: BTreeMap<&'static str, CellComm> = BTreeMap::new();
-        for ((_, _, kind), cell) in &self.cube {
-            let agg = by_kind.entry(self.kinds[*kind as usize]).or_default();
-            agg.tx_msgs += cell.tx_msgs;
-            agg.tx_bytes += cell.tx_bytes;
-            agg.rx_msgs += cell.rx_msgs;
-            agg.rx_bytes += cell.rx_bytes;
-            agg.drops += cell.drops;
-            agg.retransmissions += cell.retransmissions;
+        for entry in &self.per_node {
+            for (key, cell) in &entry.cells {
+                let agg = by_kind
+                    .entry(self.kinds[(key & 0xFF) as usize])
+                    .or_default();
+                agg.tx_msgs += cell.tx_msgs;
+                agg.tx_bytes += cell.tx_bytes;
+                agg.rx_msgs += cell.rx_msgs;
+                agg.rx_bytes += cell.rx_bytes;
+                agg.drops += cell.drops;
+                agg.retransmissions += cell.retransmissions;
+            }
         }
         by_kind.into_iter().collect()
     }

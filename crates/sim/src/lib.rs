@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod envelope;
+pub mod fasthash;
 pub mod faults;
 pub mod jamming;
 pub mod ledger;
@@ -43,6 +45,7 @@ pub mod trace;
 /// Re-exports of the items most experiments need.
 pub mod prelude {
     pub use crate::energy::{Battery, EnergyModel};
+    pub use crate::envelope::{Envelope, PayloadPool};
     pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, LossBurst};
     pub use crate::jamming::JamZone;
     pub use crate::ledger::{CommLedger, NodeComm, TxMeta};

@@ -52,9 +52,17 @@ pub struct NodeCounters {
 }
 
 /// Aggregate simulation metrics.
+///
+/// Per-node counters live in a dense vector indexed by the node id —
+/// deployments number nodes `0..n`, so the hot per-frame bumps are a
+/// bounds check and a direct index instead of a hash probe. `touched`
+/// tracks which slots were ever handed out so exports keep the exact
+/// "nodes with at least one recorded counter" semantics of the old map.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    per_node: BTreeMap<NodeId, NodeCounters>,
+    per_node: Vec<NodeCounters>,
+    touched: Vec<bool>,
+    touched_count: usize,
     drops: BTreeMap<DropReason, u64>,
     faults: BTreeMap<FaultKind, u64>,
     hash_ops: Arc<AtomicU64>,
@@ -68,12 +76,24 @@ impl Metrics {
 
     /// Mutable counters for `id`, created on first touch.
     pub fn node_mut(&mut self, id: NodeId) -> &mut NodeCounters {
-        self.per_node.entry(id).or_default()
+        let idx = id.0 as usize;
+        if idx >= self.per_node.len() {
+            self.per_node.resize(idx + 1, NodeCounters::default());
+            self.touched.resize(idx + 1, false);
+        }
+        if !self.touched[idx] {
+            self.touched[idx] = true;
+            self.touched_count += 1;
+        }
+        &mut self.per_node[idx]
     }
 
     /// Counters for `id`, zeroed if never touched.
     pub fn node(&self, id: NodeId) -> NodeCounters {
-        self.per_node.get(&id).copied().unwrap_or_default()
+        self.per_node
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Records a dropped delivery.
@@ -91,14 +111,20 @@ impl Metrics {
         self.drops.values().sum()
     }
 
-    /// Iterates every touched node's counters, in id order.
+    /// Iterates every touched node's counters, in id order (dense
+    /// storage makes ascending order the natural iteration order).
     pub fn per_node(&self) -> impl Iterator<Item = (NodeId, NodeCounters)> + '_ {
-        self.per_node.iter().map(|(&id, &c)| (id, c))
+        self.per_node
+            .iter()
+            .zip(self.touched.iter())
+            .enumerate()
+            .filter(|(_, (_, &touched))| touched)
+            .map(|(idx, (&c, _))| (NodeId(idx as u64), c))
     }
 
     /// Number of nodes with at least one recorded counter.
     pub fn touched_nodes(&self) -> usize {
-        self.per_node.len()
+        self.touched_count
     }
 
     /// Every drop reason observed, with its count.
@@ -141,7 +167,7 @@ impl Metrics {
     /// Sums counters over all nodes.
     pub fn totals(&self) -> NodeCounters {
         let mut total = NodeCounters::default();
-        for c in self.per_node.values() {
+        for c in &self.per_node {
             total.unicasts_sent += c.unicasts_sent;
             total.broadcasts_sent += c.broadcasts_sent;
             total.received += c.received;
@@ -153,11 +179,11 @@ impl Metrics {
 
     /// Mean frames sent (unicast + broadcast) per touched node.
     pub fn mean_sent_per_node(&self) -> f64 {
-        if self.per_node.is_empty() {
+        if self.touched_count == 0 {
             return 0.0;
         }
         let t = self.totals();
-        (t.unicasts_sent + t.broadcasts_sent) as f64 / self.per_node.len() as f64
+        (t.unicasts_sent + t.broadcasts_sent) as f64 / self.touched_count as f64
     }
 }
 

@@ -6,8 +6,7 @@
 //! cost [`Metrics`]. Protocol layers drive it in rounds: send frames, advance
 //! the clock, drain inboxes.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -17,6 +16,7 @@ use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Deployment, NodeId, Point};
 
 use crate::energy::{Battery, EnergyModel};
+use crate::envelope::Envelope;
 use crate::faults::{FaultKind, FaultPlan, FrameFaults};
 use crate::jamming::JamZone;
 use crate::ledger::{CommLedger, TxMeta};
@@ -33,8 +33,9 @@ pub struct Delivered {
     /// Claimed sender identity (the radio's ID; replicas share the
     /// compromised node's ID).
     pub from: NodeId,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (inline below 25 bytes, `Arc`-shared above — see
+    /// [`crate::envelope::Envelope`]). Byte-transparent via `Deref`.
+    pub payload: Envelope,
     /// Whether the frame was part of a broadcast.
     pub broadcast: bool,
     /// Physical path length the frame actually traveled, in meters. Over a
@@ -51,7 +52,6 @@ pub struct Delivered {
 #[derive(Debug, Clone)]
 struct InFlight {
     deliver_at: SimTime,
-    seq: u64,
     to: NodeId,
     frame: Delivered,
     /// Ledger kind index, so deliveries and drops land in the right
@@ -59,26 +59,6 @@ struct InFlight {
     kind: u8,
     /// Injected corruption the receiver's CRC will catch at delivery.
     crc_failed: bool,
-}
-
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
-    }
-}
-
-impl Eq for InFlight {}
-
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
-    }
-}
-
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Outcome of a unicast attempt.
@@ -120,13 +100,30 @@ impl SendOutcome {
 #[derive(Debug)]
 pub struct Simulator {
     time: SimTime,
-    positions: BTreeMap<NodeId, Vec<Point>>,
+    /// Dense per-node state, indexed by node id (deployments number
+    /// nodes `0..n`). One slot holds everything the per-frame hot paths
+    /// touch about a node — transceiver positions, inbox, dedup ring —
+    /// so a delivery costs direct indexing instead of several hash
+    /// probes, and ascending-id iteration (the determinism contract's
+    /// canonical order) is the natural scan order. A node with no
+    /// transceivers left (killed / battery death) keeps its slot with
+    /// `positions` empty; its inbox survives, exactly as the old
+    /// side-table layout behaved.
+    nodes: Vec<NodeState>,
     radio: RadioSpec,
     link: AnyLinkModel,
     jammers: Vec<JamZone>,
-    queue: BinaryHeap<Reverse<InFlight>>,
-    seq: u64,
-    inboxes: BTreeMap<NodeId, VecDeque<Delivered>>,
+    /// In-flight frames bucketed by delivery time. Within a bucket,
+    /// frames sit in enqueue order — which is exactly ascending global
+    /// send sequence, so popping buckets in key order and replaying each
+    /// in push order reproduces the old `(deliver_at, seq)` heap order
+    /// frame for frame. Few buckets exist at once (latency is uniform and
+    /// injected extra delays span 0–3 ms), so entry/pop stay cheap.
+    queue: BTreeMap<SimTime, Vec<InFlight>>,
+    /// Receivers whose inbox gained frames since the last bulk drain, in
+    /// delivery order with duplicates; sorted + deduped at drain time so
+    /// [`Simulator::drain_all_inboxes`] is O(active) instead of O(nodes).
+    dirty_inboxes: Vec<NodeId>,
     metrics: Metrics,
     rng: StdRng,
     latency: SimDuration,
@@ -136,8 +133,6 @@ pub struct Simulator {
     wormholes: Vec<Wormhole>,
     trace: Option<Arc<dyn TraceHook>>,
     faults: Option<FaultPlan>,
-    /// Per-receiver ring of recently delivered message ids (dedup window).
-    recent: BTreeMap<NodeId, VecDeque<u64>>,
     /// The communication ledger: per-node × per-phase × per-kind
     /// accounting of every frame, always on. Also issues the message ids
     /// used for duplicate suppression.
@@ -145,6 +140,18 @@ pub struct Simulator {
     /// Lazily built spatial shortlist for broadcast receivers, dropped on
     /// any position mutation. `None` means stale/absent.
     bcast_index: Option<BroadcastIndex>,
+}
+
+/// Everything the simulator tracks per node, stored densely by id.
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Transceiver positions (original first, replicas after). Empty
+    /// means the node does not exist (never deployed, killed, or dead).
+    positions: Vec<Point>,
+    /// Frames delivered but not yet drained by the protocol layer.
+    inbox: Vec<Delivered>,
+    /// Ring of recently delivered message ids (dedup window).
+    recent: VecDeque<u64>,
 }
 
 /// A uniform grid over every live transceiver position, used to shortlist
@@ -169,12 +176,12 @@ struct BroadcastIndex {
 }
 
 impl BroadcastIndex {
-    fn build(positions: &BTreeMap<NodeId, Vec<Point>>, cell: f64) -> Self {
+    fn build(nodes: &[NodeState], cell: f64) -> Self {
         let cell = cell.max(1e-6);
         let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
         let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for ps in positions.values() {
-            for p in ps {
+        for st in nodes {
+            for p in &st.positions {
                 min_x = min_x.min(p.x);
                 min_y = min_y.min(p.y);
                 max_x = max_x.max(p.x);
@@ -196,9 +203,9 @@ impl BroadcastIndex {
             rows,
             cells: Vec::new(),
         };
-        for (&id, ps) in positions {
-            for p in ps {
-                cells[index.cell_of(p)].push(id);
+        for (idx, st) in nodes.iter().enumerate() {
+            for p in &st.positions {
+                cells[index.cell_of(p)].push(NodeId(idx as u64));
             }
         }
         index.cells = cells;
@@ -252,16 +259,22 @@ impl Simulator {
     /// Builds a simulator over `deployment` with an ideal unit-disk link
     /// model and 1 ms frame latency.
     pub fn new(deployment: Deployment, radio: RadioSpec, seed: u64) -> Self {
-        let positions = deployment.iter().map(|(id, p)| (id, vec![p])).collect();
+        let mut nodes: Vec<NodeState> = Vec::new();
+        for (id, p) in deployment.iter() {
+            let idx = id.0 as usize;
+            if idx >= nodes.len() {
+                nodes.resize_with(idx + 1, NodeState::default);
+            }
+            nodes[idx].positions.push(p);
+        }
         Simulator {
             time: SimTime::ZERO,
-            positions,
+            nodes,
             radio,
             link: AnyLinkModel::default(),
             jammers: Vec::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            inboxes: BTreeMap::new(),
+            queue: BTreeMap::new(),
+            dirty_inboxes: Vec::new(),
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(seed),
             latency: SimDuration::from_millis(1),
@@ -271,7 +284,6 @@ impl Simulator {
             wormholes: Vec::new(),
             trace: None,
             faults: None,
-            recent: BTreeMap::new(),
             ledger: CommLedger::new(seed),
             bcast_index: None,
         }
@@ -311,7 +323,7 @@ impl Simulator {
         for zone in plan.spec().jams.clone() {
             self.jammers.push(zone);
         }
-        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        let ids: Vec<NodeId> = self.node_ids().collect();
         for id in ids {
             if plan.crash_window(id).is_some() {
                 self.note_fault(FaultKind::NodeCrash, id, id);
@@ -408,7 +420,7 @@ impl Simulator {
         };
         if battery.draw(cost) {
             self.deaths.push(id);
-            self.positions.remove(&id);
+            self.state_mut(id).positions.clear();
             self.bcast_index = None;
         }
     }
@@ -428,9 +440,26 @@ impl Simulator {
         self.jammers.push(zone);
     }
 
+    /// The dense slot for `id`, growing the table on demand.
+    fn state_mut(&mut self, id: NodeId) -> &mut NodeState {
+        let idx = id.0 as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, NodeState::default);
+        }
+        &mut self.nodes[idx]
+    }
+
+    /// `id`'s transceiver positions, `None` when the node doesn't exist.
+    fn pos(&self, id: NodeId) -> Option<&Vec<Point>> {
+        self.nodes
+            .get(id.0 as usize)
+            .map(|s| &s.positions)
+            .filter(|v| !v.is_empty())
+    }
+
     /// Adds a node at `p` (e.g. a newly deployed sensor).
     pub fn add_node(&mut self, id: NodeId, p: Point) {
-        self.positions.entry(id).or_default().push(p);
+        self.state_mut(id).positions.push(p);
         self.bcast_index = None;
     }
 
@@ -444,22 +473,35 @@ impl Simulator {
     /// replicas; pending frames to it are silently dropped on delivery.
     pub fn kill(&mut self, id: NodeId) -> bool {
         self.bcast_index = None;
-        self.positions.remove(&id).is_some()
+        match self.nodes.get_mut(id.0 as usize) {
+            Some(st) if !st.positions.is_empty() => {
+                st.positions.clear();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Whether `id` currently exists.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.positions.contains_key(&id)
+        self.pos(id).is_some()
     }
 
     /// All transceiver positions for `id` (original first).
     pub fn positions_of(&self, id: NodeId) -> &[Point] {
-        self.positions.get(&id).map_or(&[], Vec::as_slice)
+        self.nodes
+            .get(id.0 as usize)
+            .map_or(&[], |s| s.positions.as_slice())
     }
 
-    /// IDs of all live nodes.
+    /// IDs of all live nodes, ascending (the dense table's natural scan
+    /// order).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.positions.keys().copied()
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.positions.is_empty())
+            .map(|(idx, _)| NodeId(idx as u64))
     }
 
     /// The current simulated time.
@@ -480,8 +522,8 @@ impl Simulator {
     /// Finds the best (closest) transceiver pair between two nodes, if both
     /// exist.
     fn best_link(&self, from: NodeId, to: NodeId) -> Option<(Point, Point, f64)> {
-        let fps = self.positions.get(&from)?;
-        let tps = self.positions.get(&to)?;
+        let fps = self.pos(from)?;
+        let tps = self.pos(to)?;
         let mut best: Option<(Point, Point, f64)> = None;
         for fp in fps {
             for tp in tps {
@@ -530,8 +572,8 @@ impl Simulator {
         if wormholes.is_empty() {
             return None;
         }
-        let fps = self.positions.get(&from)?.clone();
-        let tps = self.positions.get(&to)?.clone();
+        let fps = self.pos(from)?.clone();
+        let tps = self.pos(to)?.clone();
         let range = self.radio.range(from);
         let mut best: Option<f64> = None;
         for w in &wormholes {
@@ -565,7 +607,7 @@ impl Simulator {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: Envelope,
         broadcast: bool,
         distance: f64,
         id: u64,
@@ -581,15 +623,13 @@ impl Simulator {
             distance,
             msg_id: id,
         };
-        self.seq += 1;
-        self.queue.push(Reverse(InFlight {
+        self.queue.entry(frame.at).or_default().push(InFlight {
             deliver_at: frame.at,
-            seq: self.seq,
             to,
             frame,
             kind,
             crc_failed,
-        }));
+        });
     }
 
     /// Schedules a frame that already cleared [`Simulator::check_delivery`],
@@ -600,7 +640,7 @@ impl Simulator {
         &mut self,
         from: NodeId,
         to: NodeId,
-        mut payload: Vec<u8>,
+        mut payload: Envelope,
         broadcast: bool,
         distance: f64,
         id: u64,
@@ -651,10 +691,14 @@ impl Simulator {
             return SendOutcome::Dropped(reason);
         }
         if decision.corrupt {
+            // Corruption is rare: round-trip through a Vec (mangling may
+            // grow an empty payload) instead of complicating the envelope.
+            let mut bytes = payload.to_vec();
             self.faults
                 .as_mut()
                 .expect("checked above")
-                .mangle(&mut payload);
+                .mangle(&mut bytes);
+            payload = Envelope::from(bytes);
             self.note_fault(FaultKind::Corrupted, from, to);
         }
         if decision.extra_delay > SimDuration::ZERO {
@@ -714,7 +758,12 @@ impl Simulator {
     ///
     /// Accounting: the attempt is always charged to the sender; drops are
     /// recorded with their reason.
-    pub fn unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> SendOutcome {
+    pub fn unicast(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: impl Into<Envelope>,
+    ) -> SendOutcome {
         self.unicast_meta(from, to, payload, TxMeta::raw()).1
     }
 
@@ -726,9 +775,10 @@ impl Simulator {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: impl Into<Envelope>,
         meta: TxMeta,
     ) -> (u64, SendOutcome) {
+        let payload = payload.into();
         let bytes = payload.len();
         {
             let c = self.metrics.node_mut(from);
@@ -752,14 +802,20 @@ impl Simulator {
 
     /// Broadcasts `payload` from `from` to every node in range of any of its
     /// transceivers. Returns the number of receivers scheduled.
-    pub fn broadcast(&mut self, from: NodeId, payload: Vec<u8>) -> usize {
+    pub fn broadcast(&mut self, from: NodeId, payload: impl Into<Envelope>) -> usize {
         self.broadcast_meta(from, payload, TxMeta::raw()).1
     }
 
     /// [`Simulator::broadcast`] with ledger metadata. The whole broadcast
     /// is one logical send: every per-receiver copy shares the returned
     /// message id.
-    pub fn broadcast_meta(&mut self, from: NodeId, payload: Vec<u8>, meta: TxMeta) -> (u64, usize) {
+    pub fn broadcast_meta(
+        &mut self,
+        from: NodeId,
+        payload: impl Into<Envelope>,
+        meta: TxMeta,
+    ) -> (u64, usize) {
+        let payload = payload.into();
         let bytes = payload.len();
         {
             let c = self.metrics.node_mut(from);
@@ -809,25 +865,19 @@ impl Simulator {
     /// with no transceivers left (every target then drops as
     /// `NoSuchNode`, which the scan must record).
     fn broadcast_targets(&mut self, from: NodeId) -> Vec<NodeId> {
-        let prunable = self.wormholes.is_empty()
-            && self.jammers.is_empty()
-            && self.positions.contains_key(&from);
+        let prunable =
+            self.wormholes.is_empty() && self.jammers.is_empty() && self.pos(from).is_some();
         if !prunable {
-            return self
-                .positions
-                .keys()
-                .copied()
-                .filter(|&node| node != from)
-                .collect();
+            // The per-target loss RNG draws happen in target order; the
+            // dense scan is ascending by construction, matching the old
+            // ordered-map walk.
+            return self.node_ids().filter(|&node| node != from).collect();
         }
         if self.bcast_index.is_none() {
-            self.bcast_index = Some(BroadcastIndex::build(
-                &self.positions,
-                self.radio.max_range(),
-            ));
+            self.bcast_index = Some(BroadcastIndex::build(&self.nodes, self.radio.max_range()));
         }
         let index = self.bcast_index.as_ref().expect("just built");
-        let centers = self.positions.get(&from).expect("checked above");
+        let centers = self.pos(from).expect("checked above");
         let mut targets = Vec::new();
         index.candidates(centers, self.radio.range(from), &mut targets);
         targets.sort_unstable();
@@ -843,18 +893,45 @@ impl Simulator {
     }
 
     fn deliver_due(&mut self) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.deliver_at > self.time {
+        while let Some((&due, _)) = self.queue.first_key_value() {
+            if due > self.time {
                 break;
             }
-            let Reverse(inflight) = self.queue.pop().expect("peeked");
+            let (_, mut bucket) = self.queue.pop_first().expect("peeked");
+            // Nothing in the delivery body enqueues, so draining the
+            // bucket by value is safe; push order within it is ascending
+            // send sequence (see the `queue` field docs).
+            //
+            // Receiver-sorted sweep: a hello-round bucket at n = 100k
+            // holds ~1.5M frames whose send order visits receivers at
+            // random, and once the per-node tables outgrow the cache
+            // every charge is a miss. All per-frame bookkeeping is
+            // commutative counter arithmetic and, with energy accounting
+            // off, no delivery can change which nodes are alive — so
+            // intra-bucket order is unobservable except through each
+            // receiver's inbox order, which the *stable* sort preserves.
+            // With energy on, a mid-bucket battery death makes order
+            // observable (later frames to the dead node must drop), so
+            // the historical send-order walk stays.
+            if self.energy.is_none() {
+                bucket.sort_by_key(|inflight| inflight.to);
+            }
+            for inflight in bucket {
+                self.deliver_one(inflight);
+            }
+        }
+    }
+
+    /// Delivers (or drops) one due frame.
+    fn deliver_one(&mut self, inflight: InFlight) {
+        {
             let (id, kind) = (inflight.frame.msg_id, inflight.kind);
             let from = inflight.frame.from;
             let bytes = inflight.frame.payload.len();
             // Dead receivers silently lose frames: no metric drop (the
             // radio saw no failure), but the ledger closes the frame so
             // conservation holds.
-            if !self.positions.contains_key(&inflight.to) {
+            if self.pos(inflight.to).is_none() {
                 self.drop_msg(
                     id,
                     kind,
@@ -864,7 +941,7 @@ impl Simulator {
                     bytes,
                     false,
                 );
-                continue;
+                return;
             }
             if self.faults.is_some() {
                 // A crashed radio hears nothing while its window is open.
@@ -882,7 +959,7 @@ impl Simulator {
                         bytes,
                         true,
                     );
-                    continue;
+                    return;
                 }
                 // Detected corruption dies at the receiver's CRC check.
                 if inflight.crc_failed {
@@ -895,13 +972,13 @@ impl Simulator {
                         bytes,
                         true,
                     );
-                    continue;
+                    return;
                 }
                 // Duplicate suppression: a message id already seen within
                 // the receiver's dedup window is discarded.
                 let window = self.faults.as_ref().map_or(0, |p| p.spec().dedup_window);
                 if window > 0 {
-                    let ring = self.recent.entry(inflight.to).or_default();
+                    let ring = &mut self.state_mut(inflight.to).recent;
                     if ring.contains(&id) {
                         self.drop_msg(
                             id,
@@ -912,7 +989,7 @@ impl Simulator {
                             bytes,
                             true,
                         );
-                        continue;
+                        return;
                     }
                     ring.push_back(id);
                     while ring.len() > window {
@@ -931,22 +1008,22 @@ impl Simulator {
                 hook.msg_delivered(id, from, inflight.to);
             }
             self.charge(inflight.to, bytes, true);
-            // The receive itself may have exhausted the battery.
-            if !self.positions.contains_key(&inflight.to) {
-                continue;
+            // The receive itself may have exhausted the battery; the alive
+            // re-check shares the slot access that enqueues the frame.
+            if let Some(st) = self.nodes.get_mut(inflight.to.0 as usize) {
+                if !st.positions.is_empty() {
+                    st.inbox.push(inflight.frame);
+                    self.dirty_inboxes.push(inflight.to);
+                }
             }
-            self.inboxes
-                .entry(inflight.to)
-                .or_default()
-                .push_back(inflight.frame);
         }
     }
 
     /// Removes and returns everything in `id`'s inbox, oldest first.
     pub fn drain_inbox(&mut self, id: NodeId) -> Vec<Delivered> {
-        self.inboxes
-            .get_mut(&id)
-            .map(|q| q.drain(..).collect())
+        self.nodes
+            .get_mut(id.0 as usize)
+            .map(|s| std::mem::take(&mut s.inbox))
             .unwrap_or_default()
     }
 
@@ -957,23 +1034,41 @@ impl Simulator {
     /// [`Simulator::node_ids`] would leave them. This is the bulk intake
     /// of the engine's batched hello phase.
     pub fn drain_all_inboxes(&mut self) -> Vec<(NodeId, Vec<Delivered>)> {
-        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
-        ids.into_iter()
-            .filter_map(|id| {
-                let frames = self.drain_inbox(id);
-                (!frames.is_empty()).then_some((id, frames))
-            })
-            .collect()
+        let mut dirty = std::mem::take(&mut self.dirty_inboxes);
+        dirty.sort_unstable();
+        dirty.dedup();
+        let mut out = Vec::with_capacity(dirty.len());
+        for id in dirty {
+            if self.pos(id).is_none() {
+                // Dead receiver: its leftover frames stay queued (matching
+                // the per-id loop over live ids), and the marker survives
+                // so nothing is orphaned if the node's inbox is drained
+                // explicitly later.
+                if self
+                    .nodes
+                    .get(id.0 as usize)
+                    .is_some_and(|s| !s.inbox.is_empty())
+                {
+                    self.dirty_inboxes.push(id);
+                }
+                continue;
+            }
+            let frames = self.drain_inbox(id);
+            if !frames.is_empty() {
+                out.push((id, frames));
+            }
+        }
+        out
     }
 
     /// Number of frames waiting in `id`'s inbox.
     pub fn inbox_len(&self, id: NodeId) -> usize {
-        self.inboxes.get(&id).map_or(0, VecDeque::len)
+        self.nodes.get(id.0 as usize).map_or(0, |s| s.inbox.len())
     }
 
     /// Number of frames still in flight.
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.queue.values().map(Vec::len).sum()
     }
 }
 

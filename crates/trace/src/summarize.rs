@@ -59,7 +59,7 @@ fn report_summary(out: &mut String, row: &Value, registry: &Value) {
         }
     }
 
-    let mut wall_lines = Vec::new();
+    let mut wall_spans = Vec::new();
     for (key, summary) in histograms {
         if let Some(path) = key
             .strip_prefix("prof.")
@@ -67,16 +67,29 @@ fn report_summary(out: &mut String, row: &Value, registry: &Value) {
         {
             let count = field(summary, "count");
             let sum = field(summary, "sum");
-            wall_lines.push(format!(
-                "  {path:<40} calls {count:>6}  wall {:>12.3} ms",
-                sum / 1e6
-            ));
+            wall_spans.push((path, count, sum));
         }
     }
-    if !wall_lines.is_empty() {
+    if !wall_spans.is_empty() {
+        // Spans are inclusive, so the widest one (the wave root) is the
+        // denominator for the share column: each phase's fraction of the
+        // run's wall clock.
+        let total = wall_spans
+            .iter()
+            .map(|&(_, _, sum)| sum)
+            .fold(0.0, f64::max);
         let _ = writeln!(out, "wall clock (profiler spans):");
-        for line in wall_lines {
-            let _ = writeln!(out, "{line}");
+        for (path, count, sum) in wall_spans {
+            let share = if total > 0.0 {
+                100.0 * sum / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {path:<40} calls {count:>6}  wall {:>12.3} ms  share {share:>5.1}%",
+                sum / 1e6
+            );
         }
     }
 
