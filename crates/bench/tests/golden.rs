@@ -230,14 +230,22 @@ fn assert_report_contract(bin: &str, row: &Value) {
     }
     let registry = row.get("registry").expect("present");
     assert_eq!(registry.keys(), vec!["counters", "histograms"], "{bin}");
-    assert_eq!(
-        row.get("params")
-            .expect("present")
-            .get("threads")
-            .map(Value::kind),
-        Some("number"),
-        "{bin}: every row must record its thread count"
-    );
+    // Campaign rows are byte-identical at any SND_THREADS and therefore
+    // deliberately record no thread count (DESIGN.md §16); every other
+    // experiment must record one.
+    let threads = row.get("params").expect("present").get("threads");
+    if row.get("experiment").and_then(Value::as_str) == Some("campaign") {
+        assert!(
+            threads.is_none(),
+            "{bin}: campaign rows must stay thread-free"
+        );
+    } else {
+        assert_eq!(
+            threads.map(Value::kind),
+            Some("number"),
+            "{bin}: every row must record its thread count"
+        );
+    }
 }
 
 #[test]

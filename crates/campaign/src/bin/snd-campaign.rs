@@ -1,0 +1,191 @@
+//! `snd-campaign` — sweep a declarative adversarial campaign.
+//!
+//! ```text
+//! snd-campaign [SPEC-FILE]
+//! ```
+//!
+//! Without a spec file, runs [`CampaignSpec::default_campaign`]. Prints
+//! the scored cell grid, appends one row per cell to
+//! `results/campaign.jsonl`, and writes the machine-comparable
+//! `BENCH_campaign.json` (no timing fields, no thread counts — the file
+//! is byte-identical at any `SND_THREADS`, which CI enforces).
+//!
+//! Exits non-zero if the grid violates the campaign's smoke bars:
+//! the paper's rule must post zero false positives on every no-attack
+//! cell and must block at least as much replication as either Parno
+//! baseline in every replication cell.
+
+use serde::Serialize;
+use snd_bench::report::ExperimentLog;
+use snd_bench::table::{f3, Table};
+use snd_campaign::{run_campaign, CampaignSpec, CellRow};
+use snd_exec::Executor;
+
+/// One `BENCH_campaign.json` cell. Deliberately excludes thread counts
+/// and wall-clock fields so the file is byte-stable across machines and
+/// thread counts (DESIGN.md §9, §16).
+#[derive(Serialize)]
+struct BenchCell {
+    attacker: String,
+    environment: String,
+    defense: String,
+    seed: u64,
+    attempts: u64,
+    blocked: u64,
+    detection_rate: f64,
+    benign_pairs: u64,
+    false_positives: u64,
+    fp_rate: f64,
+    two_r_safe: bool,
+    worst_radius_m: f64,
+    rejected_records: u64,
+    unconfirmed_links: u64,
+    detector_messages: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    spec: String,
+    seed: u64,
+    threshold: u64,
+    trials: u64,
+    cells: Vec<BenchCell>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = match args.first() {
+        None => CampaignSpec::default_campaign(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            CampaignSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+    };
+
+    let exec = Executor::from_env();
+    println!(
+        "campaign '{}': {} attackers x {} envs x {} defenses = {} cells ({} threads)",
+        spec.name,
+        spec.attackers.len(),
+        spec.environments.len(),
+        spec.defenses.len(),
+        spec.cell_count(),
+        exec.threads()
+    );
+    let rows = run_campaign(&spec, &exec);
+
+    let mut table = Table::new(
+        "Adversarial campaign: detection / false-positive ROC grid",
+        &[
+            "attacker", "env", "defense", "att", "blk", "detect", "pairs", "fp", "fp-rate",
+            "2R-safe", "det-msgs",
+        ],
+    );
+    for row in &rows {
+        let o = &row.outcome;
+        table.row(&[
+            row.attacker.clone(),
+            row.environment.clone(),
+            row.defense.clone(),
+            o.attempts.to_string(),
+            o.blocked.to_string(),
+            f3(o.detection_rate),
+            o.benign_pairs.to_string(),
+            o.false_positives.to_string(),
+            f3(o.fp_rate),
+            if o.two_r_safe { "yes" } else { "NO" }.into(),
+            o.detector_messages.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut log = ExperimentLog::create("campaign");
+    for row in &rows {
+        log.append(&row.report);
+    }
+    log.finish();
+
+    let bench = BenchReport {
+        bench: "campaign",
+        spec: spec.name.clone(),
+        seed: spec.seed,
+        threshold: spec.threshold as u64,
+        trials: spec.trials.max(1) as u64,
+        cells: rows
+            .iter()
+            .map(|row| BenchCell {
+                attacker: row.attacker.clone(),
+                environment: row.environment.clone(),
+                defense: row.defense.clone(),
+                seed: row.cell_seed,
+                attempts: row.outcome.attempts,
+                blocked: row.outcome.blocked,
+                detection_rate: row.outcome.detection_rate,
+                benign_pairs: row.outcome.benign_pairs,
+                false_positives: row.outcome.false_positives,
+                fp_rate: row.outcome.fp_rate,
+                two_r_safe: row.outcome.two_r_safe,
+                worst_radius_m: row.outcome.worst_radius_m,
+                rejected_records: row.outcome.rejected_records,
+                unconfirmed_links: row.outcome.unconfirmed_links,
+                detector_messages: row.outcome.detector_messages,
+            })
+            .collect(),
+    };
+    let path = "BENCH_campaign.json";
+    let line = serde::json::to_string(&bench) + "\n";
+    match std::fs::write(path, line) {
+        Ok(()) => println!("wrote {path} ({} cells)", bench.cells.len()),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+
+    if let Err(msg) = smoke(&rows) {
+        eprintln!("SMOKE FAILURE: {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// The grid's hard bars (mirrored by CI):
+/// - paper rule: zero false positives on every no-attack cell;
+/// - paper rule: detection ≥ either Parno baseline on every replication
+///   cell (same attacker and environment).
+fn smoke(rows: &[CellRow]) -> Result<(), String> {
+    for row in rows {
+        if row.attacker == "none" && row.defense == "paper" && row.outcome.false_positives > 0 {
+            return Err(format!(
+                "paper rule posted {} false positives on no-attack cell ({}/{})",
+                row.outcome.false_positives, row.attacker, row.environment
+            ));
+        }
+    }
+    for row in rows {
+        if !row.attacker.starts_with("repl-") || row.defense != "paper" {
+            continue;
+        }
+        for other in rows {
+            if other.attacker == row.attacker
+                && other.environment == row.environment
+                && other.defense.starts_with("parno")
+                && row.outcome.detection_rate < other.outcome.detection_rate - 1e-12
+            {
+                return Err(format!(
+                    "paper rule detection {} under {} ({}/{}) below {} baseline {}",
+                    f3(row.outcome.detection_rate),
+                    row.attacker,
+                    row.environment,
+                    row.defense,
+                    other.defense,
+                    f3(other.outcome.detection_rate),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Adversarial campaign harness (DESIGN.md §16).
+//!
+//! Crosses three declarative axes — attacker strategy × environment ×
+//! defense — into a deterministic cell grid over the discovery engine,
+//! and scores each cell as a detection-rate / false-positive ROC point
+//! with a Theorem 3 (2R containment) verdict.
+//!
+//! - [`spec`]: the [`spec::CampaignSpec`] model and its line-based
+//!   on-disk format.
+//! - [`run`]: cell enumeration, seeding (`stream_seed(seed, cell)` →
+//!   `trial_seed(cell_seed, trial)`), wave orchestration, and scoring.
+//!
+//! The `snd-campaign` binary sweeps a spec, prints the grid, appends
+//! `results/campaign.jsonl`, and writes the CI-gated
+//! `BENCH_campaign.json`; `snd-trace campaign` summarizes and diffs the
+//! JSONL rows.
+
+pub mod run;
+pub mod spec;
+
+pub use run::{run_campaign, run_campaign_with, CellOutcome, CellRow, RunOptions};
+pub use spec::{AttackerSpec, CampaignSpec, DefenseSpec, EnvironmentSpec, Placement, ScenarioSpec};

@@ -1,0 +1,558 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names three orthogonal axes — attacker strategies,
+//! environments, and defenses — and the harness runs their full cross
+//! product as one cell per combination (DESIGN.md §16). Specs are plain
+//! data: build them in code, or parse the line-based on-disk format with
+//! [`CampaignSpec::parse`] (the committed CI spec lives in
+//! `crates/campaign/specs/ci.campaign`).
+
+/// Field geometry and population shared by every cell (environments may
+/// override `nodes` and `range` per cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Square field side in meters.
+    pub side: f64,
+    /// Baseline node count of the first (pre-attack) wave.
+    pub nodes: usize,
+    /// Baseline radio range R in meters.
+    pub range: f64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        // Shorter radios than the paper's R = 50 headline point so that a
+        // 2R ring (the replica distance Theorem 3 reasons about) still
+        // fits inside the field (side/R = 4), and dense enough (~47
+        // expected neighbors) that the t+1 common-neighbor rule never
+        // starves a legitimate boundary pair — the no-attack cells must
+        // post zero false positives.
+        ScenarioSpec {
+            side: 100.0,
+            nodes: 240,
+            range: 25.0,
+        }
+    }
+}
+
+/// Where replication places the cloned transceivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Replicas on a ring of radius `distance · R` around the captured
+    /// node's position (probes the 2R safety boundary directly).
+    Ring {
+        /// Ring radius in multiples of R.
+        distance: f64,
+    },
+    /// All replicas clustered in the far corner of the field.
+    Clustered,
+    /// Replica sites sampled uniformly over the field from the cell's
+    /// placement RNG stream.
+    Uniform,
+}
+
+/// One attacker strategy (the campaign's first axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackerSpec {
+    /// No adversary: the false-positive floor of every defense.
+    None,
+    /// Node replication (the paper's headline attack): capture `colluders`
+    /// nodes near the anchor and replicate each at `sites` placements.
+    Replication {
+        /// Replica placement policy.
+        placement: Placement,
+        /// Captured nodes (colluding, mutually neighboring).
+        colluders: usize,
+        /// Replica sites per captured node.
+        sites: usize,
+    },
+    /// Theorem 2's generic record forging: a capture violating the trust
+    /// window leaks the master key, and replicas at `sites` clustered
+    /// placements mint fresh binding records claiming whatever
+    /// neighborhoods the victims expect.
+    RecordForging {
+        /// Captured nodes (each violating the trust window).
+        colluders: usize,
+        /// Replica sites per captured node.
+        sites: usize,
+    },
+    /// Sybil: one captured radio claims `claimed_ids` fabricated node
+    /// identities that have no sensor, keys, or deployment position.
+    Sybil {
+        /// Fabricated identities claimed by the captured owner.
+        claimed_ids: usize,
+    },
+    /// Wormhole: two colluding captured radios in opposite field corners
+    /// plant an out-of-band far link and relay discovery traffic through
+    /// it, stretching apparent neighborships far beyond R.
+    Wormhole,
+}
+
+impl AttackerSpec {
+    /// Stable label used in scenario strings, tables, and BENCH rows.
+    pub fn label(&self) -> String {
+        match self {
+            AttackerSpec::None => "none".into(),
+            AttackerSpec::Replication {
+                placement,
+                colluders,
+                sites,
+            } => {
+                let p = match placement {
+                    Placement::Ring { distance } => format!("ring{distance:.1}R"),
+                    Placement::Clustered => "clustered".into(),
+                    Placement::Uniform => "uniform".into(),
+                };
+                format!("repl-{p}-c{colluders}s{sites}")
+            }
+            AttackerSpec::RecordForging { colluders, sites } => {
+                format!("forge-c{colluders}s{sites}")
+            }
+            AttackerSpec::Sybil { claimed_ids } => format!("sybil-k{claimed_ids}"),
+            AttackerSpec::Wormhole => "wormhole".into(),
+        }
+    }
+}
+
+/// One environment (the campaign's second axis): the snd-sim fault matrix
+/// plus optional density/range overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentSpec {
+    /// Label used in scenario strings and tables.
+    pub name: String,
+    /// Uniform frame-loss probability (0 disables the fault plan's loss).
+    pub loss: f64,
+    /// ARQ retry budget; 0 keeps the legacy fire-and-forget wave.
+    pub retry_budget: u32,
+    /// Install a permanent jam zone covering ~15% of the field side
+    /// (upper-left region, away from the attack anchor).
+    pub jam: bool,
+    /// Per-node crash/reboot probability during the wave. Crashed
+    /// wave-1 nodes freeze impoverished binding records, which the t+1
+    /// rule then rejects — campaigns gated on a zero-FP bar should keep
+    /// this at 0 (the harness scores what the protocol does, honestly).
+    pub crash: f64,
+    /// Elevated-loss burst probability over the first 150 ms of sim
+    /// time (0 disables the burst window).
+    pub burst: f64,
+    /// Node-count override (density axis); `None` keeps the scenario's.
+    pub nodes: Option<usize>,
+    /// Radio-range override in meters; `None` keeps the scenario's.
+    pub range: Option<f64>,
+}
+
+impl EnvironmentSpec {
+    /// A clean environment: ideal transport, no faults, legacy wave.
+    pub fn clean() -> Self {
+        EnvironmentSpec {
+            name: "clean".into(),
+            loss: 0.0,
+            retry_budget: 0,
+            jam: false,
+            crash: 0.0,
+            burst: 0.0,
+            nodes: None,
+            range: None,
+        }
+    }
+
+    /// Whether this environment needs a fault plan at all.
+    pub fn has_faults(&self) -> bool {
+        self.loss > 0.0 || self.jam || self.crash > 0.0 || self.burst > 0.0
+    }
+}
+
+/// One defense (the campaign's third axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseSpec {
+    /// The paper's full protocol: direct verification plus the t+1
+    /// common-neighbor validation rule. Accepted = functional topology.
+    PaperRule,
+    /// Direct verification alone (distance bounding, no record
+    /// validation). Accepted = tentative topology.
+    DirectOnly,
+    /// Parno et al. randomized-multicast replica detection; direct
+    /// verification off, accepted = tentative minus flagged identities.
+    ParnoRandomized,
+    /// Parno et al. line-selected-multicast replica detection; direct
+    /// verification off, accepted = tentative minus flagged identities.
+    ParnoLine,
+}
+
+impl DefenseSpec {
+    /// Stable label used in scenario strings, tables, and BENCH rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseSpec::PaperRule => "paper",
+            DefenseSpec::DirectOnly => "direct",
+            DefenseSpec::ParnoRandomized => "parno-rand",
+            DefenseSpec::ParnoLine => "parno-line",
+        }
+    }
+
+    /// Whether the engine's direct (distance) verification is enabled
+    /// under this defense.
+    pub fn direct_verification(&self) -> bool {
+        matches!(self, DefenseSpec::PaperRule | DefenseSpec::DirectOnly)
+    }
+
+    /// Whether this defense runs a Parno replica detector post-wave.
+    pub fn is_parno(&self) -> bool {
+        matches!(self, DefenseSpec::ParnoRandomized | DefenseSpec::ParnoLine)
+    }
+}
+
+/// A full campaign: the cross product of the three axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (BENCH provenance).
+    pub name: String,
+    /// Shared field geometry and population.
+    pub scenario: ScenarioSpec,
+    /// Validation threshold t (functional relations need t+1 shared
+    /// tentative neighbors).
+    pub threshold: usize,
+    /// Trials per cell (seeds `trial_seed(cell_seed, i)`).
+    pub trials: usize,
+    /// Campaign base seed; cell i runs under `stream_seed(seed, i)`.
+    pub seed: u64,
+    /// Attacker axis (outermost in cell order).
+    pub attackers: Vec<AttackerSpec>,
+    /// Environment axis (middle).
+    pub environments: Vec<EnvironmentSpec>,
+    /// Defense axis (innermost).
+    pub defenses: Vec<DefenseSpec>,
+}
+
+impl CampaignSpec {
+    /// Number of cells in the cross product.
+    pub fn cell_count(&self) -> usize {
+        self.attackers.len() * self.environments.len() * self.defenses.len()
+    }
+
+    /// The default campaign: every attacker archetype × three
+    /// environments × all four defenses (84 cells).
+    pub fn default_campaign() -> Self {
+        CampaignSpec {
+            name: "default".into(),
+            scenario: ScenarioSpec::default(),
+            threshold: 4,
+            trials: 1,
+            seed: 9,
+            attackers: vec![
+                AttackerSpec::None,
+                AttackerSpec::Replication {
+                    placement: Placement::Ring { distance: 2.2 },
+                    colluders: 2,
+                    sites: 2,
+                },
+                AttackerSpec::Replication {
+                    placement: Placement::Clustered,
+                    colluders: 2,
+                    sites: 3,
+                },
+                AttackerSpec::Replication {
+                    placement: Placement::Uniform,
+                    colluders: 2,
+                    sites: 3,
+                },
+                AttackerSpec::RecordForging {
+                    colluders: 1,
+                    sites: 2,
+                },
+                AttackerSpec::Sybil { claimed_ids: 3 },
+                AttackerSpec::Wormhole,
+            ],
+            environments: vec![
+                EnvironmentSpec::clean(),
+                EnvironmentSpec {
+                    name: "lossy".into(),
+                    loss: 0.3,
+                    retry_budget: 3,
+                    ..EnvironmentSpec::clean()
+                },
+                EnvironmentSpec {
+                    name: "hostile".into(),
+                    loss: 0.1,
+                    retry_budget: 3,
+                    jam: true,
+                    burst: 0.5,
+                    ..EnvironmentSpec::clean()
+                },
+            ],
+            defenses: vec![
+                DefenseSpec::PaperRule,
+                DefenseSpec::DirectOnly,
+                DefenseSpec::ParnoRandomized,
+                DefenseSpec::ParnoLine,
+            ],
+        }
+    }
+
+    /// Parses the line-based spec format.
+    ///
+    /// One directive per line; `#` starts a comment. Directives:
+    ///
+    /// ```text
+    /// name <string>
+    /// side <f64>            nodes <usize>         range <f64>
+    /// threshold <usize>     trials <usize>        seed <u64>
+    /// attacker none
+    /// attacker replication placement=ring:<dist>|clustered|uniform \
+    ///          colluders=<n> sites=<n>
+    /// attacker forge colluders=<n> sites=<n>
+    /// attacker sybil k=<n>
+    /// attacker wormhole
+    /// env <name> [loss=<f64>] [budget=<u32>] [jam=0|1] [crash=<f64>]
+    ///            [burst=<f64>] [nodes=<usize>] [range=<f64>]
+    /// defense paper|direct|parno_randomized|parno_line
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending line.
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec {
+            name: "campaign".into(),
+            scenario: ScenarioSpec::default(),
+            threshold: 4,
+            trials: 1,
+            seed: 9,
+            attackers: Vec::new(),
+            environments: Vec::new(),
+            defenses: Vec::new(),
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+            let mut words = line.split_whitespace();
+            let key = words.next().expect("non-empty line");
+            let rest: Vec<&str> = words.collect();
+            match key {
+                "name" => spec.name = rest.join(" "),
+                "side" => spec.scenario.side = parse_num(&rest, &err)?,
+                "nodes" => spec.scenario.nodes = parse_num(&rest, &err)?,
+                "range" => spec.scenario.range = parse_num(&rest, &err)?,
+                "threshold" => spec.threshold = parse_num(&rest, &err)?,
+                "trials" => spec.trials = parse_num(&rest, &err)?,
+                "seed" => spec.seed = parse_num(&rest, &err)?,
+                "attacker" => spec.attackers.push(parse_attacker(&rest, &err)?),
+                "env" => spec.environments.push(parse_env(&rest, &err)?),
+                "defense" => spec.defenses.push(parse_defense(&rest, &err)?),
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        if spec.attackers.is_empty() || spec.environments.is_empty() || spec.defenses.is_empty() {
+            return Err("a campaign needs at least one attacker, env, and defense".into());
+        }
+        Ok(spec)
+    }
+}
+
+/// Parses the single positional value of a scalar directive.
+fn parse_num<T: std::str::FromStr>(
+    rest: &[&str],
+    err: &dyn Fn(&str) -> String,
+) -> Result<T, String> {
+    rest.first()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| err("expected one numeric value"))
+}
+
+/// Splits `key=value` arguments into an association list.
+fn kv_args<'a>(
+    rest: &[&'a str],
+    err: &dyn Fn(&str) -> String,
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    rest.iter()
+        .map(|w| w.split_once('=').ok_or_else(|| err("expected key=value")))
+        .collect()
+}
+
+/// Looks up and parses one `key=value` argument, with a default.
+fn kv_get<T: std::str::FromStr>(
+    args: &[(&str, &str)],
+    key: &str,
+    default: T,
+    err: &dyn Fn(&str) -> String,
+) -> Result<T, String> {
+    match args.iter().find(|(k, _)| *k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| err(&format!("bad value for {key}"))),
+    }
+}
+
+fn parse_attacker(rest: &[&str], err: &dyn Fn(&str) -> String) -> Result<AttackerSpec, String> {
+    let kind = *rest.first().ok_or_else(|| err("missing attacker kind"))?;
+    let args = kv_args(&rest[1..], err)?;
+    match kind {
+        "none" => Ok(AttackerSpec::None),
+        "replication" => {
+            let placement = match args.iter().find(|(k, _)| *k == "placement") {
+                None => Placement::Clustered,
+                Some((_, v)) => {
+                    if let Some(d) = v.strip_prefix("ring:") {
+                        Placement::Ring {
+                            distance: d.parse().map_err(|_| err("bad ring distance"))?,
+                        }
+                    } else {
+                        match *v {
+                            "clustered" => Placement::Clustered,
+                            "uniform" => Placement::Uniform,
+                            _ => return Err(err("unknown placement")),
+                        }
+                    }
+                }
+            };
+            Ok(AttackerSpec::Replication {
+                placement,
+                colluders: kv_get(&args, "colluders", 2, err)?,
+                sites: kv_get(&args, "sites", 2, err)?,
+            })
+        }
+        "forge" => Ok(AttackerSpec::RecordForging {
+            colluders: kv_get(&args, "colluders", 1, err)?,
+            sites: kv_get(&args, "sites", 2, err)?,
+        }),
+        "sybil" => Ok(AttackerSpec::Sybil {
+            claimed_ids: kv_get(&args, "k", 3, err)?,
+        }),
+        "wormhole" => Ok(AttackerSpec::Wormhole),
+        _ => Err(err("unknown attacker kind")),
+    }
+}
+
+fn parse_env(rest: &[&str], err: &dyn Fn(&str) -> String) -> Result<EnvironmentSpec, String> {
+    let name = *rest.first().ok_or_else(|| err("missing env name"))?;
+    let args = kv_args(&rest[1..], err)?;
+    let nodes: usize = kv_get(&args, "nodes", 0, err)?;
+    let range: f64 = kv_get(&args, "range", 0.0, err)?;
+    Ok(EnvironmentSpec {
+        name: name.into(),
+        loss: kv_get(&args, "loss", 0.0, err)?,
+        retry_budget: kv_get(&args, "budget", 0, err)?,
+        jam: kv_get(&args, "jam", 0u8, err)? != 0,
+        crash: kv_get(&args, "crash", 0.0, err)?,
+        burst: kv_get(&args, "burst", 0.0, err)?,
+        nodes: (nodes > 0).then_some(nodes),
+        range: (range > 0.0).then_some(range),
+    })
+}
+
+fn parse_defense(rest: &[&str], err: &dyn Fn(&str) -> String) -> Result<DefenseSpec, String> {
+    match rest.first().copied() {
+        Some("paper") => Ok(DefenseSpec::PaperRule),
+        Some("direct") => Ok(DefenseSpec::DirectOnly),
+        Some("parno_randomized") => Ok(DefenseSpec::ParnoRandomized),
+        Some("parno_line") => Ok(DefenseSpec::ParnoLine),
+        _ => Err(err("unknown defense")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaign_covers_every_axis() {
+        let spec = CampaignSpec::default_campaign();
+        assert_eq!(spec.cell_count(), 7 * 3 * 4);
+        assert!(spec
+            .attackers
+            .iter()
+            .any(|a| matches!(a, AttackerSpec::Sybil { .. })));
+        assert!(spec.attackers.contains(&AttackerSpec::Wormhole));
+        assert!(spec.defenses.contains(&DefenseSpec::PaperRule));
+    }
+
+    #[test]
+    fn parse_round_trips_a_small_spec() {
+        let text = "
+            # a comment
+            name tiny
+            side 60
+            nodes 40
+            range 20
+            threshold 2
+            trials 1
+            seed 7
+            attacker none
+            attacker replication placement=ring:2.5 colluders=2 sites=2
+            attacker sybil k=4        # trailing comment
+            attacker wormhole
+            attacker forge colluders=1 sites=3
+            env clean
+            env lossy loss=0.25 budget=2 jam=1 crash=0.1 nodes=50 range=18
+            defense paper
+            defense parno_line
+        ";
+        let spec = CampaignSpec::parse(text).expect("parses");
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.scenario.nodes, 40);
+        assert_eq!(spec.threshold, 2);
+        assert_eq!(spec.cell_count(), 5 * 2 * 2);
+        assert_eq!(
+            spec.attackers[1],
+            AttackerSpec::Replication {
+                placement: Placement::Ring { distance: 2.5 },
+                colluders: 2,
+                sites: 2,
+            }
+        );
+        assert_eq!(spec.attackers[2], AttackerSpec::Sybil { claimed_ids: 4 });
+        let env = &spec.environments[1];
+        assert_eq!(env.loss, 0.25);
+        assert_eq!(env.retry_budget, 2);
+        assert!(env.jam);
+        assert_eq!(env.nodes, Some(50));
+        assert_eq!(env.range, Some(18.0));
+        assert_eq!(
+            spec.defenses,
+            vec![DefenseSpec::PaperRule, DefenseSpec::ParnoLine]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(CampaignSpec::parse("bogus 3").is_err());
+        assert!(CampaignSpec::parse("attacker martian").is_err());
+        assert!(CampaignSpec::parse("defense nope").is_err());
+        assert!(CampaignSpec::parse("name empty-axes").is_err());
+        assert!(
+            CampaignSpec::parse("attacker replication placement=ring:x\nenv c\ndefense paper")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn ci_spec_matches_default_campaign() {
+        let text = include_str!("../specs/ci.campaign");
+        let spec = CampaignSpec::parse(text).expect("committed CI spec parses");
+        assert_eq!(
+            spec,
+            CampaignSpec::default_campaign(),
+            "crates/campaign/specs/ci.campaign drifted from default_campaign()"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AttackerSpec::Wormhole.label(), "wormhole");
+        assert_eq!(
+            AttackerSpec::Replication {
+                placement: Placement::Ring { distance: 2.2 },
+                colluders: 2,
+                sites: 3
+            }
+            .label(),
+            "repl-ring2.2R-c2s3"
+        );
+        assert_eq!(AttackerSpec::Sybil { claimed_ids: 3 }.label(), "sybil-k3");
+        assert_eq!(DefenseSpec::ParnoRandomized.label(), "parno-rand");
+        assert!(!DefenseSpec::ParnoRandomized.direct_verification());
+        assert!(DefenseSpec::PaperRule.direct_verification());
+    }
+}

@@ -1,0 +1,216 @@
+//! Golden-file schema test for `results/campaign.jsonl` rows and the
+//! committed `BENCH_campaign.json`.
+//!
+//! `tests/golden/campaign.jsonl` holds one committed fixture row —
+//! exactly what `snd-campaign` appends per cell, generated at a small
+//! deterministic spec. The test pins the schema (field names, order,
+//! JSON types), not the values, so retuning scenarios never breaks it
+//! but renaming a param/outcome key does. Regenerate after an
+//! intentional schema change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p snd-campaign --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use snd_campaign::{
+    run_campaign, AttackerSpec, CampaignSpec, DefenseSpec, EnvironmentSpec, Placement, ScenarioSpec,
+};
+use snd_exec::Executor;
+use snd_observe::json::{parse, Value};
+use snd_observe::report::RunReport;
+
+/// Keys every campaign row's `params` must carry, in serialization
+/// order (BTreeMap, so alphabetical). No `threads` and no wall-clock
+/// keys: rows are byte-identical at any `SND_THREADS`.
+const PARAM_KEYS: [&str; 11] = [
+    "attacker",
+    "cell_index",
+    "defense",
+    "environment",
+    "loss",
+    "nodes",
+    "range_m",
+    "retry_budget",
+    "side_m",
+    "threshold",
+    "trials",
+];
+
+/// Keys every campaign row's `outcomes` must carry (the ROC scores and
+/// the Theorem 3 verdict).
+const OUTCOME_KEYS: [&str; 12] = [
+    "attempts",
+    "benign_pairs",
+    "blocked",
+    "detection_rate",
+    "detector_messages",
+    "false_positives",
+    "fp_rate",
+    "msgs_per_node",
+    "rejected_records",
+    "two_r_safe",
+    "unconfirmed_links",
+    "worst_radius_m",
+];
+
+/// Per-cell keys of the committed `BENCH_campaign.json`.
+const BENCH_CELL_KEYS: [&str; 15] = [
+    "attacker",
+    "environment",
+    "defense",
+    "seed",
+    "attempts",
+    "blocked",
+    "detection_rate",
+    "benign_pairs",
+    "false_positives",
+    "fp_rate",
+    "two_r_safe",
+    "worst_radius_m",
+    "rejected_records",
+    "unconfirmed_links",
+    "detector_messages",
+];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/campaign.jsonl")
+}
+
+/// One representative campaign row: a single replication cell at a small
+/// deterministic spec, run serially.
+fn representative_report() -> RunReport {
+    let spec = CampaignSpec {
+        name: "golden".into(),
+        scenario: ScenarioSpec {
+            side: 80.0,
+            nodes: 140,
+            range: 18.0,
+        },
+        threshold: 2,
+        trials: 1,
+        seed: 11,
+        attackers: vec![AttackerSpec::Replication {
+            placement: Placement::Ring { distance: 2.2 },
+            colluders: 2,
+            sites: 2,
+        }],
+        environments: vec![EnvironmentSpec::clean()],
+        defenses: vec![DefenseSpec::PaperRule],
+    };
+    run_campaign(&spec, &Executor::serial()).remove(0).report
+}
+
+fn assert_campaign_row_contract(at: &str, row: &Value) {
+    assert_eq!(
+        row.get("experiment").and_then(Value::as_str),
+        Some("campaign"),
+        "{at}: experiment name"
+    );
+    let params = row.get("params").expect("params present");
+    assert_eq!(params.keys(), PARAM_KEYS.to_vec(), "{at}: param keys");
+    let outcomes = row.get("outcomes").expect("outcomes present");
+    assert_eq!(outcomes.keys(), OUTCOME_KEYS.to_vec(), "{at}: outcome keys");
+    assert!(
+        matches!(outcomes.get("two_r_safe"), Some(Value::Bool(_))),
+        "{at}: two_r_safe is a bool verdict"
+    );
+    for key in ["detection_rate", "fp_rate"] {
+        let v = outcomes.get(key).and_then(Value::as_f64).expect("rate");
+        assert!((0.0..=1.0).contains(&v), "{at}: {key} in [0,1]");
+    }
+}
+
+/// `key:kind` lines for the whole row, `params`/`outcomes`/`totals`/
+/// `registry` expanded one level.
+fn row_schema(root: &Value) -> String {
+    let mut out = String::new();
+    for (key, value) in root.as_object().expect("row is an object") {
+        let rendered = match key.as_str() {
+            "params" | "outcomes" | "totals" | "registry" => match value.as_object() {
+                Some(fields) => {
+                    let inner: Vec<String> = fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}:{}", v.kind()))
+                        .collect();
+                    format!("{{{}}}", inner.join(","))
+                }
+                None => value.kind().to_string(),
+            },
+            _ => value.kind().to_string(),
+        };
+        writeln!(out, "{key}:{rendered}").expect("write to String");
+    }
+    out
+}
+
+#[test]
+fn fresh_rows_match_the_committed_fixture_schema() {
+    let report = representative_report();
+    let json = report.to_json();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        fs::write(&path, format!("{json}\n")).expect("write fixture");
+        return;
+    }
+    let fresh = parse(&json).expect("fresh row parses");
+    assert_campaign_row_contract("fresh row", &fresh);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\nregenerate with UPDATE_GOLDEN=1 \
+             cargo test -p snd-campaign --test golden",
+            path.display()
+        )
+    });
+    let committed = parse(text.lines().next().expect("one row")).expect("fixture parses");
+    assert_campaign_row_contract("fixture", &committed);
+    assert_eq!(
+        row_schema(&committed),
+        row_schema(&fresh),
+        "schema drifted from tests/golden/campaign.jsonl — if intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p snd-campaign --test golden"
+    );
+}
+
+#[test]
+fn committed_bench_campaign_satisfies_the_cell_contract() {
+    // The committed grid sits at the workspace root; a fresh checkout
+    // always has it (it is a committed artifact, unlike results/).
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed {}: {e}", path.display()));
+    let root = parse(text.trim()).expect("BENCH_campaign.json parses");
+    assert_eq!(root.get("bench").and_then(Value::as_str), Some("campaign"));
+    let cells = root
+        .get("cells")
+        .and_then(Value::as_array)
+        .expect("cells array");
+    assert!(
+        cells.len() >= 36,
+        "campaign grid must cover at least 36 cells, found {}",
+        cells.len()
+    );
+    let mut attackers = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.keys(), BENCH_CELL_KEYS.to_vec(), "cell {i} keys");
+        let attacker = cell
+            .get("attacker")
+            .and_then(Value::as_str)
+            .expect("attacker label");
+        if !attackers.iter().any(|a| a == attacker) {
+            attackers.push(attacker.to_string());
+        }
+    }
+    for required in ["sybil", "wormhole", "repl-"] {
+        assert!(
+            attackers
+                .iter()
+                .any(|a| a.starts_with(required) || a.contains(required)),
+            "grid must include a {required} attacker row, has {attackers:?}"
+        );
+    }
+}

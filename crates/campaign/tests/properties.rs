@@ -1,0 +1,175 @@
+//! Property tests for the campaign harness's determinism contracts
+//! (DESIGN.md §16): cell verdicts must not depend on `SND_THREADS`, and
+//! on clean environments with the deterministic defenses they must not
+//! depend on which `u64`s name the nodes. Failing cases report the
+//! generated spec (attacker, defense, threshold, seed) verbatim.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snd_campaign::{
+    run_campaign, run_campaign_with, AttackerSpec, CampaignSpec, DefenseSpec, EnvironmentSpec,
+    Placement, RunOptions, ScenarioSpec,
+};
+use snd_exec::Executor;
+
+/// A small field that still satisfies the density/geometry constraints
+/// the default scenario documents (t+1 never starves benign pairs, 2R
+/// fits well inside the field).
+fn scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        side: 80.0,
+        nodes: 140,
+        range: 18.0,
+    }
+}
+
+/// Draws one attacker archetype; `pick` selects the variant, the rest
+/// parameterize it (ring distance is in tenths of R).
+fn attacker_strategy() -> impl Strategy<Value = AttackerSpec> {
+    (0u8..6, 18u32..30, 1usize..3, 1usize..3).prop_map(|(pick, ring_tenths, colluders, sites)| {
+        match pick {
+            0 => AttackerSpec::None,
+            1 => AttackerSpec::Replication {
+                placement: Placement::Ring {
+                    distance: f64::from(ring_tenths) / 10.0,
+                },
+                colluders,
+                sites,
+            },
+            2 => AttackerSpec::Replication {
+                placement: Placement::Clustered,
+                colluders,
+                sites,
+            },
+            3 => AttackerSpec::RecordForging { colluders, sites },
+            4 => AttackerSpec::Sybil {
+                claimed_ids: colluders + sites,
+            },
+            _ => AttackerSpec::Wormhole,
+        }
+    })
+}
+
+/// Clean or a retried lossy environment (loss in tenths).
+fn environment_strategy() -> impl Strategy<Value = EnvironmentSpec> {
+    (0u8..2, 1u32..4, 0u32..3).prop_map(|(pick, budget, loss_tenths)| match pick {
+        0 => EnvironmentSpec::clean(),
+        _ => EnvironmentSpec {
+            name: "lossy".into(),
+            loss: f64::from(loss_tenths) / 10.0,
+            retry_budget: budget,
+            ..EnvironmentSpec::clean()
+        },
+    })
+}
+
+fn defense_strategy() -> impl Strategy<Value = DefenseSpec> {
+    (0u8..4).prop_map(|pick| match pick {
+        0 => DefenseSpec::PaperRule,
+        1 => DefenseSpec::DirectOnly,
+        2 => DefenseSpec::ParnoRandomized,
+        _ => DefenseSpec::ParnoLine,
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = CampaignSpec> {
+    (
+        attacker_strategy(),
+        environment_strategy(),
+        defense_strategy(),
+        2usize..5,
+        0u64..1_000,
+    )
+        .prop_map(|(attacker, env, defense, threshold, seed)| CampaignSpec {
+            name: "prop".into(),
+            scenario: scenario(),
+            threshold,
+            trials: 1,
+            seed,
+            attackers: vec![attacker],
+            environments: vec![env],
+            defenses: vec![defense],
+        })
+}
+
+/// A Fisher–Yates permutation of the raw-index slots, from `seed`.
+fn permutation(seed: u64) -> Vec<u64> {
+    let mut perm: Vec<u64> = (0..RunOptions::slots(scenario().nodes) as u64).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// DESIGN.md §9/§16: the grid merges in cell order, so outcomes are
+    /// equal whether the cells ran serially or on 8 threads.
+    #[test]
+    fn verdicts_are_thread_invariant(spec in spec_strategy()) {
+        let serial = run_campaign(&spec, &Executor::new(1));
+        let wide = run_campaign(&spec, &Executor::new(8));
+        prop_assert_eq!(serial.len(), wide.len());
+        for (a, b) in serial.iter().zip(&wide) {
+            prop_assert_eq!(&a.outcome, &b.outcome, "spec {:?}", &spec);
+            prop_assert_eq!(a.cell_seed, b.cell_seed);
+        }
+    }
+
+    /// On a clean environment with the deterministic defenses (paper,
+    /// direct — the Parno detectors draw per-identity RNG streams and
+    /// are exempt by design), relabeling every node leaves the cell
+    /// verdicts unchanged: deployment is raw-index keyed, so a
+    /// permutation only moves the names.
+    #[test]
+    fn verdicts_are_node_id_permutation_invariant(
+        input in (
+            attacker_strategy(),
+            (0u8..2).prop_map(|pick| match pick {
+                0 => DefenseSpec::PaperRule,
+                _ => DefenseSpec::DirectOnly,
+            }),
+            2usize..5,
+            0u64..1_000,
+            any::<u64>(),
+        )
+    ) {
+        let (attacker, defense, threshold, seed, perm_seed) = input;
+        let spec = CampaignSpec {
+            name: "prop-perm".into(),
+            scenario: scenario(),
+            threshold,
+            trials: 1,
+            seed,
+            attackers: vec![attacker],
+            environments: vec![EnvironmentSpec::clean()],
+            defenses: vec![defense],
+        };
+        let identity = run_campaign(&spec, &Executor::serial());
+        let relabeled = run_campaign_with(
+            &spec,
+            &Executor::serial(),
+            &RunOptions { relabel: Some(permutation(perm_seed)) },
+        );
+        let (a, b) = (&identity[0].outcome, &relabeled[0].outcome);
+        // The containment-radius diagnostic folds victim positions in id
+        // order inside the min-enclosing-circle, so relabeling can move
+        // it by an ulp; every verdict field must match exactly.
+        prop_assert!(
+            (a.worst_radius_m - b.worst_radius_m).abs() < 1e-6,
+            "radius {} vs {} (spec {:?} perm_seed {})",
+            a.worst_radius_m,
+            b.worst_radius_m,
+            &spec,
+            perm_seed
+        );
+        let mut a_exact = a.clone();
+        let mut b_exact = b.clone();
+        a_exact.worst_radius_m = 0.0;
+        b_exact.worst_radius_m = 0.0;
+        prop_assert_eq!(a_exact, b_exact, "spec {:?} perm_seed {}", &spec, perm_seed);
+    }
+}

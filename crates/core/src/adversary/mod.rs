@@ -68,6 +68,14 @@ impl AdversaryBehavior {
 pub struct Adversary {
     captured: BTreeMap<NodeId, CapturedState>,
     replicas: BTreeMap<NodeId, Vec<Point>>,
+    /// Sybil identities: fabricated ID → the compromised radio claiming
+    /// it \[Vora et al., Newsome et al.\]. A Sybil identity has no real
+    /// node, no key material, and no deployment position — only the
+    /// owner's transceiver speaking under a made-up name.
+    sybil: BTreeMap<NodeId, NodeId>,
+    /// Planted far links between pairs of colluding compromised radios
+    /// (the wormhole-style attack the simulator carries).
+    far_links: Vec<(NodeId, NodeId)>,
     master_key: Option<SymmetricKey>,
     behavior: AdversaryBehavior,
 }
@@ -97,14 +105,42 @@ impl Adversary {
         self.captured.insert(state.id, state);
     }
 
-    /// Whether `id` is compromised.
+    /// Whether `id` is attacker-controlled: a compromised node, or a
+    /// Sybil identity one of them claims.
     pub fn controls(&self, id: NodeId) -> bool {
-        self.captured.contains_key(&id)
+        self.captured.contains_key(&id) || self.sybil.contains_key(&id)
     }
 
-    /// The set of compromised node IDs.
+    /// The set of compromised node IDs (physically captured nodes only —
+    /// Sybil identities are listed by [`Adversary::sybil_ids`]).
     pub fn compromised_set(&self) -> BTreeSet<NodeId> {
         self.captured.keys().copied().collect()
+    }
+
+    /// Registers a fabricated Sybil identity spoken for by the
+    /// compromised radio `owner`.
+    pub fn note_sybil(&mut self, fake: NodeId, owner: NodeId) {
+        self.sybil.insert(fake, owner);
+    }
+
+    /// The compromised radio claiming Sybil identity `fake`, if any.
+    pub fn sybil_owner(&self, fake: NodeId) -> Option<NodeId> {
+        self.sybil.get(&fake).copied()
+    }
+
+    /// All fabricated Sybil identities, ascending.
+    pub fn sybil_ids(&self) -> BTreeSet<NodeId> {
+        self.sybil.keys().copied().collect()
+    }
+
+    /// Records a planted far link between two colluding radios.
+    pub fn note_far_link(&mut self, a: NodeId, b: NodeId) {
+        self.far_links.push((a, b));
+    }
+
+    /// The planted far links, in planting order.
+    pub fn far_links(&self) -> &[(NodeId, NodeId)] {
+        &self.far_links
     }
 
     /// Number of compromised nodes.
@@ -197,6 +233,26 @@ mod tests {
         a.note_replica(NodeId(1), Point::new(3.0, 4.0));
         assert_eq!(a.replicas_of(NodeId(1)).len(), 2);
         assert!(a.replicas_of(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn sybil_identities_are_controlled_but_not_compromised() {
+        let mut a = Adversary::new();
+        a.absorb(captured(1, false));
+        a.note_sybil(NodeId(100), NodeId(1));
+        assert!(a.controls(NodeId(100)));
+        assert_eq!(a.sybil_owner(NodeId(100)), Some(NodeId(1)));
+        assert_eq!(a.sybil_owner(NodeId(1)), None);
+        assert!(!a.compromised_set().contains(&NodeId(100)));
+        assert_eq!(a.sybil_ids().len(), 1);
+        assert_eq!(a.compromised_count(), 1);
+    }
+
+    #[test]
+    fn far_link_bookkeeping() {
+        let mut a = Adversary::new();
+        a.note_far_link(NodeId(1), NodeId(2));
+        assert_eq!(a.far_links(), &[(NodeId(1), NodeId(2))]);
     }
 
     #[test]

@@ -1385,11 +1385,31 @@ impl DiscoveryEngine {
                     });
                 let record = match forged {
                     Some(r) => Some(r),
-                    None if behavior.replay_records => self
-                        .adversary
-                        .captured(receiver)
-                        .map(|c| c.record.clone())
-                        .or_else(|| node_ref!(self, receiver).map(|n| n.record().clone())),
+                    None if behavior.replay_records => {
+                        if let Some(owner) = self.adversary.sybil_owner(receiver) {
+                            // A Sybil identity holds no real credentials:
+                            // it fabricates a verification key and claims
+                            // the requester (plus its owner) as neighbors,
+                            // so its record flows through the genuine
+                            // collect traffic but can never authenticate
+                            // against `F(K, receiver)`.
+                            let mut kb = [0u8; snd_crypto::keys::KEY_LEN];
+                            kb[..8].copy_from_slice(&receiver.0.to_le_bytes());
+                            kb[8..16].copy_from_slice(&owner.0.to_le_bytes());
+                            let fake_key = SymmetricKey::from_bytes(kb);
+                            let mut claimed = BTreeSet::new();
+                            claimed.insert(from);
+                            claimed.insert(owner);
+                            Some(BindingRecord::create(
+                                &fake_key, receiver, 0, claimed, &self.ops,
+                            ))
+                        } else {
+                            self.adversary
+                                .captured(receiver)
+                                .map(|c| c.record.clone())
+                                .or_else(|| node_ref!(self, receiver).map(|n| n.record().clone()))
+                        }
+                    }
                     None => None,
                 };
                 if let Some(record) = record {
@@ -1498,6 +1518,68 @@ impl DiscoveryEngine {
         self.sim.add_replica(id, at);
         self.adversary.note_replica(id, at);
         self.emit(|| Event::ReplicaPlaced { node: id, at });
+        Ok(())
+    }
+
+    /// Claims fabricated Sybil identities for the compromised radio
+    /// `owner` \[Newsome et al.; Vora et al.\]: each `fake` id gains a
+    /// transceiver co-located with every one of `owner`'s transceivers,
+    /// so the fabricated identities answer Hellos, serve (forged) binding
+    /// records and receive traffic through the real radio fabric — no
+    /// protocol state, no key material, no deployment position.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::UnknownNode`] when `owner` is not a compromised
+    ///   node (Sybil identities cannot chain off other Sybil identities).
+    /// * [`ProtocolError::WrongState`] when a `fake` id is already in use
+    ///   by a deployed node, a live radio, or the adversary itself.
+    pub fn claim_sybil_identities(
+        &mut self,
+        owner: NodeId,
+        fakes: &[NodeId],
+    ) -> Result<(), ProtocolError> {
+        if self.adversary.captured(owner).is_none() {
+            return Err(ProtocolError::UnknownNode { node: owner });
+        }
+        for &fake in fakes {
+            if self.node(fake).is_some() || self.sim.is_alive(fake) || self.adversary.controls(fake)
+            {
+                return Err(ProtocolError::WrongState {
+                    operation: "claim a sybil identity already in use",
+                });
+            }
+        }
+        for &fake in fakes {
+            let positions: Vec<Point> = self.sim.positions_of(owner).to_vec();
+            for p in positions {
+                self.sim.add_node(fake, p);
+            }
+            self.adversary.note_sybil(fake, owner);
+            self.emit(|| Event::SybilClaimed { node: fake, owner });
+        }
+        Ok(())
+    }
+
+    /// Plants an out-of-band far link between two colluding compromised
+    /// radios: frames either can hear are re-emitted by the other,
+    /// regardless of the distance between them (the node-anchored
+    /// wormhole of \[8\]–\[10\]). The reported frame distance includes the
+    /// tunnel span, so direct verification still measures the true path.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownNode`] when either endpoint is not
+    /// attacker-controlled.
+    pub fn plant_far_link(&mut self, a: NodeId, b: NodeId) -> Result<(), ProtocolError> {
+        for id in [a, b] {
+            if !self.adversary.controls(id) {
+                return Err(ProtocolError::UnknownNode { node: id });
+            }
+        }
+        self.sim.add_far_link(a, b);
+        self.adversary.note_far_link(a, b);
+        self.emit(|| Event::FarLinkPlanted { a, b });
         Ok(())
     }
 
@@ -2024,6 +2106,125 @@ mod tests {
         assert_eq!(
             report.rejected_records, 0,
             "record replays authenticate fine"
+        );
+    }
+
+    #[test]
+    fn sybil_identities_are_tentative_but_never_functional() {
+        // One compromised radio claims k fabricated IDs. At honest
+        // density the fakes answer Hellos through the real radio fabric
+        // (k tentative identities at the victim), but their forged
+        // binding records can never authenticate, so the paper's rule
+        // leaves zero functional edges to any fabricated identity.
+        let k = 3;
+        let fakes = [n(100), n(101), n(102)];
+        let mut eng = grid_engine(1);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+
+        eng.compromise(n(4)).unwrap(); // center node at (50, 50)
+        eng.claim_sybil_identities(n(4), &fakes).unwrap();
+        assert_eq!(eng.adversary().sybil_ids().len(), k);
+
+        eng.deploy_at(n(9), Point::new(52.0, 52.0));
+        let report = eng.run_wave(&[n(9)]);
+
+        let victim = eng.node(n(9)).unwrap();
+        let tentative_fakes: Vec<NodeId> = victim
+            .tentative_neighbors()
+            .iter()
+            .copied()
+            .filter(|id| eng.adversary().sybil_owner(*id).is_some())
+            .collect();
+        assert_eq!(
+            tentative_fakes, fakes,
+            "k claimed IDs must yield exactly k tentative identities"
+        );
+        assert!(
+            report.rejected_records >= k as u64,
+            "each fabricated record must flow through collect and fail \
+             authentication (rejected {})",
+            report.rejected_records
+        );
+        for (idx, node) in eng.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            for &v in node.functional_neighbors() {
+                assert!(
+                    eng.adversary().sybil_owner(v).is_none(),
+                    "node {idx} accepted a functional edge to sybil {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sybil_claims_are_guarded() {
+        let mut eng = grid_engine(0);
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        // Owner must be a compromised node.
+        assert!(matches!(
+            eng.claim_sybil_identities(n(0), &[n(100)]),
+            Err(ProtocolError::UnknownNode { .. })
+        ));
+        eng.compromise(n(0)).unwrap();
+        // Fabricated IDs must be unused.
+        assert!(matches!(
+            eng.claim_sybil_identities(n(0), &[n(1)]),
+            Err(ProtocolError::WrongState { .. })
+        ));
+        eng.claim_sybil_identities(n(0), &[n(100)]).unwrap();
+        // A sybil identity cannot claim further identities…
+        assert!(matches!(
+            eng.claim_sybil_identities(n(100), &[n(101)]),
+            Err(ProtocolError::UnknownNode { .. })
+        ));
+        // …and an already claimed identity cannot be re-claimed.
+        assert!(matches!(
+            eng.claim_sybil_identities(n(0), &[n(100)]),
+            Err(ProtocolError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn far_link_needs_compromised_colluders_and_dv_blocks_it() {
+        // Two compromised radios in opposite corners collude over a
+        // planted far link. Direct verification measures the stretched
+        // path, so victims near one colluder never assert tentative
+        // relations with identities across the tunnel; switching DV off
+        // (the Parno baselines' position) lets the wormhole through.
+        let run = |direct_verification: bool| {
+            let mut eng = grid_engine_in(0, 300.0);
+            eng.direct_verification = direct_verification;
+            let ids: Vec<NodeId> = (0..9).map(n).collect();
+            eng.run_wave(&ids);
+            // A remote cluster around (270, 270), out of radio reach.
+            for (i, (dx, dy)) in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)].iter().enumerate() {
+                eng.deploy_at(n(20 + i as u64), Point::new(250.0 + dx, 250.0 + dy));
+            }
+            eng.run_wave(&[n(20), n(21), n(22)]);
+            assert!(eng.plant_far_link(n(0), n(20)).is_err(), "not compromised");
+            eng.compromise(n(0)).unwrap();
+            eng.compromise(n(20)).unwrap();
+            eng.plant_far_link(n(0), n(20)).unwrap();
+            assert_eq!(eng.adversary().far_links(), &[(n(0), n(20))]);
+            // A fresh victim next to colluder n0 runs discovery; its
+            // Hello crosses the tunnel, and remote identities answer.
+            eng.deploy_at(n(9), Point::new(22.0, 22.0));
+            eng.run_wave(&[n(9)]);
+            let victim = eng.node(n(9)).unwrap();
+            victim
+                .tentative_neighbors()
+                .iter()
+                .any(|&v| v == n(21) || v == n(22))
+        };
+        assert!(
+            !run(true),
+            "direct verification must reject tunnel-stretched relations"
+        );
+        assert!(
+            run(false),
+            "without direct verification the far link plants remote relations"
         );
     }
 

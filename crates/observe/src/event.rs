@@ -164,6 +164,23 @@ pub enum Event {
         /// Where the replica radio sits.
         at: Point,
     },
+    /// A compromised radio claimed a fabricated Sybil identity: `node`
+    /// does not exist as a sensor, but `owner`'s transceiver now speaks
+    /// (and is spoken to) under that name.
+    SybilClaimed {
+        /// The fabricated identity.
+        node: NodeId,
+        /// The compromised radio claiming it.
+        owner: NodeId,
+    },
+    /// The adversary planted an out-of-band far link between two
+    /// colluding compromised radios (a node-anchored wormhole).
+    FarLinkPlanted {
+        /// One colluding radio.
+        a: NodeId,
+        /// The other colluding radio.
+        b: NodeId,
+    },
     /// The transport dropped a frame (mirrors the simulator's drop
     /// counters: best-effort broadcast fade-outs are not drops).
     RadioDrop {

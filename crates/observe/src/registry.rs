@@ -440,6 +440,8 @@ struct EventTallies {
     key_erasures: u64,
     compromises: u64,
     replicas: u64,
+    sybil_claims: u64,
+    far_links: u64,
     radio_drops: u64,
     faults_injected: u64,
     msg_sent: u64,
@@ -499,6 +501,8 @@ impl EventIngester {
             Event::MasterKeyErased { .. } => t.key_erasures += 1,
             Event::NodeCompromised { .. } => t.compromises += 1,
             Event::ReplicaPlaced { .. } => t.replicas += 1,
+            Event::SybilClaimed { .. } => t.sybil_claims += 1,
+            Event::FarLinkPlanted { .. } => t.far_links += 1,
             Event::RadioDrop { .. } => t.radio_drops += 1,
             Event::FaultInjected { .. } => t.faults_injected += 1,
             Event::MsgSent { .. } => t.msg_sent += 1,
@@ -525,6 +529,8 @@ impl EventIngester {
             ("protocol.key_erasures", t.key_erasures),
             ("adversary.compromises", t.compromises),
             ("adversary.replicas", t.replicas),
+            ("adversary.sybil_claims", t.sybil_claims),
+            ("adversary.far_links", t.far_links),
             ("trace.radio_drops", t.radio_drops),
             ("trace.faults_injected", t.faults_injected),
             ("trace.msg_sent", t.msg_sent),

@@ -131,6 +131,10 @@ pub struct Simulator {
     batteries: BTreeMap<NodeId, Battery>,
     deaths: Vec<NodeId>,
     wormholes: Vec<Wormhole>,
+    /// Attacker-planted far links between pairs of colluding radios:
+    /// frames heard by one endpoint are re-emitted by the other (see
+    /// [`Simulator::add_far_link`]).
+    far_links: Vec<(NodeId, NodeId)>,
     trace: Option<Arc<dyn TraceHook>>,
     faults: Option<FaultPlan>,
     /// The communication ledger: per-node × per-phase × per-kind
@@ -282,6 +286,7 @@ impl Simulator {
             batteries: BTreeMap::new(),
             deaths: Vec::new(),
             wormholes: Vec::new(),
+            far_links: Vec::new(),
             trace: None,
             faults: None,
             ledger: CommLedger::new(seed),
@@ -383,6 +388,33 @@ impl Simulator {
     pub fn add_wormhole(&mut self, wormhole: Wormhole) {
         assert!(wormhole.radius > 0.0, "wormhole radius must be positive");
         self.wormholes.push(wormhole);
+    }
+
+    /// Plants a far link between two colluding radios: frames any of
+    /// `a`'s transceivers can hear are re-emitted by `b` (and vice
+    /// versa), regardless of the physical distance between `a` and `b`.
+    ///
+    /// This is the node-anchored cousin of [`Simulator::add_wormhole`]:
+    /// the tunnel mouths follow the colluders' transceivers instead of
+    /// sitting at fixed field positions. Like a wormhole, the reported
+    /// frame distance includes the tunnel span, so RTT-based direct
+    /// verification still sees the stretched path.
+    pub fn add_far_link(&mut self, a: NodeId, b: NodeId) {
+        assert!(a != b, "a far link needs two distinct endpoints");
+        self.far_links.push((a, b));
+    }
+
+    /// The planted far links, in insertion order.
+    pub fn far_links(&self) -> &[(NodeId, NodeId)] {
+        &self.far_links
+    }
+
+    /// Whether the lazy broadcast spatial index is currently built.
+    /// Observability hook for the determinism contract: the index must
+    /// never exist while wormholes, jammers or far links are active
+    /// (those force the full-scan slow path).
+    pub fn broadcast_index_built(&self) -> bool {
+        self.bcast_index.is_some()
     }
 
     /// Enables radio energy accounting. Nodes without an explicit battery
@@ -562,6 +594,9 @@ impl Simulator {
         if let Some(path) = self.wormhole_path(from, to) {
             return Ok(path);
         }
+        if let Some(path) = self.far_link_path(from, to) {
+            return Ok(path);
+        }
         Err(DropReason::OutOfRange)
     }
 
@@ -592,6 +627,58 @@ impl Simulator {
                         // Both radio hops must survive the link model.
                         if self.link.delivers(d_in, range, &mut self.rng)
                             && self.link.delivers(d_out, w.radius, &mut self.rng)
+                        {
+                            best = Some(total);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Shortest far-link-assisted path length from `from` to `to`, if any
+    /// planted colluder pair carries the frame. Mirrors
+    /// [`Simulator::wormhole_path`]: the sender must reach the near
+    /// colluder's radio, the far colluder must reach the receiver, and
+    /// both radio hops face the link model (two RNG draws per carrying
+    /// candidate, tried in insertion × orientation order).
+    fn far_link_path(&mut self, from: NodeId, to: NodeId) -> Option<f64> {
+        let links = self.far_links.clone();
+        if links.is_empty() {
+            return None;
+        }
+        let fps = self.pos(from)?.clone();
+        let tps = self.pos(to)?.clone();
+        let range = self.radio.range(from);
+        let mut best: Option<f64> = None;
+        for (a, b) in &links {
+            for (near, far) in [(*a, *b), (*b, *a)] {
+                let Some(nps) = self.pos(near).cloned() else {
+                    continue;
+                };
+                let Some(gps) = self.pos(far).cloned() else {
+                    continue;
+                };
+                let d_in = fps
+                    .iter()
+                    .flat_map(|p| nps.iter().map(move |q| p.distance(q)))
+                    .fold(f64::INFINITY, f64::min);
+                let out_range = self.radio.range(far);
+                let d_out = gps
+                    .iter()
+                    .flat_map(|p| tps.iter().map(move |q| p.distance(q)))
+                    .fold(f64::INFINITY, f64::min);
+                if d_in <= range && d_out <= out_range {
+                    let span = nps
+                        .iter()
+                        .flat_map(|p| gps.iter().map(move |q| p.distance(q)))
+                        .fold(f64::INFINITY, f64::min);
+                    let total = d_in + span + d_out;
+                    if best.is_none_or(|b| total < b) {
+                        // Both radio hops must survive the link model.
+                        if self.link.delivers(d_in, range, &mut self.rng)
+                            && self.link.delivers(d_out, out_range, &mut self.rng)
                         {
                             best = Some(total);
                         }
@@ -859,14 +946,16 @@ impl Simulator {
     /// The spatial index prunes this to nodes near the sender whenever
     /// pruning is provably invisible: it must skip exactly the nodes a
     /// full scan would have dropped as `OutOfRange` — silently, with no
-    /// RNG draw and no ledger frame. Wormholes deliver beyond direct
-    /// range and jam zones drop (with a ledger entry) before the range
-    /// check, so either feature forces the full scan; so does a sender
-    /// with no transceivers left (every target then drops as
-    /// `NoSuchNode`, which the scan must record).
+    /// RNG draw and no ledger frame. Wormholes and planted far links
+    /// deliver beyond direct range and jam zones drop (with a ledger
+    /// entry) before the range check, so any such feature forces the
+    /// full scan; so does a sender with no transceivers left (every
+    /// target then drops as `NoSuchNode`, which the scan must record).
     fn broadcast_targets(&mut self, from: NodeId) -> Vec<NodeId> {
-        let prunable =
-            self.wormholes.is_empty() && self.jammers.is_empty() && self.pos(from).is_some();
+        let prunable = self.wormholes.is_empty()
+            && self.far_links.is_empty()
+            && self.jammers.is_empty()
+            && self.pos(from).is_some();
         if !prunable {
             // The per-target loss RNG draws happen in target order; the
             // dense scan is ascending by construction, matching the old
@@ -1305,6 +1394,114 @@ mod tests {
         });
         let delivered = sim.broadcast(n(1), b"hi".to_vec());
         assert_eq!(delivered, 2, "node 2 direct + node 3 through the tunnel");
+    }
+
+    #[test]
+    fn far_link_carries_frames_between_colluders_neighborhoods() {
+        let mut sim = three_node_sim(); // node 1 at (10,10), node 3 at (150,10)
+        assert!(!sim.unicast(n(1), n(3), vec![1]).is_scheduled());
+        // Colluding radios near each endpoint, linked out-of-band.
+        let mut d = Deployment::empty(Field::square(200.0));
+        d.place(n(4), Point::new(12.0, 10.0));
+        d.place(n(5), Point::new(148.0, 10.0));
+        sim.add_node(n(4), Point::new(12.0, 10.0));
+        sim.add_node(n(5), Point::new(148.0, 10.0));
+        sim.add_far_link(n(4), n(5));
+        assert!(sim.unicast(n(1), n(3), vec![2]).is_scheduled());
+        sim.advance(SimDuration::from_millis(2));
+        let inbox = sim.drain_inbox(n(3));
+        assert_eq!(inbox.len(), 1);
+        // The physical path length betrays the planted link.
+        assert!(
+            inbox[0].distance > 130.0,
+            "far-link distance {} must reflect the true path",
+            inbox[0].distance
+        );
+        assert_eq!(sim.far_links(), &[(n(4), n(5))]);
+    }
+
+    #[test]
+    fn far_link_requires_reaching_a_colluder() {
+        let mut sim = three_node_sim();
+        // Colluders sit out of everyone's radio range: no pickup.
+        sim.add_node(n(4), Point::new(10.0, 190.0));
+        sim.add_node(n(5), Point::new(150.0, 190.0));
+        sim.add_far_link(n(4), n(5));
+        assert!(!sim.unicast(n(1), n(3), vec![1]).is_scheduled());
+    }
+
+    #[test]
+    fn far_link_disables_broadcast_fast_path() {
+        let mut sim = three_node_sim();
+        sim.broadcast(n(1), b"warm".to_vec());
+        assert!(
+            sim.broadcast_index_built(),
+            "plain broadcasts build the spatial index"
+        );
+        sim.add_node(n(4), Point::new(148.0, 10.0));
+        sim.add_far_link(n(2), n(4));
+        // Index invalidated by add_node; the far link must keep it off.
+        let delivered = sim.broadcast(n(1), b"hi".to_vec());
+        assert!(
+            !sim.broadcast_index_built(),
+            "far links must force the full-scan slow path"
+        );
+        assert_eq!(
+            delivered, 3,
+            "node 2 direct, nodes 3 and 4 through the planted link"
+        );
+    }
+
+    /// The slow path a far link forces must consume the RNG in exactly
+    /// full-scan order. A reference sim is pushed onto the slow path by a
+    /// geometrically inert jammer (far from every radio, so it never
+    /// drops a frame and never draws randomness); the far-link sim plants
+    /// a link between two isolated colluders no sender can reach (no
+    /// candidate path, so zero extra draws). Under a lossy link model
+    /// every delivery decision then depends on draw order, and the two
+    /// runs must agree frame for frame.
+    #[test]
+    fn far_link_slow_path_preserves_rng_draw_order() {
+        let build = |mode: u8| {
+            let mut d = Deployment::empty(Field::square(400.0));
+            for i in 0..12 {
+                d.place(n(i), Point::new(20.0 + 10.0 * i as f64, 50.0));
+            }
+            // Isolated colluders in the far corner, out of everyone's range.
+            d.place(n(20), Point::new(380.0, 380.0));
+            d.place(n(21), Point::new(300.0, 380.0));
+            let mut sim = Simulator::new(d, RadioSpec::uniform(35.0), 4242);
+            sim.set_link_model(AnyLinkModel::LossyDisk(crate::radio::LossyDisk::new(0.4)));
+            match mode {
+                0 => sim.add_far_link(n(20), n(21)),
+                _ => sim.add_jammer(JamZone::permanent(Circle::new(
+                    Point::new(-500.0, -500.0),
+                    1.0,
+                ))),
+            }
+            sim
+        };
+        let run = |mut sim: Simulator| {
+            let mut log = Vec::new();
+            for round in 0..6u8 {
+                for i in 0..12 {
+                    sim.broadcast(n(i), vec![round, i as u8]);
+                }
+                sim.advance(SimDuration::from_millis(2));
+                for (id, frames) in sim.drain_all_inboxes() {
+                    for f in frames {
+                        log.push((id, f.from, f.payload.to_vec()));
+                    }
+                }
+            }
+            assert!(!sim.broadcast_index_built(), "slow path must stay on");
+            log
+        };
+        assert_eq!(
+            run(build(0)),
+            run(build(1)),
+            "far-link slow path must replay the full-scan RNG draw order"
+        );
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Campaign-grid views: per-defense ROC tables, per-strategy worst
+//! cells, and cross-run verdict diffs (DESIGN.md §16).
+//!
+//! Consumes either artifact the `snd-campaign` binary leaves behind —
+//! `results/campaign.jsonl` (one run-report row per cell, axis labels in
+//! `params`, scores in `outcomes`) or the committed `BENCH_campaign.json`
+//! (one row whose `cells` array holds the same scores) — and normalizes
+//! both into [`Cell`]s before rendering.
+
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// One normalized campaign cell, independent of source artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Attacker-strategy label (`none`, `repl-…`, `forge-…`, `sybil-…`,
+    /// `wormhole`).
+    pub attacker: String,
+    /// Environment label.
+    pub environment: String,
+    /// Defense label (`paper`, `direct`, `parno-rand`, `parno-line`).
+    pub defense: String,
+    /// Adversarial relation attempts exposed by the attacker geometry.
+    pub attempts: u64,
+    /// Attempts the defense kept out of its accepted relation.
+    pub blocked: u64,
+    /// `blocked / attempts` (1.0 when nothing was attempted).
+    pub detection_rate: f64,
+    /// Benign (victim, neighbor) pairs scored for false positives.
+    pub benign_pairs: u64,
+    /// Benign pairs the defense rejected despite confirmed traffic.
+    pub false_positives: u64,
+    /// `false_positives / benign_pairs`.
+    pub fp_rate: f64,
+    /// Theorem 3 verdict: the accepted relation stayed 2R-contained.
+    pub two_r_safe: bool,
+}
+
+impl Cell {
+    /// `attacker/environment/defense`, the cross-run matching key.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.attacker, self.environment, self.defense)
+    }
+}
+
+/// Normalizes loaded rows into campaign cells.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] when no row carries campaign cells, or a
+/// campaign row is missing a score field.
+pub fn cells_of(rows: &[&Row]) -> Result<Vec<Cell>, TraceError> {
+    let mut cells = Vec::new();
+    for row in rows {
+        if let Some(bench_cells) = row.value.get("cells").and_then(Value::as_array) {
+            for (i, cell) in bench_cells.iter().enumerate() {
+                cells.push(cell_from(cell, cell, &format!("{}[{i}]", row.label))?);
+            }
+        } else if row
+            .value
+            .get("params")
+            .and_then(|p| p.get("attacker"))
+            .is_some()
+        {
+            let params = row.value.get("params").expect("checked");
+            let outcomes = row.value.get("outcomes").ok_or_else(|| {
+                TraceError::Parse(format!("{}: campaign row without outcomes", row.label))
+            })?;
+            cells.push(cell_from(params, outcomes, &row.label)?);
+        }
+    }
+    if cells.is_empty() {
+        return Err(TraceError::Parse(
+            "no campaign cells found (expected results/campaign.jsonl rows or BENCH_campaign.json)"
+                .to_string(),
+        ));
+    }
+    Ok(cells)
+}
+
+/// Builds one [`Cell`] reading axis labels from `labels` and scores from
+/// `scores` (the same object for BENCH cells).
+fn cell_from(labels: &Value, scores: &Value, at: &str) -> Result<Cell, TraceError> {
+    let txt = |key: &str| {
+        labels
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| TraceError::Parse(format!("{at}: missing {key}")))
+    };
+    let num = |key: &str| {
+        scores
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| TraceError::Parse(format!("{at}: missing {key}")))
+    };
+    let two_r_safe = match scores.get("two_r_safe") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(TraceError::Parse(format!("{at}: missing two_r_safe"))),
+    };
+    Ok(Cell {
+        attacker: txt("attacker")?,
+        environment: txt("environment")?,
+        defense: txt("defense")?,
+        attempts: num("attempts")? as u64,
+        blocked: num("blocked")? as u64,
+        detection_rate: num("detection_rate")?,
+        benign_pairs: num("benign_pairs")? as u64,
+        false_positives: num("false_positives")? as u64,
+        fp_rate: num("fp_rate")?,
+        two_r_safe,
+    })
+}
+
+/// Renders the campaign summary: the per-defense ROC table (aggregated
+/// over attack cells for detection, over all cells for false positives)
+/// followed by each attacker strategy's worst cell.
+pub fn campaign(cells: &[Cell]) -> String {
+    let mut out = String::new();
+
+    let _ = writeln!(out, "per-defense ROC ({} cells):", cells.len());
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "defense", "attempts", "blocked", "detect", "pairs", "fp", "fp-rate", "unsafe"
+    );
+    for defense in ordered(cells.iter().map(|c| c.defense.as_str())) {
+        let mine: Vec<&Cell> = cells.iter().filter(|c| c.defense == defense).collect();
+        let attempts: u64 = mine.iter().map(|c| c.attempts).sum();
+        let blocked: u64 = mine.iter().map(|c| c.blocked).sum();
+        let pairs: u64 = mine.iter().map(|c| c.benign_pairs).sum();
+        let fp: u64 = mine.iter().map(|c| c.false_positives).sum();
+        let unsafe_cells = mine.iter().filter(|c| !c.two_r_safe).count();
+        let detect = if attempts == 0 {
+            1.0
+        } else {
+            blocked as f64 / attempts as f64
+        };
+        let fp_rate = if pairs == 0 {
+            0.0
+        } else {
+            fp as f64 / pairs as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {defense:<12} {attempts:>8} {blocked:>8} {detect:>8.3} {pairs:>8} {fp:>8} {fp_rate:>8.3} {unsafe_cells:>7}"
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\nper-strategy worst cell (lowest detection, unsafe first):"
+    );
+    for attacker in ordered(cells.iter().map(|c| c.attacker.as_str())) {
+        let worst = cells
+            .iter()
+            .filter(|c| c.attacker == attacker)
+            .min_by(|a, b| {
+                (a.two_r_safe, a.detection_rate, b.fp_rate)
+                    .partial_cmp(&(b.two_r_safe, b.detection_rate, a.fp_rate))
+                    .expect("scores are finite")
+            })
+            .expect("attacker has cells");
+        let _ = writeln!(
+            out,
+            "  {:<20} {:<24} detect {:>5.3}  fp-rate {:>5.3}  2R-safe {}",
+            attacker,
+            format!("{}/{}", worst.environment, worst.defense),
+            worst.detection_rate,
+            worst.fp_rate,
+            if worst.two_r_safe { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+/// One cross-run verdict change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictDelta {
+    /// `attacker/environment/defense`.
+    pub key: String,
+    /// Human-readable change description.
+    pub what: String,
+    /// Whether the change is a regression (gates exit code 1).
+    pub regression: bool,
+}
+
+/// Diffs candidate cells against a baseline run, keyed by
+/// `attacker/environment/defense`.
+///
+/// Regressions: detection drops, false-positive increases, and 2R-safety
+/// verdict flips from safe to unsafe. Improvements and axis changes
+/// (cells only on one side) are reported but do not gate.
+pub fn diff_campaign(base: &[Cell], cand: &[Cell]) -> Vec<VerdictDelta> {
+    let mut deltas = Vec::new();
+    for c in cand {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: "new cell (not in baseline)".to_string(),
+                regression: false,
+            });
+            continue;
+        };
+        if c.detection_rate < b.detection_rate - 1e-12 {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: format!(
+                    "detection dropped {:.3} -> {:.3}",
+                    b.detection_rate, c.detection_rate
+                ),
+                regression: true,
+            });
+        } else if c.detection_rate > b.detection_rate + 1e-12 {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: format!(
+                    "detection improved {:.3} -> {:.3}",
+                    b.detection_rate, c.detection_rate
+                ),
+                regression: false,
+            });
+        }
+        if c.false_positives > b.false_positives {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: format!(
+                    "false positives rose {} -> {}",
+                    b.false_positives, c.false_positives
+                ),
+                regression: true,
+            });
+        }
+        if b.two_r_safe && !c.two_r_safe {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: "2R-safety verdict flipped safe -> UNSAFE".to_string(),
+                regression: true,
+            });
+        } else if !b.two_r_safe && c.two_r_safe {
+            deltas.push(VerdictDelta {
+                key: c.key(),
+                what: "2R-safety verdict flipped unsafe -> safe".to_string(),
+                regression: false,
+            });
+        }
+    }
+    for b in base {
+        if !cand.iter().any(|c| c.key() == b.key()) {
+            deltas.push(VerdictDelta {
+                key: b.key(),
+                what: "cell missing from candidate".to_string(),
+                regression: true,
+            });
+        }
+    }
+    deltas
+}
+
+/// Renders a verdict diff; empty input becomes a one-line all-clear.
+pub fn render_diff(deltas: &[VerdictDelta]) -> String {
+    if deltas.is_empty() {
+        return "campaign diff: no verdict changes\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "campaign diff ({} change(s)):", deltas.len());
+    for d in deltas {
+        let tag = if d.regression { "REGRESSION" } else { "note" };
+        let _ = writeln!(out, "  {tag:<10} {:<44} {}", d.key, d.what);
+    }
+    out
+}
+
+/// First-appearance ordering of axis labels (preserves grid order).
+fn ordered<'a>(labels: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut seen = Vec::new();
+    for l in labels {
+        if !seen.iter().any(|s| s == l) {
+            seen.push(l.to_string());
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(attacker: &str, defense: &str, detect: f64, fp: u64, safe: bool) -> Cell {
+        Cell {
+            attacker: attacker.into(),
+            environment: "clean".into(),
+            defense: defense.into(),
+            attempts: 10,
+            blocked: (detect * 10.0) as u64,
+            detection_rate: detect,
+            benign_pairs: 50,
+            false_positives: fp,
+            fp_rate: fp as f64 / 50.0,
+            two_r_safe: safe,
+        }
+    }
+
+    #[test]
+    fn summary_orders_defenses_and_picks_worst_cells() {
+        let cells = vec![
+            cell("repl-ring", "paper", 1.0, 0, true),
+            cell("repl-ring", "direct", 0.0, 0, false),
+            cell("none", "paper", 1.0, 0, true),
+        ];
+        let out = campaign(&cells);
+        assert!(out.contains("per-defense ROC (3 cells)"));
+        let paper = out.find("  paper").expect("paper row");
+        let direct = out.find("  direct").expect("direct row");
+        assert!(paper < direct, "first-appearance order");
+        assert!(out.contains("repl-ring"));
+        assert!(
+            out.contains("2R-safe NO"),
+            "worst repl cell is the unsafe direct one"
+        );
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_notes_improvements() {
+        let base = vec![
+            cell("repl-ring", "paper", 1.0, 0, true),
+            cell("wormhole", "paper", 1.0, 0, true),
+        ];
+        let cand = vec![
+            cell("repl-ring", "paper", 0.8, 2, true),
+            cell("wormhole", "paper", 1.0, 0, false),
+            cell("sybil-k3", "paper", 1.0, 0, true),
+        ];
+        let deltas = diff_campaign(&base, &cand);
+        let regressions: Vec<&VerdictDelta> = deltas.iter().filter(|d| d.regression).collect();
+        assert_eq!(regressions.len(), 3, "{deltas:?}");
+        assert!(deltas.iter().any(|d| d.what.contains("detection dropped")));
+        assert!(deltas
+            .iter()
+            .any(|d| d.what.contains("false positives rose")));
+        assert!(deltas.iter().any(|d| d.what.contains("safe -> UNSAFE")));
+        assert!(deltas
+            .iter()
+            .any(|d| !d.regression && d.what.contains("new cell")));
+        assert!(render_diff(&deltas).contains("REGRESSION"));
+        assert_eq!(render_diff(&[]), "campaign diff: no verdict changes\n");
+    }
+
+    #[test]
+    fn diff_fails_on_missing_cells() {
+        let base = vec![cell("repl-ring", "paper", 1.0, 0, true)];
+        let deltas = diff_campaign(&base, &[]);
+        assert!(deltas[0].regression);
+        assert!(deltas[0].what.contains("missing"));
+    }
+}

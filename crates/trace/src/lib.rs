@@ -21,12 +21,17 @@
 //!   distributions and the E9 consistency check (DESIGN.md §13);
 //! * [`causal`](causal::causal) — message-level causal chains for one
 //!   edge, reconstructed from the ledger's `MsgSent`/`MsgDelivered`/
-//!   `MsgDropped` events, retransmit and drop forks included.
+//!   `MsgDropped` events, retransmit and drop forks included;
+//! * [`campaign`](campaign::campaign) — adversarial-campaign grids
+//!   (DESIGN.md §16): per-defense ROC aggregation, per-strategy worst
+//!   cells, and `--baseline` cross-run verdict diffs over
+//!   `results/campaign.jsonl` or `BENCH_campaign.json`.
 //!
 //! The library is I/O-free except for [`input::load_rows`]; everything
 //! else maps parsed [`Value`](snd_observe::json::Value) trees to strings,
 //! so the golden tests can pin CLI output byte-for-byte.
 
+pub mod campaign;
 pub mod causal;
 pub mod diff;
 pub mod flame;

@@ -7,14 +7,17 @@
 //! snd-trace flame <file>... [--row SUBSTR]
 //! snd-trace overhead <file>... [--row SUBSTR]
 //! snd-trace causal <file>... --edge U V [--row SUBSTR]
+//! snd-trace campaign <file>... [--row SUBSTR] [--baseline FILE]
 //! ```
 //!
 //! Exit codes: 0 success (for `diff`: within tolerance), 1 `diff` found
-//! out-of-tolerance deltas, 2 usage or I/O error.
+//! out-of-tolerance deltas (for `campaign --baseline`: verdict
+//! regressions), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use snd_trace::campaign::{campaign, cells_of, diff_campaign, render_diff};
 use snd_trace::causal::{causal, CausalOptions};
 use snd_trace::diff::{diff_rows, render, DiffOptions};
 use snd_trace::flame::flame;
@@ -31,6 +34,7 @@ const USAGE: &str = "usage:
   snd-trace flame <file>... [--row SUBSTR]
   snd-trace overhead <file>... [--row SUBSTR]
   snd-trace causal <file>... --edge U V [--row SUBSTR]
+  snd-trace campaign <file>... [--row SUBSTR] [--baseline FILE]
 
 exit codes: 0 ok / within tolerance, 1 diff found regressions, 2 usage or i/o error";
 
@@ -144,6 +148,27 @@ fn run(args: &[String]) -> Result<ExitCode, TraceError> {
             let selected = select(&rows, parsed.flag("--row"))?;
             print!("{}", causal(&selected, &opts)?);
             Ok(ExitCode::SUCCESS)
+        }
+        "campaign" => {
+            let parsed = Parsed::from(rest, &["--row", "--baseline"])?;
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            let cells = cells_of(&selected)?;
+            print!("{}", campaign(&cells));
+            let Some(base_path) = parsed.flag("--baseline") else {
+                return Ok(ExitCode::SUCCESS);
+            };
+            let base_rows = load_rows(&PathBuf::from(base_path))?;
+            let base_refs: Vec<&_> = base_rows.iter().collect();
+            let deltas = diff_campaign(&cells_of(&base_refs)?, &cells);
+            print!("\n{}", render_diff(&deltas));
+            let regressions = deltas.iter().filter(|d| d.regression).count();
+            if regressions > 0 {
+                eprintln!("snd-trace: {regressions} campaign verdict regression(s)");
+                Ok(ExitCode::from(1))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
         }
         other => Err(TraceError::Usage(format!("unknown subcommand {other:?}"))),
     }
