@@ -10,17 +10,31 @@
 //! `snd-trace flame` and `snd-trace summarize`.
 //!
 //! CI runs this binary at `SND_THREADS=1` and `8` and gates on
-//! `snd-trace diff --ignore _ms --ignore peak_rss_bytes` over the two
-//! `BENCH_protocol.json` files: every counter must match exactly; only
-//! wall clock and the RSS high-water mark may move.
+//! `snd-trace diff --ignore _ms --ignore peak_rss_bytes --ignore memrt`
+//! over the two `BENCH_protocol.json` files: every counter — the tier-1
+//! `mem_bytes` subsystem columns included — must match exactly; only wall
+//! clock and the process-wide high-water marks may move.
+//!
+//! This binary registers snd-observe's scope-attributed tracking
+//! allocator (DESIGN.md §17), so its rows also carry the tier-2
+//! `memrt_high_water_bytes` mark and the JSONL reports the full
+//! `memrt.<scope>.*` breakdown.
 //!
 //! Run: `cargo run -p snd-bench --release --bin protocol`
+
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 use snd_bench::experiments::protocol::{protocol_rows, CommRow, ProtocolBenchConfig};
 use snd_bench::report::ExperimentLog;
 use snd_bench::table::{f1, f3, Table};
 use snd_exec::Executor;
+use snd_observe::mem::{memrt_enable, TrackingAlloc};
+
+/// Scope-attributed tracking allocator; inert (one relaxed atomic load
+/// per call) until [`memrt_enable`] flips it on in `main`.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
 
 /// Wall clock the largest wave must stay under; generous, so only
 /// pathological regressions trip it.
@@ -50,6 +64,12 @@ struct ProtocolBenchRow {
     /// across rows and run-dependent, so the CI determinism diff
     /// normalizes it away exactly like the `_ms` fields.
     peak_rss_bytes: u64,
+    /// Tier-1 logical peak bytes per subsystem (DESIGN.md §17);
+    /// byte-deterministic and gated by the CI diff.
+    mem_bytes: BTreeMap<String, u64>,
+    /// Tier-2 allocator high-water mark after this row; process-wide and
+    /// monotone, normalized away like `peak_rss_bytes`.
+    memrt_high_water_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -65,6 +85,7 @@ struct ProtocolBenchReport {
 }
 
 fn main() {
+    memrt_enable(true);
     let cfg = ProtocolBenchConfig::default();
     let exec = Executor::from_env();
     println!(
@@ -93,11 +114,14 @@ fn main() {
             "B/node",
             "wave (ms)",
             "peak RSS (MB)",
+            "mem (MB)",
         ],
     );
     let mut log = ExperimentLog::create("protocol");
     let mut bench_rows = Vec::new();
     for row in &rows {
+        // Tier-1 headline: sum of the per-subsystem logical peaks.
+        let mem_total: u64 = row.mem_bytes.values().sum();
         table.row(&[
             row.nodes.to_string(),
             row.functional_edges.to_string(),
@@ -109,6 +133,7 @@ fn main() {
             f1(row.bytes_per_node),
             f1(row.wave_wall_ms),
             f1(row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+            f1(mem_total as f64 / (1024.0 * 1024.0)),
         ]);
         log.append(&row.report);
         bench_rows.push(ProtocolBenchRow {
@@ -125,6 +150,8 @@ fn main() {
             comm: row.comm.clone(),
             wave_wall_ms: row.wave_wall_ms,
             peak_rss_bytes: row.peak_rss_bytes,
+            mem_bytes: row.mem_bytes.clone(),
+            memrt_high_water_bytes: row.memrt_high_water_bytes,
         });
     }
     table.print();

@@ -310,6 +310,8 @@ fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
     let physical = unit_disk_graph(engine.deployment(), &RadioSpec::uniform(cfg.range));
 
     let drain = recorder.drain();
+    let mut registry = drain.registry;
+    engine.mem_table().export_into(&mut registry);
     World {
         deployment: engine.deployment().clone(),
         believed,
@@ -317,7 +319,7 @@ fn build_world(cfg: &AppImpactConfig, config: &str, seed: u64) -> World {
         victims,
         totals: engine.sim().metrics().totals(),
         hash_ops: engine.hash_ops(),
-        registry: drain.registry,
+        registry,
         events_recorded: drain.recorded,
     }
 }

@@ -257,6 +257,8 @@ fn run_trial(cfg: &CentralizedConfig, seed: u64) -> CentralTrial {
     }
 
     let drain = recorder.drain();
+    let mut registry = drain.registry;
+    engine.mem_table().export_into(&mut registry);
     CentralTrial {
         contained_local,
         contained_central,
@@ -267,7 +269,7 @@ fn run_trial(cfg: &CentralizedConfig, seed: u64) -> CentralTrial {
         home_total,
         totals: engine.sim().metrics().totals(),
         hash_ops: engine.hash_ops(),
-        registry: drain.registry,
+        registry,
         events_recorded: drain.recorded,
         config: Some(engine.config()),
     }

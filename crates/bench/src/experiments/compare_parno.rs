@@ -221,6 +221,7 @@ fn protocol_trials(cfg: &CompareParnoConfig, sites: usize) -> (f64, f64, RunRepo
         report.hash_ops += engine.hash_ops();
         let drain = recorder.drain();
         registry.merge(&drain.registry);
+        engine.mem_table().export_into(&mut registry);
         events_recorded += drain.recorded;
     }
     // All trial events are aggregated, none stored raw.

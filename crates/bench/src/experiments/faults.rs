@@ -22,7 +22,7 @@ use snd_sim::metrics::NodeCounters;
 use snd_sim::time::SimDuration;
 use snd_topology::unit_disk::RadioSpec;
 use snd_topology::{Field, NodeId, Point};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::report::mirror_totals_into_registry;
 use crate::scenario::{paper_scenario, PaperScenario};
@@ -141,6 +141,9 @@ struct Trial {
     timed_out_phases: u64,
     unconfirmed: u64,
     faults: u64,
+    /// Tier-1 `mem.*` counters of the *faulty* engine (the measured run;
+    /// the clean baseline engine is reference-only).
+    mem: BTreeMap<String, u64>,
 }
 
 /// The full grid: one row per (loss, retry budget) cell, cells fanned out
@@ -254,6 +257,7 @@ fn cell_trial(cfg: &FaultsConfig, loss: f64, budget: u32, seed: u64) -> Trial {
         timed_out_phases: r1.timed_out_phases + r2.timed_out_phases,
         unconfirmed: (r1.unconfirmed_links.len() + r2.unconfirmed_links.len()) as u64,
         faults: eng.sim().metrics().total_faults(),
+        mem: eng.mem_table().counters(),
     }
 }
 
@@ -281,6 +285,7 @@ fn merge(
     let mut timeouts = 0u64;
     let mut unconfirmed = 0u64;
     let mut faults = 0u64;
+    let mut mem: BTreeMap<String, u64> = BTreeMap::new();
     for t in trials {
         completeness += t.completeness / n;
         worst_radius = worst_radius.max(t.radius);
@@ -299,6 +304,9 @@ fn merge(
         timeouts += t.timed_out_phases;
         unconfirmed += t.unconfirmed;
         faults += t.faults;
+        for (key, bytes) in &t.mem {
+            *mem.entry(key.clone()).or_insert(0) += bytes;
+        }
     }
     let nodes_total = n * (s.nodes + 4) as f64;
     let msgs_per_node = (totals.unicasts_sent + totals.broadcasts_sent) as f64 / nodes_total;
@@ -316,6 +324,7 @@ fn merge(
     report.totals = totals;
     report.hash_ops = hash_ops;
     mirror_totals_into_registry(&mut report);
+    report.registry.counters.extend(mem);
     report.set_outcome("completeness", &completeness);
     report.set_outcome("false_edges", &false_edges);
     report.set_outcome("safety_ok", &safety_ok);

@@ -11,12 +11,13 @@
 //! fields next to its deterministic protocol counters.
 //!
 //! Determinism contract (DESIGN.md §9): every field of a row except the
-//! `_ms`-suffixed wall clocks, the `prof.*` registry keys and the
-//! process-wide `peak_rss_bytes` mark is byte-identical across
-//! `SND_THREADS` — rows fan out over the executor but each trial is a
-//! self-contained engine run on a derived seed. The CI gate ignores
-//! exactly those machine-dependent fields when it diffs the 1-thread and
-//! 8-thread runs.
+//! `_ms`-suffixed wall clocks, the `prof.*` and `memrt.*` registry keys
+//! and the process-wide `peak_rss_bytes` / `memrt_high_water_bytes` marks
+//! is byte-identical across `SND_THREADS` — rows fan out over the
+//! executor but each trial is a self-contained engine run on a derived
+//! seed. The CI gate ignores exactly those machine-dependent fields when
+//! it diffs the 1-thread and 8-thread runs. The per-subsystem `mem_bytes`
+//! column is tier-1 logical accounting (DESIGN.md §17) and IS gated.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -149,6 +150,16 @@ pub struct ProtocolRow {
     /// and monotone across rows, hence *not* deterministic — the CI
     /// determinism diff normalizes it away exactly like the `_ms` fields.
     pub peak_rss_bytes: u64,
+    /// Tier-1 logical memory: peak bytes per subsystem across the wave's
+    /// phase-boundary samples (`nodes`, `key_cache`, `envelope_pool`,
+    /// `inboxes`, `ledger`, `recorder`, `frozen_graph`). Byte-deterministic
+    /// and thread-invariant — gated by the CI determinism diff.
+    pub mem_bytes: BTreeMap<String, u64>,
+    /// Tier-2 allocator high-water mark (`memrt.total.high_water_bytes`)
+    /// at the end of this row's wave; 0 unless the binary registers the
+    /// tracking allocator. Process-wide and monotone across rows, treated
+    /// exactly like [`ProtocolRow::peak_rss_bytes`] in the CI diff.
+    pub memrt_high_water_bytes: u64,
     /// Communication-ledger summary (byte-deterministic).
     pub comm: CommRow,
     /// Machine-readable row report (carries the `prof.*.ns` span
@@ -199,7 +210,18 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
     let wave = engine.run_wave(&ids);
     let wave_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let functional_edges = engine.functional_topology().edge_count();
+    let functional = engine.functional_topology();
+    let functional_edges = functional.edge_count();
+    // Freeze the functional view to its CSR snapshot — what a serving or
+    // sharding layer would hold resident — and charge it to the `freeze`
+    // phase cell (outside the timed wave; deterministic).
+    let mem_scope = snd_observe::mem::MemScope::enter(snd_observe::mem::MemScopeId::Freeze);
+    let frozen = snd_topology::FrozenGraph::freeze(&functional);
+    mem_scope.close();
+    engine
+        .mem_table()
+        .record("frozen_graph", "freeze", frozen.heap_bytes());
+    drop(frozen);
     let totals = engine.sim().metrics().totals();
     let msgs_per_node =
         (totals.unicasts_sent + totals.broadcasts_sent) as f64 / (nodes as f64).max(1.0);
@@ -225,6 +247,14 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
     let peak_rss = peak_rss_bytes();
     report.set_outcome("bytes_per_node", &bytes_per_node);
     report.set_outcome("peak_rss_bytes", &peak_rss);
+    let mem_bytes: BTreeMap<String, u64> = engine
+        .mem_table()
+        .subsystem_peaks()
+        .into_iter()
+        .map(|(sub, bytes)| (sub.to_string(), bytes))
+        .collect();
+    let memrt_high_water_bytes = snd_observe::mem::memrt_total_high_water();
+    report.set_outcome("memrt_high_water_bytes", &memrt_high_water_bytes);
     let comm = CommRow {
         tx_msgs: lt.tx_msgs,
         tx_bytes: lt.tx_bytes,
@@ -259,6 +289,8 @@ fn wave_trial(cfg: &ProtocolBenchConfig, nodes: usize, seed: u64, threads: u64) 
         wave_wall_ms,
         bytes_per_node,
         peak_rss_bytes: peak_rss,
+        mem_bytes,
+        memrt_high_water_bytes,
         comm,
         report,
     }
@@ -290,12 +322,37 @@ mod tests {
             assert_eq!(ra.hash_ops, rb.hash_ops);
             assert_eq!(ra.msgs_per_node, rb.msgs_per_node);
             // `bytes_per_node` is derived from deterministic counters;
-            // `peak_rss_bytes` deliberately is NOT compared here.
+            // `peak_rss_bytes` / `memrt_high_water_bytes` deliberately are
+            // NOT compared here.
             assert_eq!(ra.bytes_per_node, rb.bytes_per_node);
             assert_eq!(
                 serde::json::to_string(&ra.comm),
                 serde::json::to_string(&rb.comm)
             );
+            // Tier-1 memory columns are byte-deterministic and every
+            // engine-resident subsystem plus the frozen CSR view reports.
+            assert_eq!(ra.mem_bytes, rb.mem_bytes);
+            for sub in [
+                "nodes",
+                "key_cache",
+                "envelope_pool",
+                "inboxes",
+                "ledger",
+                "recorder",
+                "frozen_graph",
+            ] {
+                assert!(ra.mem_bytes.contains_key(sub), "missing subsystem {sub}");
+            }
+            assert!(ra.mem_bytes["nodes"] > 0);
+            assert!(ra.mem_bytes["frozen_graph"] > 0);
+            // Trial-order merged `mem.*` registry counters follow the same
+            // contract.
+            let ca = &ra.report.registry.counters;
+            let cb = &rb.report.registry.counters;
+            for (k, v) in ca.iter().filter(|(k, _)| k.starts_with("mem.")) {
+                assert_eq!(cb.get(k), Some(v), "nondeterministic {k}");
+            }
+            assert!(ca.contains_key("mem.nodes.finalize.bytes"));
         }
     }
 

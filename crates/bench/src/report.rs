@@ -129,6 +129,11 @@ pub fn engine_report(
     registry.set("trace.events_stored", drain.events.len() as u64);
     registry.set("trace.events_dropped", drain.dropped);
     engine.profiler().export_into(&mut registry);
+    // Tier-1 memory telemetry (deterministic `mem.*`) plus, when a
+    // tracking allocator is registered and enabled, the tier-2 `memrt.*`
+    // view (non-deterministic, normalized like `_ms` — DESIGN.md §17).
+    engine.mem_table().export_into(&mut registry);
+    snd_observe::mem::memrt_export_into(&mut registry);
     report.capture_registry(&registry);
     report.events_dropped = drain.dropped;
     report.set_events(drain.events);
@@ -182,6 +187,16 @@ mod tests {
             .registry
             .counters
             .contains_key("comm.phase.hello.tx_bytes"));
+        // Tier-1 memory telemetry rides along: every engine-phase cell
+        // present, no tier-2 keys (no tracking allocator here).
+        assert!(report.registry.counters["mem.nodes.finalize.bytes"] > 0);
+        assert!(report.registry.counters["mem.ledger.hello.bytes"] > 0);
+        assert!(report.registry.counters["mem.inboxes.hello.bytes"] > 0);
+        assert!(!report
+            .registry
+            .counters
+            .keys()
+            .any(|k| k.starts_with("memrt.")));
     }
 
     #[test]

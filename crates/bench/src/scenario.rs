@@ -12,17 +12,19 @@
 //! are merged **in trial order**, which keeps every derived statistic —
 //! floating-point means included — byte-identical at any thread count.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use snd_core::protocol::{DiscoveryEngine, ProtocolConfig};
 use snd_exec::Executor;
 use snd_observe::event::Event;
+use snd_observe::mem::{MemScope, MemScopeId};
 use snd_observe::recorder::{MemoryRecorder, Recorder};
 use snd_observe::report::{RawJson, RunReport};
 use snd_sim::metrics::NodeCounters;
 use snd_topology::metrics::neighbor_accuracy;
 use snd_topology::unit_disk::RadioSpec;
-use snd_topology::{Field, NodeId};
+use snd_topology::{Field, FrozenGraph, NodeId};
 
 /// The paper's fixed evaluation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +89,10 @@ pub struct CenterAccuracyStats {
     pub accepted: u64,
     /// Validation decisions that rejected a neighbor, all trials.
     pub rejected: u64,
+    /// Tier-1 memory telemetry (`mem.<subsystem>.<phase>.bytes`), summed
+    /// over every trial engine — counter semantics, comparable between runs
+    /// with the same trial count (figure configs pin it).
+    pub mem: BTreeMap<String, u64>,
 }
 
 impl CenterAccuracyStats {
@@ -105,6 +111,9 @@ impl CenterAccuracyStats {
             .registry
             .counters
             .insert("validation.rejected".into(), self.rejected);
+        for (key, bytes) in &self.mem {
+            report.registry.counters.insert(key.clone(), *bytes);
+        }
     }
 }
 
@@ -116,6 +125,7 @@ struct CenterTrial {
     hash_ops: u64,
     accepted: u64,
     rejected: u64,
+    mem: BTreeMap<String, u64>,
 }
 
 /// One full-protocol trial on its own derived seed: fresh engine, fresh
@@ -138,6 +148,15 @@ fn center_trial(scenario: PaperScenario, threshold: usize, seed: u64) -> CenterT
 
     let functional = engine.functional_topology();
     let accuracy = neighbor_accuracy(engine.deployment(), &functional, center, scenario.range);
+    // Freeze the functional view to CSR form — the snapshot a serving
+    // layer would hold resident — and charge its footprint to the
+    // `freeze` phase cell.
+    let mem_scope = MemScope::enter(MemScopeId::Freeze);
+    let frozen = FrozenGraph::freeze(&functional);
+    mem_scope.close();
+    engine
+        .mem_table()
+        .record("frozen_graph", "freeze", frozen.heap_bytes());
 
     let mut accepted = 0u64;
     let mut rejected = 0u64;
@@ -156,6 +175,7 @@ fn center_trial(scenario: PaperScenario, threshold: usize, seed: u64) -> CenterT
         hash_ops: engine.hash_ops(),
         accepted,
         rejected,
+        mem: engine.mem_table().counters(),
     }
 }
 
@@ -199,6 +219,9 @@ pub fn simulate_center_accuracy_observed_on(
         stats.hash_ops += trial.hash_ops;
         stats.accepted += trial.accepted;
         stats.rejected += trial.rejected;
+        for (key, bytes) in trial.mem {
+            *stats.mem.entry(key).or_insert(0) += bytes;
+        }
     }
     if !stats.per_trial.is_empty() {
         stats.mean = Some(stats.per_trial.iter().sum::<f64>() / stats.per_trial.len() as f64);

@@ -230,6 +230,22 @@ fn assert_report_contract(bin: &str, row: &Value) {
     }
     let registry = row.get("registry").expect("present");
     assert_eq!(registry.keys(), vec!["counters", "histograms"], "{bin}");
+    // Every experiment row carries the tier-1 memory ledger (DESIGN.md
+    // §17). Campaign rows aggregate detector sweeps without a resident
+    // engine and stay mem-free. The tier-2 `memrt.*` keys are *optional*
+    // — present only when a binary registers the tracking allocator —
+    // and nondeterministic, normalized away like the `_ms` fields.
+    let counters = registry.get("counters").expect("present");
+    if row.get("experiment").and_then(Value::as_str) != Some("campaign") {
+        assert!(
+            counters
+                .as_object()
+                .expect("counters is an object")
+                .iter()
+                .any(|(k, _)| k.starts_with("mem.")),
+            "{bin}: every experiment row must carry `mem.*` telemetry"
+        );
+    }
     // Campaign rows are byte-identical at any SND_THREADS and therefore
     // deliberately record no thread count (DESIGN.md §16); every other
     // experiment must record one.

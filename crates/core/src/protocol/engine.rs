@@ -29,6 +29,7 @@ use rand::SeedableRng;
 use snd_crypto::keys::SymmetricKey;
 use snd_exec::Executor;
 use snd_observe::event::{Event, Phase};
+use snd_observe::mem::{MemScope, MemScopeId, MemTable};
 use snd_observe::profile::Profiler;
 use snd_observe::recorder::{NullRecorder, Recorder, SimTraceBridge, Span};
 use snd_sim::envelope::{Envelope, PayloadPool, MAX_INLINE};
@@ -186,6 +187,11 @@ pub struct DiscoveryEngine {
     recorder: Arc<dyn Recorder>,
     /// Wall-clock profiler; disabled (spans inert) unless installed.
     profiler: Profiler,
+    /// Tier-1 memory telemetry: per-(subsystem, phase) peak logical
+    /// bytes, sampled at phase boundaries (DESIGN.md §17). Always on —
+    /// one O(nodes) length scan per phase — and deterministic, unlike
+    /// the tier-2 `memrt.*` allocator view.
+    mem: MemTable,
     /// Worker pool for in-wave parallel stages (the batched hello phase).
     /// Sized from `SND_THREADS` unless overridden; thread count never
     /// changes results (DESIGN.md §9/§14).
@@ -248,6 +254,7 @@ impl DiscoveryEngine {
             key_cache: true,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::disabled(),
+            mem: MemTable::new(),
             exec: Executor::from_env(),
             batched_hello: true,
             batched_collect: true,
@@ -285,6 +292,38 @@ impl DiscoveryEngine {
     /// The installed profiler (disabled by default).
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// The tier-1 memory table: per-subsystem peak logical bytes by
+    /// phase, sampled at phase boundaries (DESIGN.md §17). Export it
+    /// into a report registry with
+    /// [`MemTable::export_into`](snd_observe::mem::MemTable::export_into).
+    pub fn mem_table(&self) -> &MemTable {
+        &self.mem
+    }
+
+    /// Samples every subsystem's logical heap bytes under `phase`.
+    /// Cells keep their maximum across samples, so each cell reads as
+    /// "the most bytes this subsystem held at this phase boundary".
+    /// The `inboxes` figure is the simulator's running peak (inboxes
+    /// are empty *at* boundaries by construction).
+    fn sample_memory(&self, phase: &'static str) {
+        let mut nodes = 0u64;
+        let mut keys = 0u64;
+        for node in self.nodes.iter().flatten() {
+            nodes += node.heap_bytes();
+            keys += node.key_cache_bytes();
+        }
+        self.mem.record("nodes", phase, nodes);
+        self.mem.record("key_cache", phase, keys);
+        self.mem
+            .record("envelope_pool", phase, self.pool.idle_bytes());
+        self.mem
+            .record("inboxes", phase, self.sim.inbox_peak_bytes());
+        self.mem
+            .record("ledger", phase, self.sim.ledger().heap_bytes());
+        self.mem
+            .record("recorder", phase, self.recorder.heap_bytes());
     }
 
     /// Emits an event without constructing it when tracing is off.
@@ -437,6 +476,7 @@ impl DiscoveryEngine {
     pub fn deploy_at(&mut self, id: NodeId, at: Point) {
         // Crypto-bound: provisioning derives the node's key material.
         let _prof = self.profiler.span("provision");
+        let _mem_scope = MemScope::enter(MemScopeId::Provision);
         let mut node = ProtocolNode::provision(id, &self.master, self.config, &self.ops);
         node.set_key_cache(self.key_cache);
         let idx = id.0 as usize;
@@ -487,6 +527,8 @@ impl DiscoveryEngine {
             sim_time: self.sim.now(),
         });
         let prof_wave = self.profiler.span("wave");
+        // The pre-wave sample: what provisioning/deployment left resident.
+        self.sample_memory("provision");
 
         // Phase 1: Hello broadcasts. With reliability on, each new node
         // re-broadcasts for up to `hello_rounds` rounds (bounded by the
@@ -495,6 +537,7 @@ impl DiscoveryEngine {
         self.sim.set_comm_phase(Phase::Hello.name());
         let span = self.phase_span(wave, Phase::Hello);
         let prof = self.profiler.span("hello");
+        let mem_scope = MemScope::enter(MemScopeId::Hello);
         let hello_deadline = self.sim.now() + rel.phase_timeout;
         let rounds = if rel.enabled {
             rel.hello_rounds.max(1)
@@ -530,6 +573,8 @@ impl DiscoveryEngine {
                 self.pump(); // deliver acks; tentative lists complete
             }
         }
+        mem_scope.close();
+        self.sample_memory(Phase::Hello.name());
         prof.close();
         span.close(self.sim.now());
 
@@ -539,6 +584,7 @@ impl DiscoveryEngine {
         self.sim.set_comm_phase(Phase::Commit.name());
         let span = self.phase_span(wave, Phase::Commit);
         let prof = self.profiler.span("commit");
+        let mem_scope = MemScope::enter(MemScopeId::Commit);
         for &id in new_ids {
             let node = node_mut!(self, id).expect("node deployed");
             node.commit_record(&mut self.rng, &self.ops)
@@ -547,6 +593,8 @@ impl DiscoveryEngine {
                 self.emit(|| Event::MasterKeyErased { node: id });
             }
         }
+        mem_scope.close();
+        self.sample_memory(Phase::Commit.name());
         prof.close();
         span.close(self.sim.now());
 
@@ -557,6 +605,7 @@ impl DiscoveryEngine {
         self.sim.set_comm_phase(Phase::Collect.name());
         let span = self.phase_span(wave, Phase::Collect);
         let prof = self.profiler.span("collect");
+        let mem_scope = MemScope::enter(MemScopeId::Collect);
         for &id in new_ids {
             let targets: Vec<NodeId> = node_ref!(self, id)
                 .expect("node deployed")
@@ -632,6 +681,8 @@ impl DiscoveryEngine {
                 self.report.unconfirmed_links.push((id, v));
             }
         }
+        mem_scope.close();
+        self.sample_memory(Phase::Collect.name());
         prof.close();
         span.close(self.sim.now());
 
@@ -640,6 +691,7 @@ impl DiscoveryEngine {
             self.sim.set_comm_phase(Phase::Update.name());
             let span = self.phase_span(wave, Phase::Update);
             let _prof = self.profiler.span("update");
+            let mem_scope = MemScope::enter(MemScopeId::Update);
             let mut contacts: Vec<(NodeId, NodeId)> = self
                 .wave_contacts
                 .iter()
@@ -676,6 +728,8 @@ impl DiscoveryEngine {
             }
             self.pump(); // new nodes process updates; replies queued
             self.pump(); // requesters install refreshed records
+            mem_scope.close();
+            self.sample_memory(Phase::Update.name());
             span.close(self.sim.now());
         }
 
@@ -683,6 +737,7 @@ impl DiscoveryEngine {
         self.sim.set_comm_phase(Phase::Finalize.name());
         let span = self.phase_span(wave, Phase::Finalize);
         let prof = self.profiler.span("finalize");
+        let mem_scope = MemScope::enter(MemScopeId::Finalize);
         let prof_validate = self.profiler.span("validate");
         for &id in new_ids {
             let node = node_mut!(self, id).expect("node deployed");
@@ -768,6 +823,8 @@ impl DiscoveryEngine {
         }
         self.report.unconfirmed_links.sort_unstable();
         self.report.unconfirmed_links.dedup();
+        mem_scope.close();
+        self.sample_memory(Phase::Finalize.name());
         prof.close();
         span.close(self.sim.now());
 
@@ -2610,5 +2667,74 @@ mod tests {
             ops_on < ops_off,
             "cache on must hash strictly less: {ops_on} vs {ops_off}"
         );
+    }
+
+    #[test]
+    fn mem_table_samples_every_phase_and_shows_finalize_hygiene() {
+        // Fast-erase mode: the pairwise key cache is populated at commit
+        // time (it replaces the master key), so its weight is visible to
+        // the sampler until finalize clears it.
+        let mut eng = DiscoveryEngine::new(
+            Field::square(100.0),
+            RadioSpec::uniform(50.0),
+            ProtocolConfig::with_threshold(0).with_fast_erase(),
+            42,
+        );
+        for row in 0..3u64 {
+            for col in 0..3u64 {
+                eng.deploy_at(
+                    n(row * 3 + col),
+                    Point::new(20.0 + col as f64 * 30.0, 20.0 + row as f64 * 30.0),
+                );
+            }
+        }
+        let ids: Vec<NodeId> = (0..9).map(n).collect();
+        eng.run_wave(&ids);
+        let cells = eng.mem_table().cells();
+        for sub in [
+            "nodes",
+            "key_cache",
+            "envelope_pool",
+            "inboxes",
+            "ledger",
+            "recorder",
+        ] {
+            for phase in ["provision", "hello", "commit", "collect", "finalize"] {
+                assert!(cells.contains_key(&(sub, phase)), "missing {sub}/{phase}");
+            }
+        }
+        // Mid-wave the nodes hold collected records and cached pairwise
+        // keys; transport state is visibly nonzero.
+        let nodes_collect = cells[&("nodes", "collect")];
+        let keys_collect = cells[&("key_cache", "collect")];
+        assert!(nodes_collect > 0, "collected records must weigh something");
+        assert!(keys_collect > 0, "pairwise key cache must weigh something");
+        assert!(cells[&("inboxes", "hello")] > 0, "inbox peak must register");
+        assert!(cells[&("ledger", "hello")] > 0);
+        // Section 4.3 storage hygiene at the finalize boundary: the
+        // per-wave collected stores and the pairwise key cache are
+        // dropped, so both subsystems must shrink from their collect-time
+        // footprint.
+        let nodes_final = cells[&("nodes", "finalize")];
+        let keys_final = cells[&("key_cache", "finalize")];
+        assert!(
+            nodes_final < nodes_collect,
+            "finalize must shed collected records: {nodes_final} vs {nodes_collect}"
+        );
+        assert!(
+            keys_final < keys_collect,
+            "finalize must shed the key cache: {keys_final} vs {keys_collect}"
+        );
+    }
+
+    #[test]
+    fn mem_table_is_identical_across_reruns() {
+        let run = || {
+            let mut eng = grid_engine(1);
+            let ids: Vec<NodeId> = (0..9).map(n).collect();
+            eng.run_wave(&ids);
+            eng.mem_table().cells()
+        };
+        assert_eq!(run(), run(), "tier-1 sampling must be deterministic");
     }
 }

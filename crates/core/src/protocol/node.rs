@@ -22,6 +22,7 @@ use rand::RngCore;
 use snd_crypto::erasure::ErasableKey;
 use snd_crypto::keys::SymmetricKey;
 use snd_crypto::sha256::Digest;
+use snd_observe::mem::{btree_entries_bytes, slice_bytes, HeapSize};
 use snd_sim::metrics::HashCounter;
 use snd_topology::NodeId;
 
@@ -727,6 +728,44 @@ impl ProtocolNode {
     /// record neighbors + functional list + evidence + the two keys.
     pub fn storage_items(&self) -> usize {
         self.record.neighbors.len() + self.functional.len() + self.evidence.len() + 2
+    }
+
+    /// Logical heap bytes of the node's protocol state — its own binding
+    /// record, tentative/functional sets, collected records, evidence
+    /// buffer and commitment memo — **excluding** the pairwise-key cache,
+    /// which [`ProtocolNode::key_cache_bytes`] reports as its own
+    /// subsystem. Length-based per DESIGN.md §17, so the figure is a pure
+    /// function of the seed. The Section 4.3 storage-hygiene argument is
+    /// directly visible here: `collected` (and the key cache) drop to
+    /// zero when discovery finalizes.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let record_heap =
+            |r: &BindingRecord| btree_entries_bytes(r.neighbors.len(), size_of::<NodeId>());
+        record_heap(&self.record)
+            + btree_entries_bytes(self.tentative.len(), size_of::<NodeId>())
+            + btree_entries_bytes(self.functional.len(), size_of::<NodeId>())
+            + slice_bytes(&self.evidence)
+            + btree_entries_bytes(self.commit_memo.len(), size_of::<(NodeId, Digest)>())
+            + btree_entries_bytes(self.collected.len(), size_of::<(NodeId, BindingRecord)>())
+            + self.collected.values().map(record_heap).sum::<u64>()
+    }
+
+    /// Logical heap bytes of the pairwise-key cache (the fast-erasure
+    /// neighbor-key stash plus memoized derivations).
+    pub fn key_cache_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        btree_entries_bytes(
+            self.keys.map.len(),
+            size_of::<(KeyScheme, NodeId)>() + size_of::<SymmetricKey>(),
+        )
+    }
+}
+
+impl HeapSize for ProtocolNode {
+    /// Everything the node retains: protocol state plus the key cache.
+    fn heap_bytes(&self) -> u64 {
+        ProtocolNode::heap_bytes(self) + self.key_cache_bytes()
     }
 }
 

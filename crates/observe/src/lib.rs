@@ -16,6 +16,11 @@
 //!   [`report::JsonlWriter`] appends them to `results/*.jsonl` so every
 //!   bench binary produces machine-readable output next to its text
 //!   tables;
+//! * **memory telemetry** — deterministic logical sizing via
+//!   [`mem::HeapSize`]/[`mem::MemTable`] (`mem.*` metrics, byte-exact
+//!   across thread counts) plus an optional scope-attributed tracking
+//!   allocator ([`mem::TrackingAlloc`]/[`mem::MemScope`], `memrt.*`
+//!   metrics, excluded from determinism compares) — DESIGN.md §17;
 //! * **a JSON reader** — [`json::parse`] loads report lines back into a
 //!   [`json::Value`] tree (the vendored serializer has no deserializer),
 //!   so golden-file tests can check `results/*.jsonl` schemas.
@@ -45,6 +50,7 @@
 
 pub mod event;
 pub mod json;
+pub mod mem;
 pub mod profile;
 pub mod recorder;
 pub mod registry;
@@ -53,6 +59,10 @@ pub mod report;
 /// Re-exports of the items instrumented code and experiments need.
 pub mod prelude {
     pub use crate::event::{Event, EventRecord, Phase};
+    pub use crate::mem::{
+        memrt_enable, memrt_export_into, memrt_reset, memrt_total_high_water, memrt_totals,
+        HeapSize, MemScope, MemScopeId, MemTable, TrackingAlloc,
+    };
     pub use crate::profile::{ProfSpan, ProfTotals, Profiler};
     pub use crate::recorder::{
         MemoryRecorder, NullRecorder, Recorder, RingDrain, RingRecorder, SimTraceBridge, Span,

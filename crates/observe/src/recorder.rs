@@ -25,6 +25,7 @@ use snd_sim::trace::{MsgSend, TraceHook};
 use snd_topology::NodeId;
 
 use crate::event::{Event, EventRecord, Phase};
+use crate::mem::HeapSize;
 use crate::registry::{EventIngester, MetricsRegistry};
 
 /// A sink for structured [`Event`]s.
@@ -36,6 +37,13 @@ pub trait Recorder: Send + Sync + std::fmt::Debug {
     /// building an event, so a disabled recorder costs one virtual call.
     fn enabled(&self) -> bool {
         true
+    }
+
+    /// Logical heap bytes this recorder currently retains (its buffered
+    /// event stream), for tier-1 memory telemetry (DESIGN.md §17).
+    /// Sinks that retain nothing report 0 — the default.
+    fn heap_bytes(&self) -> u64 {
+        0
     }
 }
 
@@ -107,6 +115,10 @@ impl Recorder for MemoryRecorder {
     fn record(&self, event: Event) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.events.lock().push(EventRecord { seq, event });
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        HeapSize::heap_bytes(self.events.lock().as_slice())
     }
 }
 
@@ -240,24 +252,34 @@ impl Recorder for RingRecorder {
         let state = &mut *state;
         state.ingester.ingest(&mut state.registry, &rec);
         if state.index == state.next_keep {
-            state.next_keep += state.stride;
-            state.events.push(rec);
-            if state.events.len() >= self.cap {
-                // Halve the reservoir: keep even positions. Retained
-                // indexes were 0, s, 2s, …; survivors are the multiples of
-                // the doubled stride, so the invariant "events holds every
-                // index ≡ 0 (mod stride) below next_keep" is preserved.
-                let mut pos = 0usize;
-                state.events.retain(|_| {
-                    let keep = pos.is_multiple_of(2);
-                    pos += 1;
-                    keep
-                });
-                state.stride *= 2;
-                state.next_keep = state.next_keep.div_ceil(state.stride) * state.stride;
-            }
+            record_retained(state, rec, self.cap);
         }
         state.index += 1;
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        HeapSize::heap_bytes(self.state.lock().events.as_slice())
+    }
+}
+
+/// Out-of-line tail of [`RingRecorder::record`]'s retention path, so the
+/// trait method stays readable next to its `heap_bytes` sibling.
+fn record_retained(state: &mut RingState, rec: EventRecord, cap: usize) {
+    state.next_keep += state.stride;
+    state.events.push(rec);
+    if state.events.len() >= cap {
+        // Halve the reservoir: keep even positions. Retained
+        // indexes were 0, s, 2s, …; survivors are the multiples of
+        // the doubled stride, so the invariant "events holds every
+        // index ≡ 0 (mod stride) below next_keep" is preserved.
+        let mut pos = 0usize;
+        state.events.retain(|_| {
+            let keep = pos.is_multiple_of(2);
+            pos += 1;
+            keep
+        });
+        state.stride *= 2;
+        state.next_keep = state.next_keep.div_ceil(state.stride) * state.stride;
     }
 }
 

@@ -191,6 +191,16 @@ impl PayloadPool {
         self.free.len()
     }
 
+    /// Bytes of scratch capacity currently parked for reuse — the pool's
+    /// *slack*. This is the one sanctioned `capacity()`-based figure in
+    /// the tier-1 memory telemetry (DESIGN.md §17): the slack *is* the
+    /// quantity being observed, and it stays thread-invariant because
+    /// the pool is only touched from the engine's serial send path, so
+    /// its buffers' growth history is a pure function of the seed.
+    pub fn idle_bytes(&self) -> u64 {
+        self.free.iter().map(|buf| buf.capacity() as u64).sum()
+    }
+
     /// Serializes via `fill` into pooled scratch and freezes the result.
     pub fn build(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> Envelope {
         let mut buf = self.free.pop().unwrap_or_default();

@@ -393,6 +393,33 @@ impl CommLedger {
         &self.totals
     }
 
+    /// Logical heap bytes the ledger retains: the dense per-node entries,
+    /// their (phase, kind) cell lists and drop maps, the interned label
+    /// tables and the phase aggregates. Length-based (never capacity),
+    /// so the figure is a pure function of the frame sequence and stays
+    /// byte-identical across `SND_THREADS` — tier-1 memory telemetry,
+    /// DESIGN.md §17.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // Per-entry B-tree overhead estimate; matches snd-observe's
+        // `mem::BTREE_ENTRY_SLACK` (kept local: the dependency points
+        // the other way).
+        const BTREE_SLACK: u64 = 16;
+        let drops_heap = |c: &NodeComm| {
+            c.drops.len() as u64 * (size_of::<(DropReason, u64)>() as u64 + BTREE_SLACK)
+        };
+        let mut bytes = (self.per_node.len() * size_of::<NodeEntry>()) as u64
+            + self.touched.len() as u64
+            + (self.phase_agg.len() * size_of::<PhaseComm>()) as u64
+            + ((self.phases.len() + self.kinds.len()) * size_of::<&'static str>()) as u64
+            + drops_heap(&self.totals);
+        for entry in &self.per_node {
+            bytes += (entry.cells.len() * size_of::<(u16, CellComm)>()) as u64;
+            bytes += drops_heap(&entry.comm);
+        }
+        bytes
+    }
+
     /// One node's totals (zeroes for a node the ledger never saw).
     pub fn node(&self, id: NodeId) -> NodeComm {
         self.per_node

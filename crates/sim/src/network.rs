@@ -124,6 +124,15 @@ pub struct Simulator {
     /// delivery order with duplicates; sorted + deduped at drain time so
     /// [`Simulator::drain_all_inboxes`] is O(active) instead of O(nodes).
     dirty_inboxes: Vec<NodeId>,
+    /// Logical bytes currently queued across all inboxes
+    /// (`size_of::<Delivered>()` per frame plus shared-payload heap), and
+    /// the highest such figure ever observed. Maintained at delivery and
+    /// drain time because phase-boundary memory samples always see
+    /// drained (empty) inboxes — the peak is the number that matters.
+    /// Deliveries and drains are serial and seed-determined, so both are
+    /// thread-invariant (DESIGN.md §9/§17).
+    inbox_bytes: u64,
+    inbox_bytes_peak: u64,
     metrics: Metrics,
     rng: StdRng,
     latency: SimDuration,
@@ -144,6 +153,16 @@ pub struct Simulator {
     /// Lazily built spatial shortlist for broadcast receivers, dropped on
     /// any position mutation. `None` means stale/absent.
     bcast_index: Option<BroadcastIndex>,
+}
+
+/// Logical heap bytes one queued frame costs its inbox: the inline
+/// `Delivered` plus any shared payload heap (inline payloads add none).
+fn frame_heap_bytes(frame: &Delivered) -> u64 {
+    let payload = match &frame.payload {
+        Envelope::Inline { .. } => 0,
+        Envelope::Shared(v) => v.len() as u64,
+    };
+    std::mem::size_of::<Delivered>() as u64 + payload
 }
 
 /// Everything the simulator tracks per node, stored densely by id.
@@ -279,6 +298,8 @@ impl Simulator {
             jammers: Vec::new(),
             queue: BTreeMap::new(),
             dirty_inboxes: Vec::new(),
+            inbox_bytes: 0,
+            inbox_bytes_peak: 0,
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(seed),
             latency: SimDuration::from_millis(1),
@@ -1101,6 +1122,8 @@ impl Simulator {
             // re-check shares the slot access that enqueues the frame.
             if let Some(st) = self.nodes.get_mut(inflight.to.0 as usize) {
                 if !st.positions.is_empty() {
+                    self.inbox_bytes += frame_heap_bytes(&inflight.frame);
+                    self.inbox_bytes_peak = self.inbox_bytes_peak.max(self.inbox_bytes);
                     st.inbox.push(inflight.frame);
                     self.dirty_inboxes.push(inflight.to);
                 }
@@ -1110,10 +1133,13 @@ impl Simulator {
 
     /// Removes and returns everything in `id`'s inbox, oldest first.
     pub fn drain_inbox(&mut self, id: NodeId) -> Vec<Delivered> {
-        self.nodes
+        let drained = self
+            .nodes
             .get_mut(id.0 as usize)
             .map(|s| std::mem::take(&mut s.inbox))
-            .unwrap_or_default()
+            .unwrap_or_default();
+        self.inbox_bytes -= drained.iter().map(frame_heap_bytes).sum::<u64>();
+        drained
     }
 
     /// Drains every live node's inbox at once, ascending by id, skipping
@@ -1153,6 +1179,17 @@ impl Simulator {
     /// Number of frames waiting in `id`'s inbox.
     pub fn inbox_len(&self, id: NodeId) -> usize {
         self.nodes.get(id.0 as usize).map_or(0, |s| s.inbox.len())
+    }
+
+    /// Logical bytes currently queued across all inboxes.
+    pub fn inbox_bytes(&self) -> u64 {
+        self.inbox_bytes
+    }
+
+    /// Highest inbox byte load ever observed — the tier-1 `inboxes`
+    /// subsystem figure (DESIGN.md §17), deterministic per seed.
+    pub fn inbox_peak_bytes(&self) -> u64 {
+        self.inbox_bytes_peak
     }
 
     /// Number of frames still in flight.

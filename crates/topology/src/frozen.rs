@@ -113,6 +113,20 @@ impl FrozenGraph {
         frozen
     }
 
+    /// Logical heap bytes of the snapshot: the id interner, CSR offset
+    /// and target arrays, and the high-degree bitset rows. Length-based,
+    /// so the figure is a pure function of the graph being frozen and
+    /// stays byte-identical across `SND_THREADS` — tier-1 memory
+    /// telemetry, DESIGN.md §17.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.ids.len() * size_of::<NodeId>()
+            + self.offsets.len() * size_of::<u32>()
+            + self.targets.len() * size_of::<u32>()
+            + self.bits.len() * size_of::<u64>()
+            + self.bitset_start.len() * size_of::<u32>()) as u64
+    }
+
     /// Builds bitset rows for every node of degree ≥ [`BITSET_MIN_DEGREE`].
     fn build_bitsets(&mut self) {
         let n = self.ids.len();

@@ -25,7 +25,12 @@
 //! * [`campaign`](campaign::campaign) — adversarial-campaign grids
 //!   (DESIGN.md §16): per-defense ROC aggregation, per-strategy worst
 //!   cells, and `--baseline` cross-run verdict diffs over
-//!   `results/campaign.jsonl` or `BENCH_campaign.json`.
+//!   `results/campaign.jsonl` or `BENCH_campaign.json`;
+//! * [`mem`](mem::mem) — memory-telemetry pivots (DESIGN.md §17): the
+//!   tier-1 `mem.<subsystem>.<phase>.bytes` ledger as a subsystem × phase
+//!   table with top-consumer ranking, the tier-2 `memrt.*` allocator view
+//!   beside it with a logical-vs-allocator consistency check, and
+//!   `--baseline` byte diffs with a relative tolerance.
 //!
 //! The library is I/O-free except for [`input::load_rows`]; everything
 //! else maps parsed [`Value`](snd_observe::json::Value) trees to strings,
@@ -36,6 +41,7 @@ pub mod causal;
 pub mod diff;
 pub mod flame;
 pub mod input;
+pub mod mem;
 pub mod overhead;
 pub mod summarize;
 pub mod timeline;

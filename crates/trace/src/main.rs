@@ -8,11 +8,13 @@
 //! snd-trace overhead <file>... [--row SUBSTR]
 //! snd-trace causal <file>... --edge U V [--row SUBSTR]
 //! snd-trace campaign <file>... [--row SUBSTR] [--baseline FILE]
+//! snd-trace mem <file>... [--row SUBSTR] [--baseline FILE] [--tolerance FRAC]
 //! ```
 //!
 //! Exit codes: 0 success (for `diff`: within tolerance), 1 `diff` found
 //! out-of-tolerance deltas (for `campaign --baseline`: verdict
-//! regressions), 2 usage or I/O error.
+//! regressions; for `mem --baseline`: memory deltas beyond tolerance),
+//! 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +24,7 @@ use snd_trace::causal::{causal, CausalOptions};
 use snd_trace::diff::{diff_rows, render, DiffOptions};
 use snd_trace::flame::flame;
 use snd_trace::input::{load_rows, select, Row};
+use snd_trace::mem::{diff_mem, mem, render_deltas};
 use snd_trace::overhead::overhead;
 use snd_trace::summarize::summarize;
 use snd_trace::timeline::{timeline, TimelineOptions};
@@ -35,6 +38,7 @@ const USAGE: &str = "usage:
   snd-trace overhead <file>... [--row SUBSTR]
   snd-trace causal <file>... --edge U V [--row SUBSTR]
   snd-trace campaign <file>... [--row SUBSTR] [--baseline FILE]
+  snd-trace mem <file>... [--row SUBSTR] [--baseline FILE] [--tolerance FRAC]
 
 exit codes: 0 ok / within tolerance, 1 diff found regressions, 2 usage or i/o error";
 
@@ -168,6 +172,34 @@ fn run(args: &[String]) -> Result<ExitCode, TraceError> {
                 Ok(ExitCode::from(1))
             } else {
                 Ok(ExitCode::SUCCESS)
+            }
+        }
+        "mem" => {
+            let parsed = Parsed::from(rest, &["--row", "--baseline", "--tolerance"])?;
+            let rows = parsed.load_all()?;
+            let selected = select(&rows, parsed.flag("--row"))?;
+            print!("{}", mem(&selected)?);
+            let Some(base_path) = parsed.flag("--baseline") else {
+                return Ok(ExitCode::SUCCESS);
+            };
+            let tolerance = match parsed.flag("--tolerance") {
+                Some(raw) => raw.parse().map_err(|_| {
+                    TraceError::Usage(format!("--tolerance {raw:?} is not a number"))
+                })?,
+                None => 0.0,
+            };
+            let base = load_rows(&PathBuf::from(base_path))?;
+            let deltas = diff_mem(&base, &selected, tolerance);
+            if deltas.is_empty() {
+                println!("ok: memory within tolerance {tolerance} of {base_path}");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                print!("\n{}", render_deltas(&deltas));
+                eprintln!(
+                    "snd-trace: {} memory delta(s) exceed tolerance {tolerance}",
+                    deltas.len()
+                );
+                Ok(ExitCode::from(1))
             }
         }
         other => Err(TraceError::Usage(format!("unknown subcommand {other:?}"))),

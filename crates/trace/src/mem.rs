@@ -1,0 +1,540 @@
+//! Memory-telemetry pivots over the `mem.*` / `memrt.*` export
+//! (DESIGN.md §17).
+//!
+//! Answers "where do the bytes go" for one row: the tier-1 logical ledger
+//! (`mem.<subsystem>.<phase>.bytes`, deterministic) rendered as a
+//! subsystem × phase pivot with a top-consumer ranking, and — when the
+//! producing binary registered the tracking allocator — the tier-2
+//! scope-attributed allocator view (`memrt.<scope>.*`, nondeterministic)
+//! next to it, with a consistency check: the logical peak must not exceed
+//! the allocator's high-water mark, because tier 1 counts a subset of what
+//! the allocator served. A violation is flagged as accounting drift.
+//!
+//! Works on both artifact shapes: `results/*.jsonl` run reports (registry
+//! counters) and `BENCH_protocol.json` trajectories (per-size `mem_bytes`
+//! columns).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snd_observe::json::Value;
+
+use crate::input::Row;
+use crate::TraceError;
+
+/// Engine phases in protocol order; unknown phases sort after these, in
+/// first-seen order.
+const PHASE_ORDER: [&str; 7] = [
+    "provision",
+    "hello",
+    "commit",
+    "collect",
+    "update",
+    "finalize",
+    "freeze",
+];
+
+/// Renders one memory block per row: the tier-1 pivot, the top-consumer
+/// ranking, the tier-2 allocator view when present, and the
+/// logical-vs-allocator consistency verdict.
+///
+/// # Errors
+///
+/// [`TraceError::Usage`] when no selected row carries any memory
+/// telemetry at all.
+pub fn mem(rows: &[&Row]) -> Result<String, TraceError> {
+    let mut out = String::new();
+    let mut found = false;
+    for row in rows {
+        if let Some(counters) = row.value.get("registry").and_then(|r| r.get("counters")) {
+            let cells = mem_cells(counters);
+            if cells.is_empty() {
+                continue;
+            }
+            found = true;
+            let _ = writeln!(out, "== {} ==", row.label);
+            render_pivot(&mut out, &cells);
+            render_top(&mut out, &cells);
+            render_memrt(&mut out, counters, &cells);
+            out.push('\n');
+        } else if let Some(bench_rows) = row.value.get("rows").and_then(Value::as_array) {
+            for entry in bench_rows {
+                let Some(mem_bytes) = entry.get("mem_bytes").and_then(Value::as_object) else {
+                    continue;
+                };
+                found = true;
+                let nodes = entry
+                    .get("nodes")
+                    .and_then(Value::as_f64)
+                    .map(|n| format!(" n={n}"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "== {}{nodes} ==", row.label);
+                render_bench_entry(&mut out, mem_bytes, entry);
+                out.push('\n');
+            }
+        }
+    }
+    if !found {
+        return Err(TraceError::Usage(
+            "no selected row carries `mem.*` telemetry (regenerate the artifact \
+             with a current bench binary)"
+                .to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+/// One tier-1 cell: subsystem, phase, bytes.
+type Cell = (String, String, u64);
+
+/// Extracts `(subsystem, phase, bytes)` from `mem.<s>.<p>.bytes` counters.
+fn mem_cells(counters: &Value) -> Vec<Cell> {
+    let Some(fields) = counters.as_object() else {
+        return Vec::new();
+    };
+    let mut cells = Vec::new();
+    for (key, value) in fields {
+        let Some(rest) = key
+            .strip_prefix("mem.")
+            .and_then(|k| k.strip_suffix(".bytes"))
+        else {
+            continue;
+        };
+        let Some((sub, phase)) = rest.split_once('.') else {
+            continue;
+        };
+        let Some(bytes) = value.as_f64() else {
+            continue;
+        };
+        cells.push((sub.to_string(), phase.to_string(), bytes as u64));
+    }
+    cells
+}
+
+/// Phases present in `cells`, protocol order first.
+fn phases_of(cells: &[Cell]) -> Vec<String> {
+    let mut phases: Vec<String> = PHASE_ORDER
+        .iter()
+        .filter(|p| cells.iter().any(|(_, phase, _)| phase == *p))
+        .map(|p| p.to_string())
+        .collect();
+    for (_, phase, _) in cells {
+        if !phases.contains(phase) {
+            phases.push(phase.clone());
+        }
+    }
+    phases
+}
+
+/// Per-subsystem peak over every phase, descending (ties by name).
+fn peaks_of(cells: &[Cell]) -> Vec<(String, u64)> {
+    let mut peaks: BTreeMap<&str, u64> = BTreeMap::new();
+    for (sub, _, bytes) in cells {
+        let p = peaks.entry(sub).or_insert(0);
+        *p = (*p).max(*bytes);
+    }
+    let mut ranked: Vec<(String, u64)> =
+        peaks.into_iter().map(|(s, b)| (s.to_string(), b)).collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked
+}
+
+fn render_pivot(out: &mut String, cells: &[Cell]) {
+    let phases = phases_of(cells);
+    let peaks = peaks_of(cells);
+    let _ = writeln!(out, "tier-1 logical bytes (mem.*), subsystem x phase:");
+    let _ = write!(out, "  {:<14}", "subsystem");
+    for phase in &phases {
+        let _ = write!(out, " {phase:>12}");
+    }
+    let _ = writeln!(out, " {:>12}", "peak");
+    for (sub, peak) in &peaks {
+        let _ = write!(out, "  {sub:<14}");
+        for phase in &phases {
+            let bytes = cells
+                .iter()
+                .find(|(s, p, _)| s == sub && p == phase)
+                .map(|&(_, _, b)| b);
+            match bytes {
+                Some(b) => {
+                    let _ = write!(out, " {b:>12}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out, " {peak:>12}");
+    }
+    // Column totals: what all subsystems hold at each phase boundary.
+    let _ = write!(out, "  {:<14}", "total");
+    for phase in &phases {
+        let sum: u64 = cells
+            .iter()
+            .filter(|(_, p, _)| p == phase)
+            .map(|&(_, _, b)| b)
+            .sum();
+        let _ = write!(out, " {sum:>12}");
+    }
+    let _ = writeln!(out, " {:>12}", logical_peak(cells));
+}
+
+fn render_top(out: &mut String, cells: &[Cell]) {
+    let peaks = peaks_of(cells);
+    let total: u64 = peaks.iter().map(|&(_, b)| b).sum();
+    let _ = writeln!(out, "top consumers (peak bytes):");
+    for (i, (sub, bytes)) in peaks.iter().enumerate() {
+        let share = if total > 0 {
+            100.0 * *bytes as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {:>2}. {sub:<14} {bytes:>12}  {share:>5.1}%", i + 1);
+    }
+}
+
+/// The logical high-water mark: the largest per-phase column total. Using
+/// the same instant for every subsystem keeps it comparable with the
+/// allocator's (also instantaneous) high-water mark.
+fn logical_peak(cells: &[Cell]) -> u64 {
+    let mut by_phase: BTreeMap<&str, u64> = BTreeMap::new();
+    for (_, phase, bytes) in cells {
+        *by_phase.entry(phase).or_insert(0) += bytes;
+    }
+    by_phase.into_values().max().unwrap_or(0)
+}
+
+fn render_memrt(out: &mut String, counters: &Value, cells: &[Cell]) {
+    let Some(fields) = counters.as_object() else {
+        return;
+    };
+    let scopes: Vec<(&str, &str, u64)> = fields
+        .iter()
+        .filter_map(|(key, value)| {
+            let rest = key.strip_prefix("memrt.")?;
+            let (scope, metric) = rest.rsplit_once('.')?;
+            Some((scope, metric, value.as_f64()? as u64))
+        })
+        .collect();
+    if scopes.is_empty() {
+        let _ = writeln!(
+            out,
+            "allocator view: none (producer did not register the tracking allocator)"
+        );
+        return;
+    }
+    let _ = writeln!(out, "tier-2 allocator view (memrt.*, nondeterministic):");
+    let mut names: Vec<&str> = Vec::new();
+    for &(scope, _, _) in &scopes {
+        if scope != "total" && !names.contains(&scope) {
+            names.push(scope);
+        }
+    }
+    let metric = |scope: &str, m: &str| {
+        scopes
+            .iter()
+            .find(|&&(s, metric, _)| s == scope && metric == m)
+            .map(|&(_, _, v)| v)
+    };
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>14} {:>14} {:>14} {:>14}",
+        "scope", "allocated", "freed", "live", "high water"
+    );
+    for scope in names {
+        let cell = |m: &str| match metric(scope, m) {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {scope:<14} {:>14} {:>14} {:>14} {:>14}",
+            cell("allocated_bytes"),
+            cell("freed_bytes"),
+            cell("live_bytes"),
+            cell("high_water_bytes"),
+        );
+    }
+    let high = metric("total", "high_water_bytes").unwrap_or(0);
+    let live = metric("total", "live_bytes").unwrap_or(0);
+    let _ = writeln!(out, "  total live {live}  high water {high}");
+
+    // Consistency: tier 1 counts a subset of what the allocator served,
+    // so the logical peak can never legitimately exceed the allocator's
+    // high-water mark.
+    let logical = logical_peak(cells);
+    if high == 0 {
+        // Allocator keys present but no total — nothing to check against.
+    } else if logical <= high {
+        let share = 100.0 * logical as f64 / high as f64;
+        let _ = writeln!(
+            out,
+            "consistency: ok — logical peak {logical} <= allocator high water {high} \
+             ({share:.1}% attributed)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "consistency: DRIFT — logical peak {logical} EXCEEDS allocator high water \
+             {high}; tier-1 accounting overcounts (or the allocator was enabled late)"
+        );
+    }
+}
+
+/// One `BENCH_protocol.json` ladder entry: per-subsystem peaks plus the
+/// process-wide marks.
+fn render_bench_entry(out: &mut String, mem_bytes: &[(String, Value)], entry: &Value) {
+    let mut ranked: Vec<(&str, u64)> = mem_bytes
+        .iter()
+        .filter_map(|(k, v)| Some((k.as_str(), v.as_f64()? as u64)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let total: u64 = ranked.iter().map(|&(_, b)| b).sum();
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>14} {:>6}",
+        "subsystem", "peak bytes", "share"
+    );
+    for (sub, bytes) in &ranked {
+        let share = if total > 0 {
+            100.0 * *bytes as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {sub:<14} {bytes:>14} {share:>5.1}%");
+    }
+    let _ = writeln!(out, "  {:<14} {total:>14}", "total");
+    let mark = |key: &str| entry.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    let _ = writeln!(
+        out,
+        "  process marks: memrt high water {}  peak rss {}",
+        mark("memrt_high_water_bytes"),
+        mark("peak_rss_bytes"),
+    );
+}
+
+/// One out-of-tolerance memory delta between a baseline row and its
+/// candidate, matched by row label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemDelta {
+    /// Row label both sides share.
+    pub label: String,
+    /// Flattened metric key (`mem.nodes.finalize.bytes` or
+    /// `mem_bytes.nodes` for bench trajectories).
+    pub key: String,
+    /// Baseline bytes (`None`: key only in the candidate).
+    pub base: Option<u64>,
+    /// Candidate bytes (`None`: key vanished).
+    pub cand: Option<u64>,
+}
+
+/// Compares the tier-1 memory metrics of `cand` against `base`, row by
+/// row (matched on label), and returns every delta whose relative change
+/// exceeds `tolerance`. Keys that appear or vanish always count as
+/// deltas. Tier-2 `memrt.*` keys are deliberately ignored — they are
+/// nondeterministic (DESIGN.md §9/§17) and gated separately by CI's 2×
+/// high-water policy.
+pub fn diff_mem(base: &[Row], cand: &[&Row], tolerance: f64) -> Vec<MemDelta> {
+    let mut deltas = Vec::new();
+    for row in cand {
+        let Some(base_row) = base.iter().find(|b| b.label == row.label) else {
+            continue;
+        };
+        let b = flat_mem(&base_row.value);
+        let c = flat_mem(&row.value);
+        let mut keys: Vec<&String> = b.keys().chain(c.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let bv = b.get(key).copied();
+            let cv = c.get(key).copied();
+            let exceeded = match (bv, cv) {
+                (Some(bb), Some(cc)) => {
+                    let rel = (cc as f64 - bb as f64).abs() / (bb.max(1) as f64);
+                    rel > tolerance
+                }
+                _ => true,
+            };
+            if exceeded {
+                deltas.push(MemDelta {
+                    label: row.label.clone(),
+                    key: key.clone(),
+                    base: bv,
+                    cand: cv,
+                });
+            }
+        }
+    }
+    deltas
+}
+
+/// Flattens a row's tier-1 memory metrics: registry `mem.*` counters, or
+/// `rows[].mem_bytes.*` for bench trajectories (keyed by node count).
+fn flat_mem(value: &Value) -> BTreeMap<String, u64> {
+    let mut flat = BTreeMap::new();
+    if let Some(counters) = value
+        .get("registry")
+        .and_then(|r| r.get("counters"))
+        .and_then(Value::as_object)
+    {
+        for (key, v) in counters {
+            if key.starts_with("mem.") {
+                if let Some(n) = v.as_f64() {
+                    flat.insert(key.clone(), n as u64);
+                }
+            }
+        }
+    }
+    if let Some(rows) = value.get("rows").and_then(Value::as_array) {
+        for entry in rows {
+            let nodes = entry.get("nodes").and_then(Value::as_f64).unwrap_or(0.0);
+            if let Some(mem_bytes) = entry.get("mem_bytes").and_then(Value::as_object) {
+                for (sub, v) in mem_bytes {
+                    if let Some(n) = v.as_f64() {
+                        flat.insert(format!("n{nodes}.mem_bytes.{sub}"), n as u64);
+                    }
+                }
+            }
+        }
+    }
+    flat
+}
+
+/// Renders baseline deltas, one `label key base -> cand` line each.
+pub fn render_deltas(deltas: &[MemDelta]) -> String {
+    let mut out = String::new();
+    for d in deltas {
+        let side = |v: Option<u64>| v.map_or("absent".to_string(), |b| b.to_string());
+        let _ = writeln!(
+            out,
+            "{}: {} {} -> {}",
+            d.label,
+            d.key,
+            side(d.base),
+            side(d.cand)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_observe::json::parse;
+
+    fn report_row(label: &str, counters: &str) -> Row {
+        let json = format!(r#"{{"registry":{{"counters":{{{counters}}}}}}}"#);
+        Row {
+            label: label.to_string(),
+            value: parse(&json).expect("test row parses"),
+        }
+    }
+
+    #[test]
+    fn pivot_orders_phases_and_ranks_consumers() {
+        let row = report_row(
+            "protocol/wave-n40#1",
+            r#""mem.ledger.finalize.bytes":10,"mem.nodes.collect.bytes":900,
+               "mem.nodes.hello.bytes":100,"mem.frozen_graph.freeze.bytes":50"#,
+        );
+        let text = mem(&[&row]).expect("renders");
+        // Subsystems ranked by peak: nodes (900) first, ledger (10) last.
+        let nodes_at = text.find("  nodes").expect("nodes row");
+        let frozen_at = text.find("  frozen_graph").expect("frozen row");
+        let ledger_at = text.find("  ledger").expect("ledger row");
+        assert!(nodes_at < frozen_at && frozen_at < ledger_at, "{text}");
+        // hello precedes collect precedes freeze in the header.
+        let hello = text.find("hello").expect("hello column");
+        let collect = text.find("collect").expect("collect column");
+        let freeze = text.find("freeze").expect("freeze column");
+        assert!(hello < collect && collect < freeze, "{text}");
+        assert!(text.contains("1. nodes"), "{text}");
+        assert!(
+            text.contains("allocator view: none"),
+            "memrt absent must be reported: {text}"
+        );
+    }
+
+    #[test]
+    fn logical_peak_is_the_largest_phase_column() {
+        let row = report_row(
+            "r",
+            r#""mem.a.hello.bytes":5,"mem.b.hello.bytes":7,"mem.a.finalize.bytes":11"#,
+        );
+        let cells = mem_cells(row.value.get("registry").unwrap().get("counters").unwrap());
+        // hello column sums to 12, finalize to 11.
+        assert_eq!(logical_peak(&cells), 12);
+    }
+
+    #[test]
+    fn consistency_flags_drift_and_blesses_containment() {
+        let ok = report_row(
+            "ok",
+            r#""mem.nodes.hello.bytes":100,
+               "memrt.hello.allocated_bytes":500,"memrt.hello.freed_bytes":100,
+               "memrt.hello.live_bytes":400,"memrt.hello.high_water_bytes":450,
+               "memrt.total.live_bytes":400,"memrt.total.high_water_bytes":450"#,
+        );
+        let text = mem(&[&ok]).expect("renders");
+        assert!(text.contains("consistency: ok"), "{text}");
+        let drift = report_row(
+            "drift",
+            r#""mem.nodes.hello.bytes":1000,
+               "memrt.total.live_bytes":10,"memrt.total.high_water_bytes":20"#,
+        );
+        let text = mem(&[&drift]).expect("renders");
+        assert!(text.contains("consistency: DRIFT"), "{text}");
+    }
+
+    #[test]
+    fn bench_trajectory_rows_render_per_size_tables() {
+        let bench = Row {
+            label: "bench:protocol".to_string(),
+            value: parse(
+                r#"{"bench":"protocol","rows":[
+                    {"nodes":200,"mem_bytes":{"nodes":800,"ledger":200},
+                     "memrt_high_water_bytes":5000,"peak_rss_bytes":9000}]}"#,
+            )
+            .expect("parses"),
+        };
+        let text = mem(&[&bench]).expect("renders");
+        assert!(text.contains("n=200"), "{text}");
+        assert!(text.contains("total"), "{text}");
+        assert!(text.contains("memrt high water 5000"), "{text}");
+        assert!(text.contains("peak rss 9000"), "{text}");
+    }
+
+    #[test]
+    fn rows_without_memory_telemetry_are_a_usage_error() {
+        let row = report_row("bare", r#""sim.bytes_sent":1"#);
+        assert!(matches!(mem(&[&row]), Err(TraceError::Usage(_))));
+    }
+
+    #[test]
+    fn baseline_diff_respects_tolerance_and_ignores_memrt() {
+        let base = vec![report_row(
+            "r",
+            r#""mem.nodes.hello.bytes":100,"memrt.total.high_water_bytes":1"#,
+        )];
+        let within = report_row(
+            "r",
+            r#""mem.nodes.hello.bytes":104,"memrt.total.high_water_bytes":999"#,
+        );
+        assert!(diff_mem(&base, &[&within], 0.05).is_empty());
+        let outside = report_row("r", r#""mem.nodes.hello.bytes":120"#);
+        let deltas = diff_mem(&base, &[&outside], 0.05);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].key, "mem.nodes.hello.bytes");
+        assert_eq!(deltas[0].base, Some(100));
+        assert_eq!(deltas[0].cand, Some(120));
+        assert!(render_deltas(&deltas).contains("100 -> 120"));
+    }
+
+    #[test]
+    fn vanished_and_new_keys_always_count_as_deltas() {
+        let base = vec![report_row("r", r#""mem.nodes.hello.bytes":100"#)];
+        let cand = report_row("r", r#""mem.ledger.hello.bytes":100"#);
+        let deltas = diff_mem(&base, &[&cand], 1000.0);
+        assert_eq!(deltas.len(), 2, "{deltas:?}");
+    }
+}

@@ -8,14 +8,17 @@ use crate::input::Row;
 
 /// Renders one summary block per row.
 ///
-/// Run-report rows (those carrying a `registry`) get three sections:
+/// Run-report rows (those carrying a `registry`) get four sections:
 ///
 /// * **phases** — the `phase.<name>.us` histograms as simulated-time
 ///   totals per protocol phase, in protocol order;
 /// * **wall clock** — the `prof.<path>.ns` histograms the engine's
 ///   [`Profiler`](snd_observe::profile::Profiler) exported, as inclusive
 ///   wall-time per span path;
-/// * **counters** — every registry counter, one per line.
+/// * **counters** — every registry counter, one per line;
+/// * **outcomes** — the row's headline results (`bytes_per_node`,
+///   `peak_rss_bytes`, accuracy means, …), which live outside the
+///   registry.
 ///
 /// Rows without a registry (the `BENCH_*.json` trajectories) fall back to
 /// listing every numeric leaf by dotted path, which is exactly the diff
@@ -99,6 +102,17 @@ fn report_summary(out: &mut String, row: &Value, registry: &Value) {
             let _ = writeln!(out, "  {key:<32} {}", leaf(value));
         }
     }
+    // Headline outcomes (`bytes_per_node`, `peak_rss_bytes`, accuracy, …)
+    // live outside the registry; without this section they were invisible
+    // to every summarize reader.
+    if let Some(outcomes) = row.get("outcomes").and_then(Value::as_object) {
+        if !outcomes.is_empty() {
+            let _ = writeln!(out, "outcomes:");
+            for (key, value) in outcomes {
+                let _ = writeln!(out, "  {key:<32} {}", outcome(value));
+            }
+        }
+    }
     if let Some(dropped) = row.get("events_dropped").and_then(Value::as_f64) {
         let stored = row
             .get("events")
@@ -147,6 +161,16 @@ fn numeric_leaves(out: &mut String, value: &Value, path: &str) {
 
 fn field(summary: &Value, name: &str) -> f64 {
     summary.get(name).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Outcomes are heterogeneous — numbers, booleans, per-trial arrays;
+/// non-scalars render as a compact cardinality instead of raw JSON.
+fn outcome(v: &Value) -> String {
+    match v {
+        Value::Array(items) => format!("[{} values]", items.len()),
+        Value::Bool(b) => b.to_string(),
+        _ => leaf(v),
+    }
 }
 
 fn leaf(v: &Value) -> String {
